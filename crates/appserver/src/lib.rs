@@ -1,0 +1,386 @@
+//! # feral-server
+//!
+//! A simulated Rails deployment: Nginx + a pool of single-threaded
+//! Unicorn workers, reduced to its concurrency-relevant essentials.
+//!
+//! In the paper's architecture (§2.2), each HTTP request is routed to one
+//! worker process holding one database connection; workers share nothing
+//! but the database. This crate models exactly that: a [`Deployment`]
+//! owns `P` OS threads, each with its own [`feral_orm::Session`], fed
+//! from a shared queue. The experiment harness issues *rounds* of
+//! concurrent requests and blocks until every response arrives — the
+//! paper's "blocking in-between rounds to ensure that each round is, in
+//! fact, a concurrent set of requests" (§5.2).
+
+#![warn(missing_docs)]
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use feral_orm::{App, OrmError, Record, Session};
+use feral_db::Datum;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A request, as dispatched to a worker — the HTTP verbs the experiment
+/// applications expose (paper Appendix C.1: "simple View and Controller
+/// logic to allow us to POST, GET, and DELETE each kind of model
+/// instance").
+pub enum Request {
+    /// `POST /<model>` — build a record from attributes and `save` it.
+    Create {
+        /// Model class name.
+        model: String,
+        /// Attribute assignments.
+        attrs: Vec<(String, Datum)>,
+    },
+    /// `DELETE /<model>/<id>` — `find` then `destroy` (runs dependent
+    /// association logic ferally).
+    Destroy {
+        /// Model class name.
+        model: String,
+        /// Record id.
+        id: i64,
+    },
+    /// `GET /<model>/<id>`.
+    Get {
+        /// Model class name.
+        model: String,
+        /// Record id.
+        id: i64,
+    },
+    /// Arbitrary controller logic (used by workloads that update records).
+    Custom(Box<dyn FnOnce(&mut Session) -> Response + Send>),
+}
+
+/// A response, as returned by a worker.
+#[derive(Debug)]
+pub enum Response {
+    /// Save succeeded; the created record's id.
+    Created(i64),
+    /// Validations failed; nothing was written.
+    Invalid(Vec<String>),
+    /// Destroy succeeded.
+    Destroyed,
+    /// Read succeeded.
+    Found(Record),
+    /// The target row does not exist.
+    NotFound,
+    /// The database rejected the request (constraint violation,
+    /// serialization failure, lock timeout, ...).
+    Error(OrmError),
+    /// Custom-handler success marker.
+    Ok,
+}
+
+impl Response {
+    /// Whether the request had its intended effect.
+    pub fn succeeded(&self) -> bool {
+        matches!(
+            self,
+            Response::Created(_) | Response::Destroyed | Response::Found(_) | Response::Ok
+        )
+    }
+}
+
+struct Job {
+    request: Request,
+    reply: Sender<Response>,
+}
+
+/// Configuration for a deployment.
+#[derive(Debug, Clone)]
+pub struct DeploymentConfig {
+    /// Number of single-threaded workers (Unicorn processes).
+    pub workers: usize,
+    /// Upper bound of the random pre-dispatch delay injected per request,
+    /// modelling HTTP proxying and Ruby VM scheduling jitter. Zero
+    /// disables it.
+    pub request_jitter: Duration,
+    /// RNG seed for jitter reproducibility.
+    pub seed: u64,
+}
+
+impl Default for DeploymentConfig {
+    fn default() -> Self {
+        DeploymentConfig {
+            workers: 4,
+            request_jitter: Duration::ZERO,
+            seed: 0,
+        }
+    }
+}
+
+/// A running worker pool bound to an [`App`].
+pub struct Deployment {
+    jobs: Sender<Job>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+    served: Arc<Vec<AtomicU64>>,
+}
+
+impl Deployment {
+    /// Spin up `config.workers` workers, each holding one session at the
+    /// app database's default isolation.
+    pub fn start(app: App, config: DeploymentConfig) -> Self {
+        let (tx, rx) = unbounded::<Job>();
+        let served: Arc<Vec<AtomicU64>> = Arc::new(
+            (0..config.workers).map(|_| AtomicU64::new(0)).collect(),
+        );
+        let mut handles = Vec::with_capacity(config.workers);
+        for w in 0..config.workers {
+            let app = app.clone();
+            let rx: Receiver<Job> = rx.clone();
+            let jitter = config.request_jitter;
+            let served = served.clone();
+            let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(w as u64));
+            handles.push(std::thread::spawn(move || {
+                let mut session = app.session();
+                while let Ok(job) = rx.recv() {
+                    if !jitter.is_zero() {
+                        let d = rng.random_range(0..=jitter.as_micros() as u64);
+                        std::thread::sleep(Duration::from_micros(d));
+                    }
+                    let response = handle(&mut session, job.request);
+                    served[w].fetch_add(1, Ordering::Relaxed);
+                    let _ = job.reply.send(response);
+                }
+            }));
+        }
+        Deployment {
+            jobs: tx,
+            handles,
+            workers: config.workers,
+            served,
+        }
+    }
+
+    /// Requests served so far, per worker — load-balance diagnostics.
+    pub fn requests_served(&self) -> Vec<u64> {
+        self.served
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Dispatch one round of requests concurrently across the pool and
+    /// collect all responses (order corresponds to request order).
+    pub fn round(&self, requests: Vec<Request>) -> Vec<Response> {
+        let n = requests.len();
+        let (reply_tx, reply_rx) = bounded::<(usize, Response)>(n);
+        for (i, request) in requests.into_iter().enumerate() {
+            let (tx, rx) = bounded::<Response>(1);
+            self.jobs
+                .send(Job { request, reply: tx })
+                .expect("worker pool is gone");
+            let reply_tx = reply_tx.clone();
+            // a lightweight collector per request keeps round() simple
+            // while preserving request indices
+            std::thread::spawn(move || {
+                if let Ok(r) = rx.recv() {
+                    let _ = reply_tx.send((i, r));
+                }
+            });
+        }
+        drop(reply_tx);
+        let mut out: Vec<Option<Response>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            match reply_rx.recv() {
+                Ok((i, r)) => out[i] = Some(r),
+                Err(_) => break,
+            }
+        }
+        out.into_iter()
+            .map(|r| r.unwrap_or(Response::Error(OrmError::Config("worker died".into()))))
+            .collect()
+    }
+
+    /// Dispatch a single request and wait for its response.
+    pub fn dispatch(&self, request: Request) -> Response {
+        self.round(vec![request]).pop().unwrap()
+    }
+
+    /// Shut the pool down, waiting for workers to drain.
+    pub fn shutdown(self) {
+        drop(self.jobs);
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn handle(session: &mut Session, request: Request) -> Response {
+    match request {
+        Request::Create { model, attrs } => {
+            let pairs: Vec<(&str, Datum)> =
+                attrs.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+            match session.create(&model, &pairs) {
+                Ok(r) if r.is_persisted() => Response::Created(r.id().unwrap_or(-1)),
+                Ok(r) => Response::Invalid(r.errors.full_messages()),
+                Err(e) => Response::Error(e),
+            }
+        }
+        Request::Destroy { model, id } => match session.find(&model, id) {
+            Ok(mut rec) => match session.destroy(&mut rec) {
+                Ok(()) => Response::Destroyed,
+                Err(e) => Response::Error(e),
+            },
+            Err(OrmError::RecordNotFound(_)) => Response::NotFound,
+            Err(e) => Response::Error(e),
+        },
+        Request::Get { model, id } => match session.find(&model, id) {
+            Ok(rec) => Response::Found(rec),
+            Err(OrmError::RecordNotFound(_)) => Response::NotFound,
+            Err(e) => Response::Error(e),
+        },
+        Request::Custom(f) => f(session),
+    }
+}
+
+/// Convenience constructor for create requests.
+pub fn create_request(model: &str, attrs: &[(&str, Datum)]) -> Request {
+    Request::Create {
+        model: model.to_string(),
+        attrs: attrs
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), v.clone()))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feral_orm::ModelDef;
+
+    fn app() -> App {
+        let app = App::in_memory();
+        app.define(
+            ModelDef::build("Widget")
+                .string("name")
+                .validates_presence_of("name")
+                .finish(),
+        )
+        .unwrap();
+        app
+    }
+
+    #[test]
+    fn create_and_get_roundtrip() {
+        let app = app();
+        let d = Deployment::start(app, DeploymentConfig::default());
+        let r = d.dispatch(create_request("Widget", &[("name", Datum::text("w"))]));
+        let Response::Created(id) = r else {
+            panic!("expected Created, got {r:?}")
+        };
+        let r = d.dispatch(Request::Get {
+            model: "Widget".into(),
+            id,
+        });
+        assert!(matches!(r, Response::Found(_)));
+        d.shutdown();
+    }
+
+    #[test]
+    fn invalid_create_reports_errors() {
+        let app = app();
+        let d = Deployment::start(app, DeploymentConfig::default());
+        let r = d.dispatch(create_request("Widget", &[]));
+        match r {
+            Response::Invalid(msgs) => {
+                assert!(msgs.iter().any(|m| m.contains("blank")), "{msgs:?}")
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        d.shutdown();
+    }
+
+    #[test]
+    fn round_returns_all_responses_in_order() {
+        let app = app();
+        let d = Deployment::start(
+            app,
+            DeploymentConfig {
+                workers: 8,
+                ..Default::default()
+            },
+        );
+        let reqs: Vec<Request> = (0..32)
+            .map(|i| create_request("Widget", &[("name", Datum::text(format!("w{i}")))]))
+            .collect();
+        let resps = d.round(reqs);
+        assert_eq!(resps.len(), 32);
+        assert!(resps.iter().all(|r| r.succeeded()));
+        d.shutdown();
+    }
+
+    #[test]
+    fn destroy_and_not_found() {
+        let app = app();
+        let d = Deployment::start(app, DeploymentConfig::default());
+        let Response::Created(id) =
+            d.dispatch(create_request("Widget", &[("name", Datum::text("w"))]))
+        else {
+            panic!()
+        };
+        assert!(matches!(
+            d.dispatch(Request::Destroy {
+                model: "Widget".into(),
+                id
+            }),
+            Response::Destroyed
+        ));
+        assert!(matches!(
+            d.dispatch(Request::Get {
+                model: "Widget".into(),
+                id
+            }),
+            Response::NotFound
+        ));
+        d.shutdown();
+    }
+
+    #[test]
+    fn requests_served_accounts_for_all_work() {
+        let app = app();
+        let d = Deployment::start(
+            app,
+            DeploymentConfig {
+                workers: 4,
+                ..Default::default()
+            },
+        );
+        let reqs: Vec<Request> = (0..40)
+            .map(|i| create_request("Widget", &[("name", Datum::text(format!("w{i}")))]))
+            .collect();
+        let _ = d.round(reqs);
+        let served = d.requests_served();
+        assert_eq!(served.len(), 4);
+        assert_eq!(served.iter().sum::<u64>(), 40);
+        // with a shared queue, every worker should get some share
+        assert!(served.iter().filter(|&&c| c > 0).count() >= 2);
+        d.shutdown();
+    }
+
+    #[test]
+    fn custom_requests_run_controller_logic() {
+        let app = app();
+        let d = Deployment::start(app.clone(), DeploymentConfig::default());
+        let r = d.dispatch(Request::Custom(Box::new(|s| {
+            match s.create("Widget", &[("name", Datum::text("custom"))]) {
+                Ok(r) if r.is_persisted() => Response::Created(r.id().unwrap()),
+                Ok(_) => Response::Invalid(vec![]),
+                Err(e) => Response::Error(e),
+            }
+        })));
+        assert!(matches!(r, Response::Created(_)));
+        d.shutdown();
+    }
+}

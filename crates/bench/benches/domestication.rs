@@ -1,0 +1,86 @@
+//! Criterion benchmark of the Section 7 ablation: save throughput under
+//! feral-only, always-serializable, and domesticated (constraint-backed
+//! only where necessary) enforcement of the same invariant set.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use feral_db::{Config, Database, Datum, IsolationLevel};
+use feral_domestication::{DeclaredInvariant, Domesticator};
+use feral_iconfluence::OperationMix;
+use feral_orm::{App, ModelDef};
+
+fn make_app(iso: IsolationLevel) -> App {
+    let app = App::new(Database::new(Config {
+        default_isolation: iso,
+        ..Config::default()
+    }));
+    app.define(
+        ModelDef::build("Account")
+            .string("login")
+            .integer("balance")
+            .validates_presence_of("login")
+            .validates_length_of("login", Some(1), Some(64))
+            .validates_uniqueness_of("login")
+            .finish(),
+    )
+    .unwrap();
+    app
+}
+
+fn bench_enforcement_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("domestication/save_throughput");
+    group.sample_size(30);
+
+    // strategy 1: feral-only at read committed (fast, unsafe)
+    // strategy 2: everything serializable (safe, coordinated)
+    // strategy 3: domesticated — read committed + DB unique index only for
+    //             the non-I-confluent invariant (safe, minimally coordinated)
+    let configs: Vec<(&str, App)> = vec![
+        ("feral_rc", make_app(IsolationLevel::ReadCommitted)),
+        ("all_serializable", make_app(IsolationLevel::Serializable)),
+        ("domesticated", {
+            let app = make_app(IsolationLevel::ReadCommitted);
+            let mut d = Domesticator::new(app.clone(), OperationMix::WithDeletions);
+            d.declare(DeclaredInvariant::RowLocal {
+                model: "Account".into(),
+                validator_kind: "validates_length_of".into(),
+            })
+            .unwrap();
+            d.declare(DeclaredInvariant::Unique {
+                model: "Account".into(),
+                field: "login".into(),
+            })
+            .unwrap();
+            app
+        }),
+    ];
+
+    for (label, app) in configs {
+        // criterion re-invokes the routine closure (warmup + sampling), so
+        // the login counter must live outside it
+        let counter = std::sync::atomic::AtomicU64::new(0);
+        group.bench_with_input(BenchmarkId::new("strategy", label), &(), |b, _| {
+            let mut s = app.session();
+            b.iter(|| {
+                let i = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let rec = s
+                    .create(
+                        "Account",
+                        &[
+                            ("login", Datum::text(format!("{label}-{i}"))),
+                            ("balance", Datum::Int(0)),
+                        ],
+                    )
+                    .unwrap();
+                assert!(
+                    rec.is_persisted(),
+                    "{label}-{i} rejected: {}",
+                    rec.errors
+                );
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enforcement_strategies);
+criterion_main!(benches);

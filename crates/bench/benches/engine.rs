@@ -1,0 +1,134 @@
+//! Criterion micro-benchmarks of the storage engine: insert/commit
+//! throughput, scan strategies, and lock acquisition.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use feral_db::{ColumnDef, DataType, Database, Datum, Predicate, TableSchema};
+
+fn setup_table(rows: usize, indexed: bool) -> Database {
+    let db = Database::in_memory();
+    db.create_table(TableSchema::new(
+        "t",
+        vec![
+            ColumnDef::new("k", DataType::Text),
+            ColumnDef::new("v", DataType::Int),
+        ],
+    ))
+    .unwrap();
+    if indexed {
+        db.create_index("t", &["k"], false).unwrap();
+    }
+    let mut tx = db.begin();
+    for i in 0..rows {
+        tx.insert_pairs(
+            "t",
+            &[
+                ("k", Datum::text(format!("key-{i}"))),
+                ("v", Datum::Int(i as i64)),
+            ],
+        )
+        .unwrap();
+    }
+    tx.commit().unwrap();
+    db
+}
+
+fn bench_insert_commit(c: &mut Criterion) {
+    c.bench_function("engine/insert_commit_single_row", |b| {
+        let db = setup_table(0, false);
+        let mut i = 0u64;
+        b.iter(|| {
+            let mut tx = db.begin();
+            tx.insert_pairs(
+                "t",
+                &[("k", Datum::text(format!("k{i}"))), ("v", Datum::Int(i as i64))],
+            )
+            .unwrap();
+            tx.commit().unwrap();
+            i += 1;
+        });
+    });
+
+    c.bench_function("engine/insert_commit_batch_100", |b| {
+        let db = setup_table(0, false);
+        let mut i = 0u64;
+        b.iter(|| {
+            let mut tx = db.begin();
+            for _ in 0..100 {
+                tx.insert_pairs(
+                    "t",
+                    &[("k", Datum::text(format!("k{i}"))), ("v", Datum::Int(i as i64))],
+                )
+                .unwrap();
+                i += 1;
+            }
+            tx.commit().unwrap();
+        });
+    });
+}
+
+fn bench_scans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/point_lookup");
+    for &rows in &[100usize, 1_000, 10_000] {
+        let plain = setup_table(rows, false);
+        let indexed = setup_table(rows, true);
+        group.bench_with_input(BenchmarkId::new("full_scan", rows), &rows, |b, _| {
+            b.iter(|| {
+                let mut tx = plain.begin();
+                let hit = tx
+                    .scan("t", &Predicate::eq(1, format!("key-{}", rows / 2).as_str()))
+                    .unwrap();
+                black_box(hit.len());
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("index_probe", rows), &rows, |b, _| {
+            b.iter(|| {
+                let mut tx = indexed.begin();
+                let hit = tx
+                    .scan("t", &Predicate::eq(1, format!("key-{}", rows / 2).as_str()))
+                    .unwrap();
+                black_box(hit.len());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_feral_probe_sequence(c: &mut Criterion) {
+    // the exact statement sequence of a Rails uniqueness validation + save:
+    // SELECT ... LIMIT 1 then INSERT, in one transaction
+    c.bench_function("engine/feral_uniqueness_probe_then_insert", |b| {
+        let db = setup_table(1_000, false);
+        let mut i = 1_000_000u64;
+        b.iter(|| {
+            let mut tx = db.begin();
+            let key = format!("key-{i}");
+            let existing = tx.scan("t", &Predicate::eq(1, key.as_str())).unwrap();
+            assert!(existing.is_empty());
+            tx.insert_pairs("t", &[("k", Datum::text(key)), ("v", Datum::Int(0))])
+                .unwrap();
+            tx.commit().unwrap();
+            i += 1;
+        });
+    });
+}
+
+fn bench_select_for_update(c: &mut Criterion) {
+    c.bench_function("engine/select_for_update_cycle", |b| {
+        let db = setup_table(100, false);
+        b.iter(|| {
+            let mut tx = db.begin();
+            let rows = tx.select_for_update("t", &Predicate::eq(0, 50i64)).unwrap();
+            black_box(rows.len());
+            tx.commit().unwrap();
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_insert_commit,
+    bench_scans,
+    bench_feral_probe_sequence,
+    bench_select_for_update
+);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! Criterion micro-benchmarks of the ORM layer: save-path cost as the
+//! validator set grows, and destroy-path cost as the dependent tree grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use feral_db::{DataType, Datum};
+use feral_orm::{App, Dependent, ModelDef, Numericality};
+
+fn app_with_validators(n: usize) -> App {
+    let app = App::in_memory();
+    let mut b = ModelDef::build("Thing")
+        .string("name")
+        .integer("amount")
+        .attribute("email", DataType::Text);
+    for i in 0..n {
+        b = match i % 4 {
+            0 => b.validates_presence_of("name"),
+            1 => b.validates_length_of("name", Some(1), Some(64)),
+            2 => b.validates_numericality_of(
+                "amount",
+                Numericality::number().greater_than_or_equal_to(0.0).allow_nil(),
+            ),
+            _ => b.validates_format_of("name", "^[a-z0-9-]+$"),
+        };
+    }
+    app.define(b.finish()).unwrap();
+    app
+}
+
+fn bench_save_by_validator_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orm/save_validown");
+    for &n in &[0usize, 4, 16, 64] {
+        let app = app_with_validators(n);
+        let counter = std::sync::atomic::AtomicU64::new(0);
+        group.bench_with_input(BenchmarkId::new("validators", n), &n, |b, _| {
+            let mut s = app.session();
+            b.iter(|| {
+                let i = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let mut r = app.new_record("Thing").unwrap();
+                r.set("name", format!("thing-{i}")).set("amount", 1i64);
+                s.save_strict(&mut r).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_uniqueness_validation_scaling(c: &mut Criterion) {
+    // the feral probe is a SELECT: its cost grows with table size unless
+    // an index backs it — exactly the portability-vs-performance tension
+    // the paper discusses
+    let mut group = c.benchmark_group("orm/uniqueness_probe");
+    group.sample_size(30);
+    for (label, indexed) in [("feral_unindexed", false), ("with_index", true)] {
+        for &rows in &[1_000usize, 10_000] {
+            let app = App::in_memory();
+            app.define(
+                ModelDef::build("Account")
+                    .string("login")
+                    .validates_uniqueness_of("login")
+                    .finish(),
+            )
+            .unwrap();
+            if indexed {
+                // non-unique index: validation still feral, probe is fast
+                app.add_index("Account", &["login"], false).unwrap();
+            }
+            let mut s = app.session();
+            for i in 0..rows {
+                s.create_strict("Account", &[("login", Datum::text(format!("u{i}")))])
+                    .unwrap();
+            }
+            // unique logins must survive criterion's routine re-invocation
+            let counter = std::sync::atomic::AtomicU64::new(rows as u64);
+            group.bench_with_input(
+                BenchmarkId::new(label, rows),
+                &rows,
+                |b, _| {
+                    b.iter(|| {
+                        let i = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let mut r = app.new_record("Account").unwrap();
+                        r.set("login", format!("u{i}"));
+                        s.save_strict(&mut r).unwrap();
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_destroy_cascade(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orm/destroy_cascade");
+    group.sample_size(20);
+    for &children in &[0usize, 10, 100] {
+        let app = App::in_memory();
+        app.define(
+            ModelDef::build("Parent")
+                .string("name")
+                .has_many_dependent("kids", Dependent::Destroy)
+                .finish(),
+        )
+        .unwrap();
+        app.define(ModelDef::build("Kid").belongs_to("parent").finish())
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("children", children), &children, |b, _| {
+            b.iter_with_setup(
+                || {
+                    let mut s = app.session();
+                    let p = s
+                        .create_strict("Parent", &[("name", Datum::text("p"))])
+                        .unwrap();
+                    for _ in 0..children {
+                        s.create_strict("Kid", &[("parent_id", Datum::Int(p.id().unwrap()))])
+                            .unwrap();
+                    }
+                    p
+                },
+                |mut p| {
+                    let mut s = app.session();
+                    s.destroy(&mut p).unwrap();
+                },
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_save_by_validator_count,
+    bench_uniqueness_validation_scaling,
+    bench_destroy_cascade
+);
+criterion_main!(benches);

@@ -1,0 +1,153 @@
+//! The experimental applications of the paper's Appendix C, built with
+//! `feral-orm`.
+
+use feral_db::{Config, Database, IsolationLevel};
+use feral_orm::{App, Dependent, ModelDef};
+use std::time::Duration;
+
+/// Enforcement configuration for an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Enforcement {
+    /// No validations at all (the paper's "without validation" series).
+    None,
+    /// Feral validations only (Rails defaults).
+    Feral,
+    /// Feral validations plus the in-database constraint (the migration
+    /// fix: unique index / foreign key).
+    Database,
+}
+
+impl Enforcement {
+    /// Series label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Enforcement::None => "without-validation",
+            Enforcement::Feral => "with-validation",
+            Enforcement::Database => "with-db-constraint",
+        }
+    }
+}
+
+/// Database + deployment knobs shared by the experiments.
+#[derive(Debug, Clone)]
+pub struct ExperimentEnv {
+    /// Isolation level of every worker connection.
+    pub isolation: IsolationLevel,
+    /// Reproduce PostgreSQL bug #11732 under Serializable.
+    pub pg_ssi_bug: bool,
+    /// Validate→write delay modelling deployment latency.
+    pub delay: Duration,
+    /// Request-start jitter across the worker pool (per-request), modelling
+    /// HTTP proxying and VM scheduling spread in a real deployment.
+    pub jitter: Duration,
+}
+
+impl Default for ExperimentEnv {
+    fn default() -> Self {
+        ExperimentEnv {
+            isolation: IsolationLevel::ReadCommitted,
+            pg_ssi_bug: false,
+            delay: Duration::from_micros(300),
+            jitter: Duration::from_millis(2),
+        }
+    }
+}
+
+fn database(env: &ExperimentEnv) -> Database {
+    Database::new(Config {
+        default_isolation: env.isolation,
+        pg_ssi_bug: env.pg_ssi_bug,
+        ..Config::default()
+    })
+}
+
+/// Appendix C.1: the key/value application with an optional uniqueness
+/// validation on `key` (`SimpleKeyValue` vs `ValidatedKeyValue`, modelled
+/// as one model whose validations depend on `enforcement`).
+pub fn key_value_app(enforcement: Enforcement, env: &ExperimentEnv) -> App {
+    let app = App::new(database(env));
+    let mut builder = ModelDef::build("KeyValue")
+        .string("key")
+        .string("value");
+    if enforcement != Enforcement::None {
+        builder = builder
+            .validates_presence_of("key")
+            .validates_uniqueness_of("key");
+    }
+    app.define(builder.finish()).unwrap();
+    if enforcement == Enforcement::Database {
+        // the migration of §5.2 footnote 10: a unique index, declared
+        // separately from the model
+        app.add_index("KeyValue", &["key"], true).unwrap();
+    }
+    app.set_validation_write_delay(env.delay);
+    app
+}
+
+/// Appendix C.4: Users and Departments with a one-to-many association.
+/// With `Enforcement::Feral`, the department `has_many :users, dependent:
+/// :destroy` and users validate department presence; with
+/// `Enforcement::Database` an in-database FK (cascade) is added.
+pub fn users_departments_app(enforcement: Enforcement, env: &ExperimentEnv) -> App {
+    let app = App::new(database(env));
+    let mut dept = ModelDef::build("Department").string("name");
+    let mut user = ModelDef::build("User").belongs_to("department");
+    if enforcement != Enforcement::None {
+        dept = dept.has_many_dependent("users", Dependent::Destroy);
+        user = user.validates_presence_of("department");
+    }
+    app.define(dept.finish()).unwrap();
+    app.define(user.finish()).unwrap();
+    if enforcement == Enforcement::Database {
+        app.add_foreign_key("User", "department", feral_db::OnDelete::Cascade)
+            .unwrap();
+    }
+    app.set_validation_write_delay(env.delay);
+    app
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feral_db::Datum;
+
+    #[test]
+    fn key_value_variants() {
+        let env = ExperimentEnv::default();
+        let none = key_value_app(Enforcement::None, &env);
+        let mut s = none.session();
+        // duplicates allowed with no validation
+        for _ in 0..2 {
+            s.create_strict("KeyValue", &[("key", Datum::text("k")), ("value", Datum::text("v"))])
+                .unwrap();
+        }
+        assert_eq!(s.count("KeyValue").unwrap(), 2);
+
+        let feral = key_value_app(Enforcement::Feral, &env);
+        let mut s = feral.session();
+        s.create_strict("KeyValue", &[("key", Datum::text("k")), ("value", Datum::text("v"))])
+            .unwrap();
+        let dup = s
+            .create("KeyValue", &[("key", Datum::text("k")), ("value", Datum::text("v"))])
+            .unwrap();
+        assert!(!dup.is_persisted());
+    }
+
+    #[test]
+    fn users_departments_variants() {
+        let env = ExperimentEnv::default();
+        let app = users_departments_app(Enforcement::Feral, &env);
+        let mut s = app.session();
+        let d = s
+            .create_strict("Department", &[("name", Datum::text("eng"))])
+            .unwrap();
+        s.create_strict("User", &[("department_id", Datum::Int(d.id().unwrap()))])
+            .unwrap();
+        // feral: user creation without department rejected
+        let bad = s.create("User", &[("department_id", Datum::Int(999))]).unwrap();
+        assert!(!bad.is_persisted());
+        // db variant has a real FK
+        let db = users_departments_app(Enforcement::Database, &env);
+        assert_eq!(db.db().foreign_key_count(), 1);
+    }
+}

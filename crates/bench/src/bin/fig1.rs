@@ -1,0 +1,42 @@
+//! Regenerate **Figure 1**: use of concurrency-control mechanisms in
+//! Rails applications — the per-application series (models,
+//! transactions/model, validations/model, associations/model), in the
+//! same application order as Table 2, with the corpus average for each
+//! panel (the paper's dotted lines).
+
+use feral_bench::{print_table, Args};
+use feral_corpus::{survey, synthesize_corpus};
+
+fn main() {
+    let args = Args::from_env();
+    let seed = args.get_u64("seed", 2015);
+    eprintln!("synthesizing corpus (seed {seed}) and measuring the Figure 1 series...");
+    let corpus = synthesize_corpus(seed);
+    let s = survey(&corpus);
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (i, row) in s.rows.iter().enumerate() {
+        let m = row.models.max(1) as f64;
+        rows.push(vec![
+            format!("{}", i + 1),
+            row.name.clone(),
+            row.models.to_string(),
+            format!("{:.2}", row.transactions as f64 / m),
+            format!("{:.2}", row.validations as f64 / m),
+            format!("{:.2}", row.associations as f64 / m),
+        ]);
+    }
+    print_table(
+        "Figure 1: per-application mechanism usage (project order = Table 2)",
+        &["#", "application", "models", "txns/model", "validations/model", "assoc/model"],
+        &rows,
+    );
+
+    let (tpm, _lpm, vpm, apm) = s.per_model();
+    let (m_avg, ..) = s.averages();
+    println!("\ndotted-line averages (paper values in parentheses):");
+    println!("  models per app       {m_avg:6.2}  (29.07)");
+    println!("  transactions/model   {tpm:6.3}  (0.13)");
+    println!("  validations/model    {vpm:6.3}  (1.80)");
+    println!("  associations/model   {apm:6.3}  (3.19)");
+}

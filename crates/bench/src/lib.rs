@@ -1,0 +1,160 @@
+//! # feral-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper (run
+//! with `cargo run -p feral-bench --release --bin <name>`), plus Criterion
+//! micro-benchmarks (`cargo bench -p feral-bench`).
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `table1` | Table 1 (validator usage + I-confluence verdicts) |
+//! | `table2` | Table 2 (per-app survey + aggregates) |
+//! | `fig1` | Figure 1 (per-app mechanism-usage series) |
+//! | `fig2` | Figure 2 (uniqueness stress) |
+//! | `fig3` | Figure 3 (uniqueness workload across distributions) |
+//! | `fig4` | Figure 4 (association stress) |
+//! | `fig5` | Figure 5 (association workload vs #departments) |
+//! | `fig6` | Figure 6 (longitudinal mechanism history) |
+//! | `fig7` | Figure 7 (authorship CDFs) |
+//! | `frameworks` | Section 6 (cross-framework survey, executed) |
+//! | `ablation` | Section 7 (feral vs in-DB vs domesticated) |
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod association;
+pub mod uniqueness;
+
+use std::collections::HashMap;
+
+/// Minimal `--flag value` argument parser for the experiment binaries.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parse `std::env::args()` (skipping the program name). `--key value`
+    /// populates a flag, a bare `--key` a switch.
+    pub fn from_env() -> Args {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parse from an iterator (testable).
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Args {
+        let mut out = Args::default();
+        let items: Vec<String> = args.into_iter().collect();
+        let mut i = 0;
+        while i < items.len() {
+            let a = &items[i];
+            if let Some(key) = a.strip_prefix("--") {
+                match items.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => {
+                        out.flags.insert(key.to_string(), v.clone());
+                        i += 2;
+                    }
+                    _ => {
+                        out.switches.push(key.to_string());
+                        i += 1;
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// A numeric flag with a default.
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.flags
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// A u64 flag with a default.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.flags
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// A string flag.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(|s| s.as_str())
+    }
+
+    /// Whether a bare switch was passed.
+    pub fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+}
+
+/// Mean and (population) standard deviation of a sample, as the paper
+/// plots "the average and standard deviation of three runs per
+/// experiment".
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// Print an aligned table: a header row then data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let render = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>width$}", width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    println!("{}", render(&header_cells));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", render(row));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_flags_and_switches() {
+        let a = Args::from_iter(
+            ["--workers", "8", "--full", "--dist", "ycsb"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert_eq!(a.get_usize("workers", 1), 8);
+        assert!(a.has("full"));
+        assert_eq!(a.get_str("dist"), Some("ycsb"));
+        assert_eq!(a.get_usize("missing", 7), 7);
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-9);
+        assert!((s - 2.0).abs() < 1e-9);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,176 @@
+//! Uniqueness experiments (paper §5.2): the Figure 2 stress test and the
+//! Figure 3 distribution workload.
+
+use crate::apps::{key_value_app, Enforcement, ExperimentEnv};
+use feral_db::Datum;
+use feral_server::{create_request, Deployment, DeploymentConfig, Request};
+use feral_sql::SqlSession;
+use feral_workloads::KeyChooser;
+
+/// Result of one uniqueness run.
+#[derive(Debug, Clone, Copy)]
+pub struct UniquenessResult {
+    /// Duplicate records: Σ over keys of (count − 1), i.e. the paper's
+    /// `SELECT key, COUNT(key)-1 ... HAVING COUNT(key) > 1` total.
+    pub duplicates: u64,
+    /// Rows persisted in total.
+    pub rows: u64,
+    /// Requests that were rejected (validation failure or constraint).
+    pub rejected: u64,
+}
+
+/// Count duplicates with the paper's Appendix C.2 SQL, run through the
+/// SQL front-end for fidelity.
+pub fn count_duplicates(app: &feral_orm::App) -> u64 {
+    let mut sql = SqlSession::new(app.db().clone());
+    let rows = sql
+        .execute("SELECT key, COUNT(key) FROM key_values GROUP BY key HAVING COUNT(key) > 1")
+        .expect("duplicate-count query")
+        .rows();
+    rows.iter()
+        .map(|r| (r[1].as_int().unwrap_or(0) - 1) as u64)
+        .sum()
+}
+
+/// Figure 2 stress test: `rounds` rounds of `concurrent` simultaneous
+/// insertions of the *same* key (a fresh key per round), against a pool
+/// of `workers` single-threaded workers.
+pub fn uniqueness_stress(
+    enforcement: Enforcement,
+    env: &ExperimentEnv,
+    workers: usize,
+    rounds: usize,
+    concurrent: usize,
+    seed: u64,
+) -> UniquenessResult {
+    let app = key_value_app(enforcement, env);
+    let deployment = Deployment::start(
+        app.clone(),
+        DeploymentConfig {
+            workers,
+            request_jitter: env.jitter,
+            seed,
+        },
+    );
+    let mut rejected = 0u64;
+    for round in 0..rounds {
+        let key = format!("key-{round}");
+        let requests: Vec<Request> = (0..concurrent)
+            .map(|_| {
+                create_request(
+                    "KeyValue",
+                    &[("key", Datum::text(&key)), ("value", Datum::text("v"))],
+                )
+            })
+            .collect();
+        for r in deployment.round(requests) {
+            if !r.succeeded() {
+                rejected += 1;
+            }
+        }
+    }
+    deployment.shutdown();
+    let mut s = app.session();
+    let rows = s.count("KeyValue").unwrap() as u64;
+    UniquenessResult {
+        duplicates: count_duplicates(&app),
+        rows,
+        rejected,
+    }
+}
+
+/// Figure 3 workload: `clients` concurrent clients each issue `ops`
+/// insertions with keys drawn from `chooser_for(client)`.
+pub fn uniqueness_workload(
+    enforcement: Enforcement,
+    env: &ExperimentEnv,
+    clients: usize,
+    ops: usize,
+    mut chooser_for: impl FnMut(usize) -> Box<dyn KeyChooser>,
+    seed: u64,
+) -> UniquenessResult {
+    let app = key_value_app(enforcement, env);
+    let deployment = Deployment::start(
+        app.clone(),
+        DeploymentConfig {
+            workers: clients,
+            request_jitter: env.jitter,
+            seed,
+        },
+    );
+    let mut streams: Vec<Box<dyn KeyChooser>> = (0..clients).map(&mut chooser_for).collect();
+    let mut rejected = 0u64;
+    for _ in 0..ops {
+        let requests: Vec<Request> = streams
+            .iter_mut()
+            .map(|s| {
+                let key = format!("key-{}", s.next_key());
+                create_request(
+                    "KeyValue",
+                    &[("key", Datum::text(key)), ("value", Datum::text("v"))],
+                )
+            })
+            .collect();
+        for r in deployment.round(requests) {
+            if !r.succeeded() {
+                rejected += 1;
+            }
+        }
+    }
+    deployment.shutdown();
+    let mut s = app.session();
+    let rows = s.count("KeyValue").unwrap() as u64;
+    UniquenessResult {
+        duplicates: count_duplicates(&app),
+        rows,
+        rejected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feral_workloads::Uniform;
+
+    #[test]
+    fn stress_without_validation_admits_every_duplicate() {
+        let env = ExperimentEnv::default();
+        let r = uniqueness_stress(Enforcement::None, &env, 4, 5, 8, 1);
+        // 5 rounds × 8 concurrent − 5 keys = 35 duplicates, all admitted
+        assert_eq!(r.rows, 40);
+        assert_eq!(r.duplicates, 35);
+        assert_eq!(r.rejected, 0);
+    }
+
+    #[test]
+    fn stress_with_db_constraint_admits_no_duplicates() {
+        let env = ExperimentEnv::default();
+        let r = uniqueness_stress(Enforcement::Database, &env, 8, 5, 8, 2);
+        assert_eq!(r.duplicates, 0);
+        assert_eq!(r.rows, 5);
+    }
+
+    #[test]
+    fn stress_with_feral_validation_bounds_duplicates() {
+        let env = ExperimentEnv::default();
+        let r = uniqueness_stress(Enforcement::Feral, &env, 4, 10, 8, 3);
+        // validations bound each key's copies by the worker count
+        assert!(r.rows >= 10);
+        assert!(r.duplicates <= 10 * (4 - 1), "{r:?}");
+    }
+
+    #[test]
+    fn workload_runs_and_counts() {
+        let env = ExperimentEnv::default();
+        let r = uniqueness_workload(
+            Enforcement::Feral,
+            &env,
+            4,
+            10,
+            |c| Box::new(Uniform::new(16, c as u64)),
+            9,
+        );
+        assert!(r.rows > 0);
+        assert!(r.rows + r.rejected >= 40);
+    }
+}

@@ -1,0 +1,285 @@
+//! The application object: a model registry bound to a database.
+
+use crate::errors::{OrmError, OrmResult};
+use crate::model::{Association, ModelDef};
+use crate::record::Record;
+use crate::session::Session;
+use feral_db::{
+    ColumnDef, Database, Datum, IsolationLevel, OnDelete, Predicate, TableSchema,
+};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A running application: the set of defined models plus the shared
+/// database handle. Cloning is cheap; all clones share state (like Rails
+/// worker processes sharing one database).
+#[derive(Clone)]
+pub struct App {
+    pub(crate) inner: Arc<AppInner>,
+}
+
+pub(crate) struct AppInner {
+    pub(crate) db: Database,
+    pub(crate) models: RwLock<HashMap<String, Arc<ModelDef>>>,
+    /// Artificial delay injected between a save's validation pass and its
+    /// write, modelling controller/VM/network latency between the SQL
+    /// statements of a production deployment. Widens the race window the
+    /// paper's experiments exercise; zero by default.
+    pub(crate) validation_write_delay: RwLock<Duration>,
+}
+
+impl App {
+    /// Create an application over `db`.
+    pub fn new(db: Database) -> App {
+        App {
+            inner: Arc::new(AppInner {
+                db,
+                models: RwLock::new(HashMap::new()),
+                validation_write_delay: RwLock::new(Duration::ZERO),
+            }),
+        }
+    }
+
+    /// Create an application over a fresh in-memory database (Read
+    /// Committed default, like PostgreSQL).
+    pub fn in_memory() -> App {
+        App::new(Database::in_memory())
+    }
+
+    /// The shared database handle.
+    pub fn db(&self) -> &Database {
+        &self.inner.db
+    }
+
+    /// Configure the validate→write delay (see `AppInner` docs).
+    pub fn set_validation_write_delay(&self, d: Duration) {
+        *self.inner.validation_write_delay.write() = d;
+    }
+
+    /// Register a model and create its backing table (the analogue of
+    /// running the model's creation migration).
+    pub fn define(&self, def: ModelDef) -> OrmResult<Arc<ModelDef>> {
+        let def = Arc::new(def);
+        {
+            let mut models = self.inner.models.write();
+            if models.contains_key(&def.name) {
+                return Err(OrmError::Config(format!(
+                    "model {} already defined",
+                    def.name
+                )));
+            }
+            models.insert(def.name.clone(), def.clone());
+        }
+        let columns: Vec<ColumnDef> = def
+            .column_order()
+            .into_iter()
+            .map(|(name, ty)| ColumnDef::new(name, ty))
+            .collect();
+        self.inner
+            .db
+            .create_table(TableSchema::new(def.table.clone(), columns))?;
+        Ok(def)
+    }
+
+    /// Register a model against an existing (e.g. WAL-recovered) table,
+    /// creating the table only when it is missing — the reopen path for
+    /// durable applications.
+    pub fn define_or_attach(&self, def: ModelDef) -> OrmResult<Arc<ModelDef>> {
+        if self.inner.db.table_id(&def.table).is_ok() {
+            let def = Arc::new(def);
+            let mut models = self.inner.models.write();
+            if models.contains_key(&def.name) {
+                return Err(OrmError::Config(format!(
+                    "model {} already defined",
+                    def.name
+                )));
+            }
+            // sanity-check the recovered schema against the definition
+            let info = self.inner.db.table_info(&def.table)?;
+            for (name, _) in def.column_order() {
+                if info.schema.column_index(&name).is_err() {
+                    return Err(OrmError::Config(format!(
+                        "recovered table {} lacks column {name} declared by model {}",
+                        def.table, def.name
+                    )));
+                }
+            }
+            models.insert(def.name.clone(), def.clone());
+            return Ok(def);
+        }
+        self.define(def)
+    }
+
+    /// Look up a model by class name.
+    pub fn model(&self, name: &str) -> OrmResult<Arc<ModelDef>> {
+        self.inner
+            .models
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| OrmError::Config(format!("unknown model {name}")))
+    }
+
+    /// All registered models (registration order not guaranteed).
+    pub fn models(&self) -> Vec<Arc<ModelDef>> {
+        self.inner.models.read().values().cloned().collect()
+    }
+
+    /// Instantiate a new, blank record of `model`.
+    pub fn new_record(&self, model: &str) -> OrmResult<Record> {
+        Ok(Record::new(self.model(model)?))
+    }
+
+    /// Open a session (one worker's connection) at the database's default
+    /// isolation level.
+    pub fn session(&self) -> Session {
+        Session::new(self.clone(), self.inner.db.default_isolation())
+    }
+
+    /// Open a session at an explicit isolation level.
+    pub fn session_with(&self, isolation: IsolationLevel) -> Session {
+        Session::new(self.clone(), isolation)
+    }
+
+    // --- migrations ---------------------------------------------------
+    //
+    // Deliberately separate from model definitions: as the paper observes
+    // (§5.2 footnote 10), Rails schema changes like unique indexes live in
+    // migrations, apart from the domain model.
+
+    /// Migration: add an index on `model.field`, optionally `unique: true`
+    /// — the in-database fix for feral uniqueness validations.
+    pub fn add_index(&self, model: &str, fields: &[&str], unique: bool) -> OrmResult<()> {
+        let def = self.model(model)?;
+        self.inner.db.create_index(&def.table, fields, unique)?;
+        Ok(())
+    }
+
+    /// Migration: add an in-database foreign key backing a `belongs_to`
+    /// association (what the `foreigner`/`schema_plus` gems provide).
+    pub fn add_foreign_key(
+        &self,
+        child_model: &str,
+        association: &str,
+        on_delete: OnDelete,
+    ) -> OrmResult<()> {
+        let child = self.model(child_model)?;
+        let assoc = child
+            .association(association)
+            .ok_or_else(|| {
+                OrmError::Config(format!(
+                    "{child_model} has no association {association}"
+                ))
+            })?
+            .clone();
+        let parent = self.model(&assoc.target)?;
+        self.inner.db.add_foreign_key(
+            &child.table,
+            &assoc.foreign_key,
+            &parent.table,
+            on_delete,
+        )?;
+        Ok(())
+    }
+
+    // --- helpers shared by the persistence/validation layers -----------
+
+    /// Build an engine predicate for `(attribute, value)` equalities on
+    /// `model` (NULL values become `IS NULL` tests, as Rails generates).
+    pub(crate) fn conds_to_pred(
+        &self,
+        model: &ModelDef,
+        conds: &[(String, Datum)],
+    ) -> OrmResult<Predicate> {
+        let mut pred = Predicate::True;
+        for (field, value) in conds {
+            let col = model.column_index(field).ok_or_else(|| {
+                OrmError::Config(format!("{} has no column {field}", model.name))
+            })?;
+            let clause = if value.is_null() {
+                Predicate::IsNull(col)
+            } else {
+                Predicate::eq(col, value.clone())
+            };
+            pred = pred.and(clause);
+        }
+        Ok(pred)
+    }
+
+    /// Resolve an association target model.
+    pub(crate) fn target_of(&self, assoc: &Association) -> OrmResult<Arc<ModelDef>> {
+        self.model(&assoc.target)
+    }
+}
+
+impl std::fmt::Debug for App {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<String> = self
+            .inner
+            .models
+            .read()
+            .keys()
+            .cloned()
+            .collect();
+        f.debug_struct("App").field("models", &names).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelDef;
+
+    #[test]
+    fn define_creates_table_with_bookkeeping_columns() {
+        let app = App::in_memory();
+        app.define(ModelDef::build("User").string("name").finish())
+            .unwrap();
+        let info = app.db().table_info("users").unwrap();
+        let names: Vec<&str> = info.schema.columns.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["id", "name", "created_at", "updated_at"]);
+    }
+
+    #[test]
+    fn duplicate_model_rejected() {
+        let app = App::in_memory();
+        app.define(ModelDef::build("User").finish()).unwrap();
+        assert!(matches!(
+            app.define(ModelDef::build("User").finish()),
+            Err(OrmError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_model_is_config_error() {
+        let app = App::in_memory();
+        assert!(matches!(app.model("Ghost"), Err(OrmError::Config(_))));
+        assert!(matches!(app.new_record("Ghost"), Err(OrmError::Config(_))));
+    }
+
+    #[test]
+    fn add_index_migration() {
+        let app = App::in_memory();
+        app.define(ModelDef::build("User").string("name").finish())
+            .unwrap();
+        app.add_index("User", &["name"], true).unwrap();
+    }
+
+    #[test]
+    fn add_foreign_key_requires_association() {
+        let app = App::in_memory();
+        app.define(ModelDef::build("Department").string("name").finish())
+            .unwrap();
+        app.define(ModelDef::build("User").belongs_to("department").finish())
+            .unwrap();
+        app.add_foreign_key("User", "department", OnDelete::Cascade)
+            .unwrap();
+        assert_eq!(app.db().foreign_key_count(), 1);
+        assert!(matches!(
+            app.add_foreign_key("User", "nope", OnDelete::Cascade),
+            Err(OrmError::Config(_))
+        ));
+    }
+}

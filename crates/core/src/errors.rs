@@ -1,0 +1,164 @@
+//! ORM error and validation-message types.
+
+use feral_db::DbError;
+use std::fmt;
+
+/// Per-record validation errors, mirroring `ActiveModel::Errors`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Errors {
+    items: Vec<(String, String)>,
+}
+
+impl Errors {
+    /// No errors.
+    pub fn new() -> Self {
+        Errors::default()
+    }
+
+    /// Record an error on `field` with `message`.
+    pub fn add(&mut self, field: impl Into<String>, message: impl Into<String>) {
+        self.items.push((field.into(), message.into()));
+    }
+
+    /// Whether any error was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of errors.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Errors recorded on `field`.
+    pub fn on(&self, field: &str) -> Vec<&str> {
+        self.items
+            .iter()
+            .filter(|(f, _)| f == field)
+            .map(|(_, m)| m.as_str())
+            .collect()
+    }
+
+    /// Rails-style full messages: `"Name has already been taken"`.
+    pub fn full_messages(&self) -> Vec<String> {
+        self.items
+            .iter()
+            .map(|(f, m)| {
+                let mut field = f.replace('_', " ");
+                if let Some(c) = field.get_mut(0..1) {
+                    let upper = c.to_uppercase();
+                    field.replace_range(0..1, &upper);
+                }
+                format!("{field} {m}")
+            })
+            .collect()
+    }
+
+    /// Clear all errors (run before each validation pass).
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Iterate `(field, message)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.items.iter().map(|(f, m)| (f.as_str(), m.as_str()))
+    }
+}
+
+impl fmt::Display for Errors {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.full_messages().join(", "))
+    }
+}
+
+/// Every way an ORM operation can fail.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrmError {
+    /// `save!` on an invalid record (`ActiveRecord::RecordInvalid`).
+    RecordInvalid(Errors),
+    /// `find` missed (`ActiveRecord::RecordNotFound`).
+    RecordNotFound(String),
+    /// Optimistic locking conflict (`ActiveRecord::StaleObjectError`).
+    StaleObject(String),
+    /// `destroy` refused by a `dependent: :restrict` association.
+    RecordNotDestroyed(String),
+    /// Underlying database error (constraint violation, serialization
+    /// failure, lock timeout, ...).
+    Db(DbError),
+    /// Model/definition misuse (unknown model, unknown attribute, ...).
+    Config(String),
+}
+
+impl fmt::Display for OrmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrmError::RecordInvalid(e) => write!(f, "record invalid: {e}"),
+            OrmError::RecordNotFound(m) => write!(f, "record not found: {m}"),
+            OrmError::StaleObject(m) => write!(f, "stale object error: {m}"),
+            OrmError::RecordNotDestroyed(m) => write!(f, "record not destroyed: {m}"),
+            OrmError::Db(e) => write!(f, "database error: {e}"),
+            OrmError::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OrmError {}
+
+impl From<DbError> for OrmError {
+    fn from(e: DbError) -> Self {
+        OrmError::Db(e)
+    }
+}
+
+impl OrmError {
+    /// Whether retrying the whole operation may succeed (concurrency
+    /// aborts and stale-object conflicts).
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            OrmError::Db(e) => e.is_retryable(),
+            OrmError::StaleObject(_) => true,
+            _ => false,
+        }
+    }
+}
+
+/// Result alias for ORM operations.
+pub type OrmResult<T> = Result<T, OrmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_messages_render_like_rails() {
+        let mut e = Errors::new();
+        e.add("name", "has already been taken");
+        e.add("stock_level", "must be greater than or equal to 0");
+        assert_eq!(
+            e.full_messages(),
+            vec![
+                "Name has already been taken",
+                "Stock level must be greater than or equal to 0"
+            ]
+        );
+        assert_eq!(e.on("name"), vec!["has already been taken"]);
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(OrmError::StaleObject("x".into()).is_retryable());
+        assert!(OrmError::Db(DbError::WriteConflict).is_retryable());
+        assert!(!OrmError::RecordInvalid(Errors::new()).is_retryable());
+        assert!(!OrmError::Config("x".into()).is_retryable());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut e = Errors::new();
+        e.add("a", "b");
+        assert!(!e.is_empty());
+        e.clear();
+        assert!(e.is_empty());
+    }
+}

@@ -1,0 +1,240 @@
+//! Cross-framework validation-semantics profiles (paper Section 6).
+//!
+//! The paper surveys six additional ORM frameworks and finds "widespread
+//! support for feral validation/invariants, with inconsistent use of
+//! mechanisms for enforcing them." This module encodes each framework's
+//! enforcement profile so the Section 6 comparison can be *executed*
+//! rather than merely tabulated: a profile says where uniqueness and
+//! foreign keys are enforced and whether validations run in a transaction,
+//! and [`FrameworkProfile::apply_uniqueness`] configures an [`crate::App`]
+//! accordingly.
+
+use crate::app::App;
+use crate::errors::OrmResult;
+use feral_db::OnDelete;
+
+/// Where an invariant is enforced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Enforcement {
+    /// Backed by an in-database constraint — race-free.
+    Database,
+    /// Checked ferally at the application level — subject to races.
+    Application,
+    /// Declared but not enforced anywhere unless the user also writes the
+    /// schema constraint by hand.
+    ManualSchema,
+}
+
+/// One framework's validation/constraint semantics.
+#[derive(Debug, Clone)]
+pub struct FrameworkProfile {
+    /// Framework name and surveyed version.
+    pub name: &'static str,
+    /// Surveyed version string.
+    pub version: &'static str,
+    /// How declared uniqueness constraints are enforced.
+    pub uniqueness: Enforcement,
+    /// How declared foreign keys / associations are enforced.
+    pub foreign_keys: Enforcement,
+    /// Whether validations run wrapped in a database transaction.
+    pub validations_in_transaction: bool,
+    /// Whether user-defined validations are supported.
+    pub supports_udf_validations: bool,
+    /// Whether UDF validations (if any) run in a transaction.
+    pub udf_in_transaction: bool,
+    /// One-line summary of susceptibility, per the paper's findings.
+    pub finding: &'static str,
+}
+
+impl FrameworkProfile {
+    /// Whether the profile's uniqueness validations can admit duplicates
+    /// under concurrent execution at weak isolation.
+    pub fn uniqueness_unsafe(&self) -> bool {
+        self.uniqueness != Enforcement::Database
+    }
+
+    /// Whether association/foreign-key integrity can be violated under
+    /// concurrent execution at weak isolation.
+    pub fn foreign_keys_unsafe(&self) -> bool {
+        self.foreign_keys != Enforcement::Database
+    }
+
+    /// Configure `app` with this framework's enforcement for a model whose
+    /// `field` is declared unique: add the in-database unique index only
+    /// when the framework would.
+    pub fn apply_uniqueness(&self, app: &App, model: &str, field: &str) -> OrmResult<()> {
+        if self.uniqueness == Enforcement::Database {
+            app.add_index(model, &[field], true)?;
+        }
+        Ok(())
+    }
+
+    /// Configure `app` with this framework's FK enforcement for
+    /// `child.assoc`: add the in-database constraint only when the
+    /// framework would.
+    pub fn apply_foreign_key(
+        &self,
+        app: &App,
+        child_model: &str,
+        association: &str,
+    ) -> OrmResult<()> {
+        if self.foreign_keys == Enforcement::Database {
+            app.add_foreign_key(child_model, association, OnDelete::Cascade)?;
+        }
+        Ok(())
+    }
+}
+
+/// Ruby on Rails / ActiveRecord 4.1 — the paper's primary subject.
+pub fn rails() -> FrameworkProfile {
+    FrameworkProfile {
+        name: "Ruby on Rails (ActiveRecord)",
+        version: "4.1",
+        uniqueness: Enforcement::Application,
+        foreign_keys: Enforcement::Application,
+        validations_in_transaction: true,
+        supports_udf_validations: true,
+        udf_in_transaction: true,
+        finding: "feral uniqueness and association validations; unsafe below serializable",
+    }
+}
+
+/// Java Persistence API (EE 7).
+pub fn jpa() -> FrameworkProfile {
+    FrameworkProfile {
+        name: "Java Persistence API",
+        version: "EE 7",
+        uniqueness: Enforcement::Database,
+        foreign_keys: Enforcement::Database,
+        validations_in_transaction: true,
+        supports_udf_validations: true,
+        udf_in_transaction: true,
+        finding: "schema annotations create real constraints; Bean Validation UDFs remain unsafe",
+    }
+}
+
+/// Hibernate 4.3.7.
+pub fn hibernate() -> FrameworkProfile {
+    FrameworkProfile {
+        name: "Hibernate",
+        version: "4.3.7",
+        uniqueness: Enforcement::ManualSchema,
+        foreign_keys: Enforcement::ManualSchema,
+        validations_in_transaction: true,
+        supports_udf_validations: true,
+        udf_in_transaction: true,
+        finding: "declared FKs add a column but no constraint; relies on JPA schema annotations",
+    }
+}
+
+/// CakePHP 2.5.5.
+pub fn cakephp() -> FrameworkProfile {
+    FrameworkProfile {
+        name: "CakePHP",
+        version: "2.5.5",
+        uniqueness: Enforcement::Application,
+        foreign_keys: Enforcement::Application,
+        validations_in_transaction: false,
+        supports_udf_validations: true,
+        udf_in_transaction: false,
+        finding: "validations not backed by any transaction; schema constraints left to the user",
+    }
+}
+
+/// Laravel 4.2.
+pub fn laravel() -> FrameworkProfile {
+    FrameworkProfile {
+        name: "Laravel",
+        version: "4.2",
+        uniqueness: Enforcement::Application,
+        foreign_keys: Enforcement::Application,
+        validations_in_transaction: false,
+        supports_udf_validations: true,
+        udf_in_transaction: false,
+        finding: "model-level validation recommended as 'database agnostic'; same feral exposure",
+    }
+}
+
+/// Django 1.7.
+pub fn django() -> FrameworkProfile {
+    FrameworkProfile {
+        name: "Django",
+        version: "1.7",
+        uniqueness: Enforcement::Database,
+        foreign_keys: Enforcement::Database,
+        validations_in_transaction: true,
+        supports_udf_validations: true,
+        udf_in_transaction: false,
+        finding: "unique/FK backed by real constraints; custom validations not wrapped in a transaction",
+    }
+}
+
+/// Waterline 0.10 (Sails.js).
+pub fn waterline() -> FrameworkProfile {
+    FrameworkProfile {
+        name: "Waterline (Sails.js)",
+        version: "0.10",
+        uniqueness: Enforcement::Database,
+        foreign_keys: Enforcement::Database,
+        validations_in_transaction: false,
+        supports_udf_validations: true,
+        udf_in_transaction: false,
+        finding: "in-DB constraints when the adapter supports them; UDFs non-transactional ('just hope we don't get in a nasty state')",
+    }
+}
+
+/// All seven surveyed profiles (Rails + the six from Section 6).
+pub fn all_profiles() -> Vec<FrameworkProfile> {
+    vec![
+        rails(),
+        jpa(),
+        hibernate(),
+        cakephp(),
+        laravel(),
+        django(),
+        waterline(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rails_is_feral_jpa_is_not() {
+        assert!(rails().uniqueness_unsafe());
+        assert!(rails().foreign_keys_unsafe());
+        assert!(!jpa().uniqueness_unsafe());
+        assert!(!jpa().foreign_keys_unsafe());
+    }
+
+    #[test]
+    fn django_udfs_are_the_weak_spot() {
+        let d = django();
+        assert!(!d.uniqueness_unsafe());
+        assert!(d.supports_udf_validations);
+        assert!(!d.udf_in_transaction);
+    }
+
+    #[test]
+    fn survey_has_seven_frameworks() {
+        let all = all_profiles();
+        assert_eq!(all.len(), 7);
+        // at least half the surveyed frameworks expose unsafe uniqueness
+        let unsafe_count = all.iter().filter(|p| p.uniqueness_unsafe()).count();
+        assert!(unsafe_count >= 3, "paper found widespread feral validation");
+    }
+
+    #[test]
+    fn apply_uniqueness_configures_db_only_for_database_enforcement() {
+        use crate::model::ModelDef;
+        let app = crate::app::App::in_memory();
+        app.define(ModelDef::build("User").string("name").finish())
+            .unwrap();
+        // Rails: no index created
+        rails().apply_uniqueness(&app, "User", "name").unwrap();
+        // Django: index created
+        django().apply_uniqueness(&app, "User", "name").unwrap();
+        // second (Rails) call did nothing, so Django's create_index succeeded
+    }
+}

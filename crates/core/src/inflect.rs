@@ -1,0 +1,190 @@
+//! A small English inflector implementing the ActiveSupport conventions the
+//! ORM layer relies on: `CamelCase` → `snake_case`, pluralization for table
+//! names, and foreign-key derivation (`Department` → `department_id`).
+
+/// Convert `CamelCase` (or `camelCase`) to `snake_case`.
+pub fn underscore(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    let chars: Vec<char> = name.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c.is_ascii_uppercase() {
+            let prev_lower = i > 0 && (chars[i - 1].is_ascii_lowercase() || chars[i - 1].is_ascii_digit());
+            let next_lower = chars.get(i + 1).is_some_and(|n| n.is_ascii_lowercase());
+            if i > 0 && (prev_lower || (next_lower && chars[i - 1] != '_')) {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else if c == '-' || c == ' ' {
+            out.push('_');
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Convert `snake_case` to `CamelCase`.
+pub fn camelize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    let mut upper_next = true;
+    for c in name.chars() {
+        if c == '_' {
+            upper_next = true;
+        } else if upper_next {
+            out.push(c.to_ascii_uppercase());
+            upper_next = false;
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Irregular plural forms the corpus applications actually use.
+const IRREGULAR: &[(&str, &str)] = &[
+    ("person", "people"),
+    ("man", "men"),
+    ("woman", "women"),
+    ("child", "children"),
+    ("datum", "data"),
+    ("medium", "media"),
+    ("status", "statuses"),
+    ("address", "addresses"),
+];
+
+/// Words with identical singular and plural.
+const UNCOUNTABLE: &[&str] = &["equipment", "information", "money", "species", "series", "sheep", "stock"];
+
+/// Pluralize an English word the way Rails names tables.
+pub fn pluralize(word: &str) -> String {
+    let lower = word.to_ascii_lowercase();
+    if UNCOUNTABLE.contains(&lower.as_str()) {
+        return word.to_string();
+    }
+    for (s, p) in IRREGULAR {
+        if lower == *s {
+            return p.to_string();
+        }
+        if lower == *p {
+            return p.to_string();
+        }
+    }
+    if let Some(stem) = word.strip_suffix('y') {
+        let prev = stem.chars().last();
+        if prev.is_some_and(|c| !"aeiou".contains(c)) {
+            return format!("{stem}ies");
+        }
+    }
+    if word.ends_with('s')
+        || word.ends_with('x')
+        || word.ends_with('z')
+        || word.ends_with("ch")
+        || word.ends_with("sh")
+    {
+        return format!("{word}es");
+    }
+    if let Some(stem) = word.strip_suffix('f') {
+        return format!("{stem}ves");
+    }
+    if let Some(stem) = word.strip_suffix("fe") {
+        return format!("{stem}ves");
+    }
+    format!("{word}s")
+}
+
+/// Singularize an English word (inverse of [`pluralize`] for the forms the
+/// ORM produces).
+pub fn singularize(word: &str) -> String {
+    let lower = word.to_ascii_lowercase();
+    for (s, p) in IRREGULAR {
+        if lower == *p {
+            return s.to_string();
+        }
+        if lower == *s {
+            return s.to_string();
+        }
+    }
+    if UNCOUNTABLE.contains(&lower.as_str()) {
+        return word.to_string();
+    }
+    if let Some(stem) = word.strip_suffix("ies") {
+        return format!("{stem}y");
+    }
+    if let Some(stem) = word.strip_suffix("ves") {
+        return format!("{stem}f");
+    }
+    for suffix in ["ches", "shes", "xes", "ses", "zes"] {
+        if let Some(stem) = word.strip_suffix("es") {
+            if word.ends_with(suffix) {
+                return stem.to_string();
+            }
+        }
+    }
+    if let Some(stem) = word.strip_suffix('s') {
+        if !word.ends_with("ss") {
+            return stem.to_string();
+        }
+    }
+    word.to_string()
+}
+
+/// The table name ActiveRecord derives from a model class name:
+/// `Department` → `departments`, `LineItem` → `line_items`.
+pub fn table_name(model: &str) -> String {
+    pluralize(&underscore(model))
+}
+
+/// The foreign-key column a `belongs_to :assoc` produces:
+/// `department` → `department_id`.
+pub fn foreign_key(assoc: &str) -> String {
+    format!("{}_id", underscore(assoc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn underscore_handles_camel_and_acronyms() {
+        assert_eq!(underscore("Department"), "department");
+        assert_eq!(underscore("LineItem"), "line_item");
+        assert_eq!(underscore("lineItem"), "line_item");
+        assert_eq!(underscore("HTTPServer"), "http_server");
+        assert_eq!(underscore("already_snake"), "already_snake");
+    }
+
+    #[test]
+    fn camelize_roundtrip() {
+        assert_eq!(camelize("line_item"), "LineItem");
+        assert_eq!(camelize(&underscore("StockLocation")), "StockLocation");
+    }
+
+    #[test]
+    fn pluralize_rules() {
+        assert_eq!(pluralize("user"), "users");
+        assert_eq!(pluralize("category"), "categories");
+        assert_eq!(pluralize("boy"), "boys");
+        assert_eq!(pluralize("box"), "boxes");
+        assert_eq!(pluralize("branch"), "branches");
+        assert_eq!(pluralize("person"), "people");
+        assert_eq!(pluralize("status"), "statuses");
+        assert_eq!(pluralize("leaf"), "leaves");
+        assert_eq!(pluralize("sheep"), "sheep");
+    }
+
+    #[test]
+    fn singularize_inverts_pluralize() {
+        for w in ["user", "category", "box", "branch", "person", "leaf", "department"] {
+            assert_eq!(singularize(&pluralize(w)), w, "roundtrip failed for {w}");
+        }
+    }
+
+    #[test]
+    fn table_and_fk_names() {
+        assert_eq!(table_name("Department"), "departments");
+        assert_eq!(table_name("LineItem"), "line_items");
+        assert_eq!(table_name("Person"), "people");
+        assert_eq!(foreign_key("department"), "department_id");
+        assert_eq!(foreign_key("StockLocation"), "stock_location_id");
+    }
+}

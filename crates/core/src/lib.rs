@@ -1,0 +1,77 @@
+//! # feral-orm
+//!
+//! An ActiveRecord-workalike ORM for Rust, built to reproduce the system
+//! under study in *Feral Concurrency Control: An Empirical Investigation
+//! of Modern Application Integrity* (Bailis et al., SIGMOD 2015).
+//!
+//! The crate implements, with Rails-faithful algorithms:
+//!
+//! * **Models** ([`ModelDef`]) — attributes, a mandatory integer `id`,
+//!   optional `lock_version` and timestamp columns; one table per model.
+//! * **Validations** ([`Validator`]) — the full built-in vocabulary from
+//!   the paper's Table 1 (`presence`, `uniqueness`, `length`, `inclusion`,
+//!   `numericality`, `associated`, `email`, attachment checks,
+//!   `confirmation`, ...) plus user-defined validators. Validations run
+//!   inside the save's database transaction and issue plain `SELECT`
+//!   probes — **feral concurrency control**, unsafe below serializable
+//!   isolation exactly as the paper quantifies.
+//! * **Associations** — `belongs_to` / `has_one` / `has_many`
+//!   (+ `:through`), with `dependent: destroy / delete_all / nullify /
+//!   restrict` cascades executed at the application level.
+//! * **Locking** — optimistic (`lock_version`) and pessimistic
+//!   (`SELECT FOR UPDATE`) per-record locks.
+//! * **Migrations** — unique indexes and in-database foreign keys are
+//!   declared *separately* from models ([`App::add_index`],
+//!   [`App::add_foreign_key`]), mirroring how Rails keeps schema
+//!   constraints out of the domain model.
+//! * **Framework profiles** ([`frameworks`]) — the Section 6 survey of
+//!   JPA, Hibernate, CakePHP, Laravel, Django, and Waterline as executable
+//!   enforcement configurations.
+//!
+//! ## Example
+//!
+//! ```
+//! use feral_orm::{App, ModelDef};
+//! use feral_db::Datum;
+//!
+//! let app = App::in_memory();
+//! app.define(
+//!     ModelDef::build("User")
+//!         .string("username")
+//!         .validates_presence_of("username")
+//!         .validates_uniqueness_of("username")
+//!         .finish(),
+//! ).unwrap();
+//!
+//! let mut session = app.session();
+//! let user = session.create_strict("User", &[("username", Datum::text("peter"))]).unwrap();
+//! assert!(user.is_persisted());
+//!
+//! // The feral uniqueness validation rejects a sequential duplicate...
+//! let dup = session.create("User", &[("username", Datum::text("peter"))]).unwrap();
+//! assert!(!dup.is_persisted());
+//! assert_eq!(dup.errors.on("username"), vec!["has already been taken"]);
+//! // ...but, as the paper shows, concurrent duplicates can still slip in.
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod errors;
+pub mod frameworks;
+pub mod inflect;
+pub mod model;
+pub mod pattern;
+pub mod record;
+pub mod session;
+pub mod validations;
+
+pub use app::App;
+pub use errors::{Errors, OrmError, OrmResult};
+pub use model::{
+    AssocKind, Association, CallbackKind, Dependent, ModelDef, Numericality, QueryCtx,
+    Validator,
+};
+pub use pattern::Pattern;
+pub use record::Record;
+pub use session::Session;

@@ -1,0 +1,502 @@
+//! A small regular-expression engine for `validates_format_of`.
+//!
+//! Rails format validations are regexes; since this reproduction uses no
+//! external regex crate, this module implements the subset those
+//! validations actually need: literals, `.`, character classes
+//! (`[a-z0-9_]`, negated `[^...]`), the escapes `\d \w \s \. \\ \-`,
+//! quantifiers `* + ?` and bounded `{m,n}`, alternation `|`, grouping
+//! `( )`, and anchors `^ $` (with Ruby's `\A \z` treated identically).
+//! Matching is by backtracking over the parsed AST — plenty for
+//! validation-sized inputs.
+
+use std::fmt;
+
+/// A parsed pattern, ready to match.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    source: String,
+    root: Node,
+    anchored_start: bool,
+    anchored_end: bool,
+}
+
+/// Errors from pattern parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternError(pub String);
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid pattern: {}", self.0)
+    }
+}
+impl std::error::Error for PatternError {}
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// Sequence of nodes.
+    Seq(Vec<Node>),
+    /// Alternation.
+    Alt(Vec<Node>),
+    /// Single-character matcher.
+    Class(CharClass),
+    /// Quantified node: min, max (None = unbounded).
+    Repeat(Box<Node>, usize, Option<usize>),
+}
+
+#[derive(Debug, Clone)]
+enum CharClass {
+    Literal(char),
+    Any,
+    Digit,
+    Word,
+    Space,
+    Set { negated: bool, items: Vec<SetItem> },
+}
+
+#[derive(Debug, Clone)]
+enum SetItem {
+    Char(char),
+    Range(char, char),
+    Digit,
+    Word,
+    Space,
+}
+
+impl CharClass {
+    fn matches(&self, c: char) -> bool {
+        match self {
+            CharClass::Literal(l) => *l == c,
+            CharClass::Any => c != '\n',
+            CharClass::Digit => c.is_ascii_digit(),
+            CharClass::Word => c.is_alphanumeric() || c == '_',
+            CharClass::Space => c.is_whitespace(),
+            CharClass::Set { negated, items } => {
+                let hit = items.iter().any(|i| match i {
+                    SetItem::Char(x) => *x == c,
+                    SetItem::Range(a, b) => *a <= c && c <= *b,
+                    SetItem::Digit => c.is_ascii_digit(),
+                    SetItem::Word => c.is_alphanumeric() || c == '_',
+                    SetItem::Space => c.is_whitespace(),
+                });
+                hit != *negated
+            }
+        }
+    }
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    src: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser {
+            chars: src.chars().collect(),
+            pos: 0,
+            src,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn err(&self, msg: &str) -> PatternError {
+        PatternError(format!("{msg} at {} in {:?}", self.pos, self.src))
+    }
+
+    fn parse_alt(&mut self) -> Result<Node, PatternError> {
+        let mut branches = vec![self.parse_seq()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            branches.push(self.parse_seq()?);
+        }
+        if branches.len() == 1 {
+            Ok(branches.pop().unwrap())
+        } else {
+            Ok(Node::Alt(branches))
+        }
+    }
+
+    fn parse_seq(&mut self) -> Result<Node, PatternError> {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom()?;
+            items.push(self.parse_quantifier(atom)?);
+        }
+        Ok(Node::Seq(items))
+    }
+
+    fn parse_quantifier(&mut self, atom: Node) -> Result<Node, PatternError> {
+        match self.peek() {
+            Some('*') => {
+                self.bump();
+                Ok(Node::Repeat(Box::new(atom), 0, None))
+            }
+            Some('+') => {
+                self.bump();
+                Ok(Node::Repeat(Box::new(atom), 1, None))
+            }
+            Some('?') => {
+                self.bump();
+                Ok(Node::Repeat(Box::new(atom), 0, Some(1)))
+            }
+            Some('{') => {
+                self.bump();
+                let mut min = String::new();
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    min.push(self.bump().unwrap());
+                }
+                let min: usize = min.parse().map_err(|_| self.err("bad {m,n}"))?;
+                let max = if self.peek() == Some(',') {
+                    self.bump();
+                    let mut max = String::new();
+                    while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                        max.push(self.bump().unwrap());
+                    }
+                    if max.is_empty() {
+                        None
+                    } else {
+                        Some(max.parse().map_err(|_| self.err("bad {m,n}"))?)
+                    }
+                } else {
+                    Some(min)
+                };
+                if self.bump() != Some('}') {
+                    return Err(self.err("unterminated {m,n}"));
+                }
+                Ok(Node::Repeat(Box::new(atom), min, max))
+            }
+            _ => Ok(atom),
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Node, PatternError> {
+        match self.bump() {
+            Some('(') => {
+                // ignore non-capturing marker
+                if self.peek() == Some('?') {
+                    self.bump();
+                    if self.peek() == Some(':') {
+                        self.bump();
+                    } else {
+                        return Err(self.err("unsupported group flag"));
+                    }
+                }
+                let inner = self.parse_alt()?;
+                if self.bump() != Some(')') {
+                    return Err(self.err("unterminated group"));
+                }
+                Ok(inner)
+            }
+            Some('[') => self.parse_set(),
+            Some('.') => Ok(Node::Class(CharClass::Any)),
+            Some('\\') => {
+                let c = self.bump().ok_or_else(|| self.err("dangling escape"))?;
+                Ok(Node::Class(match c {
+                    'd' => CharClass::Digit,
+                    'w' => CharClass::Word,
+                    's' => CharClass::Space,
+                    'A' | 'z' | 'Z' | 'b' => {
+                        return Err(self.err("anchors only supported at pattern ends"))
+                    }
+                    other => CharClass::Literal(other),
+                }))
+            }
+            Some(c) if c == '*' || c == '+' || c == '?' => Err(self.err("dangling quantifier")),
+            Some(c) => Ok(Node::Class(CharClass::Literal(c))),
+            None => Err(self.err("unexpected end")),
+        }
+    }
+
+    fn parse_set(&mut self) -> Result<Node, PatternError> {
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut items = Vec::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated class")),
+                Some(']') if !items.is_empty() || negated => break,
+                Some(']') => break,
+                Some('\\') => {
+                    let c = self.bump().ok_or_else(|| self.err("dangling escape"))?;
+                    items.push(match c {
+                        'd' => SetItem::Digit,
+                        'w' => SetItem::Word,
+                        's' => SetItem::Space,
+                        other => SetItem::Char(other),
+                    });
+                }
+                Some(c) => {
+                    if self.peek() == Some('-')
+                        && self.chars.get(self.pos + 1).is_some_and(|&n| n != ']')
+                    {
+                        self.bump(); // '-'
+                        let hi = self.bump().unwrap();
+                        let hi = if hi == '\\' {
+                            self.bump().ok_or_else(|| self.err("dangling escape"))?
+                        } else {
+                            hi
+                        };
+                        items.push(SetItem::Range(c, hi));
+                    } else {
+                        items.push(SetItem::Char(c));
+                    }
+                }
+            }
+        }
+        Ok(Node::Class(CharClass::Set { negated, items }))
+    }
+}
+
+impl Pattern {
+    /// Compile a pattern. Leading `^`/`\A` and trailing `$`/`\z` anchor the
+    /// match; otherwise the pattern may match anywhere in the input (Ruby
+    /// `=~` semantics).
+    pub fn compile(src: &str) -> Result<Pattern, PatternError> {
+        let mut body = src;
+        let mut anchored_start = false;
+        let mut anchored_end = false;
+        for prefix in ["\\A", "^"] {
+            if let Some(rest) = body.strip_prefix(prefix) {
+                anchored_start = true;
+                body = rest;
+                break;
+            }
+        }
+        for suffix in ["\\z", "\\Z", "$"] {
+            if let Some(rest) = body.strip_suffix(suffix) {
+                // don't treat an escaped dollar (`\$`) as an anchor
+                if suffix == "$" && rest.ends_with('\\') {
+                    continue;
+                }
+                anchored_end = true;
+                body = rest;
+                break;
+            }
+        }
+        let mut parser = Parser::new(body);
+        let root = parser.parse_alt()?;
+        if parser.pos != parser.chars.len() {
+            return Err(parser.err("trailing characters"));
+        }
+        Ok(Pattern {
+            source: src.to_string(),
+            root,
+            anchored_start,
+            anchored_end,
+        })
+    }
+
+    /// The original pattern source.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Whether the pattern matches `input` (respecting anchors).
+    pub fn is_match(&self, input: &str) -> bool {
+        let chars: Vec<char> = input.chars().collect();
+        let starts: Vec<usize> = if self.anchored_start {
+            vec![0]
+        } else {
+            (0..=chars.len()).collect()
+        };
+        for start in starts {
+            let mut matched = false;
+            match_node(&self.root, &chars, start, &mut |end| {
+                if !self.anchored_end || end == chars.len() {
+                    matched = true;
+                    true // stop
+                } else {
+                    false
+                }
+            });
+            if matched {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Backtracking matcher: calls `k(end)` for every end position the node can
+/// match to from `pos`; `k` returns `true` to stop the search.
+fn match_node(node: &Node, input: &[char], pos: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
+    match node {
+        Node::Seq(items) => match_seq(items, input, pos, k),
+        Node::Alt(branches) => {
+            for b in branches {
+                if match_node(b, input, pos, k) {
+                    return true;
+                }
+            }
+            false
+        }
+        Node::Class(c) => {
+            if pos < input.len() && c.matches(input[pos]) {
+                k(pos + 1)
+            } else {
+                false
+            }
+        }
+        Node::Repeat(inner, min, max) => match_repeat(inner, *min, *max, input, pos, 0, k),
+    }
+}
+
+fn match_seq(items: &[Node], input: &[char], pos: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
+    match items.split_first() {
+        None => k(pos),
+        Some((first, rest)) => {
+            match_node(first, input, pos, &mut |next| match_seq(rest, input, next, k))
+        }
+    }
+}
+
+fn match_repeat(
+    inner: &Node,
+    min: usize,
+    max: Option<usize>,
+    input: &[char],
+    pos: usize,
+    count: usize,
+    k: &mut dyn FnMut(usize) -> bool,
+) -> bool {
+    // greedy: try one more repetition first
+    if max.is_none_or(|m| count < m) {
+        let more = match_node(inner, input, pos, &mut |next| {
+            // guard against zero-width infinite loops
+            if next == pos {
+                return false;
+            }
+            match_repeat(inner, min, max, input, next, count + 1, k)
+        });
+        if more {
+            return true;
+        }
+    }
+    if count >= min {
+        k(pos)
+    } else {
+        false
+    }
+}
+
+/// The e-mail pattern `validates_email` uses (a simplified RFC pattern, the
+/// same one the `validates_email_format_of` gem ships).
+pub fn email_pattern() -> Pattern {
+    Pattern::compile(r"^[\w.%+-]+@[A-Za-z0-9.-]+\.[A-Za-z]{2,}$").expect("static pattern")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(p: &str, s: &str) -> bool {
+        Pattern::compile(p).unwrap().is_match(s)
+    }
+
+    #[test]
+    fn literals_and_anchors() {
+        assert!(m("^abc$", "abc"));
+        assert!(!m("^abc$", "abcd"));
+        assert!(m("abc", "xxabcxx")); // unanchored searches
+        assert!(!m("^abc", "xabc"));
+        assert!(m(r"\Aabc\z", "abc"));
+    }
+
+    #[test]
+    fn classes_and_escapes() {
+        assert!(m(r"^\d+$", "12345"));
+        assert!(!m(r"^\d+$", "12a45"));
+        assert!(m(r"^\w+$", "ab_1"));
+        assert!(m(r"^a\.b$", "a.b"));
+        assert!(!m(r"^a\.b$", "axb"));
+        assert!(m("^a.b$", "axb"));
+    }
+
+    #[test]
+    fn sets_ranges_negation() {
+        assert!(m("^[a-z]+$", "abc"));
+        assert!(!m("^[a-z]+$", "aBc"));
+        assert!(m("^[A-Za-z0-9_]+$", "Mix_3d"));
+        assert!(m("^[^0-9]+$", "abc!"));
+        assert!(!m("^[^0-9]+$", "ab1"));
+        assert!(m(r"^[\d-]+$", "1-2-3"));
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert!(m("^a*$", ""));
+        assert!(m("^a*$", "aaaa"));
+        assert!(!m("^a+$", ""));
+        assert!(m("^ab?c$", "ac"));
+        assert!(m("^ab?c$", "abc"));
+        assert!(m("^a{2,3}$", "aa"));
+        assert!(m("^a{2,3}$", "aaa"));
+        assert!(!m("^a{2,3}$", "a"));
+        assert!(!m("^a{2,3}$", "aaaa"));
+        assert!(m("^a{2}$", "aa"));
+        assert!(m("^[a-z]{2,}$", "abcd"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert!(m("^(cat|dog)$", "cat"));
+        assert!(m("^(cat|dog)$", "dog"));
+        assert!(!m("^(cat|dog)$", "cow"));
+        assert!(m("^(ab)+$", "ababab"));
+        assert!(m("^(?:ab)+c$", "ababc"));
+    }
+
+    #[test]
+    fn email_pattern_accepts_and_rejects() {
+        let p = email_pattern();
+        for good in ["a@b.co", "first.last+tag@example.org", "x_1%y@sub.domain.io"] {
+            assert!(p.is_match(good), "{good} should match");
+        }
+        for bad in ["", "plain", "a@b", "@b.com", "a b@c.com", "a@b.c"] {
+            assert!(!p.is_match(bad), "{bad} should not match");
+        }
+    }
+
+    #[test]
+    fn zero_width_repeat_terminates() {
+        // (a?)* could loop forever on a naive engine
+        assert!(m("^(a?)*$", "aaa"));
+        assert!(m("^(a?)*$", ""));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(Pattern::compile("a{b}").is_err());
+        assert!(Pattern::compile("(abc").is_err());
+        assert!(Pattern::compile("[abc").is_err());
+        assert!(Pattern::compile("*a").is_err());
+    }
+
+    #[test]
+    fn credit_card_and_zip_patterns() {
+        // the kinds of format validations found in the corpus
+        assert!(m(r"^\d{4}-\d{4}-\d{4}-\d{4}$", "1234-5678-9012-3456"));
+        assert!(m(r"^\d{5}(-\d{4})?$", "94720"));
+        assert!(m(r"^\d{5}(-\d{4})?$", "94720-1234"));
+        assert!(!m(r"^\d{5}(-\d{4})?$", "9472"));
+    }
+}

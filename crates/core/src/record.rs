@@ -1,0 +1,197 @@
+//! Record instances: an attribute map bound to a model definition.
+
+use crate::errors::Errors;
+use crate::model::ModelDef;
+use feral_db::{Datum, Tuple};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One model instance — "an object that wraps a row in a database table,
+/// encapsulates the database access, and adds domain logic" (Fowler, quoted
+/// in the paper's §2.1).
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// The model this record instantiates.
+    pub model: Arc<ModelDef>,
+    attrs: HashMap<String, Datum>,
+    persisted: bool,
+    destroyed: bool,
+    /// Validation errors from the last save attempt.
+    pub errors: Errors,
+}
+
+impl Record {
+    /// A new, unpersisted record with all attributes NULL.
+    pub fn new(model: Arc<ModelDef>) -> Self {
+        let mut attrs = HashMap::new();
+        for (name, _) in model.column_order() {
+            attrs.insert(name, Datum::Null);
+        }
+        Record {
+            model,
+            attrs,
+            persisted: false,
+            destroyed: false,
+            errors: Errors::new(),
+        }
+    }
+
+    /// Materialize a record from a stored tuple.
+    pub fn from_tuple(model: Arc<ModelDef>, tuple: &Tuple) -> Self {
+        let mut attrs = HashMap::new();
+        for (i, (name, _)) in model.column_order().into_iter().enumerate() {
+            attrs.insert(name, tuple.get(i).cloned().unwrap_or(Datum::Null));
+        }
+        Record {
+            model,
+            attrs,
+            persisted: true,
+            destroyed: false,
+            errors: Errors::new(),
+        }
+    }
+
+    /// Serialize to the backing table's column order.
+    pub fn to_tuple(&self) -> Tuple {
+        self.model
+            .column_order()
+            .into_iter()
+            .map(|(name, _)| self.attrs.get(&name).cloned().unwrap_or(Datum::Null))
+            .collect()
+    }
+
+    /// Get an attribute (NULL if unset). Virtual attributes (e.g.
+    /// `password_confirmation`) are supported: any name can be set.
+    pub fn get(&self, name: &str) -> Datum {
+        self.attrs.get(name).cloned().unwrap_or(Datum::Null)
+    }
+
+    /// Set an attribute.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<Datum>) -> &mut Self {
+        self.attrs.insert(name.into(), value.into());
+        self
+    }
+
+    /// Set several attributes at once.
+    pub fn assign(&mut self, pairs: &[(&str, Datum)]) -> &mut Self {
+        for (k, v) in pairs {
+            self.attrs.insert((*k).to_string(), v.clone());
+        }
+        self
+    }
+
+    /// The primary key, if assigned.
+    pub fn id(&self) -> Option<i64> {
+        self.get("id").as_int()
+    }
+
+    /// Whether this record is backed by a database row.
+    pub fn is_persisted(&self) -> bool {
+        self.persisted
+    }
+
+    /// Whether `destroy` succeeded on this record.
+    pub fn is_destroyed(&self) -> bool {
+        self.destroyed
+    }
+
+    /// Whether the last validation pass found no errors.
+    pub fn is_valid(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Mark persisted (used by the persistence layer after insert).
+    pub(crate) fn mark_persisted(&mut self) {
+        self.persisted = true;
+    }
+
+    /// Mark destroyed.
+    pub(crate) fn mark_destroyed(&mut self) {
+        self.destroyed = true;
+        self.persisted = false;
+    }
+
+    /// Overwrite attributes from a freshly read tuple (reload / lock).
+    pub(crate) fn refresh_from(&mut self, tuple: &Tuple) {
+        for (i, (name, _)) in self.model.column_order().into_iter().enumerate() {
+            self.attrs
+                .insert(name, tuple.get(i).cloned().unwrap_or(Datum::Null));
+        }
+        self.persisted = true;
+    }
+
+    /// Text rendering for diagnostics.
+    pub fn describe(&self) -> String {
+        let mut parts: Vec<String> = self
+            .model
+            .column_order()
+            .iter()
+            .map(|(n, _)| format!("{n}: {}", self.get(n)))
+            .collect();
+        parts.insert(0, format!("#<{}", self.model.name));
+        format!("{}>", parts.join(" "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelDef;
+    
+
+    fn model() -> Arc<ModelDef> {
+        Arc::new(
+            ModelDef::build("User")
+                .string("name")
+                .integer("age")
+                .without_timestamps()
+                .finish(),
+        )
+    }
+
+    #[test]
+    fn new_record_is_blank_and_unpersisted() {
+        let r = Record::new(model());
+        assert!(!r.is_persisted());
+        assert!(r.get("name").is_null());
+        assert_eq!(r.id(), None);
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let m = model();
+        let mut r = Record::new(m.clone());
+        r.set("name", "peter").set("age", 30i64);
+        let t = r.to_tuple();
+        assert_eq!(t.len(), 3); // id, name, age
+        let r2 = Record::from_tuple(m, &t);
+        assert!(r2.is_persisted());
+        assert_eq!(r2.get("name"), Datum::text("peter"));
+        assert_eq!(r2.get("age"), Datum::Int(30));
+    }
+
+    #[test]
+    fn virtual_attributes_are_settable() {
+        let mut r = Record::new(model());
+        r.set("password_confirmation", "secret");
+        assert_eq!(r.get("password_confirmation"), Datum::text("secret"));
+        // and do not leak into the tuple
+        assert_eq!(r.to_tuple().len(), 3);
+    }
+
+    #[test]
+    fn assign_many() {
+        let mut r = Record::new(model());
+        r.assign(&[("name", Datum::text("a")), ("age", Datum::Int(1))]);
+        assert_eq!(r.get("age"), Datum::Int(1));
+    }
+
+    #[test]
+    fn describe_contains_fields() {
+        let mut r = Record::new(model());
+        r.set("name", "x");
+        let d = r.describe();
+        assert!(d.contains("#<User"));
+        assert!(d.contains("name: 'x'"));
+    }
+}

@@ -1,0 +1,133 @@
+//! A durable application: the ORM over a WAL-backed database, surviving
+//! restart with data and constraints intact.
+
+use feral_db::{Config, Database, Datum};
+use feral_orm::{App, ModelDef};
+use std::path::PathBuf;
+
+fn wal_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("feral-orm-durable-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join(format!("{name}.wal"));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+fn member_model() -> ModelDef {
+    ModelDef::build("Member")
+        .string("username")
+        .validates_presence_of("username")
+        .validates_uniqueness_of("username")
+        .finish()
+}
+
+fn open_app(path: &std::path::Path) -> App {
+    let db = Database::open(Config {
+        wal_path: Some(path.to_path_buf()),
+        ..Config::default()
+    })
+    .unwrap();
+    let app = App::new(db);
+    app.define_or_attach(member_model()).unwrap();
+    app
+}
+
+#[test]
+fn records_survive_app_restart() {
+    let path = wal_path("restart");
+    let peter_id;
+    {
+        let app = open_app(&path);
+        let mut s = app.session();
+        let peter = s
+            .create_strict("Member", &[("username", Datum::text("peter"))])
+            .unwrap();
+        peter_id = peter.id().unwrap();
+        s.create_strict("Member", &[("username", Datum::text("alan"))])
+            .unwrap();
+    }
+    // "restart" the app
+    let app = open_app(&path);
+    let mut s = app.session();
+    assert_eq!(s.count("Member").unwrap(), 2);
+    let peter = s.find("Member", peter_id).unwrap();
+    assert_eq!(peter.get("username"), Datum::text("peter"));
+    // the feral uniqueness validation still sees recovered rows
+    let dup = s
+        .create("Member", &[("username", Datum::text("peter"))])
+        .unwrap();
+    assert!(!dup.is_persisted());
+    // new ids don't collide with recovered ones
+    let new = s
+        .create_strict("Member", &[("username", Datum::text("joe"))])
+        .unwrap();
+    assert!(new.id().unwrap() > peter_id);
+}
+
+#[test]
+fn unique_index_migration_survives_restart() {
+    let path = wal_path("index");
+    {
+        let app = open_app(&path);
+        app.add_index("Member", &["username"], true).unwrap();
+        let mut s = app.session();
+        s.create_strict("Member", &[("username", Datum::text("peter"))])
+            .unwrap();
+    }
+    let app = open_app(&path);
+    let mut s = app.session();
+    // the in-database constraint is still there after restart
+    let result = s.create("Member", &[("username", Datum::text("peter"))]);
+    match result {
+        Ok(r) => assert!(!r.is_persisted()),
+        Err(e) => assert!(matches!(e, feral_orm::OrmError::Db(d) if d.is_constraint_violation())),
+    }
+    assert_eq!(s.count("Member").unwrap(), 1);
+}
+
+#[test]
+fn updates_and_destroys_replay_correctly() {
+    let path = wal_path("mutations");
+    {
+        let app = open_app(&path);
+        let mut s = app.session();
+        let mut a = s
+            .create_strict("Member", &[("username", Datum::text("before"))])
+            .unwrap();
+        s.update_attributes(&mut a, &[("username", Datum::text("after"))])
+            .unwrap();
+        let mut b = s
+            .create_strict("Member", &[("username", Datum::text("doomed"))])
+            .unwrap();
+        s.destroy(&mut b).unwrap();
+    }
+    let app = open_app(&path);
+    let mut s = app.session();
+    let all = s.all("Member").unwrap();
+    assert_eq!(all.len(), 1);
+    assert_eq!(all[0].get("username"), Datum::text("after"));
+}
+
+#[test]
+fn attach_rejects_schema_drift() {
+    let path = wal_path("drift");
+    {
+        let app = open_app(&path);
+        let mut s = app.session();
+        s.create_strict("Member", &[("username", Datum::text("x"))])
+            .unwrap();
+    }
+    // reopen with a model that declares a column the table never had
+    let db = Database::open(Config {
+        wal_path: Some(path.to_path_buf()),
+        ..Config::default()
+    })
+    .unwrap();
+    let app = App::new(db);
+    let drifted = ModelDef::build("Member")
+        .string("username")
+        .string("brand_new_column")
+        .finish();
+    let err = app.define_or_attach(drifted).unwrap_err();
+    assert!(matches!(err, feral_orm::OrmError::Config(m) if m.contains("brand_new_column")));
+}

@@ -1,0 +1,323 @@
+//! The paper's central claim, as tests: feral validations admit integrity
+//! violations under concurrent execution at weak isolation, while their
+//! in-database counterparts (and serializable isolation) do not.
+
+use feral_db::{Config, Database, Datum, IsolationLevel, OnDelete};
+use feral_orm::{App, Dependent, ModelDef};
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Duration;
+
+fn uniqueness_app(iso: IsolationLevel, pg_ssi_bug: bool) -> App {
+    let db = Database::new(Config {
+        default_isolation: iso,
+        pg_ssi_bug,
+        ..Config::default()
+    });
+    let app = App::new(db);
+    app.define(
+        ModelDef::build("ValidatedKeyValue")
+            .string("key")
+            .string("value")
+            .validates_presence_of("key")
+            .validates_uniqueness_of("key")
+            .finish(),
+    )
+    .unwrap();
+    // widen the validate→write race window, standing in for network/VM
+    // latency in the paper's EC2 deployment
+    app.set_validation_write_delay(Duration::from_micros(300));
+    app
+}
+
+/// Fire `workers` concurrent saves of the same key and count how many
+/// persisted.
+fn race_same_key(app: &App, key: &str, workers: usize) -> usize {
+    let barrier = Arc::new(Barrier::new(workers));
+    let mut handles = Vec::new();
+    for _ in 0..workers {
+        let app = app.clone();
+        let key = key.to_string();
+        let barrier = barrier.clone();
+        handles.push(thread::spawn(move || {
+            barrier.wait();
+            let mut s = app.session();
+            match s.create(
+                "ValidatedKeyValue",
+                &[("key", Datum::text(&key)), ("value", Datum::text("v"))],
+            ) {
+                Ok(r) => r.is_persisted(),
+                Err(e) if e.is_retryable() => false,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }));
+    }
+    handles.into_iter().filter(|_| true).map(|h| h.join().unwrap()).filter(|&b| b).count()
+}
+
+#[test]
+fn feral_uniqueness_admits_duplicates_under_read_committed() {
+    // The paper's stress test in miniature: with enough rounds, at least
+    // one round must race (P=8 workers on the same key).
+    let app = uniqueness_app(IsolationLevel::ReadCommitted, false);
+    let mut total_persisted = 0;
+    let rounds = 40;
+    for round in 0..rounds {
+        total_persisted += race_same_key(&app, &format!("key-{round}"), 8);
+    }
+    let duplicates = total_persisted - rounds;
+    assert!(
+        duplicates > 0,
+        "expected at least one duplicate across {rounds} racing rounds"
+    );
+    // but the validation still bounds duplication: each key at most P rows
+    let mut s = app.session();
+    for round in 0..rounds {
+        let rows = s
+            .where_("ValidatedKeyValue", &[("key", Datum::text(format!("key-{round}")))])
+            .unwrap();
+        assert!(rows.len() <= 8, "key-{round} exceeded the P bound");
+        assert!(!rows.is_empty());
+    }
+}
+
+#[test]
+fn duplicate_count_is_bounded_by_worker_count() {
+    // §5.1: "each value ... can be inserted no more than P times."
+    let app = uniqueness_app(IsolationLevel::ReadCommitted, false);
+    for p in [2usize, 4, 6] {
+        let key = format!("bound-{p}");
+        let persisted = race_same_key(&app, &key, p);
+        assert!(persisted >= 1);
+        assert!(persisted <= p, "persisted {persisted} > P={p}");
+    }
+}
+
+#[test]
+fn serializable_isolation_eliminates_duplicates() {
+    let app = uniqueness_app(IsolationLevel::Serializable, false);
+    for round in 0..25 {
+        let persisted = race_same_key(&app, &format!("key-{round}"), 8);
+        assert!(
+            persisted <= 1,
+            "serializable admitted {persisted} copies of key-{round}"
+        );
+    }
+}
+
+#[test]
+fn pg_ssi_bug_readmits_duplicates_under_nominal_serializable() {
+    // Footnote 8: PostgreSQL's "serializable" admitted duplicates for the
+    // Rails-derived transaction mix.
+    let app = uniqueness_app(IsolationLevel::Serializable, true);
+    let mut dup_rounds = 0;
+    for round in 0..40 {
+        if race_same_key(&app, &format!("key-{round}"), 8) > 1 {
+            dup_rounds += 1;
+        }
+    }
+    assert!(
+        dup_rounds > 0,
+        "the SSI-bug compatibility mode should leak at least one duplicate"
+    );
+}
+
+#[test]
+fn in_database_unique_index_eliminates_duplicates() {
+    let app = uniqueness_app(IsolationLevel::ReadCommitted, false);
+    // the migration the paper applied: an in-database unique index
+    app.add_index("ValidatedKeyValue", &["key"], true).unwrap();
+    for round in 0..25 {
+        let persisted = race_same_key_tolerant(&app, &format!("key-{round}"), 8);
+        assert_eq!(persisted, 1, "unique index must admit exactly one row");
+    }
+}
+
+/// Like `race_same_key` but treats in-database unique violations as a
+/// normal rejected save.
+fn race_same_key_tolerant(app: &App, key: &str, workers: usize) -> usize {
+    let barrier = Arc::new(Barrier::new(workers));
+    let mut handles = Vec::new();
+    for _ in 0..workers {
+        let app = app.clone();
+        let key = key.to_string();
+        let barrier = barrier.clone();
+        handles.push(thread::spawn(move || {
+            barrier.wait();
+            let mut s = app.session();
+            match s.create(
+                "ValidatedKeyValue",
+                &[("key", Datum::text(&key)), ("value", Datum::text("v"))],
+            ) {
+                Ok(r) => r.is_persisted(),
+                Err(feral_orm::OrmError::Db(e)) if e.is_constraint_violation() => false,
+                Err(e) if e.is_retryable() => false,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }));
+    }
+    handles.into_iter().map(|h| h.join().unwrap()).filter(|&b| b).count()
+}
+
+// ---------------------------------------------------------------------
+// Association anomalies (paper §5.4)
+// ---------------------------------------------------------------------
+
+fn association_app(declare_fk: bool) -> App {
+    let app = App::in_memory();
+    app.define(
+        ModelDef::build("ValidatedDepartment")
+            .string("name")
+            .has_many_dependent("validated_users", Dependent::Destroy)
+            .finish(),
+    )
+    .unwrap();
+    app.define(
+        ModelDef::build("ValidatedUser")
+            .belongs_to("validated_department")
+            .validates_presence_of("validated_department")
+            .finish(),
+    )
+    .unwrap();
+    if declare_fk {
+        app.add_foreign_key("ValidatedUser", "validated_department", OnDelete::Cascade)
+            .unwrap();
+    }
+    app.set_validation_write_delay(Duration::from_micros(300));
+    app
+}
+
+/// One stress round: delete a department while `inserters` concurrently
+/// create users in it. Returns the number of orphaned users left behind.
+fn orphan_round(app: &App, dept_id: i64, inserters: usize) -> usize {
+    let barrier = Arc::new(Barrier::new(inserters + 1));
+    let mut handles = Vec::new();
+    for _ in 0..inserters {
+        let app = app.clone();
+        let barrier = barrier.clone();
+        handles.push(thread::spawn(move || {
+            barrier.wait();
+            let mut s = app.session();
+            let _ = s.create(
+                "ValidatedUser",
+                &[("validated_department_id", Datum::Int(dept_id))],
+            );
+        }));
+    }
+    {
+        let app = app.clone();
+        let barrier = barrier.clone();
+        handles.push(thread::spawn(move || {
+            barrier.wait();
+            // land the destroy while inserters sit between their
+            // validation SELECT and their write (the injected
+            // validation_write_delay is 300us)
+            thread::sleep(Duration::from_micros(150));
+            let mut s = app.session();
+            loop {
+                match s.find("ValidatedDepartment", dept_id) {
+                    Ok(mut dept) => match s.destroy(&mut dept) {
+                        Ok(()) => break,
+                        Err(e) if e.is_retryable() => continue,
+                        Err(e) => panic!("destroy failed: {e}"),
+                    },
+                    Err(_) => break,
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // count users whose department no longer exists
+    let mut s = app.session();
+    let users = s
+        .where_("ValidatedUser", &[("validated_department_id", Datum::Int(dept_id))])
+        .unwrap();
+    users.len()
+}
+
+#[test]
+fn feral_cascading_destroy_leaks_orphans() {
+    let app = association_app(false);
+    let mut s = app.session();
+    let mut orphans = 0;
+    for round in 0..60 {
+        let dept = s
+            .create_strict(
+                "ValidatedDepartment",
+                &[("name", Datum::text(format!("d{round}")))],
+            )
+            .unwrap();
+        orphans += orphan_round(&app, dept.id().unwrap(), 8);
+    }
+    assert!(
+        orphans > 0,
+        "expected the feral cascade to miss at least one concurrent insert"
+    );
+}
+
+#[test]
+fn in_database_fk_prevents_all_orphans() {
+    let app = association_app(true);
+    let mut s = app.session();
+    for round in 0..20 {
+        let dept = s
+            .create_strict(
+                "ValidatedDepartment",
+                &[("name", Datum::text(format!("d{round}")))],
+            )
+            .unwrap();
+        let orphans = orphan_round(&app, dept.id().unwrap(), 8);
+        assert_eq!(orphans, 0, "round {round} leaked orphans despite the FK");
+    }
+    // every surviving user points at a surviving department
+    let users = s.all("ValidatedUser").unwrap();
+    for u in users {
+        let d = u.get("validated_department_id");
+        assert!(
+            s.find_by("ValidatedDepartment", &[("id", d)]).unwrap().is_some(),
+            "orphan slipped past the in-database constraint"
+        );
+    }
+}
+
+#[test]
+fn spree_lost_update_from_unlocked_setter() {
+    // §3.2: Spree protects adjust_count_on_hand with a pessimistic lock
+    // but set_count_on_hand takes none. Two concurrent unlocked setters
+    // race read-modify-write and lose one update.
+    let app = App::in_memory();
+    app.define(ModelDef::build("StockItem").integer("count_on_hand").finish())
+        .unwrap();
+    let mut s = app.session();
+    let item = s
+        .create_strict("StockItem", &[("count_on_hand", Datum::Int(0))])
+        .unwrap();
+    let id = item.id().unwrap();
+    let barrier = Arc::new(Barrier::new(2));
+    let mut handles = Vec::new();
+    for delta in [5i64, 7] {
+        let app = app.clone();
+        let barrier = barrier.clone();
+        handles.push(thread::spawn(move || {
+            barrier.wait();
+            let mut s = app.session();
+            // unlocked read-modify-write (set_count_on_hand)
+            let mut rec = s.find("StockItem", id).unwrap();
+            let v = rec.get("count_on_hand").as_int().unwrap();
+            std::thread::sleep(Duration::from_millis(5));
+            rec.set("count_on_hand", v + delta);
+            s.save_strict(&mut rec).unwrap();
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let fresh = s.find("StockItem", id).unwrap();
+    let v = fresh.get("count_on_hand").as_int().unwrap();
+    assert!(
+        v == 5 || v == 7,
+        "expected a lost update (got {v}, not 12) — both writers raced"
+    );
+}

@@ -1,0 +1,334 @@
+//! Tests for the Rails features beyond the paper's core experiments:
+//! lifecycle callbacks, counter caches, `find_or_create_by`, and
+//! savepoint-backed `requires_new` transactions.
+
+use feral_db::Datum;
+use feral_orm::{App, CallbackKind, Dependent, ModelDef, OrmError};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Callbacks
+// ---------------------------------------------------------------------
+
+#[test]
+fn before_validation_normalizes_attributes() {
+    let app = App::in_memory();
+    app.define(
+        ModelDef::build("Account")
+            .string("email")
+            .validates_email("email")
+            .before_validation("downcase_email", |rec| {
+                if let Some(e) = rec.get("email").as_text() {
+                    let lower = e.trim().to_lowercase();
+                    rec.set("email", lower);
+                }
+            })
+            .finish(),
+    )
+    .unwrap();
+    let mut s = app.session();
+    let rec = s
+        .create_strict("Account", &[("email", Datum::text("  Alice@Example.COM "))])
+        .unwrap();
+    assert_eq!(rec.get("email"), Datum::text("alice@example.com"));
+}
+
+#[test]
+fn callback_ordering_and_counts() {
+    let order: Arc<parking_lot::Mutex<Vec<&'static str>>> =
+        Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let app = App::in_memory();
+    let mk = |tag: &'static str, order: &Arc<parking_lot::Mutex<Vec<&'static str>>>| {
+        let order = order.clone();
+        move |_: &mut feral_orm::Record| order.lock().push(tag)
+    };
+    app.define(
+        ModelDef::build("Thing")
+            .string("name")
+            .callback(CallbackKind::BeforeValidation, "bv", mk("before_validation", &order))
+            .callback(CallbackKind::BeforeSave, "bs", mk("before_save", &order))
+            .callback(CallbackKind::AfterCreate, "ac", mk("after_create", &order))
+            .callback(CallbackKind::AfterSave, "as", mk("after_save", &order))
+            .callback(CallbackKind::BeforeDestroy, "bd", mk("before_destroy", &order))
+            .callback(CallbackKind::AfterDestroy, "ad", mk("after_destroy", &order))
+            .finish(),
+    )
+    .unwrap();
+    let mut s = app.session();
+    let mut rec = s.create_strict("Thing", &[("name", Datum::text("x"))]).unwrap();
+    assert_eq!(
+        *order.lock(),
+        vec!["before_validation", "before_save", "after_create", "after_save"]
+    );
+    order.lock().clear();
+    // update: no after_create
+    s.update_attributes(&mut rec, &[("name", Datum::text("y"))]).unwrap();
+    assert_eq!(*order.lock(), vec!["before_validation", "before_save", "after_save"]);
+    order.lock().clear();
+    s.destroy(&mut rec).unwrap();
+    assert_eq!(*order.lock(), vec!["before_destroy", "after_destroy"]);
+}
+
+#[test]
+fn callbacks_do_not_run_when_validation_fails() {
+    let saves = Arc::new(AtomicUsize::new(0));
+    let app = App::in_memory();
+    let saves2 = saves.clone();
+    app.define(
+        ModelDef::build("Strict")
+            .string("name")
+            .validates_presence_of("name")
+            .before_save("count", move |_| {
+                saves2.fetch_add(1, Ordering::SeqCst);
+            })
+            .finish(),
+    )
+    .unwrap();
+    let mut s = app.session();
+    let rec = s.create("Strict", &[]).unwrap();
+    assert!(!rec.is_persisted());
+    assert_eq!(saves.load(Ordering::SeqCst), 0);
+}
+
+// ---------------------------------------------------------------------
+// Counter caches
+// ---------------------------------------------------------------------
+
+fn blog() -> App {
+    let app = App::in_memory();
+    app.define(
+        ModelDef::build("Post")
+            .string("title")
+            .integer("comments_count")
+            .has_many_dependent("comments", Dependent::Destroy)
+            .finish(),
+    )
+    .unwrap();
+    app.define(
+        ModelDef::build("Comment")
+            .string("body")
+            .belongs_to_counted("post")
+            .finish(),
+    )
+    .unwrap();
+    app
+}
+
+#[test]
+fn counter_cache_tracks_creates_and_destroys() {
+    let app = blog();
+    let mut s = app.session();
+    let post = s
+        .create_strict("Post", &[("title", Datum::text("t")), ("comments_count", Datum::Int(0))])
+        .unwrap();
+    let pid = post.id().unwrap();
+    let mut comments = Vec::new();
+    for i in 0..3 {
+        comments.push(
+            s.create_strict(
+                "Comment",
+                &[("body", Datum::text(format!("c{i}"))), ("post_id", Datum::Int(pid))],
+            )
+            .unwrap(),
+        );
+    }
+    assert_eq!(
+        s.find("Post", pid).unwrap().get("comments_count"),
+        Datum::Int(3)
+    );
+    let mut c = comments.pop().unwrap();
+    s.destroy(&mut c).unwrap();
+    assert_eq!(
+        s.find("Post", pid).unwrap().get("comments_count"),
+        Datum::Int(2)
+    );
+}
+
+#[test]
+fn counter_cache_is_atomic_under_concurrency() {
+    // Rails emits UPDATE posts SET comments_count = comments_count + 1 —
+    // atomic, so concurrent comment creation must not lose increments.
+    let app = blog();
+    let mut s = app.session();
+    let post = s
+        .create_strict("Post", &[("title", Datum::text("t")), ("comments_count", Datum::Int(0))])
+        .unwrap();
+    let pid = post.id().unwrap();
+    let threads = 8;
+    let per_thread = 10;
+    let barrier = Arc::new(std::sync::Barrier::new(threads));
+    let mut handles = Vec::new();
+    for _ in 0..threads {
+        let app = app.clone();
+        let barrier = barrier.clone();
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            let mut s = app.session();
+            for i in 0..per_thread {
+                loop {
+                    match s.create(
+                        "Comment",
+                        &[("body", Datum::text(format!("c{i}"))), ("post_id", Datum::Int(pid))],
+                    ) {
+                        Ok(_) => break,
+                        Err(e) if e.is_retryable() => continue,
+                        Err(e) => panic!("unexpected {e}"),
+                    }
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(
+        s.find("Post", pid).unwrap().get("comments_count"),
+        Datum::Int((threads * per_thread) as i64)
+    );
+}
+
+#[test]
+fn counter_cache_drifts_when_delete_bypasses_callbacks() {
+    // the feral caveat: `delete` (no callbacks) leaves the counter stale
+    let app = blog();
+    let mut s = app.session();
+    let post = s
+        .create_strict("Post", &[("title", Datum::text("t")), ("comments_count", Datum::Int(0))])
+        .unwrap();
+    let pid = post.id().unwrap();
+    let mut c = s
+        .create_strict("Comment", &[("body", Datum::text("c")), ("post_id", Datum::Int(pid))])
+        .unwrap();
+    assert_eq!(s.find("Post", pid).unwrap().get("comments_count"), Datum::Int(1));
+    s.delete(&mut c).unwrap(); // bare DELETE: counter not maintained
+    assert_eq!(s.count("Comment").unwrap(), 0);
+    assert_eq!(
+        s.find("Post", pid).unwrap().get("comments_count"),
+        Datum::Int(1),
+        "the denormalized counter has drifted — the documented feral hazard"
+    );
+}
+
+#[test]
+fn counter_cache_missing_column_is_a_config_error() {
+    let app = App::in_memory();
+    app.define(ModelDef::build("Album").string("name").finish()).unwrap();
+    app.define(
+        ModelDef::build("Photo").belongs_to_counted("album").finish(),
+    )
+    .unwrap();
+    let mut s = app.session();
+    let album = s.create_strict("Album", &[("name", Datum::text("a"))]).unwrap();
+    let err = s
+        .create("Photo", &[("album_id", Datum::Int(album.id().unwrap()))])
+        .unwrap_err();
+    assert!(matches!(err, OrmError::Config(m) if m.contains("photos_count")));
+}
+
+// ---------------------------------------------------------------------
+// find_or_create_by
+// ---------------------------------------------------------------------
+
+#[test]
+fn find_or_create_by_sequential_semantics() {
+    let app = App::in_memory();
+    app.define(ModelDef::build("Tag").string("name").finish()).unwrap();
+    let mut s = app.session();
+    let a = s
+        .find_or_create_by("Tag", &[("name", Datum::text("rust"))])
+        .unwrap();
+    assert!(a.is_persisted());
+    let b = s
+        .find_or_create_by("Tag", &[("name", Datum::text("rust"))])
+        .unwrap();
+    assert_eq!(a.id(), b.id());
+    assert_eq!(s.count("Tag").unwrap(), 1);
+}
+
+#[test]
+fn find_or_create_by_races_without_a_unique_index() {
+    // "this method is prone to race conditions" — the Rails docs
+    let app = App::in_memory();
+    app.define(ModelDef::build("Tag").string("name").finish()).unwrap();
+    app.set_validation_write_delay(std::time::Duration::from_micros(500));
+    let threads = 8;
+    let barrier = Arc::new(std::sync::Barrier::new(threads));
+    let mut handles = Vec::new();
+    let mut raced = false;
+    for round in 0..30 {
+        let mut hs = Vec::new();
+        for _ in 0..threads {
+            let app = app.clone();
+            let barrier = barrier.clone();
+            let name = format!("tag-{round}");
+            hs.push(std::thread::spawn(move || {
+                barrier.wait();
+                let mut s = app.session();
+                s.find_or_create_by("Tag", &[("name", Datum::text(&name))])
+                    .unwrap();
+            }));
+        }
+        handles.extend(hs);
+        for h in handles.drain(..) {
+            h.join().unwrap();
+        }
+        let mut s = app.session();
+        let copies = s
+            .where_("Tag", &[("name", Datum::text(format!("tag-{round}")))])
+            .unwrap()
+            .len();
+        if copies > 1 {
+            raced = true;
+            break;
+        }
+    }
+    assert!(raced, "expected at least one duplicated find_or_create_by");
+}
+
+// ---------------------------------------------------------------------
+// requires_new transactions (savepoints)
+// ---------------------------------------------------------------------
+
+#[test]
+fn requires_new_rolls_back_only_the_inner_work() {
+    let app = App::in_memory();
+    app.define(ModelDef::build("Entry").string("name").finish()).unwrap();
+    let mut s = app.session();
+    s.transaction(|s| {
+        s.create_strict("Entry", &[("name", Datum::text("outer"))])?;
+        let inner: Result<(), OrmError> = s.transaction_requires_new(|s| {
+            s.create_strict("Entry", &[("name", Datum::text("inner"))])?;
+            Err(OrmError::Config("abort inner".into()))
+        });
+        assert!(inner.is_err());
+        // inner insert rolled back, outer still present
+        assert_eq!(s.count("Entry")?, 1);
+        s.create_strict("Entry", &[("name", Datum::text("outer2"))])?;
+        Ok(())
+    })
+    .unwrap();
+    let mut check = app.session();
+    let names: Vec<String> = check
+        .all("Entry")
+        .unwrap()
+        .iter()
+        .map(|r| r.get("name").as_text().unwrap().to_string())
+        .collect();
+    assert_eq!(names.len(), 2);
+    assert!(names.contains(&"outer".to_string()));
+    assert!(names.contains(&"outer2".to_string()));
+}
+
+#[test]
+fn requires_new_without_outer_transaction_is_plain() {
+    let app = App::in_memory();
+    app.define(ModelDef::build("Entry").string("name").finish()).unwrap();
+    let mut s = app.session();
+    let r: Result<(), OrmError> = s.transaction_requires_new(|s| {
+        s.create_strict("Entry", &[("name", Datum::text("x"))])?;
+        Err(OrmError::Config("abort".into()))
+    });
+    assert!(r.is_err());
+    assert_eq!(s.count("Entry").unwrap(), 0);
+}

@@ -1,0 +1,405 @@
+//! The survey pipeline: measure a corpus of (synthesized) applications
+//! and produce the datasets behind Table 1, Table 2/Figure 1, Figure 6,
+//! and Figure 7.
+
+use crate::ruby::{analyze_source, FileAnalysis, ParseOptions};
+use crate::synth::{ConstructKind, SyntheticApp};
+use std::collections::BTreeMap;
+
+/// Per-application survey row (the measured analogue of a Table 2 row).
+#[derive(Debug, Clone)]
+pub struct SurveyRow {
+    /// Application name.
+    pub name: String,
+    /// Measured model count.
+    pub models: usize,
+    /// Measured transaction uses.
+    pub transactions: usize,
+    /// Measured pessimistic lock uses.
+    pub pessimistic_locks: usize,
+    /// Measured optimistic lock uses.
+    pub optimistic_locks: usize,
+    /// Measured validation uses.
+    pub validations: usize,
+    /// Measured association uses.
+    pub associations: usize,
+}
+
+/// The full survey output.
+#[derive(Debug, Clone, Default)]
+pub struct Survey {
+    /// One row per application, corpus order.
+    pub rows: Vec<SurveyRow>,
+    /// Validation occurrences by canonical kind, corpus-wide.
+    pub validations_by_kind: BTreeMap<String, usize>,
+}
+
+impl Survey {
+    /// Sum a field over rows.
+    fn sum(&self, f: impl Fn(&SurveyRow) -> usize) -> usize {
+        self.rows.iter().map(f).sum()
+    }
+
+    /// Corpus-wide averages per application:
+    /// `(models, transactions, plocks, olocks, validations, associations)`.
+    pub fn averages(&self) -> (f64, f64, f64, f64, f64, f64) {
+        let n = self.rows.len().max(1) as f64;
+        (
+            self.sum(|r| r.models) as f64 / n,
+            self.sum(|r| r.transactions) as f64 / n,
+            self.sum(|r| r.pessimistic_locks) as f64 / n,
+            self.sum(|r| r.optimistic_locks) as f64 / n,
+            self.sum(|r| r.validations) as f64 / n,
+            self.sum(|r| r.associations) as f64 / n,
+        )
+    }
+
+    /// Per-model usage rates: `(transactions, locks, validations,
+    /// associations)` per model — the Figure 1 dotted lines.
+    pub fn per_model(&self) -> (f64, f64, f64, f64) {
+        let models = self.sum(|r| r.models).max(1) as f64;
+        (
+            self.sum(|r| r.transactions) as f64 / models,
+            self.sum(|r| r.pessimistic_locks + r.optimistic_locks) as f64 / models,
+            self.sum(|r| r.validations) as f64 / models,
+            self.sum(|r| r.associations) as f64 / models,
+        )
+    }
+
+    /// `(validations/transactions, associations/transactions)` — the
+    /// headline "13.6× and 24.2×" ratios.
+    pub fn feral_ratios(&self) -> (f64, f64) {
+        let t = self.sum(|r| r.transactions).max(1) as f64;
+        (
+            self.sum(|r| r.validations) as f64 / t,
+            self.sum(|r| r.associations) as f64 / t,
+        )
+    }
+
+    /// Fraction of applications using any transactions.
+    pub fn fraction_with_transactions(&self) -> f64 {
+        let n = self.rows.len().max(1) as f64;
+        self.rows.iter().filter(|r| r.transactions > 0).count() as f64 / n
+    }
+
+    /// Applications using any locks.
+    pub fn apps_with_locks(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.pessimistic_locks + r.optimistic_locks > 0)
+            .count()
+    }
+
+    /// Table 1 view: top-`k` validator kinds by occurrence, with the rest
+    /// folded into `Other` (custom validations reported separately).
+    pub fn table_one(&self, k: usize) -> (Vec<(String, usize)>, usize, usize) {
+        let mut builtin: Vec<(String, usize)> = self
+            .validations_by_kind
+            .iter()
+            .filter(|(name, _)| *name != "custom")
+            .map(|(n, c)| (n.clone(), *c))
+            .collect();
+        builtin.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let custom = self.validations_by_kind.get("custom").copied().unwrap_or(0);
+        let other: usize = builtin.iter().skip(k).map(|(_, c)| c).sum();
+        builtin.truncate(k);
+        (builtin, other, custom)
+    }
+}
+
+/// Analyze one application's rendered sources.
+pub fn analyze_app(sources: &[(String, String)], opts: &ParseOptions) -> FileAnalysis {
+    let mut out = FileAnalysis::default();
+    for (_, src) in sources {
+        out.absorb(analyze_source(src, opts));
+    }
+    out
+}
+
+/// Run the survey over a corpus at final state.
+pub fn survey(corpus: &[SyntheticApp]) -> Survey {
+    let opts = ParseOptions::default();
+    let mut out = Survey::default();
+    for app in corpus {
+        let analysis = analyze_app(&app.render(None), &opts);
+        for (kind, count) in analysis.validations_by_kind() {
+            *out.validations_by_kind.entry(kind).or_insert(0) += count;
+        }
+        out.rows.push(SurveyRow {
+            name: app.stats.name.to_string(),
+            models: analysis.models.len(),
+            transactions: analysis.transactions,
+            pessimistic_locks: analysis.pessimistic_locks,
+            optimistic_locks: analysis.optimistic_locks,
+            validations: analysis.validation_count(),
+            associations: analysis.association_count(),
+        });
+    }
+    out
+}
+
+/// One checkpoint of the longitudinal (Figure 6) analysis: the median,
+/// across applications, of each construct count normalized to its final
+/// value.
+#[derive(Debug, Clone, Copy)]
+pub struct HistoryPoint {
+    /// Checkpoint position as a fraction of commit history (0..=1).
+    pub commit_fraction: f64,
+    /// Median fraction of final models present.
+    pub models: f64,
+    /// Median fraction of final validations present.
+    pub validations: f64,
+    /// Median fraction of final associations present.
+    pub associations: f64,
+    /// Median fraction of final transactions present.
+    pub transactions: f64,
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_by(|a, b| a.total_cmp(b));
+    let mid = xs.len() / 2;
+    if xs.len().is_multiple_of(2) {
+        (xs[mid - 1] + xs[mid]) / 2.0
+    } else {
+        xs[mid]
+    }
+}
+
+/// The Figure 6 analysis: re-run the (real) analyzer at evenly spaced
+/// checkpoints through each application's commit history. Following the
+/// paper, an application is omitted from a construct's median when its
+/// final count of that construct is zero.
+pub fn history(corpus: &[SyntheticApp], checkpoints: usize) -> Vec<HistoryPoint> {
+    let opts = ParseOptions::default();
+    let mut out = Vec::with_capacity(checkpoints + 1);
+    // measure finals once
+    let finals: Vec<FileAnalysis> = corpus
+        .iter()
+        .map(|a| analyze_app(&a.render(None), &opts))
+        .collect();
+    for cp in 0..=checkpoints {
+        let frac = cp as f64 / checkpoints as f64;
+        let mut m = Vec::new();
+        let mut v = Vec::new();
+        let mut a = Vec::new();
+        let mut t = Vec::new();
+        for (app, fin) in corpus.iter().zip(finals.iter()) {
+            let limit = ((app.stats.commits.max(1) - 1) as f64 * frac) as u32;
+            let analysis = analyze_app(&app.render(Some(limit)), &opts);
+            let frac_of = |now: usize, end: usize, bucket: &mut Vec<f64>| {
+                if end > 0 {
+                    bucket.push(now as f64 / end as f64);
+                }
+            };
+            frac_of(analysis.models.len(), fin.models.len(), &mut m);
+            frac_of(analysis.validation_count(), fin.validation_count(), &mut v);
+            frac_of(analysis.association_count(), fin.association_count(), &mut a);
+            frac_of(analysis.transactions, fin.transactions, &mut t);
+        }
+        out.push(HistoryPoint {
+            commit_fraction: frac,
+            models: median(m),
+            validations: median(v),
+            associations: median(a),
+            transactions: median(t),
+        });
+    }
+    out
+}
+
+/// Authorship CDFs (Figure 7): for each application, sort authors by
+/// contribution (descending) and accumulate; return the *average* CDF
+/// sampled at `points` author-fractions, for commits and for invariants
+/// (validations + associations).
+#[derive(Debug, Clone)]
+pub struct AuthorshipCdf {
+    /// Sampled author fractions (x axis).
+    pub author_fraction: Vec<f64>,
+    /// Average cumulative fraction of commits authored.
+    pub commits: Vec<f64>,
+    /// Average cumulative fraction of invariants authored.
+    pub invariants: Vec<f64>,
+}
+
+impl AuthorshipCdf {
+    /// Smallest author fraction whose average CDF reaches `target`
+    /// (e.g. 0.95) for commits.
+    pub fn authors_for_commit_share(&self, target: f64) -> f64 {
+        Self::first_reaching(&self.author_fraction, &self.commits, target)
+    }
+
+    /// Smallest author fraction whose average CDF reaches `target` for
+    /// invariants.
+    pub fn authors_for_invariant_share(&self, target: f64) -> f64 {
+        Self::first_reaching(&self.author_fraction, &self.invariants, target)
+    }
+
+    fn first_reaching(xs: &[f64], ys: &[f64], target: f64) -> f64 {
+        for (x, y) in xs.iter().zip(ys.iter()) {
+            if *y >= target {
+                return *x;
+            }
+        }
+        1.0
+    }
+}
+
+/// Compute per-app author-contribution CDF values at `points` samples and
+/// average across apps.
+pub fn authorship(corpus: &[SyntheticApp], points: usize) -> AuthorshipCdf {
+    let xs: Vec<f64> = (0..=points).map(|i| i as f64 / points as f64).collect();
+    let mut commit_sum = vec![0.0; xs.len()];
+    let mut inv_sum = vec![0.0; xs.len()];
+    let mut n_apps = 0.0;
+    for app in corpus {
+        let authors = app.stats.authors.max(1) as usize;
+        // commit counts per author
+        let mut commit_counts = vec![0usize; authors];
+        for &a in &app.commit_authors {
+            commit_counts[a as usize] += 1;
+        }
+        // invariant counts per author
+        let mut inv_counts = vec![0usize; authors];
+        for c in &app.constructs {
+            if matches!(
+                c.kind,
+                ConstructKind::Validation(_) | ConstructKind::Association(_)
+            ) {
+                inv_counts[c.author as usize] += 1;
+            }
+        }
+        let cdf_at = |counts: &mut Vec<usize>, frac: f64| -> f64 {
+            counts.sort_unstable_by(|a, b| b.cmp(a));
+            let total: usize = counts.iter().sum();
+            if total == 0 {
+                return 1.0;
+            }
+            let k = ((authors as f64) * frac).round() as usize;
+            let head: usize = counts.iter().take(k).sum();
+            head as f64 / total as f64
+        };
+        let mut cc = commit_counts.clone();
+        let mut ic = inv_counts.clone();
+        for (i, &x) in xs.iter().enumerate() {
+            commit_sum[i] += cdf_at(&mut cc, x);
+            inv_sum[i] += cdf_at(&mut ic, x);
+        }
+        n_apps += 1.0;
+    }
+    AuthorshipCdf {
+        author_fraction: xs,
+        commits: commit_sum.into_iter().map(|s| s / n_apps).collect(),
+        invariants: inv_sum.into_iter().map(|s| s / n_apps).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::synthesize_corpus;
+    use crate::table2;
+
+    fn corpus() -> Vec<SyntheticApp> {
+        synthesize_corpus(2015)
+    }
+
+    #[test]
+    fn survey_reproduces_table_two_totals_exactly() {
+        let s = survey(&corpus());
+        let t = table2::totals();
+        assert_eq!(s.sum(|r| r.models) as u32, t.models);
+        assert_eq!(s.sum(|r| r.validations) as u32, t.validations);
+        assert_eq!(s.sum(|r| r.associations) as u32, t.associations);
+        assert_eq!(s.sum(|r| r.transactions) as u32, t.transactions);
+        assert_eq!(
+            s.sum(|r| r.pessimistic_locks) as u32,
+            t.pessimistic_locks
+        );
+        assert_eq!(s.sum(|r| r.optimistic_locks) as u32, t.optimistic_locks);
+    }
+
+    #[test]
+    fn survey_reproduces_headline_ratios() {
+        let s = survey(&corpus());
+        let (v_ratio, a_ratio) = s.feral_ratios();
+        assert!((v_ratio - 13.6).abs() < 0.1);
+        assert!((a_ratio - 24.2).abs() < 0.1);
+        assert!((s.fraction_with_transactions() - 0.687).abs() < 0.01);
+        assert_eq!(s.apps_with_locks(), 6);
+    }
+
+    #[test]
+    fn survey_reproduces_table_one_counts_exactly() {
+        let s = survey(&corpus());
+        let (top, other, custom) = s.table_one(10);
+        // the exact Table 1 counts flow through synthesis + analysis
+        let expect: Vec<(&str, usize)> = vec![
+            ("validates_presence_of", 1762),
+            ("validates_uniqueness_of", 440),
+            ("validates_length_of", 438),
+            ("validates_inclusion_of", 201),
+            ("validates_numericality_of", 133),
+            ("validates_format_of", 150), // "Other" constituent
+            ("validates_exclusion_of", 100),
+            ("validates_acceptance_of", 71),
+            ("validates_associated", 39),
+            ("validates_email", 34),
+        ];
+        for (name, count) in expect.iter().take(5) {
+            let got = top
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, c)| *c)
+                .unwrap_or(0);
+            assert_eq!(got, *count, "{name}");
+        }
+        assert_eq!(custom, 60);
+        let total: usize = top.iter().map(|(_, c)| c).sum::<usize>() + other + custom;
+        assert_eq!(total, 3505);
+    }
+
+    #[test]
+    fn history_shows_models_leading_cc_constructs() {
+        let c: Vec<SyntheticApp> = corpus().into_iter().take(12).collect();
+        let h = history(&c, 5);
+        assert_eq!(h.len(), 6);
+        // start empty-ish, end complete
+        let last = h.last().unwrap();
+        assert!((last.models - 1.0).abs() < 1e-9);
+        assert!((last.validations - 1.0).abs() < 1e-9);
+        // at 40% of history, models are further along than validations
+        let early = &h[2];
+        assert!(
+            early.models > early.validations,
+            "models {:.2} should lead validations {:.2}",
+            early.models,
+            early.validations
+        );
+        assert!(early.models > early.transactions);
+    }
+
+    #[test]
+    fn authorship_invariants_more_concentrated_than_commits() {
+        let c = corpus();
+        let cdf = authorship(&c, 40);
+        let commit_authors_95 = cdf.authors_for_commit_share(0.95);
+        let invariant_authors_95 = cdf.authors_for_invariant_share(0.95);
+        // Figure 7: 95% of commits by ~42.4% of authors; 95% of
+        // invariants by ~20.3%
+        assert!(
+            invariant_authors_95 < commit_authors_95,
+            "invariants ({invariant_authors_95:.2}) should need fewer authors than commits ({commit_authors_95:.2})"
+        );
+        assert!(
+            (0.25..0.65).contains(&commit_authors_95),
+            "commit 95% share at {commit_authors_95:.2} authors"
+        );
+        assert!(
+            (0.08..0.40).contains(&invariant_authors_95),
+            "invariant 95% share at {invariant_authors_95:.2} authors"
+        );
+    }
+}

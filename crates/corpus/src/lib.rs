@@ -1,0 +1,44 @@
+//! # feral-corpus
+//!
+//! The paper's empirical-survey pipeline (Sections 3, Appendix A), fully
+//! executable offline:
+//!
+//! * [`table2`] — the 67-application ground truth, embedded from the
+//!   paper's Table 2;
+//! * [`synth`] — a corpus synthesizer that regenerates the applications
+//!   as Ruby source with commit histories and authorship matching the
+//!   published distributions (the offline substitution for cloning the
+//!   GitHub repositories — see DESIGN.md);
+//! * [`ruby`] — a syntactic static analyzer for the ActiveRecord Ruby
+//!   subset (the paper's Appendix A methodology);
+//! * [`analyze`] — the survey, longitudinal (Figure 6), and authorship
+//!   (Figure 7) analyses over parsed corpora.
+
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod ruby;
+pub mod synth;
+pub mod table2;
+
+pub use analyze::{authorship, history, survey, AuthorshipCdf, HistoryPoint, Survey, SurveyRow};
+pub use ruby::{analyze_source, FileAnalysis, ParseOptions};
+pub use synth::{synthesize_corpus, Construct, ConstructKind, SyntheticApp};
+pub use table2::{totals, AppStats, CorpusTotals, TABLE_TWO};
+
+/// Minimal `CamelCase` → `snake_case` (for generated file/association
+/// names; the full inflector lives in `feral-orm`).
+pub(crate) fn underscore(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}

@@ -1,0 +1,765 @@
+//! A syntactic static analyzer for the Ruby subset that expresses
+//! ActiveRecord models — the methodology of the paper's Appendix A
+//! ("a very rudimentary syntactic static analysis ... the syntactic
+//! approach proved portable between the many versions of Rails").
+//!
+//! The analyzer tokenizes line by line (skipping comments, strings, and
+//! regex literals), tracks `class ... end` nesting, and counts:
+//!
+//! * model declarations (`class X < ActiveRecord::Base`, including
+//!   project-specific base classes — the "esoteric syntaxes" escape
+//!   hatch Appendix A mentions);
+//! * validation declarations, both legacy (`validates_presence_of :a,
+//!   :b`) and modern (`validates :a, presence: true, uniqueness: true`),
+//!   plus user-defined validations (`validates_each`, `validate :sym`);
+//! * association declarations (`belongs_to`/`has_one`/`has_many`/HABTM,
+//!   with `:dependent` and `:through` options);
+//! * transaction blocks, pessimistic locks (`lock!`, `with_lock`), and
+//!   optimistic locking (`lock_version`).
+
+use std::collections::BTreeMap;
+
+/// One token of the Ruby subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    /// Bare identifier or keyword (`validates_presence_of`, `do`, `end`).
+    Ident(String),
+    /// Symbol literal (`:name`).
+    Sym(String),
+    /// Hash key shorthand (`presence:`).
+    Key(String),
+    /// Constant (`ActiveRecord`, `Base`), with `::` folded in.
+    Const(String),
+    /// `=>`.
+    Arrow,
+    /// `<`.
+    Lt,
+    /// Any other punctuation.
+    Punct(char),
+}
+
+/// Tokenize one line, skipping comments, strings, and regex-ish literals.
+fn tokenize(line: &str) -> Vec<Tok> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '#' => break, // comment to EOL
+            '\'' | '"' => {
+                // skip string literal
+                let quote = c;
+                i += 1;
+                while i < chars.len() {
+                    if chars[i] == '\\' {
+                        i += 2;
+                        continue;
+                    }
+                    if chars[i] == quote {
+                        break;
+                    }
+                    i += 1;
+                }
+                i += 1;
+            }
+            '/' => {
+                // treat as a regex literal when in value position (after
+                // `:`-key, comma, arrow, or open bracket); else skip char
+                let value_pos = matches!(
+                    out.last(),
+                    Some(Tok::Key(_)) | Some(Tok::Arrow) | Some(Tok::Punct(',' | '(' | '{' | '['))
+                );
+                if value_pos {
+                    i += 1;
+                    while i < chars.len() {
+                        if chars[i] == '\\' {
+                            i += 2;
+                            continue;
+                        }
+                        if chars[i] == '/' {
+                            break;
+                        }
+                        i += 1;
+                    }
+                }
+                i += 1;
+            }
+            ':' => {
+                if chars.get(i + 1) == Some(&':') {
+                    // `::` — handled when reading constants; skip
+                    i += 2;
+                } else if chars
+                    .get(i + 1)
+                    .is_some_and(|c| c.is_alphanumeric() || *c == '_')
+                {
+                    // symbol
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < chars.len()
+                        && (chars[j].is_alphanumeric() || chars[j] == '_' || chars[j] == '?')
+                    {
+                        j += 1;
+                    }
+                    out.push(Tok::Sym(chars[start..j].iter().collect()));
+                    i = j;
+                } else {
+                    i += 1;
+                }
+            }
+            '=' => {
+                if chars.get(i + 1) == Some(&'>') {
+                    out.push(Tok::Arrow);
+                    i += 2;
+                } else {
+                    out.push(Tok::Punct('='));
+                    i += 1;
+                }
+            }
+            '<' => {
+                out.push(Tok::Lt);
+                i += 1;
+            }
+            c if c.is_ascii_uppercase() => {
+                // constant path: Foo::Bar::Baz
+                let start = i;
+                let mut j = i;
+                while j < chars.len()
+                    && (chars[j].is_alphanumeric()
+                        || chars[j] == '_'
+                        || (chars[j] == ':' && chars.get(j + 1) == Some(&':')))
+                {
+                    if chars[j] == ':' {
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                out.push(Tok::Const(chars[start..j].iter().collect()));
+                i = j;
+            }
+            c if c.is_ascii_lowercase() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < chars.len()
+                    && (chars[j].is_alphanumeric()
+                        || chars[j] == '_'
+                        || chars[j] == '!'
+                        || chars[j] == '?')
+                {
+                    j += 1;
+                }
+                let word: String = chars[start..j].iter().collect();
+                // hash key shorthand `presence:` (but not `::`)
+                if chars.get(j) == Some(&':') && chars.get(j + 1) != Some(&':') {
+                    out.push(Tok::Key(word));
+                    j += 1;
+                } else {
+                    out.push(Tok::Ident(word));
+                }
+                i = j;
+            }
+            c if c.is_whitespace() => i += 1,
+            other => {
+                out.push(Tok::Punct(other));
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Legacy `validates_*_of`-style helper names (plus gem-provided ones
+/// found in the corpus).
+const LEGACY_VALIDATORS: &[&str] = &[
+    "validates_presence_of",
+    "validates_uniqueness_of",
+    "validates_length_of",
+    "validates_size_of",
+    "validates_inclusion_of",
+    "validates_exclusion_of",
+    "validates_numericality_of",
+    "validates_format_of",
+    "validates_confirmation_of",
+    "validates_acceptance_of",
+    "validates_associated",
+    "validates_email",
+    "validates_email_format_of",
+    "validates_attachment_content_type",
+    "validates_attachment_size",
+    "validates_attachment_presence",
+];
+
+/// Map a modern `validates :f, <key>: ...` option key to its canonical
+/// validator name.
+fn key_to_validator(key: &str) -> Option<&'static str> {
+    Some(match key {
+        "presence" => "validates_presence_of",
+        "uniqueness" => "validates_uniqueness_of",
+        "length" | "size" => "validates_length_of",
+        "inclusion" => "validates_inclusion_of",
+        "exclusion" => "validates_exclusion_of",
+        "numericality" => "validates_numericality_of",
+        "format" => "validates_format_of",
+        "confirmation" => "validates_confirmation_of",
+        "acceptance" => "validates_acceptance_of",
+        "associated" => "validates_associated",
+        "email" => "validates_email",
+        _ => return None,
+    })
+}
+
+/// Canonicalize gem aliases onto the paper's Table 1 names.
+fn canonical(name: &str) -> String {
+    match name {
+        "validates_size_of" => "validates_length_of".into(),
+        "validates_email_format_of" => "validates_email".into(),
+        other => other.into(),
+    }
+}
+
+/// One counted validation use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationUse {
+    /// Canonical validator name (`validates_presence_of`, ... or
+    /// `custom`).
+    pub kind: String,
+    /// Validated field (empty for block-based customs).
+    pub field: String,
+    /// Whether this is a user-defined validation.
+    pub custom: bool,
+}
+
+/// One counted association use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssociationUse {
+    /// `belongs_to` / `has_one` / `has_many` /
+    /// `has_and_belongs_to_many`.
+    pub kind: String,
+    /// Association name.
+    pub name: String,
+    /// `:dependent` option, if declared (`destroy`, `delete_all`, ...).
+    pub dependent: Option<String>,
+    /// Whether `:through` was declared.
+    pub through: bool,
+}
+
+/// A parsed Active Record model.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedModel {
+    /// Class name.
+    pub name: String,
+    /// Validation uses, in declaration order.
+    pub validations: Vec<ValidationUse>,
+    /// Association uses, in declaration order.
+    pub associations: Vec<AssociationUse>,
+}
+
+/// Analysis results for one source file (or one application's
+/// concatenated sources).
+#[derive(Debug, Clone, Default)]
+pub struct FileAnalysis {
+    /// Models declared.
+    pub models: Vec<ParsedModel>,
+    /// Transaction-block uses.
+    pub transactions: usize,
+    /// Pessimistic lock uses (`lock!`, `with_lock`).
+    pub pessimistic_locks: usize,
+    /// Optimistic lock uses (`lock_version` occurrences).
+    pub optimistic_locks: usize,
+}
+
+impl FileAnalysis {
+    /// Total validation uses across models.
+    pub fn validation_count(&self) -> usize {
+        self.models.iter().map(|m| m.validations.len()).sum()
+    }
+
+    /// Total association uses across models.
+    pub fn association_count(&self) -> usize {
+        self.models.iter().map(|m| m.associations.len()).sum()
+    }
+
+    /// Validation counts grouped by canonical kind.
+    pub fn validations_by_kind(&self) -> BTreeMap<String, usize> {
+        let mut out = BTreeMap::new();
+        for m in &self.models {
+            for v in &m.validations {
+                *out.entry(v.kind.clone()).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+
+    /// Merge another analysis into this one (multi-file applications).
+    pub fn absorb(&mut self, other: FileAnalysis) {
+        self.models.extend(other.models);
+        self.transactions += other.transactions;
+        self.pessimistic_locks += other.pessimistic_locks;
+        self.optimistic_locks += other.optimistic_locks;
+    }
+}
+
+/// Analyzer options.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct ParseOptions {
+    /// Base classes whose subclasses count as models (beyond
+    /// `ActiveRecord::Base` / `ApplicationRecord`) — the Appendix A
+    /// "custom logic to handle esoteric syntaxes" hook.
+    pub extra_base_classes: Vec<String>,
+}
+
+
+fn is_model_base(konst: &str, opts: &ParseOptions) -> bool {
+    konst == "ActiveRecord::Base"
+        || konst == "ApplicationRecord"
+        || konst.ends_with("::Base") && konst.starts_with("ActiveRecord")
+        || opts.extra_base_classes.iter().any(|b| b == konst)
+}
+
+/// Keywords that open a nesting level when they lead a line.
+const LEADING_OPENERS: &[&str] = &[
+    "class", "module", "def", "if", "unless", "case", "while", "until", "begin",
+];
+
+/// Analyze one Ruby source file.
+pub fn analyze_source(src: &str, opts: &ParseOptions) -> FileAnalysis {
+    let mut out = FileAnalysis::default();
+    // stack of (depth_at_open, model_index) for open model classes
+    let mut depth: i32 = 0;
+    let mut model_stack: Vec<(i32, usize)> = Vec::new();
+
+    for line in src.lines() {
+        let toks = tokenize(line);
+        if toks.is_empty() {
+            continue;
+        }
+        // --- nesting bookkeeping --------------------------------------
+        let mut opens = 0i32;
+        let mut closes = 0i32;
+        if let Some(Tok::Ident(first)) = toks.first() {
+            if LEADING_OPENERS.contains(&first.as_str()) {
+                opens += 1;
+            }
+        }
+        for t in &toks {
+            match t {
+                Tok::Ident(w) if w == "do" => opens += 1,
+                Tok::Ident(w) if w == "end" => closes += 1,
+                _ => {}
+            }
+        }
+
+        // --- model declaration ------------------------------------------
+        if let (Some(Tok::Ident(kw)), Some(Tok::Const(name))) = (toks.first(), toks.get(1)) {
+            if kw == "class" {
+                if let (Some(Tok::Lt), Some(Tok::Const(base))) = (toks.get(2), toks.get(3)) {
+                    if is_model_base(base, opts) {
+                        out.models.push(ParsedModel {
+                            name: name.clone(),
+                            ..Default::default()
+                        });
+                        model_stack.push((depth, out.models.len() - 1));
+                    }
+                }
+            }
+        }
+
+        // --- constructs ---------------------------------------------------
+        let current_model = model_stack.last().map(|&(_, i)| i);
+        if let Some(mi) = current_model {
+            scan_model_line(&toks, &mut out.models[mi]);
+        }
+        scan_cc_line(&toks, &mut out);
+
+        // --- close scopes ------------------------------------------------
+        depth += opens - closes;
+        while let Some(&(open_depth, _)) = model_stack.last() {
+            if depth <= open_depth {
+                model_stack.pop();
+            } else {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Scan a line inside a model body for validation/association
+/// declarations.
+fn scan_model_line(toks: &[Tok], model: &mut ParsedModel) {
+    let Some(Tok::Ident(head)) = toks.first() else {
+        return;
+    };
+    let symbols: Vec<&str> = toks
+        .iter()
+        .filter_map(|t| match t {
+            Tok::Sym(s) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect();
+    let keys: Vec<&str> = toks
+        .iter()
+        .filter_map(|t| match t {
+            Tok::Key(k) => Some(k.as_str()),
+            _ => None,
+        })
+        .collect();
+
+    match head.as_str() {
+        // associations -----------------------------------------------------
+        "belongs_to" | "has_one" | "has_many" | "has_and_belongs_to_many" => {
+            let name = symbols.first().copied().unwrap_or("").to_string();
+            let dependent = find_option_value(toks, "dependent");
+            let through = keys.contains(&"through") || find_option_value(toks, "through").is_some();
+            model.associations.push(AssociationUse {
+                kind: head.clone(),
+                name,
+                dependent,
+                through,
+            });
+        }
+        // legacy validators --------------------------------------------------
+        h if LEGACY_VALIDATORS.contains(&h) => {
+            // one validation per field symbol (skipping option symbols,
+            // which appear after the first Key/Arrow)
+            let fields = leading_field_symbols(toks);
+            let n = fields.len().max(1);
+            for i in 0..n {
+                model.validations.push(ValidationUse {
+                    kind: canonical(h),
+                    field: fields.get(i).copied().unwrap_or("").to_string(),
+                    custom: false,
+                });
+            }
+        }
+        // modern `validates :f, presence: true, uniqueness: true` -----------
+        "validates" => {
+            let fields = leading_field_symbols(toks);
+            let mut kinds: Vec<&'static str> = Vec::new();
+            for k in &keys {
+                if let Some(v) = key_to_validator(k) {
+                    kinds.push(v);
+                }
+            }
+            // hash-rocket form: `:presence => true`
+            for (i, t) in toks.iter().enumerate() {
+                if let (Tok::Sym(s), Some(Tok::Arrow)) = (t, toks.get(i + 1)) {
+                    if let Some(v) = key_to_validator(s) {
+                        kinds.push(v);
+                    }
+                }
+            }
+            if kinds.is_empty() {
+                return;
+            }
+            let field_count = fields.len().max(1);
+            for f in 0..field_count {
+                for kind in &kinds {
+                    model.validations.push(ValidationUse {
+                        kind: canonical(kind),
+                        field: fields.get(f).copied().unwrap_or("").to_string(),
+                        custom: false,
+                    });
+                }
+            }
+        }
+        // user-defined validations -----------------------------------------
+        "validates_each" => {
+            let fields = leading_field_symbols(toks);
+            let n = fields.len().max(1);
+            for i in 0..n {
+                model.validations.push(ValidationUse {
+                    kind: "custom".into(),
+                    field: fields.get(i).copied().unwrap_or("").to_string(),
+                    custom: true,
+                });
+            }
+        }
+        "validate" => {
+            for s in &symbols {
+                model.validations.push(ValidationUse {
+                    kind: "custom".into(),
+                    field: (*s).to_string(),
+                    custom: true,
+                });
+            }
+        }
+        // `validates_with SomeValidator`
+        "validates_with" => {
+            model.validations.push(ValidationUse {
+                kind: "custom".into(),
+                field: String::new(),
+                custom: true,
+            });
+        }
+        _ => {}
+    }
+}
+
+/// Field symbols before the first option key (`validates :a, :b,
+/// presence: true` → `[a, b]`).
+fn leading_field_symbols(toks: &[Tok]) -> Vec<&str> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate().skip(1) {
+        match t {
+            Tok::Sym(s) => {
+                // a symbol followed by `=>` is an option, not a field
+                if matches!(toks.get(i + 1), Some(Tok::Arrow)) {
+                    break;
+                }
+                out.push(s.as_str());
+            }
+            Tok::Key(_) => break,
+            Tok::Punct(',') => {}
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Find `key: :value` / `:key => :value` option values on a line.
+fn find_option_value(toks: &[Tok], key: &str) -> Option<String> {
+    for (i, t) in toks.iter().enumerate() {
+        let matched = match t {
+            Tok::Key(k) => k == key,
+            Tok::Sym(s) => s == key && matches!(toks.get(i + 1), Some(Tok::Arrow)),
+            _ => false,
+        };
+        if matched {
+            for next in toks.iter().skip(i + 1) {
+                if let Tok::Sym(v) = next {
+                    return Some(v.clone());
+                }
+                if matches!(next, Tok::Punct(',')) {
+                    break;
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Scan any line for concurrency-control constructs (transactions,
+/// locks) — these appear in models and controllers alike.
+fn scan_cc_line(toks: &[Tok], out: &mut FileAnalysis) {
+    for (i, t) in toks.iter().enumerate() {
+        if let Tok::Ident(w) = t {
+            match w.as_str() {
+                "transaction" => {
+                    // `transaction do`, `Model.transaction do`, or
+                    // `transaction(isolation: ...) do`
+                    let has_do = toks
+                        .iter()
+                        .skip(i + 1)
+                        .any(|t| matches!(t, Tok::Ident(w) if w == "do"));
+                    if has_do {
+                        out.transactions += 1;
+                    }
+                }
+                "lock!" | "with_lock" => out.pessimistic_locks += 1,
+                "lock_version" => out.optimistic_locks += 1,
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze(src: &str) -> FileAnalysis {
+        analyze_source(src, &ParseOptions::default())
+    }
+
+    #[test]
+    fn detects_models_and_ignores_plain_classes() {
+        let src = r#"
+class User < ActiveRecord::Base
+end
+class Helper
+end
+class Post < ApplicationRecord
+end
+"#;
+        let a = analyze(src);
+        let names: Vec<&str> = a.models.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["User", "Post"]);
+    }
+
+    #[test]
+    fn legacy_validators_count_per_field() {
+        let src = r#"
+class User < ActiveRecord::Base
+  validates_presence_of :name, :email
+  validates_uniqueness_of :email, :scope => :site_id
+  validates_length_of :bio, :maximum => 500
+end
+"#;
+        let a = analyze(src);
+        let by_kind = a.validations_by_kind();
+        assert_eq!(by_kind["validates_presence_of"], 2);
+        assert_eq!(by_kind["validates_uniqueness_of"], 1);
+        assert_eq!(by_kind["validates_length_of"], 1);
+        // :scope and :maximum option symbols are not fields
+        assert_eq!(a.validation_count(), 4);
+    }
+
+    #[test]
+    fn modern_validates_counts_field_times_option() {
+        let src = r#"
+class User < ActiveRecord::Base
+  validates :name, presence: true, uniqueness: true
+  validates :email, :presence => true
+  validates :a, :b, length: { maximum: 10 }
+end
+"#;
+        let a = analyze(src);
+        let by_kind = a.validations_by_kind();
+        assert_eq!(by_kind["validates_presence_of"], 2);
+        assert_eq!(by_kind["validates_uniqueness_of"], 1);
+        assert_eq!(by_kind["validates_length_of"], 2);
+    }
+
+    #[test]
+    fn custom_validations_are_flagged() {
+        let src = r#"
+class Post < ActiveRecord::Base
+  validate :ensure_no_spam
+  validates_each :karma do |record, attr, value|
+    record.errors.add attr if value < 0
+  end
+  validates_with AvailabilityValidator
+end
+"#;
+        let a = analyze(src);
+        assert_eq!(a.validation_count(), 3);
+        assert!(a.models[0].validations.iter().all(|v| v.custom));
+    }
+
+    #[test]
+    fn associations_with_options() {
+        let src = r#"
+class Department < ActiveRecord::Base
+  has_many :users, :dependent => :destroy
+  has_many :managers, through: :positions
+  has_one :budget, dependent: :nullify
+  belongs_to :company
+end
+"#;
+        let a = analyze(src);
+        let m = &a.models[0];
+        assert_eq!(m.associations.len(), 4);
+        assert_eq!(m.associations[0].dependent.as_deref(), Some("destroy"));
+        assert!(m.associations[1].through);
+        assert_eq!(m.associations[2].dependent.as_deref(), Some("nullify"));
+        assert_eq!(m.associations[3].kind, "belongs_to");
+    }
+
+    #[test]
+    fn transactions_and_locks_counted_everywhere() {
+        let src = r#"
+class OrdersController
+  def cancel
+    Order.transaction do
+      order.lock!
+      order.update(state: 'canceled')
+    end
+  end
+  def adjust
+    item.with_lock do
+      item.save!
+    end
+  end
+end
+class Order < ActiveRecord::Base
+  # lock_version enables optimistic locking
+  def bump
+    self.lock_version
+  end
+end
+"#;
+        let a = analyze(src);
+        assert_eq!(a.transactions, 1);
+        assert_eq!(a.pessimistic_locks, 2);
+        assert_eq!(a.optimistic_locks, 1);
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_count() {
+        let src = r#"
+class User < ActiveRecord::Base
+  # validates_presence_of :name
+  DESCRIPTION = "use validates_uniqueness_of :email here"
+  validates_presence_of :real
+end
+"#;
+        let a = analyze(src);
+        assert_eq!(a.validation_count(), 1);
+        assert_eq!(a.models[0].validations[0].field, "real");
+    }
+
+    #[test]
+    fn nested_classes_attribute_constructs_correctly() {
+        let src = r#"
+class Outer < ActiveRecord::Base
+  validates_presence_of :a
+  class Inner
+    def helper
+      nil
+    end
+  end
+  validates_presence_of :b
+end
+validates_presence_of :not_in_a_model
+"#;
+        let a = analyze(src);
+        assert_eq!(a.models.len(), 1);
+        assert_eq!(a.models[0].validations.len(), 2);
+    }
+
+    #[test]
+    fn extra_base_classes_option() {
+        let src = "class Widget < Spree::Base\n  validates_presence_of :name\nend\n";
+        let none = analyze_source(src, &ParseOptions::default());
+        assert!(none.models.is_empty());
+        let opts = ParseOptions {
+            extra_base_classes: vec!["Spree::Base".into()],
+        };
+        let some = analyze_source(src, &opts);
+        assert_eq!(some.models.len(), 1);
+        assert_eq!(some.validation_count(), 1);
+    }
+
+    #[test]
+    fn regex_literals_in_format_validations_do_not_confuse_the_lexer() {
+        let src = r#"
+class User < ActiveRecord::Base
+  validates :email, format: { with: /\A[^@\s]+@[^@\s]+\z/ }
+  validates_format_of :zip, :with => /\A\d{5}\z/
+end
+"#;
+        let a = analyze(src);
+        assert_eq!(a.validations_by_kind()["validates_format_of"], 2);
+    }
+
+    #[test]
+    fn gem_aliases_canonicalize() {
+        let src = r#"
+class Photo < ActiveRecord::Base
+  validates_email_format_of :contact
+  validates_size_of :caption, :maximum => 50
+  validates_attachment_content_type :image, :content_type => ['image/png']
+  validates_attachment_size :image, :less_than => 1000
+end
+"#;
+        let a = analyze(src);
+        let by_kind = a.validations_by_kind();
+        assert_eq!(by_kind["validates_email"], 1);
+        assert_eq!(by_kind["validates_length_of"], 1);
+        assert_eq!(by_kind["validates_attachment_content_type"], 1);
+        assert_eq!(by_kind["validates_attachment_size"], 1);
+    }
+}

@@ -1,0 +1,517 @@
+//! Corpus synthesizer: regenerate 67 Rails applications *as Ruby source
+//! with commit histories* from the paper's published ground truth.
+//!
+//! GitHub is unavailable offline, but Table 2 publishes every
+//! per-application count the survey measured, Table 1 publishes the
+//! validator-kind distribution, and Figures 6/7 publish the temporal and
+//! authorship distributions. The synthesizer inverts those statistics
+//! into concrete Ruby sources; the analyzer (`crate::ruby`) then measures
+//! them back, exercising the full survey pipeline end to end.
+//!
+//! The validator-kind allocation is exact: the global multiset of
+//! validation kinds equals Table 1 (1762 `presence`, 440 `uniqueness`,
+//! ..., 321 "other", 60 user-defined = 3505 total), shuffled across
+//! applications with a seeded RNG.
+
+use crate::table2::{AppStats, TABLE_TWO};
+use feral_iconfluence::TABLE_ONE;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// A synthesizable construct, tagged with its commit position and author.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstructKind {
+    /// A model class declaration.
+    Model,
+    /// A validation of the given canonical kind (`custom` for UDFs).
+    Validation(String),
+    /// An association of the given kind.
+    Association(&'static str),
+    /// A transaction block (rendered in controller code).
+    Transaction,
+    /// A pessimistic lock call.
+    PessimisticLock,
+    /// An optimistic-locking (`lock_version`) use.
+    OptimisticLock,
+}
+
+/// One construct in an application's history.
+#[derive(Debug, Clone)]
+pub struct Construct {
+    /// What it is.
+    pub kind: ConstructKind,
+    /// Which model it belongs to (validations/associations attach to
+    /// models; CC constructs use it to pick a controller).
+    pub model: usize,
+    /// Commit index at which it was introduced (0-based).
+    pub commit: u32,
+    /// Author index (0-based, within the app's author pool).
+    pub author: u32,
+}
+
+/// A synthesized application.
+#[derive(Debug, Clone)]
+pub struct SyntheticApp {
+    /// The ground-truth row this app was generated from.
+    pub stats: AppStats,
+    /// Model class names.
+    pub model_names: Vec<String>,
+    /// All constructs with commit/author metadata.
+    pub constructs: Vec<Construct>,
+    /// Author of each commit (for the Figure 7 commit CDF).
+    pub commit_authors: Vec<u32>,
+}
+
+const FIELD_POOL: &[&str] = &[
+    "name", "title", "email", "login", "body", "state", "position", "amount", "quantity",
+    "price", "slug", "token", "description", "kind", "status", "url", "phone", "zip",
+    "score", "count_on_hand", "permalink", "locale", "summary", "rating", "code",
+];
+
+const MODEL_WORDS: &[&str] = &[
+    "User", "Post", "Comment", "Order", "Product", "Item", "Category", "Tag", "Page",
+    "Project", "Task", "Ticket", "Invoice", "Payment", "Shipment", "Account", "Group",
+    "Member", "Event", "Asset", "Image", "Document", "Message", "Topic", "Forum",
+    "Review", "Address", "Profile", "Role", "Setting", "Store", "Variant", "Stock",
+    "Session", "Report", "Badge", "Vote", "Entry", "Feed", "Channel",
+];
+
+/// Mapping of Table 1's "Other" bucket onto concrete renderable
+/// validators (format-ish checks, per §4.2's description of the long
+/// tail).
+const OTHER_KINDS: &[(&str, u32)] = &[
+    ("validates_format_of", 150),
+    ("validates_exclusion_of", 100),
+    ("validates_acceptance_of", 71),
+];
+
+/// Number of user-defined validations in the corpus (§4.3).
+pub const CUSTOM_VALIDATIONS: u32 = 60;
+
+/// Build the exact global multiset of validation kinds (3505 entries).
+fn validation_kind_pool() -> Vec<String> {
+    let mut pool = Vec::with_capacity(3505);
+    for row in TABLE_ONE {
+        for _ in 0..row.occurrences {
+            pool.push(row.name.to_string());
+        }
+    }
+    for (kind, n) in OTHER_KINDS {
+        for _ in 0..*n {
+            pool.push((*kind).to_string());
+        }
+    }
+    for _ in 0..CUSTOM_VALIDATIONS {
+        pool.push("custom".to_string());
+    }
+    pool
+}
+
+/// Synthesize the full 67-application corpus with a fixed seed.
+pub fn synthesize_corpus(seed: u64) -> Vec<SyntheticApp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut kind_pool = validation_kind_pool();
+    kind_pool.shuffle(&mut rng);
+    let mut pool_cursor = 0usize;
+    TABLE_TWO
+        .iter()
+        .map(|stats| {
+            let take = stats.validations as usize;
+            let kinds = &kind_pool[pool_cursor..pool_cursor + take];
+            pool_cursor += take;
+            synthesize_app(stats, kinds, &mut rng)
+        })
+        .collect()
+}
+
+/// Zipf-ish author pick: author rank r with probability ∝ 1/(r+1)^theta.
+fn pick_author(rng: &mut StdRng, authors: u32, theta: f64) -> u32 {
+    if authors <= 1 {
+        return 0;
+    }
+    // inverse-transform over the normalized harmonic weights (authors are
+    // small; O(n) is fine)
+    let weights: Vec<f64> = (0..authors)
+        .map(|r| 1.0 / ((r + 1) as f64).powf(theta))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut u = rng.random::<f64>() * total;
+    for (r, w) in weights.iter().enumerate() {
+        if u < *w {
+            return r as u32;
+        }
+        u -= w;
+    }
+    authors - 1
+}
+
+fn synthesize_app(stats: &AppStats, validation_kinds: &[String], rng: &mut StdRng) -> SyntheticApp {
+    let commits = stats.commits.max(1);
+    let authors = stats.authors.max(1);
+    let models = stats.models.max(1) as usize;
+
+    // model names: word (+ optional suffix) ensuring uniqueness
+    let mut model_names = Vec::with_capacity(models);
+    for i in 0..models {
+        let base = MODEL_WORDS[i % MODEL_WORDS.len()];
+        let name = if i < MODEL_WORDS.len() {
+            base.to_string()
+        } else {
+            format!("{base}{}", i / MODEL_WORDS.len() + 1)
+        };
+        model_names.push(name);
+    }
+
+    // commit authorship: Zipf over authors (Figure 7's commit CDF: 95% of
+    // commits by ~42% of authors)
+    let commit_authors: Vec<u32> = (0..commits)
+        .map(|_| pick_author(rng, authors, 2.0))
+        .collect();
+
+    let mut constructs = Vec::new();
+    // models arrive early in history (Figure 6): commit ~ commits * u^2 * 0.6
+    let mut model_commits = Vec::with_capacity(models);
+    for m in 0..models {
+        let u: f64 = rng.random();
+        let commit = ((commits as f64 - 1.0) * 0.6 * u * u) as u32;
+        model_commits.push(commit);
+        constructs.push(Construct {
+            kind: ConstructKind::Model,
+            model: m,
+            commit,
+            author: commit_authors[commit as usize],
+        });
+    }
+
+    // concurrency-control constructs arrive later: commit between the
+    // owning model's introduction and the end, biased late
+    let cc_commit = |model: usize, rng: &mut StdRng| -> u32 {
+        let lo = model_commits[model] as f64;
+        let u: f64 = rng.random();
+        let frac = u.powf(0.7);
+        (lo + (commits as f64 - 1.0 - lo) * frac) as u32
+    };
+
+    // invariants (validations + associations) are authored by a more
+    // concentrated author pool (Figure 7: 95% by ~20% of authors)
+    let invariant_author = |rng: &mut StdRng| pick_author(rng, authors, 3.6);
+
+    for kind in validation_kinds {
+        let model = rng.random_range(0..models);
+        let commit = cc_commit(model, rng);
+        constructs.push(Construct {
+            kind: ConstructKind::Validation(kind.clone()),
+            model,
+            commit,
+            author: invariant_author(rng),
+        });
+    }
+
+    for i in 0..stats.associations {
+        let model = rng.random_range(0..models);
+        let commit = cc_commit(model, rng);
+        let kind = match i % 5 {
+            0 | 1 => "belongs_to",
+            2 | 3 => "has_many",
+            _ => "has_one",
+        };
+        constructs.push(Construct {
+            kind: ConstructKind::Association(kind),
+            model,
+            commit,
+            author: invariant_author(rng),
+        });
+    }
+
+    for _ in 0..stats.transactions {
+        let model = rng.random_range(0..models);
+        let commit = cc_commit(model, rng);
+        constructs.push(Construct {
+            kind: ConstructKind::Transaction,
+            model,
+            commit,
+            author: commit_authors[commit as usize],
+        });
+    }
+    for _ in 0..stats.pessimistic_locks {
+        let model = rng.random_range(0..models);
+        let commit = cc_commit(model, rng);
+        constructs.push(Construct {
+            kind: ConstructKind::PessimisticLock,
+            model,
+            commit,
+            author: commit_authors[commit as usize],
+        });
+    }
+    for _ in 0..stats.optimistic_locks {
+        let model = rng.random_range(0..models);
+        let commit = cc_commit(model, rng);
+        constructs.push(Construct {
+            kind: ConstructKind::OptimisticLock,
+            model,
+            commit,
+            author: commit_authors[commit as usize],
+        });
+    }
+
+    SyntheticApp {
+        stats: *stats,
+        model_names,
+        constructs,
+        commit_authors,
+    }
+}
+
+impl SyntheticApp {
+    /// Render the application's Ruby sources as of `commit_limit`
+    /// (inclusive; `None` = final state). Returns `(path, source)` pairs.
+    pub fn render(&self, commit_limit: Option<u32>) -> Vec<(String, String)> {
+        let limit = commit_limit.unwrap_or(u32::MAX);
+        let visible: Vec<&Construct> =
+            self.constructs.iter().filter(|c| c.commit <= limit).collect();
+        let mut files = Vec::new();
+
+        // one file per visible model
+        for (m, name) in self.model_names.iter().enumerate() {
+            let model_visible = visible
+                .iter()
+                .any(|c| c.model == m && c.kind == ConstructKind::Model);
+            if !model_visible {
+                continue;
+            }
+            let mut src = String::new();
+            src.push_str(&format!("class {name} < ActiveRecord::Base\n"));
+            let mut field_i = 0usize;
+            let mut assoc_i = 0usize;
+            for c in visible.iter().filter(|c| c.model == m) {
+                match &c.kind {
+                    ConstructKind::Validation(kind) => {
+                        let field = FIELD_POOL[field_i % FIELD_POOL.len()];
+                        field_i += 1;
+                        src.push_str(&render_validation(kind, field, field_i));
+                    }
+                    ConstructKind::Association(kind) => {
+                        let target = &self.model_names[(m + assoc_i + 1) % self.model_names.len()];
+                        assoc_i += 1;
+                        src.push_str(&render_association(kind, target, assoc_i));
+                    }
+                    ConstructKind::OptimisticLock => {
+                        src.push_str("  def optimistic_bump\n    lock_version\n  end\n");
+                    }
+                    _ => {}
+                }
+            }
+            src.push_str("end\n");
+            files.push((
+                format!("app/models/{}.rb", crate::underscore(name)),
+                src,
+            ));
+        }
+
+        // controllers hold the transactions and pessimistic locks
+        let txns: Vec<&&Construct> = visible
+            .iter()
+            .filter(|c| c.kind == ConstructKind::Transaction)
+            .collect();
+        let plocks: Vec<&&Construct> = visible
+            .iter()
+            .filter(|c| c.kind == ConstructKind::PessimisticLock)
+            .collect();
+        if !txns.is_empty() || !plocks.is_empty() {
+            let mut src = String::new();
+            src.push_str("class ApplicationController\n");
+            for (i, c) in txns.iter().enumerate() {
+                let model = &self.model_names[c.model.min(self.model_names.len() - 1)];
+                src.push_str(&format!(
+                    "  def action_txn_{i}\n    {model}.transaction do\n      perform\n    end\n  end\n"
+                ));
+            }
+            for (i, c) in plocks.iter().enumerate() {
+                let model = &self.model_names[c.model.min(self.model_names.len() - 1)];
+                let style = i % 2;
+                if style == 0 {
+                    src.push_str(&format!(
+                        "  def action_lock_{i}\n    record = {model}.find(params[:id])\n    record.lock!\n  end\n"
+                    ));
+                } else {
+                    src.push_str(&format!(
+                        "  def action_lock_{i}\n    {model}.find(params[:id]).with_lock do\n      perform\n    end\n  end\n"
+                    ));
+                }
+            }
+            src.push_str("end\n");
+            files.push(("app/controllers/application_controller.rb".to_string(), src));
+        }
+        files
+    }
+}
+
+/// Render one validation declaration, alternating between legacy and
+/// modern syntax (and occasionally the hash-rocket form) so the analyzer
+/// is exercised across styles.
+fn render_validation(kind: &str, field: &str, variety: usize) -> String {
+    if kind == "custom" {
+        return match variety % 3 {
+            0 => format!("  validate :check_{field}\n"),
+            1 => format!(
+                "  validates_each :{field} do |record, attr, value|\n    record.errors.add attr if value.nil?\n  end\n"
+            ),
+            _ => "  validates_with CustomValidator\n".to_string(),
+        };
+    }
+    let modern_key = match kind {
+        "validates_presence_of" => Some("presence: true"),
+        "validates_uniqueness_of" => Some("uniqueness: true"),
+        "validates_length_of" => Some("length: { maximum: 255 }"),
+        "validates_inclusion_of" => Some("inclusion: { in: %w(a b) }"),
+        "validates_numericality_of" => Some("numericality: true"),
+        "validates_confirmation_of" => Some("confirmation: true"),
+        "validates_acceptance_of" => Some("acceptance: true"),
+        "validates_exclusion_of" => Some("exclusion: { in: %w(admin) }"),
+        _ => None,
+    };
+    match (variety % 3, modern_key) {
+        (0, Some(key)) => format!("  validates :{field}, {key}\n"),
+        _ => match kind {
+            "validates_format_of" => {
+                format!("  validates_format_of :{field}, :with => /\\A[a-z]+\\z/\n")
+            }
+            "validates_length_of" => {
+                format!("  validates_length_of :{field}, :maximum => 255\n")
+            }
+            "validates_inclusion_of" => {
+                format!("  validates_inclusion_of :{field}, :in => %w(a b c)\n")
+            }
+            "validates_attachment_content_type" => format!(
+                "  validates_attachment_content_type :{field}, :content_type => ['image/png']\n"
+            ),
+            "validates_attachment_size" => {
+                format!("  validates_attachment_size :{field}, :less_than => 1000000\n")
+            }
+            "validates_associated" => format!("  validates_associated :{field}\n"),
+            "validates_email" => format!("  validates_email :{field}\n"),
+            other => format!("  {other} :{field}\n"),
+        },
+    }
+}
+
+fn render_association(kind: &str, target: &str, variety: usize) -> String {
+    let assoc_name = crate::underscore(target);
+    match kind {
+        "belongs_to" => format!("  belongs_to :{assoc_name}\n"),
+        "has_one" => format!("  has_one :{assoc_name}\n"),
+        _ => {
+            let plural = format!("{assoc_name}s");
+            match variety % 4 {
+                0 => format!("  has_many :{plural}, :dependent => :destroy\n"),
+                1 => format!("  has_many :{plural}, dependent: :delete_all\n"),
+                2 => format!("  has_many :{plural}, through: :{assoc_name}_links\n"),
+                _ => format!("  has_many :{plural}\n"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ruby::{analyze_source, ParseOptions};
+
+    #[test]
+    fn kind_pool_totals_3505() {
+        assert_eq!(validation_kind_pool().len(), 3505);
+    }
+
+    #[test]
+    fn corpus_has_67_apps_and_is_deterministic() {
+        let a = synthesize_corpus(42);
+        let b = synthesize_corpus(42);
+        assert_eq!(a.len(), 67);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.constructs.len(), y.constructs.len());
+            assert_eq!(x.render(None), y.render(None));
+        }
+    }
+
+    #[test]
+    fn rendered_sources_measure_back_to_ground_truth() {
+        let corpus = synthesize_corpus(7);
+        for app in corpus.iter().take(10) {
+            let mut analysis = crate::ruby::FileAnalysis::default();
+            for (_, src) in app.render(None) {
+                analysis.absorb(analyze_source(&src, &ParseOptions::default()));
+            }
+            assert_eq!(
+                analysis.models.len() as u32,
+                app.stats.models,
+                "{}: model count",
+                app.stats.name
+            );
+            assert_eq!(
+                analysis.validation_count() as u32,
+                app.stats.validations,
+                "{}: validation count",
+                app.stats.name
+            );
+            assert_eq!(
+                analysis.association_count() as u32,
+                app.stats.associations,
+                "{}: association count",
+                app.stats.name
+            );
+            assert_eq!(
+                analysis.transactions as u32, app.stats.transactions,
+                "{}: transactions",
+                app.stats.name
+            );
+            assert_eq!(
+                analysis.pessimistic_locks as u32, app.stats.pessimistic_locks,
+                "{}: pessimistic locks",
+                app.stats.name
+            );
+            assert_eq!(
+                analysis.optimistic_locks as u32, app.stats.optimistic_locks,
+                "{}: optimistic locks",
+                app.stats.name
+            );
+        }
+    }
+
+    #[test]
+    fn partial_render_respects_commit_limit() {
+        let corpus = synthesize_corpus(11);
+        let app = &corpus[0]; // Canvas LMS: plenty of history
+        let early = app.render(Some(app.stats.commits / 10));
+        let late = app.render(None);
+        let count = |files: &[(String, String)]| {
+            let mut a = crate::ruby::FileAnalysis::default();
+            for (_, src) in files {
+                a.absorb(analyze_source(src, &ParseOptions::default()));
+            }
+            (a.models.len(), a.validation_count())
+        };
+        let (em, ev) = count(&early);
+        let (lm, lv) = count(&late);
+        assert!(em < lm);
+        assert!(ev < lv);
+        // models stabilize earlier than validations (Figure 6's shape)
+        let model_frac = em as f64 / lm as f64;
+        let val_frac = ev as f64 / lv.max(1) as f64;
+        assert!(
+            model_frac > val_frac,
+            "at 10% of history, models ({model_frac:.2}) should lead validations ({val_frac:.2})"
+        );
+    }
+
+    #[test]
+    fn authors_are_within_pool() {
+        let corpus = synthesize_corpus(3);
+        for app in &corpus {
+            for c in &app.constructs {
+                assert!(c.author < app.stats.authors.max(1));
+                assert!(c.commit < app.stats.commits.max(1));
+            }
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! # feral-domestication
+//!
+//! The paper's Section 7 recommendation, implemented: *"domesticate"* the
+//! feral mechanisms by letting applications declare invariants in their
+//! domain language while the system chooses the cheapest sufficient
+//! enforcement —
+//!
+//! 1. **coordination-free** (keep the feral validation, which is correct
+//!    for I-confluent invariants) when the invariant-confluence analysis
+//!    says so, and
+//! 2. **database-backed** (unique index / foreign key) when it does not —
+//!    "only pay the price of coordination when necessary."
+//!
+//! The [`Domesticator`] consults [`feral_iconfluence`]'s model checker, so
+//! the routing decision is *derived*, not hard-coded.
+
+#![warn(missing_docs)]
+
+use feral_db::OnDelete;
+use feral_iconfluence::{classify_validator, derive_safety, OperationMix, Safety};
+use feral_orm::{App, OrmError, OrmResult};
+use std::fmt;
+
+/// An application-declared invariant, in domain terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeclaredInvariant {
+    /// `field` must be unique within `model`.
+    Unique {
+        /// Model class name.
+        model: String,
+        /// Attribute name.
+        field: String,
+    },
+    /// `association` on `child_model` must always reference a live row.
+    Referential {
+        /// Child model class name.
+        child_model: String,
+        /// `belongs_to` association name.
+        association: String,
+    },
+    /// A row-local invariant enforced by the named validator kind
+    /// (format, length, inclusion, numericality, presence-of-attribute...).
+    RowLocal {
+        /// Model class name.
+        model: String,
+        /// `validates_*` kind.
+        validator_kind: String,
+    },
+}
+
+impl fmt::Display for DeclaredInvariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeclaredInvariant::Unique { model, field } => {
+                write!(f, "unique({model}.{field})")
+            }
+            DeclaredInvariant::Referential {
+                child_model,
+                association,
+            } => write!(f, "referential({child_model}.{association})"),
+            DeclaredInvariant::RowLocal {
+                model,
+                validator_kind,
+            } => write!(f, "row-local({model}: {validator_kind})"),
+        }
+    }
+}
+
+/// The enforcement mechanism the domesticator selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mechanism {
+    /// Keep the feral validation; no coordination required.
+    CoordinationFree,
+    /// Install an in-database unique index.
+    DatabaseUniqueIndex,
+    /// Install an in-database foreign key (cascade on delete).
+    DatabaseForeignKey,
+}
+
+/// One routing decision.
+#[derive(Debug, Clone)]
+pub struct EnforcementPlan {
+    /// The declared invariant.
+    pub invariant: DeclaredInvariant,
+    /// The I-confluence verdict that drove the choice.
+    pub safety: Safety,
+    /// The selected mechanism.
+    pub mechanism: Mechanism,
+    /// Whether the verdict came from the model checker (vs the static
+    /// table).
+    pub mechanically_derived: bool,
+}
+
+impl fmt::Display for EnforcementPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} -> {:?} ({:?}{})",
+            self.invariant,
+            self.mechanism,
+            self.safety,
+            if self.mechanically_derived {
+                ", checker-derived"
+            } else {
+                ""
+            }
+        )
+    }
+}
+
+/// Invariant-aware enforcement router bound to an [`App`].
+pub struct Domesticator {
+    app: App,
+    mix: OperationMix,
+    plans: Vec<EnforcementPlan>,
+}
+
+impl Domesticator {
+    /// Create a router for `app` under the expected operation mix (the
+    /// paper's "Depends" verdicts resolve by whether deletions occur).
+    pub fn new(app: App, mix: OperationMix) -> Self {
+        Domesticator {
+            app,
+            mix,
+            plans: Vec::new(),
+        }
+    }
+
+    /// Declarations so far.
+    pub fn plans(&self) -> &[EnforcementPlan] {
+        &self.plans
+    }
+
+    /// Declare an invariant; the router classifies it (via the model
+    /// checker where possible) and installs database backing only when the
+    /// invariant is not I-confluent under the configured mix.
+    pub fn declare(&mut self, invariant: DeclaredInvariant) -> OrmResult<&EnforcementPlan> {
+        let validator_kind = match &invariant {
+            DeclaredInvariant::Unique { .. } => "validates_uniqueness_of".to_string(),
+            DeclaredInvariant::Referential { .. } => "validates_presence_of".to_string(),
+            DeclaredInvariant::RowLocal { validator_kind, .. } => validator_kind.clone(),
+        };
+        let (safety, mechanically_derived) = match derive_safety(&validator_kind, self.mix) {
+            Some(s) => (s, true),
+            None => (classify_validator(&validator_kind, self.mix), false),
+        };
+        let mechanism = if safety == Safety::IConfluent {
+            Mechanism::CoordinationFree
+        } else {
+            match &invariant {
+                DeclaredInvariant::Unique { model, field } => {
+                    self.app.add_index(model, &[field.as_str()], true)?;
+                    Mechanism::DatabaseUniqueIndex
+                }
+                DeclaredInvariant::Referential {
+                    child_model,
+                    association,
+                } => {
+                    self.app
+                        .add_foreign_key(child_model, association, OnDelete::Cascade)?;
+                    Mechanism::DatabaseForeignKey
+                }
+                DeclaredInvariant::RowLocal { .. } => {
+                    return Err(OrmError::Config(format!(
+                        "row-local invariant {invariant} unexpectedly classified unsafe"
+                    )));
+                }
+            }
+        };
+        self.plans.push(EnforcementPlan {
+            invariant,
+            safety,
+            mechanism,
+            mechanically_derived,
+        });
+        Ok(self.plans.last().expect("just pushed"))
+    }
+
+    /// How many declared invariants required coordination — the
+    /// "only pay when necessary" dividend is `1 - coordinated/total`.
+    pub fn coordination_fraction(&self) -> f64 {
+        if self.plans.is_empty() {
+            return 0.0;
+        }
+        let coordinated = self
+            .plans
+            .iter()
+            .filter(|p| p.mechanism != Mechanism::CoordinationFree)
+            .count();
+        coordinated as f64 / self.plans.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feral_db::Datum;
+    use feral_orm::{Dependent, ModelDef};
+    use std::sync::{Arc, Barrier};
+    use std::thread;
+
+    fn app() -> App {
+        let app = App::in_memory();
+        app.define(
+            ModelDef::build("Department")
+                .string("name")
+                .has_many_dependent("users", Dependent::Destroy)
+                .finish(),
+        )
+        .unwrap();
+        app.define(
+            ModelDef::build("User")
+                .string("username")
+                .belongs_to("department")
+                .validates_uniqueness_of("username")
+                .validates_presence_of("department")
+                .validates_length_of("username", Some(1), Some(20))
+                .finish(),
+        )
+        .unwrap();
+        app
+    }
+
+    #[test]
+    fn row_local_invariants_stay_coordination_free() {
+        let mut d = Domesticator::new(app(), OperationMix::WithDeletions);
+        let plan = d
+            .declare(DeclaredInvariant::RowLocal {
+                model: "User".into(),
+                validator_kind: "validates_length_of".into(),
+            })
+            .unwrap();
+        assert_eq!(plan.mechanism, Mechanism::CoordinationFree);
+        assert!(plan.mechanically_derived);
+    }
+
+    #[test]
+    fn uniqueness_gets_a_database_index() {
+        let mut d = Domesticator::new(app(), OperationMix::InsertionsOnly);
+        let plan = d
+            .declare(DeclaredInvariant::Unique {
+                model: "User".into(),
+                field: "username".into(),
+            })
+            .unwrap();
+        assert_eq!(plan.mechanism, Mechanism::DatabaseUniqueIndex);
+    }
+
+    #[test]
+    fn referential_routing_depends_on_the_mix() {
+        let mut ins = Domesticator::new(app(), OperationMix::InsertionsOnly);
+        let plan = ins
+            .declare(DeclaredInvariant::Referential {
+                child_model: "User".into(),
+                association: "department".into(),
+            })
+            .unwrap();
+        assert_eq!(plan.mechanism, Mechanism::CoordinationFree);
+
+        let mut del = Domesticator::new(app(), OperationMix::WithDeletions);
+        let plan = del
+            .declare(DeclaredInvariant::Referential {
+                child_model: "User".into(),
+                association: "department".into(),
+            })
+            .unwrap();
+        assert_eq!(plan.mechanism, Mechanism::DatabaseForeignKey);
+        assert!((del.coordination_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn domesticated_app_eliminates_duplicate_anomalies() {
+        let a = app();
+        let mut d = Domesticator::new(a.clone(), OperationMix::WithDeletions);
+        d.declare(DeclaredInvariant::Unique {
+            model: "User".into(),
+            field: "username".into(),
+        })
+        .unwrap();
+        let dept = a
+            .session()
+            .create_strict("Department", &[("name", Datum::text("eng"))])
+            .unwrap();
+        let dept_id = dept.id().unwrap();
+        // hammer one username from 8 threads × 20 rounds: exactly one row
+        // per round survives
+        let threads = 8;
+        let rounds = 20;
+        let barrier = Arc::new(Barrier::new(threads));
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let a = a.clone();
+            let barrier = barrier.clone();
+            handles.push(thread::spawn(move || {
+                for r in 0..rounds {
+                    barrier.wait();
+                    let mut s = a.session();
+                    let _ = s.create(
+                        "User",
+                        &[
+                            ("username", Datum::text(format!("u{r}"))),
+                            ("department_id", Datum::Int(dept_id)),
+                        ],
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut s = a.session();
+        assert_eq!(s.count("User").unwrap(), rounds);
+    }
+
+    #[test]
+    fn coordination_fraction_reflects_the_workload_savings() {
+        let mut d = Domesticator::new(app(), OperationMix::InsertionsOnly);
+        d.declare(DeclaredInvariant::RowLocal {
+            model: "User".into(),
+            validator_kind: "validates_length_of".into(),
+        })
+        .unwrap();
+        d.declare(DeclaredInvariant::Referential {
+            child_model: "User".into(),
+            association: "department".into(),
+        })
+        .unwrap();
+        d.declare(DeclaredInvariant::Unique {
+            model: "User".into(),
+            field: "username".into(),
+        })
+        .unwrap();
+        // only uniqueness needed coordination: 1/3
+        assert!((d.coordination_fraction() - 1.0 / 3.0).abs() < 1e-9);
+        // plans render for operator display
+        for p in d.plans() {
+            assert!(!p.to_string().is_empty());
+        }
+    }
+}

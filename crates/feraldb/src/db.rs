@@ -1,0 +1,753 @@
+//! The database object: catalog, clock, lock manager, commit pipeline.
+
+use crate::error::{DbError, DbResult};
+use crate::heap::Heap;
+use crate::index::IndexData;
+use crate::lock::{LockManager, TxnId};
+use crate::schema::{ForeignKey, IndexDef, IndexId, OnDelete, TableId, TableInfo, TableSchema};
+use crate::stats::Stats;
+use crate::txn::{CommittedTxn, Transaction};
+use crate::wal::{read_log, truncate_log, WalRecord, WalWrite, WalWriter};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Transaction isolation level, matching the menu the paper discusses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IsolationLevel {
+    /// Statement-level snapshots; PostgreSQL's default.
+    ReadCommitted,
+    /// Transaction-level snapshot without first-updater aborts; a model of
+    /// MySQL/InnoDB's default.
+    RepeatableRead,
+    /// Transaction-level snapshot with first-updater-wins write-conflict
+    /// aborts; what Oracle (and PostgreSQL pre-9.1) call "serializable".
+    Snapshot,
+    /// Snapshot isolation plus backward read-set validation at commit —
+    /// genuinely serializable (conservative OCC-style validation).
+    Serializable,
+}
+
+impl IsolationLevel {
+    /// Whether reads use one snapshot for the whole transaction.
+    pub fn txn_level_snapshot(self) -> bool {
+        !matches!(self, IsolationLevel::ReadCommitted)
+    }
+
+    /// Whether a write to a row version newer than the snapshot aborts.
+    pub fn first_updater_wins(self) -> bool {
+        matches!(self, IsolationLevel::Snapshot | IsolationLevel::Serializable)
+    }
+
+    /// Parse from the SQL-ish names used by config files and CLI flags.
+    pub fn parse(s: &str) -> Option<IsolationLevel> {
+        match s.to_ascii_lowercase().replace(['-', '_'], " ").as_str() {
+            "read committed" | "rc" => Some(IsolationLevel::ReadCommitted),
+            "repeatable read" | "rr" => Some(IsolationLevel::RepeatableRead),
+            "snapshot" | "si" => Some(IsolationLevel::Snapshot),
+            "serializable" | "ser" => Some(IsolationLevel::Serializable),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for IsolationLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            IsolationLevel::ReadCommitted => "read committed",
+            IsolationLevel::RepeatableRead => "repeatable read",
+            IsolationLevel::Snapshot => "snapshot",
+            IsolationLevel::Serializable => "serializable",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Isolation used by [`Database::begin`]. Defaults to Read Committed,
+    /// PostgreSQL's default — the configuration the paper's experiments run
+    /// under ("Rails does not configure the database isolation level").
+    pub default_isolation: IsolationLevel,
+    /// Lock-wait timeout; expiry aborts the waiter (deadlock resolution).
+    pub lock_timeout: Duration,
+    /// Reproduce PostgreSQL bug #11732 (paper footnote 8): under
+    /// Serializable, predicate reads that are *not* served by an index are
+    /// not tracked for validation, so uniqueness-probe transactions can
+    /// still race and commit duplicates.
+    pub pg_ssi_bug: bool,
+    /// How many committed-transaction write summaries to retain for
+    /// serializable validation, beyond what active snapshots require.
+    pub committed_history_floor: usize,
+    /// Bind a write-ahead log at this path: DDL and commits are appended
+    /// (redo logging), and [`Database::open`] replays it on startup.
+    /// `None` (the default) keeps the database purely in memory.
+    pub wal_path: Option<std::path::PathBuf>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            default_isolation: IsolationLevel::ReadCommitted,
+            lock_timeout: Duration::from_secs(2),
+            pg_ssi_bug: false,
+            committed_history_floor: 64,
+            wal_path: None,
+        }
+    }
+}
+
+/// One table's runtime state.
+pub(crate) struct TableEntry {
+    pub(crate) schema: TableSchema,
+    pub(crate) heap: Arc<Heap>,
+    /// Auto-increment sequence for the `id` column.
+    pub(crate) id_seq: AtomicI64,
+    /// Indexes declared on this table.
+    pub(crate) indexes: Vec<IndexId>,
+}
+
+/// Catalog: names → tables/indexes/constraints.
+#[derive(Default)]
+pub(crate) struct Catalog {
+    pub(crate) tables: Vec<Arc<TableEntry>>,
+    pub(crate) table_names: HashMap<String, TableId>,
+    pub(crate) indexes: Vec<Arc<IndexData>>,
+    pub(crate) index_names: HashMap<String, IndexId>,
+    pub(crate) foreign_keys: Vec<Arc<ForeignKey>>,
+}
+
+impl Catalog {
+    pub(crate) fn table(&self, id: TableId) -> Arc<TableEntry> {
+        self.tables[id.0 as usize].clone()
+    }
+
+    pub(crate) fn index(&self, id: IndexId) -> Arc<IndexData> {
+        self.indexes[id.0 as usize].clone()
+    }
+
+    /// Foreign keys whose child is `table`.
+    pub(crate) fn fks_of_child(&self, table: TableId) -> Vec<Arc<ForeignKey>> {
+        self.foreign_keys
+            .iter()
+            .filter(|fk| fk.child_table == table)
+            .cloned()
+            .collect()
+    }
+
+    /// Foreign keys whose parent is `table`.
+    pub(crate) fn fks_of_parent(&self, table: TableId) -> Vec<Arc<ForeignKey>> {
+        self.foreign_keys
+            .iter()
+            .filter(|fk| fk.parent_table == table)
+            .cloned()
+            .collect()
+    }
+}
+
+pub(crate) struct DbInner {
+    pub(crate) config: Config,
+    pub(crate) catalog: RwLock<Catalog>,
+    pub(crate) locks: LockManager,
+    /// Logical clock: the newest published commit timestamp.
+    pub(crate) clock: AtomicU64,
+    /// Serializes commit application (short critical section).
+    pub(crate) commit_mutex: Mutex<()>,
+    /// Transaction id allocator.
+    pub(crate) txn_ids: AtomicU64,
+    /// Snapshots of currently active transactions (txn id → snapshot ts);
+    /// used to prune committed history and compute the vacuum horizon.
+    pub(crate) active: Mutex<HashMap<TxnId, u64>>,
+    /// Write-ahead log writer, when durability is enabled.
+    pub(crate) wal: Option<Mutex<WalWriter>>,
+    /// True while replaying the log (suppresses re-logging).
+    pub(crate) wal_suppressed: AtomicBool,
+    /// Write summaries of recently committed transactions, newest at back.
+    pub(crate) committed: Mutex<VecDeque<CommittedTxn>>,
+    pub(crate) stats: Stats,
+}
+
+/// A shared-nothing-API, multi-reader in-memory relational database.
+///
+/// `Database` is a cheap cloneable handle (`Arc` inside); clones share all
+/// state. Worker threads each hold a clone and open [`Transaction`]s.
+#[derive(Clone)]
+pub struct Database {
+    pub(crate) inner: Arc<DbInner>,
+}
+
+impl Database {
+    /// Create a database with the given configuration. When
+    /// `config.wal_path` is set this delegates to [`Database::open`] and
+    /// panics on recovery failure; prefer `open` for durable databases.
+    pub fn new(config: Config) -> Self {
+        if config.wal_path.is_some() {
+            return Database::open(config).expect("WAL recovery failed");
+        }
+        Database::construct(config, None)
+    }
+
+    /// Open a database, replaying `config.wal_path` if set and binding the
+    /// log for subsequent appends.
+    pub fn open(config: Config) -> DbResult<Self> {
+        let Some(path) = config.wal_path.clone() else {
+            return Ok(Database::construct(config, None));
+        };
+        let (records, valid_len) = read_log(&path)?;
+        truncate_log(&path, valid_len)?;
+        let writer = WalWriter::open(&path)?;
+        let db = Database::construct(config, Some(writer));
+        db.inner.wal_suppressed.store(true, Ordering::SeqCst);
+        let result = db.replay(records);
+        db.inner.wal_suppressed.store(false, Ordering::SeqCst);
+        result?;
+        Ok(db)
+    }
+
+    fn construct(config: Config, wal: Option<WalWriter>) -> Self {
+        Database {
+            inner: Arc::new(DbInner {
+                locks: LockManager::new(config.lock_timeout),
+                config,
+                catalog: RwLock::new(Catalog::default()),
+                clock: AtomicU64::new(1),
+                commit_mutex: Mutex::new(()),
+                txn_ids: AtomicU64::new(1),
+                active: Mutex::new(HashMap::new()),
+                committed: Mutex::new(VecDeque::new()),
+                wal: wal.map(Mutex::new),
+                wal_suppressed: AtomicBool::new(false),
+                stats: Stats::default(),
+            }),
+        }
+    }
+
+    /// Append a record to the WAL, if one is bound and not suppressed.
+    pub(crate) fn wal_append(&self, record: &WalRecord) -> DbResult<()> {
+        if self.inner.wal_suppressed.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        if let Some(wal) = &self.inner.wal {
+            wal.lock().append(record)?;
+        }
+        Ok(())
+    }
+
+    /// Replay recovered records into fresh state.
+    fn replay(&self, records: Vec<WalRecord>) -> DbResult<()> {
+        use crate::value::Datum;
+        let mut max_ts = 1u64;
+        let mut max_ids: HashMap<TableId, i64> = HashMap::new();
+        for record in records {
+            match record {
+                WalRecord::CreateTable { name, columns } => {
+                    let cols = columns
+                        .into_iter()
+                        .map(|(n, ty, not_null)| {
+                            let mut c = crate::schema::ColumnDef::new(n, ty);
+                            if not_null {
+                                c = c.not_null();
+                            }
+                            c
+                        })
+                        .collect();
+                    self.create_table(TableSchema::new(name, cols))?;
+                }
+                WalRecord::CreateIndex {
+                    name,
+                    table,
+                    columns,
+                    unique,
+                } => {
+                    let tid = self.table_id(&table)?;
+                    let refs: Vec<&str> = columns.iter().map(|c| c.as_str()).collect();
+                    self.create_index_named(&name, tid, &refs, unique)?;
+                }
+                WalRecord::AddForeignKey {
+                    child,
+                    column,
+                    parent,
+                    on_delete,
+                } => {
+                    let mode = match on_delete {
+                        1 => OnDelete::Cascade,
+                        2 => OnDelete::SetNull,
+                        _ => OnDelete::Restrict,
+                    };
+                    self.add_foreign_key(&child, &column, &parent, mode)?;
+                }
+                WalRecord::Commit { commit_ts, writes } => {
+                    max_ts = max_ts.max(commit_ts);
+                    for w in writes {
+                        self.replay_write(commit_ts, w, &mut max_ids)?;
+                    }
+                }
+            }
+        }
+        self.inner.clock.store(max_ts, Ordering::SeqCst);
+        // restore id sequences past the highest recovered id
+        let cat = self.inner.catalog.read();
+        for (tid, max_id) in max_ids {
+            cat.table(tid).id_seq.store(max_id + 1, Ordering::SeqCst);
+        }
+        drop(cat);
+        // silence the unused-import warning path for Datum in no-commit logs
+        let _ = std::mem::size_of::<Datum>();
+        Ok(())
+    }
+
+    fn replay_write(
+        &self,
+        commit_ts: u64,
+        w: WalWrite,
+        max_ids: &mut HashMap<TableId, i64>,
+    ) -> DbResult<()> {
+        let cat = self.inner.catalog.read();
+        match w {
+            WalWrite::Insert { table, row, tuple } => {
+                let tid = *cat
+                    .table_names
+                    .get(&table)
+                    .ok_or_else(|| DbError::NoSuchTable(table.clone()))?;
+                let entry = cat.table(tid);
+                if let Some(id) = tuple.first().and_then(|d| d.as_int()) {
+                    let m = max_ids.entry(tid).or_insert(0);
+                    *m = (*m).max(id);
+                }
+                let tuple = Arc::new(tuple);
+                let got = entry.heap.install_insert(commit_ts, tuple.clone());
+                if got as u64 != row {
+                    return Err(DbError::Internal(format!(
+                        "replay row id mismatch for {table}: got {got}, logged {row}"
+                    )));
+                }
+                for &iid in &entry.indexes {
+                    let idx = cat.index(iid);
+                    idx.insert_entry(idx.key_of(&tuple), got);
+                }
+            }
+            WalWrite::Update { table, row, tuple } => {
+                let tid = *cat
+                    .table_names
+                    .get(&table)
+                    .ok_or_else(|| DbError::NoSuchTable(table.clone()))?;
+                let entry = cat.table(tid);
+                let (old, _, _) = entry
+                    .heap
+                    .latest(row as usize)
+                    .ok_or(DbError::NoSuchRow)?;
+                let tuple = Arc::new(tuple);
+                entry.heap.install_update(row as usize, commit_ts, tuple.clone());
+                for &iid in &entry.indexes {
+                    let idx = cat.index(iid);
+                    let ok = idx.key_of(&old);
+                    let nk = idx.key_of(&tuple);
+                    if ok != nk {
+                        idx.remove_entry(&ok, row as usize);
+                        idx.insert_entry(nk, row as usize);
+                    }
+                }
+            }
+            WalWrite::Delete { table, row } => {
+                let tid = *cat
+                    .table_names
+                    .get(&table)
+                    .ok_or_else(|| DbError::NoSuchTable(table.clone()))?;
+                let entry = cat.table(tid);
+                let (old, _, _) = entry
+                    .heap
+                    .latest(row as usize)
+                    .ok_or(DbError::NoSuchRow)?;
+                entry.heap.install_delete(row as usize, commit_ts);
+                for &iid in &entry.indexes {
+                    let idx = cat.index(iid);
+                    idx.remove_entry(&idx.key_of(&old), row as usize);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Create a database with default configuration (Read Committed).
+    pub fn in_memory() -> Self {
+        Database::new(Config::default())
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.inner.stats
+    }
+
+    /// The configured default isolation level.
+    pub fn default_isolation(&self) -> IsolationLevel {
+        self.inner.config.default_isolation
+    }
+
+    /// Create a table. A unique primary-key index on `id` named
+    /// `<table>_pkey` is created automatically.
+    pub fn create_table(&self, schema: TableSchema) -> DbResult<TableId> {
+        let mut cat = self.inner.catalog.write();
+        if cat.table_names.contains_key(&schema.name) {
+            return Err(DbError::TableExists(schema.name));
+        }
+        let id = TableId(cat.tables.len() as u32);
+        let pkey_name = format!("{}_pkey", schema.name);
+        let wal_record = WalRecord::CreateTable {
+            name: schema.name.clone(),
+            columns: schema
+                .columns
+                .iter()
+                .map(|c| (c.name.clone(), c.ty, c.not_null))
+                .collect(),
+        };
+        cat.table_names.insert(schema.name.clone(), id);
+        cat.tables.push(Arc::new(TableEntry {
+            schema,
+            heap: Arc::new(Heap::new()),
+            id_seq: AtomicI64::new(1),
+            indexes: Vec::new(),
+        }));
+        drop(cat);
+        self.wal_append(&wal_record)?;
+        // the pkey index is implied by CreateTable; suppress its own record
+        let was = self.inner.wal_suppressed.swap(true, Ordering::SeqCst);
+        let result = self.create_index_named(&pkey_name, id, &["id"], true);
+        self.inner.wal_suppressed.store(was, Ordering::SeqCst);
+        result?;
+        Ok(id)
+    }
+
+    /// Look up a table id by name.
+    pub fn table_id(&self, name: &str) -> DbResult<TableId> {
+        self.inner
+            .catalog
+            .read()
+            .table_names
+            .get(name)
+            .copied()
+            .ok_or_else(|| DbError::NoSuchTable(name.into()))
+    }
+
+    /// Catalog info for a table.
+    pub fn table_info(&self, name: &str) -> DbResult<TableInfo> {
+        let id = self.table_id(name)?;
+        let cat = self.inner.catalog.read();
+        Ok(TableInfo {
+            id,
+            schema: cat.table(id).schema.clone(),
+        })
+    }
+
+    /// All table names, in creation order.
+    pub fn table_names(&self) -> Vec<String> {
+        let cat = self.inner.catalog.read();
+        cat.tables.iter().map(|t| t.schema.name.clone()).collect()
+    }
+
+    /// Create an index on `table_name(cols...)`, optionally unique, with a
+    /// Rails-style generated name `index_<table>_on_<c1>_and_<c2>`.
+    pub fn create_index(
+        &self,
+        table_name: &str,
+        cols: &[&str],
+        unique: bool,
+    ) -> DbResult<IndexId> {
+        let name = format!("index_{}_on_{}", table_name, cols.join("_and_"));
+        let table = self.table_id(table_name)?;
+        self.create_index_named(&name, table, cols, unique)
+    }
+
+    /// Create an index with an explicit name.
+    pub fn create_index_named(
+        &self,
+        name: &str,
+        table: TableId,
+        cols: &[&str],
+        unique: bool,
+    ) -> DbResult<IndexId> {
+        let mut cat = self.inner.catalog.write();
+        if cat.index_names.contains_key(name) {
+            return Err(DbError::IndexExists(name.into()));
+        }
+        let entry = cat.table(table);
+        let col_ids = cols
+            .iter()
+            .map(|c| entry.schema.column_index(c))
+            .collect::<DbResult<Vec<_>>>()?;
+        let id = IndexId(cat.indexes.len() as u32);
+        let data = Arc::new(IndexData::new(IndexDef {
+            name: name.into(),
+            table,
+            cols: col_ids,
+            unique,
+        }));
+        // Backfill from the latest committed rows. If uniqueness is violated
+        // by existing data, index creation fails (as ALTER TABLE would).
+        let existing = entry.heap.scan_latest(|_| true);
+        let mut seen: HashMap<Vec<u8>, usize> = HashMap::new();
+        for (row, tuple) in &existing {
+            let key = data.key_of(tuple);
+            if unique && !data.key_has_null(tuple) {
+                if let Some(_prev) = seen.insert(key.clone(), *row) {
+                    return Err(DbError::UniqueViolation {
+                        index: name.into(),
+                        key: format!("{:?}", key),
+                    });
+                }
+            }
+            data.insert_entry(key, *row);
+        }
+        cat.index_names.insert(name.into(), id);
+        let wal_record = WalRecord::CreateIndex {
+            name: name.into(),
+            table: entry.schema.name.clone(),
+            columns: cols.iter().map(|c| c.to_string()).collect(),
+            unique,
+        };
+        cat.indexes.push(data);
+        // register on the table
+        let entry_mut = Arc::get_mut(&mut cat.tables[table.0 as usize]);
+        match entry_mut {
+            Some(e) => e.indexes.push(id),
+            None => {
+                // table entry is shared; rebuild it with the new index list
+                let old = cat.tables[table.0 as usize].clone();
+                let mut indexes = old.indexes.clone();
+                indexes.push(id);
+                cat.tables[table.0 as usize] = Arc::new(TableEntry {
+                    schema: old.schema.clone(),
+                    heap: old.heap.clone(),
+                    id_seq: AtomicI64::new(old.id_seq.load(Ordering::SeqCst)),
+                    indexes,
+                });
+            }
+        }
+        drop(cat);
+        self.wal_append(&wal_record)?;
+        Ok(id)
+    }
+
+    /// Declare an in-database foreign key: `child(child_col)` references
+    /// `parent(id)`. The migration-style counterpart of a Rails
+    /// `belongs_to` + `foreigner` gem annotation.
+    pub fn add_foreign_key(
+        &self,
+        child_table: &str,
+        child_col: &str,
+        parent_table: &str,
+        on_delete: OnDelete,
+    ) -> DbResult<()> {
+        let child = self.table_id(child_table)?;
+        let parent = self.table_id(parent_table)?;
+        let mut cat = self.inner.catalog.write();
+        let child_entry = cat.table(child);
+        let child_ci = child_entry.schema.column_index(child_col)?;
+        let name = format!("fk_{}_{}", child_table, child_col);
+        cat.foreign_keys.push(Arc::new(ForeignKey {
+            name,
+            child_table: child,
+            child_cols: vec![child_ci],
+            parent_table: parent,
+            parent_cols: vec![0],
+            on_delete,
+        }));
+        drop(cat);
+        self.wal_append(&WalRecord::AddForeignKey {
+            child: child_table.into(),
+            column: child_col.into(),
+            parent: parent_table.into(),
+            on_delete: match on_delete {
+                OnDelete::Restrict => 0,
+                OnDelete::Cascade => 1,
+                OnDelete::SetNull => 2,
+            },
+        })?;
+        Ok(())
+    }
+
+    /// Whether any foreign keys are declared (diagnostics).
+    pub fn foreign_key_count(&self) -> usize {
+        self.inner.catalog.read().foreign_keys.len()
+    }
+
+    /// Begin a transaction at the default isolation level.
+    pub fn begin(&self) -> Transaction {
+        self.begin_with(self.inner.config.default_isolation)
+    }
+
+    /// Begin a transaction at an explicit isolation level (Rails ≥4.0's
+    /// per-transaction `isolation:` option).
+    pub fn begin_with(&self, isolation: IsolationLevel) -> Transaction {
+        let id = self.inner.txn_ids.fetch_add(1, Ordering::SeqCst);
+        // Read the clock and register in the active set under one lock:
+        // vacuum computes its horizon under the same lock, so it can never
+        // observe an empty active set *after* this transaction has taken
+        // its snapshot but *before* it is registered (which would let
+        // vacuum reclaim versions this snapshot still needs).
+        let snapshot = {
+            let mut active = self.inner.active.lock();
+            let snapshot = self.inner.clock.load(Ordering::SeqCst);
+            active.insert(id, snapshot);
+            snapshot
+        };
+        Transaction::new(self.clone(), id, isolation, snapshot)
+    }
+
+    /// Run `f` inside a transaction at the default isolation, committing on
+    /// `Ok` and rolling back on `Err`.
+    pub fn transaction<T>(
+        &self,
+        f: impl FnOnce(&mut Transaction) -> DbResult<T>,
+    ) -> DbResult<T> {
+        self.transaction_with(self.inner.config.default_isolation, f)
+    }
+
+    /// Run `f` inside a transaction at `isolation`.
+    pub fn transaction_with<T>(
+        &self,
+        isolation: IsolationLevel,
+        f: impl FnOnce(&mut Transaction) -> DbResult<T>,
+    ) -> DbResult<T> {
+        let mut tx = self.begin_with(isolation);
+        match f(&mut tx) {
+            Ok(v) => {
+                tx.commit()?;
+                Ok(v)
+            }
+            Err(e) => {
+                tx.rollback();
+                Err(e)
+            }
+        }
+    }
+
+    /// Count rows of `table_name` visible to a fresh snapshot.
+    pub fn count_rows(&self, table_name: &str) -> DbResult<usize> {
+        let id = self.table_id(table_name)?;
+        let entry = self.inner.catalog.read().table(id);
+        let ts = self.inner.clock.load(Ordering::SeqCst);
+        Ok(entry.heap.scan_visible(ts, |_| true).len())
+    }
+
+    /// Reclaim version history unreachable by any active snapshot. Returns
+    /// the number of versions reclaimed.
+    pub fn vacuum(&self) -> usize {
+        let horizon = {
+            let active = self.inner.active.lock();
+            active
+                .values()
+                .copied()
+                .min()
+                .unwrap_or_else(|| self.inner.clock.load(Ordering::SeqCst))
+        };
+        let tables: Vec<Arc<TableEntry>> = self.inner.catalog.read().tables.clone();
+        tables.iter().map(|t| t.heap.vacuum(horizon)).sum()
+    }
+
+    /// Oldest snapshot among active transactions (or current clock).
+    pub(crate) fn oldest_active_snapshot(&self) -> u64 {
+        let active = self.inner.active.lock();
+        active
+            .values()
+            .copied()
+            .min()
+            .unwrap_or_else(|| self.inner.clock.load(Ordering::SeqCst))
+    }
+
+    /// Prune committed-transaction history that no active snapshot needs.
+    pub(crate) fn prune_committed(&self) {
+        let horizon = self.oldest_active_snapshot();
+        let floor = self.inner.config.committed_history_floor;
+        let mut committed = self.inner.committed.lock();
+        while committed.len() > floor {
+            match committed.front() {
+                Some(front) if front.commit_ts <= horizon => {
+                    committed.pop_front();
+                }
+                _ => break,
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("tables", &self.table_names())
+            .field("clock", &self.inner.clock.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::DataType;
+
+    fn schema(name: &str) -> TableSchema {
+        TableSchema::new(name, vec![ColumnDef::new("k", DataType::Text)])
+    }
+
+    #[test]
+    fn create_table_registers_pkey_index() {
+        let db = Database::in_memory();
+        db.create_table(schema("users")).unwrap();
+        let cat = db.inner.catalog.read();
+        assert!(cat.index_names.contains_key("users_pkey"));
+        let entry = cat.table(TableId(0));
+        assert_eq!(entry.indexes.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let db = Database::in_memory();
+        db.create_table(schema("users")).unwrap();
+        assert!(matches!(
+            db.create_table(schema("users")),
+            Err(DbError::TableExists(_))
+        ));
+    }
+
+    #[test]
+    fn isolation_level_parsing() {
+        assert_eq!(
+            IsolationLevel::parse("read-committed"),
+            Some(IsolationLevel::ReadCommitted)
+        );
+        assert_eq!(
+            IsolationLevel::parse("Repeatable Read"),
+            Some(IsolationLevel::RepeatableRead)
+        );
+        assert_eq!(IsolationLevel::parse("si"), Some(IsolationLevel::Snapshot));
+        assert_eq!(
+            IsolationLevel::parse("serializable"),
+            Some(IsolationLevel::Serializable)
+        );
+        assert_eq!(IsolationLevel::parse("chaos"), None);
+    }
+
+    #[test]
+    fn table_lookup_and_names() {
+        let db = Database::in_memory();
+        db.create_table(schema("a")).unwrap();
+        db.create_table(schema("b")).unwrap();
+        assert_eq!(db.table_id("b").unwrap(), TableId(1));
+        assert_eq!(db.table_names(), vec!["a", "b"]);
+        assert!(db.table_id("c").is_err());
+    }
+
+    #[test]
+    fn index_name_collision_rejected() {
+        let db = Database::in_memory();
+        db.create_table(schema("t")).unwrap();
+        db.create_index("t", &["k"], false).unwrap();
+        assert!(matches!(
+            db.create_index("t", &["k"], false),
+            Err(DbError::IndexExists(_))
+        ));
+    }
+}

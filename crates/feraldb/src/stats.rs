@@ -1,0 +1,133 @@
+//! Engine statistics counters.
+//!
+//! The experiments report anomaly and abort counts, so the engine keeps
+//! cheap atomic counters for every interesting event.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic event counters, updated with relaxed atomics.
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Transactions committed.
+    pub commits: AtomicU64,
+    /// Transactions rolled back (explicitly or via error).
+    pub aborts: AtomicU64,
+    /// Lock waits that ended in timeout (deadlock resolution).
+    pub lock_timeouts: AtomicU64,
+    /// First-updater-wins aborts under SI/Serializable.
+    pub write_conflicts: AtomicU64,
+    /// Backward-validation aborts under Serializable.
+    pub serialization_failures: AtomicU64,
+    /// Writes rejected by in-database unique constraints.
+    pub unique_violations: AtomicU64,
+    /// Writes rejected by in-database foreign-key constraints.
+    pub fk_violations: AtomicU64,
+    /// Row insert operations buffered.
+    pub inserts: AtomicU64,
+    /// Row update operations buffered.
+    pub updates: AtomicU64,
+    /// Row delete operations buffered.
+    pub deletes: AtomicU64,
+    /// Scan statements executed.
+    pub scans: AtomicU64,
+    /// Index-probe scans (vs full heap scans).
+    pub index_probes: AtomicU64,
+}
+
+/// A point-in-time copy of [`Stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// See [`Stats::commits`].
+    pub commits: u64,
+    /// See [`Stats::aborts`].
+    pub aborts: u64,
+    /// See [`Stats::lock_timeouts`].
+    pub lock_timeouts: u64,
+    /// See [`Stats::write_conflicts`].
+    pub write_conflicts: u64,
+    /// See [`Stats::serialization_failures`].
+    pub serialization_failures: u64,
+    /// See [`Stats::unique_violations`].
+    pub unique_violations: u64,
+    /// See [`Stats::fk_violations`].
+    pub fk_violations: u64,
+    /// See [`Stats::inserts`].
+    pub inserts: u64,
+    /// See [`Stats::updates`].
+    pub updates: u64,
+    /// See [`Stats::deletes`].
+    pub deletes: u64,
+    /// See [`Stats::scans`].
+    pub scans: u64,
+    /// See [`Stats::index_probes`].
+    pub index_probes: u64,
+}
+
+impl Stats {
+    /// Increment a counter by one.
+    #[inline]
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+            lock_timeouts: self.lock_timeouts.load(Ordering::Relaxed),
+            write_conflicts: self.write_conflicts.load(Ordering::Relaxed),
+            serialization_failures: self.serialization_failures.load(Ordering::Relaxed),
+            unique_violations: self.unique_violations.load(Ordering::Relaxed),
+            fk_violations: self.fk_violations.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            updates: self.updates.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            scans: self.scans.load(Ordering::Relaxed),
+            index_probes: self.index_probes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Difference of two snapshots (`self - earlier`), saturating.
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            commits: self.commits.saturating_sub(earlier.commits),
+            aborts: self.aborts.saturating_sub(earlier.aborts),
+            lock_timeouts: self.lock_timeouts.saturating_sub(earlier.lock_timeouts),
+            write_conflicts: self.write_conflicts.saturating_sub(earlier.write_conflicts),
+            serialization_failures: self
+                .serialization_failures
+                .saturating_sub(earlier.serialization_failures),
+            unique_violations: self.unique_violations.saturating_sub(earlier.unique_violations),
+            fk_violations: self.fk_violations.saturating_sub(earlier.fk_violations),
+            inserts: self.inserts.saturating_sub(earlier.inserts),
+            updates: self.updates.saturating_sub(earlier.updates),
+            deletes: self.deletes.saturating_sub(earlier.deletes),
+            scans: self.scans.saturating_sub(earlier.scans),
+            index_probes: self.index_probes.saturating_sub(earlier.index_probes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_delta() {
+        let s = Stats::default();
+        Stats::bump(&s.commits);
+        Stats::bump(&s.commits);
+        Stats::bump(&s.aborts);
+        let a = s.snapshot();
+        assert_eq!(a.commits, 2);
+        assert_eq!(a.aborts, 1);
+        Stats::bump(&s.commits);
+        let b = s.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.commits, 1);
+        assert_eq!(d.aborts, 0);
+    }
+}

@@ -1,0 +1,1219 @@
+//! Transactions: buffered writes, snapshot reads, isolation enforcement,
+//! in-database constraint checking, and the commit pipeline.
+
+use crate::db::{Database, IsolationLevel, TableEntry};
+use crate::error::{DbError, DbResult};
+use crate::heap::RowId;
+use crate::index::IndexData;
+use crate::lock::{LockKey, LockMode, TxnId};
+use crate::predicate::Predicate;
+use crate::schema::{ForeignKey, IndexId, OnDelete, TableId};
+use crate::stats::Stats;
+use crate::value::{encode_composite_key, Datum, Tuple};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Reference to a row as seen inside a transaction: either a committed heap
+/// row or one of this transaction's own uncommitted inserts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowRef {
+    /// A committed row chain.
+    Committed(RowId),
+    /// A row inserted by this transaction, not yet committed.
+    Own(u64),
+}
+
+#[derive(Debug, Clone)]
+enum PendingOp {
+    Insert { local: u64, tuple: Arc<Tuple> },
+    Update { row: RowId, base: Arc<Tuple>, new: Arc<Tuple> },
+    Delete { row: RowId, base: Arc<Tuple> },
+}
+
+#[derive(Debug, Clone)]
+struct Pending {
+    table: TableId,
+    op: PendingOp,
+    dead: bool,
+}
+
+/// A predicate read registered for serializable validation.
+#[derive(Debug, Clone)]
+pub(crate) enum PredRead {
+    /// The transaction scanned the whole table.
+    WholeTable(TableId),
+    /// The transaction read rows matching an equality conjunction.
+    Eq {
+        /// Scanned table.
+        table: TableId,
+        /// `(column, value)` equality pairs.
+        pairs: Vec<(usize, Datum)>,
+    },
+}
+
+/// `(table, old image, new image)` triples describing a committed write.
+pub(crate) type WriteImages = Vec<(TableId, Option<Arc<Tuple>>, Option<Arc<Tuple>>)>;
+
+/// Write summary of a committed transaction, retained for backward
+/// validation of serializable transactions.
+pub(crate) struct CommittedTxn {
+    pub(crate) commit_ts: u64,
+    /// `(table, row)` pairs written.
+    pub(crate) rows: Vec<(TableId, RowId)>,
+    /// `(table, old image, new image)` per write.
+    pub(crate) images: WriteImages,
+}
+
+/// A savepoint: a snapshot of the transaction's buffered write state
+/// (see [`Transaction::savepoint`]). Row images are `Arc`-shared, so the
+/// snapshot is cheap.
+#[derive(Debug, Clone)]
+pub struct Savepoint {
+    writes: Vec<Pending>,
+    write_by_row: HashMap<(TableId, RowId), usize>,
+    own_inserts: HashMap<u64, usize>,
+    next_local: u64,
+}
+
+/// An open transaction. Obtained from [`Database::begin`]. Dropping an
+/// uncommitted transaction rolls it back.
+pub struct Transaction {
+    db: Database,
+    id: TxnId,
+    isolation: IsolationLevel,
+    snapshot: u64,
+    open: bool,
+    writes: Vec<Pending>,
+    write_by_row: HashMap<(TableId, RowId), usize>,
+    own_inserts: HashMap<u64, usize>,
+    next_local: u64,
+    locks: Vec<LockKey>,
+    read_rows: HashSet<(TableId, RowId)>,
+    read_preds: Vec<PredRead>,
+}
+
+impl Transaction {
+    pub(crate) fn new(
+        db: Database,
+        id: TxnId,
+        isolation: IsolationLevel,
+        snapshot: u64,
+    ) -> Self {
+        Transaction {
+            db,
+            id,
+            isolation,
+            snapshot,
+            open: true,
+            writes: Vec::new(),
+            write_by_row: HashMap::new(),
+            own_inserts: HashMap::new(),
+            next_local: 0,
+            locks: Vec::new(),
+            read_rows: HashSet::new(),
+            read_preds: Vec::new(),
+        }
+    }
+
+    /// This transaction's isolation level.
+    pub fn isolation(&self) -> IsolationLevel {
+        self.isolation
+    }
+
+    /// The transaction id (diagnostics).
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// Whether the transaction is still open.
+    pub fn is_open(&self) -> bool {
+        self.open
+    }
+
+    fn ensure_open(&self) -> DbResult<()> {
+        if self.open {
+            Ok(())
+        } else {
+            Err(DbError::TxnClosed)
+        }
+    }
+
+    /// The snapshot a *statement* of this transaction reads at.
+    fn read_ts(&self) -> u64 {
+        if self.isolation.txn_level_snapshot() {
+            self.snapshot
+        } else {
+            self.db.inner.clock.load(Ordering::SeqCst)
+        }
+    }
+
+    fn entry(&self, table: TableId) -> Arc<TableEntry> {
+        self.db.inner.catalog.read().table(table)
+    }
+
+    fn resolve(&self, table: &str) -> DbResult<(TableId, Arc<TableEntry>)> {
+        let id = self.db.table_id(table)?;
+        Ok((id, self.entry(id)))
+    }
+
+    /// The schema of `table` (catalog lookup; usable mid-transaction by
+    /// query layers).
+    pub fn schema(&self, table: &str) -> DbResult<crate::schema::TableSchema> {
+        let (_, entry) = self.resolve(table)?;
+        Ok(entry.schema.clone())
+    }
+
+    fn lock(&mut self, key: LockKey, mode: LockMode) -> DbResult<()> {
+        match self.db.inner.locks.acquire(self.id, &key, mode) {
+            Ok(()) => {
+                self.locks.push(key);
+                Ok(())
+            }
+            Err(e) => {
+                if matches!(e, DbError::LockTimeout { .. }) {
+                    Stats::bump(&self.db.inner.stats.lock_timeouts);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn indexes_of(&self, table: TableId) -> Vec<Arc<IndexData>> {
+        let cat = self.db.inner.catalog.read();
+        let entry = cat.table(table);
+        entry.indexes.iter().map(|&i| cat.index(i)).collect()
+    }
+
+    fn index_id_of(&self, idx: &IndexData) -> IndexId {
+        let cat = self.db.inner.catalog.read();
+        cat.index_names[&idx.def.name]
+    }
+
+    fn pkey_index(&self, table: TableId) -> Arc<IndexData> {
+        // create_table registers the pkey index first
+        let cat = self.db.inner.catalog.read();
+        let entry = cat.table(table);
+        cat.index(entry.indexes[0])
+    }
+
+    // ------------------------------------------------------------------
+    // Reads
+    // ------------------------------------------------------------------
+
+    /// Scan `table` for rows matching `pred` (visible at this statement's
+    /// snapshot, overlaid with the transaction's own writes).
+    pub fn scan(
+        &mut self,
+        table: &str,
+        pred: &Predicate,
+    ) -> DbResult<Vec<(RowRef, Arc<Tuple>)>> {
+        self.ensure_open()?;
+        let (tid, entry) = self.resolve(table)?;
+        Stats::bump(&self.db.inner.stats.scans);
+        let read_ts = self.read_ts();
+        let fingerprint = pred.equality_fingerprint();
+
+        // try to serve the scan from an equality index
+        let mut used_index = false;
+        let mut committed: Vec<(RowId, Arc<Tuple>)> = Vec::new();
+        let mut probed = false;
+        if !fingerprint.is_empty() {
+            for idx in self.indexes_of(tid) {
+                let covered: Option<Vec<Datum>> = idx
+                    .def
+                    .cols
+                    .iter()
+                    .map(|c| {
+                        fingerprint
+                            .iter()
+                            .find(|(fc, _)| fc == c)
+                            .map(|(_, v)| v.clone())
+                    })
+                    .collect();
+                if let Some(key_vals) = covered {
+                    let key = {
+                        let mut buf = Vec::new();
+                        for v in &key_vals {
+                            v.encode_key(&mut buf);
+                        }
+                        buf
+                    };
+                    for row in idx.rows_for(&key) {
+                        if let Some(t) = entry.heap.visible(row, read_ts) {
+                            if pred.matches(&t) {
+                                committed.push((row, t));
+                            }
+                        }
+                    }
+                    used_index = true;
+                    probed = true;
+                    Stats::bump(&self.db.inner.stats.index_probes);
+                    break;
+                }
+            }
+        }
+        // fall back to an index *range* scan when a single-column index
+        // covers a top-level range conjunct
+        if !probed {
+            let ranges = pred.range_fingerprint();
+            if !ranges.is_empty() {
+                for idx in self.indexes_of(tid) {
+                    if idx.def.cols.len() != 1 {
+                        continue;
+                    }
+                    let col = idx.def.cols[0];
+                    let mut lo = std::ops::Bound::Unbounded;
+                    let mut hi = std::ops::Bound::Unbounded;
+                    let mut applicable = false;
+                    for (rc, op, value) in &ranges {
+                        if *rc != col || value.is_null() {
+                            continue;
+                        }
+                        let mut enc = Vec::new();
+                        value.encode_key(&mut enc);
+                        match op {
+                            crate::predicate::CmpOp::Gt => {
+                                lo = std::ops::Bound::Excluded(enc);
+                                applicable = true;
+                            }
+                            crate::predicate::CmpOp::Ge => {
+                                lo = std::ops::Bound::Included(enc);
+                                applicable = true;
+                            }
+                            crate::predicate::CmpOp::Lt => {
+                                hi = std::ops::Bound::Excluded(enc);
+                                applicable = true;
+                            }
+                            crate::predicate::CmpOp::Le => {
+                                hi = std::ops::Bound::Included(enc);
+                                applicable = true;
+                            }
+                            _ => {}
+                        }
+                    }
+                    if !applicable {
+                        continue;
+                    }
+                    for row in idx.rows_in_bounds(lo, hi) {
+                        if let Some(t) = entry.heap.visible(row, read_ts) {
+                            if pred.matches(&t) {
+                                committed.push((row, t));
+                            }
+                        }
+                    }
+                    committed.sort_by_key(|(row, _)| *row);
+                    committed.dedup_by_key(|(row, _)| *row);
+                    probed = true;
+                    Stats::bump(&self.db.inner.stats.index_probes);
+                    break;
+                }
+            }
+        }
+        if !probed {
+            committed = entry.heap.scan_visible(read_ts, |t| pred.matches(t));
+        }
+
+        // overlay own writes
+        let mut out: Vec<(RowRef, Arc<Tuple>)> = Vec::new();
+        for (row, tuple) in committed {
+            match self.write_by_row.get(&(tid, row)).map(|&i| &self.writes[i]) {
+                Some(p) if !p.dead => match &p.op {
+                    PendingOp::Update { new, .. } => {
+                        if pred.matches(new) {
+                            out.push((RowRef::Committed(row), new.clone()));
+                        }
+                    }
+                    PendingOp::Delete { .. } => {}
+                    PendingOp::Insert { .. } => {}
+                },
+                _ => out.push((RowRef::Committed(row), tuple)),
+            }
+        }
+        for p in &self.writes {
+            if p.table == tid && !p.dead {
+                if let PendingOp::Insert { local, tuple } = &p.op {
+                    if pred.matches(tuple) {
+                        out.push((RowRef::Own(*local), tuple.clone()));
+                    }
+                }
+            }
+        }
+
+        // register reads for serializable validation
+        if self.isolation == IsolationLevel::Serializable {
+            for (r, _) in &out {
+                if let RowRef::Committed(row) = r {
+                    self.read_rows.insert((tid, *row));
+                }
+            }
+            let tracked = used_index || !self.db.inner.config.pg_ssi_bug;
+            if tracked {
+                if fingerprint.is_empty() {
+                    self.read_preds.push(PredRead::WholeTable(tid));
+                } else {
+                    self.read_preds.push(PredRead::Eq {
+                        table: tid,
+                        pairs: fingerprint,
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fetch a row by primary key.
+    pub fn get_by_id(&mut self, table: &str, id: i64) -> DbResult<Option<(RowRef, Arc<Tuple>)>> {
+        let rows = self.scan(table, &Predicate::eq(0, id))?;
+        Ok(rows.into_iter().next())
+    }
+
+    /// Count rows matching `pred`.
+    pub fn count(&mut self, table: &str, pred: &Predicate) -> DbResult<usize> {
+        Ok(self.scan(table, pred)?.len())
+    }
+
+    /// `SELECT ... FOR UPDATE`: scan at a *fresh* statement snapshot,
+    /// X-lock each matching committed row, and return the latest committed
+    /// images (re-read after the lock, as PostgreSQL does under Read
+    /// Committed).
+    pub fn select_for_update(
+        &mut self,
+        table: &str,
+        pred: &Predicate,
+    ) -> DbResult<Vec<(RowRef, Arc<Tuple>)>> {
+        self.ensure_open()?;
+        let (tid, entry) = self.resolve(table)?;
+        Stats::bump(&self.db.inner.stats.scans);
+        let read_ts = self.db.inner.clock.load(Ordering::SeqCst);
+        let candidates = entry.heap.scan_visible(read_ts, |t| pred.matches(t));
+        let mut out = Vec::new();
+        for (row, _) in candidates {
+            self.lock(LockKey::Row(tid, row), LockMode::Exclusive)?;
+            // re-read after lock: the row may have been updated or deleted
+            // by a transaction that committed while we waited
+            let Some((latest, live, begin)) = entry.heap.latest(row) else {
+                continue;
+            };
+            if !live || !pred.matches(&latest) {
+                continue;
+            }
+            if self.isolation.first_updater_wins() && begin > self.snapshot {
+                self.finish(false);
+                Stats::bump(&self.db.inner.stats.write_conflicts);
+                return Err(DbError::WriteConflict);
+            }
+            if self.isolation == IsolationLevel::Serializable {
+                self.read_rows.insert((tid, row));
+            }
+            // apply own-write overlay
+            match self.write_by_row.get(&(tid, row)).map(|&i| &self.writes[i]) {
+                Some(p) if !p.dead => match &p.op {
+                    PendingOp::Update { new, .. } if pred.matches(new) => {
+                        out.push((RowRef::Committed(row), new.clone()))
+                    }
+                    PendingOp::Delete { .. } | PendingOp::Update { .. } => {}
+                    PendingOp::Insert { .. } => {}
+                },
+                _ => out.push((RowRef::Committed(row), latest)),
+            }
+        }
+        // own inserts matching the predicate are implicitly "locked"
+        for p in &self.writes {
+            if p.table == tid && !p.dead {
+                if let PendingOp::Insert { local, tuple } = &p.op {
+                    if pred.matches(tuple) {
+                        out.push((RowRef::Own(*local), tuple.clone()));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Constraint helpers (in-database enforcement)
+    // ------------------------------------------------------------------
+
+    /// Effective check whether `key` is already taken in unique index
+    /// `idx`, considering committed-latest state and this transaction's own
+    /// pending writes, excluding `exclude`.
+    fn unique_key_taken(
+        &self,
+        entry: &TableEntry,
+        idx: &IndexData,
+        key: &[u8],
+        exclude: Option<RowRef>,
+    ) -> bool {
+        let tid = idx.def.table;
+        // own pending writes
+        for p in &self.writes {
+            if p.table != tid || p.dead {
+                continue;
+            }
+            match &p.op {
+                PendingOp::Insert { local, tuple } => {
+                    if exclude != Some(RowRef::Own(*local))
+                        && !idx.key_has_null(tuple)
+                        && idx.key_of(tuple) == key
+                    {
+                        return true;
+                    }
+                }
+                PendingOp::Update { row, new, .. } => {
+                    if exclude != Some(RowRef::Committed(*row))
+                        && !idx.key_has_null(new)
+                        && idx.key_of(new) == key
+                    {
+                        return true;
+                    }
+                }
+                PendingOp::Delete { .. } => {}
+            }
+        }
+        // committed-latest state via the index
+        for row in idx.rows_for(key) {
+            if exclude == Some(RowRef::Committed(row)) {
+                continue;
+            }
+            if let Some(&i) = self.write_by_row.get(&(tid, row)) {
+                // row is being rewritten by us; its pending image was
+                // already considered above
+                if !self.writes[i].dead {
+                    continue;
+                }
+            }
+            if let Some((latest, live, _)) = entry.heap.latest(row) {
+                if live && !idx.key_has_null(&latest) && idx.key_of(&latest) == key {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Run in-database unique checks for writing `tuple` (as `target`) into
+    /// `table`, locking each unique key to serialize with concurrent
+    /// writers. `prev` is the prior image for updates (keys that did not
+    /// change are skipped).
+    fn check_unique_indexes(
+        &mut self,
+        tid: TableId,
+        entry: &Arc<TableEntry>,
+        tuple: &Tuple,
+        prev: Option<&Tuple>,
+        target: RowRef,
+    ) -> DbResult<()> {
+        for idx in self.indexes_of(tid) {
+            if !idx.def.unique || idx.key_has_null(tuple) {
+                continue;
+            }
+            let key = idx.key_of(tuple);
+            if let Some(p) = prev {
+                if !idx.key_has_null(p) && idx.key_of(p) == key {
+                    continue; // key unchanged
+                }
+            }
+            let idx_id = self.index_id_of(&idx);
+            self.lock(LockKey::Key(idx_id, key.clone()), LockMode::Exclusive)?;
+            if self.unique_key_taken(entry, &idx, &key, Some(target)) {
+                Stats::bump(&self.db.inner.stats.unique_violations);
+                return Err(DbError::UniqueViolation {
+                    index: idx.def.name.clone(),
+                    key: render_key(tuple, &idx.def.cols),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the parent row referenced by `fk` with key `parent_id`
+    /// effectively exists (committed-latest overlaid with own writes).
+    fn parent_exists(&self, fk: &ForeignKey, parent_id: &Datum) -> bool {
+        let parent_entry = self.entry(fk.parent_table);
+        // own pending inserts into the parent
+        for p in &self.writes {
+            if p.table != fk.parent_table || p.dead {
+                continue;
+            }
+            if let PendingOp::Insert { tuple, .. } = &p.op {
+                if tuple[0].sql_eq(parent_id) == Some(true) {
+                    return true;
+                }
+            }
+        }
+        let idx = self.pkey_index(fk.parent_table);
+        let mut key = Vec::new();
+        parent_id.encode_key(&mut key);
+        for row in idx.rows_for(&key) {
+            if let Some(&i) = self.write_by_row.get(&(fk.parent_table, row)) {
+                if !self.writes[i].dead
+                    && matches!(self.writes[i].op, PendingOp::Delete { .. })
+                {
+                    continue; // we are deleting it
+                }
+            }
+            if let Some((latest, live, _)) = parent_entry.heap.latest(row) {
+                if live && latest[0].sql_eq(parent_id) == Some(true) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// In-database FK child-side check for writing `tuple` into `table`:
+    /// S-lock the referenced parent key (blocking concurrent parent
+    /// deletes), then verify the parent exists.
+    fn check_foreign_keys_child(
+        &mut self,
+        tid: TableId,
+        tuple: &Tuple,
+    ) -> DbResult<()> {
+        let fks = self.db.inner.catalog.read().fks_of_child(tid);
+        for fk in fks {
+            let parent_id = &tuple[fk.child_cols[0]];
+            if parent_id.is_null() {
+                continue; // MATCH SIMPLE: NULL references nothing
+            }
+            let parent_pkey = self.pkey_index(fk.parent_table);
+            let idx_id = self.index_id_of(&parent_pkey);
+            let mut key = Vec::new();
+            parent_id.encode_key(&mut key);
+            self.lock(LockKey::Key(idx_id, key), LockMode::Shared)?;
+            if !self.parent_exists(&fk, parent_id) {
+                Stats::bump(&self.db.inner.stats.fk_violations);
+                return Err(DbError::ForeignKeyViolation {
+                    constraint: fk.name.clone(),
+                    detail: format!("referenced parent {parent_id} does not exist"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Effective children of `parent_id` under `fk`: committed-latest rows
+    /// overlaid with own writes.
+    fn children_of(&self, fk: &ForeignKey, parent_id: &Datum) -> Vec<(RowRef, Arc<Tuple>)> {
+        let child_entry = self.entry(fk.child_table);
+        let col = fk.child_cols[0];
+        let mut out = Vec::new();
+        let committed = child_entry
+            .heap
+            .scan_latest(|t| t[col].sql_eq(parent_id) == Some(true));
+        for (row, tuple) in committed {
+            match self
+                .write_by_row
+                .get(&(fk.child_table, row))
+                .map(|&i| &self.writes[i])
+            {
+                Some(p) if !p.dead => match &p.op {
+                    PendingOp::Update { new, .. } => {
+                        if new[col].sql_eq(parent_id) == Some(true) {
+                            out.push((RowRef::Committed(row), new.clone()));
+                        }
+                    }
+                    PendingOp::Delete { .. } => {}
+                    PendingOp::Insert { .. } => {}
+                },
+                _ => out.push((RowRef::Committed(row), tuple)),
+            }
+        }
+        for p in &self.writes {
+            if p.table == fk.child_table && !p.dead {
+                if let PendingOp::Insert { local, tuple } = &p.op {
+                    if tuple[col].sql_eq(parent_id) == Some(true) {
+                        out.push((RowRef::Own(*local), tuple.clone()));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Parent-side FK enforcement on delete: X-lock the parent key to block
+    /// concurrent child inserts, then RESTRICT / CASCADE / SET NULL.
+    fn check_foreign_keys_parent_delete(
+        &mut self,
+        tid: TableId,
+        tuple: &Tuple,
+    ) -> DbResult<()> {
+        let fks = self.db.inner.catalog.read().fks_of_parent(tid);
+        for fk in fks {
+            let parent_id = tuple[0].clone();
+            let parent_pkey = self.pkey_index(tid);
+            let idx_id = self.index_id_of(&parent_pkey);
+            let mut key = Vec::new();
+            parent_id.encode_key(&mut key);
+            self.lock(LockKey::Key(idx_id, key), LockMode::Exclusive)?;
+            let children = self.children_of(&fk, &parent_id);
+            match fk.on_delete {
+                OnDelete::Restrict => {
+                    if !children.is_empty() {
+                        Stats::bump(&self.db.inner.stats.fk_violations);
+                        return Err(DbError::ForeignKeyViolation {
+                            constraint: fk.name.clone(),
+                            detail: format!(
+                                "{} dependent row(s) in child table",
+                                children.len()
+                            ),
+                        });
+                    }
+                }
+                OnDelete::Cascade => {
+                    for (rref, _) in children {
+                        self.delete_ref(fk.child_table, rref)?;
+                    }
+                }
+                OnDelete::SetNull => {
+                    let col = fk.child_cols[0];
+                    for (rref, child_tuple) in children {
+                        let mut new = (*child_tuple).clone();
+                        new[col] = Datum::Null;
+                        self.update_ref(fk.child_table, rref, new)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Writes
+    // ------------------------------------------------------------------
+
+    /// Insert a full tuple. A NULL `id` is auto-assigned from the table's
+    /// sequence. Returns a reference usable for further reads/writes in
+    /// this transaction.
+    pub fn insert(&mut self, table: &str, mut tuple: Tuple) -> DbResult<RowRef> {
+        self.ensure_open()?;
+        let (tid, entry) = self.resolve(table)?;
+        if tuple.first().map(Datum::is_null).unwrap_or(false) {
+            tuple[0] = Datum::Int(entry.id_seq.fetch_add(1, Ordering::SeqCst));
+        }
+        entry.schema.check_tuple(&tuple)?;
+        let local = self.next_local;
+        let target = RowRef::Own(local);
+        self.check_unique_indexes(tid, &entry, &tuple, None, target)?;
+        self.check_foreign_keys_child(tid, &tuple)?;
+        self.next_local += 1;
+        let i = self.writes.len();
+        self.writes.push(Pending {
+            table: tid,
+            op: PendingOp::Insert {
+                local,
+                tuple: Arc::new(tuple),
+            },
+            dead: false,
+        });
+        self.own_inserts.insert(local, i);
+        Stats::bump(&self.db.inner.stats.inserts);
+        Ok(target)
+    }
+
+    /// Insert from `(column, value)` pairs, with defaults applied.
+    pub fn insert_pairs(&mut self, table: &str, pairs: &[(&str, Datum)]) -> DbResult<RowRef> {
+        let (_, entry) = self.resolve(table)?;
+        let tuple = entry.schema.tuple_from_pairs(pairs)?;
+        self.insert(table, tuple)
+    }
+
+    /// Read a row owned by this transaction or committed, by reference.
+    pub fn read_ref(&self, table: TableId, rref: RowRef) -> Option<Arc<Tuple>> {
+        match rref {
+            RowRef::Own(local) => {
+                let &i = self.own_inserts.get(&local)?;
+                let p = &self.writes[i];
+                if p.dead {
+                    return None;
+                }
+                match &p.op {
+                    PendingOp::Insert { tuple, .. } => Some(tuple.clone()),
+                    _ => None,
+                }
+            }
+            RowRef::Committed(row) => {
+                if let Some(&i) = self.write_by_row.get(&(table, row)) {
+                    let p = &self.writes[i];
+                    if !p.dead {
+                        match &p.op {
+                            PendingOp::Update { new, .. } => return Some(new.clone()),
+                            PendingOp::Delete { .. } => return None,
+                            PendingOp::Insert { .. } => {}
+                        }
+                    }
+                }
+                self.entry(table).heap.visible(row, self.read_ts())
+            }
+        }
+    }
+
+    /// Update the row at `rref` to `new_tuple` (the `id` column is forced
+    /// to remain unchanged).
+    pub fn update(&mut self, table: &str, rref: RowRef, new_tuple: Tuple) -> DbResult<()> {
+        self.ensure_open()?;
+        let (tid, _) = self.resolve(table)?;
+        self.update_ref(tid, rref, new_tuple)
+    }
+
+    fn update_ref(&mut self, tid: TableId, rref: RowRef, mut new_tuple: Tuple) -> DbResult<()> {
+        let entry = self.entry(tid);
+        match rref {
+            RowRef::Own(local) => {
+                let &i = self
+                    .own_inserts
+                    .get(&local)
+                    .ok_or(DbError::NoSuchRow)?;
+                let prev = match &self.writes[i].op {
+                    PendingOp::Insert { tuple, .. } => tuple.clone(),
+                    _ => return Err(DbError::Internal("own ref is not an insert".into())),
+                };
+                if self.writes[i].dead {
+                    return Err(DbError::NoSuchRow);
+                }
+                new_tuple[0] = prev[0].clone();
+                entry.schema.check_tuple(&new_tuple)?;
+                self.check_unique_indexes(tid, &entry, &new_tuple, Some(&prev), rref)?;
+                self.check_foreign_keys_child(tid, &new_tuple)?;
+                if let PendingOp::Insert { tuple, .. } = &mut self.writes[i].op {
+                    *tuple = Arc::new(new_tuple);
+                }
+                Stats::bump(&self.db.inner.stats.updates);
+                Ok(())
+            }
+            RowRef::Committed(row) => {
+                self.lock(LockKey::Row(tid, row), LockMode::Exclusive)?;
+                let (latest, live, begin) =
+                    entry.heap.latest(row).ok_or(DbError::NoSuchRow)?;
+                if !live {
+                    return if self.isolation.first_updater_wins() {
+                        Stats::bump(&self.db.inner.stats.write_conflicts);
+                        Err(DbError::WriteConflict)
+                    } else {
+                        Err(DbError::NoSuchRow)
+                    };
+                }
+                if self.isolation.first_updater_wins()
+                    && begin > self.snapshot
+                    && !self.write_by_row.contains_key(&(tid, row))
+                {
+                    Stats::bump(&self.db.inner.stats.write_conflicts);
+                    return Err(DbError::WriteConflict);
+                }
+                // base image: our own pending new image if we already wrote
+                // this row, else the latest committed image
+                let (base, effective_prev) = match self
+                    .write_by_row
+                    .get(&(tid, row))
+                    .map(|&i| &self.writes[i])
+                {
+                    Some(Pending {
+                        op: PendingOp::Update { base, new, .. },
+                        dead: false,
+                        ..
+                    }) => (base.clone(), new.clone()),
+                    Some(Pending {
+                        op: PendingOp::Delete { .. },
+                        dead: false,
+                        ..
+                    }) => return Err(DbError::NoSuchRow),
+                    _ => (latest.clone(), latest.clone()),
+                };
+                new_tuple[0] = base[0].clone();
+                entry.schema.check_tuple(&new_tuple)?;
+                self.check_unique_indexes(
+                    tid,
+                    &entry,
+                    &new_tuple,
+                    Some(&effective_prev),
+                    rref,
+                )?;
+                self.check_foreign_keys_child(tid, &new_tuple)?;
+                let pending = Pending {
+                    table: tid,
+                    op: PendingOp::Update {
+                        row,
+                        base,
+                        new: Arc::new(new_tuple),
+                    },
+                    dead: false,
+                };
+                match self.write_by_row.get(&(tid, row)).copied() {
+                    Some(i) => self.writes[i] = pending,
+                    None => {
+                        self.writes.push(pending);
+                        self.write_by_row.insert((tid, row), self.writes.len() - 1);
+                    }
+                }
+                Stats::bump(&self.db.inner.stats.updates);
+                Ok(())
+            }
+        }
+    }
+
+    /// Atomically transform the row at `rref` under its row lock: `f`
+    /// receives the *current* image (latest committed, or this
+    /// transaction's own pending image) — the engine-level analogue of
+    /// SQL's `UPDATE t SET c = c + 1`, immune to lost updates.
+    pub fn update_with(
+        &mut self,
+        table: &str,
+        rref: RowRef,
+        f: impl FnOnce(&Tuple) -> Tuple,
+    ) -> DbResult<()> {
+        self.ensure_open()?;
+        let (tid, entry) = self.resolve(table)?;
+        let current = match rref {
+            RowRef::Own(_) => self.read_ref(tid, rref).ok_or(DbError::NoSuchRow)?,
+            RowRef::Committed(row) => {
+                // take the lock first so the read is current
+                self.lock(LockKey::Row(tid, row), LockMode::Exclusive)?;
+                if let Some(img) = self.read_ref(tid, rref) {
+                    img
+                } else {
+                    let (latest, live, _) =
+                        entry.heap.latest(row).ok_or(DbError::NoSuchRow)?;
+                    if !live {
+                        return Err(DbError::NoSuchRow);
+                    }
+                    latest
+                }
+            }
+        };
+        let new_tuple = f(&current);
+        self.update_ref(tid, rref, new_tuple)
+    }
+
+    /// Delete the row at `rref`, enforcing any in-database foreign keys
+    /// (RESTRICT / CASCADE / SET NULL).
+    pub fn delete(&mut self, table: &str, rref: RowRef) -> DbResult<()> {
+        self.ensure_open()?;
+        let (tid, _) = self.resolve(table)?;
+        self.delete_ref(tid, rref)
+    }
+
+    fn delete_ref(&mut self, tid: TableId, rref: RowRef) -> DbResult<()> {
+        let entry = self.entry(tid);
+        match rref {
+            RowRef::Own(local) => {
+                let &i = self
+                    .own_inserts
+                    .get(&local)
+                    .ok_or(DbError::NoSuchRow)?;
+                let tuple = match &self.writes[i].op {
+                    PendingOp::Insert { tuple, .. } => tuple.clone(),
+                    _ => return Err(DbError::Internal("own ref is not an insert".into())),
+                };
+                self.check_foreign_keys_parent_delete(tid, &tuple)?;
+                self.writes[i].dead = true;
+                Stats::bump(&self.db.inner.stats.deletes);
+                Ok(())
+            }
+            RowRef::Committed(row) => {
+                self.lock(LockKey::Row(tid, row), LockMode::Exclusive)?;
+                let (latest, live, begin) =
+                    entry.heap.latest(row).ok_or(DbError::NoSuchRow)?;
+                if !live {
+                    return if self.isolation.first_updater_wins() {
+                        Stats::bump(&self.db.inner.stats.write_conflicts);
+                        Err(DbError::WriteConflict)
+                    } else {
+                        Err(DbError::NoSuchRow)
+                    };
+                }
+                if self.isolation.first_updater_wins()
+                    && begin > self.snapshot
+                    && !self.write_by_row.contains_key(&(tid, row))
+                {
+                    Stats::bump(&self.db.inner.stats.write_conflicts);
+                    return Err(DbError::WriteConflict);
+                }
+                let base = match self
+                    .write_by_row
+                    .get(&(tid, row))
+                    .map(|&i| &self.writes[i])
+                {
+                    Some(Pending {
+                        op: PendingOp::Update { base, .. },
+                        dead: false,
+                        ..
+                    }) => base.clone(),
+                    Some(Pending {
+                        op: PendingOp::Delete { .. },
+                        dead: false,
+                        ..
+                    }) => return Err(DbError::NoSuchRow),
+                    _ => latest.clone(),
+                };
+                self.check_foreign_keys_parent_delete(tid, &base)?;
+                let pending = Pending {
+                    table: tid,
+                    op: PendingOp::Delete { row, base },
+                    dead: false,
+                };
+                match self.write_by_row.get(&(tid, row)).copied() {
+                    Some(i) => self.writes[i] = pending,
+                    None => {
+                        self.writes.push(pending);
+                        self.write_by_row.insert((tid, row), self.writes.len() - 1);
+                    }
+                }
+                Stats::bump(&self.db.inner.stats.deletes);
+                Ok(())
+            }
+        }
+    }
+
+    /// Delete all rows matching `pred`; returns the number deleted.
+    pub fn delete_where(&mut self, table: &str, pred: &Predicate) -> DbResult<usize> {
+        let rows = self.scan(table, pred)?;
+        let n = rows.len();
+        for (rref, _) in rows {
+            self.delete(table, rref)?;
+        }
+        Ok(n)
+    }
+
+    // ------------------------------------------------------------------
+    // Commit / rollback
+    // ------------------------------------------------------------------
+
+    fn has_effects(&self) -> bool {
+        self.writes.iter().any(|p| !p.dead)
+    }
+
+    /// Serializable backward validation: abort if any transaction that
+    /// committed after our snapshot wrote something we read.
+    fn validate_serializable(&self) -> Result<(), String> {
+        let committed = self.db.inner.committed.lock();
+        for c in committed.iter().rev() {
+            if c.commit_ts <= self.snapshot {
+                break;
+            }
+            for (t, r) in &c.rows {
+                if self.read_rows.contains(&(*t, *r)) {
+                    return Err(format!("row {}.{} was concurrently written", t.0, r));
+                }
+            }
+            for pred in &self.read_preds {
+                match pred {
+                    PredRead::WholeTable(t) => {
+                        if c.images.iter().any(|(it, _, _)| it == t) {
+                            return Err(format!(
+                                "table {} was concurrently written under a full-scan read",
+                                t.0
+                            ));
+                        }
+                    }
+                    PredRead::Eq { table, pairs } => {
+                        for (it, old, new) in &c.images {
+                            if it != table {
+                                continue;
+                            }
+                            let hit = |img: &Option<Arc<Tuple>>| {
+                                img.as_ref().is_some_and(|t| {
+                                    pairs.iter().all(|(c, v)| {
+                                        t.get(*c)
+                                            .is_some_and(|d| d.sql_eq(v) == Some(true))
+                                    })
+                                })
+                            };
+                            if hit(old) || hit(new) {
+                                return Err(format!(
+                                    "predicate read on table {} was concurrently invalidated",
+                                    it.0
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Savepoints
+    // ------------------------------------------------------------------
+
+    /// Establish a savepoint that [`Transaction::rollback_to`] can rewind
+    /// the buffered write state to. Locks acquired after the savepoint are
+    /// *retained* on partial rollback, and reads stay in the serializable
+    /// read set — conservative simplifications relative to engines that
+    /// release them (they can only reduce concurrency, never admit an
+    /// anomaly).
+    pub fn savepoint(&mut self) -> Savepoint {
+        Savepoint {
+            writes: self.writes.clone(),
+            write_by_row: self.write_by_row.clone(),
+            own_inserts: self.own_inserts.clone(),
+            next_local: self.next_local,
+        }
+    }
+
+    /// Restore the buffered write state captured by `sp`, discarding every
+    /// write (including merged updates of pre-savepoint rows) made since.
+    pub fn rollback_to(&mut self, sp: Savepoint) -> DbResult<()> {
+        self.ensure_open()?;
+        self.writes = sp.writes;
+        self.write_by_row = sp.write_by_row;
+        self.own_inserts = sp.own_inserts;
+        self.next_local = sp.next_local;
+        Ok(())
+    }
+
+    /// Commit the transaction, applying buffered writes atomically.
+    pub fn commit(&mut self) -> DbResult<()> {
+        self.ensure_open()?;
+        if !self.has_effects() {
+            self.finish(true);
+            return Ok(());
+        }
+        let guard = self.db.inner.commit_mutex.lock();
+        if self.isolation == IsolationLevel::Serializable {
+            if let Err(detail) = self.validate_serializable() {
+                drop(guard);
+                self.finish(false);
+                Stats::bump(&self.db.inner.stats.serialization_failures);
+                return Err(DbError::SerializationFailure { detail });
+            }
+        }
+        let commit_ts = self.db.inner.clock.load(Ordering::SeqCst) + 1;
+        // Redo logging: append the commit record BEFORE installing, so a
+        // crash between append and install replays to the committed state.
+        // Insert row ids are deterministic (heap appends under the commit
+        // mutex), so they can be precomputed.
+        if self.db.inner.wal.is_some() {
+            let mut wal_writes = Vec::new();
+            let mut next_row: HashMap<TableId, u64> = HashMap::new();
+            for p in &self.writes {
+                if p.dead {
+                    continue;
+                }
+                let entry = self.entry(p.table);
+                let table = entry.schema.name.clone();
+                match &p.op {
+                    PendingOp::Insert { tuple, .. } => {
+                        let next = next_row
+                            .entry(p.table)
+                            .or_insert_with(|| entry.heap.chain_count() as u64);
+                        wal_writes.push(crate::wal::WalWrite::Insert {
+                            table,
+                            row: *next,
+                            tuple: (**tuple).clone(),
+                        });
+                        *next += 1;
+                    }
+                    PendingOp::Update { row, new, .. } => {
+                        wal_writes.push(crate::wal::WalWrite::Update {
+                            table,
+                            row: *row as u64,
+                            tuple: (**new).clone(),
+                        });
+                    }
+                    PendingOp::Delete { row, .. } => {
+                        wal_writes.push(crate::wal::WalWrite::Delete {
+                            table,
+                            row: *row as u64,
+                        });
+                    }
+                }
+            }
+            if let Err(e) = self.db.wal_append(&crate::wal::WalRecord::Commit {
+                commit_ts,
+                writes: wal_writes,
+            }) {
+                drop(guard);
+                self.finish(false);
+                return Err(e);
+            }
+        }
+        let mut rows: Vec<(TableId, RowId)> = Vec::new();
+        let mut images: WriteImages = Vec::new();
+        for p in &self.writes {
+            if p.dead {
+                continue;
+            }
+            let entry = self.entry(p.table);
+            let indexes = self.indexes_of(p.table);
+            match &p.op {
+                PendingOp::Insert { tuple, .. } => {
+                    let row = entry.heap.install_insert(commit_ts, tuple.clone());
+                    for idx in &indexes {
+                        idx.insert_entry(idx.key_of(tuple), row);
+                    }
+                    rows.push((p.table, row));
+                    images.push((p.table, None, Some(tuple.clone())));
+                }
+                PendingOp::Update { row, base, new } => {
+                    entry.heap.install_update(*row, commit_ts, new.clone());
+                    for idx in &indexes {
+                        let old_key = idx.key_of(base);
+                        let new_key = idx.key_of(new);
+                        if old_key != new_key {
+                            idx.remove_entry(&old_key, *row);
+                            idx.insert_entry(new_key, *row);
+                        }
+                    }
+                    rows.push((p.table, *row));
+                    images.push((p.table, Some(base.clone()), Some(new.clone())));
+                }
+                PendingOp::Delete { row, base } => {
+                    entry.heap.install_delete(*row, commit_ts);
+                    for idx in &indexes {
+                        idx.remove_entry(&idx.key_of(base), *row);
+                    }
+                    rows.push((p.table, *row));
+                    images.push((p.table, Some(base.clone()), None));
+                }
+            }
+        }
+        self.db.inner.clock.store(commit_ts, Ordering::SeqCst);
+        self.db.inner.committed.lock().push_back(CommittedTxn {
+            commit_ts,
+            rows,
+            images,
+        });
+        drop(guard);
+        self.db.prune_committed();
+        self.finish(true);
+        Ok(())
+    }
+
+    /// Roll back the transaction, discarding buffered writes.
+    pub fn rollback(&mut self) {
+        if self.open {
+            self.finish(false);
+        }
+    }
+
+    fn finish(&mut self, committed: bool) {
+        self.open = false;
+        self.db.inner.locks.release_all(self.id, &self.locks);
+        self.locks.clear();
+        self.db.inner.active.lock().remove(&self.id);
+        if committed {
+            Stats::bump(&self.db.inner.stats.commits);
+        } else {
+            Stats::bump(&self.db.inner.stats.aborts);
+        }
+    }
+}
+
+impl Drop for Transaction {
+    fn drop(&mut self) {
+        if self.open {
+            self.finish(false);
+        }
+    }
+}
+
+fn render_key(tuple: &Tuple, cols: &[usize]) -> String {
+    let vals: Vec<String> = cols.iter().map(|&c| tuple[c].to_string()).collect();
+    format!("({})", vals.join(", "))
+}
+
+/// Re-export for key rendering in diagnostics.
+pub(crate) fn _encode(tuple: &Tuple, cols: &[usize]) -> Vec<u8> {
+    encode_composite_key(tuple, cols)
+}

@@ -1,0 +1,262 @@
+//! Exhaustive schedule exploration of the feral uniqueness race.
+//!
+//! The Rails validate-then-save sequence is four engine steps:
+//! `begin → SELECT probe → INSERT → commit`. Two concurrent saves of the
+//! same key admit C(8,4) = 70 distinct interleavings. This test *runs
+//! every one of them* and classifies the outcome per isolation level —
+//! a model-checking complement to the paper's stochastic experiments:
+//!
+//! * Read Committed: every interleaving where both probes run before
+//!   either commit produces a duplicate — and no other does.
+//! * Serializable: zero duplicates across all 70 schedules (the loser
+//!   aborts with a serialization failure).
+//! * Serializable with the PG SSI bug: duplicates reappear.
+
+use feral_db::{
+    ColumnDef, Config, DataType, Database, Datum, IsolationLevel, Predicate, TableSchema,
+    Transaction,
+};
+
+/// The four steps of a feral validated insert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Step {
+    Begin,
+    Probe,
+    Insert,
+    Commit,
+}
+
+const SEQUENCE: [Step; 4] = [Step::Begin, Step::Probe, Step::Insert, Step::Commit];
+
+/// One racing saver's state machine.
+struct Saver {
+    tx: Option<Transaction>,
+    saw_existing: bool,
+    committed: bool,
+    aborted: bool,
+}
+
+impl Saver {
+    fn new() -> Self {
+        Saver {
+            tx: None,
+            saw_existing: false,
+            committed: false,
+            aborted: false,
+        }
+    }
+
+    fn step(&mut self, db: &Database, iso: IsolationLevel, step: Step) {
+        if self.aborted {
+            return;
+        }
+        match step {
+            Step::Begin => self.tx = Some(db.begin_with(iso)),
+            Step::Probe => {
+                let tx = self.tx.as_mut().expect("begun");
+                match tx.scan("t", &Predicate::eq(1, "dup")) {
+                    Ok(rows) => self.saw_existing = !rows.is_empty(),
+                    Err(_) => self.aborted = true,
+                }
+            }
+            Step::Insert => {
+                if self.saw_existing {
+                    // validation failed: the saver gives up (rolls back)
+                    if let Some(mut tx) = self.tx.take() {
+                        tx.rollback();
+                    }
+                    self.aborted = true;
+                    return;
+                }
+                let tx = self.tx.as_mut().expect("begun");
+                if tx
+                    .insert_pairs("t", &[("k", Datum::text("dup"))])
+                    .is_err()
+                {
+                    self.aborted = true;
+                    if let Some(mut tx) = self.tx.take() {
+                        tx.rollback();
+                    }
+                }
+            }
+            Step::Commit => {
+                if let Some(mut tx) = self.tx.take() {
+                    match tx.commit() {
+                        Ok(()) => self.committed = true,
+                        Err(_) => self.aborted = true,
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Enumerate all interleavings of two copies of `SEQUENCE` as bitmasks:
+/// an 8-bit word with exactly four 1s; 1 = saver A steps, 0 = saver B.
+fn all_interleavings() -> Vec<[bool; 8]> {
+    let mut out = Vec::new();
+    for mask in 0u8..=255 {
+        if mask.count_ones() == 4 {
+            let mut schedule = [false; 8];
+            for (i, slot) in schedule.iter_mut().enumerate() {
+                *slot = mask & (1 << i) != 0;
+            }
+            out.push(schedule);
+        }
+    }
+    assert_eq!(out.len(), 70);
+    out
+}
+
+/// Run one schedule; return (duplicates, commits).
+fn run_schedule(schedule: &[bool; 8], iso: IsolationLevel, pg_ssi_bug: bool) -> (usize, usize) {
+    let db = Database::new(Config {
+        default_isolation: iso,
+        pg_ssi_bug,
+        ..Config::default()
+    });
+    db.create_table(TableSchema::new(
+        "t",
+        vec![ColumnDef::new("k", DataType::Text)],
+    ))
+    .unwrap();
+    let mut a = Saver::new();
+    let mut b = Saver::new();
+    let mut ai = 0;
+    let mut bi = 0;
+    for &is_a in schedule {
+        if is_a {
+            a.step(&db, iso, SEQUENCE[ai]);
+            ai += 1;
+        } else {
+            b.step(&db, iso, SEQUENCE[bi]);
+            bi += 1;
+        }
+    }
+    let mut check = db.begin();
+    let rows = check.scan("t", &Predicate::eq(1, "dup")).unwrap().len();
+    let commits = a.committed as usize + b.committed as usize;
+    (rows.saturating_sub(1), commits)
+}
+
+#[test]
+fn read_committed_duplicates_exactly_when_probes_precede_commits() {
+    let mut duplicate_schedules = 0;
+    let mut total = 0;
+    for schedule in all_interleavings() {
+        let (dups, commits) = run_schedule(&schedule, IsolationLevel::ReadCommitted, false);
+        total += 1;
+        // derive the analytic prediction: A's probe position and B's
+        // probe position both precede the other's commit position
+        let pos_of = |who: bool, step_idx: usize| {
+            let mut count = 0;
+            for (slot, &is_a) in schedule.iter().enumerate() {
+                if is_a == who {
+                    if count == step_idx {
+                        return slot;
+                    }
+                    count += 1;
+                }
+            }
+            unreachable!()
+        };
+        let a_probe = pos_of(true, 1);
+        let a_commit = pos_of(true, 3);
+        let b_probe = pos_of(false, 1);
+        let b_commit = pos_of(false, 3);
+        let predicted_race = a_probe < b_commit && b_probe < a_commit;
+        assert_eq!(
+            dups > 0,
+            predicted_race,
+            "schedule {schedule:?}: dups={dups}, predicted={predicted_race}"
+        );
+        if dups > 0 {
+            duplicate_schedules += 1;
+            assert_eq!(commits, 2, "a duplicate requires both commits");
+        }
+    }
+    assert_eq!(total, 70);
+    // the racing window is large: most interleavings corrupt
+    assert!(
+        duplicate_schedules > 30,
+        "expected most schedules to race, got {duplicate_schedules}"
+    );
+    // but strictly serial ones never do
+    assert!(duplicate_schedules < 70);
+    println!("RC: {duplicate_schedules}/70 interleavings produce a duplicate");
+}
+
+#[test]
+fn serializable_admits_zero_duplicates_across_all_interleavings() {
+    for schedule in all_interleavings() {
+        let (dups, commits) = run_schedule(&schedule, IsolationLevel::Serializable, false);
+        assert_eq!(dups, 0, "schedule {schedule:?} leaked a duplicate");
+        assert!(commits >= 1, "someone must make progress in {schedule:?}");
+    }
+}
+
+#[test]
+fn pg_ssi_bug_reintroduces_duplicates() {
+    let mut duplicate_schedules = 0;
+    for schedule in all_interleavings() {
+        let (dups, _) = run_schedule(&schedule, IsolationLevel::Serializable, true);
+        if dups > 0 {
+            duplicate_schedules += 1;
+        }
+    }
+    assert!(
+        duplicate_schedules > 0,
+        "the bug mode must admit duplicates in some interleavings"
+    );
+}
+
+#[test]
+fn snapshot_isolation_races_like_read_committed_for_inserts() {
+    // SI prevents lost updates but NOT duplicate inserts (write sets are
+    // disjoint rows) — the paper's point that "Oracle serializable" (SI)
+    // doesn't help uniqueness.
+    let mut duplicate_schedules = 0;
+    for schedule in all_interleavings() {
+        let (dups, _) = run_schedule(&schedule, IsolationLevel::Snapshot, false);
+        if dups > 0 {
+            duplicate_schedules += 1;
+        }
+    }
+    assert!(duplicate_schedules > 30, "{duplicate_schedules}");
+}
+
+#[test]
+fn db_unique_index_is_safe_in_every_interleaving() {
+    for schedule in all_interleavings() {
+        let db = Database::new(Config {
+            // a blocked insert would deadlock the single-threaded stepper;
+            // a tiny lock timeout converts it into a prompt abort
+            lock_timeout: std::time::Duration::from_millis(5),
+            ..Config::default()
+        });
+        db.create_table(TableSchema::new(
+            "t",
+            vec![ColumnDef::new("k", DataType::Text)],
+        ))
+        .unwrap();
+        db.create_index("t", &["k"], true).unwrap();
+        let mut a = Saver::new();
+        let mut b = Saver::new();
+        let mut ai = 0;
+        let mut bi = 0;
+        for &is_a in &schedule {
+            // NOTE: with the unique index, a blocked insert would deadlock a
+            // single-threaded stepper; the short lock timeout resolves it.
+            if is_a {
+                a.step(&db, IsolationLevel::ReadCommitted, SEQUENCE[ai]);
+                ai += 1;
+            } else {
+                b.step(&db, IsolationLevel::ReadCommitted, SEQUENCE[bi]);
+                bi += 1;
+            }
+        }
+        let mut check = db.begin();
+        let rows = check.scan("t", &Predicate::eq(1, "dup")).unwrap().len();
+        assert!(rows <= 1, "unique index leaked a duplicate in {schedule:?}");
+    }
+}

@@ -1,0 +1,235 @@
+//! SQL abstract syntax.
+
+use feral_db::{CmpOp, DataType, Datum};
+
+/// A column reference, optionally qualified by a table alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColRef {
+    /// Table name or alias, if qualified (`U.department_id`).
+    pub table: Option<String>,
+    /// Column name, or the pseudo-column `COUNT(*)` written as
+    /// `count(*)` in grouped outputs.
+    pub column: String,
+}
+
+impl ColRef {
+    /// Unqualified reference.
+    pub fn bare(column: impl Into<String>) -> Self {
+        ColRef {
+            table: None,
+            column: column.into(),
+        }
+    }
+
+    /// Render as written.
+    pub fn render(&self) -> String {
+        match &self.table {
+            Some(t) => format!("{t}.{}", self.column),
+            None => self.column.clone(),
+        }
+    }
+}
+
+/// A scalar expression (restricted to what the paper's queries need).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `col <op> literal` (or `literal <op> col`, normalized).
+    Cmp {
+        /// Column side.
+        col: ColRef,
+        /// Operator.
+        op: CmpOp,
+        /// Literal side.
+        value: Datum,
+    },
+    /// `col IS NULL` / `col IS NOT NULL`.
+    IsNull {
+        /// Column.
+        col: ColRef,
+        /// Negated (`IS NOT NULL`).
+        negated: bool,
+    },
+    /// `a = b` between two columns (join conditions).
+    ColEq(ColRef, ColRef),
+    /// `col IN (v1, v2, ...)` / `col NOT IN (...)`.
+    InList {
+        /// Column.
+        col: ColRef,
+        /// Candidate values.
+        values: Vec<Datum>,
+        /// Negated (`NOT IN`).
+        negated: bool,
+    },
+    /// `COUNT(*) <op> literal` in HAVING.
+    CountCmp {
+        /// Operator.
+        op: CmpOp,
+        /// Literal.
+        value: Datum,
+    },
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+}
+
+/// Aggregate function over a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFn {
+    /// `SUM(col)`.
+    Sum,
+    /// `MIN(col)`.
+    Min,
+    /// `MAX(col)`.
+    Max,
+    /// `AVG(col)`.
+    Avg,
+}
+
+impl AggFn {
+    /// SQL spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFn::Sum => "sum",
+            AggFn::Min => "min",
+            AggFn::Max => "max",
+            AggFn::Avg => "avg",
+        }
+    }
+}
+
+/// One item in a SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`.
+    Star,
+    /// A column.
+    Col(ColRef),
+    /// `COUNT(*)` (optionally `COUNT(col)`).
+    Count(Option<ColRef>),
+    /// `SUM/MIN/MAX/AVG(col)`.
+    Agg(AggFn, ColRef),
+    /// A literal (`SELECT 1 FROM ...`).
+    Lit(Datum),
+}
+
+/// `ORDER BY` direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Order {
+    /// Ascending (default).
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// A table source with optional alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// Table name.
+    pub name: String,
+    /// Alias (`users AS U`).
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name the query refers to this table by.
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// A parsed SELECT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// Primary table.
+    pub from: TableRef,
+    /// Optional `LEFT OUTER JOIN <table> ON <cond>`.
+    pub left_join: Option<(TableRef, Expr)>,
+    /// WHERE clause.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY column.
+    pub group_by: Option<ColRef>,
+    /// HAVING clause (over group outputs).
+    pub having: Option<Expr>,
+    /// ORDER BY column + direction.
+    pub order_by: Option<(ColRef, Order)>,
+    /// LIMIT.
+    pub limit: Option<usize>,
+    /// `FOR UPDATE` suffix (pessimistic locking).
+    pub for_update: bool,
+}
+
+/// A column definition in CREATE TABLE.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnSpec {
+    /// Column name.
+    pub name: String,
+    /// Declared type.
+    pub ty: DataType,
+    /// NOT NULL?
+    pub not_null: bool,
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)] // Select carries the full query shape
+pub enum Statement {
+    /// `SELECT ...`.
+    Select(Select),
+    /// `INSERT INTO t (cols) VALUES (...), (...)`.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Column list.
+        columns: Vec<String>,
+        /// Value rows.
+        rows: Vec<Vec<Datum>>,
+    },
+    /// `UPDATE t SET c = v [, ...] [WHERE ...]`.
+    Update {
+        /// Target table.
+        table: String,
+        /// Assignments.
+        sets: Vec<(String, Datum)>,
+        /// Filter.
+        where_clause: Option<Expr>,
+    },
+    /// `DELETE FROM t [WHERE ...]`.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Filter.
+        where_clause: Option<Expr>,
+    },
+    /// `CREATE TABLE t (...)`.
+    CreateTable {
+        /// Table name.
+        table: String,
+        /// Columns.
+        columns: Vec<ColumnSpec>,
+    },
+    /// `CREATE [UNIQUE] INDEX [name] ON t (cols)`.
+    CreateIndex {
+        /// Optional index name.
+        name: Option<String>,
+        /// Indexed table.
+        table: String,
+        /// Indexed columns.
+        columns: Vec<String>,
+        /// UNIQUE?
+        unique: bool,
+    },
+    /// `BEGIN [ISOLATION LEVEL <level>]`.
+    Begin {
+        /// Optional isolation level.
+        isolation: Option<String>,
+    },
+    /// `COMMIT`.
+    Commit,
+    /// `ROLLBACK`.
+    Rollback,
+}

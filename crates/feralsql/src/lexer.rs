@@ -1,0 +1,282 @@
+//! SQL tokenizer.
+
+use std::fmt;
+
+/// A SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (uppercased keywords are matched
+    /// case-insensitively by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `,`.
+    Comma,
+    /// `.`.
+    Dot,
+    /// `*`.
+    Star,
+    /// `;`.
+    Semi,
+    /// `=`.
+    Eq,
+    /// `<>` or `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Star => write!(f, "*"),
+            Token::Semi => write!(f, ";"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+        }
+    }
+}
+
+/// Lexing error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Explanation.
+    pub message: String,
+    /// Byte offset in the input.
+    pub position: usize,
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes: Vec<char> = input.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if bytes.get(i + 1) == Some(&'-') => {
+                // line comment
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&'=') => {
+                out.push(Token::Ne);
+                i += 2;
+            }
+            '<' => {
+                match bytes.get(i + 1) {
+                    Some('>') => {
+                        out.push(Token::Ne);
+                        i += 2;
+                    }
+                    Some('=') => {
+                        out.push(Token::Le);
+                        i += 2;
+                    }
+                    _ => {
+                        out.push(Token::Lt);
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(LexError {
+                                message: "unterminated string".into(),
+                                position: i,
+                            })
+                        }
+                        Some('\'') if bytes.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(c) => {
+                            s.push(*c);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
+            {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                }
+                let mut is_float = false;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || (bytes[i] == '.'
+                            && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())))
+                {
+                    if bytes[i] == '.' {
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                if is_float {
+                    out.push(Token::Float(text.parse().map_err(|_| LexError {
+                        message: format!("bad float {text:?}"),
+                        position: start,
+                    })?));
+                } else {
+                    out.push(Token::Int(text.parse().map_err(|_| LexError {
+                        message: format!("bad integer {text:?}"),
+                        position: start,
+                    })?));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' || c == '"' => {
+                // identifiers, optionally double-quoted
+                if c == '"' {
+                    let mut s = String::new();
+                    i += 1;
+                    while i < bytes.len() && bytes[i] != '"' {
+                        s.push(bytes[i]);
+                        i += 1;
+                    }
+                    if i >= bytes.len() {
+                        return Err(LexError {
+                            message: "unterminated quoted identifier".into(),
+                            position: i,
+                        });
+                    }
+                    i += 1;
+                    out.push(Token::Ident(s));
+                } else {
+                    let start = i;
+                    while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                        i += 1;
+                    }
+                    out.push(Token::Ident(bytes[start..i].iter().collect()));
+                }
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character {other:?}"),
+                    position: i,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_select() {
+        let toks = tokenize("SELECT 1 FROM t WHERE key = 'a''b' LIMIT 1;").unwrap();
+        assert_eq!(toks[0], Token::Ident("SELECT".into()));
+        assert_eq!(toks[1], Token::Int(1));
+        assert!(toks.contains(&Token::Str("a'b".into())));
+        assert_eq!(*toks.last().unwrap(), Token::Semi);
+    }
+
+    #[test]
+    fn operators_and_numbers() {
+        let toks = tokenize("a <= -2.5 AND b <> 3 OR c >= 4").unwrap();
+        assert!(toks.contains(&Token::Le));
+        assert!(toks.contains(&Token::Float(-2.5)));
+        assert!(toks.contains(&Token::Ne));
+        assert!(toks.contains(&Token::Ge));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = tokenize("SELECT * -- the works\nFROM t").unwrap();
+        assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        let toks = tokenize("SELECT \"weird name\" FROM t").unwrap();
+        assert!(toks.contains(&Token::Ident("weird name".into())));
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = tokenize("SELECT 'oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        let err = tokenize("SELECT @").unwrap_err();
+        assert!(err.message.contains("unexpected"));
+    }
+}

@@ -1,0 +1,37 @@
+//! # feral-sql
+//!
+//! A minimal SQL front-end over [`feral_db`], covering exactly the
+//! dialect the paper's appendices use: `CREATE TABLE` / `CREATE [UNIQUE]
+//! INDEX`, `INSERT`, `UPDATE`, `DELETE`, transactions with optional
+//! isolation levels, and `SELECT` with `LEFT OUTER JOIN`, `WHERE`,
+//! `GROUP BY` + `HAVING COUNT(*)`, `ORDER BY`, `LIMIT` (including the
+//! appendix's spelled-out `LIMIT ONE`), and `FOR UPDATE`.
+//!
+//! The duplicate- and orphan-counting queries of Appendix C run verbatim:
+//!
+//! ```
+//! use feral_db::Database;
+//! use feral_sql::SqlSession;
+//!
+//! let mut s = SqlSession::new(Database::in_memory());
+//! s.execute("CREATE TABLE users (department_id INT)").unwrap();
+//! s.execute("CREATE TABLE departments (name TEXT)").unwrap();
+//! s.execute("INSERT INTO users (department_id) VALUES (7)").unwrap();
+//! let orphans = s.execute(
+//!     "SELECT department_id, COUNT(*) FROM users AS U \
+//!      LEFT OUTER JOIN departments AS D ON U.department_id = D.id \
+//!      WHERE D.id IS NULL GROUP BY department_id HAVING COUNT(*) > 0",
+//! ).unwrap().rows();
+//! assert_eq!(orphans.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{ColRef, Expr, Order, Select, SelectItem, Statement, TableRef};
+pub use exec::{SqlError, SqlOutput, SqlSession};
+pub use parser::{parse, ParseError};

@@ -1,0 +1,152 @@
+//! Aggregate/IN-list behaviour and parser robustness (the parser must
+//! reject garbage with an error, never panic).
+
+use feral_db::{Database, Datum};
+use feral_sql::{parse, SqlSession};
+use proptest::prelude::*;
+
+fn session_with_sales() -> SqlSession {
+    let mut s = SqlSession::new(Database::in_memory());
+    s.execute("CREATE TABLE sales (region TEXT, amount INT)").unwrap();
+    for (r, a) in [
+        ("west", 10),
+        ("west", 30),
+        ("east", 5),
+        ("east", 7),
+        ("east", 9),
+        ("north", 100),
+    ] {
+        s.execute(&format!("INSERT INTO sales (region, amount) VALUES ('{r}', {a})"))
+            .unwrap();
+    }
+    // one NULL amount: aggregates must skip it
+    s.execute("INSERT INTO sales (region, amount) VALUES ('west', NULL)")
+        .unwrap();
+    s
+}
+
+#[test]
+fn global_aggregates() {
+    let mut s = session_with_sales();
+    let rows = s
+        .execute("SELECT COUNT(*), SUM(amount), MIN(amount), MAX(amount), AVG(amount) FROM sales")
+        .unwrap()
+        .rows();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0][0], Datum::Int(7)); // COUNT(*) counts NULL rows
+    assert_eq!(rows[0][1], Datum::Int(161)); // SUM skips NULL
+    assert_eq!(rows[0][2], Datum::Int(5));
+    assert_eq!(rows[0][3], Datum::Int(100));
+    let avg = rows[0][4].as_float().unwrap();
+    assert!((avg - 161.0 / 6.0).abs() < 1e-9);
+}
+
+#[test]
+fn grouped_aggregates() {
+    let mut s = session_with_sales();
+    let rows = s
+        .execute(
+            "SELECT region, COUNT(*), SUM(amount), MAX(amount) FROM sales \
+             GROUP BY region ORDER BY region",
+        )
+        .unwrap()
+        .rows();
+    assert_eq!(rows.len(), 3);
+    // east: 3 rows, sum 21, max 9
+    assert_eq!(
+        rows[0],
+        vec![Datum::text("east"), Datum::Int(3), Datum::Int(21), Datum::Int(9)]
+    );
+    // north: 1 row
+    assert_eq!(rows[1][2], Datum::Int(100));
+    // west: 3 rows (one NULL amount), sum 40
+    assert_eq!(rows[2][1], Datum::Int(3));
+    assert_eq!(rows[2][2], Datum::Int(40));
+}
+
+#[test]
+fn aggregate_of_empty_set_is_null() {
+    let mut s = session_with_sales();
+    let rows = s
+        .execute("SELECT SUM(amount) FROM sales WHERE region = 'nowhere'")
+        .unwrap()
+        .rows();
+    assert_eq!(rows, vec![vec![Datum::Null]]);
+}
+
+#[test]
+fn in_lists() {
+    let mut s = session_with_sales();
+    let rows = s
+        .execute("SELECT region FROM sales WHERE region IN ('east', 'north') ORDER BY region")
+        .unwrap()
+        .rows();
+    assert_eq!(rows.len(), 4);
+    let rows = s
+        .execute("SELECT COUNT(*) FROM sales WHERE region NOT IN ('east')")
+        .unwrap()
+        .rows();
+    assert_eq!(rows, vec![vec![Datum::Int(4)]]);
+    // NULL never matches IN or NOT IN
+    let rows = s
+        .execute("SELECT COUNT(*) FROM sales WHERE amount NOT IN (10)")
+        .unwrap()
+        .rows();
+    assert_eq!(rows, vec![vec![Datum::Int(5)]]); // 6 non-null minus the 10
+}
+
+#[test]
+fn in_list_pushes_down_to_index() {
+    let db = Database::in_memory();
+    let mut s = SqlSession::new(db.clone());
+    s.execute("CREATE TABLE t (k TEXT)").unwrap();
+    s.execute("CREATE INDEX ON t (k)").unwrap();
+    for k in ["a", "b", "c", "a"] {
+        s.execute(&format!("INSERT INTO t (k) VALUES ('{k}')")).unwrap();
+    }
+    let rows = s
+        .execute("SELECT k FROM t WHERE k IN ('a', 'c') ORDER BY k")
+        .unwrap()
+        .rows();
+    assert_eq!(rows.len(), 3);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The parser never panics, whatever bytes arrive.
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in ".{0,120}") {
+        let _ = parse(&input);
+    }
+
+    /// Nor on keyword-dense near-SQL soup.
+    #[test]
+    fn parser_never_panics_on_sql_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("SELECT"), Just("FROM"), Just("WHERE"), Just("GROUP"),
+                Just("BY"), Just("HAVING"), Just("COUNT"), Just("("), Just(")"),
+                Just("*"), Just(","), Just("="), Just("IN"), Just("NOT"),
+                Just("NULL"), Just("t"), Just("x"), Just("'s'"), Just("1"),
+                Just("LEFT"), Just("JOIN"), Just("ON"), Just("LIMIT"),
+                Just("ORDER"), Just("INSERT"), Just("INTO"), Just("VALUES"),
+            ],
+            0..24,
+        )
+    ) {
+        let sql = words.join(" ");
+        let _ = parse(&sql);
+    }
+
+    /// Executing arbitrary parsed-or-not statements against a session
+    /// returns an error or a result — never a panic or poisoned state.
+    #[test]
+    fn executor_survives_arbitrary_statements(input in ".{0,80}") {
+        let mut s = session_with_sales();
+        let _ = s.execute(&input);
+        // session still usable afterwards
+        let rows = s.execute("SELECT COUNT(*) FROM sales").unwrap().rows();
+        prop_assert_eq!(rows[0][0].clone(), Datum::Int(7));
+    }
+}

@@ -1,0 +1,209 @@
+//! End-to-end SQL tests, centred on the exact queries from the paper's
+//! appendices.
+
+use feral_db::{Database, Datum};
+use feral_sql::{SqlError, SqlOutput, SqlSession};
+
+fn session() -> SqlSession {
+    SqlSession::new(Database::in_memory())
+}
+
+#[test]
+fn create_insert_select_roundtrip() {
+    let mut s = session();
+    s.execute("CREATE TABLE kv (key TEXT NOT NULL, value TEXT)")
+        .unwrap();
+    assert_eq!(
+        s.execute("INSERT INTO kv (key, value) VALUES ('a', '1'), ('b', '2')")
+            .unwrap(),
+        SqlOutput::Affected(2)
+    );
+    let rows = s
+        .execute("SELECT key, value FROM kv ORDER BY key")
+        .unwrap()
+        .rows();
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0][0], Datum::text("a"));
+    assert_eq!(rows[1][1], Datum::text("2"));
+}
+
+#[test]
+fn appendix_b1_uniqueness_probe() {
+    let mut s = session();
+    s.execute("CREATE TABLE validated_key_values (key TEXT, value TEXT)")
+        .unwrap();
+    let probe = "SELECT 1 FROM validated_key_values WHERE key = 'k' LIMIT ONE";
+    assert!(s.execute(probe).unwrap().rows().is_empty());
+    s.execute("INSERT INTO validated_key_values (key, value) VALUES ('k', 'v')")
+        .unwrap();
+    assert_eq!(s.execute(probe).unwrap().rows(), vec![vec![Datum::Int(1)]]);
+}
+
+#[test]
+fn appendix_c2_duplicate_count_query() {
+    let mut s = session();
+    s.execute("CREATE TABLE t (key TEXT)").unwrap();
+    for k in ["a", "a", "a", "b", "c", "c"] {
+        s.execute(&format!("INSERT INTO t (key) VALUES ('{k}')"))
+            .unwrap();
+    }
+    let rows = s
+        .execute("SELECT key, COUNT(key) FROM t GROUP BY key HAVING COUNT(key) > 1 ORDER BY key")
+        .unwrap()
+        .rows();
+    // duplicates: a×3, c×2
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0], vec![Datum::text("a"), Datum::Int(3)]);
+    assert_eq!(rows[1], vec![Datum::text("c"), Datum::Int(2)]);
+}
+
+#[test]
+fn appendix_c5_orphan_query_with_left_outer_join() {
+    let mut s = session();
+    s.execute("CREATE TABLE m_departments (name TEXT)").unwrap();
+    s.execute("CREATE TABLE m_users (m_department_id INT)").unwrap();
+    s.execute("INSERT INTO m_departments (id, name) VALUES (1, 'eng')")
+        .unwrap();
+    // two users in the live department, three orphans across two dead ids
+    for d in [1, 1, 2, 2, 3] {
+        s.execute(&format!("INSERT INTO m_users (m_department_id) VALUES ({d})"))
+            .unwrap();
+    }
+    let rows = s
+        .execute(
+            "SELECT m_department_id, COUNT(*) FROM m_users AS U \
+             LEFT OUTER JOIN m_departments AS D ON U.m_department_id = D.id \
+             WHERE D.id IS NULL GROUP BY m_department_id HAVING COUNT(*) > 0 \
+             ORDER BY m_department_id",
+        )
+        .unwrap()
+        .rows();
+    assert_eq!(
+        rows,
+        vec![
+            vec![Datum::Int(2), Datum::Int(2)],
+            vec![Datum::Int(3), Datum::Int(1)],
+        ]
+    );
+}
+
+#[test]
+fn update_and_delete_with_where() {
+    let mut s = session();
+    s.execute("CREATE TABLE t (k TEXT, v INT)").unwrap();
+    for (k, v) in [("a", 1), ("b", 2), ("c", 3)] {
+        s.execute(&format!("INSERT INTO t (k, v) VALUES ('{k}', {v})"))
+            .unwrap();
+    }
+    assert_eq!(
+        s.execute("UPDATE t SET v = 10 WHERE v >= 2").unwrap(),
+        SqlOutput::Affected(2)
+    );
+    assert_eq!(
+        s.execute("DELETE FROM t WHERE k = 'a'").unwrap(),
+        SqlOutput::Affected(1)
+    );
+    let rows = s.execute("SELECT v FROM t ORDER BY k").unwrap().rows();
+    assert_eq!(rows, vec![vec![Datum::Int(10)], vec![Datum::Int(10)]]);
+}
+
+#[test]
+fn transactions_commit_and_rollback() {
+    let mut s = session();
+    s.execute("CREATE TABLE t (k TEXT)").unwrap();
+    s.execute("BEGIN").unwrap();
+    s.execute("INSERT INTO t (k) VALUES ('x')").unwrap();
+    s.execute("ROLLBACK").unwrap();
+    assert!(s.execute("SELECT * FROM t").unwrap().rows().is_empty());
+    s.execute("BEGIN ISOLATION LEVEL SERIALIZABLE").unwrap();
+    s.execute("INSERT INTO t (k) VALUES ('y')").unwrap();
+    s.execute("COMMIT").unwrap();
+    assert_eq!(s.execute("SELECT COUNT(*) FROM t").unwrap().rows(), vec![vec![Datum::Int(1)]]);
+}
+
+#[test]
+fn unique_index_enforced_through_sql() {
+    let mut s = session();
+    s.execute("CREATE TABLE t (k TEXT)").unwrap();
+    s.execute("CREATE UNIQUE INDEX ON t (k)").unwrap();
+    s.execute("INSERT INTO t (k) VALUES ('dup')").unwrap();
+    let err = s.execute("INSERT INTO t (k) VALUES ('dup')").unwrap_err();
+    assert!(matches!(err, SqlError::Db(e) if e.is_constraint_violation()));
+}
+
+#[test]
+fn select_for_update_parses_and_locks() {
+    let mut s = session();
+    s.execute("CREATE TABLE stock (count_on_hand INT)").unwrap();
+    s.execute("INSERT INTO stock (count_on_hand) VALUES (10)").unwrap();
+    s.execute("BEGIN").unwrap();
+    let rows = s
+        .execute("SELECT * FROM stock WHERE id = 1 FOR UPDATE")
+        .unwrap()
+        .rows();
+    assert_eq!(rows.len(), 1);
+    s.execute("UPDATE stock SET count_on_hand = 9 WHERE id = 1")
+        .unwrap();
+    s.execute("COMMIT").unwrap();
+    let rows = s.execute("SELECT count_on_hand FROM stock").unwrap().rows();
+    assert_eq!(rows, vec![vec![Datum::Int(9)]]);
+}
+
+#[test]
+fn null_semantics_in_where() {
+    let mut s = session();
+    s.execute("CREATE TABLE t (v INT)").unwrap();
+    s.execute("INSERT INTO t (v) VALUES (1), (NULL)").unwrap();
+    // NULL doesn't match equality
+    assert_eq!(s.execute("SELECT * FROM t WHERE v = 1").unwrap().rows().len(), 1);
+    assert_eq!(
+        s.execute("SELECT * FROM t WHERE v IS NULL").unwrap().rows().len(),
+        1
+    );
+    assert_eq!(
+        s.execute("SELECT * FROM t WHERE v IS NOT NULL").unwrap().rows().len(),
+        1
+    );
+    // NOT of UNKNOWN is still not a match
+    assert_eq!(
+        s.execute("SELECT * FROM t WHERE NOT v = 1").unwrap().rows().len(),
+        0
+    );
+}
+
+#[test]
+fn semantic_errors_are_reported() {
+    let mut s = session();
+    s.execute("CREATE TABLE t (v INT)").unwrap();
+    assert!(matches!(
+        s.execute("SELECT nope FROM t"),
+        Err(SqlError::Semantic(_))
+    ));
+    assert!(matches!(
+        s.execute("SELECT * FROM missing"),
+        Err(SqlError::Db(_))
+    ));
+    assert!(matches!(s.execute("COMMIT"), Err(SqlError::Semantic(_))));
+    assert!(matches!(s.execute("oops"), Err(SqlError::Parse(_))));
+}
+
+#[test]
+fn concurrent_sql_sessions_share_the_database() {
+    let db = Database::in_memory();
+    let mut a = SqlSession::new(db.clone());
+    let mut b = SqlSession::new(db);
+    a.execute("CREATE TABLE t (k TEXT)").unwrap();
+    b.execute("INSERT INTO t (k) VALUES ('from-b')").unwrap();
+    assert_eq!(a.execute("SELECT COUNT(*) FROM t").unwrap().rows(), vec![vec![Datum::Int(1)]]);
+    // snapshot isolation between sessions
+    a.execute("BEGIN ISOLATION LEVEL REPEATABLE READ").unwrap();
+    assert_eq!(a.execute("SELECT COUNT(*) FROM t").unwrap().rows(), vec![vec![Datum::Int(1)]]);
+    b.execute("INSERT INTO t (k) VALUES ('later')").unwrap();
+    assert_eq!(
+        a.execute("SELECT COUNT(*) FROM t").unwrap().rows(),
+        vec![vec![Datum::Int(1)]],
+        "repeatable read must hold its snapshot"
+    );
+    a.execute("COMMIT").unwrap();
+    assert_eq!(a.execute("SELECT COUNT(*) FROM t").unwrap().rows(), vec![vec![Datum::Int(2)]]);
+}

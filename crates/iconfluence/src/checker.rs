@@ -1,0 +1,255 @@
+//! The bounded-exhaustive I-confluence checker.
+//!
+//! For every reachable invariant-satisfying state `S`, every pair of
+//! validated operations `(a, b)` with `a(S)` and `b(S)` both satisfying
+//! the invariant, the checker tests whether `merge(a(S), b(S))` satisfies
+//! it too. A failure is a *counterexample* proving the invariant is not
+//! I-confluent under that operation mix; exhausting the bounded space
+//! certifies confluence within the bound.
+//!
+//! States are explored by breadth-first closure of the operation universe
+//! from the empty database, up to a configurable depth — so every state
+//! the checker considers is actually *reachable* by validated operations,
+//! matching the I-confluence definition's reachability requirement.
+
+use crate::invariants::Invariant;
+use crate::ops::{Op, OpShapes};
+use crate::state::AbstractState;
+use std::collections::HashSet;
+
+/// A concrete divergence that violates the invariant after merge.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The common ancestor state.
+    pub initial: AbstractState,
+    /// The operation one side ran.
+    pub op_a: Op,
+    /// The operation the other side ran.
+    pub op_b: Op,
+    /// Side A's (invariant-satisfying) result.
+    pub state_a: AbstractState,
+    /// Side B's (invariant-satisfying) result.
+    pub state_b: AbstractState,
+    /// The merged state, which violates the invariant.
+    pub merged: AbstractState,
+}
+
+impl std::fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "from {}:\n  A ran {:?} -> {}\n  B ran {:?} -> {}\n  merge -> {}  (violates invariant)",
+            self.initial.render(),
+            self.op_a,
+            self.state_a.render(),
+            self.op_b,
+            self.state_b.render(),
+            self.merged.render()
+        )
+    }
+}
+
+/// Checker outcome.
+#[derive(Debug, Clone)]
+pub enum Verdict {
+    /// No counterexample exists within the explored bound.
+    Confluent {
+        /// Number of (state, op-pair) combinations examined.
+        examined: u64,
+    },
+    /// The invariant is not I-confluent; here is why.
+    NotConfluent(Box<Counterexample>),
+}
+
+impl Verdict {
+    /// Whether the verdict certifies confluence.
+    pub fn is_confluent(&self) -> bool {
+        matches!(self, Verdict::Confluent { .. })
+    }
+}
+
+/// Checker configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckConfig {
+    /// BFS depth from the empty state (number of sequential validated
+    /// operations used to build initial states).
+    pub depth: usize,
+    /// Cap on explored initial states (safety valve).
+    pub max_states: usize,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            depth: 3,
+            max_states: 4000,
+        }
+    }
+}
+
+const KEY_DOMAIN: &[Option<i8>] = &[None, Some(-1), Some(0), Some(1)];
+
+/// Enumerate reachable invariant-satisfying states by BFS over validated
+/// operations.
+fn reachable_states(
+    inv: &Invariant,
+    shapes: &OpShapes,
+    config: &CheckConfig,
+) -> Vec<AbstractState> {
+    let mut seen: HashSet<AbstractState> = HashSet::new();
+    let mut frontier = vec![AbstractState::new()];
+    seen.insert(AbstractState::new());
+    let mut fresh = 1u32;
+    for _ in 0..config.depth {
+        let mut next = Vec::new();
+        for s in &frontier {
+            for op in Op::universe(s, KEY_DOMAIN, shapes) {
+                if let Some(s2) = op.apply(s, fresh) {
+                    if inv.holds(&s2) && !seen.contains(&s2) {
+                        seen.insert(s2.clone());
+                        next.push(s2);
+                        if seen.len() >= config.max_states {
+                            break;
+                        }
+                    }
+                }
+            }
+            fresh += 1;
+            if seen.len() >= config.max_states {
+                break;
+            }
+        }
+        frontier = next;
+        if frontier.is_empty() || seen.len() >= config.max_states {
+            break;
+        }
+    }
+    seen.into_iter().collect()
+}
+
+/// Check I-confluence of `inv` under the operation mix `shapes`.
+pub fn check_with(inv: &Invariant, shapes: &OpShapes, config: &CheckConfig) -> Verdict {
+    let states = reachable_states(inv, shapes, config);
+    let mut examined = 0u64;
+    for s in &states {
+        if !inv.holds(s) {
+            continue;
+        }
+        let ops = Op::universe(s, KEY_DOMAIN, shapes);
+        for (i, a) in ops.iter().enumerate() {
+            // side A allocates fresh ids in the 1000s, side B in the 2000s:
+            // concurrent saves of *different* models create different rows
+            let Some(sa) = a.apply(s, 1000) else { continue };
+            if !inv.holds(&sa) {
+                continue; // A was not a locally valid execution
+            }
+            for b in ops.iter().skip(i) {
+                let Some(sb) = b.apply(s, 2000) else { continue };
+                if !inv.holds(&sb) {
+                    continue;
+                }
+                examined += 1;
+                let merged = sa.merge(&sb);
+                if !inv.holds(&merged) {
+                    return Verdict::NotConfluent(Box::new(Counterexample {
+                        initial: s.clone(),
+                        op_a: a.clone(),
+                        op_b: b.clone(),
+                        state_a: sa.clone(),
+                        state_b: sb,
+                        merged,
+                    }));
+                }
+            }
+        }
+    }
+    Verdict::Confluent { examined }
+}
+
+/// Check with the default bound.
+pub fn check(inv: &Invariant, shapes: &OpShapes) -> Verdict {
+    check_with(inv, shapes, &CheckConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniqueness_is_not_confluent_under_inserts() {
+        // Table 1: validates_uniqueness_of — No.
+        let v = check(&Invariant::UniqueKey, &OpShapes::insertions());
+        let Verdict::NotConfluent(cx) = v else {
+            panic!("uniqueness must not be confluent")
+        };
+        // the counterexample is two concurrent inserts of the same key
+        assert!(cx.op_a.is_insertion() && cx.op_b.is_insertion(), "{cx}");
+    }
+
+    #[test]
+    fn foreign_key_is_confluent_under_insertions_only() {
+        // §4.2: "Under insertions, foreign key constraints are I-confluent"
+        let v = check(&Invariant::ForeignKey, &OpShapes::insertions());
+        assert!(v.is_confluent(), "{v:?}");
+    }
+
+    #[test]
+    fn foreign_key_is_not_confluent_with_deletions() {
+        // "...but, under deletions, they are not."
+        let v = check(&Invariant::ForeignKey, &OpShapes::all());
+        let Verdict::NotConfluent(cx) = v else {
+            panic!("FK with deletions must not be confluent")
+        };
+        // one side deletes a parent while the other references it
+        assert!(
+            cx.op_a.is_deletion() || cx.op_b.is_deletion(),
+            "counterexample should involve a deletion: {cx}"
+        );
+    }
+
+    #[test]
+    fn row_local_invariants_are_confluent_under_full_mix() {
+        for inv in [
+            Invariant::KeyPresent,
+            Invariant::KeyInSet(vec![0, 1]),
+            Invariant::KeyNonNegative,
+        ] {
+            let v = check(&inv, &OpShapes::all());
+            assert!(v.is_confluent(), "{} should be confluent", inv.name());
+        }
+    }
+
+    #[test]
+    fn aggregate_sum_is_not_confluent_under_decrements() {
+        let shapes = OpShapes {
+            insert_child: true,
+            decrement_child: true,
+            ..Default::default()
+        };
+        let v = check(&Invariant::SumNonNegative, &shapes);
+        assert!(
+            !v.is_confluent(),
+            "concurrent decrements must be able to violate the sum bound"
+        );
+    }
+
+    #[test]
+    fn unique_key_is_confluent_if_only_deletions_happen() {
+        // deleting can never create a duplicate
+        let shapes = OpShapes {
+            delete_child: true,
+            ..Default::default()
+        };
+        let v = check(&Invariant::UniqueKey, &shapes);
+        assert!(v.is_confluent());
+    }
+
+    #[test]
+    fn examined_count_is_reported() {
+        let v = check(&Invariant::KeyPresent, &OpShapes::insertions());
+        let Verdict::Confluent { examined } = v else {
+            panic!()
+        };
+        assert!(examined > 100, "expected a substantive search, got {examined}");
+    }
+}

@@ -1,0 +1,200 @@
+//! The paper's Table 1: built-in validator usage and I-confluence
+//! verdicts, plus the mapping from validator kinds to checkable
+//! invariants.
+
+use crate::checker::{check, Verdict};
+use crate::invariants::Invariant;
+use crate::ops::OpShapes;
+
+/// The verdict column of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PaperVerdict {
+    /// I-confluent under any operation mix ("Yes").
+    Yes,
+    /// Never I-confluent ("No").
+    No,
+    /// Contingent on the operation mix ("Depends").
+    Depends,
+}
+
+/// One row of the paper's Table 1.
+#[derive(Debug, Clone, Copy)]
+pub struct TableOneRow {
+    /// `validates_*` name.
+    pub name: &'static str,
+    /// Occurrences in the 67-application corpus.
+    pub occurrences: u32,
+    /// The paper's verdict.
+    pub verdict: PaperVerdict,
+}
+
+/// Table 1 verbatim: "Use of and invariant confluence of built-in
+/// validations."
+pub const TABLE_ONE: &[TableOneRow] = &[
+    TableOneRow { name: "validates_presence_of", occurrences: 1762, verdict: PaperVerdict::Depends },
+    TableOneRow { name: "validates_uniqueness_of", occurrences: 440, verdict: PaperVerdict::No },
+    TableOneRow { name: "validates_length_of", occurrences: 438, verdict: PaperVerdict::Yes },
+    TableOneRow { name: "validates_inclusion_of", occurrences: 201, verdict: PaperVerdict::Yes },
+    TableOneRow { name: "validates_numericality_of", occurrences: 133, verdict: PaperVerdict::Yes },
+    TableOneRow { name: "validates_associated", occurrences: 39, verdict: PaperVerdict::Depends },
+    TableOneRow { name: "validates_email", occurrences: 34, verdict: PaperVerdict::Yes },
+    TableOneRow { name: "validates_attachment_content_type", occurrences: 29, verdict: PaperVerdict::Yes },
+    TableOneRow { name: "validates_attachment_size", occurrences: 29, verdict: PaperVerdict::Yes },
+    TableOneRow { name: "validates_confirmation_of", occurrences: 19, verdict: PaperVerdict::Yes },
+];
+
+/// Occurrences attributed to "Other" in Table 1.
+pub const TABLE_ONE_OTHER: u32 = 321;
+
+/// Total built-in validation occurrences (Table 1 rows + Other).
+pub fn table_one_total() -> u32 {
+    TABLE_ONE.iter().map(|r| r.occurrences).sum::<u32>() + TABLE_ONE_OTHER
+}
+
+/// The operation-mix dimension of the classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OperationMix {
+    /// Concurrent insertions only.
+    InsertionsOnly,
+    /// Insertions, updates, and deletions.
+    WithDeletions,
+}
+
+/// The resolved safety of a (validator, mix) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Safety {
+    /// Safe to enforce without coordination.
+    IConfluent,
+    /// Concurrent execution can violate the declared invariant.
+    NotIConfluent,
+}
+
+/// Resolve a validator kind (`validates_*` name) against an operation mix,
+/// per Table 1's verdicts ("Depends" rows resolve by the mix: presence and
+/// associated are safe under insertions and unsafe once deletions mix in —
+/// §4.2).
+pub fn classify_validator(kind: &str, mix: OperationMix) -> Safety {
+    let verdict = TABLE_ONE
+        .iter()
+        .find(|r| r.name == kind)
+        .map(|r| r.verdict)
+        .unwrap_or(PaperVerdict::Yes); // format checks etc. are row-local
+    match (verdict, mix) {
+        (PaperVerdict::Yes, _) => Safety::IConfluent,
+        (PaperVerdict::No, _) => Safety::NotIConfluent,
+        (PaperVerdict::Depends, OperationMix::InsertionsOnly) => Safety::IConfluent,
+        (PaperVerdict::Depends, OperationMix::WithDeletions) => Safety::NotIConfluent,
+    }
+}
+
+/// The invariant + operation shapes that mechanically check a validator's
+/// verdict (used to re-derive Table 1 with the model checker).
+pub fn checkable(kind: &str, mix: OperationMix) -> Option<(Invariant, OpShapes)> {
+    let shapes = match mix {
+        OperationMix::InsertionsOnly => OpShapes::insertions(),
+        OperationMix::WithDeletions => OpShapes::all(),
+    };
+    let invariant = match kind {
+        "validates_uniqueness_of" => Invariant::UniqueKey,
+        // presence-of-association and validates_associated are referential
+        "validates_presence_of" | "validates_associated" => Invariant::ForeignKey,
+        "validates_length_of"
+        | "validates_inclusion_of"
+        | "validates_email"
+        | "validates_attachment_content_type"
+        | "validates_attachment_size"
+        | "validates_confirmation_of" => Invariant::KeyInSet(vec![0, 1]),
+        "validates_numericality_of" => Invariant::KeyNonNegative,
+        _ => return None,
+    };
+    Some((invariant, shapes))
+}
+
+/// Mechanically derive the Safety of a validator kind by running the model
+/// checker, instead of trusting the static table.
+pub fn derive_safety(kind: &str, mix: OperationMix) -> Option<Safety> {
+    let (inv, shapes) = checkable(kind, mix)?;
+    Some(match check(&inv, &shapes) {
+        Verdict::Confluent { .. } => Safety::IConfluent,
+        Verdict::NotConfluent(_) => Safety::NotIConfluent,
+    })
+}
+
+/// Fraction of Table 1 occurrences (including "Other", assumed safe, as
+/// the paper's 86.9% figure does) that are I-confluent under `mix`.
+pub fn safe_fraction(mix: OperationMix) -> f64 {
+    let safe: u32 = TABLE_ONE
+        .iter()
+        .filter(|r| classify_validator(r.name, mix) == Safety::IConfluent)
+        .map(|r| r.occurrences)
+        .sum::<u32>()
+        + TABLE_ONE_OTHER;
+    safe as f64 / table_one_total() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_totals_match_the_paper() {
+        // 3505 total validations, 60 UDFs -> 3445 built-in
+        assert_eq!(table_one_total(), 3445);
+    }
+
+    #[test]
+    fn static_classification_matches_paper_verdicts() {
+        use OperationMix::*;
+        assert_eq!(
+            classify_validator("validates_uniqueness_of", InsertionsOnly),
+            Safety::NotIConfluent
+        );
+        assert_eq!(
+            classify_validator("validates_presence_of", InsertionsOnly),
+            Safety::IConfluent
+        );
+        assert_eq!(
+            classify_validator("validates_presence_of", WithDeletions),
+            Safety::NotIConfluent
+        );
+        assert_eq!(
+            classify_validator("validates_length_of", WithDeletions),
+            Safety::IConfluent
+        );
+    }
+
+    #[test]
+    fn checker_rederives_every_table_one_verdict() {
+        use OperationMix::*;
+        for row in TABLE_ONE {
+            for mix in [InsertionsOnly, WithDeletions] {
+                let expected = classify_validator(row.name, mix);
+                let derived = derive_safety(row.name, mix)
+                    .unwrap_or_else(|| panic!("{} should be checkable", row.name));
+                assert_eq!(
+                    derived, expected,
+                    "checker disagrees with Table 1 for {} under {mix:?}",
+                    row.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn safe_fractions_match_the_paper_headline_numbers() {
+        // "Under insertions, 86.9% of built-in validation occurrences [are]
+        // I-confluent. Under deletions, only 36.6% of occurrences are."
+        let ins = safe_fraction(OperationMix::InsertionsOnly) * 100.0;
+        let del = safe_fraction(OperationMix::WithDeletions) * 100.0;
+        assert!((ins - 86.9).abs() < 1.5, "insertions: got {ins:.1}%");
+        assert!((del - 36.6).abs() < 2.5, "deletions: got {del:.1}%");
+    }
+
+    #[test]
+    fn unknown_validators_default_to_row_local_safe() {
+        assert_eq!(
+            classify_validator("validates_format_of", OperationMix::WithDeletions),
+            Safety::IConfluent
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! Invariants over abstract states, covering the paper's Table 1
+//! validator vocabulary.
+
+use crate::state::{AbstractState, Table};
+use std::collections::HashSet;
+
+/// A declarative invariant — what a validation is *attempting to
+/// preserve*.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Invariant {
+    /// `validates_uniqueness_of`: no two live child records share a
+    /// non-NULL key.
+    UniqueKey,
+    /// `validates_presence_of` on an attribute: live child records have a
+    /// non-NULL key. (Row-local.)
+    KeyPresent,
+    /// Referential integrity (`belongs_to` + `validates_presence_of`, or
+    /// a real FOREIGN KEY): every live child with a non-NULL fk references
+    /// a live parent.
+    ForeignKey,
+    /// `validates_inclusion_of` / `validates_format_of` /
+    /// `validates_length_of` / attachment checks: the key belongs to an
+    /// allowed set. (Row-local; the set abstracts "matches the regex",
+    /// "within the length bound", etc.)
+    KeyInSet(Vec<i8>),
+    /// `validates_numericality_of` with a lower bound: key ≥ 0 when
+    /// present. (Row-local; Spree's non-negative stock.)
+    KeyNonNegative,
+    /// A global aggregate: the sum of live child keys is ≥ 0. (NOT
+    /// row-local — models balance/stock invariants maintained by
+    /// read-modify-write controllers; included to show the checker
+    /// refuting a non-validator invariant.)
+    SumNonNegative,
+}
+
+impl Invariant {
+    /// Does `state` satisfy the invariant?
+    pub fn holds(&self, state: &AbstractState) -> bool {
+        match self {
+            Invariant::UniqueKey => {
+                let mut seen = HashSet::new();
+                for (_, r) in state.live(Table::Child) {
+                    if let Some(k) = r.key {
+                        if !seen.insert(k) {
+                            return false;
+                        }
+                    }
+                }
+                true
+            }
+            Invariant::KeyPresent => state.live(Table::Child).all(|(_, r)| r.key.is_some()),
+            Invariant::ForeignKey => state.live(Table::Child).all(|(_, r)| match r.fk {
+                None => true,
+                Some(pid) => state
+                    .parents
+                    .get(&pid)
+                    .map(|p| p.live)
+                    .unwrap_or(false),
+            }),
+            Invariant::KeyInSet(allowed) => state
+                .live(Table::Child)
+                .all(|(_, r)| r.key.map(|k| allowed.contains(&k)).unwrap_or(true)),
+            Invariant::KeyNonNegative => state
+                .live(Table::Child)
+                .all(|(_, r)| r.key.map(|k| k >= 0).unwrap_or(true)),
+            Invariant::SumNonNegative => {
+                let sum: i64 = state
+                    .live(Table::Child)
+                    .filter_map(|(_, r)| r.key.map(|k| k as i64))
+                    .sum();
+                sum >= 0
+            }
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Invariant::UniqueKey => "unique-key",
+            Invariant::KeyPresent => "key-present",
+            Invariant::ForeignKey => "foreign-key",
+            Invariant::KeyInSet(_) => "key-in-set",
+            Invariant::KeyNonNegative => "key-non-negative",
+            Invariant::SumNonNegative => "sum-non-negative",
+        }
+    }
+
+    /// Whether the invariant constrains each row independently — a
+    /// sufficient (and in our vocabulary, exact) condition for
+    /// I-confluence under inserts and updates with SWW merge.
+    pub fn is_row_local(&self) -> bool {
+        matches!(
+            self,
+            Invariant::KeyPresent | Invariant::KeyInSet(_) | Invariant::KeyNonNegative
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::RecordState;
+
+    fn child(key: Option<i8>, fk: Option<u32>) -> RecordState {
+        RecordState {
+            version: 1,
+            live: true,
+            key,
+            fk,
+        }
+    }
+
+    #[test]
+    fn unique_key_detects_duplicates() {
+        let mut s = AbstractState::new();
+        s.children.insert(1, child(Some(1), None));
+        s.children.insert(2, child(Some(2), None));
+        assert!(Invariant::UniqueKey.holds(&s));
+        s.children.insert(3, child(Some(1), None));
+        assert!(!Invariant::UniqueKey.holds(&s));
+        // tombstoned duplicates don't count
+        s.children.get_mut(&3).unwrap().live = false;
+        assert!(Invariant::UniqueKey.holds(&s));
+        // NULL keys never collide
+        s.children.insert(4, child(None, None));
+        s.children.insert(5, child(None, None));
+        assert!(Invariant::UniqueKey.holds(&s));
+    }
+
+    #[test]
+    fn foreign_key_requires_live_parent() {
+        let mut s = AbstractState::new();
+        s.parents.insert(7, child(None, None));
+        s.children.insert(1, child(Some(1), Some(7)));
+        assert!(Invariant::ForeignKey.holds(&s));
+        // dead parent orphans the child
+        s.parents.get_mut(&7).unwrap().live = false;
+        assert!(!Invariant::ForeignKey.holds(&s));
+        // NULL fk is fine
+        s.children.get_mut(&1).unwrap().fk = None;
+        assert!(Invariant::ForeignKey.holds(&s));
+        // missing parent is an orphan
+        s.children.insert(2, child(None, Some(99)));
+        assert!(!Invariant::ForeignKey.holds(&s));
+    }
+
+    #[test]
+    fn row_local_invariants() {
+        let mut s = AbstractState::new();
+        s.children.insert(1, child(Some(2), None));
+        assert!(Invariant::KeyPresent.holds(&s));
+        assert!(Invariant::KeyInSet(vec![1, 2, 3]).holds(&s));
+        assert!(Invariant::KeyNonNegative.holds(&s));
+        s.children.insert(2, child(Some(-1), None));
+        assert!(!Invariant::KeyNonNegative.holds(&s));
+        assert!(!Invariant::KeyInSet(vec![1, 2, 3]).holds(&s));
+        s.children.insert(3, child(None, None));
+        assert!(!Invariant::KeyPresent.holds(&s));
+    }
+
+    #[test]
+    fn sum_invariant_is_global() {
+        let mut s = AbstractState::new();
+        s.children.insert(1, child(Some(5), None));
+        s.children.insert(2, child(Some(-3), None));
+        assert!(Invariant::SumNonNegative.holds(&s));
+        s.children.insert(3, child(Some(-3), None));
+        assert!(!Invariant::SumNonNegative.holds(&s));
+        assert!(!Invariant::SumNonNegative.is_row_local());
+        assert!(Invariant::KeyPresent.is_row_local());
+    }
+}

@@ -1,0 +1,40 @@
+//! # feral-iconfluence
+//!
+//! Invariant confluence analysis for ORM validations (paper §4).
+//!
+//! Invariant confluence (Bailis et al., "Coordination Avoidance in
+//! Database Systems", VLDB 2015) is a necessary and sufficient condition
+//! for an invariant to be preservable under coordination-free execution:
+//! if two transactions each take an invariant-satisfying state to an
+//! invariant-satisfying state, the *merge* of their divergent results
+//! must also satisfy the invariant.
+//!
+//! This crate provides:
+//!
+//! * an abstract two-table database state with the paper's merge
+//!   semantics — some-write-wins per record, set union across records
+//!   ([`state`]);
+//! * a vocabulary of invariants matching the Rails validators of Table 1
+//!   ([`invariants`]) and of validated operations ([`ops`]);
+//! * a bounded-exhaustive **model checker** ([`checker`]) that either
+//!   finds a divergence/merge counterexample or certifies confluence over
+//!   the bounded space; and
+//! * the Table 1 classification ([`classify`]), each verdict of which is
+//!   *mechanically re-derived* by the checker in this crate's tests.
+
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod classify;
+pub mod invariants;
+pub mod ops;
+pub mod state;
+
+pub use checker::{check, Counterexample, Verdict};
+pub use classify::{
+    classify_validator, derive_safety, safe_fraction, OperationMix, PaperVerdict, Safety,
+    TableOneRow, TABLE_ONE, TABLE_ONE_OTHER,
+};
+pub use invariants::Invariant;
+pub use ops::Op;
+pub use state::AbstractState;

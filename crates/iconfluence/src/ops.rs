@@ -1,0 +1,338 @@
+//! Validated operations over abstract states.
+//!
+//! Each operation models one *validated* controller action: the
+//! operation's own feral validation logic is applied against the local
+//! replica (e.g. `InsertChild` with a uniqueness validation refuses to
+//! insert a key it can see). The checker then asks whether two such
+//! locally correct executions merge to a correct state.
+
+use crate::state::{AbstractState, RecordState, Table};
+
+/// A validated operation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Save a new child with the given key/fk.
+    InsertChild {
+        /// Validated attribute value.
+        key: Option<i8>,
+        /// Referenced parent id (must exist locally), or NULL.
+        fk: Option<u32>,
+    },
+    /// Save a new parent.
+    InsertParent,
+    /// Destroy a child by id.
+    DeleteChild {
+        /// Target child id.
+        id: u32,
+    },
+    /// Destroy a parent by id *without* touching children (no association
+    /// declared — the unprotected schema).
+    DeleteParentBare {
+        /// Target parent id.
+        id: u32,
+    },
+    /// Destroy a parent and ferally cascade to the children *visible in
+    /// the local replica* (Rails `dependent: :destroy`).
+    DeleteParentCascade {
+        /// Target parent id.
+        id: u32,
+    },
+    /// Update a child's key.
+    UpdateChildKey {
+        /// Target child id.
+        id: u32,
+        /// New key value.
+        key: Option<i8>,
+    },
+    /// Read-modify-write decrement of a child's key (models stock
+    /// adjustment against the sum invariant).
+    DecrementChildKey {
+        /// Target child id.
+        id: u32,
+        /// Amount to subtract.
+        by: i8,
+    },
+}
+
+impl Op {
+    /// Apply to `state`, allocating new ids starting at `fresh_id`.
+    /// Returns `None` when the operation's own preconditions fail (target
+    /// missing) — such executions are simply not part of the analysis.
+    pub fn apply(&self, state: &AbstractState, fresh_id: u32) -> Option<AbstractState> {
+        let mut s = state.clone();
+        match self {
+            Op::InsertChild { key, fk } => {
+                if let Some(pid) = fk {
+                    // the feral belongs_to-presence probe: parent must be
+                    // visible locally
+                    let parent_ok = s.parents.get(pid).map(|p| p.live).unwrap_or(false);
+                    if !parent_ok {
+                        return None;
+                    }
+                }
+                s.children.insert(
+                    fresh_id,
+                    RecordState {
+                        version: 1,
+                        live: true,
+                        key: *key,
+                        fk: *fk,
+                    },
+                );
+                Some(s)
+            }
+            Op::InsertParent => {
+                s.parents.insert(
+                    fresh_id,
+                    RecordState {
+                        version: 1,
+                        live: true,
+                        key: None,
+                        fk: None,
+                    },
+                );
+                Some(s)
+            }
+            Op::DeleteChild { id } => {
+                let r = s.children.get_mut(id)?;
+                if !r.live {
+                    return None;
+                }
+                r.live = false;
+                r.version += 1;
+                Some(s)
+            }
+            Op::DeleteParentBare { id } => {
+                let r = s.parents.get_mut(id)?;
+                if !r.live {
+                    return None;
+                }
+                r.live = false;
+                r.version += 1;
+                Some(s)
+            }
+            Op::DeleteParentCascade { id } => {
+                {
+                    let r = s.parents.get_mut(id)?;
+                    if !r.live {
+                        return None;
+                    }
+                    r.live = false;
+                    r.version += 1;
+                }
+                // feral cascade: destroy the children this replica can see
+                let victims: Vec<u32> = s
+                    .children
+                    .iter()
+                    .filter(|(_, c)| c.live && c.fk == Some(*id))
+                    .map(|(&cid, _)| cid)
+                    .collect();
+                for cid in victims {
+                    let c = s.children.get_mut(&cid).expect("victim exists");
+                    c.live = false;
+                    c.version += 1;
+                }
+                Some(s)
+            }
+            Op::UpdateChildKey { id, key } => {
+                let r = s.children.get_mut(id)?;
+                if !r.live {
+                    return None;
+                }
+                r.key = *key;
+                r.version += 1;
+                Some(s)
+            }
+            Op::DecrementChildKey { id, by } => {
+                let r = s.children.get_mut(id)?;
+                if !r.live {
+                    return None;
+                }
+                r.key = Some(r.key.unwrap_or(0).saturating_sub(*by));
+                r.version += 1;
+                Some(s)
+            }
+        }
+    }
+
+    /// Whether the operation is an insertion (for the paper's
+    /// insertion-only vs mixed analyses).
+    pub fn is_insertion(&self) -> bool {
+        matches!(self, Op::InsertChild { .. } | Op::InsertParent)
+    }
+
+    /// Whether the operation deletes anything.
+    pub fn is_deletion(&self) -> bool {
+        matches!(
+            self,
+            Op::DeleteChild { .. } | Op::DeleteParentBare { .. } | Op::DeleteParentCascade { .. }
+        )
+    }
+
+    /// Enumerate every instance of the allowed op shapes applicable to
+    /// `state`, with keys drawn from `key_domain`.
+    pub fn universe(
+        state: &AbstractState,
+        key_domain: &[Option<i8>],
+        shapes: &OpShapes,
+    ) -> Vec<Op> {
+        let mut out = Vec::new();
+        let parent_ids: Vec<u32> = state.table(Table::Parent).keys().copied().collect();
+        let child_ids: Vec<u32> = state.table(Table::Child).keys().copied().collect();
+        if shapes.insert_child {
+            for &key in key_domain {
+                out.push(Op::InsertChild { key, fk: None });
+                for &pid in &parent_ids {
+                    out.push(Op::InsertChild { key, fk: Some(pid) });
+                }
+            }
+        }
+        if shapes.insert_parent {
+            out.push(Op::InsertParent);
+        }
+        if shapes.delete_child {
+            for &id in &child_ids {
+                out.push(Op::DeleteChild { id });
+            }
+        }
+        if shapes.delete_parent {
+            for &id in &parent_ids {
+                out.push(Op::DeleteParentBare { id });
+                out.push(Op::DeleteParentCascade { id });
+            }
+        }
+        if shapes.update_child {
+            for &id in &child_ids {
+                for &key in key_domain {
+                    out.push(Op::UpdateChildKey { id, key });
+                }
+            }
+        }
+        if shapes.decrement_child {
+            for &id in &child_ids {
+                out.push(Op::DecrementChildKey { id, by: 1 });
+                out.push(Op::DecrementChildKey { id, by: 2 });
+            }
+        }
+        out
+    }
+}
+
+/// Which operation shapes a checker run enumerates — the "operation mix"
+/// dimension of the paper's analysis ("the safety of `associated` is
+/// contingent on whether the current updates are both insertions or mixed
+/// insertions and deletions").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpShapes {
+    /// Allow child inserts.
+    pub insert_child: bool,
+    /// Allow parent inserts.
+    pub insert_parent: bool,
+    /// Allow child deletes.
+    pub delete_child: bool,
+    /// Allow parent deletes (bare and cascading).
+    pub delete_parent: bool,
+    /// Allow child key updates.
+    pub update_child: bool,
+    /// Allow read-modify-write decrements.
+    pub decrement_child: bool,
+}
+
+impl OpShapes {
+    /// Insert-only mix.
+    pub fn insertions() -> Self {
+        OpShapes {
+            insert_child: true,
+            insert_parent: true,
+            ..Default::default()
+        }
+    }
+
+    /// Inserts + updates (no deletions).
+    pub fn inserts_and_updates() -> Self {
+        OpShapes {
+            insert_child: true,
+            insert_parent: true,
+            update_child: true,
+            ..Default::default()
+        }
+    }
+
+    /// The full mix, deletions included.
+    pub fn all() -> Self {
+        OpShapes {
+            insert_child: true,
+            insert_parent: true,
+            delete_child: true,
+            delete_parent: true,
+            update_child: true,
+            decrement_child: false, // opt-in: only for aggregate invariants
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_child_requires_visible_parent() {
+        let s = AbstractState::new();
+        // fk to a parent that does not exist: validation refuses
+        assert!(Op::InsertChild {
+            key: Some(1),
+            fk: Some(9)
+        }
+        .apply(&s, 100)
+        .is_none());
+        let s2 = Op::InsertParent.apply(&s, 9).unwrap();
+        let s3 = Op::InsertChild {
+            key: Some(1),
+            fk: Some(9),
+        }
+        .apply(&s2, 100)
+        .unwrap();
+        assert_eq!(s3.children.len(), 1);
+    }
+
+    #[test]
+    fn cascade_delete_kills_visible_children_only() {
+        let s = Op::InsertParent.apply(&AbstractState::new(), 1).unwrap();
+        let s = Op::InsertChild {
+            key: Some(1),
+            fk: Some(1),
+        }
+        .apply(&s, 10)
+        .unwrap();
+        let s2 = Op::DeleteParentCascade { id: 1 }.apply(&s, 0).unwrap();
+        assert!(!s2.parents[&1].live);
+        assert!(!s2.children[&10].live);
+    }
+
+    #[test]
+    fn ops_bump_versions() {
+        let s = Op::InsertChild {
+            key: Some(0),
+            fk: None,
+        }
+        .apply(&AbstractState::new(), 5)
+        .unwrap();
+        assert_eq!(s.children[&5].version, 1);
+        let s2 = Op::UpdateChildKey { id: 5, key: Some(2) }.apply(&s, 0).unwrap();
+        assert_eq!(s2.children[&5].version, 2);
+        let s3 = Op::DeleteChild { id: 5 }.apply(&s2, 0).unwrap();
+        assert_eq!(s3.children[&5].version, 3);
+        // deleting twice fails the precondition
+        assert!(Op::DeleteChild { id: 5 }.apply(&s3, 0).is_none());
+    }
+
+    #[test]
+    fn universe_enumerates_applicable_instances() {
+        let s = Op::InsertParent.apply(&AbstractState::new(), 1).unwrap();
+        let u = Op::universe(&s, &[None, Some(0)], &OpShapes::all());
+        assert!(u.contains(&Op::InsertParent));
+        assert!(u.contains(&Op::InsertChild { key: Some(0), fk: Some(1) }));
+        assert!(u.contains(&Op::DeleteParentCascade { id: 1 }));
+        assert!(!u.iter().any(|o| matches!(o, Op::DecrementChildKey { .. })));
+    }
+}

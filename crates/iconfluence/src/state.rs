@@ -1,0 +1,234 @@
+//! Abstract database states and the merge operator.
+//!
+//! The analysis model (paper §4.1): concurrent controllers each run
+//! against a replica of the state; when they save, their results are
+//! merged. "In the event that two concurrent controllers save the same
+//! model (backed by the same database record), only one will be persisted
+//! (a some-write-wins merge). In the event that two concurrent
+//! controllers save different models, both will be persisted (a set-based
+//! merge)."
+//!
+//! States are two tables — `parent` and `child` — which is enough to
+//! express every invariant in the paper's Table 1 (single-table
+//! invariants simply ignore `parent`).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Which abstract table a record lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Table {
+    /// The referenced ("one") side of an association.
+    Parent,
+    /// The referencing ("many") side; also the table single-table
+    /// invariants range over.
+    Child,
+}
+
+/// One record version in the abstract state.
+///
+/// `version` is a per-record logical clock: a writer that updates or
+/// deletes a record bumps it, and merge keeps the higher version
+/// (some-write-wins). Tombstones (deletes) are retained so merge can see
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RecordState {
+    /// Logical version for the some-write-wins merge.
+    pub version: u32,
+    /// Whether the record is live (false = tombstone).
+    pub live: bool,
+    /// The validated attribute (small finite domain; `None` = SQL NULL).
+    pub key: Option<i8>,
+    /// For child records: the id of the referenced parent (`None` = NULL).
+    pub fk: Option<u32>,
+}
+
+/// An abstract database state: two tables of records keyed by id.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct AbstractState {
+    /// Parent-table records by id.
+    pub parents: BTreeMap<u32, RecordState>,
+    /// Child-table records by id.
+    pub children: BTreeMap<u32, RecordState>,
+}
+
+impl AbstractState {
+    /// The empty state.
+    pub fn new() -> Self {
+        AbstractState::default()
+    }
+
+    /// Access a table.
+    pub fn table(&self, t: Table) -> &BTreeMap<u32, RecordState> {
+        match t {
+            Table::Parent => &self.parents,
+            Table::Child => &self.children,
+        }
+    }
+
+    /// Mutable access to a table.
+    pub fn table_mut(&mut self, t: Table) -> &mut BTreeMap<u32, RecordState> {
+        match t {
+            Table::Parent => &mut self.parents,
+            Table::Child => &mut self.children,
+        }
+    }
+
+    /// Live records of a table.
+    pub fn live(&self, t: Table) -> impl Iterator<Item = (&u32, &RecordState)> {
+        self.table(t).iter().filter(|(_, r)| r.live)
+    }
+
+    /// Merge two divergent descendants of a common ancestor:
+    /// per-record some-write-wins (higher version; tombstone wins ties),
+    /// set union across records.
+    pub fn merge(&self, other: &AbstractState) -> AbstractState {
+        let mut out = AbstractState::new();
+        for t in [Table::Parent, Table::Child] {
+            let a = self.table(t);
+            let b = other.table(t);
+            let merged = out.table_mut(t);
+            for (&id, &ra) in a {
+                match b.get(&id) {
+                    None => {
+                        merged.insert(id, ra);
+                    }
+                    Some(&rb) => {
+                        let winner = match ra.version.cmp(&rb.version) {
+                            std::cmp::Ordering::Greater => ra,
+                            std::cmp::Ordering::Less => rb,
+                            std::cmp::Ordering::Equal => {
+                                // identical version: same write, or a tie —
+                                // deterministically prefer the tombstone,
+                                // then the lexically smaller payload
+                                if ra.live != rb.live {
+                                    if ra.live {
+                                        rb
+                                    } else {
+                                        ra
+                                    }
+                                } else if (ra.key, ra.fk) <= (rb.key, rb.fk) {
+                                    ra
+                                } else {
+                                    rb
+                                }
+                            }
+                        };
+                        merged.insert(id, winner);
+                    }
+                }
+            }
+            for (&id, &rb) in b {
+                merged.entry(id).or_insert(rb);
+            }
+        }
+        out
+    }
+
+    /// Render compactly for counterexample output.
+    pub fn render(&self) -> String {
+        let fmt_table = |m: &BTreeMap<u32, RecordState>| {
+            m.iter()
+                .map(|(id, r)| {
+                    format!(
+                        "{}{}(k={},fk={})",
+                        if r.live { "" } else { "†" },
+                        id,
+                        r.key.map(|k| k.to_string()).unwrap_or_else(|| "∅".into()),
+                        r.fk.map(|k| k.to_string()).unwrap_or_else(|| "∅".into()),
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        format!(
+            "parents[{}] children[{}]",
+            fmt_table(&self.parents),
+            fmt_table(&self.children)
+        )
+    }
+}
+
+impl fmt::Display for AbstractState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(version: u32, live: bool, key: Option<i8>) -> RecordState {
+        RecordState {
+            version,
+            live,
+            key,
+            fk: None,
+        }
+    }
+
+    #[test]
+    fn merge_is_set_union_for_disjoint_records() {
+        let mut a = AbstractState::new();
+        a.children.insert(1, rec(1, true, Some(1)));
+        let mut b = AbstractState::new();
+        b.children.insert(2, rec(1, true, Some(2)));
+        let m = a.merge(&b);
+        assert_eq!(m.children.len(), 2);
+    }
+
+    #[test]
+    fn merge_is_some_write_wins_for_shared_records() {
+        let mut base = AbstractState::new();
+        base.children.insert(1, rec(1, true, Some(0)));
+        // A updates key -> 5 (version 2); B deletes (version 2)
+        let mut a = base.clone();
+        a.children.insert(1, rec(2, true, Some(5)));
+        let mut b = base.clone();
+        b.children.insert(1, rec(2, false, Some(0)));
+        let m = a.merge(&b);
+        // tie on version: tombstone wins deterministically
+        assert!(!m.children[&1].live);
+        // and the merge is commutative
+        assert_eq!(m, b.merge(&a));
+    }
+
+    #[test]
+    fn merge_higher_version_wins() {
+        let mut a = AbstractState::new();
+        a.children.insert(1, rec(3, true, Some(7)));
+        let mut b = AbstractState::new();
+        b.children.insert(1, rec(2, false, Some(0)));
+        let m = a.merge(&b);
+        assert!(m.children[&1].live);
+        assert_eq!(m.children[&1].key, Some(7));
+    }
+
+    #[test]
+    fn merge_algebraic_laws() {
+        // commutativity / idempotence / associativity on a few states
+        let mut s1 = AbstractState::new();
+        s1.children.insert(1, rec(1, true, Some(1)));
+        s1.parents.insert(9, rec(1, true, None));
+        let mut s2 = AbstractState::new();
+        s2.children.insert(1, rec(2, false, Some(1)));
+        s2.children.insert(2, rec(1, true, Some(2)));
+        let mut s3 = AbstractState::new();
+        s3.parents.insert(9, rec(2, false, None));
+        assert_eq!(s1.merge(&s2), s2.merge(&s1));
+        assert_eq!(s1.merge(&s1), s1);
+        assert_eq!(
+            s1.merge(&s2).merge(&s3),
+            s1.merge(&s2.merge(&s3))
+        );
+    }
+
+    #[test]
+    fn live_iterator_skips_tombstones() {
+        let mut s = AbstractState::new();
+        s.children.insert(1, rec(1, true, Some(1)));
+        s.children.insert(2, rec(2, false, Some(1)));
+        assert_eq!(s.live(Table::Child).count(), 1);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests of the merge operator's algebraic laws and the
+//! checker's soundness guarantees. The I-confluence framework requires
+//! merge to be an idempotent, commutative, associative join — if it is
+//! not, the analysis means nothing — so these laws are pinned over
+//! random states.
+
+use feral_iconfluence::state::{AbstractState, RecordState, Table};
+use feral_iconfluence::{check, Invariant, Verdict};
+use feral_iconfluence::ops::OpShapes;
+use proptest::prelude::*;
+
+fn arb_record() -> impl Strategy<Value = RecordState> {
+    (1u32..4, any::<bool>(), prop_oneof![Just(None), (-2i8..3).prop_map(Some)], prop_oneof![
+        Just(None),
+        (1u32..4).prop_map(Some)
+    ])
+        .prop_map(|(version, live, key, fk)| RecordState {
+            version,
+            live,
+            key,
+            fk,
+        })
+}
+
+fn arb_state() -> impl Strategy<Value = AbstractState> {
+    (
+        proptest::collection::btree_map(1u32..5, arb_record(), 0..4),
+        proptest::collection::btree_map(1u32..5, arb_record(), 0..4),
+    )
+        .prop_map(|(parents, children)| AbstractState { parents, children })
+}
+
+proptest! {
+    #[test]
+    fn merge_is_idempotent(s in arb_state()) {
+        prop_assert_eq!(s.merge(&s), s);
+    }
+
+    #[test]
+    fn merge_is_commutative(a in arb_state(), b in arb_state()) {
+        prop_assert_eq!(a.merge(&b), b.merge(&a));
+    }
+
+    #[test]
+    fn merge_is_associative(a in arb_state(), b in arb_state(), c in arb_state()) {
+        prop_assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+    }
+
+    /// Merge never invents records: every id in the output came from one
+    /// of the inputs.
+    #[test]
+    fn merge_ids_are_union_of_inputs(a in arb_state(), b in arb_state()) {
+        let m = a.merge(&b);
+        for t in [Table::Parent, Table::Child] {
+            for id in m.table(t).keys() {
+                prop_assert!(
+                    a.table(t).contains_key(id) || b.table(t).contains_key(id)
+                );
+            }
+            for id in a.table(t).keys().chain(b.table(t).keys()) {
+                prop_assert!(m.table(t).contains_key(id));
+            }
+        }
+    }
+}
+
+/// A counterexample returned by the checker must actually be one: both
+/// sides valid, the merge invalid. (Soundness of refutations.)
+#[test]
+fn counterexamples_are_genuine() {
+    for (inv, shapes) in [
+        (Invariant::UniqueKey, OpShapes::insertions()),
+        (Invariant::ForeignKey, OpShapes::all()),
+    ] {
+        match check(&inv, &shapes) {
+            Verdict::NotConfluent(cx) => {
+                assert!(inv.holds(&cx.initial), "initial state must satisfy I");
+                assert!(inv.holds(&cx.state_a), "side A must satisfy I");
+                assert!(inv.holds(&cx.state_b), "side B must satisfy I");
+                assert!(!inv.holds(&cx.merged), "merge must violate I");
+                // and the states really are the op applications
+                let sa = cx.op_a.apply(&cx.initial, 1000).expect("op A applies");
+                let sb = cx.op_b.apply(&cx.initial, 2000).expect("op B applies");
+                assert_eq!(sa, cx.state_a);
+                assert_eq!(sb, cx.state_b);
+                assert_eq!(sa.merge(&sb), cx.merged);
+            }
+            Verdict::Confluent { .. } => panic!("{} should be refutable", inv.name()),
+        }
+    }
+}

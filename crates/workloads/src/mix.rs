@@ -1,0 +1,139 @@
+//! Operation-mix driver: turns a key distribution plus op ratios into a
+//! reproducible per-client operation stream — the shape of the paper's
+//! Appendix C.3 (uniqueness workload) and C.6 (association workload)
+//! loops.
+
+use crate::KeyChooser;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The kind of request a workload step issues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Create a record with the chosen key.
+    Create,
+    /// Delete the record(s) with the chosen key.
+    Delete,
+    /// Update the record(s) with the chosen key.
+    Update,
+    /// Read the record(s) with the chosen key.
+    Read,
+}
+
+/// One generated operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadOp {
+    /// What to do.
+    pub kind: OpKind,
+    /// Which key to do it to.
+    pub key: u64,
+}
+
+/// Generates a stream of operations: each step first picks the op kind by
+/// weighted ratio, then draws a key from the distribution.
+///
+/// The paper's association workload is `MixDriver` with
+/// `[(Create, 10), (Delete, 1)]` — "a 10:1 ratio of creations to
+/// deletions" (Appendix C.6).
+pub struct MixDriver {
+    chooser: Box<dyn KeyChooser>,
+    ratios: Vec<(OpKind, u32)>,
+    total_weight: u32,
+    rng: StdRng,
+}
+
+impl MixDriver {
+    /// Build a driver. `ratios` are integer weights (e.g. `[(Create, 10),
+    /// (Delete, 1)]`).
+    pub fn new(chooser: Box<dyn KeyChooser>, ratios: &[(OpKind, u32)], seed: u64) -> Self {
+        let total_weight: u32 = ratios.iter().map(|(_, w)| *w).sum();
+        assert!(total_weight > 0, "ratios must have positive total weight");
+        MixDriver {
+            chooser,
+            ratios: ratios.to_vec(),
+            total_weight,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// An insert-only driver (the Figure 3 workload).
+    pub fn insert_only(chooser: Box<dyn KeyChooser>, seed: u64) -> Self {
+        MixDriver::new(chooser, &[(OpKind::Create, 1)], seed)
+    }
+
+    /// Draw the next operation.
+    pub fn next_op(&mut self) -> WorkloadOp {
+        let mut pick = self.rng.random_range(0..self.total_weight);
+        let mut kind = self.ratios[0].0;
+        for (k, w) in &self.ratios {
+            if pick < *w {
+                kind = *k;
+                break;
+            }
+            pick -= w;
+        }
+        WorkloadOp {
+            kind,
+            key: self.chooser.next_key(),
+        }
+    }
+
+    /// Generate a full stream of `n` operations.
+    pub fn take(&mut self, n: usize) -> Vec<WorkloadOp> {
+        (0..n).map(|_| self.next_op()).collect()
+    }
+
+    /// The underlying distribution's name.
+    pub fn distribution_name(&self) -> &'static str {
+        self.chooser.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Uniform;
+
+    #[test]
+    fn ratio_is_respected() {
+        let mut d = MixDriver::new(
+            Box::new(Uniform::new(10, 0)),
+            &[(OpKind::Create, 10), (OpKind::Delete, 1)],
+            7,
+        );
+        let ops = d.take(11_000);
+        let creates = ops.iter().filter(|o| o.kind == OpKind::Create).count();
+        let deletes = ops.iter().filter(|o| o.kind == OpKind::Delete).count();
+        assert_eq!(creates + deletes, ops.len());
+        let ratio = creates as f64 / deletes as f64;
+        assert!(
+            (8.0..12.5).contains(&ratio),
+            "create:delete ratio {ratio:.1} should be near 10"
+        );
+    }
+
+    #[test]
+    fn insert_only_is_all_creates() {
+        let mut d = MixDriver::insert_only(Box::new(Uniform::new(5, 0)), 1);
+        assert!(d.take(500).iter().all(|o| o.kind == OpKind::Create));
+    }
+
+    #[test]
+    fn keys_come_from_the_chooser_domain() {
+        let mut d = MixDriver::insert_only(Box::new(Uniform::new(3, 0)), 2);
+        assert!(d.take(100).iter().all(|o| o.key < 3));
+        assert_eq!(d.distribution_name(), "uniform");
+    }
+
+    #[test]
+    fn seeded_streams_reproduce() {
+        let mk = || {
+            MixDriver::new(
+                Box::new(Uniform::new(100, 5)),
+                &[(OpKind::Create, 3), (OpKind::Read, 1)],
+                5,
+            )
+        };
+        assert_eq!(mk().take(200), mk().take(200));
+    }
+}

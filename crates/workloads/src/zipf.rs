@@ -1,0 +1,149 @@
+//! Zipfian rank generator (Gray et al., "Quickly Generating
+//! Billion-Record Synthetic Databases", SIGMOD 1994) — the algorithm YCSB
+//! uses.
+
+use rand::RngExt;
+
+/// Draws ranks in `[0, n)` with probability proportional to
+/// `1 / (rank+1)^θ`. Rank 0 is the hottest item.
+#[derive(Debug, Clone)]
+pub struct ZipfianGenerator {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl ZipfianGenerator {
+    /// Build a generator for `n` items with skew `theta` (0 = uniform,
+    /// 0.99 = YCSB's default). `theta` must not be 1.0 (harmonic
+    /// singularity).
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "need at least one item");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        ZipfianGenerator {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
+    }
+
+    /// Incomplete zeta: `sum_{i=1..n} 1/i^theta`.
+    fn zeta(n: u64, theta: f64) -> f64 {
+        let mut sum = 0.0;
+        for i in 1..=n {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        sum
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draw the next rank.
+    pub fn next<R: RngExt + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.random();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) && self.n >= 2 {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    /// Exact probability of rank `k` (for tests/analysis).
+    pub fn probability(&self, k: u64) -> f64 {
+        assert!(k < self.n);
+        (1.0 / ((k + 1) as f64).powf(self.theta)) / self.zetan
+    }
+
+    /// The `zeta(2, θ)` intermediate (exposed for diagnostics).
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranks_are_in_range() {
+        let z = ZipfianGenerator::new(100, 0.99);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.next(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn empirical_frequency_tracks_probability() {
+        let z = ZipfianGenerator::new(50, 0.99);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 200_000;
+        let mut counts = vec![0usize; 50];
+        for _ in 0..n {
+            counts[z.next(&mut rng) as usize] += 1;
+        }
+        // rank 0 should hit near its analytic probability
+        let p0 = z.probability(0);
+        let f0 = counts[0] as f64 / n as f64;
+        assert!(
+            (f0 - p0).abs() < 0.02,
+            "rank-0 frequency {f0:.3} vs probability {p0:.3}"
+        );
+        // monotone (roughly): rank 0 >= rank 5 >= rank 20
+        assert!(counts[0] > counts[5]);
+        assert!(counts[5] > counts[20]);
+    }
+
+    #[test]
+    fn theta_zero_is_roughly_uniform() {
+        let z = ZipfianGenerator::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..50_000 {
+            counts[z.next(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((3500..6500).contains(&c), "bucket {c} far from uniform");
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let z = ZipfianGenerator::new(200, 0.8);
+        let sum: f64 = (0..200).map(|k| z.probability(k)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_item_domain() {
+        let z = ZipfianGenerator::new(1, 0.99);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert_eq!(z.next(&mut rng), 0);
+        }
+    }
+}

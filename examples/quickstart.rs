@@ -1,0 +1,101 @@
+//! Quickstart: define ActiveRecord-style models with feral validations,
+//! persist records, query them, and watch a validation reject bad data.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use feral::db::Datum;
+use feral::orm::{App, Dependent, ModelDef, Numericality};
+
+fn main() {
+    // An App is a model registry over an in-memory MVCC database
+    // (Read Committed by default, like PostgreSQL).
+    let app = App::in_memory();
+
+    // `class Author < ActiveRecord::Base` with validations + associations
+    app.define(
+        ModelDef::build("Author")
+            .string("name")
+            .string("email")
+            .validates_presence_of("name")
+            .validates_email("email")
+            .has_many_dependent("books", Dependent::Destroy)
+            .finish(),
+    )
+    .unwrap();
+
+    app.define(
+        ModelDef::build("Book")
+            .string("title")
+            .integer("pages")
+            .belongs_to("author")
+            .validates_presence_of("title")
+            .validates_presence_of("author") // probes the DB, ferally
+            .validates_uniqueness_of_scoped("title", &["author_id"])
+            .validates_numericality_of("pages", Numericality::number().greater_than(0.0))
+            .finish(),
+    )
+    .unwrap();
+
+    // Each worker/request gets a Session (one DB connection).
+    let mut session = app.session();
+
+    // create! — validations run inside the save transaction
+    let author = session
+        .create_strict(
+            "Author",
+            &[("name", Datum::text("Ursula K. Le Guin")), ("email", Datum::text("ursula@example.org"))],
+        )
+        .unwrap();
+    println!("created {}", author.describe());
+
+    let book = session
+        .create_strict(
+            "Book",
+            &[
+                ("title", Datum::text("The Dispossessed")),
+                ("pages", Datum::Int(387)),
+                ("author_id", Datum::Int(author.id().unwrap())),
+            ],
+        )
+        .unwrap();
+    println!("created {}", book.describe());
+
+    // a failing save: no title, nonexistent author, bad page count
+    let mut bad = app.new_record("Book").unwrap();
+    bad.set("pages", -5i64).set("author_id", 999i64);
+    let saved = session.save(&mut bad).unwrap();
+    println!("\ninvalid book saved? {saved}. errors:");
+    for message in bad.errors.full_messages() {
+        println!("  - {message}");
+    }
+
+    // the feral uniqueness validation rejects a duplicate title per author
+    let dup = session
+        .create(
+            "Book",
+            &[
+                ("title", Datum::text("The Dispossessed")),
+                ("pages", Datum::Int(400)),
+                ("author_id", Datum::Int(author.id().unwrap())),
+            ],
+        )
+        .unwrap();
+    println!(
+        "\nduplicate title for the same author persisted? {} ({})",
+        dup.is_persisted(),
+        dup.errors
+    );
+
+    // queries
+    let books = session.associated(&author, "books").unwrap();
+    println!("\n{} has {} book(s)", author.get("name"), books.len());
+
+    // destroy cascades ferally through dependent: :destroy
+    let mut author = author;
+    session.destroy(&mut author).unwrap();
+    println!(
+        "after destroying the author: {} authors, {} books",
+        session.count("Author").unwrap(),
+        session.count("Book").unwrap()
+    );
+}

@@ -1,0 +1,166 @@
+//! The Spree case study from the paper's §3.2 and §4.3, executable:
+//!
+//! * `adjust_count_on_hand` is protected by a pessimistic lock;
+//!   `set_count_on_hand` is not — so concurrent setters race and lose
+//!   updates ("It is unclear why one operation necessitates a lock but
+//!   the other does not").
+//! * `AvailabilityValidator` is a DB-reading user-defined validation:
+//!   correct in isolation, but concurrent order placement can drive stock
+//!   negative (not I-confluent).
+//!
+//! Run with: `cargo run --release --example spree_inventory`
+
+use feral::db::Datum;
+use feral::orm::{App, ModelDef, Numericality};
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Duration;
+
+fn build_store() -> App {
+    let app = App::in_memory();
+    app.define(
+        ModelDef::build("StockItem")
+            .integer("count_on_hand")
+            // Spree's non-negative stock validation: prevents negative
+            // *writes* but not Lost Updates (paper §3.2)
+            .validates_numericality_of(
+                "count_on_hand",
+                Numericality::number().greater_than_or_equal_to(0.0),
+            )
+            .finish(),
+    )
+    .unwrap();
+    app.define(
+        ModelDef::build("OrderLine")
+            .integer("stock_item_id")
+            .integer("quantity")
+            // Spree's AvailabilityValidator: a UDF that queries inventory
+            .validates_with("AvailabilityValidator", |rec, ctx, errors| {
+                let item = rec.get("stock_item_id");
+                let qty = rec.get("quantity").as_int().unwrap_or(0);
+                match ctx.fetch_where("StockItem", &[("id".into(), item)]) {
+                    Ok(rows) if !rows.is_empty() => {
+                        let on_hand = rows[0].get("count_on_hand").as_int().unwrap_or(0);
+                        if on_hand < qty {
+                            errors.add("quantity", "is not available in the requested amount");
+                        }
+                    }
+                    _ => errors.add("stock_item_id", "does not exist"),
+                }
+            })
+            .finish(),
+    )
+    .unwrap();
+    app.set_validation_write_delay(Duration::from_micros(500));
+    app
+}
+
+/// Spree's `adjust_count_on_hand(value)`: pessimistically locked.
+fn adjust_count_on_hand(app: &App, id: i64, delta: i64) {
+    let mut s = app.session();
+    s.transaction(|s| {
+        let mut item = s.find("StockItem", id)?;
+        s.lock(&mut item)?; // SELECT ... FOR UPDATE
+        let v = item.get("count_on_hand").as_int().unwrap();
+        item.set("count_on_hand", v + delta);
+        s.save_strict(&mut item)
+    })
+    .unwrap();
+}
+
+/// Spree's `set_count_on_hand(value)`: NOT locked (the asymmetry the
+/// paper calls out).
+fn set_count_on_hand_racy(app: &App, id: i64, compute: impl Fn(i64) -> i64) {
+    let mut s = app.session();
+    let mut item = s.find("StockItem", id).unwrap();
+    let v = item.get("count_on_hand").as_int().unwrap();
+    thread::sleep(Duration::from_millis(3)); // think time widens the race
+    item.set("count_on_hand", compute(v));
+    s.save_strict(&mut item).unwrap();
+}
+
+fn main() {
+    let app = build_store();
+    let mut s = app.session();
+    let item = s
+        .create_strict("StockItem", &[("count_on_hand", Datum::Int(0))])
+        .unwrap();
+    let id = item.id().unwrap();
+
+    // --- locked adjustments are race-free -----------------------------
+    let barrier = Arc::new(Barrier::new(4));
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let app = app.clone();
+        let b = barrier.clone();
+        handles.push(thread::spawn(move || {
+            b.wait();
+            adjust_count_on_hand(&app, id, 25);
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stock = s.find("StockItem", id).unwrap().get("count_on_hand");
+    println!("after 4 locked +25 adjustments: count_on_hand = {stock} (expected 100)");
+
+    // --- unlocked setters race and lose updates ------------------------
+    let barrier = Arc::new(Barrier::new(2));
+    let mut handles = Vec::new();
+    for delta in [7i64, 11] {
+        let app = app.clone();
+        let b = barrier.clone();
+        handles.push(thread::spawn(move || {
+            b.wait();
+            set_count_on_hand_racy(&app, id, move |v| v + delta);
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stock = s
+        .find("StockItem", id)
+        .unwrap()
+        .get("count_on_hand")
+        .as_int()
+        .unwrap();
+    println!(
+        "after two concurrent unlocked setters (+7, +11): count_on_hand = {stock} \
+         ({}: a classic Lost Update)",
+        if stock == 118 { "no race this time" } else { "one update was lost" }
+    );
+
+    // --- AvailabilityValidator races under concurrent order placement --
+    // reset stock to 10, then race two orders of 7 each: both validators
+    // read 10 >= 7, both pass, stock is oversold.
+    adjust_count_on_hand(&app, id, 10 - stock);
+    let barrier = Arc::new(Barrier::new(2));
+    let mut handles = Vec::new();
+    for _ in 0..2 {
+        let app = app.clone();
+        let b = barrier.clone();
+        handles.push(thread::spawn(move || {
+            b.wait();
+            let mut s = app.session();
+            let order = s
+                .create(
+                    "OrderLine",
+                    &[("stock_item_id", Datum::Int(id)), ("quantity", Datum::Int(7))],
+                )
+                .unwrap();
+            order.is_persisted()
+        }));
+    }
+    let accepted: usize = handles
+        .into_iter()
+        .map(|h| h.join().unwrap() as usize)
+        .sum();
+    println!(
+        "\nstock = 10; two concurrent orders of 7 accepted: {accepted} \
+         (sequential execution would accept exactly 1 — \
+         AvailabilityValidator is not I-confluent)"
+    );
+    if accepted == 2 {
+        println!("=> the store just oversold its inventory, exactly as §4.3 warns.");
+    }
+}

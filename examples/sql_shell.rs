@@ -1,0 +1,106 @@
+//! An interactive SQL shell over the feral-db engine — a psql-flavoured
+//! demo of the `feral-sql` front-end, seeded with the paper's
+//! users/departments schema so the appendix queries can be typed in
+//! directly.
+//!
+//! Run with: `cargo run --example sql_shell`
+//! (pipe a script: `echo "SELECT COUNT(*) FROM users;" | cargo run --example sql_shell`)
+
+use feral::db::{Database, Datum};
+use feral::sql::{SqlOutput, SqlSession};
+use std::io::{self, BufRead, Write};
+
+fn seed(session: &mut SqlSession) {
+    for stmt in [
+        "CREATE TABLE departments (name TEXT)",
+        "CREATE TABLE users (department_id INT, name TEXT)",
+        "INSERT INTO departments (id, name) VALUES (1, 'engineering'), (2, 'design')",
+        "INSERT INTO users (department_id, name) VALUES (1, 'peter'), (1, 'alan'), (2, 'joe'), (9, 'orphan')",
+    ] {
+        session.execute(stmt).expect("seed statement");
+    }
+}
+
+fn render(output: SqlOutput) -> String {
+    match output {
+        SqlOutput::Rows { columns, rows } => {
+            let mut widths: Vec<usize> = columns.iter().map(|c| c.len()).collect();
+            let rendered: Vec<Vec<String>> = rows
+                .iter()
+                .map(|r| r.iter().map(Datum::to_string).collect())
+                .collect();
+            for row in &rendered {
+                for (i, cell) in row.iter().enumerate() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+            let line = |cells: &[String]| {
+                cells
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+                    .collect::<Vec<_>>()
+                    .join(" | ")
+            };
+            let mut out = String::new();
+            let header: Vec<String> = columns.clone();
+            out.push_str(&line(&header));
+            out.push('\n');
+            out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1)));
+            for row in &rendered {
+                out.push('\n');
+                out.push_str(&line(row));
+            }
+            out.push_str(&format!("\n({} row{})", rows.len(), if rows.len() == 1 { "" } else { "s" }));
+            out
+        }
+        SqlOutput::Affected(n) => format!("OK, {n} row(s) affected"),
+        SqlOutput::Ddl => "OK".to_string(),
+        SqlOutput::Txn(t) => t.to_string(),
+    }
+}
+
+fn main() {
+    let db = Database::in_memory();
+    let mut session = SqlSession::new(db);
+    seed(&mut session);
+
+    println!("feral-sql shell — seeded with users/departments (user id 4 is an orphan).");
+    println!("try the paper's Appendix C.5 orphan query:");
+    println!("  SELECT department_id, COUNT(*) FROM users AS U");
+    println!("    LEFT OUTER JOIN departments AS D ON U.department_id = D.id");
+    println!("    WHERE D.id IS NULL GROUP BY department_id HAVING COUNT(*) > 0;");
+    println!("(BEGIN/COMMIT/ROLLBACK work; empty line or ctrl-d quits)\n");
+
+    let stdin = io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("sql> ");
+        } else {
+            print!("...> ");
+        }
+        io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let line = line.trim_end();
+        if line.is_empty() && buffer.is_empty() {
+            break;
+        }
+        buffer.push_str(line);
+        buffer.push(' ');
+        // execute on a terminating semicolon
+        if line.trim_end().ends_with(';') {
+            let sql = std::mem::take(&mut buffer);
+            match session.execute(sql.trim()) {
+                Ok(output) => println!("{}", render(output)),
+                Err(e) => println!("error: {e}"),
+            }
+        }
+    }
+    println!("bye");
+}

@@ -1,0 +1,68 @@
+//! The empirical-survey pipeline end to end: synthesize the 67-application
+//! corpus, run the Ruby-subset static analyzer over the generated sources,
+//! and print the headline findings of the paper's Section 3 — then ask the
+//! invariant-confluence checker which of the surveyed validations are
+//! actually safe.
+//!
+//! Run with: `cargo run --release --example survey_pipeline`
+
+use feral::corpus::{survey, synthesize_corpus};
+use feral::iconfluence::{
+    check, classify_validator, Invariant, OperationMix, Safety, Verdict,
+};
+use feral::iconfluence::ops::OpShapes;
+
+fn main() {
+    println!("synthesizing the 67-application corpus from Table 2 ground truth...");
+    let corpus = synthesize_corpus(2015);
+    let total_files: usize = corpus.iter().map(|a| a.render(None).len()).sum();
+    println!("  {} applications, {} Ruby files generated", corpus.len(), total_files);
+
+    // show a snippet of generated Ruby
+    let sample = &corpus[4]; // Spree
+    let files = sample.render(None);
+    println!("\nsample of generated Ruby ({}, {}):", sample.stats.name, files[0].0);
+    for line in files[0].1.lines().take(8) {
+        println!("  | {line}");
+    }
+
+    println!("\nrunning the syntactic analyzer (paper Appendix A) over every file...");
+    let s = survey(&corpus);
+    let (m, t, _pl, _ol, v, a) = s.averages();
+    println!("  avg per app: {m:.1} models, {t:.1} transactions, {v:.1} validations, {a:.1} associations");
+    let (vr, ar) = s.feral_ratios();
+    println!(
+        "  feral mechanisms are {:.1}x more common than transactions (paper: >37x)",
+        vr + ar
+    );
+
+    let (top, other, custom) = s.table_one(10);
+    println!("\ntop validators by usage (Table 1):");
+    for (name, count) in top.iter().take(6) {
+        let verdict = match (
+            classify_validator(name, OperationMix::InsertionsOnly),
+            classify_validator(name, OperationMix::WithDeletions),
+        ) {
+            (Safety::IConfluent, Safety::IConfluent) => "I-confluent",
+            (Safety::NotIConfluent, _) => "NOT I-confluent",
+            _ => "depends on deletions",
+        };
+        println!("  {name:40} {count:5}   {verdict}");
+    }
+    println!("  {:40} {other:5}", "(other built-ins)");
+    println!("  {:40} {custom:5}", "(user-defined)");
+
+    println!("\nmechanically refuting uniqueness with the model checker:");
+    match check(&Invariant::UniqueKey, &OpShapes::insertions()) {
+        Verdict::NotConfluent(cx) => println!("{cx}"),
+        Verdict::Confluent { .. } => unreachable!("uniqueness is not confluent"),
+    }
+
+    println!("\nand certifying foreign keys under insertions only:");
+    match check(&Invariant::ForeignKey, &OpShapes::insertions()) {
+        Verdict::Confluent { examined } => {
+            println!("  no counterexample in {examined} divergence pairs — safe without coordination")
+        }
+        Verdict::NotConfluent(cx) => unreachable!("{cx}"),
+    }
+}

@@ -1,0 +1,172 @@
+//! Cross-crate integration tests: the whole stack (ORM over engine, the
+//! deployment simulator, the SQL front-end, the workload generators, and
+//! the I-confluence analysis) exercised together, asserting the paper's
+//! qualitative results hold end to end.
+
+use feral::db::{Datum, IsolationLevel};
+use feral::iconfluence::{classify_validator, OperationMix, Safety};
+use feral::sql::SqlSession;
+use feral_bench::apps::{Enforcement, ExperimentEnv};
+use feral_bench::association::association_stress;
+use feral_bench::uniqueness::uniqueness_stress;
+
+/// The Figure 2 ordering: no-validation ≥ feral ≥ database, with feral
+/// strictly between when workers race.
+#[test]
+fn figure2_series_ordering_holds() {
+    let env = ExperimentEnv::default();
+    let rounds = 15;
+    let concurrent = 16;
+    let workers = 8;
+    let none = uniqueness_stress(Enforcement::None, &env, workers, rounds, concurrent, 42);
+    let feral = uniqueness_stress(Enforcement::Feral, &env, workers, rounds, concurrent, 42);
+    let db = uniqueness_stress(Enforcement::Database, &env, workers, rounds, concurrent, 42);
+    assert_eq!(none.duplicates, (rounds * (concurrent - 1)) as u64);
+    assert_eq!(db.duplicates, 0);
+    assert!(
+        feral.duplicates < none.duplicates,
+        "validations must reduce duplication ({} vs {})",
+        feral.duplicates,
+        none.duplicates
+    );
+    // §5.1's bound: each key at most `workers` copies
+    assert!(feral.duplicates <= (rounds * (workers - 1)) as u64);
+}
+
+/// The Figure 4 ordering for orphans.
+#[test]
+fn figure4_series_ordering_holds() {
+    let env = ExperimentEnv::default();
+    let rounds = 15;
+    let inserters = 16;
+    let workers = 8;
+    let none = association_stress(Enforcement::None, &env, workers, rounds, inserters, 43);
+    let feral = association_stress(Enforcement::Feral, &env, workers, rounds, inserters, 43);
+    let db = association_stress(Enforcement::Database, &env, workers, rounds, inserters, 43);
+    assert_eq!(none.orphans, (rounds * inserters) as u64);
+    assert_eq!(db.orphans, 0);
+    assert!(feral.orphans < none.orphans);
+}
+
+/// Serializable isolation is sufficient for the feral validation — the
+/// "isolation is a means towards preserving integrity" baseline.
+#[test]
+fn serializable_feral_validation_is_anomaly_free() {
+    let env = ExperimentEnv {
+        isolation: IsolationLevel::Serializable,
+        ..ExperimentEnv::default()
+    };
+    let r = uniqueness_stress(Enforcement::Feral, &env, 8, 15, 16, 44);
+    assert_eq!(r.duplicates, 0, "serializable must eliminate duplicates");
+}
+
+/// The PG SSI-bug compatibility mode re-admits them (footnote 8).
+#[test]
+fn pg_ssi_bug_mode_readmits_anomalies() {
+    let env = ExperimentEnv {
+        isolation: IsolationLevel::Serializable,
+        pg_ssi_bug: true,
+        ..ExperimentEnv::default()
+    };
+    let r = uniqueness_stress(Enforcement::Feral, &env, 8, 30, 16, 45);
+    assert!(
+        r.duplicates > 0,
+        "the bug mode should leak duplicates under 'serializable'"
+    );
+}
+
+/// The I-confluence classification agrees with the measured behaviour:
+/// the validators that raced above are exactly the non-I-confluent ones.
+#[test]
+fn classification_predicts_measured_anomalies() {
+    // uniqueness raced under insertions: classified unsafe
+    assert_eq!(
+        classify_validator("validates_uniqueness_of", OperationMix::InsertionsOnly),
+        Safety::NotIConfluent
+    );
+    // associations raced only when deletions mixed in
+    assert_eq!(
+        classify_validator("validates_presence_of", OperationMix::InsertionsOnly),
+        Safety::IConfluent
+    );
+    assert_eq!(
+        classify_validator("validates_presence_of", OperationMix::WithDeletions),
+        Safety::NotIConfluent
+    );
+    // the row-local validators never raced
+    for kind in ["validates_length_of", "validates_format_of", "validates_numericality_of"] {
+        assert_eq!(
+            classify_validator(kind, OperationMix::WithDeletions),
+            Safety::IConfluent,
+            "{kind}"
+        );
+    }
+}
+
+/// ORM writes are visible to the SQL front-end and vice versa (one
+/// database, two access paths).
+#[test]
+fn orm_and_sql_share_one_database() {
+    use feral::orm::{App, ModelDef};
+    let app = App::in_memory();
+    app.define(ModelDef::build("Gadget").string("name").finish())
+        .unwrap();
+    let mut session = app.session();
+    session
+        .create_strict("Gadget", &[("name", Datum::text("widget"))])
+        .unwrap();
+
+    let mut sql = SqlSession::new(app.db().clone());
+    let rows = sql
+        .execute("SELECT name FROM gadgets WHERE name = 'widget'")
+        .unwrap()
+        .rows();
+    assert_eq!(rows, vec![vec![Datum::text("widget")]]);
+
+    sql.execute("INSERT INTO gadgets (name) VALUES ('gizmo')")
+        .unwrap();
+    assert_eq!(session.count("Gadget").unwrap(), 2);
+    let found = session
+        .find_by("Gadget", &[("name", Datum::text("gizmo"))])
+        .unwrap();
+    assert!(found.is_some());
+}
+
+/// The workload generators drive the ORM through the deployment layer
+/// without panics across every distribution.
+#[test]
+fn workload_distributions_drive_the_stack() {
+    use feral::workloads::by_name;
+    use feral_bench::uniqueness::uniqueness_workload;
+    let env = ExperimentEnv::default();
+    for dist in ["uniform", "ycsb", "linkbench-insert", "linkbench-update"] {
+        let r = uniqueness_workload(
+            Enforcement::Feral,
+            &env,
+            4,
+            10,
+            |c| by_name(dist, 32, c as u64).unwrap(),
+            46,
+        );
+        assert!(r.rows > 0, "{dist} produced no rows");
+    }
+}
+
+/// The survey pipeline agrees with the embedded Table 2 ground truth for
+/// a corpus subset (the full-corpus check lives in feral-corpus's tests).
+#[test]
+fn survey_round_trips_ground_truth_for_a_subset() {
+    use feral::corpus::{analyze_source, synthesize_corpus, ParseOptions};
+    let corpus = synthesize_corpus(77);
+    for app in corpus.iter().rev().take(8) {
+        let mut models = 0usize;
+        let mut validations = 0usize;
+        for (_, src) in app.render(None) {
+            let analysis = analyze_source(&src, &ParseOptions::default());
+            models += analysis.models.len();
+            validations += analysis.validation_count();
+        }
+        assert_eq!(models as u32, app.stats.models, "{}", app.stats.name);
+        assert_eq!(validations as u32, app.stats.validations, "{}", app.stats.name);
+    }
+}

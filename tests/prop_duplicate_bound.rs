@@ -1,0 +1,100 @@
+//! Property-based tests of the paper's §5.1 worst-case bound: "in a Rails
+//! deployment permitting P concurrent validations ... each value in the
+//! domain of the model field can be inserted no more than P times" — and
+//! the dual bound that in-database constraints admit exactly one.
+
+use feral::db::Datum;
+use feral::orm::{App, ModelDef};
+use proptest::prelude::*;
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Duration;
+
+fn validated_app(unique_index: bool) -> App {
+    let app = App::in_memory();
+    app.define(
+        ModelDef::build("Entry")
+            .string("key")
+            .validates_uniqueness_of("key")
+            .finish(),
+    )
+    .unwrap();
+    if unique_index {
+        app.add_index("Entry", &["key"], true).unwrap();
+    }
+    app.set_validation_write_delay(Duration::from_micros(200));
+    app
+}
+
+/// Race `p` workers inserting `key`, return how many persisted.
+fn race(app: &App, key: &str, p: usize) -> usize {
+    let barrier = Arc::new(Barrier::new(p));
+    let handles: Vec<_> = (0..p)
+        .map(|_| {
+            let app = app.clone();
+            let key = key.to_string();
+            let barrier = barrier.clone();
+            thread::spawn(move || {
+                barrier.wait();
+                let mut s = app.session();
+                match s.create("Entry", &[("key", Datum::text(&key))]) {
+                    Ok(r) => r.is_persisted(),
+                    Err(e) if e.is_retryable() => false,
+                    Err(feral::orm::OrmError::Db(e)) if e.is_constraint_violation() => false,
+                    Err(e) => panic!("unexpected: {e}"),
+                }
+            })
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap() as usize).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Feral validations bound duplication at P copies per key, and at
+    /// least one insert always succeeds.
+    #[test]
+    fn feral_duplicates_bounded_by_worker_count(p in 2usize..8, keys in 1usize..4) {
+        let app = validated_app(false);
+        for k in 0..keys {
+            let persisted = race(&app, &format!("key-{k}"), p);
+            prop_assert!(persisted >= 1, "at least one insert must win");
+            prop_assert!(persisted <= p, "persisted {persisted} > P={p}");
+        }
+    }
+
+    /// With the in-database unique index the bound tightens to exactly 1.
+    #[test]
+    fn database_constraint_admits_exactly_one(p in 2usize..8, keys in 1usize..4) {
+        let app = validated_app(true);
+        for k in 0..keys {
+            let persisted = race(&app, &format!("key-{k}"), p);
+            prop_assert_eq!(persisted, 1);
+        }
+        let mut s = app.session();
+        prop_assert_eq!(s.count("Entry").unwrap(), keys);
+    }
+
+    /// Sequential (P = 1) execution is always anomaly-free, regardless of
+    /// how many times each key is retried — "without concurrent
+    /// execution, validations are correct" (§5.5).
+    #[test]
+    fn sequential_execution_is_always_correct(attempts in proptest::collection::vec(0usize..3, 1..6)) {
+        let app = validated_app(false);
+        let mut s = app.session();
+        for (k, &extra) in attempts.iter().enumerate() {
+            let key = format!("key-{k}");
+            for _ in 0..=extra {
+                let _ = s.create("Entry", &[("key", Datum::text(&key))]).unwrap();
+            }
+        }
+        // exactly one row per key
+        for (k, _) in attempts.iter().enumerate() {
+            let rows = s
+                .where_("Entry", &[("key", Datum::text(format!("key-{k}")))])
+                .unwrap();
+            prop_assert_eq!(rows.len(), 1);
+        }
+    }
+}
