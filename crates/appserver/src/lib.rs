@@ -86,8 +86,12 @@ impl Response {
 }
 
 struct Job {
+    /// Position of the request within its round, so one shared reply
+    /// channel can preserve request order without per-request collector
+    /// threads (which would also defeat deterministic scheduling).
+    index: usize,
     request: Request,
-    reply: Sender<Response>,
+    reply: Sender<(usize, Response)>,
 }
 
 /// Configuration for a deployment.
@@ -136,16 +140,27 @@ impl Deployment {
             let jitter = config.request_jitter;
             let served = served.clone();
             let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(w as u64));
+            // register the worker with any active schedule hook *before*
+            // spawning, so the simulated worker set is deterministic; the
+            // pool threads are daemons (they do not keep a simulation
+            // alive while idle in `recv`)
+            let reg = feral_hooks::spawn_registration(true);
             handles.push(std::thread::spawn(move || {
+                let _active = reg.map(feral_hooks::Registration::activate);
                 let mut session = app.session();
                 while let Ok(job) = rx.recv() {
-                    if !jitter.is_zero() {
+                    if feral_hooks::active() {
+                        // jitter exists to shake loose interleavings; under
+                        // a deterministic scheduler the schedule explorer
+                        // does that job, so the sleep becomes a yield point
+                        feral_hooks::yield_point(feral_hooks::Site::ServerHandle);
+                    } else if !jitter.is_zero() {
                         let d = rng.random_range(0..=jitter.as_micros() as u64);
                         std::thread::sleep(Duration::from_micros(d));
                     }
                     let response = handle(&mut session, job.request);
                     served[w].fetch_add(1, Ordering::Relaxed);
-                    let _ = job.reply.send(response);
+                    let _ = job.reply.send((job.index, response));
                 }
             }));
         }
@@ -175,19 +190,15 @@ impl Deployment {
     pub fn round(&self, requests: Vec<Request>) -> Vec<Response> {
         let n = requests.len();
         let (reply_tx, reply_rx) = bounded::<(usize, Response)>(n);
-        for (i, request) in requests.into_iter().enumerate() {
-            let (tx, rx) = bounded::<Response>(1);
+        for (index, request) in requests.into_iter().enumerate() {
+            feral_hooks::yield_point(feral_hooks::Site::ServerDispatch);
             self.jobs
-                .send(Job { request, reply: tx })
+                .send(Job {
+                    index,
+                    request,
+                    reply: reply_tx.clone(),
+                })
                 .expect("worker pool is gone");
-            let reply_tx = reply_tx.clone();
-            // a lightweight collector per request keeps round() simple
-            // while preserving request indices
-            std::thread::spawn(move || {
-                if let Ok(r) = rx.recv() {
-                    let _ = reply_tx.send((i, r));
-                }
-            });
         }
         drop(reply_tx);
         let mut out: Vec<Option<Response>> = (0..n).map(|_| None).collect();
@@ -210,9 +221,13 @@ impl Deployment {
     /// Shut the pool down, waiting for workers to drain.
     pub fn shutdown(self) {
         drop(self.jobs);
-        for h in self.handles {
-            let _ = h.join();
-        }
+        // joins block in the OS, not at a yield point — tell any active
+        // scheduler this worker holds no turn until they complete
+        feral_hooks::blocking(|| {
+            for h in self.handles {
+                let _ = h.join();
+            }
+        });
     }
 }
 
@@ -364,8 +379,11 @@ mod tests {
         let served = d.requests_served();
         assert_eq!(served.len(), 4);
         assert_eq!(served.iter().sum::<u64>(), 40);
-        // with a shared queue, every worker should get some share
-        assert!(served.iter().filter(|&&c| c > 0).count() >= 2);
+        // NOTE: how the shared queue splits the 40 requests across the 4
+        // workers is up to the OS scheduler — with zero jitter one worker
+        // may legally drain the whole queue, so per-worker share is not
+        // asserted here (schedule-dependent behaviour belongs to the
+        // deterministic feral-sim tests)
         d.shutdown();
     }
 

@@ -21,6 +21,8 @@ pub struct AssociationResult {
 }
 
 /// Count orphans with the paper's Appendix C.5 LEFT OUTER JOIN query.
+/// Debug builds cross-check the SQL count against the `feral-sim`
+/// orphaned-row oracle.
 pub fn count_orphans(app: &App) -> u64 {
     let mut sql = SqlSession::new(app.db().clone());
     let rows = sql
@@ -31,7 +33,13 @@ pub fn count_orphans(app: &App) -> u64 {
         )
         .expect("orphan-count query")
         .rows();
-    rows.iter().map(|r| r[1].as_int().unwrap_or(0) as u64).sum()
+    let total: u64 = rows.iter().map(|r| r[1].as_int().unwrap_or(0) as u64).sum();
+    debug_assert_eq!(
+        total,
+        feral_sim::oracles::orphan_count(app.db(), "users", "department_id", "departments") as u64,
+        "SQL orphan count disagrees with the sim oracle"
+    );
+    total
 }
 
 /// Figure 4 stress test (Appendix C.5): create `rounds` departments; for

@@ -20,16 +20,25 @@ pub struct UniquenessResult {
 }
 
 /// Count duplicates with the paper's Appendix C.2 SQL, run through the
-/// SQL front-end for fidelity.
+/// SQL front-end for fidelity. Debug builds cross-check the SQL count
+/// against the `feral-sim` duplicate-key oracle, so the harness and the
+/// figures can never silently disagree on what a duplicate is.
 pub fn count_duplicates(app: &feral_orm::App) -> u64 {
     let mut sql = SqlSession::new(app.db().clone());
     let rows = sql
         .execute("SELECT key, COUNT(key) FROM key_values GROUP BY key HAVING COUNT(key) > 1")
         .expect("duplicate-count query")
         .rows();
-    rows.iter()
+    let total: u64 = rows
+        .iter()
         .map(|r| (r[1].as_int().unwrap_or(0) - 1) as u64)
-        .sum()
+        .sum();
+    debug_assert_eq!(
+        total,
+        feral_sim::oracles::duplicate_count(app.db(), "key_values", "key") as u64,
+        "SQL duplicate count disagrees with the sim oracle"
+    );
+    total
 }
 
 /// Figure 2 stress test: `rounds` rounds of `concurrent` simultaneous

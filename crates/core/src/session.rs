@@ -148,7 +148,12 @@ impl Session {
                 return Ok(Some(errors));
             }
             run_callbacks(record, CallbackKind::BeforeSave);
-            if !delay.is_zero() {
+            if feral_hooks::active() {
+                // under a deterministic scheduler the validate→write race
+                // window is a yield point, not a wall-clock sleep: the
+                // scheduler decides who runs inside the gap
+                feral_hooks::yield_point(feral_hooks::Site::OrmValidateWriteGap);
+            } else if !delay.is_zero() {
                 // models the controller/VM/network latency between the
                 // validation SELECTs and the write in a real deployment
                 std::thread::sleep(delay);

@@ -581,6 +581,7 @@ impl Database {
     /// Begin a transaction at an explicit isolation level (Rails ≥4.0's
     /// per-transaction `isolation:` option).
     pub fn begin_with(&self, isolation: IsolationLevel) -> Transaction {
+        feral_hooks::yield_point(feral_hooks::Site::TxnBegin);
         let id = self.inner.txn_ids.fetch_add(1, Ordering::SeqCst);
         // Read the clock and register in the active set under one lock:
         // vacuum computes its horizon under the same lock, so it can never

@@ -134,6 +134,28 @@ impl LockManager {
                 return Ok(());
             }
         }
+        if feral_hooks::active() {
+            // Simulated execution: no wall-clock deadline. Hand the turn
+            // back to the scheduler until the lock is free; a TimedOut
+            // grant means we were elected deadlock victim and must abort
+            // exactly as a timed-out waiter would.
+            while !state.compatible(txn, mode) {
+                state.waiters += 1;
+                drop(state);
+                let outcome = feral_hooks::wait(feral_hooks::WaitKind::Lock);
+                state = cell.state.lock();
+                state.waiters -= 1;
+                if outcome == feral_hooks::WaitOutcome::TimedOut
+                    && !state.compatible(txn, mode)
+                {
+                    return Err(DbError::LockTimeout {
+                        lock: key.to_string(),
+                    });
+                }
+            }
+            state.grant(txn, mode);
+            return Ok(());
+        }
         let deadline = Instant::now() + self.timeout;
         while !state.compatible(txn, mode) {
             state.waiters += 1;
@@ -181,6 +203,7 @@ impl LockManager {
         let mut state = cell.state.lock();
         state.holders.retain(|(t, _)| *t != txn);
         cell.cv.notify_all();
+        feral_hooks::progress();
         // opportunistic cleanup of idle cells to bound memory on key-heavy
         // workloads
         if state.holders.is_empty() && state.waiters == 0 {

@@ -208,6 +208,7 @@ impl Transaction {
         table: &str,
         pred: &Predicate,
     ) -> DbResult<Vec<(RowRef, Arc<Tuple>)>> {
+        feral_hooks::yield_point(feral_hooks::Site::TxnScan);
         self.ensure_open()?;
         let (tid, entry) = self.resolve(table)?;
         Stats::bump(&self.db.inner.stats.scans);
@@ -382,6 +383,7 @@ impl Transaction {
         table: &str,
         pred: &Predicate,
     ) -> DbResult<Vec<(RowRef, Arc<Tuple>)>> {
+        feral_hooks::yield_point(feral_hooks::Site::TxnSelectForUpdate);
         self.ensure_open()?;
         let (tid, entry) = self.resolve(table)?;
         Stats::bump(&self.db.inner.stats.scans);
@@ -686,6 +688,7 @@ impl Transaction {
     /// sequence. Returns a reference usable for further reads/writes in
     /// this transaction.
     pub fn insert(&mut self, table: &str, mut tuple: Tuple) -> DbResult<RowRef> {
+        feral_hooks::yield_point(feral_hooks::Site::TxnWrite);
         self.ensure_open()?;
         let (tid, entry) = self.resolve(table)?;
         if tuple.first().map(Datum::is_null).unwrap_or(false) {
@@ -751,6 +754,7 @@ impl Transaction {
     /// Update the row at `rref` to `new_tuple` (the `id` column is forced
     /// to remain unchanged).
     pub fn update(&mut self, table: &str, rref: RowRef, new_tuple: Tuple) -> DbResult<()> {
+        feral_hooks::yield_point(feral_hooks::Site::TxnWrite);
         self.ensure_open()?;
         let (tid, _) = self.resolve(table)?;
         self.update_ref(tid, rref, new_tuple)
@@ -887,6 +891,7 @@ impl Transaction {
     /// Delete the row at `rref`, enforcing any in-database foreign keys
     /// (RESTRICT / CASCADE / SET NULL).
     pub fn delete(&mut self, table: &str, rref: RowRef) -> DbResult<()> {
+        feral_hooks::yield_point(feral_hooks::Site::TxnWrite);
         self.ensure_open()?;
         let (tid, _) = self.resolve(table)?;
         self.delete_ref(tid, rref)
@@ -1064,6 +1069,7 @@ impl Transaction {
 
     /// Commit the transaction, applying buffered writes atomically.
     pub fn commit(&mut self) -> DbResult<()> {
+        feral_hooks::yield_point(feral_hooks::Site::TxnCommit);
         self.ensure_open()?;
         if !self.has_effects() {
             self.finish(true);

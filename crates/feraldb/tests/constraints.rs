@@ -151,23 +151,37 @@ fn unique_index_is_race_free_under_heavy_concurrency() {
     for _ in 0..threads {
         let db = db.clone();
         let barrier = barrier.clone();
-        handles.push(thread::spawn(move || {
+        // never panic between barrier waits: a panicking thread would leave
+        // the others parked on the barrier forever, so unexpected errors
+        // are collected and asserted after join instead
+        handles.push(thread::spawn(move || -> Vec<String> {
+            let mut unexpected = Vec::new();
             for round in 0..rounds {
                 barrier.wait();
                 let mut tx = db.begin();
                 let key = format!("key-{round}");
                 match tx.insert_pairs("t", &[("k", Datum::text(&key))]) {
                     Ok(_) => {
-                        tx.commit().unwrap();
+                        if let Err(e) = tx.commit() {
+                            unexpected.push(format!("commit: {e}"));
+                        }
                     }
                     Err(DbError::UniqueViolation { .. }) => tx.rollback(),
-                    Err(e) => panic!("unexpected error: {e}"),
+                    // lock-wait timeout is legitimate deadlock resolution
+                    // under this much contention; the losing insert aborts
+                    Err(e) if e.is_retryable() => tx.rollback(),
+                    Err(e) => {
+                        unexpected.push(format!("insert: {e}"));
+                        tx.rollback();
+                    }
                 }
             }
+            unexpected
         }));
     }
     for h in handles {
-        h.join().unwrap();
+        let unexpected = h.join().unwrap();
+        assert!(unexpected.is_empty(), "unexpected errors: {unexpected:?}");
     }
     assert_eq!(db.count_rows("t").unwrap(), rounds);
     // every key appears exactly once
@@ -295,7 +309,10 @@ fn fk_is_race_free_under_concurrent_insert_and_cascade_delete() {
     for w in 0..inserters {
         let db = db.clone();
         let barrier = barrier.clone();
-        handles.push(thread::spawn(move || {
+        // as above: collect unexpected errors rather than panicking while
+        // other threads are parked on the shared barrier
+        handles.push(thread::spawn(move || -> Vec<String> {
+            let mut unexpected = Vec::new();
             for d in 1..=rounds {
                 barrier.wait();
                 let mut tx = db.begin();
@@ -308,15 +325,20 @@ fn fk_is_race_free_under_concurrent_insert_and_cascade_delete() {
                     }
                     Err(DbError::ForeignKeyViolation { .. }) => tx.rollback(),
                     Err(e) if e.is_retryable() => tx.rollback(),
-                    Err(e) => panic!("unexpected: {e}"),
+                    Err(e) => {
+                        unexpected.push(format!("insert: {e}"));
+                        tx.rollback();
+                    }
                 }
             }
+            unexpected
         }));
     }
     {
         let db = db.clone();
         let barrier = barrier.clone();
-        handles.push(thread::spawn(move || {
+        handles.push(thread::spawn(move || -> Vec<String> {
+            let mut unexpected = Vec::new();
             for d in 1..=rounds {
                 barrier.wait();
                 loop {
@@ -330,20 +352,29 @@ fn fk_is_race_free_under_concurrent_insert_and_cascade_delete() {
                         Ok(()) => match tx.commit() {
                             Ok(()) => break,
                             Err(e) if e.is_retryable() => continue,
-                            Err(e) => panic!("unexpected: {e}"),
+                            Err(e) => {
+                                unexpected.push(format!("commit: {e}"));
+                                break;
+                            }
                         },
                         Err(e) if e.is_retryable() => {
                             tx.rollback();
                             continue;
                         }
-                        Err(e) => panic!("unexpected: {e}"),
+                        Err(e) => {
+                            unexpected.push(format!("delete: {e}"));
+                            tx.rollback();
+                            break;
+                        }
                     }
                 }
             }
+            unexpected
         }));
     }
     for h in handles {
-        h.join().unwrap();
+        let unexpected = h.join().unwrap();
+        assert!(unexpected.is_empty(), "unexpected errors: {unexpected:?}");
     }
     // zero orphans: every surviving user's department exists
     let mut tx = db.begin();

@@ -1,0 +1,279 @@
+//! `feral-sim` — deterministic anomaly exploration from the command line.
+//!
+//! ```text
+//! feral-sim matrix [--max-runs N]
+//!     Run the paper's safety matrix under exhaustive schedule
+//!     exploration; exit non-zero if any cell deviates.
+//!
+//! feral-sim systematic --scenario uniqueness|orphans
+//!         [--isolation LEVEL] [--guard feral|database]
+//!         [--workers N] [--max-runs N]
+//!     Exhaustively explore one scenario; print the first anomalous
+//!     schedule (with its replay choices) if one exists.
+//!
+//! feral-sim random --scenario ... [--seeds N] [...]
+//!     Seeded random search; print the firing seed.
+//!
+//! feral-sim replay --scenario ... --seed S [...]
+//! feral-sim replay --scenario ... --choices 1,0,2 [...]
+//!     Re-run one schedule byte-identically and print its trace.
+//! ```
+//!
+//! Isolation levels: `read-committed`, `repeatable-read`, `snapshot`,
+//! `serializable`.
+
+use feral_db::IsolationLevel;
+use feral_sim::scenarios::{orphan_trial, uniqueness_trial, Guard};
+use feral_sim::{explore_random, explore_systematic, run_with_choices, run_with_seed, Trial};
+use std::process::ExitCode;
+
+#[derive(Clone, Copy)]
+struct ScenarioCfg {
+    scenario: &'static str,
+    isolation: IsolationLevel,
+    guard: Guard,
+    workers: usize,
+}
+
+impl ScenarioCfg {
+    fn build(&self) -> Trial {
+        match self.scenario {
+            "uniqueness" => uniqueness_trial(self.isolation, self.guard, self.workers),
+            "orphans" => orphan_trial(self.isolation, self.guard, self.workers),
+            other => die(&format!("unknown scenario `{other}` (uniqueness|orphans)")),
+        }
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "{}/{:?}/{}",
+            self.scenario,
+            self.isolation,
+            match self.guard {
+                Guard::Feral => "feral",
+                Guard::Database => "db-constraint",
+            }
+        )
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("feral-sim: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_isolation(s: &str) -> IsolationLevel {
+    match s {
+        "read-committed" => IsolationLevel::ReadCommitted,
+        "repeatable-read" => IsolationLevel::RepeatableRead,
+        "snapshot" => IsolationLevel::Snapshot,
+        "serializable" => IsolationLevel::Serializable,
+        other => die(&format!("unknown isolation `{other}`")),
+    }
+}
+
+struct Args {
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Args {
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let key = raw[i]
+                .strip_prefix("--")
+                .unwrap_or_else(|| die(&format!("expected --flag, got `{}`", raw[i])));
+            let value = raw
+                .get(i + 1)
+                .unwrap_or_else(|| die(&format!("--{key} needs a value")));
+            flags.push((key.to_string(), value.clone()));
+            i += 2;
+        }
+        Args { flags }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn usize_or(&self, key: &str, default: usize) -> usize {
+        self.get(key)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| die(&format!("--{key} wants a number, got `{v}`")))
+            })
+            .unwrap_or(default)
+    }
+
+    fn scenario_cfg(&self) -> ScenarioCfg {
+        let scenario = match self.get("scenario") {
+            Some("uniqueness") => "uniqueness",
+            Some("orphans") => "orphans",
+            Some(other) => die(&format!("unknown scenario `{other}`")),
+            None => die("--scenario is required"),
+        };
+        ScenarioCfg {
+            scenario,
+            isolation: self
+                .get("isolation")
+                .map(parse_isolation)
+                .unwrap_or(IsolationLevel::ReadCommitted),
+            guard: match self.get("guard") {
+                Some("database") => Guard::Database,
+                Some("feral") | None => Guard::Feral,
+                Some(other) => die(&format!("unknown guard `{other}` (feral|database)")),
+            },
+            workers: self.usize_or("workers", 2),
+        }
+    }
+}
+
+fn cmd_systematic(cfg: ScenarioCfg, max_runs: usize) -> ExitCode {
+    let outcome = explore_systematic(|| cfg.build(), max_runs);
+    match outcome.violation {
+        Some(v) => {
+            println!(
+                "{}: ANOMALY after {} schedules: {}",
+                cfg.label(),
+                outcome.runs,
+                v.message
+            );
+            println!("  {}", v.replay_hint());
+            ExitCode::from(1)
+        }
+        None => {
+            println!(
+                "{}: no anomaly in {} schedules ({})",
+                cfg.label(),
+                outcome.runs,
+                if outcome.complete {
+                    "exhaustive"
+                } else {
+                    "bounded — NOT exhaustive"
+                }
+            );
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn cmd_random(cfg: ScenarioCfg, seeds: u64) -> ExitCode {
+    let outcome = explore_random(|| cfg.build(), 0..seeds);
+    match outcome.violation {
+        Some(v) => {
+            println!(
+                "{}: ANOMALY at seed {} (run {} of {}): {}",
+                cfg.label(),
+                v.seed.unwrap(),
+                outcome.runs,
+                seeds,
+                v.message
+            );
+            println!("  {}", v.replay_hint());
+            ExitCode::from(1)
+        }
+        None => {
+            println!("{}: no anomaly in {} seeded runs", cfg.label(), outcome.runs);
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn cmd_replay(cfg: ScenarioCfg, args: &Args) -> ExitCode {
+    let (run, verdict) = if let Some(seed) = args.get("seed") {
+        let seed = seed
+            .parse()
+            .unwrap_or_else(|_| die(&format!("--seed wants a number, got `{seed}`")));
+        run_with_seed(cfg.build(), seed)
+    } else if let Some(choices) = args.get("choices") {
+        let choices: Vec<usize> = choices
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("bad choice `{s}` in --choices")))
+            })
+            .collect();
+        run_with_choices(cfg.build(), &choices)
+    } else {
+        die("replay needs --seed or --choices");
+    };
+    println!("{}", run.trace_text());
+    match verdict {
+        Ok(()) => {
+            println!("{}: oracle silent", cfg.label());
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            println!("{}: oracle fired: {message}", cfg.label());
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn cmd_matrix(max_runs: usize) -> ExitCode {
+    use IsolationLevel::{ReadCommitted, Serializable};
+    // (scenario cfg, anomaly expected?)
+    let cells: Vec<(ScenarioCfg, bool)> = vec![
+        (cell("uniqueness", ReadCommitted, Guard::Feral), true),
+        (cell("uniqueness", Serializable, Guard::Feral), false),
+        (cell("uniqueness", ReadCommitted, Guard::Database), false),
+        (cell("orphans", ReadCommitted, Guard::Feral), true),
+        (cell("orphans", Serializable, Guard::Feral), false),
+        (cell("orphans", ReadCommitted, Guard::Database), false),
+    ];
+    let mut failures = 0;
+    for (cfg, expect_anomaly) in cells {
+        let outcome = explore_systematic(|| cfg.build(), max_runs);
+        let found = outcome.violation.is_some();
+        let verdict = if found == expect_anomaly { "ok" } else { "FAIL" };
+        let detail = match &outcome.violation {
+            Some(v) => format!("anomaly: {} ({})", v.message, v.replay_hint()),
+            None if outcome.complete => format!("safe across all {} schedules", outcome.runs),
+            None => format!("no anomaly in {} schedules (bounded)", outcome.runs),
+        };
+        println!("[{verdict:>4}] {:<38} {detail}", cfg.label());
+        if found != expect_anomaly {
+            failures += 1;
+        }
+    }
+    if failures == 0 {
+        println!("safety matrix: all cells as the paper predicts");
+        ExitCode::SUCCESS
+    } else {
+        println!("safety matrix: {failures} cell(s) deviate");
+        ExitCode::from(1)
+    }
+}
+
+fn cell(scenario: &'static str, isolation: IsolationLevel, guard: Guard) -> ScenarioCfg {
+    ScenarioCfg {
+        scenario,
+        isolation,
+        guard,
+        workers: match scenario {
+            "orphans" => 1,
+            _ => 2,
+        },
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first() else {
+        die("usage: feral-sim <matrix|systematic|random|replay> [flags]")
+    };
+    let args = Args::parse(&argv[1..]);
+    match command.as_str() {
+        "matrix" => cmd_matrix(args.usize_or("max-runs", 200_000)),
+        "systematic" => cmd_systematic(args.scenario_cfg(), args.usize_or("max-runs", 200_000)),
+        "random" => cmd_random(args.scenario_cfg(), args.usize_or("seeds", 500) as u64),
+        "replay" => cmd_replay(args.scenario_cfg(), &args),
+        other => die(&format!("unknown command `{other}`")),
+    }
+}

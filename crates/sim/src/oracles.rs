@@ -1,0 +1,183 @@
+//! Anomaly oracles: the integrity checks the paper's experiments run
+//! after a workload — duplicate uniqueness keys (Fig. 2/3), orphaned
+//! association rows (Fig. 4), and lost counter updates (§6.2). They read
+//! the database through an ordinary transaction, so the harness, the
+//! `crates/bench` figure binaries, and production-style audits can share
+//! them.
+
+use feral_db::{Database, Datum, Predicate};
+use std::collections::HashMap;
+
+fn column_of(db: &Database, table: &str, column: &str) -> usize {
+    let info = db
+        .table_info(table)
+        .unwrap_or_else(|e| panic!("oracle: no table {table}: {e}"));
+    info.schema
+        .column_index(column)
+        .unwrap_or_else(|e| panic!("oracle: no column {table}.{column}: {e}"))
+}
+
+/// Distinct values of `table.column` held by more than one row, with
+/// their multiplicities. SQL-style semantics: NULLs never collide.
+pub fn duplicate_keys(db: &Database, table: &str, column: &str) -> Vec<(Datum, usize)> {
+    let col = column_of(db, table, column);
+    let mut tx = db.begin();
+    let rows = tx
+        .scan(table, &Predicate::True)
+        .unwrap_or_else(|e| panic!("oracle scan of {table} failed: {e}"));
+    tx.rollback();
+    let mut counts: HashMap<String, (Datum, usize)> = HashMap::new();
+    for (_, tuple) in rows {
+        let key = &tuple[col];
+        if key.is_null() {
+            continue;
+        }
+        let entry = counts
+            .entry(format!("{key:?}"))
+            .or_insert_with(|| (key.clone(), 0));
+        entry.1 += 1;
+    }
+    let mut dups: Vec<(Datum, usize)> = counts
+        .into_values()
+        .filter(|(_, n)| *n > 1)
+        .collect();
+    dups.sort_by(|a, b| format!("{:?}", a.0).cmp(&format!("{:?}", b.0)));
+    dups
+}
+
+/// Rows in excess of one per distinct `table.column` value — the
+/// paper's duplicate-record count (Appendix C.2's `GROUP BY ... HAVING
+/// count(*) > 1`, summed).
+pub fn duplicate_count(db: &Database, table: &str, column: &str) -> usize {
+    duplicate_keys(db, table, column)
+        .into_iter()
+        .map(|(_, n)| n - 1)
+        .sum()
+}
+
+/// Child rows whose non-NULL `fk_column` references no row in
+/// `parent_table` (matched on the parent's first column, its id) — the
+/// paper's orphaned-association scan (Appendix C.2's LEFT OUTER JOIN
+/// ... WHERE parent.id IS NULL).
+pub fn orphaned_rows(
+    db: &Database,
+    child_table: &str,
+    fk_column: &str,
+    parent_table: &str,
+) -> Vec<Datum> {
+    let fk = column_of(db, child_table, fk_column);
+    let mut tx = db.begin();
+    let children = tx
+        .scan(child_table, &Predicate::True)
+        .unwrap_or_else(|e| panic!("oracle scan of {child_table} failed: {e}"));
+    let parents = tx
+        .scan(parent_table, &Predicate::True)
+        .unwrap_or_else(|e| panic!("oracle scan of {parent_table} failed: {e}"));
+    tx.rollback();
+    let parent_ids: Vec<Datum> = parents.iter().map(|(_, t)| t[0].clone()).collect();
+    let mut orphans = Vec::new();
+    for (_, child) in children {
+        let fk_val = &child[fk];
+        if fk_val.is_null() {
+            continue;
+        }
+        if !parent_ids.iter().any(|p| p == fk_val) {
+            orphans.push(child[0].clone());
+        }
+    }
+    orphans
+}
+
+/// Orphaned-row count (see [`orphaned_rows`]).
+pub fn orphan_count(db: &Database, child: &str, fk_column: &str, parent: &str) -> usize {
+    orphaned_rows(db, child, fk_column, parent).len()
+}
+
+/// Lost-update detector for counter columns: sums `table.column` over
+/// all rows and reports how many acknowledged increments are missing
+/// (`expected_total - observed`). Positive = lost updates; zero = none.
+pub fn lost_updates(db: &Database, table: &str, column: &str, expected_total: i64) -> i64 {
+    let col = column_of(db, table, column);
+    let mut tx = db.begin();
+    let rows = tx
+        .scan(table, &Predicate::True)
+        .unwrap_or_else(|e| panic!("oracle scan of {table} failed: {e}"));
+    tx.rollback();
+    let observed: i64 = rows
+        .iter()
+        .map(|(_, t)| t[col].as_int().unwrap_or(0))
+        .sum();
+    expected_total - observed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feral_db::{ColumnDef, DataType, TableSchema};
+
+    fn db_with(table: &str, cols: Vec<ColumnDef>) -> Database {
+        let db = Database::in_memory();
+        db.create_table(TableSchema::new(table, cols)).unwrap();
+        db
+    }
+
+    #[test]
+    fn duplicates_counted_per_excess_row() {
+        let db = db_with("t", vec![ColumnDef::new("k", DataType::Text)]);
+        let mut tx = db.begin();
+        for k in ["a", "a", "a", "b", "c", "c"] {
+            tx.insert_pairs("t", &[("k", Datum::text(k))]).unwrap();
+        }
+        tx.commit().unwrap();
+        assert_eq!(duplicate_count(&db, "t", "k"), 3); // 2 extra "a" + 1 extra "c"
+        let keys = duplicate_keys(&db, "t", "k");
+        assert_eq!(keys.len(), 2);
+    }
+
+    #[test]
+    fn nulls_never_collide() {
+        let db = db_with("t", vec![ColumnDef::new("k", DataType::Text)]);
+        let mut tx = db.begin();
+        for _ in 0..3 {
+            tx.insert_pairs("t", &[("k", Datum::Null)]).unwrap();
+        }
+        tx.commit().unwrap();
+        assert_eq!(duplicate_count(&db, "t", "k"), 0);
+    }
+
+    #[test]
+    fn orphans_found_by_missing_parent() {
+        let db = Database::in_memory();
+        db.create_table(TableSchema::new(
+            "parents",
+            vec![ColumnDef::new("name", DataType::Text)],
+        ))
+        .unwrap();
+        db.create_table(TableSchema::new(
+            "children",
+            vec![ColumnDef::new("parent_id", DataType::Int)],
+        ))
+        .unwrap();
+        let mut tx = db.begin();
+        tx.insert_pairs("parents", &[("id", Datum::Int(1)), ("name", Datum::text("p"))])
+            .unwrap();
+        tx.insert_pairs("children", &[("parent_id", Datum::Int(1))])
+            .unwrap();
+        tx.insert_pairs("children", &[("parent_id", Datum::Int(99_999))])
+            .unwrap();
+        tx.insert_pairs("children", &[("parent_id", Datum::Null)])
+            .unwrap();
+        tx.commit().unwrap();
+        assert_eq!(orphan_count(&db, "children", "parent_id", "parents"), 1);
+    }
+
+    #[test]
+    fn lost_updates_measures_shortfall() {
+        let db = db_with("c", vec![ColumnDef::new("n", DataType::Int)]);
+        let mut tx = db.begin();
+        tx.insert_pairs("c", &[("n", Datum::Int(7))]).unwrap();
+        tx.commit().unwrap();
+        assert_eq!(lost_updates(&db, "c", "n", 10), 3);
+        assert_eq!(lost_updates(&db, "c", "n", 7), 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Canonical anomaly scenarios from the paper, packaged as [`Trial`]s so
+//! the integration tests, the `feral-sim` CLI, and the bench crate can
+//! explore the same workloads.
+//!
+//! Each trial builds a fresh application, races a small number of
+//! sessions through the ORM exactly as the Appendix C experiment apps do,
+//! and installs the matching anomaly oracle as its check — the oracle
+//! *fires* (returns `Err`) when the integrity violation is present.
+
+use crate::explore::Trial;
+use crate::oracles;
+use feral_db::{Config, Database, Datum, IsolationLevel, OnDelete};
+use feral_orm::{App, Dependent, ModelDef, OrmError};
+
+/// How the uniqueness/association invariant is enforced, mirroring the
+/// bench crate's experiment matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Guard {
+    /// Feral validation only (`validates_uniqueness_of` /
+    /// `validates_presence_of` + `dependent: :destroy`).
+    Feral,
+    /// Feral validation plus the in-database constraint (unique index /
+    /// foreign key).
+    Database,
+}
+
+fn db_at(isolation: IsolationLevel) -> Database {
+    Database::new(Config {
+        default_isolation: isolation,
+        ..Config::default()
+    })
+}
+
+/// Swallow the error outcomes a Rails controller treats as "request
+/// failed, move on": retryable engine errors, constraint rejections, and
+/// validation failures. Anything else is a scenario bug worth a panic.
+fn tolerate(result: Result<feral_orm::Record, OrmError>) {
+    match result {
+        Ok(_) => {}
+        Err(e) if e.is_retryable() => {}
+        Err(OrmError::Db(d)) if d.is_constraint_violation() => {}
+        Err(OrmError::RecordInvalid(_)) | Err(OrmError::RecordNotFound(_)) => {}
+        Err(e) => panic!("unexpected error in scenario worker: {e}"),
+    }
+}
+
+/// §5.2 uniqueness scenario: `writers` concurrent sessions each create a
+/// `KeyValue` with the *same* key through `validates_uniqueness_of`. The
+/// oracle fires when more than one row holds the key.
+pub fn uniqueness_trial(isolation: IsolationLevel, guard: Guard, writers: usize) -> Trial {
+    uniqueness_trial_app(isolation, guard, writers).1
+}
+
+/// [`uniqueness_trial`], also handing back the application so callers can
+/// inspect row counts after the run (the property tests do).
+pub fn uniqueness_trial_app(
+    isolation: IsolationLevel,
+    guard: Guard,
+    writers: usize,
+) -> (App, Trial) {
+    let app = App::new(db_at(isolation));
+    app.define(
+        ModelDef::build("KeyValue")
+            .string("key")
+            .string("value")
+            .validates_presence_of("key")
+            .validates_uniqueness_of("key")
+            .finish(),
+    )
+    .unwrap();
+    if guard == Guard::Database {
+        app.add_index("KeyValue", &["key"], true).unwrap();
+    }
+    let workers = (0..writers)
+        .map(|_| {
+            let app = app.clone();
+            Box::new(move || {
+                let mut s = app.session();
+                tolerate(s.create(
+                    "KeyValue",
+                    &[("key", Datum::text("dup")), ("value", Datum::text("v"))],
+                ));
+            }) as Box<dyn FnOnce() + Send>
+        })
+        .collect();
+    let check_app = app.clone();
+    let trial = Trial {
+        workers,
+        check: Box::new(move || {
+            let dups = oracles::duplicate_keys(check_app.db(), "key_values", "key");
+            if dups.is_empty() {
+                Ok(())
+            } else {
+                Err(format!("duplicate uniqueness keys: {dups:?}"))
+            }
+        }),
+    };
+    (app, trial)
+}
+
+/// §5.3/§5.4 association scenario: one session ferally cascade-destroys a
+/// department (`has_many :users, dependent: :destroy`) while `inserters`
+/// sessions concurrently create users in it (validating department
+/// presence). The oracle fires when a surviving user references the dead
+/// department.
+pub fn orphan_trial(isolation: IsolationLevel, guard: Guard, inserters: usize) -> Trial {
+    orphan_trial_app(isolation, guard, inserters).1
+}
+
+/// [`orphan_trial`], also handing back the application for post-run
+/// inspection.
+pub fn orphan_trial_app(
+    isolation: IsolationLevel,
+    guard: Guard,
+    inserters: usize,
+) -> (App, Trial) {
+    let app = App::new(db_at(isolation));
+    app.define(
+        ModelDef::build("Department")
+            .string("name")
+            .has_many_dependent("users", Dependent::Destroy)
+            .finish(),
+    )
+    .unwrap();
+    app.define(
+        ModelDef::build("User")
+            .belongs_to("department")
+            .validates_presence_of("department")
+            .finish(),
+    )
+    .unwrap();
+    if guard == Guard::Database {
+        app.add_foreign_key("User", "department", OnDelete::Cascade)
+            .unwrap();
+    }
+    let dept_id = {
+        let mut s = app.session();
+        s.create_strict("Department", &[("name", Datum::text("eng"))])
+            .unwrap()
+            .id()
+            .unwrap()
+    };
+    let mut workers: Vec<Box<dyn FnOnce() + Send>> = Vec::with_capacity(inserters + 1);
+    {
+        let app = app.clone();
+        workers.push(Box::new(move || {
+            let mut s = app.session();
+            match s.find("Department", dept_id) {
+                Ok(mut dept) => match s.destroy(&mut dept) {
+                    Ok(()) => {}
+                    Err(e) if e.is_retryable() => {}
+                    Err(e) => panic!("unexpected destroy error: {e}"),
+                },
+                Err(OrmError::RecordNotFound(_)) => {}
+                Err(e) if e.is_retryable() => {}
+                Err(e) => panic!("unexpected find error: {e}"),
+            }
+        }));
+    }
+    for _ in 0..inserters {
+        let app = app.clone();
+        workers.push(Box::new(move || {
+            let mut s = app.session();
+            tolerate(s.create("User", &[("department_id", Datum::Int(dept_id))]));
+        }));
+    }
+    let check_app = app.clone();
+    let trial = Trial {
+        workers,
+        check: Box::new(move || {
+            let orphans =
+                oracles::orphaned_rows(check_app.db(), "users", "department_id", "departments");
+            if orphans.is_empty() {
+                Ok(())
+            } else {
+                Err(format!("orphaned user rows (ids): {orphans:?}"))
+            }
+        }),
+    };
+    (app, trial)
+}

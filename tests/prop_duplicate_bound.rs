@@ -2,78 +2,66 @@
 //! deployment permitting P concurrent validations ... each value in the
 //! domain of the model field can be inserted no more than P times" — and
 //! the dual bound that in-database constraints admit exactly one.
+//!
+//! Schedules come from the `feral-sim` deterministic scheduler: each
+//! proptest case picks a worker count and a schedule seed, and the run
+//! interleaves at instrumented yield points. No barriers, no sleeps, no
+//! wall-clock — a failing case's `(p, seed)` pair replays it exactly.
 
+use feral_db::IsolationLevel;
+use feral_sim::oracles;
+use feral_sim::run_with_seed;
+use feral_sim::scenarios::{orphan_trial_app, uniqueness_trial_app, Guard};
 use feral::db::Datum;
 use feral::orm::{App, ModelDef};
 use proptest::prelude::*;
-use std::sync::{Arc, Barrier};
-use std::thread;
-use std::time::Duration;
 
-fn validated_app(unique_index: bool) -> App {
-    let app = App::in_memory();
-    app.define(
-        ModelDef::build("Entry")
-            .string("key")
-            .validates_uniqueness_of("key")
-            .finish(),
-    )
-    .unwrap();
-    if unique_index {
-        app.add_index("Entry", &["key"], true).unwrap();
-    }
-    app.set_validation_write_delay(Duration::from_micros(200));
-    app
-}
-
-/// Race `p` workers inserting `key`, return how many persisted.
-fn race(app: &App, key: &str, p: usize) -> usize {
-    let barrier = Arc::new(Barrier::new(p));
-    let handles: Vec<_> = (0..p)
-        .map(|_| {
-            let app = app.clone();
-            let key = key.to_string();
-            let barrier = barrier.clone();
-            thread::spawn(move || {
-                barrier.wait();
-                let mut s = app.session();
-                match s.create("Entry", &[("key", Datum::text(&key))]) {
-                    Ok(r) => r.is_persisted(),
-                    Err(e) if e.is_retryable() => false,
-                    Err(feral::orm::OrmError::Db(e)) if e.is_constraint_violation() => false,
-                    Err(e) => panic!("unexpected: {e}"),
-                }
-            })
-        })
-        .collect();
-    handles.into_iter().map(|h| h.join().unwrap() as usize).sum()
+/// Race `p` schedule-controlled workers inserting the same key under the
+/// given guard; return how many rows persisted.
+fn race(p: usize, guard: Guard, seed: u64) -> usize {
+    let (app, trial) = uniqueness_trial_app(IsolationLevel::ReadCommitted, guard, p);
+    let _ = run_with_seed(trial, seed);
+    let mut s = app.session();
+    s.count("KeyValue").unwrap()
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+    #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Feral validations bound duplication at P copies per key, and at
     /// least one insert always succeeds.
     #[test]
-    fn feral_duplicates_bounded_by_worker_count(p in 2usize..8, keys in 1usize..4) {
-        let app = validated_app(false);
-        for k in 0..keys {
-            let persisted = race(&app, &format!("key-{k}"), p);
-            prop_assert!(persisted >= 1, "at least one insert must win");
-            prop_assert!(persisted <= p, "persisted {persisted} > P={p}");
-        }
+    fn feral_duplicates_bounded_by_worker_count(p in 2usize..5, seed in 0u64..1_000_000) {
+        let persisted = race(p, Guard::Feral, seed);
+        prop_assert!(persisted >= 1, "at least one insert must win (seed {seed})");
+        prop_assert!(persisted <= p, "persisted {persisted} > P={p} (seed {seed})");
     }
 
-    /// With the in-database unique index the bound tightens to exactly 1.
+    /// With the in-database unique index the bound tightens to exactly 1,
+    /// on every schedule.
     #[test]
-    fn database_constraint_admits_exactly_one(p in 2usize..8, keys in 1usize..4) {
-        let app = validated_app(true);
-        for k in 0..keys {
-            let persisted = race(&app, &format!("key-{k}"), p);
-            prop_assert_eq!(persisted, 1);
-        }
-        let mut s = app.session();
-        prop_assert_eq!(s.count("Entry").unwrap(), keys);
+    fn database_constraint_admits_exactly_one(p in 2usize..5, seed in 0u64..1_000_000) {
+        let persisted = race(p, Guard::Database, seed);
+        prop_assert_eq!(persisted, 1, "seed {}", seed);
+    }
+
+    /// Feral cascading destroy orphans at most one row per concurrent
+    /// inserter (§5.4's worst case), and the in-database foreign key
+    /// admits none — on every schedule.
+    #[test]
+    fn orphans_bounded_by_inserter_count(inserters in 1usize..4, seed in 0u64..1_000_000) {
+        let (app, trial) = orphan_trial_app(IsolationLevel::ReadCommitted, Guard::Feral, inserters);
+        let _ = run_with_seed(trial, seed);
+        let orphans = oracles::orphan_count(app.db(), "users", "department_id", "departments");
+        prop_assert!(
+            orphans <= inserters,
+            "{orphans} orphans > {inserters} inserters (seed {seed})"
+        );
+
+        let (app, trial) = orphan_trial_app(IsolationLevel::ReadCommitted, Guard::Database, inserters);
+        let _ = run_with_seed(trial, seed);
+        let orphans = oracles::orphan_count(app.db(), "users", "department_id", "departments");
+        prop_assert_eq!(orphans, 0, "FK left orphans on seed {}", seed);
     }
 
     /// Sequential (P = 1) execution is always anomaly-free, regardless of
@@ -81,7 +69,14 @@ proptest! {
     /// execution, validations are correct" (§5.5).
     #[test]
     fn sequential_execution_is_always_correct(attempts in proptest::collection::vec(0usize..3, 1..6)) {
-        let app = validated_app(false);
+        let app = App::in_memory();
+        app.define(
+            ModelDef::build("Entry")
+                .string("key")
+                .validates_uniqueness_of("key")
+                .finish(),
+        )
+        .unwrap();
         let mut s = app.session();
         for (k, &extra) in attempts.iter().enumerate() {
             let key = format!("key-{k}");
@@ -96,5 +91,6 @@ proptest! {
                 .unwrap();
             prop_assert_eq!(rows.len(), 1);
         }
+        prop_assert_eq!(oracles::duplicate_count(app.db(), "entries", "key"), 0);
     }
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, test, and a bounded deterministic sweep of
+# the paper's safety matrix. Fully offline — all dependencies are
+# path-vendored and feral-sim uses no network, wall-clock, or timing.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== tier1: release build =="
+cargo build --release
+
+echo "== tier1: test suite =="
+cargo test -q
+
+echo "== tier1: feral-sim bounded systematic sweep =="
+# The full matrix is exhaustive in < 10k schedules per cell; the bound
+# only guards against regressions that explode the schedule space.
+cargo run --release -q -p feral-sim -- matrix --max-runs 50000
+
+echo "== tier1: OK =="

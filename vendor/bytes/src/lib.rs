@@ -1,0 +1,2 @@
+//! Offline placeholder for `bytes` (declared in the workspace manifest
+//! but not yet used by any crate).

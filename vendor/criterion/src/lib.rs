@@ -1,0 +1,179 @@
+//! Offline build shim for `criterion`.
+//!
+//! Keeps the workspace's bench binaries compiling and runnable without
+//! the real crate: each benchmark runs a fixed warm-up plus `sample_size`
+//! timed iterations of the closure and prints mean wall-clock time per
+//! iteration. No statistics, plots, or baselines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value sink (best-effort shim).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-iteration timing driver handed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.total = start.elapsed();
+    }
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` style id.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+fn run_one(label: &str, samples: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    // one warm-up pass, then the timed pass
+    let mut warm = Bencher {
+        iters: 1,
+        total: Duration::ZERO,
+    };
+    f(&mut warm);
+    let mut b = Bencher {
+        iters: samples.max(1),
+        total: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.total / (b.iters as u32);
+    println!("bench {label:<48} {per_iter:>12.2?}/iter ({} iters)", b.iters);
+}
+
+/// Top-level benchmark registry/driver.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Run a standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the timed iteration count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Run a benchmark within the group.
+    pub fn bench_function(&mut self, id: impl fmt::Display, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, &mut f);
+        self
+    }
+
+    /// Run a parameterized benchmark within the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finish the group (no-op beyond parity with the real API).
+    pub fn finish(self) {}
+}
+
+/// Declare a group of bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut total = 0u64;
+        group.bench_with_input(BenchmarkId::new("f", 3), &3u64, |b, n| {
+            b.iter(|| total += *n)
+        });
+        group.finish();
+        assert!(total > 0);
+    }
+}

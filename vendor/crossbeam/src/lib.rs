@@ -1,0 +1,245 @@
+//! Offline build shim for `crossbeam`.
+//!
+//! Implements the `crossbeam::channel` subset this workspace uses — MPMC
+//! `unbounded`/`bounded` channels with cloneable senders and receivers —
+//! on top of `std::sync`. Two deliberate departures from the real crate:
+//!
+//! * capacity is tracked but not enforced as backpressure (`bounded` is
+//!   used in this workspace only to pre-size reply queues, never for its
+//!   blocking-send semantics);
+//! * `recv` is `feral-hooks`-aware: under a deterministic scheduler an
+//!   empty-queue wait becomes a cooperative [`feral_hooks::wait`] instead
+//!   of an OS block, so simulated appserver workers are schedulable, and
+//!   every `send` reports [`feral_hooks::progress`].
+
+pub mod channel {
+    //! MPMC channels (see crate docs for shim semantics).
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+    struct Inner<T> {
+        queue: Mutex<VecDeque<T>>,
+        cv: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone;
+    /// carries the unsent message.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message is currently queued.
+        Empty,
+        /// All senders are gone and the queue is drained.
+        Disconnected,
+    }
+
+    fn new_channel<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                inner: inner.clone(),
+            },
+            Receiver { inner },
+        )
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        new_channel()
+    }
+
+    /// Create a "bounded" channel (capacity is advisory in this shim; see
+    /// crate docs).
+    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+        new_channel()
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a message, failing if every receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            if self.inner.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(SendError(msg));
+            }
+            self.inner
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push_back(msg);
+            self.inner.cv.notify_all();
+            feral_hooks::progress();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.senders.fetch_add(1, Ordering::SeqCst);
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // last sender: wake blocked receivers so they observe
+                // disconnection — both OS waiters and simulated ones
+                self.inner.cv.notify_all();
+                feral_hooks::progress();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeue without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self
+                .inner
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            match q.pop_front() {
+                Some(v) => Ok(v),
+                None if self.inner.senders.load(Ordering::SeqCst) == 0 => {
+                    Err(TryRecvError::Disconnected)
+                }
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Dequeue, blocking until a message arrives or all senders are
+        /// dropped. Under a feral-hooks scheduler the block is cooperative.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            if feral_hooks::active() {
+                loop {
+                    match self.try_recv() {
+                        Ok(v) => return Ok(v),
+                        Err(TryRecvError::Disconnected) => return Err(RecvError),
+                        Err(TryRecvError::Empty) => {
+                            if feral_hooks::wait(feral_hooks::WaitKind::Channel)
+                                == feral_hooks::WaitOutcome::TimedOut
+                            {
+                                // deadlock victim or simulation shutdown:
+                                // report disconnection so worker loops exit
+                                return Err(RecvError);
+                            }
+                        }
+                    }
+                }
+            }
+            let mut q = self
+                .inner
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                q = self
+                    .inner
+                    .cv
+                    .wait(q)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Number of queued messages (diagnostics).
+        pub fn len(&self) -> usize {
+            self.inner
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.receivers.fetch_add(1, Ordering::SeqCst);
+            Receiver {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.inner.receivers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::thread;
+
+        #[test]
+        fn roundtrip_and_disconnect() {
+            let (tx, rx) = unbounded::<u32>();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_fails_without_receivers() {
+            let (tx, rx) = bounded::<u32>(4);
+            drop(rx);
+            assert!(tx.send(9).is_err());
+        }
+
+        #[test]
+        fn cross_thread_delivery() {
+            let (tx, rx) = unbounded::<u32>();
+            let h = thread::spawn(move || rx.recv().unwrap());
+            tx.send(17).unwrap();
+            assert_eq!(h.join().unwrap(), 17);
+        }
+    }
+}

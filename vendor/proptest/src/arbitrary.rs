@@ -1,0 +1,111 @@
+//! `any::<T>()` for the primitive types this workspace draws.
+
+use std::fmt::Debug;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// The strategy `any` returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `A`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Function-backed strategy used by the primitive [`Arbitrary`] impls.
+pub struct ArbStrategy<T> {
+    draw: fn(&mut TestRng) -> T,
+}
+
+impl<T: Debug> Strategy for ArbStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.draw)(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = ArbStrategy<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                ArbStrategy {
+                    draw: |rng| rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    type Strategy = ArbStrategy<bool>;
+
+    fn arbitrary() -> Self::Strategy {
+        ArbStrategy {
+            draw: |rng| rng.next_u64() & 1 == 1,
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    type Strategy = ArbStrategy<f64>;
+
+    fn arbitrary() -> Self::Strategy {
+        ArbStrategy {
+            draw: |rng| match rng.below(16) {
+                // mostly finite values across magnitudes, with the signed
+                // zeros, infinities, and extremes mixed in; no NaN (the
+                // real crate gates NaN behind non-default parameters)
+                0 => 0.0,
+                1 => -0.0,
+                2 => f64::INFINITY,
+                3 => f64::NEG_INFINITY,
+                4 => f64::MAX,
+                5 => f64::MIN,
+                6 => f64::MIN_POSITIVE,
+                7..=11 => (rng.f64_unit() - 0.5) * 2e9,
+                _ => {
+                    let exp = rng.below(600) as i32 - 300;
+                    (rng.f64_unit() - 0.5) * 2.0f64.powi(exp)
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_cover_domain_edges() {
+        let mut rng = TestRng::new(21);
+        let bools = any::<bool>();
+        let (mut t, mut f) = (false, false);
+        for _ in 0..64 {
+            if bools.new_value(&mut rng) {
+                t = true;
+            } else {
+                f = true;
+            }
+        }
+        assert!(t && f);
+        let floats = any::<f64>();
+        for _ in 0..128 {
+            assert!(!floats.new_value(&mut rng).is_nan());
+        }
+        let bytes = any::<i8>();
+        let _: i8 = bytes.new_value(&mut rng);
+    }
+}

@@ -1,0 +1,184 @@
+//! Offline build shim for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//! the [`proptest!`] / [`prop_assert!`] / [`prop_oneof!`] macros, the
+//! [`Strategy`](strategy::Strategy) trait with `prop_map`, `Just`,
+//! integer-range and char-class-regex string strategies, tuple
+//! composition, `any::<T>()`, and `collection::{vec, btree_map}`.
+//!
+//! Two deliberate simplifications relative to the real crate:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs via
+//!   the panic message (all strategies generate `Debug`-printable
+//!   values), but is not minimized.
+//! * **Deterministic seeding.** Each `proptest!` test derives its RNG
+//!   seed from the test's name, so runs are reproducible without a
+//!   failure-persistence file. There is no wall-clock or OS entropy
+//!   anywhere in generation.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Run a block of property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and one or more `fn name(pat in strategy, ...)`
+/// test functions.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::test_runner::TestRng::from_name(stringify!($name));
+                let mut __case: u32 = 0;
+                let mut __attempts: u32 = 0;
+                while __case < __config.cases {
+                    __attempts += 1;
+                    if __attempts > __config.cases.saturating_mul(10).max(100) {
+                        panic!(
+                            "proptest {}: too many rejected cases ({} attempts)",
+                            stringify!($name),
+                            __attempts
+                        );
+                    }
+                    $(let $pat =
+                        $crate::strategy::Strategy::new_value(&($strat), &mut __rng);)+
+                    let __result: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match __result {
+                        ::std::result::Result::Ok(()) => {
+                            __case += 1;
+                        }
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {}
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(__msg),
+                        ) => {
+                            panic!(
+                                "proptest {} failed at case {}: {}",
+                                stringify!($name),
+                                __case,
+                                __msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Property assertion: on failure the current case fails with a message
+/// (no process abort until the runner reports it).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__lhs, __rhs) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__lhs == *__rhs,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            __lhs,
+            __rhs
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__lhs, __rhs) = (&$a, &$b);
+        if !(*__lhs == *__rhs) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    }};
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (__lhs, __rhs) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__lhs != *__rhs,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+            __lhs,
+            __rhs
+        );
+    }};
+}
+
+/// Discard the current case (retried without counting toward the budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+/// Choose uniformly (or by weight, with `weight => strategy` entries)
+/// among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,376 @@
+//! Value-generation strategies.
+//!
+//! Unlike the real crate there is no value tree: a strategy simply draws
+//! a fresh value from the [`TestRng`] (no shrinking).
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// Something that can generate values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draw one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, map: f }
+    }
+
+    /// Erase the concrete type (used by [`prop_oneof!`](crate::prop_oneof)).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V: Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        (**self).new_value(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<V: Clone + Debug>(pub V);
+
+impl<V: Clone + Debug> Strategy for Just<V> {
+    type Value = V;
+
+    fn new_value(&self, _rng: &mut TestRng) -> V {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.source.new_value(rng))
+    }
+}
+
+/// Weighted choice among boxed strategies of one value type
+/// (the expansion of [`prop_oneof!`](crate::prop_oneof)).
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+}
+
+impl<V: Debug> Union<V> {
+    /// Uniform choice.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        Union {
+            arms: arms.into_iter().map(|s| (1, s)).collect(),
+        }
+    }
+
+    /// Weighted choice; zero-weight arms are never drawn.
+    pub fn weighted(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        Union { arms }
+    }
+}
+
+impl<V: Debug> Strategy for Union<V> {
+    type Value = V;
+
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! requires a positive total weight");
+        let mut pick = rng.below(total);
+        for (w, arm) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return arm.new_value(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                let off = rng.below_u128(span);
+                (self.start as i128).wrapping_add(off as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128 + 1;
+                let off = rng.below_u128(span);
+                (lo as i128).wrapping_add(off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.f64_unit() * (self.end - self.start)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// String strategies from a regex subset
+// ---------------------------------------------------------------------------
+
+/// One regex atom: a set of allowed char ranges plus a repeat count.
+struct Atom {
+    ranges: Vec<(char, char)>,
+    min: usize,
+    max: usize,
+}
+
+/// Parse the regex subset this workspace's tests use: literals, `.`,
+/// `[a-z09_-]` classes, `\x` escapes, and `{m}` / `{m,n}` / `*` / `+` /
+/// `?` quantifiers. Anchors, alternation, and groups are not supported.
+fn parse_pattern(pat: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let ranges: Vec<(char, char)> = match chars[i] {
+            '.' => {
+                i += 1;
+                vec![(' ', '~')] // printable ASCII
+            }
+            '[' => {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = if chars[i] == '\\' {
+                        i += 1;
+                        chars[i]
+                    } else {
+                        chars[i]
+                    };
+                    i += 1;
+                    if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                        let hi = chars[i + 1];
+                        i += 2;
+                        set.push((lo, hi));
+                    } else {
+                        set.push((lo, lo));
+                    }
+                }
+                assert!(i < chars.len(), "unterminated char class in {pat:?}");
+                i += 1; // consume ']'
+                set
+            }
+            '\\' => {
+                i += 1;
+                assert!(i < chars.len(), "dangling escape in {pat:?}");
+                let c = chars[i];
+                i += 1;
+                vec![(c, c)]
+            }
+            c => {
+                i += 1;
+                vec![(c, c)]
+            }
+        };
+        // optional quantifier
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|c| *c == '}')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unterminated quantifier in {pat:?}"));
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse().expect("bad quantifier"),
+                            n.trim().parse().expect("bad quantifier"),
+                        ),
+                        None => {
+                            let m: usize = body.trim().parse().expect("bad quantifier");
+                            (m, m)
+                        }
+                    }
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted quantifier in {pat:?}");
+        atoms.push(Atom { ranges, min, max });
+    }
+    atoms
+}
+
+fn generate_from_atoms(atoms: &[Atom], rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in atoms {
+        let reps = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+        let total: u64 = atom
+            .ranges
+            .iter()
+            .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+            .sum();
+        for _ in 0..reps {
+            let mut pick = rng.below(total);
+            for (lo, hi) in &atom.ranges {
+                let size = (*hi as u64) - (*lo as u64) + 1;
+                if pick < size {
+                    out.push(char::from_u32(*lo as u32 + pick as u32).expect("valid char"));
+                    break;
+                }
+                pick -= size;
+            }
+        }
+    }
+    out
+}
+
+/// Pattern literals are strategies generating matching `String`s.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        generate_from_atoms(&parse_pattern(self), rng)
+    }
+}
+
+/// Owned pattern variant (parity with the real crate).
+impl Strategy for String {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        generate_from_atoms(&parse_pattern(self), rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_hit_bounds_only() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let v = (-5i64..5).new_value(&mut rng);
+            assert!((-5..5).contains(&v));
+            let w = (1u32..=3).new_value(&mut rng);
+            assert!((1..=3).contains(&w));
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = TestRng::new(9);
+        for _ in 0..100 {
+            let s = "[a-c]{2,4}".new_value(&mut rng);
+            assert!((2..=4).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            let t = ".{0,6}".new_value(&mut rng);
+            assert!(t.len() <= 6);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+            let lit = "ab".new_value(&mut rng);
+            assert_eq!(lit, "ab");
+        }
+    }
+
+    #[test]
+    fn union_and_map_compose() {
+        let mut rng = TestRng::new(11);
+        let s = crate::prop_oneof![Just(1u8), (5u8..7).prop_map(|v| v)];
+        let mut seen_low = false;
+        let mut seen_high = false;
+        for _ in 0..100 {
+            match s.new_value(&mut rng) {
+                1 => seen_low = true,
+                5 | 6 => seen_high = true,
+                other => panic!("unexpected draw {other}"),
+            }
+        }
+        assert!(seen_low && seen_high);
+    }
+
+    #[test]
+    fn tuples_draw_componentwise() {
+        let mut rng = TestRng::new(13);
+        let (a, b, c) = (0u32..4, "x", Just(-2i8)).new_value(&mut rng);
+        assert!(a < 4);
+        assert_eq!(b, "x");
+        assert_eq!(c, -2);
+    }
+}

@@ -1,0 +1,3 @@
+//! Offline placeholder for `serde` (declared in the workspace manifest
+//! but not yet used by any crate). Grows real trait shims if/when a
+//! crate starts serializing.
