@@ -15,8 +15,8 @@
 #![warn(missing_docs)]
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use feral_orm::{App, OrmError, Record, Session};
 use feral_db::Datum;
+use feral_orm::{App, OrmError, Record, Session};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -130,9 +130,8 @@ impl Deployment {
     /// app database's default isolation.
     pub fn start(app: App, config: DeploymentConfig) -> Self {
         let (tx, rx) = unbounded::<Job>();
-        let served: Arc<Vec<AtomicU64>> = Arc::new(
-            (0..config.workers).map(|_| AtomicU64::new(0)).collect(),
-        );
+        let served: Arc<Vec<AtomicU64>> =
+            Arc::new((0..config.workers).map(|_| AtomicU64::new(0)).collect());
         let mut handles = Vec::with_capacity(config.workers);
         for w in 0..config.workers {
             let app = app.clone();

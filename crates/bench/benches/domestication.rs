@@ -71,11 +71,7 @@ fn bench_enforcement_strategies(c: &mut Criterion) {
                         ],
                     )
                     .unwrap();
-                assert!(
-                    rec.is_persisted(),
-                    "{label}-{i} rejected: {}",
-                    rec.errors
-                );
+                assert!(rec.is_persisted(), "{label}-{i} rejected: {}", rec.errors);
             });
         });
     }

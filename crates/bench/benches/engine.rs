@@ -40,7 +40,10 @@ fn bench_insert_commit(c: &mut Criterion) {
             let mut tx = db.begin();
             tx.insert_pairs(
                 "t",
-                &[("k", Datum::text(format!("k{i}"))), ("v", Datum::Int(i as i64))],
+                &[
+                    ("k", Datum::text(format!("k{i}"))),
+                    ("v", Datum::Int(i as i64)),
+                ],
             )
             .unwrap();
             tx.commit().unwrap();
@@ -56,7 +59,10 @@ fn bench_insert_commit(c: &mut Criterion) {
             for _ in 0..100 {
                 tx.insert_pairs(
                     "t",
-                    &[("k", Datum::text(format!("k{i}"))), ("v", Datum::Int(i as i64))],
+                    &[
+                        ("k", Datum::text(format!("k{i}"))),
+                        ("v", Datum::Int(i as i64)),
+                    ],
                 )
                 .unwrap();
                 i += 1;

@@ -23,7 +23,8 @@ fn contended_db(iso: IsolationLevel) -> Database {
     .unwrap();
     let mut tx = db.begin();
     for _ in 0..8 {
-        tx.insert_pairs("counters", &[("v", Datum::Int(0))]).unwrap();
+        tx.insert_pairs("counters", &[("v", Datum::Int(0))])
+            .unwrap();
     }
     tx.commit().unwrap();
     db
@@ -103,7 +104,8 @@ fn bench_uncontended_commit(c: &mut Criterion) {
                 let db = contended_db(iso);
                 b.iter(|| {
                     let mut tx = db.begin();
-                    tx.insert_pairs("counters", &[("v", Datum::Int(7))]).unwrap();
+                    tx.insert_pairs("counters", &[("v", Datum::Int(7))])
+                        .unwrap();
                     tx.commit().unwrap();
                 });
             },

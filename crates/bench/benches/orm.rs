@@ -17,7 +17,9 @@ fn app_with_validators(n: usize) -> App {
             1 => b.validates_length_of("name", Some(1), Some(64)),
             2 => b.validates_numericality_of(
                 "amount",
-                Numericality::number().greater_than_or_equal_to(0.0).allow_nil(),
+                Numericality::number()
+                    .greater_than_or_equal_to(0.0)
+                    .allow_nil(),
             ),
             _ => b.validates_format_of("name", "^[a-z0-9-]+$"),
         };
@@ -71,18 +73,14 @@ fn bench_uniqueness_validation_scaling(c: &mut Criterion) {
             }
             // unique logins must survive criterion's routine re-invocation
             let counter = std::sync::atomic::AtomicU64::new(rows as u64);
-            group.bench_with_input(
-                BenchmarkId::new(label, rows),
-                &rows,
-                |b, _| {
-                    b.iter(|| {
-                        let i = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        let mut r = app.new_record("Account").unwrap();
-                        r.set("login", format!("u{i}"));
-                        s.save_strict(&mut r).unwrap();
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, rows), &rows, |b, _| {
+                b.iter(|| {
+                    let i = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let mut r = app.new_record("Account").unwrap();
+                    r.set("login", format!("u{i}"));
+                    s.save_strict(&mut r).unwrap();
+                });
+            });
         }
     }
     group.finish();

@@ -66,9 +66,7 @@ fn database(env: &ExperimentEnv) -> Database {
 /// as one model whose validations depend on `enforcement`).
 pub fn key_value_app(enforcement: Enforcement, env: &ExperimentEnv) -> App {
     let app = App::new(database(env));
-    let mut builder = ModelDef::build("KeyValue")
-        .string("key")
-        .string("value");
+    let mut builder = ModelDef::build("KeyValue").string("key").string("value");
     if enforcement != Enforcement::None {
         builder = builder
             .validates_presence_of("key")
@@ -118,17 +116,26 @@ mod tests {
         let mut s = none.session();
         // duplicates allowed with no validation
         for _ in 0..2 {
-            s.create_strict("KeyValue", &[("key", Datum::text("k")), ("value", Datum::text("v"))])
-                .unwrap();
+            s.create_strict(
+                "KeyValue",
+                &[("key", Datum::text("k")), ("value", Datum::text("v"))],
+            )
+            .unwrap();
         }
         assert_eq!(s.count("KeyValue").unwrap(), 2);
 
         let feral = key_value_app(Enforcement::Feral, &env);
         let mut s = feral.session();
-        s.create_strict("KeyValue", &[("key", Datum::text("k")), ("value", Datum::text("v"))])
-            .unwrap();
+        s.create_strict(
+            "KeyValue",
+            &[("key", Datum::text("k")), ("value", Datum::text("v"))],
+        )
+        .unwrap();
         let dup = s
-            .create("KeyValue", &[("key", Datum::text("k")), ("value", Datum::text("v"))])
+            .create(
+                "KeyValue",
+                &[("key", Datum::text("k")), ("value", Datum::text("v"))],
+            )
             .unwrap();
         assert!(!dup.is_persisted());
     }
@@ -144,7 +151,9 @@ mod tests {
         s.create_strict("User", &[("department_id", Datum::Int(d.id().unwrap()))])
             .unwrap();
         // feral: user creation without department rejected
-        let bad = s.create("User", &[("department_id", Datum::Int(999))]).unwrap();
+        let bad = s
+            .create("User", &[("department_id", Datum::Int(999))])
+            .unwrap();
         assert!(!bad.is_persisted());
         // db variant has a real FK
         let db = users_departments_app(Enforcement::Database, &env);

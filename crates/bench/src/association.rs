@@ -80,7 +80,10 @@ pub fn association_stress(
             id: dept,
         });
         for _ in 0..inserters {
-            requests.push(create_request("User", &[("department_id", Datum::Int(dept))]));
+            requests.push(create_request(
+                "User",
+                &[("department_id", Datum::Int(dept))],
+            ));
         }
         let _ = deployment.round(requests);
     }
@@ -146,9 +149,11 @@ pub fn association_workload(
         for r in deployment.round(requests) {
             // deletions of already-deleted departments and rejected user
             // creations are expected outcomes, not errors
-            debug_assert!(!matches!(r, Response::Error(ref e) if !e.is_retryable()
+            debug_assert!(
+                !matches!(r, Response::Error(ref e) if !e.is_retryable()
                 && !matches!(e, feral_orm::OrmError::Db(d) if d.is_constraint_violation())),
-                "unexpected response: {r:?}");
+                "unexpected response: {r:?}"
+            );
         }
     }
     deployment.shutdown();

@@ -77,7 +77,10 @@ fn main() {
                 for _ in 0..(concurrent / workers).max(1) {
                     let _ = s.create(
                         "KeyValue",
-                        &[("key", Datum::text(format!("k{r}"))), ("value", Datum::text("v"))],
+                        &[
+                            ("key", Datum::text(format!("k{r}"))),
+                            ("value", Datum::text("v")),
+                        ],
                     );
                 }
             }

@@ -28,7 +28,14 @@ fn main() {
     }
     print_table(
         "Figure 1: per-application mechanism usage (project order = Table 2)",
-        &["#", "application", "models", "txns/model", "validations/model", "assoc/model"],
+        &[
+            "#",
+            "application",
+            "models",
+            "txns/model",
+            "validations/model",
+            "assoc/model",
+        ],
         &rows,
     );
 

@@ -50,7 +50,10 @@ fn main() {
                 format!("{mean:.1}"),
                 format!("{std:.1}"),
             ]);
-            eprintln!("  {} P={workers}: {mean:.1} ± {std:.1}", enforcement.label());
+            eprintln!(
+                "  {} P={workers}: {mean:.1} ± {std:.1}",
+                enforcement.label()
+            );
         }
     }
     print_table(

@@ -31,7 +31,13 @@ fn main() {
         .collect();
     print_table(
         "Figure 6: median % of final occurrences vs % of commit history",
-        &["history", "models", "validations", "associations", "transactions"],
+        &[
+            "history",
+            "models",
+            "validations",
+            "associations",
+            "transactions",
+        ],
         &rows,
     );
     println!(

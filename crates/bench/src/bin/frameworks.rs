@@ -68,7 +68,14 @@ fn main() {
     }
     print_table(
         "Section 6: cross-framework uniqueness enforcement, executed",
-        &["framework", "uniqueness", "foreign keys", "validations in txn", "measured dups", "verdict"],
+        &[
+            "framework",
+            "uniqueness",
+            "foreign keys",
+            "validations in txn",
+            "measured dups",
+            "verdict",
+        ],
         &rows,
     );
     println!(

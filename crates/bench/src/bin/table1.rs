@@ -1,11 +1,15 @@
 //! Regenerate **Table 1**: use of and invariant confluence of built-in
 //! validations — by synthesizing the corpus, running the static analyzer,
 //! aggregating validator kinds, and classifying each with the model
-//! checker.
+//! checker — plus a lint-measured companion table: how much of the
+//! corpus's feral enforcement is actually backed by database
+//! constraints, per `feral-lint`'s rule catalog.
 
 use feral_bench::{print_table, Args};
 use feral_corpus::{survey, synthesize_corpus};
 use feral_iconfluence::{classify_validator, derive_safety, OperationMix, Safety, TABLE_ONE};
+use feral_lint::rules::{rule_meta, Severity, RULES};
+use feral_lint::{lint_apps, LintOptions};
 
 fn verdict_name(kind: &str) -> &'static str {
     let ins = classify_validator(kind, OperationMix::InsertionsOnly);
@@ -39,7 +43,12 @@ fn main() {
             checker.to_string(),
         ]);
     }
-    rows.push(vec!["Other".into(), other.to_string(), String::new(), String::new()]);
+    rows.push(vec![
+        "Other".into(),
+        other.to_string(),
+        String::new(),
+        String::new(),
+    ]);
     rows.push(vec![
         "custom (UDF)".into(),
         custom.to_string(),
@@ -48,7 +57,12 @@ fn main() {
     ]);
     print_table(
         "Table 1: built-in validation usage and I-confluence",
-        &["validator", "occurrences", "I-confluent?", "checker(with deletions)"],
+        &[
+            "validator",
+            "occurrences",
+            "I-confluent?",
+            "checker(with deletions)",
+        ],
         &rows,
     );
 
@@ -62,4 +76,45 @@ fn main() {
     let del = feral_iconfluence::safe_fraction(OperationMix::WithDeletions) * 100.0;
     println!("I-confluent share under insertions: {ins:.1}% (paper: 86.9%)");
     println!("I-confluent share under deletions:  {del:.1}% (paper: 36.6%)");
+
+    eprintln!("\nlinting the corpus (feral-lint, witnesses off)...");
+    let run = lint_apps(
+        &corpus,
+        &LintOptions {
+            witnesses: false,
+            ..LintOptions::default()
+        },
+    );
+    let mut lint_rows: Vec<Vec<String>> = Vec::new();
+    for rule in RULES {
+        let findings: Vec<_> = run
+            .apps
+            .iter()
+            .flat_map(|a| &a.findings)
+            .filter(|f| f.rule == rule.id)
+            .collect();
+        let apps = run
+            .apps
+            .iter()
+            .filter(|a| a.findings.iter().any(|f| f.rule == rule.id))
+            .count();
+        let sev = findings
+            .first()
+            .map(|f| match f.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            })
+            .unwrap_or("-");
+        lint_rows.push(vec![
+            format!("{} {}", rule.id, rule_meta(rule.id).name),
+            findings.len().to_string(),
+            apps.to_string(),
+            sev.to_string(),
+        ]);
+    }
+    print_table(
+        "Lint companion: unbacked feral enforcement across the corpus (DESIGN.md §7)",
+        &["rule", "findings", "apps", "severity"],
+        &lint_rows,
+    );
 }

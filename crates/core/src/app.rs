@@ -4,9 +4,7 @@ use crate::errors::{OrmError, OrmResult};
 use crate::model::{Association, ModelDef};
 use crate::record::Record;
 use crate::session::Session;
-use feral_db::{
-    ColumnDef, Database, Datum, IsolationLevel, OnDelete, Predicate, TableSchema,
-};
+use feral_db::{ColumnDef, Database, Datum, IsolationLevel, OnDelete, Predicate, TableSchema};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -169,9 +167,7 @@ impl App {
         let assoc = child
             .association(association)
             .ok_or_else(|| {
-                OrmError::Config(format!(
-                    "{child_model} has no association {association}"
-                ))
+                OrmError::Config(format!("{child_model} has no association {association}"))
             })?
             .clone();
         let parent = self.model(&assoc.target)?;
@@ -195,9 +191,9 @@ impl App {
     ) -> OrmResult<Predicate> {
         let mut pred = Predicate::True;
         for (field, value) in conds {
-            let col = model.column_index(field).ok_or_else(|| {
-                OrmError::Config(format!("{} has no column {field}", model.name))
-            })?;
+            let col = model
+                .column_index(field)
+                .ok_or_else(|| OrmError::Config(format!("{} has no column {field}", model.name)))?;
             let clause = if value.is_null() {
                 Predicate::IsNull(col)
             } else {
@@ -216,13 +212,7 @@ impl App {
 
 impl std::fmt::Debug for App {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let names: Vec<String> = self
-            .inner
-            .models
-            .read()
-            .keys()
-            .cloned()
-            .collect();
+        let names: Vec<String> = self.inner.models.read().keys().cloned().collect();
         f.debug_struct("App").field("models", &names).finish()
     }
 }
@@ -238,7 +228,12 @@ mod tests {
         app.define(ModelDef::build("User").string("name").finish())
             .unwrap();
         let info = app.db().table_info("users").unwrap();
-        let names: Vec<&str> = info.schema.columns.iter().map(|c| c.name.as_str()).collect();
+        let names: Vec<&str> = info
+            .schema
+            .columns
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
         assert_eq!(names, vec!["id", "name", "created_at", "updated_at"]);
     }
 

@@ -165,7 +165,8 @@ pub fn django() -> FrameworkProfile {
         validations_in_transaction: true,
         supports_udf_validations: true,
         udf_in_transaction: false,
-        finding: "unique/FK backed by real constraints; custom validations not wrapped in a transaction",
+        finding:
+            "unique/FK backed by real constraints; custom validations not wrapped in a transaction",
     }
 }
 

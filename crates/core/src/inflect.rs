@@ -8,7 +8,8 @@ pub fn underscore(name: &str) -> String {
     let chars: Vec<char> = name.chars().collect();
     for (i, &c) in chars.iter().enumerate() {
         if c.is_ascii_uppercase() {
-            let prev_lower = i > 0 && (chars[i - 1].is_ascii_lowercase() || chars[i - 1].is_ascii_digit());
+            let prev_lower =
+                i > 0 && (chars[i - 1].is_ascii_lowercase() || chars[i - 1].is_ascii_digit());
             let next_lower = chars.get(i + 1).is_some_and(|n| n.is_ascii_lowercase());
             if i > 0 && (prev_lower || (next_lower && chars[i - 1] != '_')) {
                 out.push('_');
@@ -53,7 +54,15 @@ const IRREGULAR: &[(&str, &str)] = &[
 ];
 
 /// Words with identical singular and plural.
-const UNCOUNTABLE: &[&str] = &["equipment", "information", "money", "species", "series", "sheep", "stock"];
+const UNCOUNTABLE: &[&str] = &[
+    "equipment",
+    "information",
+    "money",
+    "species",
+    "series",
+    "sheep",
+    "stock",
+];
 
 /// Pluralize an English word the way Rails names tables.
 pub fn pluralize(word: &str) -> String {
@@ -174,7 +183,15 @@ mod tests {
 
     #[test]
     fn singularize_inverts_pluralize() {
-        for w in ["user", "category", "box", "branch", "person", "leaf", "department"] {
+        for w in [
+            "user",
+            "category",
+            "box",
+            "branch",
+            "person",
+            "leaf",
+            "department",
+        ] {
             assert_eq!(singularize(&pluralize(w)), w, "roundtrip failed for {w}");
         }
     }

@@ -69,8 +69,7 @@ pub mod validations;
 pub use app::App;
 pub use errors::{Errors, OrmError, OrmResult};
 pub use model::{
-    AssocKind, Association, CallbackKind, Dependent, ModelDef, Numericality, QueryCtx,
-    Validator,
+    AssocKind, Association, CallbackKind, Dependent, ModelDef, Numericality, QueryCtx, Validator,
 };
 pub use pattern::Pattern;
 pub use record::Record;

@@ -506,11 +506,7 @@ impl ModelBuilder {
     }
 
     /// `validates_inclusion_of :field, in: [...]`.
-    pub fn validates_inclusion_of(
-        mut self,
-        field: impl Into<String>,
-        within: Vec<Datum>,
-    ) -> Self {
+    pub fn validates_inclusion_of(mut self, field: impl Into<String>, within: Vec<Datum>) -> Self {
         self.def.validators.push(Validator::Inclusion {
             field: field.into(),
             within,
@@ -545,8 +541,8 @@ impl ModelBuilder {
     /// # Panics
     /// On an invalid pattern — the analogue of Ruby raising at class-load.
     pub fn validates_format_of(mut self, field: impl Into<String>, pattern: &str) -> Self {
-        let compiled = Pattern::compile(pattern)
-            .unwrap_or_else(|e| panic!("validates_format_of: {e}"));
+        let compiled =
+            Pattern::compile(pattern).unwrap_or_else(|e| panic!("validates_format_of: {e}"));
         self.def.validators.push(Validator::Format {
             field: field.into(),
             with: compiled,
@@ -601,11 +597,7 @@ impl ModelBuilder {
     }
 
     /// Paperclip `validates_attachment_size` (`less_than: max_bytes`).
-    pub fn validates_attachment_size(
-        mut self,
-        field: impl Into<String>,
-        max_bytes: i64,
-    ) -> Self {
+    pub fn validates_attachment_size(mut self, field: impl Into<String>, max_bytes: i64) -> Self {
         self.def.validators.push(Validator::AttachmentSize {
             field: field.into(),
             max_bytes,
@@ -861,7 +853,10 @@ mod tests {
 
     #[test]
     fn without_timestamps() {
-        let m = ModelDef::build("Kv").string("k").without_timestamps().finish();
+        let m = ModelDef::build("Kv")
+            .string("k")
+            .without_timestamps()
+            .finish();
         let cols: Vec<String> = m.column_order().into_iter().map(|(n, _)| n).collect();
         assert_eq!(cols, vec!["id", "k"]);
     }

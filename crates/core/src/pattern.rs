@@ -363,9 +363,9 @@ fn match_node(node: &Node, input: &[char], pos: usize, k: &mut dyn FnMut(usize) 
 fn match_seq(items: &[Node], input: &[char], pos: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
     match items.split_first() {
         None => k(pos),
-        Some((first, rest)) => {
-            match_node(first, input, pos, &mut |next| match_seq(rest, input, next, k))
-        }
+        Some((first, rest)) => match_node(first, input, pos, &mut |next| {
+            match_seq(rest, input, next, k)
+        }),
     }
 }
 
@@ -468,7 +468,11 @@ mod tests {
     #[test]
     fn email_pattern_accepts_and_rejects() {
         let p = email_pattern();
-        for good in ["a@b.co", "first.last+tag@example.org", "x_1%y@sub.domain.io"] {
+        for good in [
+            "a@b.co",
+            "first.last+tag@example.org",
+            "x_1%y@sub.domain.io",
+        ] {
             assert!(p.is_match(good), "{good} should match");
         }
         for bad in ["", "plain", "a@b", "@b.com", "a b@c.com", "a@b.c"] {

@@ -137,7 +137,6 @@ impl Record {
 mod tests {
     use super::*;
     use crate::model::ModelDef;
-    
 
     fn model() -> Arc<ModelDef> {
         Arc::new(

@@ -82,10 +82,7 @@ impl Session {
     /// `Model.transaction do ... end`: run `f` inside one database
     /// transaction; nested calls join the open transaction (Rails'
     /// default savepoint-less nesting).
-    pub fn transaction<T>(
-        &mut self,
-        f: impl FnOnce(&mut Session) -> OrmResult<T>,
-    ) -> OrmResult<T> {
+    pub fn transaction<T>(&mut self, f: impl FnOnce(&mut Session) -> OrmResult<T>) -> OrmResult<T> {
         if self.current.is_some() {
             return f(self);
         }
@@ -115,11 +112,7 @@ impl Session {
         if self.current.is_none() {
             return self.transaction(f);
         }
-        let sp = self
-            .current
-            .as_mut()
-            .expect("checked above")
-            .savepoint();
+        let sp = self.current.as_mut().expect("checked above").savepoint();
         match f(self) {
             Ok(v) => Ok(v),
             Err(e) => {
@@ -262,11 +255,7 @@ impl Session {
     }
 
     /// `Model.find_by(attrs)` — `None` on a miss.
-    pub fn find_by(
-        &mut self,
-        model: &str,
-        conds: &[(&str, Datum)],
-    ) -> OrmResult<Option<Record>> {
+    pub fn find_by(&mut self, model: &str, conds: &[(&str, Datum)]) -> OrmResult<Option<Record>> {
         Ok(self.where_(model, conds)?.into_iter().next())
     }
 
@@ -276,11 +265,7 @@ impl Session {
     /// concurrent callers can both miss and both create. Pair with an
     /// in-database unique index and retry on
     /// [`feral_db::DbError::UniqueViolation`] for safety.
-    pub fn find_or_create_by(
-        &mut self,
-        model: &str,
-        conds: &[(&str, Datum)],
-    ) -> OrmResult<Record> {
+    pub fn find_or_create_by(&mut self, model: &str, conds: &[(&str, Datum)]) -> OrmResult<Record> {
         if let Some(existing) = self.find_by(model, conds)? {
             return Ok(existing);
         }
@@ -321,9 +306,9 @@ impl Session {
         limit: Option<usize>,
     ) -> OrmResult<Vec<Record>> {
         let def = self.app.model(model)?;
-        let col = def.column_index(order_field).ok_or_else(|| {
-            OrmError::Config(format!("{model} has no column {order_field}"))
-        })?;
+        let col = def
+            .column_index(order_field)
+            .ok_or_else(|| OrmError::Config(format!("{model} has no column {order_field}")))?;
         let mut rows = self.where_(model, conds)?;
         rows.sort_by(|a, b| {
             let fa = a.to_tuple()[col].clone();
@@ -459,7 +444,10 @@ impl Session {
                 let Some(id) = record.id() else {
                     return Ok(vec![]);
                 };
-                self.where_(&assoc.target, &[(assoc.foreign_key.as_str(), Datum::Int(id))])
+                self.where_(
+                    &assoc.target,
+                    &[(assoc.foreign_key.as_str(), Datum::Int(id))],
+                )
             }
         }
     }
@@ -692,9 +680,9 @@ fn destroy_in_txn(
             }
             Dependent::Destroy => {
                 for (_, tuple) in children {
-                    let child_id = tuple[0].as_int().ok_or_else(|| {
-                        OrmError::Config("child row without integer id".into())
-                    })?;
+                    let child_id = tuple[0]
+                        .as_int()
+                        .ok_or_else(|| OrmError::Config("child row without integer id".into()))?;
                     destroy_in_txn(app, tx, &target, child_id, visited)?;
                 }
             }

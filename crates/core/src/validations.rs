@@ -121,7 +121,16 @@ fn run_validator(
             scope,
             case_sensitive,
         } => {
-            run_uniqueness(app, tx, record, model, field, scope, *case_sensitive, errors)?;
+            run_uniqueness(
+                app,
+                tx,
+                record,
+                model,
+                field,
+                scope,
+                *case_sensitive,
+                errors,
+            )?;
         }
         Validator::Length {
             field,
@@ -186,10 +195,7 @@ fn run_validator(
             if value.is_null() && *allow_nil {
                 return Ok(());
             }
-            let matches = value
-                .as_text()
-                .map(|s| with.is_match(s))
-                .unwrap_or(false);
+            let matches = value.as_text().map(|s| with.is_match(s)).unwrap_or(false);
             if !matches {
                 errors.add(field.clone(), "is invalid");
             }
@@ -201,13 +207,15 @@ fn run_validator(
                 .map(|s| pattern::email_pattern().is_match(s))
                 .unwrap_or(false);
             if !ok {
-                errors.add(field.clone(), "does not appear to be a valid e-mail address");
+                errors.add(
+                    field.clone(),
+                    "does not appear to be a valid e-mail address",
+                );
             }
         }
         Validator::Confirmation { field } => {
             let confirmation = record.get(&format!("{field}_confirmation"));
-            if !confirmation.is_null() && confirmation.sql_eq(&record.get(field)) != Some(true)
-            {
+            if !confirmation.is_null() && confirmation.sql_eq(&record.get(field)) != Some(true) {
                 errors.add(
                     format!("{field}_confirmation"),
                     format!("doesn't match {field}"),
@@ -282,9 +290,8 @@ fn run_uniqueness(
         }
         let pred = app.conds_to_pred(model, &conds)?;
         let rows = tx.scan(&model.table, &pred)?;
-        rows.iter().any(|(_, t)| {
-            record.id().is_none() || t[0].as_int() != record.id()
-        })
+        rows.iter()
+            .any(|(_, t)| record.id().is_none() || t[0].as_int() != record.id())
     } else {
         // case-insensitive: Rails generates LOWER(col) = LOWER(?), which is
         // a sequential scan unless a functional index exists — model it as
@@ -295,7 +302,10 @@ fn run_uniqueness(
             let same_scope = scope.iter().all(|s| {
                 let sc = model.column_index(s).unwrap_or(usize::MAX);
                 t.get(sc)
-                    .map(|d| d.sql_eq(&record.get(s)) == Some(true) || (d.is_null() && record.get(s).is_null()))
+                    .map(|d| {
+                        d.sql_eq(&record.get(s)) == Some(true)
+                            || (d.is_null() && record.get(s).is_null())
+                    })
                     .unwrap_or(false)
             });
             same_scope

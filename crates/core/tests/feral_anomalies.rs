@@ -52,7 +52,12 @@ fn race_same_key(app: &App, key: &str, workers: usize) -> usize {
             }
         }));
     }
-    handles.into_iter().filter(|_| true).map(|h| h.join().unwrap()).filter(|&b| b).count()
+    handles
+        .into_iter()
+        .filter(|_| true)
+        .map(|h| h.join().unwrap())
+        .filter(|&b| b)
+        .count()
 }
 
 #[test]
@@ -74,7 +79,10 @@ fn feral_uniqueness_admits_duplicates_under_read_committed() {
     let mut s = app.session();
     for round in 0..rounds {
         let rows = s
-            .where_("ValidatedKeyValue", &[("key", Datum::text(format!("key-{round}")))])
+            .where_(
+                "ValidatedKeyValue",
+                &[("key", Datum::text(format!("key-{round}")))],
+            )
             .unwrap();
         assert!(rows.len() <= 8, "key-{round} exceeded the P bound");
         assert!(!rows.is_empty());
@@ -156,7 +164,11 @@ fn race_same_key_tolerant(app: &App, key: &str, workers: usize) -> usize {
             }
         }));
     }
-    handles.into_iter().map(|h| h.join().unwrap()).filter(|&b| b).count()
+    handles
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .filter(|&b| b)
+        .count()
 }
 
 // ---------------------------------------------------------------------
@@ -232,7 +244,10 @@ fn orphan_round(app: &App, dept_id: i64, inserters: usize) -> usize {
     // count users whose department no longer exists
     let mut s = app.session();
     let users = s
-        .where_("ValidatedUser", &[("validated_department_id", Datum::Int(dept_id))])
+        .where_(
+            "ValidatedUser",
+            &[("validated_department_id", Datum::Int(dept_id))],
+        )
         .unwrap();
     users.len()
 }
@@ -276,7 +291,9 @@ fn in_database_fk_prevents_all_orphans() {
     for u in users {
         let d = u.get("validated_department_id");
         assert!(
-            s.find_by("ValidatedDepartment", &[("id", d)]).unwrap().is_some(),
+            s.find_by("ValidatedDepartment", &[("id", d)])
+                .unwrap()
+                .is_some(),
             "orphan slipped past the in-database constraint"
         );
     }
@@ -288,8 +305,12 @@ fn spree_lost_update_from_unlocked_setter() {
     // but set_count_on_hand takes none. Two concurrent unlocked setters
     // race read-modify-write and lose one update.
     let app = App::in_memory();
-    app.define(ModelDef::build("StockItem").integer("count_on_hand").finish())
-        .unwrap();
+    app.define(
+        ModelDef::build("StockItem")
+            .integer("count_on_hand")
+            .finish(),
+    )
+    .unwrap();
     let mut s = app.session();
     let item = s
         .create_strict("StockItem", &[("count_on_hand", Datum::Int(0))])

@@ -86,7 +86,10 @@ fn find_miss_is_record_not_found() {
         s.find("Author", 999),
         Err(OrmError::RecordNotFound(_))
     ));
-    assert!(s.find_by("Author", &[("name", Datum::text("x"))]).unwrap().is_none());
+    assert!(s
+        .find_by("Author", &[("name", Datum::text("x"))])
+        .unwrap()
+        .is_none());
 }
 
 #[test]
@@ -95,7 +98,10 @@ fn belongs_to_presence_validation_probes_database() {
     let mut s = app.session();
     // no author yet: validation fails ferally
     let p = s
-        .create("Post", &[("title", Datum::text("t")), ("author_id", Datum::Int(42))])
+        .create(
+            "Post",
+            &[("title", Datum::text("t")), ("author_id", Datum::Int(42))],
+        )
         .unwrap();
     assert!(!p.is_persisted());
     assert_eq!(p.errors.on("author"), vec!["can't be blank"]);
@@ -106,7 +112,10 @@ fn belongs_to_presence_validation_probes_database() {
     let p = s
         .create_strict(
             "Post",
-            &[("title", Datum::text("t")), ("author_id", Datum::Int(a.id().unwrap()))],
+            &[
+                ("title", Datum::text("t")),
+                ("author_id", Datum::Int(a.id().unwrap())),
+            ],
         )
         .unwrap();
     assert!(p.is_persisted());
@@ -146,12 +155,18 @@ fn destroy_cascades_dependent_destroy_transitively() {
     let p = s
         .create_strict(
             "Post",
-            &[("title", Datum::text("t")), ("author_id", Datum::Int(a.id().unwrap()))],
+            &[
+                ("title", Datum::text("t")),
+                ("author_id", Datum::Int(a.id().unwrap())),
+            ],
         )
         .unwrap();
     s.create_strict(
         "Comment",
-        &[("body", Datum::text("hi")), ("post_id", Datum::Int(p.id().unwrap()))],
+        &[
+            ("body", Datum::text("hi")),
+            ("post_id", Datum::Int(p.id().unwrap())),
+        ],
     )
     .unwrap();
     // author -> posts (destroy) -> comments (delete_all)
@@ -175,7 +190,9 @@ fn destroy_restrict_refuses_with_children() {
     app.define(ModelDef::build("Player").belongs_to("team").finish())
         .unwrap();
     let mut s = app.session();
-    let mut t = s.create_strict("Team", &[("name", Datum::text("a"))]).unwrap();
+    let mut t = s
+        .create_strict("Team", &[("name", Datum::text("a"))])
+        .unwrap();
     s.create_strict("Player", &[("team_id", Datum::Int(t.id().unwrap()))])
         .unwrap();
     let err = s.destroy(&mut t).unwrap_err();
@@ -196,7 +213,9 @@ fn destroy_nullify_keeps_children_with_null_fk() {
     app.define(ModelDef::build("Player").belongs_to("team").finish())
         .unwrap();
     let mut s = app.session();
-    let mut t = s.create_strict("Team", &[("name", Datum::text("a"))]).unwrap();
+    let mut t = s
+        .create_strict("Team", &[("name", Datum::text("a"))])
+        .unwrap();
     s.create_strict("Player", &[("team_id", Datum::Int(t.id().unwrap()))])
         .unwrap();
     s.destroy(&mut t).unwrap();
@@ -230,7 +249,9 @@ fn has_many_through_traverses_join_model() {
         .create_strict("Physician", &[("name", Datum::text("dr"))])
         .unwrap();
     for n in ["alice", "bob"] {
-        let pat = s.create_strict("Patient", &[("name", Datum::text(n))]).unwrap();
+        let pat = s
+            .create_strict("Patient", &[("name", Datum::text(n))])
+            .unwrap();
         s.create_strict(
             "Appointment",
             &[
@@ -371,7 +392,10 @@ fn delete_skips_dependent_callbacks() {
         .unwrap();
     s.create_strict(
         "Post",
-        &[("title", Datum::text("t")), ("author_id", Datum::Int(a.id().unwrap()))],
+        &[
+            ("title", Datum::text("t")),
+            ("author_id", Datum::Int(a.id().unwrap())),
+        ],
     )
     .unwrap();
     s.delete(&mut a).unwrap();
@@ -401,7 +425,10 @@ fn numericality_and_inclusion_validators() {
     .unwrap();
     let mut s = app.session();
     let bad = s
-        .create("Product", &[("stock", Datum::Int(-1)), ("status", Datum::text("weird"))])
+        .create(
+            "Product",
+            &[("stock", Datum::Int(-1)), ("status", Datum::text("weird"))],
+        )
         .unwrap();
     assert!(!bad.is_persisted());
     assert_eq!(bad.errors.len(), 2);
@@ -465,22 +492,33 @@ fn uniqueness_scope_and_case_insensitivity() {
     )
     .unwrap();
     let mut s = app.session();
-    s.create_strict("Tag", &[("name", Datum::text("x")), ("site_id", Datum::Int(1))])
-        .unwrap();
+    s.create_strict(
+        "Tag",
+        &[("name", Datum::text("x")), ("site_id", Datum::Int(1))],
+    )
+    .unwrap();
     // same name, other site: allowed
     let ok = s
-        .create("Tag", &[("name", Datum::text("x")), ("site_id", Datum::Int(2))])
+        .create(
+            "Tag",
+            &[("name", Datum::text("x")), ("site_id", Datum::Int(2))],
+        )
         .unwrap();
     assert!(ok.is_persisted());
     // same name, same site: rejected
     let dup = s
-        .create("Tag", &[("name", Datum::text("x")), ("site_id", Datum::Int(1))])
+        .create(
+            "Tag",
+            &[("name", Datum::text("x")), ("site_id", Datum::Int(1))],
+        )
         .unwrap();
     assert!(!dup.is_persisted());
     // case-insensitive handle
     s.create_strict("Handle", &[("nick", Datum::text("Peter"))])
         .unwrap();
-    let dup = s.create("Handle", &[("nick", Datum::text("pEtEr"))]).unwrap();
+    let dup = s
+        .create("Handle", &[("nick", Datum::text("pEtEr"))])
+        .unwrap();
     assert!(!dup.is_persisted());
 }
 
@@ -495,10 +533,14 @@ fn uniqueness_excludes_own_row_on_update() {
     )
     .unwrap();
     let mut s = app.session();
-    let mut r = s.create_strict("Slug", &[("value", Datum::text("home"))]).unwrap();
+    let mut r = s
+        .create_strict("Slug", &[("value", Datum::text("home"))])
+        .unwrap();
     // re-saving the same record must not collide with itself
     assert!(s.save(&mut r).unwrap());
-    assert!(s.update_attributes(&mut r, &[("value", Datum::text("home"))]).unwrap());
+    assert!(s
+        .update_attributes(&mut r, &[("value", Datum::text("home"))])
+        .unwrap());
 }
 
 #[test]
@@ -529,22 +571,33 @@ fn custom_validator_with_db_access() {
     )
     .unwrap();
     let mut s = app.session();
-    let inv = s.create_strict("Inventory", &[("on_hand", Datum::Int(5))]).unwrap();
+    let inv = s
+        .create_strict("Inventory", &[("on_hand", Datum::Int(5))])
+        .unwrap();
     let ok = s
         .create(
             "OrderLine",
-            &[("inventory_id", Datum::Int(inv.id().unwrap())), ("quantity", Datum::Int(3))],
+            &[
+                ("inventory_id", Datum::Int(inv.id().unwrap())),
+                ("quantity", Datum::Int(3)),
+            ],
         )
         .unwrap();
     assert!(ok.is_persisted());
     let too_many = s
         .create(
             "OrderLine",
-            &[("inventory_id", Datum::Int(inv.id().unwrap())), ("quantity", Datum::Int(9))],
+            &[
+                ("inventory_id", Datum::Int(inv.id().unwrap())),
+                ("quantity", Datum::Int(9)),
+            ],
         )
         .unwrap();
     assert!(!too_many.is_persisted());
-    assert_eq!(too_many.errors.on("quantity"), vec!["exceeds available inventory"]);
+    assert_eq!(
+        too_many.errors.on("quantity"),
+        vec!["exceeds available inventory"]
+    );
 }
 
 #[test]

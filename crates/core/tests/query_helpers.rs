@@ -28,7 +28,11 @@ fn seed(app: &App) {
     ] {
         s.create_strict(
             "Song",
-            &[("title", Datum::text(t)), ("plays", Datum::Int(p)), ("genre", Datum::text(g))],
+            &[
+                ("title", Datum::text(t)),
+                ("plays", Datum::Int(p)),
+                ("genre", Datum::text(g)),
+            ],
         )
         .unwrap();
     }
@@ -40,16 +44,25 @@ fn where_order_limit_sorts_and_bounds() {
     seed(&app);
     let mut s = app.session();
     let top2 = s
-        .where_order_limit("Song", &[("genre", Datum::text("rock"))], "plays", true, Some(2))
+        .where_order_limit(
+            "Song",
+            &[("genre", Datum::text("rock"))],
+            "plays",
+            true,
+            Some(2),
+        )
         .unwrap();
     assert_eq!(top2.len(), 2);
     assert_eq!(top2[0].get("title"), Datum::text("gamma")); // 50 plays
     assert_eq!(top2[1].get("title"), Datum::text("epsilon")); // 40 plays
-    // ascending, unbounded
+                                                              // ascending, unbounded
     let asc = s
         .where_order_limit("Song", &[], "plays", false, None)
         .unwrap();
-    let plays: Vec<i64> = asc.iter().map(|r| r.get("plays").as_int().unwrap()).collect();
+    let plays: Vec<i64> = asc
+        .iter()
+        .map(|r| r.get("plays").as_int().unwrap())
+        .collect();
     assert_eq!(plays, vec![10, 20, 30, 40, 50]);
 }
 
@@ -83,14 +96,21 @@ fn update_all_bulk_writes_without_validations() {
     for i in 0..3 {
         s.create_strict(
             "Account",
-            &[("name", Datum::text(format!("a{i}"))), ("balance", Datum::Int(0))],
+            &[
+                ("name", Datum::text(format!("a{i}"))),
+                ("balance", Datum::Int(0)),
+            ],
         )
         .unwrap();
     }
     // bulk update bypasses the presence validation entirely — setting
     // name to NULL succeeds (the Rails footgun, faithfully)
     let n = s
-        .update_all("Account", &[], &[("name", Datum::Null), ("balance", Datum::Int(100))])
+        .update_all(
+            "Account",
+            &[],
+            &[("name", Datum::Null), ("balance", Datum::Int(100))],
+        )
         .unwrap();
     assert_eq!(n, 3);
     let rows = s.all("Account").unwrap();
@@ -111,7 +131,9 @@ fn delete_all_skips_dependent_logic() {
     app.define(ModelDef::build("Card").belongs_to("board").finish())
         .unwrap();
     let mut s = app.session();
-    let b = s.create_strict("Board", &[("name", Datum::text("b"))]).unwrap();
+    let b = s
+        .create_strict("Board", &[("name", Datum::text("b"))])
+        .unwrap();
     s.create_strict("Card", &[("board_id", Datum::Int(b.id().unwrap()))])
         .unwrap();
     // delete_all on boards does NOT cascade — cards are orphaned
@@ -133,7 +155,9 @@ fn update_all_with_conditions() {
         )
         .unwrap();
     assert_eq!(n, 2);
-    let zeroed = s.pluck("Song", &[("plays", Datum::Int(0))], "genre").unwrap();
+    let zeroed = s
+        .pluck("Song", &[("plays", Datum::Int(0))], "genre")
+        .unwrap();
     assert_eq!(zeroed.len(), 2);
     assert!(zeroed.iter().all(|g| g == &Datum::text("jazz")));
 }

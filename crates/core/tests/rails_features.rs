@@ -46,25 +46,48 @@ fn callback_ordering_and_counts() {
     app.define(
         ModelDef::build("Thing")
             .string("name")
-            .callback(CallbackKind::BeforeValidation, "bv", mk("before_validation", &order))
+            .callback(
+                CallbackKind::BeforeValidation,
+                "bv",
+                mk("before_validation", &order),
+            )
             .callback(CallbackKind::BeforeSave, "bs", mk("before_save", &order))
             .callback(CallbackKind::AfterCreate, "ac", mk("after_create", &order))
             .callback(CallbackKind::AfterSave, "as", mk("after_save", &order))
-            .callback(CallbackKind::BeforeDestroy, "bd", mk("before_destroy", &order))
-            .callback(CallbackKind::AfterDestroy, "ad", mk("after_destroy", &order))
+            .callback(
+                CallbackKind::BeforeDestroy,
+                "bd",
+                mk("before_destroy", &order),
+            )
+            .callback(
+                CallbackKind::AfterDestroy,
+                "ad",
+                mk("after_destroy", &order),
+            )
             .finish(),
     )
     .unwrap();
     let mut s = app.session();
-    let mut rec = s.create_strict("Thing", &[("name", Datum::text("x"))]).unwrap();
+    let mut rec = s
+        .create_strict("Thing", &[("name", Datum::text("x"))])
+        .unwrap();
     assert_eq!(
         *order.lock(),
-        vec!["before_validation", "before_save", "after_create", "after_save"]
+        vec![
+            "before_validation",
+            "before_save",
+            "after_create",
+            "after_save"
+        ]
     );
     order.lock().clear();
     // update: no after_create
-    s.update_attributes(&mut rec, &[("name", Datum::text("y"))]).unwrap();
-    assert_eq!(*order.lock(), vec!["before_validation", "before_save", "after_save"]);
+    s.update_attributes(&mut rec, &[("name", Datum::text("y"))])
+        .unwrap();
+    assert_eq!(
+        *order.lock(),
+        vec!["before_validation", "before_save", "after_save"]
+    );
     order.lock().clear();
     s.destroy(&mut rec).unwrap();
     assert_eq!(*order.lock(), vec!["before_destroy", "after_destroy"]);
@@ -120,7 +143,13 @@ fn counter_cache_tracks_creates_and_destroys() {
     let app = blog();
     let mut s = app.session();
     let post = s
-        .create_strict("Post", &[("title", Datum::text("t")), ("comments_count", Datum::Int(0))])
+        .create_strict(
+            "Post",
+            &[
+                ("title", Datum::text("t")),
+                ("comments_count", Datum::Int(0)),
+            ],
+        )
         .unwrap();
     let pid = post.id().unwrap();
     let mut comments = Vec::new();
@@ -128,7 +157,10 @@ fn counter_cache_tracks_creates_and_destroys() {
         comments.push(
             s.create_strict(
                 "Comment",
-                &[("body", Datum::text(format!("c{i}"))), ("post_id", Datum::Int(pid))],
+                &[
+                    ("body", Datum::text(format!("c{i}"))),
+                    ("post_id", Datum::Int(pid)),
+                ],
             )
             .unwrap(),
         );
@@ -152,7 +184,13 @@ fn counter_cache_is_atomic_under_concurrency() {
     let app = blog();
     let mut s = app.session();
     let post = s
-        .create_strict("Post", &[("title", Datum::text("t")), ("comments_count", Datum::Int(0))])
+        .create_strict(
+            "Post",
+            &[
+                ("title", Datum::text("t")),
+                ("comments_count", Datum::Int(0)),
+            ],
+        )
         .unwrap();
     let pid = post.id().unwrap();
     let threads = 8;
@@ -169,7 +207,10 @@ fn counter_cache_is_atomic_under_concurrency() {
                 loop {
                     match s.create(
                         "Comment",
-                        &[("body", Datum::text(format!("c{i}"))), ("post_id", Datum::Int(pid))],
+                        &[
+                            ("body", Datum::text(format!("c{i}"))),
+                            ("post_id", Datum::Int(pid)),
+                        ],
                     ) {
                         Ok(_) => break,
                         Err(e) if e.is_retryable() => continue,
@@ -194,13 +235,25 @@ fn counter_cache_drifts_when_delete_bypasses_callbacks() {
     let app = blog();
     let mut s = app.session();
     let post = s
-        .create_strict("Post", &[("title", Datum::text("t")), ("comments_count", Datum::Int(0))])
+        .create_strict(
+            "Post",
+            &[
+                ("title", Datum::text("t")),
+                ("comments_count", Datum::Int(0)),
+            ],
+        )
         .unwrap();
     let pid = post.id().unwrap();
     let mut c = s
-        .create_strict("Comment", &[("body", Datum::text("c")), ("post_id", Datum::Int(pid))])
+        .create_strict(
+            "Comment",
+            &[("body", Datum::text("c")), ("post_id", Datum::Int(pid))],
+        )
         .unwrap();
-    assert_eq!(s.find("Post", pid).unwrap().get("comments_count"), Datum::Int(1));
+    assert_eq!(
+        s.find("Post", pid).unwrap().get("comments_count"),
+        Datum::Int(1)
+    );
     s.delete(&mut c).unwrap(); // bare DELETE: counter not maintained
     assert_eq!(s.count("Comment").unwrap(), 0);
     assert_eq!(
@@ -213,13 +266,18 @@ fn counter_cache_drifts_when_delete_bypasses_callbacks() {
 #[test]
 fn counter_cache_missing_column_is_a_config_error() {
     let app = App::in_memory();
-    app.define(ModelDef::build("Album").string("name").finish()).unwrap();
+    app.define(ModelDef::build("Album").string("name").finish())
+        .unwrap();
     app.define(
-        ModelDef::build("Photo").belongs_to_counted("album").finish(),
+        ModelDef::build("Photo")
+            .belongs_to_counted("album")
+            .finish(),
     )
     .unwrap();
     let mut s = app.session();
-    let album = s.create_strict("Album", &[("name", Datum::text("a"))]).unwrap();
+    let album = s
+        .create_strict("Album", &[("name", Datum::text("a"))])
+        .unwrap();
     let err = s
         .create("Photo", &[("album_id", Datum::Int(album.id().unwrap()))])
         .unwrap_err();
@@ -233,7 +291,8 @@ fn counter_cache_missing_column_is_a_config_error() {
 #[test]
 fn find_or_create_by_sequential_semantics() {
     let app = App::in_memory();
-    app.define(ModelDef::build("Tag").string("name").finish()).unwrap();
+    app.define(ModelDef::build("Tag").string("name").finish())
+        .unwrap();
     let mut s = app.session();
     let a = s
         .find_or_create_by("Tag", &[("name", Datum::text("rust"))])
@@ -250,7 +309,8 @@ fn find_or_create_by_sequential_semantics() {
 fn find_or_create_by_races_without_a_unique_index() {
     // "this method is prone to race conditions" — the Rails docs
     let app = App::in_memory();
-    app.define(ModelDef::build("Tag").string("name").finish()).unwrap();
+    app.define(ModelDef::build("Tag").string("name").finish())
+        .unwrap();
     app.set_validation_write_delay(std::time::Duration::from_micros(500));
     let threads = 8;
     let barrier = Arc::new(std::sync::Barrier::new(threads));
@@ -293,7 +353,8 @@ fn find_or_create_by_races_without_a_unique_index() {
 #[test]
 fn requires_new_rolls_back_only_the_inner_work() {
     let app = App::in_memory();
-    app.define(ModelDef::build("Entry").string("name").finish()).unwrap();
+    app.define(ModelDef::build("Entry").string("name").finish())
+        .unwrap();
     let mut s = app.session();
     s.transaction(|s| {
         s.create_strict("Entry", &[("name", Datum::text("outer"))])?;
@@ -323,7 +384,8 @@ fn requires_new_rolls_back_only_the_inner_work() {
 #[test]
 fn requires_new_without_outer_transaction_is_plain() {
     let app = App::in_memory();
-    app.define(ModelDef::build("Entry").string("name").finish()).unwrap();
+    app.define(ModelDef::build("Entry").string("name").finish())
+        .unwrap();
     let mut s = app.session();
     let r: Result<(), OrmError> = s.transaction_requires_new(|s| {
         s.create_strict("Entry", &[("name", Datum::text("x"))])?;

@@ -196,7 +196,11 @@ pub fn history(corpus: &[SyntheticApp], checkpoints: usize) -> Vec<HistoryPoint>
             };
             frac_of(analysis.models.len(), fin.models.len(), &mut m);
             frac_of(analysis.validation_count(), fin.validation_count(), &mut v);
-            frac_of(analysis.association_count(), fin.association_count(), &mut a);
+            frac_of(
+                analysis.association_count(),
+                fin.association_count(),
+                &mut a,
+            );
             frac_of(analysis.transactions, fin.transactions, &mut t);
         }
         out.push(HistoryPoint {
@@ -314,10 +318,7 @@ mod tests {
         assert_eq!(s.sum(|r| r.validations) as u32, t.validations);
         assert_eq!(s.sum(|r| r.associations) as u32, t.associations);
         assert_eq!(s.sum(|r| r.transactions) as u32, t.transactions);
-        assert_eq!(
-            s.sum(|r| r.pessimistic_locks) as u32,
-            t.pessimistic_locks
-        );
+        assert_eq!(s.sum(|r| r.pessimistic_locks) as u32, t.pessimistic_locks);
         assert_eq!(s.sum(|r| r.optimistic_locks) as u32, t.optimistic_locks);
     }
 

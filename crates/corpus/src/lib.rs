@@ -26,9 +26,19 @@ pub use ruby::{analyze_source, FileAnalysis, ParseOptions};
 pub use synth::{synthesize_corpus, Construct, ConstructKind, SyntheticApp};
 pub use table2::{totals, AppStats, CorpusTotals, TABLE_TWO};
 
+/// The SQL table backing a model, under the corpus's naming convention
+/// (`KeyValue` → `key_values`): [`underscore`] plus a naive `s` plural —
+/// the same rule the synthesizer's association renderer uses, so
+/// model-graph consumers (`feral-lint`) resolve names consistently.
+pub fn table_name(model: &str) -> String {
+    let mut t = underscore(model);
+    t.push('s');
+    t
+}
+
 /// Minimal `CamelCase` → `snake_case` (for generated file/association
 /// names; the full inflector lives in `feral-orm`).
-pub(crate) fn underscore(name: &str) -> String {
+pub fn underscore(name: &str) -> String {
     let mut out = String::with_capacity(name.len() + 4);
     for (i, c) in name.chars().enumerate() {
         if c.is_ascii_uppercase() {

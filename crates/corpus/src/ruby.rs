@@ -38,8 +38,23 @@ enum Tok {
     Punct(char),
 }
 
-/// Tokenize one line, skipping comments, strings, and regex-ish literals.
-fn tokenize(line: &str) -> Vec<Tok> {
+/// Closing delimiter for a `%w(...)`-style percent literal opener.
+fn percent_closer(open: char) -> Option<char> {
+    Some(match open {
+        '(' => ')',
+        '[' => ']',
+        '{' => '}',
+        '<' => '>',
+        '|' => '|',
+        _ => return None,
+    })
+}
+
+/// Tokenize one line, skipping comments, strings, regex-ish literals, and
+/// `%w[]`/`%i[]` word/symbol arrays. Heredoc openers (`<<~SQL`, `<<-EOS`,
+/// `<<'TAG'`) push their terminator tags onto `heredocs` so the caller
+/// can skip the body lines.
+fn tokenize(line: &str, heredocs: &mut Vec<String>) -> Vec<Tok> {
     let mut out = Vec::new();
     let chars: Vec<char> = line.chars().collect();
     let mut i = 0;
@@ -47,6 +62,17 @@ fn tokenize(line: &str) -> Vec<Tok> {
         let c = chars[i];
         match c {
             '#' => break, // comment to EOL
+            '%' if matches!(chars.get(i + 1), Some('w' | 'W' | 'i' | 'I'))
+                && chars.get(i + 2).copied().and_then(percent_closer).is_some() =>
+            {
+                // `%w(a b)` / `%i[x y]` word/symbol array: skip wholesale
+                let closer = percent_closer(chars[i + 2]).unwrap();
+                i += 3;
+                while i < chars.len() && chars[i] != closer {
+                    i += 1;
+                }
+                i += 1; // past the closer (or EOL on unterminated input)
+            }
             '\'' | '"' => {
                 // skip string literal
                 let quote = c;
@@ -117,6 +143,45 @@ fn tokenize(line: &str) -> Vec<Tok> {
                 }
             }
             '<' => {
+                // heredoc opener? `<<TAG`, `<<~TAG`, `<<-TAG`, `<<~'TAG'`
+                if chars.get(i + 1) == Some(&'<') {
+                    let mut j = i + 2;
+                    if matches!(chars.get(j), Some('~' | '-')) {
+                        j += 1;
+                    }
+                    let tag = match chars.get(j) {
+                        Some(&q @ ('\'' | '"')) => {
+                            let start = j + 1;
+                            let mut k = start;
+                            while k < chars.len() && chars[k] != q {
+                                k += 1;
+                            }
+                            if k < chars.len() {
+                                let t: String = chars[start..k].iter().collect();
+                                j = k + 1;
+                                Some(t)
+                            } else {
+                                None
+                            }
+                        }
+                        Some(c) if c.is_ascii_uppercase() || *c == '_' => {
+                            let start = j;
+                            let mut k = j;
+                            while k < chars.len() && (chars[k].is_alphanumeric() || chars[k] == '_')
+                            {
+                                k += 1;
+                            }
+                            j = k;
+                            Some(chars[start..k].iter().collect())
+                        }
+                        _ => None,
+                    };
+                    if let Some(tag) = tag {
+                        heredocs.push(tag);
+                        i = j;
+                        continue;
+                    }
+                }
                 out.push(Tok::Lt);
                 i += 1;
             }
@@ -240,8 +305,9 @@ pub struct AssociationUse {
     pub name: String,
     /// `:dependent` option, if declared (`destroy`, `delete_all`, ...).
     pub dependent: Option<String>,
-    /// Whether `:through` was declared.
-    pub through: bool,
+    /// `:through` target, if declared (`through: :positions` →
+    /// `Some("positions")`).
+    pub through: Option<String>,
 }
 
 /// A parsed Active Record model.
@@ -253,6 +319,9 @@ pub struct ParsedModel {
     pub validations: Vec<ValidationUse>,
     /// Association uses, in declaration order.
     pub associations: Vec<AssociationUse>,
+    /// `lock_version` references inside the model body (optimistic
+    /// locking declared/used on this model).
+    pub lock_version_refs: usize,
 }
 
 /// Analysis results for one source file (or one application's
@@ -301,15 +370,13 @@ impl FileAnalysis {
 }
 
 /// Analyzer options.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ParseOptions {
     /// Base classes whose subclasses count as models (beyond
     /// `ActiveRecord::Base` / `ApplicationRecord`) — the Appendix A
     /// "custom logic to handle esoteric syntaxes" hook.
     pub extra_base_classes: Vec<String>,
 }
-
 
 fn is_model_base(konst: &str, opts: &ParseOptions) -> bool {
     konst == "ActiveRecord::Base"
@@ -329,61 +396,92 @@ pub fn analyze_source(src: &str, opts: &ParseOptions) -> FileAnalysis {
     // stack of (depth_at_open, model_index) for open model classes
     let mut depth: i32 = 0;
     let mut model_stack: Vec<(i32, usize)> = Vec::new();
+    // heredoc terminators still pending (skip body lines until each)
+    let mut heredoc_tags: Vec<String> = Vec::new();
+    // tokens of a declaration continued across lines (trailing comma)
+    let mut pending: Vec<Tok> = Vec::new();
 
     for line in src.lines() {
-        let toks = tokenize(line);
+        // inside a heredoc body: consume until the terminator tag
+        if let Some(tag) = heredoc_tags.first() {
+            if line.trim() == tag {
+                heredoc_tags.remove(0);
+            }
+            continue;
+        }
+        pending.extend(tokenize(line, &mut heredoc_tags));
+        // `validates :name,` — the declaration continues on the next line
+        if matches!(pending.last(), Some(Tok::Punct(','))) && heredoc_tags.is_empty() {
+            continue;
+        }
+        let toks = std::mem::take(&mut pending);
         if toks.is_empty() {
             continue;
         }
-        // --- nesting bookkeeping --------------------------------------
-        let mut opens = 0i32;
-        let mut closes = 0i32;
-        if let Some(Tok::Ident(first)) = toks.first() {
-            if LEADING_OPENERS.contains(&first.as_str()) {
-                opens += 1;
-            }
-        }
-        for t in &toks {
-            match t {
-                Tok::Ident(w) if w == "do" => opens += 1,
-                Tok::Ident(w) if w == "end" => closes += 1,
-                _ => {}
-            }
-        }
+        process_logical_line(&toks, &mut out, &mut depth, &mut model_stack, opts);
+    }
+    // EOF with a dangling continuation: process what accumulated
+    if !pending.is_empty() {
+        process_logical_line(&pending, &mut out, &mut depth, &mut model_stack, opts);
+    }
+    out
+}
 
-        // --- model declaration ------------------------------------------
-        if let (Some(Tok::Ident(kw)), Some(Tok::Const(name))) = (toks.first(), toks.get(1)) {
-            if kw == "class" {
-                if let (Some(Tok::Lt), Some(Tok::Const(base))) = (toks.get(2), toks.get(3)) {
-                    if is_model_base(base, opts) {
-                        out.models.push(ParsedModel {
-                            name: name.clone(),
-                            ..Default::default()
-                        });
-                        model_stack.push((depth, out.models.len() - 1));
-                    }
+/// Process one logical (continuation-joined) line's tokens.
+fn process_logical_line(
+    toks: &[Tok],
+    out: &mut FileAnalysis,
+    depth: &mut i32,
+    model_stack: &mut Vec<(i32, usize)>,
+    opts: &ParseOptions,
+) {
+    // --- nesting bookkeeping --------------------------------------
+    let mut opens = 0i32;
+    let mut closes = 0i32;
+    if let Some(Tok::Ident(first)) = toks.first() {
+        if LEADING_OPENERS.contains(&first.as_str()) {
+            opens += 1;
+        }
+    }
+    for t in toks {
+        match t {
+            Tok::Ident(w) if w == "do" => opens += 1,
+            Tok::Ident(w) if w == "end" => closes += 1,
+            _ => {}
+        }
+    }
+
+    // --- model declaration ------------------------------------------
+    if let (Some(Tok::Ident(kw)), Some(Tok::Const(name))) = (toks.first(), toks.get(1)) {
+        if kw == "class" {
+            if let (Some(Tok::Lt), Some(Tok::Const(base))) = (toks.get(2), toks.get(3)) {
+                if is_model_base(base, opts) {
+                    out.models.push(ParsedModel {
+                        name: name.clone(),
+                        ..Default::default()
+                    });
+                    model_stack.push((*depth, out.models.len() - 1));
                 }
             }
         }
+    }
 
-        // --- constructs ---------------------------------------------------
-        let current_model = model_stack.last().map(|&(_, i)| i);
-        if let Some(mi) = current_model {
-            scan_model_line(&toks, &mut out.models[mi]);
-        }
-        scan_cc_line(&toks, &mut out);
+    // --- constructs ---------------------------------------------------
+    let current_model = model_stack.last().map(|&(_, i)| i);
+    if let Some(mi) = current_model {
+        scan_model_line(toks, &mut out.models[mi]);
+    }
+    scan_cc_line(toks, out, current_model);
 
-        // --- close scopes ------------------------------------------------
-        depth += opens - closes;
-        while let Some(&(open_depth, _)) = model_stack.last() {
-            if depth <= open_depth {
-                model_stack.pop();
-            } else {
-                break;
-            }
+    // --- close scopes ------------------------------------------------
+    *depth += opens - closes;
+    while let Some(&(open_depth, _)) = model_stack.last() {
+        if *depth <= open_depth {
+            model_stack.pop();
+        } else {
+            break;
         }
     }
-    out
 }
 
 /// Scan a line inside a model body for validation/association
@@ -412,7 +510,7 @@ fn scan_model_line(toks: &[Tok], model: &mut ParsedModel) {
         "belongs_to" | "has_one" | "has_many" | "has_and_belongs_to_many" => {
             let name = symbols.first().copied().unwrap_or("").to_string();
             let dependent = find_option_value(toks, "dependent");
-            let through = keys.contains(&"through") || find_option_value(toks, "through").is_some();
+            let through = find_option_value(toks, "through");
             model.associations.push(AssociationUse {
                 kind: head.clone(),
                 name,
@@ -542,8 +640,10 @@ fn find_option_value(toks: &[Tok], key: &str) -> Option<String> {
 }
 
 /// Scan any line for concurrency-control constructs (transactions,
-/// locks) — these appear in models and controllers alike.
-fn scan_cc_line(toks: &[Tok], out: &mut FileAnalysis) {
+/// locks) — these appear in models and controllers alike. `lock_version`
+/// references inside a model body are additionally attributed to that
+/// model (`current_model`).
+fn scan_cc_line(toks: &[Tok], out: &mut FileAnalysis, current_model: Option<usize>) {
     for (i, t) in toks.iter().enumerate() {
         if let Tok::Ident(w) = t {
             match w.as_str() {
@@ -559,7 +659,12 @@ fn scan_cc_line(toks: &[Tok], out: &mut FileAnalysis) {
                     }
                 }
                 "lock!" | "with_lock" => out.pessimistic_locks += 1,
-                "lock_version" => out.optimistic_locks += 1,
+                "lock_version" => {
+                    out.optimistic_locks += 1;
+                    if let Some(mi) = current_model {
+                        out.models[mi].lock_version_refs += 1;
+                    }
+                }
                 _ => {}
             }
         }
@@ -653,7 +758,7 @@ end
         let m = &a.models[0];
         assert_eq!(m.associations.len(), 4);
         assert_eq!(m.associations[0].dependent.as_deref(), Some("destroy"));
-        assert!(m.associations[1].through);
+        assert_eq!(m.associations[1].through.as_deref(), Some("positions"));
         assert_eq!(m.associations[2].dependent.as_deref(), Some("nullify"));
         assert_eq!(m.associations[3].kind, "belongs_to");
     }
@@ -743,6 +848,97 @@ end
 "#;
         let a = analyze(src);
         assert_eq!(a.validations_by_kind()["validates_format_of"], 2);
+    }
+
+    #[test]
+    fn multiline_declarations_join_on_trailing_comma() {
+        let src = r#"
+class User < ActiveRecord::Base
+  validates :name,
+    presence: true,
+    uniqueness: true
+  validates_presence_of :email,
+    :login
+  has_many :posts,
+    dependent: :destroy
+end
+"#;
+        let a = analyze(src);
+        let by_kind = a.validations_by_kind();
+        assert_eq!(by_kind["validates_presence_of"], 3, "name + email + login");
+        assert_eq!(by_kind["validates_uniqueness_of"], 1);
+        let assoc = &a.models[0].associations[0];
+        assert_eq!(assoc.name, "posts");
+        assert_eq!(assoc.dependent.as_deref(), Some("destroy"));
+    }
+
+    #[test]
+    fn dangling_continuation_at_eof_still_counts() {
+        let src = "class User < ActiveRecord::Base\n  validates :name,";
+        let a = analyze(src);
+        // the joined declaration is processed at EOF; no kind key yet so
+        // nothing counts, but the model itself must exist and not panic
+        assert_eq!(a.models.len(), 1);
+        let src2 = "class User < ActiveRecord::Base\n  validates :name,\n    presence: true";
+        let a2 = analyze(src2);
+        assert_eq!(a2.validation_count(), 1);
+    }
+
+    #[test]
+    fn percent_word_literals_do_not_leak_tokens() {
+        let src = r#"
+class Post < ActiveRecord::Base
+  validates_inclusion_of :state, :in => %w[draft published archived]
+  validates :kind, inclusion: { in: %i(article page) }
+  ROLES = %w{admin editor}
+end
+"#;
+        let a = analyze(src);
+        let m = &a.models[0];
+        assert_eq!(a.validations_by_kind()["validates_inclusion_of"], 2);
+        // %w/%i contents must not be mistaken for validated fields
+        let fields: Vec<&str> = m.validations.iter().map(|v| v.field.as_str()).collect();
+        assert_eq!(fields, vec!["state", "kind"]);
+    }
+
+    #[test]
+    fn heredoc_bodies_are_skipped() {
+        let src = r#"
+class Report < ActiveRecord::Base
+  QUERY = <<~SQL
+    SELECT * FROM reports
+    -- validates_presence_of :fake
+    validates_uniqueness_of :also_fake
+  SQL
+  LEGACY = <<-'EOS'
+    validates :nope, presence: true
+  EOS
+  validates_presence_of :real
+end
+"#;
+        let a = analyze(src);
+        assert_eq!(a.validation_count(), 1);
+        assert_eq!(a.models[0].validations[0].field, "real");
+    }
+
+    #[test]
+    fn lock_version_refs_attribute_to_the_declaring_model() {
+        let src = r#"
+class Order < ActiveRecord::Base
+  def bump
+    self.lock_version
+  end
+end
+class Plain
+  def noop
+    lock_version
+  end
+end
+"#;
+        let a = analyze(src);
+        assert_eq!(a.optimistic_locks, 2);
+        assert_eq!(a.models.len(), 1);
+        assert_eq!(a.models[0].lock_version_refs, 1);
     }
 
     #[test]

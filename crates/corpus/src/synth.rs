@@ -64,17 +64,39 @@ pub struct SyntheticApp {
 }
 
 const FIELD_POOL: &[&str] = &[
-    "name", "title", "email", "login", "body", "state", "position", "amount", "quantity",
-    "price", "slug", "token", "description", "kind", "status", "url", "phone", "zip",
-    "score", "count_on_hand", "permalink", "locale", "summary", "rating", "code",
+    "name",
+    "title",
+    "email",
+    "login",
+    "body",
+    "state",
+    "position",
+    "amount",
+    "quantity",
+    "price",
+    "slug",
+    "token",
+    "description",
+    "kind",
+    "status",
+    "url",
+    "phone",
+    "zip",
+    "score",
+    "count_on_hand",
+    "permalink",
+    "locale",
+    "summary",
+    "rating",
+    "code",
 ];
 
 const MODEL_WORDS: &[&str] = &[
-    "User", "Post", "Comment", "Order", "Product", "Item", "Category", "Tag", "Page",
-    "Project", "Task", "Ticket", "Invoice", "Payment", "Shipment", "Account", "Group",
-    "Member", "Event", "Asset", "Image", "Document", "Message", "Topic", "Forum",
-    "Review", "Address", "Profile", "Role", "Setting", "Store", "Variant", "Stock",
-    "Session", "Report", "Badge", "Vote", "Entry", "Feed", "Channel",
+    "User", "Post", "Comment", "Order", "Product", "Item", "Category", "Tag", "Page", "Project",
+    "Task", "Ticket", "Invoice", "Payment", "Shipment", "Account", "Group", "Member", "Event",
+    "Asset", "Image", "Document", "Message", "Topic", "Forum", "Review", "Address", "Profile",
+    "Role", "Setting", "Store", "Variant", "Stock", "Session", "Report", "Badge", "Vote", "Entry",
+    "Feed", "Channel",
 ];
 
 /// Mapping of Table 1's "Other" bucket onto concrete renderable
@@ -268,8 +290,11 @@ impl SyntheticApp {
     /// (inclusive; `None` = final state). Returns `(path, source)` pairs.
     pub fn render(&self, commit_limit: Option<u32>) -> Vec<(String, String)> {
         let limit = commit_limit.unwrap_or(u32::MAX);
-        let visible: Vec<&Construct> =
-            self.constructs.iter().filter(|c| c.commit <= limit).collect();
+        let visible: Vec<&Construct> = self
+            .constructs
+            .iter()
+            .filter(|c| c.commit <= limit)
+            .collect();
         let mut files = Vec::new();
 
         // one file per visible model
@@ -303,10 +328,7 @@ impl SyntheticApp {
                 }
             }
             src.push_str("end\n");
-            files.push((
-                format!("app/models/{}.rb", crate::underscore(name)),
-                src,
-            ));
+            files.push((format!("app/models/{}.rb", crate::underscore(name)), src));
         }
 
         // controllers hold the transactions and pessimistic locks
@@ -342,6 +364,107 @@ impl SyntheticApp {
             }
             src.push_str("end\n");
             files.push(("app/controllers/application_controller.rb".to_string(), src));
+        }
+        files
+    }
+}
+
+impl SyntheticApp {
+    /// Render the application's migration DDL as of `commit_limit` —
+    /// one `db/migrate/*.sql` file per visible model, containing its
+    /// `CREATE TABLE` (with `REFERENCES` foreign keys on a fraction of
+    /// `belongs_to` columns) and `CREATE UNIQUE INDEX` statements backing
+    /// a fraction of the uniqueness validations.
+    ///
+    /// The schema-side backing is deliberately partial, mirroring the
+    /// paper's finding that applications rarely pair feral invariants
+    /// with in-database constraints (§3, §4.4): roughly 1 in 4
+    /// uniqueness validations gets a unique index, 1 in 3 `belongs_to`
+    /// columns gets a foreign key, and 1 in 2 optimistic-lock models
+    /// gets its `lock_version` column. The walk mirrors [`Self::render`]
+    /// exactly, so the schema lines up with the Ruby sources
+    /// construct-for-construct, and the whole rendering is deterministic.
+    pub fn render_schema(&self, commit_limit: Option<u32>) -> Vec<(String, String)> {
+        let limit = commit_limit.unwrap_or(u32::MAX);
+        let visible: Vec<&Construct> = self
+            .constructs
+            .iter()
+            .filter(|c| c.commit <= limit)
+            .collect();
+        let mut files = Vec::new();
+        // app-wide counters drive the deterministic backed fractions
+        let mut uniq_i = 0usize;
+        let mut fk_i = 0usize;
+        let mut lock_i = 0usize;
+        for (m, name) in self.model_names.iter().enumerate() {
+            let model_visible = visible
+                .iter()
+                .any(|c| c.model == m && c.kind == ConstructKind::Model);
+            if !model_visible {
+                continue;
+            }
+            let table = crate::table_name(name);
+            let mut columns: Vec<String> = vec!["id INT PRIMARY KEY".to_string()];
+            let mut seen: Vec<String> = Vec::new();
+            let mut unique_fields: Vec<&str> = Vec::new();
+            let mut field_i = 0usize;
+            let mut assoc_i = 0usize;
+            let mut lock_emitted = false;
+            for c in visible.iter().filter(|c| c.model == m) {
+                match &c.kind {
+                    ConstructKind::Validation(kind) => {
+                        let field = FIELD_POOL[field_i % FIELD_POOL.len()];
+                        field_i += 1;
+                        if !seen.iter().any(|s| s == field) {
+                            seen.push(field.to_string());
+                            columns.push(format!("{field} TEXT"));
+                        }
+                        if kind == "validates_uniqueness_of" {
+                            let backed = uniq_i.is_multiple_of(4);
+                            uniq_i += 1;
+                            if backed && !unique_fields.contains(&field) {
+                                unique_fields.push(field);
+                            }
+                        }
+                    }
+                    ConstructKind::Association(kind) => {
+                        let target = &self.model_names[(m + assoc_i + 1) % self.model_names.len()];
+                        assoc_i += 1;
+                        if *kind == "belongs_to" {
+                            let col = format!("{}_id", crate::underscore(target));
+                            let backed = fk_i.is_multiple_of(3);
+                            fk_i += 1;
+                            if !seen.contains(&col) {
+                                seen.push(col.clone());
+                                if backed {
+                                    columns.push(format!(
+                                        "{col} INT REFERENCES {} (id)",
+                                        crate::table_name(target)
+                                    ));
+                                } else {
+                                    columns.push(format!("{col} INT"));
+                                }
+                            }
+                        }
+                    }
+                    ConstructKind::OptimisticLock if !lock_emitted => {
+                        lock_emitted = true;
+                        let backed = lock_i.is_multiple_of(2);
+                        lock_i += 1;
+                        if backed {
+                            columns.push("lock_version INT".to_string());
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let mut sql = format!("CREATE TABLE {table} (\n  {}\n);\n", columns.join(",\n  "));
+            for field in unique_fields {
+                sql.push_str(&format!(
+                    "CREATE UNIQUE INDEX index_{table}_on_{field} ON {table} ({field});\n"
+                ));
+            }
+            files.push((format!("db/migrate/create_{table}.sql"), sql));
         }
         files
     }
@@ -502,6 +625,111 @@ mod tests {
             model_frac > val_frac,
             "at 10% of history, models ({model_frac:.2}) should lead validations ({val_frac:.2})"
         );
+    }
+
+    #[test]
+    fn rendered_schema_is_deterministic_and_parses() {
+        let corpus = synthesize_corpus(42);
+        let mut statements = 0usize;
+        for app in corpus.iter().take(10) {
+            let a = app.render_schema(None);
+            let b = app.render_schema(None);
+            assert_eq!(a, b, "{}: schema must be deterministic", app.stats.name);
+            for (path, sql) in &a {
+                assert!(path.starts_with("db/migrate/create_"), "{path}");
+                for stmt in sql.split(';').map(str::trim).filter(|s| !s.is_empty()) {
+                    statements += 1;
+                    feral_sql::parse(stmt).unwrap_or_else(|e| {
+                        panic!("{}: `{stmt}` must parse: {e:?}", app.stats.name)
+                    });
+                }
+            }
+        }
+        assert!(statements > 0);
+    }
+
+    #[test]
+    fn schema_backs_a_quarter_of_uniqueness_and_a_third_of_references() {
+        let corpus = synthesize_corpus(42);
+        let (mut uniq, mut uniq_backed, mut refs, mut refs_backed) = (0usize, 0, 0usize, 0);
+        for app in &corpus {
+            for (_, sql) in app.render_schema(None) {
+                refs += sql.matches("_id INT").count();
+                refs_backed += sql.matches("REFERENCES").count();
+                uniq_backed += sql.matches("CREATE UNIQUE INDEX").count();
+            }
+            for (_, src) in app.render(None) {
+                let a = analyze_source(&src, &ParseOptions::default());
+                uniq += a
+                    .models
+                    .iter()
+                    .flat_map(|m| &m.validations)
+                    .filter(|v| v.kind == "validates_uniqueness_of")
+                    .count();
+            }
+        }
+        assert!(
+            uniq_backed > 0 && uniq_backed < uniq,
+            "{uniq_backed}/{uniq}"
+        );
+        assert!(
+            refs_backed > 0 && refs_backed < refs,
+            "{refs_backed}/{refs}"
+        );
+        // backed fractions sit near the deterministic 1/4 and 1/3 rates
+        // (dedup of repeated fields/columns pulls them off the exact
+        // ratio, but not far)
+        let uniq_frac = uniq_backed as f64 / uniq as f64;
+        let ref_frac = refs_backed as f64 / refs as f64;
+        assert!(
+            (0.10..0.45).contains(&uniq_frac),
+            "uniqueness backed: {uniq_frac:.2}"
+        );
+        assert!(
+            (0.15..0.55).contains(&ref_frac),
+            "references backed: {ref_frac:.2}"
+        );
+    }
+
+    #[test]
+    fn unique_indexes_only_cover_uniqueness_validated_fields() {
+        let corpus = synthesize_corpus(42);
+        for app in corpus.iter().take(15) {
+            // model table → fields with a uniqueness validation, per sources
+            let mut validated: std::collections::BTreeMap<String, Vec<String>> =
+                std::collections::BTreeMap::new();
+            for (_, src) in app.render(None) {
+                let a = analyze_source(&src, &ParseOptions::default());
+                for m in &a.models {
+                    let entry = validated.entry(crate::table_name(&m.name)).or_default();
+                    for v in &m.validations {
+                        if v.kind == "validates_uniqueness_of" {
+                            entry.push(v.field.clone());
+                        }
+                    }
+                }
+            }
+            for (_, sql) in app.render_schema(None) {
+                for line in sql.lines() {
+                    let Some(rest) = line.strip_prefix("CREATE UNIQUE INDEX ") else {
+                        continue;
+                    };
+                    let table = rest.split_whitespace().nth(2).unwrap();
+                    let field = rest
+                        .split('(')
+                        .nth(1)
+                        .unwrap()
+                        .trim_end_matches(&[')', ';'][..]);
+                    assert!(
+                        validated
+                            .get(table)
+                            .is_some_and(|fs| fs.iter().any(|f| f == field)),
+                        "{}: index on {table}.{field} has no matching validation",
+                        app.stats.name
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -57,71 +57,838 @@ macro_rules! row {
 
 /// All 67 applications, in Table 2 order (descending model count).
 pub const TABLE_TWO: &[AppStats] = &[
-    row!("Canvas LMS", "Education", 132, 309_580, 12_853, 161, 46, 12, 1, 354, 837, 1_251),
-    row!("OpenCongress", "Congress data", 15, 30_867, 1_884, 106, 1, 0, 0, 48, 357, 124),
-    row!("Fedena", "Education management", 4, 49_297, 1_471, 104, 5, 0, 0, 153, 317, 262),
-    row!("Discourse", "Community discussion", 440, 72_225, 11_480, 77, 41, 0, 0, 83, 266, 12_233),
-    row!("Spree", "eCommerce", 677, 47_268, 14_096, 72, 6, 0, 0, 92, 252, 5_582),
-    row!("Sharetribe", "Content management", 35, 31_164, 7_140, 68, 0, 0, 0, 112, 202, 127),
-    row!("ROR Ecommerce", "eCommerce", 19, 16_808, 1_604, 63, 2, 3, 0, 219, 207, 857),
-    row!("Diaspora", "Social network", 388, 31_726, 14_640, 63, 2, 0, 0, 66, 128, 9_571),
-    row!("Redmine", "Project management", 10, 81_536, 11_042, 62, 11, 0, 1, 131, 157, 2_264),
-    row!("ChiliProject", "Project management", 53, 66_683, 5_532, 61, 7, 0, 1, 118, 130, 623),
-    row!("Spot.us", "Community reporting", 46, 94_705, 9_280, 58, 0, 0, 0, 96, 165, 343),
-    row!("Jobsworth", "Project management", 46, 24_731, 7_890, 55, 10, 0, 0, 86, 225, 478),
-    row!("OpenProject", "Project management", 63, 84_374, 11_185, 49, 8, 1, 3, 136, 227, 371),
-    row!("Danbooru", "Image board", 25, 27_857, 3_738, 47, 9, 0, 0, 71, 114, 238),
-    row!("Salor Retail", "Retail point of sale", 26, 18_404, 2_259, 44, 0, 0, 0, 81, 309, 24),
-    row!("Zena", "Content management", 7, 56_430, 2_514, 44, 1, 0, 0, 12, 43, 172),
-    row!("Skyline CMS", "Content management", 7, 10_404, 894, 40, 5, 0, 0, 28, 89, 127),
-    row!("Opal", "Project management", 6, 10_707, 474, 38, 3, 0, 0, 42, 96, 45),
-    row!("OneBody", "Church portal", 33, 20_398, 3_973, 36, 3, 0, 0, 97, 140, 1_041),
-    row!("CommunityEngine", "Social networking", 67, 13_967, 1_613, 35, 3, 0, 0, 92, 101, 1_073),
+    row!(
+        "Canvas LMS",
+        "Education",
+        132,
+        309_580,
+        12_853,
+        161,
+        46,
+        12,
+        1,
+        354,
+        837,
+        1_251
+    ),
+    row!(
+        "OpenCongress",
+        "Congress data",
+        15,
+        30_867,
+        1_884,
+        106,
+        1,
+        0,
+        0,
+        48,
+        357,
+        124
+    ),
+    row!(
+        "Fedena",
+        "Education management",
+        4,
+        49_297,
+        1_471,
+        104,
+        5,
+        0,
+        0,
+        153,
+        317,
+        262
+    ),
+    row!(
+        "Discourse",
+        "Community discussion",
+        440,
+        72_225,
+        11_480,
+        77,
+        41,
+        0,
+        0,
+        83,
+        266,
+        12_233
+    ),
+    row!(
+        "Spree",
+        "eCommerce",
+        677,
+        47_268,
+        14_096,
+        72,
+        6,
+        0,
+        0,
+        92,
+        252,
+        5_582
+    ),
+    row!(
+        "Sharetribe",
+        "Content management",
+        35,
+        31_164,
+        7_140,
+        68,
+        0,
+        0,
+        0,
+        112,
+        202,
+        127
+    ),
+    row!(
+        "ROR Ecommerce",
+        "eCommerce",
+        19,
+        16_808,
+        1_604,
+        63,
+        2,
+        3,
+        0,
+        219,
+        207,
+        857
+    ),
+    row!(
+        "Diaspora",
+        "Social network",
+        388,
+        31_726,
+        14_640,
+        63,
+        2,
+        0,
+        0,
+        66,
+        128,
+        9_571
+    ),
+    row!(
+        "Redmine",
+        "Project management",
+        10,
+        81_536,
+        11_042,
+        62,
+        11,
+        0,
+        1,
+        131,
+        157,
+        2_264
+    ),
+    row!(
+        "ChiliProject",
+        "Project management",
+        53,
+        66_683,
+        5_532,
+        61,
+        7,
+        0,
+        1,
+        118,
+        130,
+        623
+    ),
+    row!(
+        "Spot.us",
+        "Community reporting",
+        46,
+        94_705,
+        9_280,
+        58,
+        0,
+        0,
+        0,
+        96,
+        165,
+        343
+    ),
+    row!(
+        "Jobsworth",
+        "Project management",
+        46,
+        24_731,
+        7_890,
+        55,
+        10,
+        0,
+        0,
+        86,
+        225,
+        478
+    ),
+    row!(
+        "OpenProject",
+        "Project management",
+        63,
+        84_374,
+        11_185,
+        49,
+        8,
+        1,
+        3,
+        136,
+        227,
+        371
+    ),
+    row!(
+        "Danbooru",
+        "Image board",
+        25,
+        27_857,
+        3_738,
+        47,
+        9,
+        0,
+        0,
+        71,
+        114,
+        238
+    ),
+    row!(
+        "Salor Retail",
+        "Retail point of sale",
+        26,
+        18_404,
+        2_259,
+        44,
+        0,
+        0,
+        0,
+        81,
+        309,
+        24
+    ),
+    row!(
+        "Zena",
+        "Content management",
+        7,
+        56_430,
+        2_514,
+        44,
+        1,
+        0,
+        0,
+        12,
+        43,
+        172
+    ),
+    row!(
+        "Skyline CMS",
+        "Content management",
+        7,
+        10_404,
+        894,
+        40,
+        5,
+        0,
+        0,
+        28,
+        89,
+        127
+    ),
+    row!(
+        "Opal",
+        "Project management",
+        6,
+        10_707,
+        474,
+        38,
+        3,
+        0,
+        0,
+        42,
+        96,
+        45
+    ),
+    row!(
+        "OneBody",
+        "Church portal",
+        33,
+        20_398,
+        3_973,
+        36,
+        3,
+        0,
+        0,
+        97,
+        140,
+        1_041
+    ),
+    row!(
+        "CommunityEngine",
+        "Social networking",
+        67,
+        13_967,
+        1_613,
+        35,
+        3,
+        0,
+        0,
+        92,
+        101,
+        1_073
+    ),
     row!("Publify", "Blogging", 93, 16_763, 5_067, 35, 7, 0, 0, 33, 50, 1_274),
-    row!("Comas", "Conference management", 5, 5_879, 435, 33, 6, 0, 0, 80, 45, 21),
-    row!("BrowserCMS", "Content management", 56, 21_259, 2_503, 32, 4, 0, 0, 47, 77, 1_183),
-    row!("RailsCollab", "Project management", 25, 8_849, 865, 29, 6, 0, 0, 40, 122, 262),
-    row!("OpenGovernment", "Government data", 15, 9_383, 2_231, 28, 4, 0, 0, 22, 141, 160),
-    row!("Tracks", "Personal productivity", 89, 17_419, 3_121, 27, 2, 0, 0, 24, 43, 639),
-    row!("GitLab", "Code management", 671, 39_094, 12_266, 24, 15, 0, 0, 131, 114, 14_129),
-    row!("Brevidy", "Video sharing", 2, 7_608, 6, 24, 1, 0, 0, 74, 56, 167),
-    row!("Insoshi", "Social network", 16, 121_552, 1_321, 24, 1, 0, 0, 41, 63, 1_583),
-    row!("Alchemy", "Content management", 34, 19_329, 4_222, 23, 2, 0, 0, 37, 40, 240),
-    row!("Teambox", "Project management", 48, 32_844, 3_155, 22, 2, 0, 0, 56, 116, 1_864),
-    row!("Fat Free CRM", "Customer relationship", 99, 21_284, 4_144, 21, 3, 0, 0, 39, 92, 2_384),
-    row!("linuxfr.org", "FLOSS community", 29, 8_123, 2_271, 20, 1, 0, 0, 50, 50, 86),
-    row!("Squash", "Bug reporting", 28, 15_776, 231, 19, 6, 0, 0, 87, 62, 879),
-    row!("Shoppe", "eCommerce", 14, 3_172, 349, 19, 1, 0, 0, 58, 34, 208),
-    row!("nimbleShop", "eCommerce", 12, 8_041, 1_805, 19, 0, 0, 0, 47, 34, 47),
-    row!("Piggybak", "eCommerce", 16, 2_235, 383, 17, 1, 0, 0, 51, 35, 166),
-    row!("wallgig", "Wallpaper sharing", 6, 5_543, 350, 17, 1, 0, 0, 42, 45, 18),
-    row!("Rucksack", "Collaboration", 7, 5_346, 445, 17, 3, 0, 0, 18, 79, 169),
-    row!("Calagator", "Online calendar", 48, 9_061, 1_766, 16, 0, 0, 0, 8, 11, 196),
-    row!("Amahi Platform", "Home media sharing", 15, 6_244, 577, 15, 2, 0, 0, 38, 22, 65),
-    row!("Sprint", "Project management", 5, 3_056, 71, 14, 0, 0, 0, 50, 45, 247),
-    row!("Citizenry", "Community directory", 17, 8_197, 512, 13, 0, 0, 0, 12, 45, 138),
-    row!("LovdByLess", "Social network", 17, 30_718, 150, 12, 0, 0, 0, 27, 41, 568),
-    row!("lobste.rs", "Link sharing", 24, 4_963, 624, 12, 8, 0, 0, 20, 40, 646),
-    row!("BucketWise", "Personal finance", 10, 4_644, 258, 12, 2, 0, 0, 11, 46, 484),
+    row!(
+        "Comas",
+        "Conference management",
+        5,
+        5_879,
+        435,
+        33,
+        6,
+        0,
+        0,
+        80,
+        45,
+        21
+    ),
+    row!(
+        "BrowserCMS",
+        "Content management",
+        56,
+        21_259,
+        2_503,
+        32,
+        4,
+        0,
+        0,
+        47,
+        77,
+        1_183
+    ),
+    row!(
+        "RailsCollab",
+        "Project management",
+        25,
+        8_849,
+        865,
+        29,
+        6,
+        0,
+        0,
+        40,
+        122,
+        262
+    ),
+    row!(
+        "OpenGovernment",
+        "Government data",
+        15,
+        9_383,
+        2_231,
+        28,
+        4,
+        0,
+        0,
+        22,
+        141,
+        160
+    ),
+    row!(
+        "Tracks",
+        "Personal productivity",
+        89,
+        17_419,
+        3_121,
+        27,
+        2,
+        0,
+        0,
+        24,
+        43,
+        639
+    ),
+    row!(
+        "GitLab",
+        "Code management",
+        671,
+        39_094,
+        12_266,
+        24,
+        15,
+        0,
+        0,
+        131,
+        114,
+        14_129
+    ),
+    row!(
+        "Brevidy",
+        "Video sharing",
+        2,
+        7_608,
+        6,
+        24,
+        1,
+        0,
+        0,
+        74,
+        56,
+        167
+    ),
+    row!(
+        "Insoshi",
+        "Social network",
+        16,
+        121_552,
+        1_321,
+        24,
+        1,
+        0,
+        0,
+        41,
+        63,
+        1_583
+    ),
+    row!(
+        "Alchemy",
+        "Content management",
+        34,
+        19_329,
+        4_222,
+        23,
+        2,
+        0,
+        0,
+        37,
+        40,
+        240
+    ),
+    row!(
+        "Teambox",
+        "Project management",
+        48,
+        32_844,
+        3_155,
+        22,
+        2,
+        0,
+        0,
+        56,
+        116,
+        1_864
+    ),
+    row!(
+        "Fat Free CRM",
+        "Customer relationship",
+        99,
+        21_284,
+        4_144,
+        21,
+        3,
+        0,
+        0,
+        39,
+        92,
+        2_384
+    ),
+    row!(
+        "linuxfr.org",
+        "FLOSS community",
+        29,
+        8_123,
+        2_271,
+        20,
+        1,
+        0,
+        0,
+        50,
+        50,
+        86
+    ),
+    row!(
+        "Squash",
+        "Bug reporting",
+        28,
+        15_776,
+        231,
+        19,
+        6,
+        0,
+        0,
+        87,
+        62,
+        879
+    ),
+    row!(
+        "Shoppe",
+        "eCommerce",
+        14,
+        3_172,
+        349,
+        19,
+        1,
+        0,
+        0,
+        58,
+        34,
+        208
+    ),
+    row!(
+        "nimbleShop",
+        "eCommerce",
+        12,
+        8_041,
+        1_805,
+        19,
+        0,
+        0,
+        0,
+        47,
+        34,
+        47
+    ),
+    row!(
+        "Piggybak",
+        "eCommerce",
+        16,
+        2_235,
+        383,
+        17,
+        1,
+        0,
+        0,
+        51,
+        35,
+        166
+    ),
+    row!(
+        "wallgig",
+        "Wallpaper sharing",
+        6,
+        5_543,
+        350,
+        17,
+        1,
+        0,
+        0,
+        42,
+        45,
+        18
+    ),
+    row!(
+        "Rucksack",
+        "Collaboration",
+        7,
+        5_346,
+        445,
+        17,
+        3,
+        0,
+        0,
+        18,
+        79,
+        169
+    ),
+    row!(
+        "Calagator",
+        "Online calendar",
+        48,
+        9_061,
+        1_766,
+        16,
+        0,
+        0,
+        0,
+        8,
+        11,
+        196
+    ),
+    row!(
+        "Amahi Platform",
+        "Home media sharing",
+        15,
+        6_244,
+        577,
+        15,
+        2,
+        0,
+        0,
+        38,
+        22,
+        65
+    ),
+    row!(
+        "Sprint",
+        "Project management",
+        5,
+        3_056,
+        71,
+        14,
+        0,
+        0,
+        0,
+        50,
+        45,
+        247
+    ),
+    row!(
+        "Citizenry",
+        "Community directory",
+        17,
+        8_197,
+        512,
+        13,
+        0,
+        0,
+        0,
+        12,
+        45,
+        138
+    ),
+    row!(
+        "LovdByLess",
+        "Social network",
+        17,
+        30_718,
+        150,
+        12,
+        0,
+        0,
+        0,
+        27,
+        41,
+        568
+    ),
+    row!(
+        "lobste.rs",
+        "Link sharing",
+        24,
+        4_963,
+        624,
+        12,
+        8,
+        0,
+        0,
+        20,
+        40,
+        646
+    ),
+    row!(
+        "BucketWise",
+        "Personal finance",
+        10,
+        4_644,
+        258,
+        12,
+        2,
+        0,
+        0,
+        11,
+        46,
+        484
+    ),
     row!("Sugar", "Forum", 13, 7_703, 1_316, 11, 1, 0, 0, 20, 53, 89),
-    row!("Comf. Mexican Sofa", "Content management", 106, 8_881, 1_746, 10, 0, 0, 0, 35, 26, 1_523),
-    row!("Radiant", "Content management", 100, 15_923, 2_385, 9, 3, 0, 1, 26, 12, 1_554),
+    row!(
+        "Comf. Mexican Sofa",
+        "Content management",
+        106,
+        8_881,
+        1_746,
+        10,
+        0,
+        0,
+        0,
+        35,
+        26,
+        1_523
+    ),
+    row!(
+        "Radiant",
+        "Content management",
+        100,
+        15_923,
+        2_385,
+        9,
+        3,
+        0,
+        1,
+        26,
+        12,
+        1_554
+    ),
     row!("Forem", "Forum", 100, 4_676, 1_383, 9, 0, 0, 0, 8, 29, 1_302),
     row!("Saasy", "eCommerce", 2, 163_170, 21, 8, 4, 0, 0, 19, 9, 520),
-    row!("Refinery CMS", "Content management", 438, 10_847, 9_107, 8, 0, 0, 0, 16, 8, 2_979),
-    row!("BostonRB", "Ruby community", 40, 2_135, 889, 7, 0, 0, 0, 18, 12, 199),
-    row!("Inkwell", "Social networking", 6, 6_764, 156, 7, 0, 0, 0, 4, 51, 327),
-    row!("Boxroom", "File sharing", 9, 1_956, 368, 6, 0, 0, 0, 18, 12, 218),
-    row!("Copycopter", "Copy writing", 9, 2_347, 46, 6, 1, 0, 0, 7, 14, 652),
+    row!(
+        "Refinery CMS",
+        "Content management",
+        438,
+        10_847,
+        9_107,
+        8,
+        0,
+        0,
+        0,
+        16,
+        8,
+        2_979
+    ),
+    row!(
+        "BostonRB",
+        "Ruby community",
+        40,
+        2_135,
+        889,
+        7,
+        0,
+        0,
+        0,
+        18,
+        12,
+        199
+    ),
+    row!(
+        "Inkwell",
+        "Social networking",
+        6,
+        6_764,
+        156,
+        7,
+        0,
+        0,
+        0,
+        4,
+        51,
+        327
+    ),
+    row!(
+        "Boxroom",
+        "File sharing",
+        9,
+        1_956,
+        368,
+        6,
+        0,
+        0,
+        0,
+        18,
+        12,
+        218
+    ),
+    row!(
+        "Copycopter",
+        "Copy writing",
+        9,
+        2_347,
+        46,
+        6,
+        1,
+        0,
+        0,
+        7,
+        14,
+        652
+    ),
     row!("Enki", "Blogging", 29, 4_678, 562, 6, 1, 0, 0, 5, 7, 835),
-    row!("Fulcrum", "Project planning", 46, 3_190, 637, 5, 0, 0, 0, 13, 15, 1_335),
-    row!("GitLab CI", "Continuous integration", 80, 3_700, 870, 5, 2, 0, 0, 11, 13, 1_188),
-    row!("Kandan", "Persistent chat", 56, 1_694, 808, 5, 0, 0, 0, 6, 8, 2_249),
+    row!(
+        "Fulcrum",
+        "Project planning",
+        46,
+        3_190,
+        637,
+        5,
+        0,
+        0,
+        0,
+        13,
+        15,
+        1_335
+    ),
+    row!(
+        "GitLab CI",
+        "Continuous integration",
+        80,
+        3_700,
+        870,
+        5,
+        2,
+        0,
+        0,
+        11,
+        13,
+        1_188
+    ),
+    row!(
+        "Kandan",
+        "Persistent chat",
+        56,
+        1_694,
+        808,
+        5,
+        0,
+        0,
+        0,
+        6,
+        8,
+        2_249
+    ),
     row!("Juvia", "Commenting", 8, 2_302, 202, 4, 3, 0, 0, 11, 8, 937),
-    row!("Go vs Go", "Go board game", 2, 2_378, 302, 4, 0, 0, 0, 11, 9, 145),
-    row!("Adopt-a-Hydrant", "Civics", 14, 14_165, 1_242, 3, 0, 0, 0, 11, 8, 182),
-    row!("Selfstarter", "Crowdfunding", 23, 577, 127, 3, 0, 0, 0, 1, 4, 2_688),
-    row!("Heaven", "Code deployment", 19, 2_090, 387, 2, 0, 0, 0, 2, 2, 163),
+    row!(
+        "Go vs Go",
+        "Go board game",
+        2,
+        2_378,
+        302,
+        4,
+        0,
+        0,
+        0,
+        11,
+        9,
+        145
+    ),
+    row!(
+        "Adopt-a-Hydrant",
+        "Civics",
+        14,
+        14_165,
+        1_242,
+        3,
+        0,
+        0,
+        0,
+        11,
+        8,
+        182
+    ),
+    row!(
+        "Selfstarter",
+        "Crowdfunding",
+        23,
+        577,
+        127,
+        3,
+        0,
+        0,
+        0,
+        1,
+        4,
+        2_688
+    ),
+    row!(
+        "Heaven",
+        "Code deployment",
+        19,
+        2_090,
+        387,
+        2,
+        0,
+        0,
+        0,
+        2,
+        2,
+        163
+    ),
     row!("Carter", "eCommerce", 3, 1_093, 70, 2, 1, 0, 0, 0, 12, 22),
     row!("Obtvse", "Blogging", 27, 455, 393, 1, 0, 0, 0, 3, 0, 1_516),
 ];
@@ -202,8 +969,7 @@ mod tests {
         // "over 37 times more popular than transactions" (combined)
         assert!((v_ratio + a_ratio) > 37.0);
         // per-model figures from §3.2
-        let per_model =
-            |x: u32| x as f64 / t.models as f64;
+        let per_model = |x: u32| x as f64 / t.models as f64;
         assert!((per_model(t.transactions) - 0.13).abs() < 0.01);
         assert!((per_model(t.validations) - 1.80).abs() < 0.01);
         assert!((per_model(t.associations) - 3.19).abs() < 0.01);

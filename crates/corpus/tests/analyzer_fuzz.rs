@@ -1,9 +1,29 @@
-//! Robustness tests for the Ruby-subset analyzer: it must never panic,
-//! whatever source arrives, and its counts must be stable across
-//! re-analysis (it is a pure function of the source).
+//! Robustness tests for the Ruby-subset analyzer and the feral-lint
+//! model-graph resolver downstream of it: neither must ever panic,
+//! whatever source or DDL arrives, and both must be pure functions of
+//! their input (stable across re-analysis / re-resolution).
 
 use feral_corpus::{analyze_source, synthesize_corpus, ParseOptions};
+use feral_lint::graph::{ModelGraph, SourceFile};
 use proptest::prelude::*;
+
+/// Route arbitrary text through analyzer → resolver (with equally
+/// arbitrary DDL) and hand back both resolutions for the determinism
+/// checks.
+fn resolve_twice(sources: &[String], ddl: &[String]) -> (ModelGraph, ModelGraph) {
+    let files: Vec<SourceFile> = sources
+        .iter()
+        .enumerate()
+        .map(|(i, src)| SourceFile {
+            path: format!("app/models/f{i}.rb"),
+            analysis: analyze_source(src, &ParseOptions::default()),
+        })
+        .collect();
+    (
+        ModelGraph::resolve("fuzz", &files, ddl),
+        ModelGraph::resolve("fuzz", &files, ddl),
+    )
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
@@ -47,6 +67,72 @@ proptest! {
         prop_assert_eq!(a.validation_count(), b.validation_count());
         prop_assert_eq!(a.association_count(), b.association_count());
         prop_assert_eq!(a.transactions, b.transactions);
+    }
+
+    /// The model-graph resolver is total: arbitrary text as both source
+    /// and DDL never panics, and resolution is deterministic.
+    #[test]
+    fn resolver_never_panics_on_arbitrary_input(
+        sources in proptest::collection::vec(".{0,200}", 0..4),
+        ddl in proptest::collection::vec(".{0,120}", 0..4),
+    ) {
+        let (a, b) = resolve_twice(&sources, &ddl);
+        prop_assert_eq!(a.models.len(), b.models.len());
+        prop_assert_eq!(a.validation_count(), b.validation_count());
+        prop_assert_eq!(a.association_count(), b.association_count());
+        prop_assert_eq!(a.schema.unparsed, b.schema.unparsed);
+    }
+
+    /// Ruby-shaped soup plus SQL-shaped soup: the resolver stays total,
+    /// every edge points at a table/column pair, and resolved targets
+    /// index into the model list.
+    #[test]
+    fn resolver_never_panics_on_shaped_soup(
+        lines in proptest::collection::vec(
+            prop_oneof![
+                Just("class Foo < ActiveRecord::Base".to_string()),
+                Just("end".to_string()),
+                Just("  belongs_to :foo".to_string()),
+                Just("  belongs_to :bar".to_string()),
+                Just("  has_many :foos, dependent: :destroy".to_string()),
+                Just("  has_many :bars, through: :foos".to_string()),
+                Just("  has_and_belongs_to_many :foos".to_string()),
+                Just("  validates :name, uniqueness: true".to_string()),
+                Just("  validates :x,".to_string()), // dangling continuation
+                Just("  lock_version".to_string()),
+                "[ -~]{0,30}".prop_map(|s| format!("  {s}")),
+            ],
+            0..25,
+        ),
+        ddl in proptest::collection::vec(
+            prop_oneof![
+                Just("CREATE TABLE foos (name TEXT)".to_string()),
+                Just("CREATE TABLE foos (bar_id INT REFERENCES bars (id))".to_string()),
+                Just("CREATE UNIQUE INDEX i ON foos (name)".to_string()),
+                Just("CREATE UNIQUE INDEX".to_string()), // truncated
+                Just("CREATE TABLE".to_string()),        // truncated
+                "[ -~]{0,40}".prop_map(|s| s),
+            ],
+            0..6,
+        ),
+    ) {
+        let (graph, again) = resolve_twice(&[lines.join("\n")], &ddl);
+        prop_assert_eq!(graph.models.len(), again.models.len());
+        for model in &graph.models {
+            for edge in &model.associations {
+                prop_assert!(!edge.fk_table.is_empty());
+                prop_assert!(!edge.fk_column.is_empty());
+                if let Some(t) = edge.target {
+                    prop_assert!(t < graph.models.len());
+                }
+            }
+        }
+        // schema queries are total too, whatever landed in the schema
+        for model in &graph.models {
+            let _ = graph.schema.has_unique_index(&model.table, "name");
+            let _ = graph.schema.has_foreign_key(&model.table, "bar_id");
+            let _ = graph.schema.has_column(&model.table, "lock_version");
+        }
     }
 }
 

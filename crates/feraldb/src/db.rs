@@ -38,7 +38,10 @@ impl IsolationLevel {
 
     /// Whether a write to a row version newer than the snapshot aborts.
     pub fn first_updater_wins(self) -> bool {
-        matches!(self, IsolationLevel::Snapshot | IsolationLevel::Serializable)
+        matches!(
+            self,
+            IsolationLevel::Snapshot | IsolationLevel::Serializable
+        )
     }
 
     /// Parse from the SQL-ish names used by config files and CLI flags.
@@ -335,12 +338,11 @@ impl Database {
                     .get(&table)
                     .ok_or_else(|| DbError::NoSuchTable(table.clone()))?;
                 let entry = cat.table(tid);
-                let (old, _, _) = entry
-                    .heap
-                    .latest(row as usize)
-                    .ok_or(DbError::NoSuchRow)?;
+                let (old, _, _) = entry.heap.latest(row as usize).ok_or(DbError::NoSuchRow)?;
                 let tuple = Arc::new(tuple);
-                entry.heap.install_update(row as usize, commit_ts, tuple.clone());
+                entry
+                    .heap
+                    .install_update(row as usize, commit_ts, tuple.clone());
                 for &iid in &entry.indexes {
                     let idx = cat.index(iid);
                     let ok = idx.key_of(&old);
@@ -357,10 +359,7 @@ impl Database {
                     .get(&table)
                     .ok_or_else(|| DbError::NoSuchTable(table.clone()))?;
                 let entry = cat.table(tid);
-                let (old, _, _) = entry
-                    .heap
-                    .latest(row as usize)
-                    .ok_or(DbError::NoSuchRow)?;
+                let (old, _, _) = entry.heap.latest(row as usize).ok_or(DbError::NoSuchRow)?;
                 entry.heap.install_delete(row as usize, commit_ts);
                 for &iid in &entry.indexes {
                     let idx = cat.index(iid);
@@ -449,12 +448,7 @@ impl Database {
 
     /// Create an index on `table_name(cols...)`, optionally unique, with a
     /// Rails-style generated name `index_<table>_on_<c1>_and_<c2>`.
-    pub fn create_index(
-        &self,
-        table_name: &str,
-        cols: &[&str],
-        unique: bool,
-    ) -> DbResult<IndexId> {
+    pub fn create_index(&self, table_name: &str, cols: &[&str], unique: bool) -> DbResult<IndexId> {
         let name = format!("index_{}_on_{}", table_name, cols.join("_and_"));
         let table = self.table_id(table_name)?;
         self.create_index_named(&name, table, cols, unique)
@@ -599,10 +593,7 @@ impl Database {
 
     /// Run `f` inside a transaction at the default isolation, committing on
     /// `Ok` and rolling back on `Err`.
-    pub fn transaction<T>(
-        &self,
-        f: impl FnOnce(&mut Transaction) -> DbResult<T>,
-    ) -> DbResult<T> {
+    pub fn transaction<T>(&self, f: impl FnOnce(&mut Transaction) -> DbResult<T>) -> DbResult<T> {
         self.transaction_with(self.inner.config.default_isolation, f)
     }
 

@@ -82,13 +82,19 @@ impl fmt::Display for DbError {
                 column,
                 expected,
                 got,
-            } => write!(f, "type mismatch on {column:?}: expected {expected}, got {got}"),
+            } => write!(
+                f,
+                "type mismatch on {column:?}: expected {expected}, got {got}"
+            ),
             DbError::NullViolation(c) => write!(f, "null value in NOT NULL column {c:?}"),
             DbError::UniqueViolation { index, key } => {
                 write!(f, "duplicate key {key} violates unique index {index:?}")
             }
             DbError::ForeignKeyViolation { constraint, detail } => {
-                write!(f, "foreign key constraint {constraint:?} violated: {detail}")
+                write!(
+                    f,
+                    "foreign key constraint {constraint:?} violated: {detail}"
+                )
             }
             DbError::LockTimeout { lock } => {
                 write!(f, "lock timeout waiting for {lock} (deadlock resolution)")

@@ -67,5 +67,5 @@ pub use predicate::{CmpOp, Predicate};
 pub use schema::{ColumnDef, ForeignKey, IndexDef, OnDelete, TableId, TableSchema};
 pub use stats::{Stats, StatsSnapshot};
 pub use txn::{RowRef, Savepoint, Transaction};
-pub use wal::{WalRecord, WalWrite};
 pub use value::{DataType, Datum, Tuple};
+pub use wal::{WalRecord, WalWrite};

@@ -64,7 +64,10 @@ struct LockState {
 
 impl LockState {
     fn mode_of(&self, txn: TxnId) -> Option<LockMode> {
-        self.holders.iter().find(|(t, _)| *t == txn).map(|(_, m)| *m)
+        self.holders
+            .iter()
+            .find(|(t, _)| *t == txn)
+            .map(|(_, m)| *m)
     }
 
     fn compatible(&self, txn: TxnId, want: LockMode) -> bool {
@@ -145,9 +148,7 @@ impl LockManager {
                 let outcome = feral_hooks::wait(feral_hooks::WaitKind::Lock);
                 state = cell.state.lock();
                 state.waiters -= 1;
-                if outcome == feral_hooks::WaitOutcome::TimedOut
-                    && !state.compatible(txn, mode)
-                {
+                if outcome == feral_hooks::WaitOutcome::TimedOut && !state.compatible(txn, mode) {
                     return Err(DbError::LockTimeout {
                         lock: key.to_string(),
                     });
@@ -159,10 +160,7 @@ impl LockManager {
         let deadline = Instant::now() + self.timeout;
         while !state.compatible(txn, mode) {
             state.waiters += 1;
-            let timed_out = cell
-                .cv
-                .wait_until(&mut state, deadline)
-                .timed_out();
+            let timed_out = cell.cv.wait_until(&mut state, deadline).timed_out();
             state.waiters -= 1;
             if timed_out && !state.compatible(txn, mode) {
                 return Err(DbError::LockTimeout {

@@ -274,19 +274,12 @@ mod tests {
     #[test]
     fn and_or_three_valued_logic() {
         // FALSE AND UNKNOWN = FALSE (matches() false), TRUE OR UNKNOWN = TRUE
-        let false_and_unknown =
-            Predicate::eq(0, 1i64).and(Predicate::eq(1, 9i64));
+        let false_and_unknown = Predicate::eq(0, 1i64).and(Predicate::eq(1, 9i64));
         assert!(!false_and_unknown.matches(&row(vec![Datum::Int(2), Datum::Null])));
-        let true_or_unknown = Predicate::Or(vec![
-            Predicate::eq(0, 2i64),
-            Predicate::eq(1, 9i64),
-        ]);
+        let true_or_unknown = Predicate::Or(vec![Predicate::eq(0, 2i64), Predicate::eq(1, 9i64)]);
         assert!(true_or_unknown.matches(&row(vec![Datum::Int(2), Datum::Null])));
         // UNKNOWN OR FALSE does not match
-        let unknown_or_false = Predicate::Or(vec![
-            Predicate::eq(1, 9i64),
-            Predicate::eq(0, 99i64),
-        ]);
+        let unknown_or_false = Predicate::Or(vec![Predicate::eq(1, 9i64), Predicate::eq(0, 99i64)]);
         assert!(!unknown_or_false.matches(&row(vec![Datum::Int(2), Datum::Null])));
     }
 

@@ -100,7 +100,9 @@ impl StatsSnapshot {
             serialization_failures: self
                 .serialization_failures
                 .saturating_sub(earlier.serialization_failures),
-            unique_violations: self.unique_violations.saturating_sub(earlier.unique_violations),
+            unique_violations: self
+                .unique_violations
+                .saturating_sub(earlier.unique_violations),
             fk_violations: self.fk_violations.saturating_sub(earlier.fk_violations),
             inserts: self.inserts.saturating_sub(earlier.inserts),
             updates: self.updates.saturating_sub(earlier.updates),

@@ -26,9 +26,19 @@ pub enum RowRef {
 
 #[derive(Debug, Clone)]
 enum PendingOp {
-    Insert { local: u64, tuple: Arc<Tuple> },
-    Update { row: RowId, base: Arc<Tuple>, new: Arc<Tuple> },
-    Delete { row: RowId, base: Arc<Tuple> },
+    Insert {
+        local: u64,
+        tuple: Arc<Tuple>,
+    },
+    Update {
+        row: RowId,
+        base: Arc<Tuple>,
+        new: Arc<Tuple>,
+    },
+    Delete {
+        row: RowId,
+        base: Arc<Tuple>,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -94,12 +104,7 @@ pub struct Transaction {
 }
 
 impl Transaction {
-    pub(crate) fn new(
-        db: Database,
-        id: TxnId,
-        isolation: IsolationLevel,
-        snapshot: u64,
-    ) -> Self {
+    pub(crate) fn new(db: Database, id: TxnId, isolation: IsolationLevel, snapshot: u64) -> Self {
         Transaction {
             db,
             id,
@@ -203,11 +208,7 @@ impl Transaction {
 
     /// Scan `table` for rows matching `pred` (visible at this statement's
     /// snapshot, overlaid with the transaction's own writes).
-    pub fn scan(
-        &mut self,
-        table: &str,
-        pred: &Predicate,
-    ) -> DbResult<Vec<(RowRef, Arc<Tuple>)>> {
+    pub fn scan(&mut self, table: &str, pred: &Predicate) -> DbResult<Vec<(RowRef, Arc<Tuple>)>> {
         feral_hooks::yield_point(feral_hooks::Site::TxnScan);
         self.ensure_open()?;
         let (tid, entry) = self.resolve(table)?;
@@ -549,9 +550,7 @@ impl Transaction {
         parent_id.encode_key(&mut key);
         for row in idx.rows_for(&key) {
             if let Some(&i) = self.write_by_row.get(&(fk.parent_table, row)) {
-                if !self.writes[i].dead
-                    && matches!(self.writes[i].op, PendingOp::Delete { .. })
-                {
+                if !self.writes[i].dead && matches!(self.writes[i].op, PendingOp::Delete { .. }) {
                     continue; // we are deleting it
                 }
             }
@@ -567,11 +566,7 @@ impl Transaction {
     /// In-database FK child-side check for writing `tuple` into `table`:
     /// S-lock the referenced parent key (blocking concurrent parent
     /// deletes), then verify the parent exists.
-    fn check_foreign_keys_child(
-        &mut self,
-        tid: TableId,
-        tuple: &Tuple,
-    ) -> DbResult<()> {
+    fn check_foreign_keys_child(&mut self, tid: TableId, tuple: &Tuple) -> DbResult<()> {
         let fks = self.db.inner.catalog.read().fks_of_child(tid);
         for fk in fks {
             let parent_id = &tuple[fk.child_cols[0]];
@@ -635,11 +630,7 @@ impl Transaction {
 
     /// Parent-side FK enforcement on delete: X-lock the parent key to block
     /// concurrent child inserts, then RESTRICT / CASCADE / SET NULL.
-    fn check_foreign_keys_parent_delete(
-        &mut self,
-        tid: TableId,
-        tuple: &Tuple,
-    ) -> DbResult<()> {
+    fn check_foreign_keys_parent_delete(&mut self, tid: TableId, tuple: &Tuple) -> DbResult<()> {
         let fks = self.db.inner.catalog.read().fks_of_parent(tid);
         for fk in fks {
             let parent_id = tuple[0].clone();
@@ -655,10 +646,7 @@ impl Transaction {
                         Stats::bump(&self.db.inner.stats.fk_violations);
                         return Err(DbError::ForeignKeyViolation {
                             constraint: fk.name.clone(),
-                            detail: format!(
-                                "{} dependent row(s) in child table",
-                                children.len()
-                            ),
+                            detail: format!("{} dependent row(s) in child table", children.len()),
                         });
                     }
                 }
@@ -764,10 +752,7 @@ impl Transaction {
         let entry = self.entry(tid);
         match rref {
             RowRef::Own(local) => {
-                let &i = self
-                    .own_inserts
-                    .get(&local)
-                    .ok_or(DbError::NoSuchRow)?;
+                let &i = self.own_inserts.get(&local).ok_or(DbError::NoSuchRow)?;
                 let prev = match &self.writes[i].op {
                     PendingOp::Insert { tuple, .. } => tuple.clone(),
                     _ => return Err(DbError::Internal("own ref is not an insert".into())),
@@ -787,8 +772,7 @@ impl Transaction {
             }
             RowRef::Committed(row) => {
                 self.lock(LockKey::Row(tid, row), LockMode::Exclusive)?;
-                let (latest, live, begin) =
-                    entry.heap.latest(row).ok_or(DbError::NoSuchRow)?;
+                let (latest, live, begin) = entry.heap.latest(row).ok_or(DbError::NoSuchRow)?;
                 if !live {
                     return if self.isolation.first_updater_wins() {
                         Stats::bump(&self.db.inner.stats.write_conflicts);
@@ -806,32 +790,23 @@ impl Transaction {
                 }
                 // base image: our own pending new image if we already wrote
                 // this row, else the latest committed image
-                let (base, effective_prev) = match self
-                    .write_by_row
-                    .get(&(tid, row))
-                    .map(|&i| &self.writes[i])
-                {
-                    Some(Pending {
-                        op: PendingOp::Update { base, new, .. },
-                        dead: false,
-                        ..
-                    }) => (base.clone(), new.clone()),
-                    Some(Pending {
-                        op: PendingOp::Delete { .. },
-                        dead: false,
-                        ..
-                    }) => return Err(DbError::NoSuchRow),
-                    _ => (latest.clone(), latest.clone()),
-                };
+                let (base, effective_prev) =
+                    match self.write_by_row.get(&(tid, row)).map(|&i| &self.writes[i]) {
+                        Some(Pending {
+                            op: PendingOp::Update { base, new, .. },
+                            dead: false,
+                            ..
+                        }) => (base.clone(), new.clone()),
+                        Some(Pending {
+                            op: PendingOp::Delete { .. },
+                            dead: false,
+                            ..
+                        }) => return Err(DbError::NoSuchRow),
+                        _ => (latest.clone(), latest.clone()),
+                    };
                 new_tuple[0] = base[0].clone();
                 entry.schema.check_tuple(&new_tuple)?;
-                self.check_unique_indexes(
-                    tid,
-                    &entry,
-                    &new_tuple,
-                    Some(&effective_prev),
-                    rref,
-                )?;
+                self.check_unique_indexes(tid, &entry, &new_tuple, Some(&effective_prev), rref)?;
                 self.check_foreign_keys_child(tid, &new_tuple)?;
                 let pending = Pending {
                     table: tid,
@@ -875,8 +850,7 @@ impl Transaction {
                 if let Some(img) = self.read_ref(tid, rref) {
                     img
                 } else {
-                    let (latest, live, _) =
-                        entry.heap.latest(row).ok_or(DbError::NoSuchRow)?;
+                    let (latest, live, _) = entry.heap.latest(row).ok_or(DbError::NoSuchRow)?;
                     if !live {
                         return Err(DbError::NoSuchRow);
                     }
@@ -901,10 +875,7 @@ impl Transaction {
         let entry = self.entry(tid);
         match rref {
             RowRef::Own(local) => {
-                let &i = self
-                    .own_inserts
-                    .get(&local)
-                    .ok_or(DbError::NoSuchRow)?;
+                let &i = self.own_inserts.get(&local).ok_or(DbError::NoSuchRow)?;
                 let tuple = match &self.writes[i].op {
                     PendingOp::Insert { tuple, .. } => tuple.clone(),
                     _ => return Err(DbError::Internal("own ref is not an insert".into())),
@@ -916,8 +887,7 @@ impl Transaction {
             }
             RowRef::Committed(row) => {
                 self.lock(LockKey::Row(tid, row), LockMode::Exclusive)?;
-                let (latest, live, begin) =
-                    entry.heap.latest(row).ok_or(DbError::NoSuchRow)?;
+                let (latest, live, begin) = entry.heap.latest(row).ok_or(DbError::NoSuchRow)?;
                 if !live {
                     return if self.isolation.first_updater_wins() {
                         Stats::bump(&self.db.inner.stats.write_conflicts);
@@ -933,11 +903,7 @@ impl Transaction {
                     Stats::bump(&self.db.inner.stats.write_conflicts);
                     return Err(DbError::WriteConflict);
                 }
-                let base = match self
-                    .write_by_row
-                    .get(&(tid, row))
-                    .map(|&i| &self.writes[i])
-                {
+                let base = match self.write_by_row.get(&(tid, row)).map(|&i| &self.writes[i]) {
                     Some(Pending {
                         op: PendingOp::Update { base, .. },
                         dead: false,
@@ -1018,8 +984,7 @@ impl Transaction {
                             let hit = |img: &Option<Arc<Tuple>>| {
                                 img.as_ref().is_some_and(|t| {
                                     pairs.iter().all(|(c, v)| {
-                                        t.get(*c)
-                                            .is_some_and(|d| d.sql_eq(v) == Some(true))
+                                        t.get(*c).is_some_and(|d| d.sql_eq(v) == Some(true))
                                     })
                                 })
                             };

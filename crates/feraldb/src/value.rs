@@ -354,9 +354,18 @@ mod tests {
 
     #[test]
     fn mixed_numeric_comparison() {
-        assert_eq!(Datum::Int(2).sql_cmp(&Datum::Float(2.0)), Some(Ordering::Equal));
-        assert_eq!(Datum::Int(2).sql_cmp(&Datum::Float(2.5)), Some(Ordering::Less));
-        assert_eq!(Datum::Float(3.0).sql_cmp(&Datum::Int(2)), Some(Ordering::Greater));
+        assert_eq!(
+            Datum::Int(2).sql_cmp(&Datum::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Datum::Int(2).sql_cmp(&Datum::Float(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Datum::Float(3.0).sql_cmp(&Datum::Int(2)),
+            Some(Ordering::Greater)
+        );
     }
 
     #[test]
@@ -406,7 +415,15 @@ mod tests {
 
     #[test]
     fn float_total_order_handles_negatives_and_nan() {
-        let vals = [f64::NEG_INFINITY, -1.5, -0.0, 0.0, 2.25, f64::INFINITY, f64::NAN];
+        let vals = [
+            f64::NEG_INFINITY,
+            -1.5,
+            -0.0,
+            0.0,
+            2.25,
+            f64::INFINITY,
+            f64::NAN,
+        ];
         let mut ds: Vec<Datum> = vals.iter().map(|v| Datum::Float(*v)).collect();
         ds.sort();
         // NaN sorts last under total_cmp

@@ -367,9 +367,7 @@ impl WalRecord {
                             table: r.string()?,
                             row: r.u64()?,
                         },
-                        t => {
-                            return Err(DbError::Internal(format!("unknown write tag {t}")))
-                        }
+                        t => return Err(DbError::Internal(format!("unknown write tag {t}"))),
                     };
                     writes.push(w);
                 }
@@ -444,8 +442,7 @@ pub fn read_log(path: &Path) -> DbResult<(Vec<WalRecord>, u64)> {
             break; // torn tail
         }
         let payload = &bytes[payload_start..checksum_start];
-        let checksum =
-            u64::from_le_bytes(bytes[checksum_start..next].try_into().unwrap());
+        let checksum = u64::from_le_bytes(bytes[checksum_start..next].try_into().unwrap());
         if fnv1a(payload) != checksum {
             break; // corrupt tail
         }

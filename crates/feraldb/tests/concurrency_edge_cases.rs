@@ -3,8 +3,7 @@
 //! index maintenance across interleaved commits.
 
 use feral_db::{
-    ColumnDef, Config, DataType, Database, Datum, DbError, IsolationLevel, Predicate,
-    TableSchema,
+    ColumnDef, Config, DataType, Database, Datum, DbError, IsolationLevel, Predicate, TableSchema,
 };
 use std::sync::{Arc, Barrier};
 use std::thread;
@@ -32,7 +31,10 @@ fn seed(db: &Database, n: i64) -> Vec<i64> {
     let mut ids = Vec::new();
     for i in 0..n {
         let r = tx
-            .insert_pairs("kv", &[("k", Datum::text(format!("k{i}"))), ("v", Datum::Int(0))])
+            .insert_pairs(
+                "kv",
+                &[("k", Datum::text(format!("k{i}"))), ("v", Datum::Int(0))],
+            )
             .unwrap();
         ids.push(
             tx.read_ref(db.table_id("kv").unwrap(), r).unwrap()[0]
@@ -164,7 +166,10 @@ fn vacuum_is_safe_under_concurrent_readers_and_writers() {
     for h in handles {
         h.join().unwrap();
     }
-    assert!(reclaimed_total > 0, "vacuum should reclaim superseded versions");
+    assert!(
+        reclaimed_total > 0,
+        "vacuum should reclaim superseded versions"
+    );
     assert_eq!(db.count_rows("kv").unwrap(), 4);
 }
 
@@ -225,8 +230,11 @@ fn committed_history_is_pruned() {
     // run many committed writers with no long-lived snapshots
     for i in 0..500 {
         let mut tx = db.begin();
-        tx.insert_pairs("kv", &[("k", Datum::text(format!("x{i}"))), ("v", Datum::Int(i))])
-            .unwrap();
+        tx.insert_pairs(
+            "kv",
+            &[("k", Datum::text(format!("x{i}"))), ("v", Datum::Int(i))],
+        )
+        .unwrap();
         tx.commit().unwrap();
     }
     // a serializable txn still validates correctly afterwards

@@ -3,8 +3,8 @@
 //! eliminate feral anomalies entirely (§5.2, §5.4).
 
 use feral_db::{
-    ColumnDef, Config, DataType, Database, Datum, DbError, IsolationLevel, OnDelete,
-    Predicate, TableSchema,
+    ColumnDef, Config, DataType, Database, Datum, DbError, IsolationLevel, OnDelete, Predicate,
+    TableSchema,
 };
 use std::sync::{Arc, Barrier};
 use std::thread;
@@ -19,14 +19,18 @@ fn fresh_db() -> Database {
 }
 
 fn users_departments(db: &Database, fk: Option<OnDelete>) {
-    db.create_table(TableSchema::new("departments", vec![
-        ColumnDef::new("name", DataType::Text),
-    ]))
+    db.create_table(TableSchema::new(
+        "departments",
+        vec![ColumnDef::new("name", DataType::Text)],
+    ))
     .unwrap();
-    db.create_table(TableSchema::new("users", vec![
-        ColumnDef::new("department_id", DataType::Int),
-        ColumnDef::new("name", DataType::Text),
-    ]))
+    db.create_table(TableSchema::new(
+        "users",
+        vec![
+            ColumnDef::new("department_id", DataType::Int),
+            ColumnDef::new("name", DataType::Text),
+        ],
+    ))
     .unwrap();
     if let Some(mode) = fk {
         db.add_foreign_key("users", "department_id", "departments", mode)
@@ -36,22 +40,30 @@ fn users_departments(db: &Database, fk: Option<OnDelete>) {
 
 fn insert_department(db: &Database, id: i64) {
     let mut tx = db.begin();
-    tx.insert("departments", vec![Datum::Int(id), Datum::text(format!("d{id}"))])
-        .unwrap();
+    tx.insert(
+        "departments",
+        vec![Datum::Int(id), Datum::text(format!("d{id}"))],
+    )
+    .unwrap();
     tx.commit().unwrap();
 }
 
 #[test]
 fn unique_index_rejects_duplicates_sequentially() {
     let db = fresh_db();
-    db.create_table(TableSchema::new("t", vec![ColumnDef::new("k", DataType::Text)]))
-        .unwrap();
+    db.create_table(TableSchema::new(
+        "t",
+        vec![ColumnDef::new("k", DataType::Text)],
+    ))
+    .unwrap();
     db.create_index("t", &["k"], true).unwrap();
     let mut tx = db.begin();
     tx.insert_pairs("t", &[("k", Datum::text("a"))]).unwrap();
     tx.commit().unwrap();
     let mut tx = db.begin();
-    let err = tx.insert_pairs("t", &[("k", Datum::text("a"))]).unwrap_err();
+    let err = tx
+        .insert_pairs("t", &[("k", Datum::text("a"))])
+        .unwrap_err();
     assert!(matches!(err, DbError::UniqueViolation { .. }));
     tx.rollback();
     // a different key is fine
@@ -64,8 +76,11 @@ fn unique_index_rejects_duplicates_sequentially() {
 #[test]
 fn unique_index_admits_multiple_nulls() {
     let db = fresh_db();
-    db.create_table(TableSchema::new("t", vec![ColumnDef::new("k", DataType::Text)]))
-        .unwrap();
+    db.create_table(TableSchema::new(
+        "t",
+        vec![ColumnDef::new("k", DataType::Text)],
+    ))
+    .unwrap();
     db.create_index("t", &["k"], true).unwrap();
     for _ in 0..3 {
         let mut tx = db.begin();
@@ -78,20 +93,28 @@ fn unique_index_admits_multiple_nulls() {
 #[test]
 fn unique_index_checks_within_own_transaction() {
     let db = fresh_db();
-    db.create_table(TableSchema::new("t", vec![ColumnDef::new("k", DataType::Text)]))
-        .unwrap();
+    db.create_table(TableSchema::new(
+        "t",
+        vec![ColumnDef::new("k", DataType::Text)],
+    ))
+    .unwrap();
     db.create_index("t", &["k"], true).unwrap();
     let mut tx = db.begin();
     tx.insert_pairs("t", &[("k", Datum::text("a"))]).unwrap();
-    let err = tx.insert_pairs("t", &[("k", Datum::text("a"))]).unwrap_err();
+    let err = tx
+        .insert_pairs("t", &[("k", Datum::text("a"))])
+        .unwrap_err();
     assert!(matches!(err, DbError::UniqueViolation { .. }));
 }
 
 #[test]
 fn unique_index_allows_reuse_after_delete_in_same_transaction() {
     let db = fresh_db();
-    db.create_table(TableSchema::new("t", vec![ColumnDef::new("k", DataType::Text)]))
-        .unwrap();
+    db.create_table(TableSchema::new(
+        "t",
+        vec![ColumnDef::new("k", DataType::Text)],
+    ))
+    .unwrap();
     db.create_index("t", &["k"], true).unwrap();
     let mut tx = db.begin();
     tx.insert_pairs("t", &[("k", Datum::text("a"))]).unwrap();
@@ -107,8 +130,11 @@ fn unique_index_allows_reuse_after_delete_in_same_transaction() {
 #[test]
 fn unique_update_can_change_key_and_back() {
     let db = fresh_db();
-    db.create_table(TableSchema::new("t", vec![ColumnDef::new("k", DataType::Text)]))
-        .unwrap();
+    db.create_table(TableSchema::new(
+        "t",
+        vec![ColumnDef::new("k", DataType::Text)],
+    ))
+    .unwrap();
     db.create_index("t", &["k"], true).unwrap();
     let mut tx = db.begin();
     let r = tx.insert_pairs("t", &[("k", Datum::text("a"))]).unwrap();
@@ -141,8 +167,11 @@ fn unique_index_is_race_free_under_heavy_concurrency() {
     // Exactly one insert per round may survive — the in-database guarantee
     // that eliminates the paper's Figure 2 anomalies.
     let db = fresh_db();
-    db.create_table(TableSchema::new("t", vec![ColumnDef::new("k", DataType::Text)]))
-        .unwrap();
+    db.create_table(TableSchema::new(
+        "t",
+        vec![ColumnDef::new("k", DataType::Text)],
+    ))
+    .unwrap();
     db.create_index("t", &["k"], true).unwrap();
     let threads = 16;
     let rounds = 50;
@@ -202,14 +231,20 @@ fn fk_insert_requires_parent() {
     users_departments(&db, Some(OnDelete::Restrict));
     let mut tx = db.begin();
     let err = tx
-        .insert_pairs("users", &[("department_id", Datum::Int(1)), ("name", Datum::text("u"))])
+        .insert_pairs(
+            "users",
+            &[("department_id", Datum::Int(1)), ("name", Datum::text("u"))],
+        )
         .unwrap_err();
     assert!(matches!(err, DbError::ForeignKeyViolation { .. }));
     tx.rollback();
     insert_department(&db, 1);
     let mut tx = db.begin();
-    tx.insert_pairs("users", &[("department_id", Datum::Int(1)), ("name", Datum::text("u"))])
-        .unwrap();
+    tx.insert_pairs(
+        "users",
+        &[("department_id", Datum::Int(1)), ("name", Datum::text("u"))],
+    )
+    .unwrap();
     tx.commit().unwrap();
 }
 
@@ -218,8 +253,11 @@ fn fk_null_reference_is_allowed() {
     let db = fresh_db();
     users_departments(&db, Some(OnDelete::Restrict));
     let mut tx = db.begin();
-    tx.insert_pairs("users", &[("department_id", Datum::Null), ("name", Datum::text("u"))])
-        .unwrap();
+    tx.insert_pairs(
+        "users",
+        &[("department_id", Datum::Null), ("name", Datum::text("u"))],
+    )
+    .unwrap();
     tx.commit().unwrap();
 }
 
@@ -230,8 +268,11 @@ fn fk_parent_and_child_in_same_transaction() {
     let mut tx = db.begin();
     tx.insert("departments", vec![Datum::Int(5), Datum::text("d5")])
         .unwrap();
-    tx.insert_pairs("users", &[("department_id", Datum::Int(5)), ("name", Datum::text("u"))])
-        .unwrap();
+    tx.insert_pairs(
+        "users",
+        &[("department_id", Datum::Int(5)), ("name", Datum::text("u"))],
+    )
+    .unwrap();
     tx.commit().unwrap();
     assert_eq!(db.count_rows("users").unwrap(), 1);
 }
@@ -242,8 +283,11 @@ fn fk_restrict_blocks_parent_delete() {
     users_departments(&db, Some(OnDelete::Restrict));
     insert_department(&db, 1);
     let mut tx = db.begin();
-    tx.insert_pairs("users", &[("department_id", Datum::Int(1)), ("name", Datum::text("u"))])
-        .unwrap();
+    tx.insert_pairs(
+        "users",
+        &[("department_id", Datum::Int(1)), ("name", Datum::text("u"))],
+    )
+    .unwrap();
     tx.commit().unwrap();
     let mut tx = db.begin();
     let rows = tx.scan("departments", &Predicate::eq(0, 1i64)).unwrap();
@@ -260,7 +304,10 @@ fn fk_cascade_deletes_children() {
         let mut tx = db.begin();
         tx.insert_pairs(
             "users",
-            &[("department_id", Datum::Int(1)), ("name", Datum::text(format!("u{i}")))],
+            &[
+                ("department_id", Datum::Int(1)),
+                ("name", Datum::text(format!("u{i}"))),
+            ],
         )
         .unwrap();
         tx.commit().unwrap();
@@ -279,8 +326,11 @@ fn fk_set_null_orphans_become_null_references() {
     users_departments(&db, Some(OnDelete::SetNull));
     insert_department(&db, 1);
     let mut tx = db.begin();
-    tx.insert_pairs("users", &[("department_id", Datum::Int(1)), ("name", Datum::text("u"))])
-        .unwrap();
+    tx.insert_pairs(
+        "users",
+        &[("department_id", Datum::Int(1)), ("name", Datum::text("u"))],
+    )
+    .unwrap();
     tx.commit().unwrap();
     let mut tx = db.begin();
     let rows = tx.scan("departments", &Predicate::eq(0, 1i64)).unwrap();
@@ -318,7 +368,10 @@ fn fk_is_race_free_under_concurrent_insert_and_cascade_delete() {
                 let mut tx = db.begin();
                 match tx.insert_pairs(
                     "users",
-                    &[("department_id", Datum::Int(d)), ("name", Datum::text(format!("u{w}")))],
+                    &[
+                        ("department_id", Datum::Int(d)),
+                        ("name", Datum::text(format!("u{w}"))),
+                    ],
                 ) {
                     Ok(_) => {
                         let _ = tx.commit();
@@ -393,8 +446,11 @@ fn fk_is_race_free_under_concurrent_insert_and_cascade_delete() {
 #[test]
 fn index_backfill_on_existing_data_and_unique_failure() {
     let db = fresh_db();
-    db.create_table(TableSchema::new("t", vec![ColumnDef::new("k", DataType::Text)]))
-        .unwrap();
+    db.create_table(TableSchema::new(
+        "t",
+        vec![ColumnDef::new("k", DataType::Text)],
+    ))
+    .unwrap();
     for k in ["a", "b", "a"] {
         let mut tx = db.begin();
         tx.insert_pairs("t", &[("k", Datum::text(k))]).unwrap();

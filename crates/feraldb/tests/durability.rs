@@ -38,10 +38,16 @@ fn data_survives_reopen() {
         let db = Database::open(config(&path)).unwrap();
         db.create_table(users_schema()).unwrap();
         let mut tx = db.begin();
-        tx.insert_pairs("users", &[("name", Datum::text("peter")), ("score", Datum::Int(7))])
-            .unwrap();
-        tx.insert_pairs("users", &[("name", Datum::text("alan")), ("score", Datum::Int(9))])
-            .unwrap();
+        tx.insert_pairs(
+            "users",
+            &[("name", Datum::text("peter")), ("score", Datum::Int(7))],
+        )
+        .unwrap();
+        tx.insert_pairs(
+            "users",
+            &[("name", Datum::text("alan")), ("score", Datum::Int(9))],
+        )
+        .unwrap();
         tx.commit().unwrap();
     }
     let db = Database::open(config(&path)).unwrap();
@@ -61,13 +67,19 @@ fn updates_deletes_and_id_sequence_survive() {
         db.create_table(users_schema()).unwrap();
         let mut tx = db.begin();
         let p = tx
-            .insert_pairs("users", &[("name", Datum::text("peter")), ("score", Datum::Int(1))])
+            .insert_pairs(
+                "users",
+                &[("name", Datum::text("peter")), ("score", Datum::Int(1))],
+            )
             .unwrap();
         peter_id = tx.read_ref(db.table_id("users").unwrap(), p).unwrap()[0]
             .as_int()
             .unwrap();
-        tx.insert_pairs("users", &[("name", Datum::text("doomed")), ("score", Datum::Int(0))])
-            .unwrap();
+        tx.insert_pairs(
+            "users",
+            &[("name", Datum::text("doomed")), ("score", Datum::Int(0))],
+        )
+        .unwrap();
         tx.commit().unwrap();
         // update peter, delete doomed
         let mut tx = db.begin();
@@ -86,12 +98,18 @@ fn updates_deletes_and_id_sequence_survive() {
     assert_eq!(all[0].1[2], Datum::Int(100));
     // id sequence resumes past recovered ids
     let r = tx
-        .insert_pairs("users", &[("name", Datum::text("new")), ("score", Datum::Int(0))])
+        .insert_pairs(
+            "users",
+            &[("name", Datum::text("new")), ("score", Datum::Int(0))],
+        )
         .unwrap();
     let new_id = tx.read_ref(db.table_id("users").unwrap(), r).unwrap()[0]
         .as_int()
         .unwrap();
-    assert!(new_id > peter_id, "id sequence must not reuse recovered ids");
+    assert!(
+        new_id > peter_id,
+        "id sequence must not reuse recovered ids"
+    );
     tx.commit().unwrap();
 }
 
@@ -110,15 +128,21 @@ fn constraints_survive_reopen() {
         db.add_foreign_key("posts", "user_id", "users", OnDelete::Cascade)
             .unwrap();
         let mut tx = db.begin();
-        tx.insert_pairs("users", &[("name", Datum::text("peter")), ("score", Datum::Int(0))])
-            .unwrap();
+        tx.insert_pairs(
+            "users",
+            &[("name", Datum::text("peter")), ("score", Datum::Int(0))],
+        )
+        .unwrap();
         tx.commit().unwrap();
     }
     let db = Database::open(config(&path)).unwrap();
     // unique index recovered and enforced
     let mut tx = db.begin();
     let err = tx
-        .insert_pairs("users", &[("name", Datum::text("peter")), ("score", Datum::Int(1))])
+        .insert_pairs(
+            "users",
+            &[("name", Datum::text("peter")), ("score", Datum::Int(1))],
+        )
         .unwrap_err();
     assert!(matches!(err, DbError::UniqueViolation { .. }));
     tx.rollback();
@@ -133,7 +157,8 @@ fn constraints_survive_reopen() {
     let mut tx = db.begin();
     let users = tx.scan("users", &Predicate::eq(1, "peter")).unwrap();
     let uid = users[0].1[0].as_int().unwrap();
-    tx.insert_pairs("posts", &[("user_id", Datum::Int(uid))]).unwrap();
+    tx.insert_pairs("posts", &[("user_id", Datum::Int(uid))])
+        .unwrap();
     tx.commit().unwrap();
     let mut tx = db.begin();
     let users = tx.scan("users", &Predicate::eq(1, "peter")).unwrap();
@@ -149,12 +174,18 @@ fn rolled_back_transactions_never_reach_the_log() {
         let db = Database::open(config(&path)).unwrap();
         db.create_table(users_schema()).unwrap();
         let mut tx = db.begin();
-        tx.insert_pairs("users", &[("name", Datum::text("ghost")), ("score", Datum::Int(0))])
-            .unwrap();
+        tx.insert_pairs(
+            "users",
+            &[("name", Datum::text("ghost")), ("score", Datum::Int(0))],
+        )
+        .unwrap();
         tx.rollback();
         let mut tx = db.begin();
-        tx.insert_pairs("users", &[("name", Datum::text("real")), ("score", Datum::Int(1))])
-            .unwrap();
+        tx.insert_pairs(
+            "users",
+            &[("name", Datum::text("real")), ("score", Datum::Int(1))],
+        )
+        .unwrap();
         tx.commit().unwrap();
     }
     let db = Database::open(config(&path)).unwrap();
@@ -174,7 +205,10 @@ fn torn_tail_loses_only_the_last_commit() {
             let mut tx = db.begin();
             tx.insert_pairs(
                 "users",
-                &[("name", Datum::text(format!("u{i}"))), ("score", Datum::Int(i))],
+                &[
+                    ("name", Datum::text(format!("u{i}"))),
+                    ("score", Datum::Int(i)),
+                ],
             )
             .unwrap();
             tx.commit().unwrap();
@@ -187,8 +221,14 @@ fn torn_tail_loses_only_the_last_commit() {
     assert_eq!(db.count_rows("users").unwrap(), 4);
     // and the database keeps working (new appends land after the tail)
     let mut tx = db.begin();
-    tx.insert_pairs("users", &[("name", Datum::text("post-crash")), ("score", Datum::Int(9))])
-        .unwrap();
+    tx.insert_pairs(
+        "users",
+        &[
+            ("name", Datum::text("post-crash")),
+            ("score", Datum::Int(9)),
+        ],
+    )
+    .unwrap();
     tx.commit().unwrap();
     drop(db);
     let db = Database::open(config(&path)).unwrap();
@@ -204,7 +244,10 @@ fn multi_version_history_collapses_to_latest_on_recovery() {
         db.create_table(users_schema()).unwrap();
         let mut tx = db.begin();
         let r = tx
-            .insert_pairs("users", &[("name", Datum::text("x")), ("score", Datum::Int(0))])
+            .insert_pairs(
+                "users",
+                &[("name", Datum::text("x")), ("score", Datum::Int(0))],
+            )
             .unwrap();
         id = tx.read_ref(db.table_id("users").unwrap(), r).unwrap()[0]
             .as_int()

@@ -69,10 +69,7 @@ impl Saver {
                     return;
                 }
                 let tx = self.tx.as_mut().expect("begun");
-                if tx
-                    .insert_pairs("t", &[("k", Datum::text("dup"))])
-                    .is_err()
-                {
+                if tx.insert_pairs("t", &[("k", Datum::text("dup"))]).is_err() {
                     self.aborted = true;
                     if let Some(mut tx) = self.tx.take() {
                         tx.rollback();

@@ -3,8 +3,7 @@
 //! serializable validation, and the PostgreSQL SSI bug compatibility mode).
 
 use feral_db::{
-    ColumnDef, Config, DataType, Database, Datum, DbError, IsolationLevel, Predicate,
-    TableSchema,
+    ColumnDef, Config, DataType, Database, Datum, DbError, IsolationLevel, Predicate, TableSchema,
 };
 use std::sync::Arc;
 use std::thread;
@@ -179,9 +178,7 @@ fn select_for_update_prevents_lost_update() {
         handles.push(thread::spawn(move || {
             b.wait();
             let mut tx = db.begin_with(IsolationLevel::ReadCommitted);
-            let rows = tx
-                .select_for_update("kv", &Predicate::eq(0, id))
-                .unwrap();
+            let rows = tx.select_for_update("kv", &Predicate::eq(0, id)).unwrap();
             let (r, t) = &rows[0];
             let mut n = (**t).clone();
             n[2] = Datum::Int(t[2].as_int().unwrap() - 1);

@@ -174,6 +174,33 @@ pub struct ColumnSpec {
     pub not_null: bool,
 }
 
+/// Referential action of a foreign key's `ON DELETE` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FkAction {
+    /// Reject the delete while children exist (the default).
+    #[default]
+    Restrict,
+    /// Delete the children too.
+    Cascade,
+    /// Null out the referencing column.
+    SetNull,
+}
+
+/// A foreign-key declaration in CREATE TABLE — either a column-level
+/// `REFERENCES parent(id)` or a table-level `FOREIGN KEY (col)
+/// REFERENCES parent(id)`, both normalized to this shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKeySpec {
+    /// Referencing column of the table under creation.
+    pub column: String,
+    /// Referenced (parent) table.
+    pub parent_table: String,
+    /// Referenced column (`id` when unwritten).
+    pub parent_column: String,
+    /// `ON DELETE` action.
+    pub on_delete: FkAction,
+}
+
 /// A parsed statement.
 #[derive(Debug, Clone, PartialEq)]
 #[allow(clippy::large_enum_variant)] // Select carries the full query shape
@@ -211,6 +238,9 @@ pub enum Statement {
         table: String,
         /// Columns.
         columns: Vec<ColumnSpec>,
+        /// Foreign keys (column-level `REFERENCES` and table-level
+        /// `FOREIGN KEY` clauses, normalized).
+        foreign_keys: Vec<ForeignKeySpec>,
     },
     /// `CREATE [UNIQUE] INDEX [name] ON t (cols)`.
     CreateIndex {

@@ -150,7 +150,11 @@ impl SqlSession {
                 }
                 None => Err(SqlError::Semantic("no transaction open".into())),
             },
-            Statement::CreateTable { table, columns } => {
+            Statement::CreateTable {
+                table,
+                columns,
+                foreign_keys,
+            } => {
                 let cols = columns
                     .into_iter()
                     .filter(|c| c.name != "id")
@@ -162,7 +166,22 @@ impl SqlSession {
                         d
                     })
                     .collect();
-                self.db.create_table(TableSchema::new(table, cols))?;
+                self.db.create_table(TableSchema::new(&table, cols))?;
+                for fk in foreign_keys {
+                    if fk.parent_column != "id" {
+                        return Err(SqlError::Semantic(format!(
+                            "foreign keys may only reference id, got {}({})",
+                            fk.parent_table, fk.parent_column
+                        )));
+                    }
+                    let mode = match fk.on_delete {
+                        FkAction::Restrict => feral_db::OnDelete::Restrict,
+                        FkAction::Cascade => feral_db::OnDelete::Cascade,
+                        FkAction::SetNull => feral_db::OnDelete::SetNull,
+                    };
+                    self.db
+                        .add_foreign_key(&table, &fk.column, &fk.parent_table, mode)?;
+                }
                 Ok(SqlOutput::Ddl)
             }
             Statement::CreateIndex {
@@ -218,11 +237,8 @@ fn exec_dml(tx: &mut Transaction, stmt: Statement) -> Result<SqlOutput, SqlError
         } => {
             let mut n = 0;
             for row in rows {
-                let pairs: Vec<(&str, Datum)> = columns
-                    .iter()
-                    .map(|c| c.as_str())
-                    .zip(row)
-                    .collect();
+                let pairs: Vec<(&str, Datum)> =
+                    columns.iter().map(|c| c.as_str()).zip(row).collect();
                 tx.insert_pairs(&table, &pairs)?;
                 n += 1;
             }
@@ -326,12 +342,7 @@ fn to_engine_pred(e: &Expr, env: &Env) -> Result<Predicate, SqlError> {
             negated,
         } => {
             let i = env.resolve(col)?;
-            let ors = Predicate::Or(
-                values
-                    .iter()
-                    .map(|v| Predicate::eq(i, v.clone()))
-                    .collect(),
-            );
+            let ors = Predicate::Or(values.iter().map(|v| Predicate::eq(i, v.clone())).collect());
             if *negated {
                 // NOT IN must also reject NULL (unknown)
                 Predicate::Not(Box::new(ors)).and(Predicate::IsNotNull(i))
@@ -347,12 +358,7 @@ fn to_engine_pred(e: &Expr, env: &Env) -> Result<Predicate, SqlError> {
 
 /// Evaluate an expression over a row (`count` supplies COUNT(*) in
 /// HAVING contexts). UNKNOWN evaluates to false.
-fn eval_expr(
-    e: &Expr,
-    env: &Env,
-    row: &[Datum],
-    count: Option<i64>,
-) -> Result<bool, SqlError> {
+fn eval_expr(e: &Expr, env: &Env, row: &[Datum], count: Option<i64>) -> Result<bool, SqlError> {
     Ok(match e {
         Expr::Cmp { col, op, value } => {
             let i = env.resolve(col)?;
@@ -371,9 +377,7 @@ fn eval_expr(
             negated,
         } => {
             let i = env.resolve(col)?;
-            let hit = values
-                .iter()
-                .any(|v| row[i].sql_eq(v) == Some(true));
+            let hit = values.iter().any(|v| row[i].sql_eq(v) == Some(true));
             // SQL three-valued: NULL IN (...) is unknown -> no match either way
             if row[i].is_null() {
                 false
@@ -387,17 +391,14 @@ fn eval_expr(
             row[ia].sql_eq(&row[ib]) == Some(true)
         }
         Expr::CountCmp { op, value } => {
-            let c = count.ok_or_else(|| {
-                SqlError::Semantic("COUNT(*) is only valid in HAVING".into())
-            })?;
+            let c = count
+                .ok_or_else(|| SqlError::Semantic("COUNT(*) is only valid in HAVING".into()))?;
             match Datum::Int(c).sql_cmp(value) {
                 Some(ord) => cmp_matches(*op, ord),
                 None => false,
             }
         }
-        Expr::And(a, b) => {
-            eval_expr(a, env, row, count)? && eval_expr(b, env, row, count)?
-        }
+        Expr::And(a, b) => eval_expr(a, env, row, count)? && eval_expr(b, env, row, count)?,
         Expr::Or(a, b) => eval_expr(a, env, row, count)? || eval_expr(b, env, row, count)?,
         Expr::Not(a) => !eval_expr(a, env, row, count)?,
     })
@@ -591,7 +592,7 @@ fn exec_select(tx: &mut Transaction, sel: Select) -> Result<SqlOutput, SqlError>
                     let i = env.resolve(c)?;
                     columns.push(format!("count({})", c.render()));
                     out.push(Datum::Int(
-                        rows.iter().filter(|r| !r[i].is_null()).count() as i64,
+                        rows.iter().filter(|r| !r[i].is_null()).count() as i64
                     ));
                 }
                 SelectItem::Agg(f, c) => {
@@ -677,7 +678,6 @@ fn exec_select(tx: &mut Transaction, sel: Select) -> Result<SqlOutput, SqlError>
         rows: out_rows,
     })
 }
-
 
 /// Compute an aggregate over non-NULL datums (SQL semantics: NULLs are
 /// skipped; an empty input yields NULL).

@@ -119,22 +119,20 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                 out.push(Token::Ne);
                 i += 2;
             }
-            '<' => {
-                match bytes.get(i + 1) {
-                    Some('>') => {
-                        out.push(Token::Ne);
-                        i += 2;
-                    }
-                    Some('=') => {
-                        out.push(Token::Le);
-                        i += 2;
-                    }
-                    _ => {
-                        out.push(Token::Lt);
-                        i += 1;
-                    }
+            '<' => match bytes.get(i + 1) {
+                Some('>') => {
+                    out.push(Token::Ne);
+                    i += 2;
                 }
-            }
+                Some('=') => {
+                    out.push(Token::Le);
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            },
             '>' => {
                 if bytes.get(i + 1) == Some(&'=') {
                     out.push(Token::Ge);

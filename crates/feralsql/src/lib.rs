@@ -32,6 +32,9 @@ pub mod exec;
 pub mod lexer;
 pub mod parser;
 
-pub use ast::{ColRef, Expr, Order, Select, SelectItem, Statement, TableRef};
+pub use ast::{
+    ColRef, ColumnSpec, Expr, FkAction, ForeignKeySpec, Order, Select, SelectItem, Statement,
+    TableRef,
+};
 pub use exec::{SqlError, SqlOutput, SqlSession};
 pub use parser::{parse, ParseError};

@@ -262,9 +262,7 @@ impl Parser {
         } else {
             match self.peek() {
                 // bare alias: `users U` (but not a keyword)
-                Some(Token::Ident(s))
-                    if !KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k)) =>
-                {
+                Some(Token::Ident(s)) if !KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k)) => {
                     Some(self.ident()?)
                 }
                 _ => None,
@@ -385,6 +383,43 @@ impl Parser {
             order_by,
             limit,
             for_update,
+        })
+    }
+
+    /// `REFERENCES parent [(col)] [ON DELETE CASCADE|SET NULL|RESTRICT|NO
+    /// ACTION]`, normalized onto `column`.
+    fn references_clause(&mut self, column: String) -> Result<ForeignKeySpec, ParseError> {
+        self.expect_kw("REFERENCES")?;
+        let parent_table = self.ident()?;
+        let parent_column = if self.eat_tok(&Token::LParen) {
+            let c = self.ident()?;
+            self.expect_tok(&Token::RParen)?;
+            c
+        } else {
+            "id".to_string()
+        };
+        let mut on_delete = FkAction::Restrict;
+        if self.eat_kw("ON") {
+            self.expect_kw("DELETE")?;
+            on_delete = if self.eat_kw("CASCADE") {
+                FkAction::Cascade
+            } else if self.eat_kw("SET") {
+                self.expect_kw("NULL")?;
+                FkAction::SetNull
+            } else if self.eat_kw("RESTRICT") {
+                FkAction::Restrict
+            } else if self.eat_kw("NO") {
+                self.expect_kw("ACTION")?;
+                FkAction::Restrict
+            } else {
+                return self.err("expected CASCADE, SET NULL, RESTRICT, or NO ACTION");
+            };
+        }
+        Ok(ForeignKeySpec {
+            column,
+            parent_table,
+            parent_column,
+            on_delete,
         })
     }
 
@@ -526,7 +561,20 @@ impl Parser {
             let table = self.ident()?;
             self.expect_tok(&Token::LParen)?;
             let mut columns = Vec::new();
+            let mut foreign_keys = Vec::new();
             loop {
+                // table-level constraint: FOREIGN KEY (col) REFERENCES p(id)
+                if self.eat_kw("FOREIGN") {
+                    self.expect_kw("KEY")?;
+                    self.expect_tok(&Token::LParen)?;
+                    let column = self.ident()?;
+                    self.expect_tok(&Token::RParen)?;
+                    foreign_keys.push(self.references_clause(column)?);
+                    if !self.eat_tok(&Token::Comma) {
+                        break;
+                    }
+                    continue;
+                }
                 let name = self.ident()?;
                 let ty = self.data_type()?;
                 let mut not_null = false;
@@ -537,6 +585,9 @@ impl Parser {
                     } else if self.eat_kw("PRIMARY") {
                         self.expect_kw("KEY")?;
                         not_null = true;
+                    } else if self.is_kw("REFERENCES") {
+                        let fk = self.references_clause(name.clone())?;
+                        foreign_keys.push(fk);
                     } else {
                         break;
                     }
@@ -547,7 +598,11 @@ impl Parser {
                 }
             }
             self.expect_tok(&Token::RParen)?;
-            return Ok(Statement::CreateTable { table, columns });
+            return Ok(Statement::CreateTable {
+                table,
+                columns,
+                foreign_keys,
+            });
         }
         if self.eat_kw("BEGIN") || self.eat_kw("START") {
             let _ = self.eat_kw("TRANSACTION");
@@ -575,10 +630,10 @@ impl Parser {
 }
 
 const KEYWORDS: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "LEFT", "OUTER",
-    "JOIN", "ON", "AS", "AND", "OR", "NOT", "IS", "NULL", "INSERT", "INTO", "VALUES",
-    "UPDATE", "SET", "DELETE", "CREATE", "TABLE", "INDEX", "UNIQUE", "BEGIN", "COMMIT",
-    "ROLLBACK", "FOR", "DESC", "ASC",
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "LEFT", "OUTER", "JOIN",
+    "ON", "AS", "AND", "OR", "NOT", "IS", "NULL", "INSERT", "INTO", "VALUES", "UPDATE", "SET",
+    "DELETE", "CREATE", "TABLE", "INDEX", "UNIQUE", "BEGIN", "COMMIT", "ROLLBACK", "FOR", "DESC",
+    "ASC",
 ];
 
 /// Parse one statement (a trailing semicolon is allowed).
@@ -634,10 +689,7 @@ mod tests {
     #[test]
     fn parses_dup_counting_query() {
         // paper Appendix C.2
-        let s = parse(
-            "SELECT key, COUNT(key) FROM t GROUP BY key HAVING COUNT(key) > 1;",
-        )
-        .unwrap();
+        let s = parse("SELECT key, COUNT(key) FROM t GROUP BY key HAVING COUNT(key) > 1;").unwrap();
         assert!(matches!(s, Statement::Select(_)));
     }
 
@@ -666,6 +718,61 @@ mod tests {
     }
 
     #[test]
+    fn parses_foreign_key_declarations() {
+        // column-level REFERENCES with implicit id and ON DELETE action
+        let s = parse(
+            "CREATE TABLE users (name TEXT, department_id INT REFERENCES departments ON DELETE CASCADE)",
+        )
+        .unwrap();
+        let Statement::CreateTable {
+            columns,
+            foreign_keys,
+            ..
+        } = s
+        else {
+            panic!()
+        };
+        assert_eq!(columns.len(), 2);
+        assert_eq!(
+            foreign_keys,
+            vec![ForeignKeySpec {
+                column: "department_id".into(),
+                parent_table: "departments".into(),
+                parent_column: "id".into(),
+                on_delete: FkAction::Cascade,
+            }]
+        );
+
+        // table-level FOREIGN KEY with explicit parent column and SET NULL
+        let s = parse(
+            "CREATE TABLE posts (author_id INT, \
+             FOREIGN KEY (author_id) REFERENCES users (id) ON DELETE SET NULL)",
+        )
+        .unwrap();
+        let Statement::CreateTable { foreign_keys, .. } = s else {
+            panic!()
+        };
+        assert_eq!(foreign_keys[0].on_delete, FkAction::SetNull);
+        assert_eq!(foreign_keys[0].parent_table, "users");
+
+        // default action is RESTRICT; NO ACTION normalizes onto it
+        let s = parse("CREATE TABLE a (b_id INT REFERENCES bs (id))").unwrap();
+        let Statement::CreateTable { foreign_keys, .. } = s else {
+            panic!()
+        };
+        assert_eq!(foreign_keys[0].on_delete, FkAction::Restrict);
+        let s = parse("CREATE TABLE a (b_id INT REFERENCES bs ON DELETE NO ACTION)").unwrap();
+        let Statement::CreateTable { foreign_keys, .. } = s else {
+            panic!()
+        };
+        assert_eq!(foreign_keys[0].on_delete, FkAction::Restrict);
+
+        // garbage actions are rejected
+        assert!(parse("CREATE TABLE a (b_id INT REFERENCES bs ON DELETE EXPLODE)").is_err());
+        assert!(parse("CREATE TABLE a (FOREIGN KEY b_id REFERENCES bs)").is_err());
+    }
+
+    #[test]
     fn parses_transactions_and_for_update() {
         assert!(matches!(
             parse("BEGIN ISOLATION LEVEL SERIALIZABLE").unwrap(),
@@ -673,8 +780,7 @@ mod tests {
         ));
         assert!(matches!(parse("COMMIT;").unwrap(), Statement::Commit));
         assert!(matches!(parse("ROLLBACK").unwrap(), Statement::Rollback));
-        let Statement::Select(sel) =
-            parse("SELECT * FROM stock WHERE id = 1 FOR UPDATE").unwrap()
+        let Statement::Select(sel) = parse("SELECT * FROM stock WHERE id = 1 FOR UPDATE").unwrap()
         else {
             panic!()
         };

@@ -7,7 +7,8 @@ use proptest::prelude::*;
 
 fn session_with_sales() -> SqlSession {
     let mut s = SqlSession::new(Database::in_memory());
-    s.execute("CREATE TABLE sales (region TEXT, amount INT)").unwrap();
+    s.execute("CREATE TABLE sales (region TEXT, amount INT)")
+        .unwrap();
     for (r, a) in [
         ("west", 10),
         ("west", 30),
@@ -16,8 +17,10 @@ fn session_with_sales() -> SqlSession {
         ("east", 9),
         ("north", 100),
     ] {
-        s.execute(&format!("INSERT INTO sales (region, amount) VALUES ('{r}', {a})"))
-            .unwrap();
+        s.execute(&format!(
+            "INSERT INTO sales (region, amount) VALUES ('{r}', {a})"
+        ))
+        .unwrap();
     }
     // one NULL amount: aggregates must skip it
     s.execute("INSERT INTO sales (region, amount) VALUES ('west', NULL)")
@@ -55,7 +58,12 @@ fn grouped_aggregates() {
     // east: 3 rows, sum 21, max 9
     assert_eq!(
         rows[0],
-        vec![Datum::text("east"), Datum::Int(3), Datum::Int(21), Datum::Int(9)]
+        vec![
+            Datum::text("east"),
+            Datum::Int(3),
+            Datum::Int(21),
+            Datum::Int(9)
+        ]
     );
     // north: 1 row
     assert_eq!(rows[1][2], Datum::Int(100));
@@ -102,7 +110,8 @@ fn in_list_pushes_down_to_index() {
     s.execute("CREATE TABLE t (k TEXT)").unwrap();
     s.execute("CREATE INDEX ON t (k)").unwrap();
     for k in ["a", "b", "c", "a"] {
-        s.execute(&format!("INSERT INTO t (k) VALUES ('{k}')")).unwrap();
+        s.execute(&format!("INSERT INTO t (k) VALUES ('{k}')"))
+            .unwrap();
     }
     let rows = s
         .execute("SELECT k FROM t WHERE k IN ('a', 'c') ORDER BY k")

@@ -61,13 +61,16 @@ fn appendix_c2_duplicate_count_query() {
 fn appendix_c5_orphan_query_with_left_outer_join() {
     let mut s = session();
     s.execute("CREATE TABLE m_departments (name TEXT)").unwrap();
-    s.execute("CREATE TABLE m_users (m_department_id INT)").unwrap();
+    s.execute("CREATE TABLE m_users (m_department_id INT)")
+        .unwrap();
     s.execute("INSERT INTO m_departments (id, name) VALUES (1, 'eng')")
         .unwrap();
     // two users in the live department, three orphans across two dead ids
     for d in [1, 1, 2, 2, 3] {
-        s.execute(&format!("INSERT INTO m_users (m_department_id) VALUES ({d})"))
-            .unwrap();
+        s.execute(&format!(
+            "INSERT INTO m_users (m_department_id) VALUES ({d})"
+        ))
+        .unwrap();
     }
     let rows = s
         .execute(
@@ -118,7 +121,10 @@ fn transactions_commit_and_rollback() {
     s.execute("BEGIN ISOLATION LEVEL SERIALIZABLE").unwrap();
     s.execute("INSERT INTO t (k) VALUES ('y')").unwrap();
     s.execute("COMMIT").unwrap();
-    assert_eq!(s.execute("SELECT COUNT(*) FROM t").unwrap().rows(), vec![vec![Datum::Int(1)]]);
+    assert_eq!(
+        s.execute("SELECT COUNT(*) FROM t").unwrap().rows(),
+        vec![vec![Datum::Int(1)]]
+    );
 }
 
 #[test]
@@ -135,7 +141,8 @@ fn unique_index_enforced_through_sql() {
 fn select_for_update_parses_and_locks() {
     let mut s = session();
     s.execute("CREATE TABLE stock (count_on_hand INT)").unwrap();
-    s.execute("INSERT INTO stock (count_on_hand) VALUES (10)").unwrap();
+    s.execute("INSERT INTO stock (count_on_hand) VALUES (10)")
+        .unwrap();
     s.execute("BEGIN").unwrap();
     let rows = s
         .execute("SELECT * FROM stock WHERE id = 1 FOR UPDATE")
@@ -155,18 +162,33 @@ fn null_semantics_in_where() {
     s.execute("CREATE TABLE t (v INT)").unwrap();
     s.execute("INSERT INTO t (v) VALUES (1), (NULL)").unwrap();
     // NULL doesn't match equality
-    assert_eq!(s.execute("SELECT * FROM t WHERE v = 1").unwrap().rows().len(), 1);
     assert_eq!(
-        s.execute("SELECT * FROM t WHERE v IS NULL").unwrap().rows().len(),
+        s.execute("SELECT * FROM t WHERE v = 1")
+            .unwrap()
+            .rows()
+            .len(),
         1
     );
     assert_eq!(
-        s.execute("SELECT * FROM t WHERE v IS NOT NULL").unwrap().rows().len(),
+        s.execute("SELECT * FROM t WHERE v IS NULL")
+            .unwrap()
+            .rows()
+            .len(),
+        1
+    );
+    assert_eq!(
+        s.execute("SELECT * FROM t WHERE v IS NOT NULL")
+            .unwrap()
+            .rows()
+            .len(),
         1
     );
     // NOT of UNKNOWN is still not a match
     assert_eq!(
-        s.execute("SELECT * FROM t WHERE NOT v = 1").unwrap().rows().len(),
+        s.execute("SELECT * FROM t WHERE NOT v = 1")
+            .unwrap()
+            .rows()
+            .len(),
         0
     );
 }
@@ -194,10 +216,16 @@ fn concurrent_sql_sessions_share_the_database() {
     let mut b = SqlSession::new(db);
     a.execute("CREATE TABLE t (k TEXT)").unwrap();
     b.execute("INSERT INTO t (k) VALUES ('from-b')").unwrap();
-    assert_eq!(a.execute("SELECT COUNT(*) FROM t").unwrap().rows(), vec![vec![Datum::Int(1)]]);
+    assert_eq!(
+        a.execute("SELECT COUNT(*) FROM t").unwrap().rows(),
+        vec![vec![Datum::Int(1)]]
+    );
     // snapshot isolation between sessions
     a.execute("BEGIN ISOLATION LEVEL REPEATABLE READ").unwrap();
-    assert_eq!(a.execute("SELECT COUNT(*) FROM t").unwrap().rows(), vec![vec![Datum::Int(1)]]);
+    assert_eq!(
+        a.execute("SELECT COUNT(*) FROM t").unwrap().rows(),
+        vec![vec![Datum::Int(1)]]
+    );
     b.execute("INSERT INTO t (k) VALUES ('later')").unwrap();
     assert_eq!(
         a.execute("SELECT COUNT(*) FROM t").unwrap().rows(),
@@ -205,5 +233,43 @@ fn concurrent_sql_sessions_share_the_database() {
         "repeatable read must hold its snapshot"
     );
     a.execute("COMMIT").unwrap();
-    assert_eq!(a.execute("SELECT COUNT(*) FROM t").unwrap().rows(), vec![vec![Datum::Int(2)]]);
+    assert_eq!(
+        a.execute("SELECT COUNT(*) FROM t").unwrap().rows(),
+        vec![vec![Datum::Int(2)]]
+    );
+}
+
+#[test]
+fn foreign_keys_declared_in_ddl_are_enforced() {
+    let mut s = session();
+    s.execute("CREATE TABLE departments (name TEXT)").unwrap();
+    s.execute(
+        "CREATE TABLE users (name TEXT, department_id INT REFERENCES departments ON DELETE CASCADE)",
+    )
+    .unwrap();
+    s.execute("INSERT INTO departments (name) VALUES ('eng')")
+        .unwrap();
+    s.execute("INSERT INTO users (name, department_id) VALUES ('a', 1)")
+        .unwrap();
+    // dangling insert rejected by the engine-side FK
+    let err = s
+        .execute("INSERT INTO users (name, department_id) VALUES ('b', 999)")
+        .unwrap_err();
+    assert!(matches!(err, SqlError::Db(_)), "got {err:?}");
+    // cascade: deleting the department removes its user
+    s.execute("DELETE FROM departments WHERE id = 1").unwrap();
+    let rows = s.execute("SELECT * FROM users").unwrap().rows();
+    assert!(
+        rows.is_empty(),
+        "cascade should have removed users: {rows:?}"
+    );
+}
+
+#[test]
+fn foreign_key_to_missing_parent_table_errors() {
+    let mut s = session();
+    let err = s
+        .execute("CREATE TABLE users (department_id INT REFERENCES departments)")
+        .unwrap_err();
+    assert!(matches!(err, SqlError::Db(_)), "got {err:?}");
 }

@@ -250,6 +250,9 @@ mod tests {
         let Verdict::Confluent { examined } = v else {
             panic!()
         };
-        assert!(examined > 100, "expected a substantive search, got {examined}");
+        assert!(
+            examined > 100,
+            "expected a substantive search, got {examined}"
+        );
     }
 }

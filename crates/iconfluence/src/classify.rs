@@ -31,16 +31,56 @@ pub struct TableOneRow {
 /// Table 1 verbatim: "Use of and invariant confluence of built-in
 /// validations."
 pub const TABLE_ONE: &[TableOneRow] = &[
-    TableOneRow { name: "validates_presence_of", occurrences: 1762, verdict: PaperVerdict::Depends },
-    TableOneRow { name: "validates_uniqueness_of", occurrences: 440, verdict: PaperVerdict::No },
-    TableOneRow { name: "validates_length_of", occurrences: 438, verdict: PaperVerdict::Yes },
-    TableOneRow { name: "validates_inclusion_of", occurrences: 201, verdict: PaperVerdict::Yes },
-    TableOneRow { name: "validates_numericality_of", occurrences: 133, verdict: PaperVerdict::Yes },
-    TableOneRow { name: "validates_associated", occurrences: 39, verdict: PaperVerdict::Depends },
-    TableOneRow { name: "validates_email", occurrences: 34, verdict: PaperVerdict::Yes },
-    TableOneRow { name: "validates_attachment_content_type", occurrences: 29, verdict: PaperVerdict::Yes },
-    TableOneRow { name: "validates_attachment_size", occurrences: 29, verdict: PaperVerdict::Yes },
-    TableOneRow { name: "validates_confirmation_of", occurrences: 19, verdict: PaperVerdict::Yes },
+    TableOneRow {
+        name: "validates_presence_of",
+        occurrences: 1762,
+        verdict: PaperVerdict::Depends,
+    },
+    TableOneRow {
+        name: "validates_uniqueness_of",
+        occurrences: 440,
+        verdict: PaperVerdict::No,
+    },
+    TableOneRow {
+        name: "validates_length_of",
+        occurrences: 438,
+        verdict: PaperVerdict::Yes,
+    },
+    TableOneRow {
+        name: "validates_inclusion_of",
+        occurrences: 201,
+        verdict: PaperVerdict::Yes,
+    },
+    TableOneRow {
+        name: "validates_numericality_of",
+        occurrences: 133,
+        verdict: PaperVerdict::Yes,
+    },
+    TableOneRow {
+        name: "validates_associated",
+        occurrences: 39,
+        verdict: PaperVerdict::Depends,
+    },
+    TableOneRow {
+        name: "validates_email",
+        occurrences: 34,
+        verdict: PaperVerdict::Yes,
+    },
+    TableOneRow {
+        name: "validates_attachment_content_type",
+        occurrences: 29,
+        verdict: PaperVerdict::Yes,
+    },
+    TableOneRow {
+        name: "validates_attachment_size",
+        occurrences: 29,
+        verdict: PaperVerdict::Yes,
+    },
+    TableOneRow {
+        name: "validates_confirmation_of",
+        occurrences: 19,
+        verdict: PaperVerdict::Yes,
+    },
 ];
 
 /// Occurrences attributed to "Other" in Table 1.

@@ -51,11 +51,7 @@ impl Invariant {
             Invariant::KeyPresent => state.live(Table::Child).all(|(_, r)| r.key.is_some()),
             Invariant::ForeignKey => state.live(Table::Child).all(|(_, r)| match r.fk {
                 None => true,
-                Some(pid) => state
-                    .parents
-                    .get(&pid)
-                    .map(|p| p.live)
-                    .unwrap_or(false),
+                Some(pid) => state.parents.get(&pid).map(|p| p.live).unwrap_or(false),
             }),
             Invariant::KeyInSet(allowed) => state
                 .live(Table::Child)

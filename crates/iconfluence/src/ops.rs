@@ -318,7 +318,12 @@ mod tests {
         .apply(&AbstractState::new(), 5)
         .unwrap();
         assert_eq!(s.children[&5].version, 1);
-        let s2 = Op::UpdateChildKey { id: 5, key: Some(2) }.apply(&s, 0).unwrap();
+        let s2 = Op::UpdateChildKey {
+            id: 5,
+            key: Some(2),
+        }
+        .apply(&s, 0)
+        .unwrap();
         assert_eq!(s2.children[&5].version, 2);
         let s3 = Op::DeleteChild { id: 5 }.apply(&s2, 0).unwrap();
         assert_eq!(s3.children[&5].version, 3);
@@ -331,7 +336,10 @@ mod tests {
         let s = Op::InsertParent.apply(&AbstractState::new(), 1).unwrap();
         let u = Op::universe(&s, &[None, Some(0)], &OpShapes::all());
         assert!(u.contains(&Op::InsertParent));
-        assert!(u.contains(&Op::InsertChild { key: Some(0), fk: Some(1) }));
+        assert!(u.contains(&Op::InsertChild {
+            key: Some(0),
+            fk: Some(1)
+        }));
         assert!(u.contains(&Op::DeleteParentCascade { id: 1 }));
         assert!(!u.iter().any(|o| matches!(o, Op::DecrementChildKey { .. })));
     }

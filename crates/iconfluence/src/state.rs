@@ -218,10 +218,7 @@ mod tests {
         s3.parents.insert(9, rec(2, false, None));
         assert_eq!(s1.merge(&s2), s2.merge(&s1));
         assert_eq!(s1.merge(&s1), s1);
-        assert_eq!(
-            s1.merge(&s2).merge(&s3),
-            s1.merge(&s2.merge(&s3))
-        );
+        assert_eq!(s1.merge(&s2).merge(&s3), s1.merge(&s2.merge(&s3)));
     }
 
     #[test]

@@ -4,16 +4,18 @@
 //! not, the analysis means nothing — so these laws are pinned over
 //! random states.
 
+use feral_iconfluence::ops::OpShapes;
 use feral_iconfluence::state::{AbstractState, RecordState, Table};
 use feral_iconfluence::{check, Invariant, Verdict};
-use feral_iconfluence::ops::OpShapes;
 use proptest::prelude::*;
 
 fn arb_record() -> impl Strategy<Value = RecordState> {
-    (1u32..4, any::<bool>(), prop_oneof![Just(None), (-2i8..3).prop_map(Some)], prop_oneof![
-        Just(None),
-        (1u32..4).prop_map(Some)
-    ])
+    (
+        1u32..4,
+        any::<bool>(),
+        prop_oneof![Just(None), (-2i8..3).prop_map(Some)],
+        prop_oneof![Just(None), (1u32..4).prop_map(Some)],
+    )
         .prop_map(|(version, live, key, fk)| RecordState {
             version,
             live,

@@ -1,0 +1,105 @@
+//! `feral-lint` CLI: run the semantic safety analyzer over the
+//! synthesized 67-application corpus and print a human report, JSON, or
+//! SARIF 2.1.0.
+//!
+//! ```text
+//! feral-lint report [--seed 42] [--apps N] [--app NAME]
+//!                   [--no-witness] [--witness-seeds 1024]
+//! feral-lint json   [...same flags]
+//! feral-lint sarif  [...same flags]
+//! ```
+
+use feral_lint::{lint_apps, report, LintOptions};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: feral-lint <report|json|sarif> [options]
+
+Lints the synthesized Table 2 corpus (67 applications) with the
+paper-derived rule catalog (FERAL001..FERAL005) and attaches replayable
+feral-sim anomaly witnesses to unsafe findings.
+
+options:
+  --seed <u64>           corpus synthesis seed (default 42)
+  --apps <n>             lint only the first n applications
+  --app <name>           lint only the named application (e.g. spree)
+  --no-witness           skip feral-sim witness search
+  --witness-seeds <u64>  random seeds before systematic fallback (default 1024)
+";
+
+struct Args {
+    mode: String,
+    seed: u64,
+    apps: Option<usize>,
+    app: Option<String>,
+    opts: LintOptions,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let mode = argv.next().ok_or("missing subcommand")?;
+    if !matches!(mode.as_str(), "report" | "json" | "sarif") {
+        return Err(format!("unknown subcommand `{mode}`"));
+    }
+    let mut args = Args {
+        mode,
+        seed: 42,
+        apps: None,
+        app: None,
+        opts: LintOptions::default(),
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| argv.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--apps" => {
+                args.apps = Some(
+                    value("--apps")?
+                        .parse()
+                        .map_err(|e| format!("--apps: {e}"))?,
+                );
+            }
+            "--app" => args.app = Some(value("--app")?),
+            "--no-witness" => args.opts.witnesses = false,
+            "--witness-seeds" => {
+                args.opts.witness_seeds = value("--witness-seeds")?
+                    .parse()
+                    .map_err(|e| format!("--witness-seeds: {e}"))?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("feral-lint: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut corpus = feral_corpus::synthesize_corpus(args.seed);
+    if let Some(name) = &args.app {
+        corpus.retain(|a| a.stats.name.eq_ignore_ascii_case(name));
+        if corpus.is_empty() {
+            eprintln!("feral-lint: no corpus application named `{name}`");
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(n) = args.apps {
+        corpus.truncate(n);
+    }
+    let run = lint_apps(&corpus, &args.opts);
+    let rendered = match args.mode.as_str() {
+        "report" => report::render_report(&run),
+        "json" => report::render_json(&run),
+        _ => report::render_sarif(&run),
+    };
+    print!("{rendered}");
+    ExitCode::SUCCESS
+}

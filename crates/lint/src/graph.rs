@@ -1,0 +1,434 @@
+//! The typed **model graph** IR: the semantic middle layer between the
+//! syntactic survey (`feral_corpus::ruby`) and the rule engine.
+//!
+//! Resolution takes per-file [`FileAnalysis`] output plus migration DDL
+//! (parsed by `feral_sql`) and produces a graph of model nodes joined by
+//! association edges, each edge annotated with the table/column that
+//! physically carries the reference, alongside a [`Schema`] fact base of
+//! unique indexes, foreign keys, and columns. The resolver is **total**:
+//! any combination of inputs — malformed names, dangling associations,
+//! unparseable DDL — produces a graph, never a panic (the corpus fuzz
+//! suite enforces this).
+
+use feral_corpus::ruby::{FileAnalysis, ValidationUse};
+use feral_sql::Statement;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One analyzed source file: where it came from plus what the Appendix A
+/// analyzer measured in it.
+#[derive(Debug, Clone, Default)]
+pub struct SourceFile {
+    /// Application-relative path (`app/models/user.rb`).
+    pub path: String,
+    /// Analyzer output for this file.
+    pub analysis: FileAnalysis,
+}
+
+/// Association flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssocKind {
+    /// `belongs_to` — the FK column lives on this model's table.
+    BelongsTo,
+    /// `has_one` — the FK column lives on the target's table.
+    HasOne,
+    /// `has_many` — the FK column lives on the target's table.
+    HasMany,
+    /// `has_and_belongs_to_many` — join table, no single FK column.
+    Habtm,
+}
+
+impl AssocKind {
+    fn parse(kind: &str) -> Option<AssocKind> {
+        Some(match kind {
+            "belongs_to" => AssocKind::BelongsTo,
+            "has_one" => AssocKind::HasOne,
+            "has_many" => AssocKind::HasMany,
+            "has_and_belongs_to_many" => AssocKind::Habtm,
+            _ => return None,
+        })
+    }
+}
+
+/// A resolved association edge.
+#[derive(Debug, Clone)]
+pub struct AssociationEdge {
+    /// Flavor.
+    pub kind: AssocKind,
+    /// Declared association name (`:users`).
+    pub name: String,
+    /// Resolved target model index in [`ModelGraph::models`], when the
+    /// inferred class is declared in the application.
+    pub target: Option<usize>,
+    /// Inferred target class name (`users` → `User`), resolved or not.
+    pub target_name: String,
+    /// Table that physically carries the reference column.
+    pub fk_table: String,
+    /// The reference column (`department_id`).
+    pub fk_column: String,
+    /// `:dependent` option as declared.
+    pub dependent: Option<String>,
+    /// `:through` target and its inferred intermediate class, if
+    /// declared (`through: :positions` → `("positions", "Position")`).
+    pub through: Option<(String, String)>,
+}
+
+impl AssociationEdge {
+    /// Whether the `:dependent` mode ferally cascades row removal
+    /// (`destroy` runs callbacks, `delete_all` doesn't — both remove
+    /// child rows application-side).
+    pub fn dependent_cascades(&self) -> bool {
+        matches!(self.dependent.as_deref(), Some("destroy" | "delete_all"))
+    }
+}
+
+/// One model node.
+#[derive(Debug, Clone, Default)]
+pub struct ModelNode {
+    /// Class name.
+    pub name: String,
+    /// Backing table under the corpus naming convention.
+    pub table: String,
+    /// Path of the declaring file.
+    pub file: String,
+    /// Validations, in declaration order.
+    pub validations: Vec<ValidationUse>,
+    /// Resolved association edges.
+    pub associations: Vec<AssociationEdge>,
+    /// `lock_version` references in the model body.
+    pub lock_version_refs: usize,
+}
+
+/// Schema-side facts extracted from migration DDL.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    /// Table → column names.
+    pub tables: BTreeMap<String, BTreeSet<String>>,
+    /// Unique indexes as (table, columns).
+    pub unique_indexes: Vec<(String, Vec<String>)>,
+    /// Foreign keys as (child table, child column, parent table).
+    pub foreign_keys: Vec<(String, String, String)>,
+    /// DDL statements that failed to parse (kept for diagnostics; the
+    /// resolver tolerates them).
+    pub unparsed: usize,
+}
+
+impl Schema {
+    /// Build from raw DDL statements, tolerating parse failures.
+    pub fn from_ddl<'a>(statements: impl IntoIterator<Item = &'a str>) -> Schema {
+        let mut schema = Schema::default();
+        for stmt in statements {
+            let trimmed = stmt.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            match feral_sql::parse(trimmed) {
+                Ok(parsed) => schema.absorb(&parsed),
+                Err(_) => schema.unparsed += 1,
+            }
+        }
+        schema
+    }
+
+    /// Fold one parsed statement's schema facts in (non-DDL statements
+    /// are ignored).
+    pub fn absorb(&mut self, stmt: &Statement) {
+        match stmt {
+            Statement::CreateTable {
+                table,
+                columns,
+                foreign_keys,
+            } => {
+                let cols = self.tables.entry(table.clone()).or_default();
+                cols.insert("id".to_string());
+                for c in columns {
+                    cols.insert(c.name.clone());
+                }
+                for fk in foreign_keys {
+                    self.foreign_keys.push((
+                        table.clone(),
+                        fk.column.clone(),
+                        fk.parent_table.clone(),
+                    ));
+                }
+            }
+            Statement::CreateIndex {
+                table,
+                columns,
+                unique: true,
+                ..
+            } => {
+                self.unique_indexes.push((table.clone(), columns.clone()));
+            }
+            _ => {}
+        }
+    }
+
+    /// Is there a unique index on exactly-or-leading `column` of `table`?
+    pub fn has_unique_index(&self, table: &str, column: &str) -> bool {
+        self.unique_indexes
+            .iter()
+            .any(|(t, cols)| t == table && cols.first().is_some_and(|c| c == column))
+    }
+
+    /// Is there a foreign key on `table.column`?
+    pub fn has_foreign_key(&self, table: &str, column: &str) -> bool {
+        self.foreign_keys
+            .iter()
+            .any(|(t, c, _)| t == table && c == column)
+    }
+
+    /// Does the table declare the column?
+    pub fn has_column(&self, table: &str, column: &str) -> bool {
+        self.tables
+            .get(table)
+            .is_some_and(|cols| cols.contains(column))
+    }
+
+    /// Is the table declared at all?
+    pub fn has_table(&self, table: &str) -> bool {
+        self.tables.contains_key(table)
+    }
+}
+
+/// The resolved application: models, edges, schema facts, and
+/// application-wide concurrency-control counts.
+#[derive(Debug, Clone, Default)]
+pub struct ModelGraph {
+    /// Application name.
+    pub app: String,
+    /// Model nodes.
+    pub models: Vec<ModelNode>,
+    /// Schema facts.
+    pub schema: Schema,
+    /// Transaction-block uses across the application.
+    pub transactions: usize,
+    /// Pessimistic-lock uses across the application.
+    pub pessimistic_locks: usize,
+    /// `lock_version` occurrences across the application.
+    pub optimistic_locks: usize,
+}
+
+/// `snake_case` → `CamelCase` (inverse of the corpus renderer's
+/// `underscore`). Total: empty and degenerate input map to themselves.
+pub fn camelize(name: &str) -> String {
+    name.split('_')
+        .map(|part| {
+            let mut chars = part.chars();
+            match chars.next() {
+                Some(first) => first.to_ascii_uppercase().to_string() + chars.as_str(),
+                None => String::new(),
+            }
+        })
+        .collect()
+}
+
+/// Naive singular form matching the corpus's naive `s` plural. Total.
+pub fn singularize(name: &str) -> &str {
+    match name.strip_suffix('s') {
+        Some(stem) if !stem.is_empty() && !stem.ends_with('s') => stem,
+        _ => name,
+    }
+}
+
+impl ModelGraph {
+    /// Resolve an application's analyzed sources + migration DDL into a
+    /// model graph. Total on arbitrary input.
+    pub fn resolve(app: &str, files: &[SourceFile], ddl: &[String]) -> ModelGraph {
+        let schema = Schema::from_ddl(ddl.iter().map(String::as_str));
+        let mut graph = ModelGraph {
+            app: app.to_string(),
+            schema,
+            ..Default::default()
+        };
+        // pass 1: model nodes (first declaration of a name wins)
+        let mut by_name: BTreeMap<String, usize> = BTreeMap::new();
+        for file in files {
+            graph.transactions += file.analysis.transactions;
+            graph.pessimistic_locks += file.analysis.pessimistic_locks;
+            graph.optimistic_locks += file.analysis.optimistic_locks;
+            for model in &file.analysis.models {
+                if by_name.contains_key(&model.name) {
+                    continue;
+                }
+                by_name.insert(model.name.clone(), graph.models.len());
+                graph.models.push(ModelNode {
+                    name: model.name.clone(),
+                    table: feral_corpus::table_name(&model.name),
+                    file: file.path.clone(),
+                    validations: model.validations.clone(),
+                    lock_version_refs: model.lock_version_refs,
+                    associations: Vec::new(),
+                });
+            }
+        }
+        // pass 2: association edges with name resolution
+        for file in files {
+            for model in &file.analysis.models {
+                let Some(&mi) = by_name.get(&model.name) else {
+                    continue;
+                };
+                if model.associations.is_empty() {
+                    continue;
+                }
+                let own_table = graph.models[mi].table.clone();
+                let own_fk = format!("{}_id", feral_corpus::underscore(&model.name));
+                for assoc in &model.associations {
+                    let Some(kind) = AssocKind::parse(&assoc.kind) else {
+                        continue;
+                    };
+                    let target_name = match kind {
+                        AssocKind::BelongsTo | AssocKind::HasOne => camelize(&assoc.name),
+                        AssocKind::HasMany | AssocKind::Habtm => camelize(singularize(&assoc.name)),
+                    };
+                    let target = by_name.get(&target_name).copied();
+                    let target_table = target
+                        .map(|t| graph.models[t].table.clone())
+                        .unwrap_or_else(|| feral_corpus::table_name(&target_name));
+                    let (fk_table, fk_column) = match kind {
+                        AssocKind::BelongsTo => (own_table.clone(), format!("{}_id", assoc.name)),
+                        AssocKind::HasOne | AssocKind::HasMany => (target_table, own_fk.clone()),
+                        // join table: order the names for determinism
+                        AssocKind::Habtm => {
+                            let mut parts =
+                                [own_table.trim_end_matches('s'), singularize(&assoc.name)];
+                            parts.sort_unstable();
+                            (format!("{}_{}", parts[0], parts[1]), own_fk.clone())
+                        }
+                    };
+                    let through = assoc
+                        .through
+                        .as_ref()
+                        .map(|t| (t.clone(), camelize(singularize(t))));
+                    graph.models[mi].associations.push(AssociationEdge {
+                        kind,
+                        name: assoc.name.clone(),
+                        target,
+                        target_name,
+                        fk_table,
+                        fk_column,
+                        dependent: assoc.dependent.clone(),
+                        through,
+                    });
+                }
+            }
+        }
+        graph
+    }
+
+    /// Look a model up by class name.
+    pub fn model(&self, name: &str) -> Option<&ModelNode> {
+        self.models.iter().find(|m| m.name == name)
+    }
+
+    /// Total validation uses across the graph.
+    pub fn validation_count(&self) -> usize {
+        self.models.iter().map(|m| m.validations.len()).sum()
+    }
+
+    /// Total association edges across the graph.
+    pub fn association_count(&self) -> usize {
+        self.models.iter().map(|m| m.associations.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feral_corpus::{analyze_source, ParseOptions};
+
+    fn file(path: &str, src: &str) -> SourceFile {
+        SourceFile {
+            path: path.to_string(),
+            analysis: analyze_source(src, &ParseOptions::default()),
+        }
+    }
+
+    #[test]
+    fn resolves_models_edges_and_schema() {
+        let files = vec![
+            file(
+                "app/models/department.rb",
+                r#"
+class Department < ActiveRecord::Base
+  has_many :users, dependent: :destroy
+  has_many :managers, through: :positions
+end
+"#,
+            ),
+            file(
+                "app/models/user.rb",
+                r#"
+class User < ActiveRecord::Base
+  belongs_to :department
+  validates :email, uniqueness: true
+end
+"#,
+            ),
+        ];
+        let ddl = vec![
+            "CREATE TABLE departments (name TEXT)".to_string(),
+            "CREATE TABLE users (email TEXT, department_id INT REFERENCES departments (id))"
+                .to_string(),
+            "CREATE UNIQUE INDEX idx ON users (email)".to_string(),
+            "not valid sql at all".to_string(),
+        ];
+        let g = ModelGraph::resolve("demo", &files, &ddl);
+        assert_eq!(g.models.len(), 2);
+        assert_eq!(g.schema.unparsed, 1);
+
+        let dept = g.model("Department").unwrap();
+        let users_edge = &dept.associations[0];
+        assert_eq!(users_edge.kind, AssocKind::HasMany);
+        assert_eq!(users_edge.target_name, "User");
+        assert!(users_edge.target.is_some());
+        assert_eq!(users_edge.fk_table, "users");
+        assert_eq!(users_edge.fk_column, "department_id");
+        assert!(users_edge.dependent_cascades());
+
+        let through_edge = &dept.associations[1];
+        assert_eq!(
+            through_edge.through,
+            Some(("positions".to_string(), "Position".to_string()))
+        );
+        assert!(through_edge.target.is_none(), "Manager is not declared");
+
+        let user = g.model("User").unwrap();
+        let dept_edge = &user.associations[0];
+        assert_eq!(dept_edge.kind, AssocKind::BelongsTo);
+        assert_eq!(dept_edge.fk_table, "users");
+        assert_eq!(dept_edge.fk_column, "department_id");
+
+        assert!(g.schema.has_unique_index("users", "email"));
+        assert!(g.schema.has_foreign_key("users", "department_id"));
+        assert!(!g.schema.has_foreign_key("departments", "user_id"));
+    }
+
+    #[test]
+    fn name_helpers_are_total() {
+        assert_eq!(camelize("key_value"), "KeyValue");
+        assert_eq!(camelize(""), "");
+        assert_eq!(camelize("_"), "");
+        assert_eq!(singularize("users"), "user");
+        assert_eq!(singularize("s"), "s");
+        assert_eq!(singularize(""), "");
+        assert_eq!(singularize("address"), "address");
+    }
+
+    #[test]
+    fn resolver_tolerates_degenerate_input() {
+        let mut weird = FileAnalysis::default();
+        weird.models.push(Default::default()); // unnamed model
+        let files = vec![
+            SourceFile {
+                path: String::new(),
+                analysis: weird,
+            },
+            file(
+                "x.rb",
+                "class A < ActiveRecord::Base\n  belongs_to\n  has_many :s\nend\n",
+            ),
+        ];
+        let g = ModelGraph::resolve("", &files, &["CREATE".to_string(), String::new()]);
+        assert_eq!(g.models.len(), 2);
+    }
+}

@@ -1,0 +1,267 @@
+//! Report rendering: human text, JSON, and SARIF 2.1.0.
+//!
+//! JSON is emitted by hand (the workspace's `serde` is an offline shim
+//! without a serializer); every dynamic string goes through
+//! [`json_escape`].
+
+use crate::rules::{rule_meta, Anomaly, Finding, Severity, RULES};
+use crate::witness::Witness;
+use crate::CorpusRun;
+use feral_iconfluence::{PaperVerdict, Safety};
+use std::fmt::Write as _;
+
+fn verdict_str(v: PaperVerdict) -> &'static str {
+    match v {
+        PaperVerdict::Yes => "Yes",
+        PaperVerdict::No => "No",
+        PaperVerdict::Depends => "Depends",
+    }
+}
+
+fn safety_str(s: Option<Safety>) -> &'static str {
+    match s {
+        Some(Safety::IConfluent) => "I-confluent",
+        Some(Safety::NotIConfluent) => "not I-confluent",
+        None => "not model-checked",
+    }
+}
+
+/// Escape a string for embedding in a JSON literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Human-readable report: per-app findings plus a corpus rollup that
+/// reads as a measured analogue of Table 1 crossed with Table 2.
+pub fn render_report(run: &CorpusRun) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "feral-lint: {} applications analyzed", run.apps.len());
+    let _ = writeln!(out);
+    for app in &run.apps {
+        if app.findings.is_empty() {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{} ({} models, {} validations, {} associations, {} transactions)",
+            app.app, app.models, app.validations, app.associations, app.transactions
+        );
+        for f in &app.findings {
+            let meta = rule_meta(f.rule);
+            let sev = match f.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            };
+            let _ = writeln!(out, "  {}: [{} {}] {}", sev, f.rule, meta.name, f.message);
+            let _ = writeln!(
+                out,
+                "      verdict: {} ({}) — {}",
+                verdict_str(f.verdict),
+                safety_str(f.safety),
+                meta.citation
+            );
+            if let Some(wi) = f.witness {
+                if let Some(w) = run.witnesses.get(wi) {
+                    let _ = writeln!(
+                        out,
+                        "      witness: {} after {} schedules — {}",
+                        w.message.trim(),
+                        w.schedules_searched,
+                        w.replay
+                    );
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    render_summary(run, &mut out);
+    out
+}
+
+fn render_summary(run: &CorpusRun, out: &mut String) {
+    let total: usize = run.apps.iter().map(|a| a.findings.len()).sum();
+    let errors: usize = run
+        .apps
+        .iter()
+        .flat_map(|a| &a.findings)
+        .filter(|f| f.severity == Severity::Error)
+        .count();
+    let _ = writeln!(out, "== corpus summary ==");
+    let _ = writeln!(
+        out,
+        "{} findings ({} errors, {} warnings) across {} of {} applications",
+        total,
+        errors,
+        total - errors,
+        run.apps.iter().filter(|a| !a.findings.is_empty()).count(),
+        run.apps.len()
+    );
+    for rule in RULES {
+        let n: usize = run
+            .apps
+            .iter()
+            .flat_map(|a| &a.findings)
+            .filter(|f| f.rule == rule.id)
+            .count();
+        let apps = run
+            .apps
+            .iter()
+            .filter(|a| a.findings.iter().any(|f| f.rule == rule.id))
+            .count();
+        let _ = writeln!(
+            out,
+            "  {} {:<32} {:>4} findings in {:>2} apps — {}",
+            rule.id, rule.name, n, apps, rule.summary
+        );
+    }
+    for anomaly in [Anomaly::DuplicateAdmitting, Anomaly::OrphanAdmitting] {
+        let n = run
+            .apps
+            .iter()
+            .flat_map(|a| &a.findings)
+            .filter(|f| f.anomaly == Some(anomaly))
+            .count();
+        let _ = writeln!(out, "  {:<20} constructs: {}", anomaly.label(), n);
+    }
+    if !run.witnesses.is_empty() {
+        let _ = writeln!(out, "== anomaly witnesses ==");
+        for w in &run.witnesses {
+            let _ = writeln!(
+                out,
+                "  {} fired after {} schedules: {}",
+                w.spec.label(),
+                w.schedules_searched,
+                w.replay
+            );
+        }
+    }
+}
+
+fn json_witness(w: &Witness) -> String {
+    let choices: Vec<String> = w.choices.iter().map(|c| c.to_string()).collect();
+    format!(
+        "{{\"scenario\":\"{}\",\"seed\":{},\"choices\":[{}],\"schedules_searched\":{},\"message\":\"{}\",\"replay\":\"{}\"}}",
+        json_escape(&w.spec.label()),
+        w.seed.map_or("null".to_string(), |s| s.to_string()),
+        choices.join(","),
+        w.schedules_searched,
+        json_escape(&w.message),
+        json_escape(&w.replay)
+    )
+}
+
+fn json_finding(f: &Finding, witnesses: &[Witness]) -> String {
+    let meta = rule_meta(f.rule);
+    let witness = f
+        .witness
+        .and_then(|wi| witnesses.get(wi))
+        .map_or("null".to_string(), json_witness);
+    format!(
+        "{{\"rule\":\"{}\",\"name\":\"{}\",\"severity\":\"{}\",\"model\":\"{}\",\"file\":\"{}\",\"message\":\"{}\",\"verdict\":\"{}\",\"safety\":\"{}\",\"anomaly\":{},\"citation\":\"{}\",\"witness\":{}}}",
+        f.rule,
+        meta.name,
+        f.severity.sarif_level(),
+        json_escape(&f.model),
+        json_escape(&f.file),
+        json_escape(&f.message),
+        verdict_str(f.verdict),
+        safety_str(f.safety),
+        f.anomaly
+            .map_or("null".to_string(), |a| format!("\"{}\"", a.label())),
+        json_escape(meta.citation),
+        witness
+    )
+}
+
+/// Machine-readable JSON: one object per app with nested findings.
+pub fn render_json(run: &CorpusRun) -> String {
+    let apps: Vec<String> = run
+        .apps
+        .iter()
+        .map(|app| {
+            let findings: Vec<String> = app
+                .findings
+                .iter()
+                .map(|f| json_finding(f, &run.witnesses))
+                .collect();
+            format!(
+                "{{\"app\":\"{}\",\"models\":{},\"validations\":{},\"associations\":{},\"transactions\":{},\"findings\":[{}]}}",
+                json_escape(&app.app),
+                app.models,
+                app.validations,
+                app.associations,
+                app.transactions,
+                findings.join(",")
+            )
+        })
+        .collect();
+    format!(
+        "{{\"tool\":\"feral-lint\",\"apps\":[{}]}}\n",
+        apps.join(",")
+    )
+}
+
+/// SARIF 2.1.0, minimal profile: one run, rule metadata in
+/// `tool.driver.rules`, findings as `results` with physical locations
+/// `"{app}/{file}"`.
+pub fn render_sarif(run: &CorpusRun) -> String {
+    let rules: Vec<String> = RULES
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"id\":\"{}\",\"name\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}},\"helpUri\":\"\",\"properties\":{{\"citation\":\"{}\"}}}}",
+                r.id,
+                r.name,
+                json_escape(r.summary),
+                json_escape(r.citation)
+            )
+        })
+        .collect();
+    let mut results = Vec::new();
+    for app in &run.apps {
+        for f in &app.findings {
+            let uri = format!("{}/{}", app.app, f.file);
+            let mut message = f.message.clone();
+            if let Some(w) = f.witness.and_then(|wi| run.witnesses.get(wi)) {
+                let _ = write!(message, " [witness: {}]", w.replay);
+            }
+            results.push(format!(
+                "{{\"ruleId\":\"{}\",\"level\":\"{}\",\"message\":{{\"text\":\"{}\"}},\"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\"}}}}}}]}}",
+                f.rule,
+                f.severity.sarif_level(),
+                json_escape(&message),
+                json_escape(&uri)
+            ));
+        }
+    }
+    format!(
+        "{{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\"version\":\"2.1.0\",\"runs\":[{{\"tool\":{{\"driver\":{{\"name\":\"feral-lint\",\"informationUri\":\"\",\"rules\":[{}]}}}},\"results\":[{}]}}]}}\n",
+        rules.join(","),
+        results.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_and_control_chars() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,522 @@
+//! The rule catalog: five semantic checks over a resolved
+//! [`ModelGraph`], each mapped to a paper verdict via the
+//! invariant-confluence model checker (`feral_iconfluence::derive_safety`)
+//! rather than a hand-written safe/unsafe table.
+
+use crate::graph::{AssocKind, ModelGraph};
+use feral_iconfluence::{derive_safety, OperationMix, PaperVerdict, Safety, TABLE_ONE};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Style/coordination smell: safe-ish today, fragile under load.
+    Warning,
+    /// The declared invariant is enforceable only ferally and the
+    /// model checker proves the feral check non-I-confluent: concurrent
+    /// sessions can admit a violation.
+    Error,
+}
+
+impl Severity {
+    /// SARIF `level` spelling.
+    pub fn sarif_level(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// Which paper anomaly an unsafe finding admits, keyed to the
+/// feral-sim scenario family that witnesses it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Anomaly {
+    /// §5.2: duplicate rows slip past `validates_uniqueness_of`.
+    DuplicateAdmitting,
+    /// §5.3/§5.4: dangling references survive feral cascades.
+    OrphanAdmitting,
+}
+
+impl Anomaly {
+    /// Human label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Anomaly::DuplicateAdmitting => "duplicate-admitting",
+            Anomaly::OrphanAdmitting => "orphan-admitting",
+        }
+    }
+}
+
+/// Static metadata for one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleMeta {
+    /// Stable id (`FERAL001`).
+    pub id: &'static str,
+    /// Short kebab name.
+    pub name: &'static str,
+    /// One-line description (SARIF `shortDescription`).
+    pub summary: &'static str,
+    /// Paper citation backing the rule.
+    pub citation: &'static str,
+}
+
+/// The catalog, in id order.
+pub const RULES: &[RuleMeta] = &[
+    RuleMeta {
+        id: "FERAL001",
+        name: "missing-unique-index",
+        summary: "validates_uniqueness_of with no backing unique index admits duplicates",
+        citation: "Bailis et al., SIGMOD 2015, Table 1 & §5.2",
+    },
+    RuleMeta {
+        id: "FERAL002",
+        name: "missing-foreign-key",
+        summary: "association reference with no database foreign key admits orphans",
+        citation: "Bailis et al., SIGMOD 2015, §5.3–§5.4",
+    },
+    RuleMeta {
+        id: "FERAL003",
+        name: "validation-outside-transaction",
+        summary: "non-I-confluent validations with no transaction scope anywhere in the app",
+        citation: "Bailis et al., SIGMOD 2015, §4.3",
+    },
+    RuleMeta {
+        id: "FERAL004",
+        name: "inert-optimistic-lock",
+        summary: "model references lock_version but the schema never declares the column",
+        citation: "Bailis et al., SIGMOD 2015, §4.4 & Table 4",
+    },
+    RuleMeta {
+        id: "FERAL005",
+        name: "unvalidated-through-chain",
+        summary: "has_many :through whose intermediate model lacks matching integrity checks",
+        citation: "Bailis et al., SIGMOD 2015, §4.2 & Table 1 (validates_associated)",
+    },
+];
+
+/// Look rule metadata up by id.
+pub fn rule_meta(id: &str) -> &'static RuleMeta {
+    RULES
+        .iter()
+        .find(|r| r.id == id)
+        .expect("finding carries an unknown rule id")
+}
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id (`FERAL001`).
+    pub rule: &'static str,
+    /// Severity.
+    pub severity: Severity,
+    /// Offending model.
+    pub model: String,
+    /// Declaring file (application-relative).
+    pub file: String,
+    /// Human message.
+    pub message: String,
+    /// Table 1 verdict of the invariant the construct ferally enforces.
+    pub verdict: PaperVerdict,
+    /// Model-checker-derived safety of that invariant (when checkable).
+    pub safety: Option<Safety>,
+    /// The admitted anomaly, for unsafe findings.
+    pub anomaly: Option<Anomaly>,
+    /// Index into the run's witness table (filled by witness search).
+    pub witness: Option<usize>,
+}
+
+/// Memoizing wrapper around [`derive_safety`]: the checker enumerates
+/// abstract states per call, and the corpus triggers the same
+/// (kind, mix) pairs thousands of times.
+#[derive(Default)]
+pub struct SafetyCache {
+    derived: BTreeMap<(String, bool), Option<Safety>>,
+}
+
+impl SafetyCache {
+    /// Model-checker-derived safety, memoized.
+    pub fn derive(&mut self, kind: &str, mix: OperationMix) -> Option<Safety> {
+        let key = (kind.to_string(), mix == OperationMix::WithDeletions);
+        *self
+            .derived
+            .entry(key)
+            .or_insert_with(|| derive_safety(kind, mix))
+    }
+}
+
+/// Table 1 verdict for a validator kind (kinds outside the table are
+/// row-local checks — "Yes").
+pub fn table_one_verdict(kind: &str) -> PaperVerdict {
+    TABLE_ONE
+        .iter()
+        .find(|r| r.name == kind)
+        .map(|r| r.verdict)
+        .unwrap_or(PaperVerdict::Yes)
+}
+
+/// Run the full catalog over one resolved graph. Findings come back in
+/// rule-id order, deterministically.
+pub fn run_rules(graph: &ModelGraph, cache: &mut SafetyCache) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    missing_unique_index(graph, cache, &mut findings);
+    missing_foreign_key(graph, cache, &mut findings);
+    validation_outside_transaction(graph, cache, &mut findings);
+    inert_optimistic_lock(graph, &mut findings);
+    unvalidated_through_chain(graph, cache, &mut findings);
+    findings
+}
+
+/// FERAL001: `validates_uniqueness_of` on a column with no backing
+/// unique index. The feral check is SELECT-then-INSERT; the model
+/// checker proves it non-I-confluent even under insertions only, so
+/// without the index the database admits duplicates under any weak
+/// isolation (§5.2's quantified anomaly).
+fn missing_unique_index(graph: &ModelGraph, cache: &mut SafetyCache, out: &mut Vec<Finding>) {
+    let mut seen = BTreeSet::new();
+    for model in &graph.models {
+        for v in &model.validations {
+            if v.kind != "validates_uniqueness_of" || v.field.is_empty() {
+                continue;
+            }
+            if graph.schema.has_unique_index(&model.table, &v.field) {
+                continue;
+            }
+            if !seen.insert((model.name.clone(), v.field.clone())) {
+                continue;
+            }
+            let safety = cache.derive("validates_uniqueness_of", OperationMix::InsertionsOnly);
+            out.push(Finding {
+                rule: "FERAL001",
+                severity: Severity::Error,
+                model: model.name.clone(),
+                file: model.file.clone(),
+                message: format!(
+                    "{}.{} is validated unique but `{}` has no unique index on ({}); \
+                     concurrent inserts admit duplicate rows",
+                    model.name, v.field, model.table, v.field
+                ),
+                verdict: table_one_verdict("validates_uniqueness_of"),
+                safety,
+                anomaly: Some(Anomaly::DuplicateAdmitting),
+                witness: None,
+            });
+        }
+    }
+}
+
+/// FERAL002: an association reference column with no database foreign
+/// key. Covers `belongs_to` (the referencing side) and feral cascades
+/// (`has_many ..., dependent: :destroy/:delete_all`): either way the
+/// referential invariant is matching-generation presence, which the
+/// checker proves non-I-confluent once deletions enter the mix, so a
+/// concurrent destroy + insert admits orphans (§5.3–§5.4).
+fn missing_foreign_key(graph: &ModelGraph, cache: &mut SafetyCache, out: &mut Vec<Finding>) {
+    let mut seen = BTreeSet::new();
+    for model in &graph.models {
+        for edge in &model.associations {
+            let relevant = match edge.kind {
+                AssocKind::BelongsTo => true,
+                AssocKind::HasMany | AssocKind::HasOne => edge.dependent_cascades(),
+                AssocKind::Habtm => false,
+            };
+            if !relevant || edge.through.is_some() {
+                continue;
+            }
+            if graph
+                .schema
+                .has_foreign_key(&edge.fk_table, &edge.fk_column)
+            {
+                continue;
+            }
+            if !seen.insert((edge.fk_table.clone(), edge.fk_column.clone())) {
+                continue;
+            }
+            let safety = cache.derive("validates_presence_of", OperationMix::WithDeletions);
+            let how = match edge.kind {
+                AssocKind::BelongsTo => format!("belongs_to :{}", edge.name),
+                _ => format!(
+                    "has_many :{}, dependent: :{}",
+                    edge.name,
+                    edge.dependent.as_deref().unwrap_or("destroy")
+                ),
+            };
+            out.push(Finding {
+                rule: "FERAL002",
+                severity: Severity::Error,
+                model: model.name.clone(),
+                file: model.file.clone(),
+                message: format!(
+                    "{} declares `{}` but `{}.{}` has no foreign key; a concurrent \
+                     destroy admits orphaned rows",
+                    model.name, how, edge.fk_table, edge.fk_column
+                ),
+                verdict: table_one_verdict("validates_presence_of"),
+                safety,
+                anomaly: Some(Anomaly::OrphanAdmitting),
+                witness: None,
+            });
+        }
+    }
+}
+
+/// FERAL003: the application declares validations the checker proves
+/// non-I-confluent, yet never opens a transaction block anywhere. Even
+/// Rails' per-save transaction doesn't serialize the validation read
+/// with the write (§4.3); an app with *zero* explicit coordination is
+/// the paper's "fully feral" posture.
+fn validation_outside_transaction(
+    graph: &ModelGraph,
+    cache: &mut SafetyCache,
+    out: &mut Vec<Finding>,
+) {
+    if graph.transactions > 0 {
+        return;
+    }
+    for model in &graph.models {
+        let unsafe_kinds: BTreeSet<&str> = model
+            .validations
+            .iter()
+            .filter(|v| {
+                cache.derive(&v.kind, OperationMix::WithDeletions) == Some(Safety::NotIConfluent)
+            })
+            .map(|v| v.kind.as_str())
+            .collect();
+        if unsafe_kinds.is_empty() {
+            continue;
+        }
+        let kinds: Vec<&str> = unsafe_kinds.into_iter().collect();
+        out.push(Finding {
+            rule: "FERAL003",
+            severity: Severity::Warning,
+            model: model.name.clone(),
+            file: model.file.clone(),
+            message: format!(
+                "{} runs non-I-confluent validations ({}) and the application never \
+                 opens a transaction scope",
+                model.name,
+                kinds.join(", ")
+            ),
+            verdict: PaperVerdict::No,
+            safety: Some(Safety::NotIConfluent),
+            anomaly: None,
+            witness: None,
+        });
+    }
+}
+
+/// FERAL004: the model references `lock_version` (optimistic locking)
+/// but the schema never declares the column, so Active Record silently
+/// skips the stale-object check — the lock is declared yet inert
+/// (Table 4's 10 optimistic-lock uses presume the column exists).
+fn inert_optimistic_lock(graph: &ModelGraph, out: &mut Vec<Finding>) {
+    for model in &graph.models {
+        if model.lock_version_refs == 0 {
+            continue;
+        }
+        if graph.schema.has_column(&model.table, "lock_version") {
+            continue;
+        }
+        out.push(Finding {
+            rule: "FERAL004",
+            severity: Severity::Warning,
+            model: model.name.clone(),
+            file: model.file.clone(),
+            message: format!(
+                "{} references lock_version but `{}` has no lock_version column; \
+                 optimistic locking is silently disabled",
+                model.name, model.table
+            ),
+            verdict: PaperVerdict::Depends,
+            safety: None,
+            anomaly: None,
+            witness: None,
+        });
+    }
+}
+
+/// FERAL005: `has_many :through` whose intermediate hop carries none of
+/// the integrity checks the chain relies on. The endpoints see rows the
+/// intermediate is free to orphan — `validates_associated` territory,
+/// "Depends" in Table 1 and unsafe once deletions occur.
+fn unvalidated_through_chain(graph: &ModelGraph, cache: &mut SafetyCache, out: &mut Vec<Finding>) {
+    for model in &graph.models {
+        for edge in &model.associations {
+            let Some((through_name, through_class)) = &edge.through else {
+                continue;
+            };
+            let (guarded, reason) = match graph.model(through_class) {
+                None => (false, format!("no model `{through_class}` is declared")),
+                Some(mid) => {
+                    let has_presence = mid.validations.iter().any(|v| {
+                        v.kind == "validates_presence_of" || v.kind == "validates_associated"
+                    });
+                    let has_belongs_to = mid
+                        .associations
+                        .iter()
+                        .any(|e| e.kind == AssocKind::BelongsTo);
+                    (
+                        has_presence && has_belongs_to,
+                        format!(
+                            "`{through_class}` lacks {}",
+                            if has_belongs_to {
+                                "a presence/associated validation on its references"
+                            } else {
+                                "a belongs_to link back to the chain"
+                            }
+                        ),
+                    )
+                }
+            };
+            if guarded {
+                continue;
+            }
+            let safety = cache.derive("validates_associated", OperationMix::WithDeletions);
+            out.push(Finding {
+                rule: "FERAL005",
+                severity: Severity::Warning,
+                model: model.name.clone(),
+                file: model.file.clone(),
+                message: format!(
+                    "{} reaches :{} through :{}, but {}; the chain admits dangling hops",
+                    model.name, edge.name, through_name, reason
+                ),
+                verdict: table_one_verdict("validates_associated"),
+                safety,
+                anomaly: None,
+                witness: None,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{ModelGraph, SourceFile};
+    use feral_corpus::{analyze_source, ParseOptions};
+
+    fn graph(sources: &[(&str, &str)], ddl: &[&str]) -> ModelGraph {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(path, src)| SourceFile {
+                path: path.to_string(),
+                analysis: analyze_source(src, &ParseOptions::default()),
+            })
+            .collect();
+        let ddl: Vec<String> = ddl.iter().map(|s| s.to_string()).collect();
+        ModelGraph::resolve("test", &files, &ddl)
+    }
+
+    fn ids(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn unbacked_uniqueness_is_flagged_and_backed_is_not() {
+        let src = "class User < ActiveRecord::Base\n  validates :email, uniqueness: true\nend\n";
+        let mut cache = SafetyCache::default();
+
+        let bare = graph(&[("user.rb", src)], &["CREATE TABLE users (email TEXT)"]);
+        let findings = run_rules(&bare, &mut cache);
+        assert!(ids(&findings).contains(&"FERAL001"));
+        let f = findings.iter().find(|f| f.rule == "FERAL001").unwrap();
+        assert_eq!(f.severity, Severity::Error);
+        assert_eq!(f.verdict, PaperVerdict::No);
+        assert_eq!(f.safety, Some(Safety::NotIConfluent));
+        assert_eq!(f.anomaly, Some(Anomaly::DuplicateAdmitting));
+
+        let backed = graph(
+            &[("user.rb", src)],
+            &[
+                "CREATE TABLE users (email TEXT)",
+                "CREATE UNIQUE INDEX idx ON users (email)",
+            ],
+        );
+        assert!(!ids(&run_rules(&backed, &mut cache)).contains(&"FERAL001"));
+    }
+
+    #[test]
+    fn unbacked_references_are_flagged_once_per_column() {
+        let dept =
+            "class Department < ActiveRecord::Base\n  has_many :users, dependent: :destroy\nend\n";
+        let user = "class User < ActiveRecord::Base\n  belongs_to :department\nend\n";
+        let mut cache = SafetyCache::default();
+
+        let bare = graph(
+            &[("department.rb", dept), ("user.rb", user)],
+            &[
+                "CREATE TABLE departments (name TEXT)",
+                "CREATE TABLE users (department_id INT)",
+            ],
+        );
+        let findings = run_rules(&bare, &mut cache);
+        let fks: Vec<&Finding> = findings.iter().filter(|f| f.rule == "FERAL002").collect();
+        // both the has_many cascade and the belongs_to point at
+        // users.department_id — deduped to one finding
+        assert_eq!(fks.len(), 1);
+        assert_eq!(fks[0].anomaly, Some(Anomaly::OrphanAdmitting));
+        assert_eq!(fks[0].safety, Some(Safety::NotIConfluent));
+
+        let backed = graph(
+            &[("department.rb", dept), ("user.rb", user)],
+            &[
+                "CREATE TABLE departments (name TEXT)",
+                "CREATE TABLE users (department_id INT REFERENCES departments (id))",
+            ],
+        );
+        assert!(!ids(&run_rules(&backed, &mut cache)).contains(&"FERAL002"));
+    }
+
+    #[test]
+    fn transactionless_unsafe_validation_warns() {
+        let src = "class User < ActiveRecord::Base\n  validates :name, presence: true\nend\n";
+        let mut cache = SafetyCache::default();
+        let g = graph(&[("user.rb", src)], &[]);
+        assert!(ids(&run_rules(&g, &mut cache)).contains(&"FERAL003"));
+
+        let with_txn =
+            format!("{src}\nclass Api\n  def go\n    transaction do\n    end\n  end\nend\n");
+        let g = graph(&[("user.rb", &with_txn)], &[]);
+        assert!(!ids(&run_rules(&g, &mut cache)).contains(&"FERAL003"));
+    }
+
+    #[test]
+    fn lock_version_without_column_warns() {
+        let src =
+            "class Account < ActiveRecord::Base\n  def bump\n    self.lock_version\n  end\nend\n";
+        let mut cache = SafetyCache::default();
+        let g = graph(
+            &[("account.rb", src)],
+            &["CREATE TABLE accounts (name TEXT)"],
+        );
+        assert!(ids(&run_rules(&g, &mut cache)).contains(&"FERAL004"));
+
+        let g = graph(
+            &[("account.rb", src)],
+            &["CREATE TABLE accounts (name TEXT, lock_version INT)"],
+        );
+        assert!(!ids(&run_rules(&g, &mut cache)).contains(&"FERAL004"));
+    }
+
+    #[test]
+    fn through_chain_with_unguarded_intermediate_warns() {
+        let dept =
+            "class Department < ActiveRecord::Base\n  has_many :users, through: :positions\nend\n";
+        let bare_mid = "class Position < ActiveRecord::Base\nend\n";
+        let guarded_mid = "class Position < ActiveRecord::Base\n  belongs_to :department\n  validates :department, presence: true\nend\n";
+        let mut cache = SafetyCache::default();
+
+        let g = graph(&[("department.rb", dept), ("position.rb", bare_mid)], &[]);
+        assert!(ids(&run_rules(&g, &mut cache)).contains(&"FERAL005"));
+
+        let g = graph(&[("department.rb", dept)], &[]);
+        assert!(ids(&run_rules(&g, &mut cache)).contains(&"FERAL005"));
+
+        let g = graph(
+            &[("department.rb", dept), ("position.rb", guarded_mid)],
+            &[],
+        );
+        assert!(!ids(&run_rules(&g, &mut cache)).contains(&"FERAL005"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Witness generation: for every unsafe finding, search the feral-sim
+//! schedule space for a concrete interleaving on which the predicted
+//! anomaly actually fires, and attach the (seed | choices) needed to
+//! replay it bit-identically under `feral-sim replay`.
+//!
+//! The search is per anomaly *kind*, not per finding — every
+//! duplicate-admitting finding maps onto the same canonical §5.2
+//! scenario, so one search serves the whole corpus run.
+
+use crate::rules::Anomaly;
+use feral_db::IsolationLevel;
+use feral_sim::scenarios::{Guard, ScenarioKind, ScenarioSpec};
+use feral_sim::{explore_random, explore_systematic};
+
+/// A replayable anomaly witness.
+#[derive(Debug, Clone)]
+pub struct Witness {
+    /// The scenario configuration the schedule ran under.
+    pub spec: ScenarioSpec,
+    /// Seed that produced the violating schedule (random search).
+    pub seed: Option<u64>,
+    /// Branch choices of the violating schedule (always replayable).
+    pub choices: Vec<usize>,
+    /// Schedules searched before the oracle fired.
+    pub schedules_searched: usize,
+    /// What the anomaly oracle reported.
+    pub message: String,
+    /// `feral-sim replay ...` invocation reproducing the run.
+    pub replay: String,
+}
+
+/// The canonical scenario witnessing an anomaly kind: weakest realistic
+/// isolation (read committed), feral guard only — the configuration the
+/// paper measures in §5.
+pub fn spec_for(anomaly: Anomaly) -> ScenarioSpec {
+    match anomaly {
+        Anomaly::DuplicateAdmitting => ScenarioSpec {
+            kind: ScenarioKind::Uniqueness,
+            isolation: IsolationLevel::ReadCommitted,
+            guard: Guard::Feral,
+            workers: 2,
+        },
+        Anomaly::OrphanAdmitting => ScenarioSpec {
+            kind: ScenarioKind::Orphans,
+            isolation: IsolationLevel::ReadCommitted,
+            guard: Guard::Feral,
+            workers: 1,
+        },
+    }
+}
+
+/// Search for a violating schedule: random seeds `0..max_seeds` first
+/// (cheap, usually fires within a handful), then exhaustive systematic
+/// enumeration as a fallback. Returns `None` only if both passes come
+/// up empty — for the canonical feral-guarded scenarios they don't.
+pub fn find_witness(anomaly: Anomaly, max_seeds: u64) -> Option<Witness> {
+    let spec = spec_for(anomaly);
+    let random = explore_random(|| spec.build(), 0..max_seeds);
+    if let Some(v) = random.violation {
+        return Some(Witness {
+            spec,
+            seed: v.seed,
+            choices: v.choices.clone(),
+            schedules_searched: random.runs,
+            message: v.message,
+            replay: spec.replay_command(v.seed, &v.choices),
+        });
+    }
+    let systematic = explore_systematic(|| spec.build(), 50_000);
+    systematic.violation.map(|v| Witness {
+        spec,
+        seed: None,
+        choices: v.choices.clone(),
+        schedules_searched: random.runs + systematic.runs,
+        message: v.message,
+        replay: spec.replay_command(None, &v.choices),
+    })
+}
+
+/// Replay a witness and report whether its oracle still fires. Used by
+/// the golden tests and by `feral-lint --check-witnesses`.
+pub fn replays(witness: &Witness) -> bool {
+    let trial = witness.spec.build();
+    let (_, verdict) = match witness.seed {
+        Some(seed) => feral_sim::run_with_seed(trial, seed),
+        None => feral_sim::run_with_choices(trial, &witness.choices),
+    };
+    verdict.is_err()
+}
+
+/// Per-run cache: one witness search per anomaly kind.
+#[derive(Debug, Default)]
+pub struct WitnessCache {
+    slots: [Option<Option<Witness>>; 2],
+}
+
+impl WitnessCache {
+    fn slot(anomaly: Anomaly) -> usize {
+        match anomaly {
+            Anomaly::DuplicateAdmitting => 0,
+            Anomaly::OrphanAdmitting => 1,
+        }
+    }
+
+    /// Get (searching on first use) the witness for an anomaly kind.
+    pub fn get(&mut self, anomaly: Anomaly, max_seeds: u64) -> Option<&Witness> {
+        let slot = Self::slot(anomaly);
+        if self.slots[slot].is_none() {
+            self.slots[slot] = Some(find_witness(anomaly, max_seeds));
+        }
+        self.slots[slot].as_ref().unwrap().as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_anomaly_kinds_yield_replayable_witnesses() {
+        for anomaly in [Anomaly::DuplicateAdmitting, Anomaly::OrphanAdmitting] {
+            let w = find_witness(anomaly, 256).expect("witness search must fire");
+            assert!(w.schedules_searched >= 1);
+            assert!(w.replay.starts_with("feral-sim replay --scenario "));
+            assert!(replays(&w), "witness must replay deterministically: {w:?}");
+            // replaying twice gives the same verdict — determinism, not luck
+            assert!(replays(&w));
+        }
+    }
+
+    #[test]
+    fn witness_cache_searches_once_per_kind() {
+        let mut cache = WitnessCache::default();
+        let first = cache
+            .get(Anomaly::DuplicateAdmitting, 256)
+            .expect("fires")
+            .clone();
+        let second = cache.get(Anomaly::DuplicateAdmitting, 256).expect("fires");
+        assert_eq!(first.seed, second.seed);
+        assert_eq!(first.choices, second.choices);
+    }
+}

@@ -23,39 +23,9 @@
 //! `serializable`.
 
 use feral_db::IsolationLevel;
-use feral_sim::scenarios::{orphan_trial, uniqueness_trial, Guard};
-use feral_sim::{explore_random, explore_systematic, run_with_choices, run_with_seed, Trial};
+use feral_sim::scenarios::{Guard, ScenarioKind, ScenarioSpec};
+use feral_sim::{explore_random, explore_systematic, run_with_choices, run_with_seed};
 use std::process::ExitCode;
-
-#[derive(Clone, Copy)]
-struct ScenarioCfg {
-    scenario: &'static str,
-    isolation: IsolationLevel,
-    guard: Guard,
-    workers: usize,
-}
-
-impl ScenarioCfg {
-    fn build(&self) -> Trial {
-        match self.scenario {
-            "uniqueness" => uniqueness_trial(self.isolation, self.guard, self.workers),
-            "orphans" => orphan_trial(self.isolation, self.guard, self.workers),
-            other => die(&format!("unknown scenario `{other}` (uniqueness|orphans)")),
-        }
-    }
-
-    fn label(&self) -> String {
-        format!(
-            "{}/{:?}/{}",
-            self.scenario,
-            self.isolation,
-            match self.guard {
-                Guard::Feral => "feral",
-                Guard::Database => "db-constraint",
-            }
-        )
-    }
-}
 
 fn die(msg: &str) -> ! {
     eprintln!("feral-sim: {msg}");
@@ -109,15 +79,14 @@ impl Args {
             .unwrap_or(default)
     }
 
-    fn scenario_cfg(&self) -> ScenarioCfg {
-        let scenario = match self.get("scenario") {
-            Some("uniqueness") => "uniqueness",
-            Some("orphans") => "orphans",
-            Some(other) => die(&format!("unknown scenario `{other}`")),
+    fn scenario_cfg(&self) -> ScenarioSpec {
+        let kind = match self.get("scenario") {
+            Some(name) => ScenarioKind::parse(name)
+                .unwrap_or_else(|| die(&format!("unknown scenario `{name}` (uniqueness|orphans)"))),
             None => die("--scenario is required"),
         };
-        ScenarioCfg {
-            scenario,
+        ScenarioSpec {
+            kind,
             isolation: self
                 .get("isolation")
                 .map(parse_isolation)
@@ -132,7 +101,7 @@ impl Args {
     }
 }
 
-fn cmd_systematic(cfg: ScenarioCfg, max_runs: usize) -> ExitCode {
+fn cmd_systematic(cfg: ScenarioSpec, max_runs: usize) -> ExitCode {
     let outcome = explore_systematic(|| cfg.build(), max_runs);
     match outcome.violation {
         Some(v) => {
@@ -161,7 +130,7 @@ fn cmd_systematic(cfg: ScenarioCfg, max_runs: usize) -> ExitCode {
     }
 }
 
-fn cmd_random(cfg: ScenarioCfg, seeds: u64) -> ExitCode {
+fn cmd_random(cfg: ScenarioSpec, seeds: u64) -> ExitCode {
     let outcome = explore_random(|| cfg.build(), 0..seeds);
     match outcome.violation {
         Some(v) => {
@@ -177,13 +146,17 @@ fn cmd_random(cfg: ScenarioCfg, seeds: u64) -> ExitCode {
             ExitCode::from(1)
         }
         None => {
-            println!("{}: no anomaly in {} seeded runs", cfg.label(), outcome.runs);
+            println!(
+                "{}: no anomaly in {} seeded runs",
+                cfg.label(),
+                outcome.runs
+            );
             ExitCode::SUCCESS
         }
     }
 }
 
-fn cmd_replay(cfg: ScenarioCfg, args: &Args) -> ExitCode {
+fn cmd_replay(cfg: ScenarioSpec, args: &Args) -> ExitCode {
     let (run, verdict) = if let Some(seed) = args.get("seed") {
         let seed = seed
             .parse()
@@ -219,19 +192,24 @@ fn cmd_replay(cfg: ScenarioCfg, args: &Args) -> ExitCode {
 fn cmd_matrix(max_runs: usize) -> ExitCode {
     use IsolationLevel::{ReadCommitted, Serializable};
     // (scenario cfg, anomaly expected?)
-    let cells: Vec<(ScenarioCfg, bool)> = vec![
-        (cell("uniqueness", ReadCommitted, Guard::Feral), true),
-        (cell("uniqueness", Serializable, Guard::Feral), false),
-        (cell("uniqueness", ReadCommitted, Guard::Database), false),
-        (cell("orphans", ReadCommitted, Guard::Feral), true),
-        (cell("orphans", Serializable, Guard::Feral), false),
-        (cell("orphans", ReadCommitted, Guard::Database), false),
+    use ScenarioKind::{Orphans, Uniqueness};
+    let cells: Vec<(ScenarioSpec, bool)> = vec![
+        (cell(Uniqueness, ReadCommitted, Guard::Feral), true),
+        (cell(Uniqueness, Serializable, Guard::Feral), false),
+        (cell(Uniqueness, ReadCommitted, Guard::Database), false),
+        (cell(Orphans, ReadCommitted, Guard::Feral), true),
+        (cell(Orphans, Serializable, Guard::Feral), false),
+        (cell(Orphans, ReadCommitted, Guard::Database), false),
     ];
     let mut failures = 0;
     for (cfg, expect_anomaly) in cells {
         let outcome = explore_systematic(|| cfg.build(), max_runs);
         let found = outcome.violation.is_some();
-        let verdict = if found == expect_anomaly { "ok" } else { "FAIL" };
+        let verdict = if found == expect_anomaly {
+            "ok"
+        } else {
+            "FAIL"
+        };
         let detail = match &outcome.violation {
             Some(v) => format!("anomaly: {} ({})", v.message, v.replay_hint()),
             None if outcome.complete => format!("safe across all {} schedules", outcome.runs),
@@ -251,13 +229,13 @@ fn cmd_matrix(max_runs: usize) -> ExitCode {
     }
 }
 
-fn cell(scenario: &'static str, isolation: IsolationLevel, guard: Guard) -> ScenarioCfg {
-    ScenarioCfg {
-        scenario,
+fn cell(kind: ScenarioKind, isolation: IsolationLevel, guard: Guard) -> ScenarioSpec {
+    ScenarioSpec {
+        kind,
         isolation,
         guard,
-        workers: match scenario {
-            "orphans" => 1,
+        workers: match kind {
+            ScenarioKind::Orphans => 1,
             _ => 2,
         },
     }

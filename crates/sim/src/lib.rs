@@ -33,9 +33,9 @@
 #![warn(missing_docs)]
 
 mod explore;
-mod scheduler;
 pub mod oracles;
 pub mod scenarios;
+mod scheduler;
 
 pub use explore::{
     explore_random, explore_systematic, run_with_choices, run_with_seed, RandomExploration,
@@ -100,7 +100,10 @@ mod tests {
             let _ = run_with_seed(order_trial(log.clone()), seed);
             seen.insert(log.lock().unwrap().clone());
         }
-        assert!(seen.len() > 1, "all 16 seeds produced the same interleaving");
+        assert!(
+            seen.len() > 1,
+            "all 16 seeds produced the same interleaving"
+        );
     }
 
     #[test]
@@ -176,10 +179,22 @@ mod tests {
         ))
         .unwrap();
         let mut tx = db.begin();
-        tx.insert_pairs("t", &[("id", feral_db::Datum::Int(1)), ("k", feral_db::Datum::Int(0))])
-            .unwrap();
-        tx.insert_pairs("t", &[("id", feral_db::Datum::Int(2)), ("k", feral_db::Datum::Int(0))])
-            .unwrap();
+        tx.insert_pairs(
+            "t",
+            &[
+                ("id", feral_db::Datum::Int(1)),
+                ("k", feral_db::Datum::Int(0)),
+            ],
+        )
+        .unwrap();
+        tx.insert_pairs(
+            "t",
+            &[
+                ("id", feral_db::Datum::Int(2)),
+                ("k", feral_db::Datum::Int(0)),
+            ],
+        )
+        .unwrap();
         tx.commit().unwrap();
         let timeouts = Arc::new(AtomicUsize::new(0));
         let mk_worker = |first: i64, second: i64| {

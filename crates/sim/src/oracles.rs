@@ -37,10 +37,7 @@ pub fn duplicate_keys(db: &Database, table: &str, column: &str) -> Vec<(Datum, u
             .or_insert_with(|| (key.clone(), 0));
         entry.1 += 1;
     }
-    let mut dups: Vec<(Datum, usize)> = counts
-        .into_values()
-        .filter(|(_, n)| *n > 1)
-        .collect();
+    let mut dups: Vec<(Datum, usize)> = counts.into_values().filter(|(_, n)| *n > 1).collect();
     dups.sort_by(|a, b| format!("{:?}", a.0).cmp(&format!("{:?}", b.0)));
     dups
 }
@@ -103,10 +100,7 @@ pub fn lost_updates(db: &Database, table: &str, column: &str, expected_total: i6
         .scan(table, &Predicate::True)
         .unwrap_or_else(|e| panic!("oracle scan of {table} failed: {e}"));
     tx.rollback();
-    let observed: i64 = rows
-        .iter()
-        .map(|(_, t)| t[col].as_int().unwrap_or(0))
-        .sum();
+    let observed: i64 = rows.iter().map(|(_, t)| t[col].as_int().unwrap_or(0)).sum();
     expected_total - observed
 }
 
@@ -159,8 +153,11 @@ mod tests {
         ))
         .unwrap();
         let mut tx = db.begin();
-        tx.insert_pairs("parents", &[("id", Datum::Int(1)), ("name", Datum::text("p"))])
-            .unwrap();
+        tx.insert_pairs(
+            "parents",
+            &[("id", Datum::Int(1)), ("name", Datum::text("p"))],
+        )
+        .unwrap();
         tx.insert_pairs("children", &[("parent_id", Datum::Int(1))])
             .unwrap();
         tx.insert_pairs("children", &[("parent_id", Datum::Int(99_999))])

@@ -24,6 +24,104 @@ pub enum Guard {
     Database,
 }
 
+/// Which canonical scenario a [`ScenarioSpec`] names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// §5.2: concurrent same-key inserts through `validates_uniqueness_of`.
+    Uniqueness,
+    /// §5.3/§5.4: cascade destroy racing dependent inserts.
+    Orphans,
+}
+
+impl ScenarioKind {
+    /// CLI spelling (`uniqueness` / `orphans`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioKind::Uniqueness => "uniqueness",
+            ScenarioKind::Orphans => "orphans",
+        }
+    }
+
+    /// Parse the CLI spelling.
+    pub fn parse(s: &str) -> Option<ScenarioKind> {
+        match s {
+            "uniqueness" => Some(ScenarioKind::Uniqueness),
+            "orphans" => Some(ScenarioKind::Orphans),
+            _ => None,
+        }
+    }
+}
+
+/// A fully-specified scenario configuration — everything needed to
+/// rebuild a [`Trial`] bit-identically. Shared between the `feral-sim`
+/// CLI and `feral-lint`'s witness generation, so a witness found by the
+/// linter replays verbatim under the CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioSpec {
+    /// Scenario family.
+    pub kind: ScenarioKind,
+    /// Isolation level of every session.
+    pub isolation: IsolationLevel,
+    /// Feral-only or feral + database constraint.
+    pub guard: Guard,
+    /// Concurrent writers (uniqueness) / inserters racing the destroyer
+    /// (orphans).
+    pub workers: usize,
+}
+
+impl ScenarioSpec {
+    /// Build a fresh runnable trial for this configuration.
+    pub fn build(&self) -> Trial {
+        match self.kind {
+            ScenarioKind::Uniqueness => uniqueness_trial(self.isolation, self.guard, self.workers),
+            ScenarioKind::Orphans => orphan_trial(self.isolation, self.guard, self.workers),
+        }
+    }
+
+    /// Compact `scenario/isolation/guard` label for reports.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{:?}/{}",
+            self.kind.name(),
+            self.isolation,
+            match self.guard {
+                Guard::Feral => "feral",
+                Guard::Database => "db-constraint",
+            }
+        )
+    }
+
+    /// The flag spelling of the isolation level (`read-committed`).
+    pub fn isolation_flag(&self) -> String {
+        self.isolation.to_string().replace(' ', "-")
+    }
+
+    /// The `feral-sim replay` invocation reproducing the schedule chosen
+    /// by `seed` (preferred) or an explicit choice list.
+    pub fn replay_command(&self, seed: Option<u64>, choices: &[usize]) -> String {
+        let mut cmd = format!(
+            "feral-sim replay --scenario {} --isolation {} --guard {} --workers {}",
+            self.kind.name(),
+            self.isolation_flag(),
+            match self.guard {
+                Guard::Feral => "feral",
+                Guard::Database => "database",
+            },
+            self.workers
+        );
+        match seed {
+            Some(s) => {
+                cmd.push_str(&format!(" --seed {s}"));
+            }
+            None => {
+                let list: Vec<String> = choices.iter().map(|c| c.to_string()).collect();
+                cmd.push_str(&format!(" --choices {}", list.join(",")));
+            }
+        }
+        cmd
+    }
+}
+
 fn db_at(isolation: IsolationLevel) -> Database {
     Database::new(Config {
         default_isolation: isolation,
@@ -109,11 +207,7 @@ pub fn orphan_trial(isolation: IsolationLevel, guard: Guard, inserters: usize) -
 
 /// [`orphan_trial`], also handing back the application for post-run
 /// inspection.
-pub fn orphan_trial_app(
-    isolation: IsolationLevel,
-    guard: Guard,
-    inserters: usize,
-) -> (App, Trial) {
+pub fn orphan_trial_app(isolation: IsolationLevel, guard: Guard, inserters: usize) -> (App, Trial) {
     let app = App::new(db_at(isolation));
     app.define(
         ModelDef::build("Department")

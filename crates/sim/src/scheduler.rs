@@ -137,7 +137,11 @@ impl RunResult {
                 s.worker,
                 s.label,
                 cands.join(" "),
-                if s.deadlock { "  << deadlock victim" } else { "" },
+                if s.deadlock {
+                    "  << deadlock victim"
+                } else {
+                    ""
+                },
             );
         }
         out
@@ -355,7 +359,10 @@ impl SimScheduler {
             st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
         st.slots[worker].status = Status::Running;
-        st.slots[worker].grant.take().unwrap_or(WaitOutcome::Proceed)
+        st.slots[worker]
+            .grant
+            .take()
+            .unwrap_or(WaitOutcome::Proceed)
     }
 }
 

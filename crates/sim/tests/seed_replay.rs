@@ -95,8 +95,14 @@ fn deployment_trial() -> Trial {
             },
         );
         let requests = vec![
-            create_request("KeyValue", &[("key", Datum::text("k")), ("value", Datum::text("a"))]),
-            create_request("KeyValue", &[("key", Datum::text("k")), ("value", Datum::text("b"))]),
+            create_request(
+                "KeyValue",
+                &[("key", Datum::text("k")), ("value", Datum::text("a"))],
+            ),
+            create_request(
+                "KeyValue",
+                &[("key", Datum::text("k")), ("value", Datum::text("b"))],
+            ),
         ];
         let _ = deployment.round(requests);
         deployment.shutdown();

@@ -60,11 +60,27 @@ fn main() {
     println!("=== Part 1: duplicate usernames (paper §5.1-5.2) ===\n");
 
     for (label, iso, bug) in [
-        ("Read Committed (PostgreSQL default)", IsolationLevel::ReadCommitted, false),
-        ("Repeatable Read (MySQL default)", IsolationLevel::RepeatableRead, false),
-        ("Snapshot ('serializable' in Oracle 12c)", IsolationLevel::Snapshot, false),
+        (
+            "Read Committed (PostgreSQL default)",
+            IsolationLevel::ReadCommitted,
+            false,
+        ),
+        (
+            "Repeatable Read (MySQL default)",
+            IsolationLevel::RepeatableRead,
+            false,
+        ),
+        (
+            "Snapshot ('serializable' in Oracle 12c)",
+            IsolationLevel::Snapshot,
+            false,
+        ),
         ("Serializable", IsolationLevel::Serializable, false),
-        ("'Serializable' with PG bug #11732", IsolationLevel::Serializable, true),
+        (
+            "'Serializable' with PG bug #11732",
+            IsolationLevel::Serializable,
+            true,
+        ),
     ] {
         let app = forum_app(iso, bug);
         let dups = race_signups(&app, threads, rounds);

@@ -1,7 +1,10 @@
 fn main() {
-    use feral_db::{Config, Database, IsolationLevel, Datum};
+    use feral_db::{Config, Database, Datum, IsolationLevel};
     use feral_orm::{App, ModelDef};
-    let app = App::new(Database::new(Config { default_isolation: IsolationLevel::ReadCommitted, ..Config::default() }));
+    let app = App::new(Database::new(Config {
+        default_isolation: IsolationLevel::ReadCommitted,
+        ..Config::default()
+    }));
     app.define(
         ModelDef::build("Account")
             .string("login")
@@ -10,15 +13,26 @@ fn main() {
             .validates_length_of("login", Some(1), Some(64))
             .validates_uniqueness_of("login")
             .finish(),
-    ).unwrap();
+    )
+    .unwrap();
     let mut s = app.session();
     for i in 0u64..200_000 {
-        let rec = s.create("Account", &[("login", Datum::text(format!("feral_rc-{i}"))), ("balance", Datum::Int(0))]).unwrap();
+        let rec = s
+            .create(
+                "Account",
+                &[
+                    ("login", Datum::text(format!("feral_rc-{i}"))),
+                    ("balance", Datum::Int(0)),
+                ],
+            )
+            .unwrap();
         if !rec.is_persisted() {
             println!("FAILED at i={i}: {}", rec.errors);
             return;
         }
-        if i % 20000 == 0 { println!("i={i} ok"); }
+        if i % 20000 == 0 {
+            println!("i={i} ok");
+        }
     }
     println!("all ok");
 }

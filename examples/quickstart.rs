@@ -43,7 +43,10 @@ fn main() {
     let author = session
         .create_strict(
             "Author",
-            &[("name", Datum::text("Ursula K. Le Guin")), ("email", Datum::text("ursula@example.org"))],
+            &[
+                ("name", Datum::text("Ursula K. Le Guin")),
+                ("email", Datum::text("ursula@example.org")),
+            ],
         )
         .unwrap();
     println!("created {}", author.describe());

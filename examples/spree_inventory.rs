@@ -127,7 +127,11 @@ fn main() {
     println!(
         "after two concurrent unlocked setters (+7, +11): count_on_hand = {stock} \
          ({}: a classic Lost Update)",
-        if stock == 118 { "no race this time" } else { "one update was lost" }
+        if stock == 118 {
+            "no race this time"
+        } else {
+            "one update was lost"
+        }
     );
 
     // --- AvailabilityValidator races under concurrent order placement --
@@ -145,7 +149,10 @@ fn main() {
             let order = s
                 .create(
                     "OrderLine",
-                    &[("stock_item_id", Datum::Int(id)), ("quantity", Datum::Int(7))],
+                    &[
+                        ("stock_item_id", Datum::Int(id)),
+                        ("quantity", Datum::Int(7)),
+                    ],
                 )
                 .unwrap();
             order.is_persisted()

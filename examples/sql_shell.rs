@@ -46,12 +46,18 @@ fn render(output: SqlOutput) -> String {
             let header: Vec<String> = columns.clone();
             out.push_str(&line(&header));
             out.push('\n');
-            out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1)));
+            out.push_str(
+                &"-".repeat(widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1)),
+            );
             for row in &rendered {
                 out.push('\n');
                 out.push_str(&line(row));
             }
-            out.push_str(&format!("\n({} row{})", rows.len(), if rows.len() == 1 { "" } else { "s" }));
+            out.push_str(&format!(
+                "\n({} row{})",
+                rows.len(),
+                if rows.len() == 1 { "" } else { "s" }
+            ));
             out
         }
         SqlOutput::Affected(n) => format!("OK, {n} row(s) affected"),

@@ -7,21 +7,26 @@
 //! Run with: `cargo run --release --example survey_pipeline`
 
 use feral::corpus::{survey, synthesize_corpus};
-use feral::iconfluence::{
-    check, classify_validator, Invariant, OperationMix, Safety, Verdict,
-};
 use feral::iconfluence::ops::OpShapes;
+use feral::iconfluence::{check, classify_validator, Invariant, OperationMix, Safety, Verdict};
 
 fn main() {
     println!("synthesizing the 67-application corpus from Table 2 ground truth...");
     let corpus = synthesize_corpus(2015);
     let total_files: usize = corpus.iter().map(|a| a.render(None).len()).sum();
-    println!("  {} applications, {} Ruby files generated", corpus.len(), total_files);
+    println!(
+        "  {} applications, {} Ruby files generated",
+        corpus.len(),
+        total_files
+    );
 
     // show a snippet of generated Ruby
     let sample = &corpus[4]; // Spree
     let files = sample.render(None);
-    println!("\nsample of generated Ruby ({}, {}):", sample.stats.name, files[0].0);
+    println!(
+        "\nsample of generated Ruby ({}, {}):",
+        sample.stats.name, files[0].0
+    );
     for line in files[0].1.lines().take(8) {
         println!("  | {line}");
     }
@@ -61,7 +66,9 @@ fn main() {
     println!("\nand certifying foreign keys under insertions only:");
     match check(&Invariant::ForeignKey, &OpShapes::insertions()) {
         Verdict::Confluent { examined } => {
-            println!("  no counterexample in {examined} divergence pairs — safe without coordination")
+            println!(
+                "  no counterexample in {examined} divergence pairs — safe without coordination"
+            )
         }
         Verdict::NotConfluent(cx) => unreachable!("{cx}"),
     }

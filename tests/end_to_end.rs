@@ -94,7 +94,11 @@ fn classification_predicts_measured_anomalies() {
         Safety::NotIConfluent
     );
     // the row-local validators never raced
-    for kind in ["validates_length_of", "validates_format_of", "validates_numericality_of"] {
+    for kind in [
+        "validates_length_of",
+        "validates_format_of",
+        "validates_numericality_of",
+    ] {
         assert_eq!(
             classify_validator(kind, OperationMix::WithDeletions),
             Safety::IConfluent,
@@ -167,6 +171,10 @@ fn survey_round_trips_ground_truth_for_a_subset() {
             validations += analysis.validation_count();
         }
         assert_eq!(models as u32, app.stats.models, "{}", app.stats.name);
-        assert_eq!(validations as u32, app.stats.validations, "{}", app.stats.name);
+        assert_eq!(
+            validations as u32, app.stats.validations,
+            "{}",
+            app.stats.name
+        );
     }
 }

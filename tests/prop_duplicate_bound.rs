@@ -8,12 +8,12 @@
 //! interleaves at instrumented yield points. No barriers, no sleeps, no
 //! wall-clock — a failing case's `(p, seed)` pair replays it exactly.
 
+use feral::db::Datum;
+use feral::orm::{App, ModelDef};
 use feral_db::IsolationLevel;
 use feral_sim::oracles;
 use feral_sim::run_with_seed;
 use feral_sim::scenarios::{orphan_trial_app, uniqueness_trial_app, Guard};
-use feral::db::Datum;
-use feral::orm::{App, ModelDef};
 use proptest::prelude::*;
 
 /// Race `p` schedule-controlled workers inserting the same key under the

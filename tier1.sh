@@ -8,6 +8,12 @@ cd "$(dirname "$0")"
 echo "== tier1: release build =="
 cargo build --release
 
+echo "== tier1: clippy (deny warnings) =="
+cargo clippy --workspace -- -D warnings
+
+echo "== tier1: rustfmt check =="
+cargo fmt --check
+
 echo "== tier1: test suite =="
 cargo test -q
 

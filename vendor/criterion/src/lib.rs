@@ -28,6 +28,23 @@ impl Bencher {
         }
         self.total = start.elapsed();
     }
+
+    /// Time `iters` calls of `routine`, re-running `setup` before each
+    /// call outside the timed region.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.total = total;
+    }
 }
 
 /// Identifier for a parameterized benchmark.
@@ -63,7 +80,10 @@ fn run_one(label: &str, samples: u64, f: &mut dyn FnMut(&mut Bencher)) {
     };
     f(&mut b);
     let per_iter = b.total / (b.iters as u32);
-    println!("bench {label:<48} {per_iter:>12.2?}/iter ({} iters)", b.iters);
+    println!(
+        "bench {label:<48} {per_iter:>12.2?}/iter ({} iters)",
+        b.iters
+    );
 }
 
 /// Top-level benchmark registry/driver.
@@ -109,7 +129,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Run a benchmark within the group.
-    pub fn bench_function(&mut self, id: impl fmt::Display, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
         run_one(&format!("{}/{}", self.name, id), self.sample_size, &mut f);
         self
     }
@@ -121,9 +145,11 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: impl FnMut(&mut Bencher, &I),
     ) -> &mut Self {
-        run_one(&format!("{}/{}", self.name, id), self.sample_size, &mut |b| {
-            f(b, input)
-        });
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            &mut |b| f(b, input),
+        );
         self
     }
 

@@ -71,11 +71,7 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
 
 /// A strategy for `BTreeMap`s with `size` *attempted* insertions (key
 /// collisions collapse, as in the real crate).
-pub fn btree_map<K, V>(
-    keys: K,
-    values: V,
-    size: impl Into<SizeRange>,
-) -> BTreeMapStrategy<K, V>
+pub fn btree_map<K, V>(keys: K, values: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
 where
     K: Strategy,
     K::Value: Ord,

@@ -23,7 +23,10 @@ pub trait Strategy {
         O: Debug,
         F: Fn(Self::Value) -> O,
     {
-        Map { source: self, map: f }
+        Map {
+            source: self,
+            map: f,
+        }
     }
 
     /// Erase the concrete type (used by [`prop_oneof!`](crate::prop_oneof)).
