@@ -117,12 +117,58 @@ impl Default for DeploymentConfig {
     }
 }
 
+/// Per-worker request counters (shared with the worker thread).
+#[derive(Debug, Default)]
+struct WorkerCounters {
+    /// Requests handled, regardless of outcome.
+    served: AtomicU64,
+    /// Requests answered with [`Response::Error`].
+    errors: AtomicU64,
+    /// Requests answered with [`Response::Invalid`].
+    invalid: AtomicU64,
+}
+
+/// A point-in-time snapshot of a deployment's counters: per-worker
+/// served/error/invalid tallies plus the pool's request-latency
+/// histogram. Uneven worker sharing and validation-rejection rates are
+/// read off this instead of guessed at.
+#[derive(Debug, Clone)]
+pub struct DeploymentMetrics {
+    /// Requests served, per worker.
+    pub served: Vec<u64>,
+    /// [`Response::Error`] responses, per worker.
+    pub errors: Vec<u64>,
+    /// [`Response::Invalid`] responses, per worker.
+    pub invalid: Vec<u64>,
+    /// Request service-time histogram (nanoseconds), pooled across
+    /// workers. Populated only while `feral_trace` is enabled.
+    pub latency: feral_trace::HistogramSnapshot,
+}
+
+impl DeploymentMetrics {
+    /// Total requests served across all workers.
+    pub fn total_served(&self) -> u64 {
+        self.served.iter().sum()
+    }
+
+    /// Total error responses across all workers.
+    pub fn total_errors(&self) -> u64 {
+        self.errors.iter().sum()
+    }
+
+    /// Total validation-rejected responses across all workers.
+    pub fn total_invalid(&self) -> u64 {
+        self.invalid.iter().sum()
+    }
+}
+
 /// A running worker pool bound to an [`App`].
 pub struct Deployment {
     jobs: Sender<Job>,
     handles: Vec<JoinHandle<()>>,
     workers: usize,
-    served: Arc<Vec<AtomicU64>>,
+    counters: Arc<Vec<WorkerCounters>>,
+    latency: Arc<feral_trace::Histogram>,
 }
 
 impl Deployment {
@@ -130,14 +176,19 @@ impl Deployment {
     /// app database's default isolation.
     pub fn start(app: App, config: DeploymentConfig) -> Self {
         let (tx, rx) = unbounded::<Job>();
-        let served: Arc<Vec<AtomicU64>> =
-            Arc::new((0..config.workers).map(|_| AtomicU64::new(0)).collect());
+        let counters: Arc<Vec<WorkerCounters>> = Arc::new(
+            (0..config.workers)
+                .map(|_| WorkerCounters::default())
+                .collect(),
+        );
+        let latency = Arc::new(feral_trace::Histogram::new());
         let mut handles = Vec::with_capacity(config.workers);
         for w in 0..config.workers {
             let app = app.clone();
             let rx: Receiver<Job> = rx.clone();
             let jitter = config.request_jitter;
-            let served = served.clone();
+            let counters = counters.clone();
+            let latency = latency.clone();
             let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(w as u64));
             // register the worker with any active schedule hook *before*
             // spawning, so the simulated worker set is deterministic; the
@@ -157,8 +208,29 @@ impl Deployment {
                         let d = rng.random_range(0..=jitter.as_micros() as u64);
                         std::thread::sleep(Duration::from_micros(d));
                     }
+                    feral_trace::record(
+                        feral_trace::EventKind::Site(feral_hooks::Site::ServerHandle),
+                        0,
+                        w as u64,
+                        0,
+                    );
+                    let span = feral_trace::start_phase(feral_trace::Phase::Request);
                     let response = handle(&mut session, job.request);
-                    served[w].fetch_add(1, Ordering::Relaxed);
+                    let nanos = span.finish(0);
+                    if nanos > 0 {
+                        latency.record(nanos);
+                    }
+                    let c = &counters[w];
+                    c.served.fetch_add(1, Ordering::Relaxed);
+                    match &response {
+                        Response::Error(_) => {
+                            c.errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Response::Invalid(_) => {
+                            c.invalid.fetch_add(1, Ordering::Relaxed);
+                        }
+                        _ => {}
+                    }
                     let _ = job.reply.send((job.index, response));
                 }
             }));
@@ -167,16 +239,38 @@ impl Deployment {
             jobs: tx,
             handles,
             workers: config.workers,
-            served,
+            counters,
+            latency,
         }
     }
 
     /// Requests served so far, per worker — load-balance diagnostics.
+    /// See [`Deployment::metrics`] for the full counter snapshot.
     pub fn requests_served(&self) -> Vec<u64> {
-        self.served
+        self.counters
             .iter()
-            .map(|c| c.load(Ordering::Relaxed))
+            .map(|c| c.served.load(Ordering::Relaxed))
             .collect()
+    }
+
+    /// Snapshot all deployment counters: per-worker served, error, and
+    /// validation-rejected tallies plus the pooled request-latency
+    /// histogram.
+    pub fn metrics(&self) -> DeploymentMetrics {
+        DeploymentMetrics {
+            served: self.requests_served(),
+            errors: self
+                .counters
+                .iter()
+                .map(|c| c.errors.load(Ordering::Relaxed))
+                .collect(),
+            invalid: self
+                .counters
+                .iter()
+                .map(|c| c.invalid.load(Ordering::Relaxed))
+                .collect(),
+            latency: self.latency.snapshot(),
+        }
     }
 
     /// Number of workers.
@@ -383,6 +477,42 @@ mod tests {
         // may legally drain the whole queue, so per-worker share is not
         // asserted here (schedule-dependent behaviour belongs to the
         // deterministic feral-sim tests)
+        d.shutdown();
+    }
+
+    #[test]
+    fn metrics_separates_errors_and_invalid_from_successes() {
+        let app = app();
+        let d = Deployment::start(app, DeploymentConfig::default());
+        // 3 successes, 2 validation rejections, 1 hard error.
+        for i in 0..3 {
+            let r = d.dispatch(create_request(
+                "Widget",
+                &[("name", Datum::text(format!("w{i}")))],
+            ));
+            assert!(r.succeeded());
+        }
+        for _ in 0..2 {
+            assert!(matches!(
+                d.dispatch(create_request("Widget", &[])),
+                Response::Invalid(_)
+            ));
+        }
+        assert!(matches!(
+            d.dispatch(create_request("NoSuchModel", &[])),
+            Response::Error(_)
+        ));
+        let m = d.metrics();
+        assert_eq!(m.total_served(), 6);
+        assert_eq!(m.total_invalid(), 2);
+        assert_eq!(m.total_errors(), 1);
+        assert_eq!(m.served.len(), d.workers());
+        assert_eq!(m.served.iter().sum::<u64>(), 6);
+        // requests_served stays consistent with the richer snapshot
+        assert_eq!(d.requests_served(), m.served);
+        // tracing is off in this test, so no latency was collected —
+        // the histogram must stay empty (branch-on-disabled no-op)
+        assert!(m.latency.is_empty());
         d.shutdown();
     }
 

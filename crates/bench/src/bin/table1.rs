@@ -4,7 +4,14 @@
 //! checker — plus a lint-measured companion table: how much of the
 //! corpus's feral enforcement is actually backed by database
 //! constraints, per `feral-lint`'s rule catalog.
+//!
+//! The run also executes the trace-instrumented uniqueness cells
+//! (every isolation level, feral and database enforcement) and writes
+//! the machine-readable run report to `BENCH_table1.json` (override
+//! with `--out`, Prometheus text with `--prom`). `--smoke` shrinks the
+//! cell shape for the tier-1 gate.
 
+use feral_bench::trace_report::{run_trace_cells, CellShape, CELL_GRID};
 use feral_bench::{print_table, Args};
 use feral_corpus::{survey, synthesize_corpus};
 use feral_iconfluence::{classify_validator, derive_safety, OperationMix, Safety, TABLE_ONE};
@@ -117,4 +124,78 @@ fn main() {
         &["rule", "findings", "apps", "severity"],
         &lint_rows,
     );
+
+    let smoke = args.has("smoke");
+    let shape = if smoke {
+        CellShape::smoke()
+    } else {
+        CellShape::full()
+    };
+    eprintln!(
+        "\nrunning {} trace-instrumented uniqueness cells ({} workers x {} rounds x {} concurrent{})...",
+        CELL_GRID.len(),
+        shape.workers,
+        shape.rounds,
+        shape.concurrent,
+        if smoke { ", smoke" } else { "" }
+    );
+    let report = run_trace_cells(shape, seed, smoke);
+
+    let mut cell_rows: Vec<Vec<String>> = Vec::new();
+    for c in &report.cells {
+        let stat = |name: &str| {
+            c.stats
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        let request_p95 = c
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "request")
+            .map(|(_, h)| h.quantile(0.95))
+            .unwrap_or(0);
+        cell_rows.push(vec![
+            c.label.clone(),
+            c.duplicates.to_string(),
+            c.rows.to_string(),
+            c.rejected.to_string(),
+            stat("commits").to_string(),
+            stat("validation_probes").to_string(),
+            format!("{:.2}", request_p95 as f64 / 1e6),
+            c.provenance.len().to_string(),
+        ]);
+    }
+    print_table(
+        "Trace cells: uniqueness stress per isolation level (run report)",
+        &[
+            "cell",
+            "dups",
+            "rows",
+            "rejected",
+            "commits",
+            "probes",
+            "req p95 (ms)",
+            "explained",
+        ],
+        &cell_rows,
+    );
+
+    let json = report.to_json();
+    if let Err(e) = feral_trace::report::validate_report(&json) {
+        eprintln!("generated run report failed self-validation: {e}");
+        std::process::exit(1);
+    }
+    let out = args.get_str("out").unwrap_or("BENCH_table1.json");
+    std::fs::write(out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!(
+        "\nrun report written to {out} ({} cells, self-validated)",
+        report.cells.len()
+    );
+    if let Some(prom) = args.get_str("prom") {
+        std::fs::write(prom, report.to_prometheus())
+            .unwrap_or_else(|e| panic!("writing {prom}: {e}"));
+        println!("prometheus metrics written to {prom}");
+    }
 }

@@ -22,6 +22,7 @@
 
 pub mod apps;
 pub mod association;
+pub mod trace_report;
 pub mod uniqueness;
 
 use std::collections::HashMap;

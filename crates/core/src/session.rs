@@ -4,9 +4,9 @@
 
 use crate::app::App;
 use crate::errors::{OrmError, OrmResult};
-use crate::model::{AssocKind, CallbackKind, Dependent, ModelDef};
+use crate::model::{AssocKind, CallbackKind, Dependent, ModelDef, Validator};
 use crate::record::Record;
-use crate::validations::{validate_record, TxnQueryCtx};
+use crate::validations::{datum_fingerprint, validate_record, TxnQueryCtx};
 use feral_db::{Datum, IsolationLevel, Predicate, RowRef, Transaction};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -135,12 +135,21 @@ impl Session {
         let delay = *self.app.inner.validation_write_delay.read();
         let was_new = !record.is_persisted();
         run_callbacks(record, CallbackKind::BeforeValidation);
+        let save_span = feral_trace::start_phase(feral_trace::Phase::Save);
         let result = self.with_txn(|app, tx| {
+            let validate_span = feral_trace::start_phase(feral_trace::Phase::Validate);
             let errors = validate_record(app, tx, record, 0)?;
+            validate_span.finish(tx.id());
             if !errors.is_empty() {
                 return Ok(Some(errors));
             }
             run_callbacks(record, CallbackKind::BeforeSave);
+            feral_trace::record(
+                feral_trace::EventKind::Site(feral_hooks::Site::OrmValidateWriteGap),
+                tx.id(),
+                0,
+                0,
+            );
             if feral_hooks::active() {
                 // under a deterministic scheduler the validate→write race
                 // window is a yield point, not a wall-clock sleep: the
@@ -151,7 +160,10 @@ impl Session {
                 // validation SELECTs and the write in a real deployment
                 std::thread::sleep(delay);
             }
+            let write_span = feral_trace::start_phase(feral_trace::Phase::Write);
             write_record(app, tx, record)?;
+            trace_save_writes(tx, record);
+            write_span.finish(tx.id());
             if was_new {
                 maintain_counter_caches(app, tx, record, 1)?;
                 run_callbacks(record, CallbackKind::AfterCreate);
@@ -159,6 +171,7 @@ impl Session {
             run_callbacks(record, CallbackKind::AfterSave);
             Ok(None)
         })?;
+        save_span.finish(0);
         match result {
             Some(errors) => {
                 record.errors = errors;
@@ -574,6 +587,27 @@ fn write_record(app: &App, tx: &mut Transaction, record: &mut Record) -> OrmResu
     Ok(())
 }
 
+/// Emit one [`feral_trace::EventKind::SaveWrite`] per uniqueness-validated
+/// field: the provenance analyzer pairs these with the corresponding
+/// validation probes to name racing saves of the same key.
+fn trace_save_writes(tx: &Transaction, record: &Record) {
+    if !feral_trace::enabled() {
+        return;
+    }
+    let model = &record.model;
+    let table_hash = feral_trace::fnv64(model.table.as_bytes());
+    for v in &model.validators {
+        if let Validator::Uniqueness { field, .. } = v {
+            feral_trace::record(
+                feral_trace::EventKind::SaveWrite,
+                tx.id(),
+                datum_fingerprint(&record.get(field)),
+                table_hash,
+            );
+        }
+    }
+}
+
 /// Run the callbacks of `kind` declared on the record's model.
 fn run_callbacks(record: &mut Record, kind: CallbackKind) {
     let callbacks = record.model.callbacks.clone();
@@ -637,6 +671,12 @@ fn destroy_in_txn(
     if !visited.insert((model.table.clone(), id)) {
         return Ok(()); // association cycle
     }
+    feral_trace::record(
+        feral_trace::EventKind::DestroyCascade,
+        tx.id(),
+        feral_trace::fnv64(id.to_string().as_bytes()),
+        feral_trace::fnv64(model.table.as_bytes()),
+    );
     for assoc in &model.associations {
         if assoc.through.is_some() {
             continue;

@@ -44,6 +44,17 @@ impl QueryCtx for TxnQueryCtx<'_> {
     }
 }
 
+/// Stable trace fingerprint of a datum: text hashes its raw bytes, any
+/// other type hashes its display form. Must agree between the probe
+/// (here), the save-write event, and the provenance lookup in the
+/// bench layer, which hashes the key *string* it inserted.
+pub(crate) fn datum_fingerprint(d: &Datum) -> u64 {
+    match d {
+        Datum::Text(s) => feral_trace::fnv64(s.as_bytes()),
+        other => feral_trace::fnv64(other.to_string().as_bytes()),
+    }
+}
+
 /// Whether a datum counts as "blank" for `validates_presence_of`.
 pub(crate) fn blank(d: &Datum) -> bool {
     match d {
@@ -282,6 +293,10 @@ fn run_uniqueness(
     let col = model
         .column_index(field)
         .ok_or_else(|| OrmError::Config(format!("{} has no column {field}", model.name)))?;
+    tx.note_validation_probe(
+        datum_fingerprint(&value),
+        feral_trace::fnv64(model.table.as_bytes()),
+    );
 
     let taken = if case_sensitive || !matches!(value, Datum::Text(_)) {
         let mut conds: Vec<(String, Datum)> = vec![(field.to_string(), value.clone())];
@@ -373,6 +388,10 @@ fn associated_row_exists(
     fk_value: &Datum,
 ) -> OrmResult<bool> {
     let target = app.model(target_model)?;
+    tx.note_validation_probe(
+        datum_fingerprint(fk_value),
+        feral_trace::fnv64(target.table.as_bytes()),
+    );
     let pred = Predicate::eq(0, fk_value.clone());
     Ok(!tx.scan(&target.table, &pred)?.is_empty())
 }

@@ -235,6 +235,7 @@ impl Database {
         }
         if let Some(wal) = &self.inner.wal {
             wal.lock().append(record)?;
+            Stats::bump(&self.inner.stats.wal_appends);
         }
         Ok(())
     }
@@ -577,6 +578,12 @@ impl Database {
     pub fn begin_with(&self, isolation: IsolationLevel) -> Transaction {
         feral_hooks::yield_point(feral_hooks::Site::TxnBegin);
         let id = self.inner.txn_ids.fetch_add(1, Ordering::SeqCst);
+        feral_trace::record(
+            feral_trace::EventKind::Site(feral_hooks::Site::TxnBegin),
+            id,
+            isolation as u64,
+            0,
+        );
         // Read the clock and register in the active set under one lock:
         // vacuum computes its horizon under the same lock, so it can never
         // observe an empty active set *after* this transaction has taken

@@ -32,6 +32,11 @@ pub struct Stats {
     pub scans: AtomicU64,
     /// Index-probe scans (vs full heap scans).
     pub index_probes: AtomicU64,
+    /// Application-level validation probes (the feral
+    /// `SELECT … LIMIT 1` issued by ORM uniqueness/presence checks).
+    pub validation_probes: AtomicU64,
+    /// WAL records appended.
+    pub wal_appends: AtomicU64,
 }
 
 /// A point-in-time copy of [`Stats`].
@@ -61,6 +66,10 @@ pub struct StatsSnapshot {
     pub scans: u64,
     /// See [`Stats::index_probes`].
     pub index_probes: u64,
+    /// See [`Stats::validation_probes`].
+    pub validation_probes: u64,
+    /// See [`Stats::wal_appends`].
+    pub wal_appends: u64,
 }
 
 impl Stats {
@@ -85,13 +94,16 @@ impl Stats {
             deletes: self.deletes.load(Ordering::Relaxed),
             scans: self.scans.load(Ordering::Relaxed),
             index_probes: self.index_probes.load(Ordering::Relaxed),
+            validation_probes: self.validation_probes.load(Ordering::Relaxed),
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
         }
     }
 }
 
 impl StatsSnapshot {
-    /// Difference of two snapshots (`self - earlier`), saturating.
-    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+    /// Difference of two snapshots (`self - earlier`), saturating:
+    /// the counters accumulated over a measurement window.
+    pub fn diff(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
             commits: self.commits.saturating_sub(earlier.commits),
             aborts: self.aborts.saturating_sub(earlier.aborts),
@@ -109,7 +121,38 @@ impl StatsSnapshot {
             deletes: self.deletes.saturating_sub(earlier.deletes),
             scans: self.scans.saturating_sub(earlier.scans),
             index_probes: self.index_probes.saturating_sub(earlier.index_probes),
+            validation_probes: self
+                .validation_probes
+                .saturating_sub(earlier.validation_probes),
+            wal_appends: self.wal_appends.saturating_sub(earlier.wal_appends),
         }
+    }
+
+    /// Alias for [`StatsSnapshot::diff`], kept for existing callers.
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        self.diff(earlier)
+    }
+
+    /// All counters as `(name, value)` pairs, in declaration order —
+    /// the exporter-friendly view (JSON / Prometheus reports iterate
+    /// this instead of hard-coding field names).
+    pub fn fields(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("commits", self.commits),
+            ("aborts", self.aborts),
+            ("lock_timeouts", self.lock_timeouts),
+            ("write_conflicts", self.write_conflicts),
+            ("serialization_failures", self.serialization_failures),
+            ("unique_violations", self.unique_violations),
+            ("fk_violations", self.fk_violations),
+            ("inserts", self.inserts),
+            ("updates", self.updates),
+            ("deletes", self.deletes),
+            ("scans", self.scans),
+            ("index_probes", self.index_probes),
+            ("validation_probes", self.validation_probes),
+            ("wal_appends", self.wal_appends),
+        ]
     }
 }
 
@@ -131,5 +174,45 @@ mod tests {
         let d = b.delta(&a);
         assert_eq!(d.commits, 1);
         assert_eq!(d.aborts, 0);
+    }
+
+    #[test]
+    fn diff_covers_the_new_counters() {
+        let s = Stats::default();
+        Stats::bump(&s.validation_probes);
+        Stats::bump(&s.validation_probes);
+        Stats::bump(&s.wal_appends);
+        let a = s.snapshot();
+        Stats::bump(&s.validation_probes);
+        let d = s.snapshot().diff(&a);
+        assert_eq!(d.validation_probes, 1);
+        assert_eq!(d.wal_appends, 0);
+    }
+
+    #[test]
+    fn fields_enumerates_every_counter() {
+        let snap = StatsSnapshot {
+            commits: 1,
+            aborts: 2,
+            lock_timeouts: 3,
+            write_conflicts: 4,
+            serialization_failures: 5,
+            unique_violations: 6,
+            fk_violations: 7,
+            inserts: 8,
+            updates: 9,
+            deletes: 10,
+            scans: 11,
+            index_probes: 12,
+            validation_probes: 13,
+            wal_appends: 14,
+        };
+        let fields = snap.fields();
+        assert_eq!(fields.len(), 14);
+        // Every value appears exactly once — a new field added to the
+        // struct without extending fields() trips this sum check.
+        assert_eq!(fields.iter().map(|(_, v)| v).sum::<u64>(), (1..=14).sum());
+        assert_eq!(fields[12], ("validation_probes", 13));
+        assert_eq!(fields[13], ("wal_appends", 14));
     }
 }

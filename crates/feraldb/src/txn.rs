@@ -210,6 +210,12 @@ impl Transaction {
     /// snapshot, overlaid with the transaction's own writes).
     pub fn scan(&mut self, table: &str, pred: &Predicate) -> DbResult<Vec<(RowRef, Arc<Tuple>)>> {
         feral_hooks::yield_point(feral_hooks::Site::TxnScan);
+        feral_trace::record(
+            feral_trace::EventKind::Site(feral_hooks::Site::TxnScan),
+            self.id,
+            feral_trace::fnv64(table.as_bytes()),
+            0,
+        );
         self.ensure_open()?;
         let (tid, entry) = self.resolve(table)?;
         Stats::bump(&self.db.inner.stats.scans);
@@ -1034,6 +1040,13 @@ impl Transaction {
 
     /// Commit the transaction, applying buffered writes atomically.
     pub fn commit(&mut self) -> DbResult<()> {
+        let span = feral_trace::start_phase(feral_trace::Phase::Commit);
+        let result = self.commit_inner();
+        span.finish(self.id);
+        result
+    }
+
+    fn commit_inner(&mut self) -> DbResult<()> {
         feral_hooks::yield_point(feral_hooks::Site::TxnCommit);
         self.ensure_open()?;
         if !self.has_effects() {
@@ -1165,9 +1178,29 @@ impl Transaction {
         self.db.inner.active.lock().remove(&self.id);
         if committed {
             Stats::bump(&self.db.inner.stats.commits);
+            feral_trace::record(
+                feral_trace::EventKind::Site(feral_hooks::Site::TxnCommit),
+                self.id,
+                0,
+                0,
+            );
         } else {
             Stats::bump(&self.db.inner.stats.aborts);
+            feral_trace::record(feral_trace::EventKind::Abort, self.id, 0, 0);
         }
+    }
+
+    /// Record one application-level validation probe (the feral
+    /// `SELECT … LIMIT 1`). Called by ORM uniqueness/presence checks so
+    /// the paper's key operation shows up in [`Stats`] and the trace.
+    pub fn note_validation_probe(&self, key_hash: u64, table_hash: u64) {
+        Stats::bump(&self.db.inner.stats.validation_probes);
+        feral_trace::record(
+            feral_trace::EventKind::UniqueProbe,
+            self.id,
+            key_hash,
+            table_hash,
+        );
     }
 }
 

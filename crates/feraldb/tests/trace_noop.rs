@@ -1,0 +1,93 @@
+//! Disabled-tracing determinism: with `feral-trace` off (the default),
+//! every instrumentation hook threaded through the engine must be a
+//! pure no-op — the engine produces bit-identical statistics whether
+//! or not the switch is flipped, and nothing reaches the flight
+//! recorder.
+
+use feral_db::{
+    ColumnDef, Config, DataType, Database, Datum, Predicate, StatsSnapshot, TableSchema,
+};
+use std::sync::Mutex;
+
+/// The two tests below toggle the process-global tracing switch; they
+/// must not interleave.
+static TRACE_SWITCH: Mutex<()> = Mutex::new(());
+
+/// A fixed single-session workload exercising every instrumented path:
+/// begin, scan, validation probe, insert, commit, and one abort.
+fn run_workload() -> StatsSnapshot {
+    let db = Database::new(Config::default());
+    db.create_table(TableSchema::new(
+        "kv",
+        vec![
+            ColumnDef::new("k", DataType::Text),
+            ColumnDef::new("v", DataType::Text),
+        ],
+    ))
+    .unwrap();
+    for i in 0..10u64 {
+        let mut tx = db.begin();
+        tx.note_validation_probe(i, 42);
+        tx.insert_pairs(
+            "kv",
+            &[("k", Datum::text(format!("k{i}"))), ("v", Datum::text("v"))],
+        )
+        .unwrap();
+        tx.scan("kv", &Predicate::True).unwrap();
+        tx.commit().unwrap();
+    }
+    let mut tx = db.begin();
+    tx.insert_pairs(
+        "kv",
+        &[("k", Datum::text("doomed")), ("v", Datum::text("v"))],
+    )
+    .unwrap();
+    tx.rollback();
+    db.stats().snapshot()
+}
+
+#[test]
+fn disabled_tracing_is_a_pure_noop() {
+    let _guard = TRACE_SWITCH.lock().unwrap();
+    assert!(!feral_trace::enabled(), "tracing must default to off");
+    feral_trace::reset();
+
+    let first = run_workload();
+    let second = run_workload();
+    assert_eq!(
+        first, second,
+        "identical workloads must produce identical StatsSnapshots"
+    );
+    assert_eq!(first.commits, 10);
+    assert_eq!(first.aborts, 1);
+    assert_eq!(first.validation_probes, 10);
+
+    // none of the hooks the workload crossed recorded anything
+    assert!(
+        feral_trace::flight_recorder(1024).is_empty(),
+        "disabled hooks must not reach the flight recorder"
+    );
+    for (phase, snap) in feral_trace::phase_snapshots() {
+        assert!(
+            snap.is_empty(),
+            "phase {} recorded while disabled",
+            phase.name()
+        );
+    }
+}
+
+#[test]
+fn enabling_tracing_does_not_change_engine_results() {
+    let _guard = TRACE_SWITCH.lock().unwrap();
+    let baseline = run_workload();
+
+    feral_trace::set_enabled(true);
+    feral_trace::reset();
+    let traced = run_workload();
+    feral_trace::set_enabled(false);
+
+    // observability must never perturb what the engine computes
+    assert_eq!(baseline, traced);
+    // ...while actually observing it: the traced run left events behind
+    assert!(!feral_trace::flight_recorder(1024).is_empty());
+}

@@ -20,6 +20,21 @@ pub enum OpKind {
     Read,
 }
 
+/// All op kinds, in [`OpKind::code`] order.
+pub const OP_KINDS: [OpKind; 4] = [OpKind::Create, OpKind::Delete, OpKind::Update, OpKind::Read];
+
+impl OpKind {
+    /// Stable numeric code (trace-event payloads, counter indexing).
+    pub fn code(self) -> u64 {
+        match self {
+            OpKind::Create => 0,
+            OpKind::Delete => 1,
+            OpKind::Update => 2,
+            OpKind::Read => 3,
+        }
+    }
+}
+
 /// One generated operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorkloadOp {
@@ -40,6 +55,7 @@ pub struct MixDriver {
     ratios: Vec<(OpKind, u32)>,
     total_weight: u32,
     rng: StdRng,
+    generated: [u64; OP_KINDS.len()],
 }
 
 impl MixDriver {
@@ -53,6 +69,7 @@ impl MixDriver {
             ratios: ratios.to_vec(),
             total_weight,
             rng: StdRng::seed_from_u64(seed),
+            generated: [0; OP_KINDS.len()],
         }
     }
 
@@ -72,10 +89,27 @@ impl MixDriver {
             }
             pick -= w;
         }
-        WorkloadOp {
+        let op = WorkloadOp {
             kind,
             key: self.chooser.next_key(),
-        }
+        };
+        self.generated[kind.code() as usize] += 1;
+        feral_trace::record(
+            feral_trace::EventKind::WorkloadOp,
+            0,
+            op.kind.code(),
+            op.key,
+        );
+        op
+    }
+
+    /// How many operations of each kind this driver has generated, as
+    /// `(kind, count)` pairs in [`OP_KINDS`] order.
+    pub fn op_counts(&self) -> Vec<(OpKind, u64)> {
+        OP_KINDS
+            .iter()
+            .map(|&k| (k, self.generated[k.code() as usize]))
+            .collect()
     }
 
     /// Generate a full stream of `n` operations.
@@ -123,6 +157,22 @@ mod tests {
         let mut d = MixDriver::insert_only(Box::new(Uniform::new(3, 0)), 2);
         assert!(d.take(100).iter().all(|o| o.key < 3));
         assert_eq!(d.distribution_name(), "uniform");
+    }
+
+    #[test]
+    fn op_counts_account_for_every_draw() {
+        let mut d = MixDriver::new(
+            Box::new(Uniform::new(10, 0)),
+            &[(OpKind::Create, 3), (OpKind::Read, 1)],
+            9,
+        );
+        let ops = d.take(400);
+        let counts = d.op_counts();
+        assert_eq!(counts.iter().map(|(_, c)| c).sum::<u64>(), 400);
+        for (kind, count) in counts {
+            let observed = ops.iter().filter(|o| o.kind == kind).count() as u64;
+            assert_eq!(count, observed, "{kind:?}");
+        }
     }
 
     #[test]

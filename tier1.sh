@@ -22,4 +22,17 @@ echo "== tier1: feral-sim bounded systematic sweep =="
 # only guards against regressions that explode the schedule space.
 cargo run --release -q -p feral-sim -- matrix --max-runs 50000
 
+echo "== tier1: feral-trace docs (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q -p feral-trace
+
+echo "== tier1: trace smoke gate (table1 --smoke) =="
+# table1 self-validates the report (exits non-zero on schema or
+# histogram-integrity failure); re-check the artifact from the outside
+# too: parseable, non-zero commits, well-formed histograms, and at
+# least one explained race with a replayable witness.
+SMOKE_OUT=$(mktemp /tmp/BENCH_table1.XXXXXX.json)
+cargo run --release -q -p feral-bench --bin table1 -- --smoke --out "$SMOKE_OUT" > /dev/null
+cargo run --release -q -p feral-bench --bin checkreport -- "$SMOKE_OUT"
+rm -f "$SMOKE_OUT"
+
 echo "== tier1: OK =="
