@@ -1,53 +1,25 @@
-//! Stand-alone run-report checker: `checkreport <report.json>` parses
-//! and schema-validates a `BENCH_table1.json` artifact, then enforces
-//! the tier-1 smoke-gate invariants from the *outside* (independent of
-//! the writer's own self-validation): every cell committed work, every
-//! histogram is internally consistent (the validator re-derives the
-//! quantiles), and at least one cell explains an anomaly with a
-//! replayable `feral-sim` witness.
+//! Stand-alone run-report checker: `checkreport <report.json>` gates a
+//! `BENCH_table1.json` artifact via [`feral_bench::checkgate`] — parse,
+//! schema-validate, every cell committed work, at least one provenance
+//! record carries a replayable `feral-sim` witness. The logic (and its
+//! failure-path tests) lives in the library; this wrapper only maps the
+//! result onto exit codes.
 
-use feral_trace::report::validate_report;
-
-fn fail(msg: &str) -> ! {
-    eprintln!("checkreport: {msg}");
-    std::process::exit(1);
-}
+use feral_bench::checkgate::check_report_file;
 
 fn main() {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| fail("usage: checkreport <report.json>"));
-    let text =
-        std::fs::read_to_string(&path).unwrap_or_else(|e| fail(&format!("reading {path}: {e}")));
-    let doc = validate_report(&text).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
-
-    let cells = doc.get("cells").unwrap().as_arr().unwrap();
-    let mut witnessed = 0usize;
-    for cell in cells {
-        let label = cell.get("label").unwrap().as_str().unwrap();
-        let commits = cell
-            .get("stats")
-            .and_then(|s| s.get("commits"))
-            .and_then(|c| c.as_u64())
-            .unwrap_or_else(|| fail(&format!("cell {label}: no commits counter")));
-        if commits == 0 {
-            fail(&format!("cell {label}: zero commits"));
-        }
-        for p in cell.get("provenance").unwrap().as_arr().unwrap() {
-            let has_witness = p
-                .get("witness")
-                .map(|w| *w != feral_trace::json::Json::Null)
-                .unwrap_or(false);
-            if has_witness {
-                witnessed += 1;
-            }
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("checkreport: usage: checkreport <report.json>");
+        std::process::exit(1);
+    };
+    match check_report_file(&path) {
+        Ok(summary) => println!(
+            "checkreport: {path} OK ({} cells, {} witnessed provenance records)",
+            summary.cells, summary.witnessed
+        ),
+        Err(msg) => {
+            eprintln!("checkreport: {msg}");
+            std::process::exit(1);
         }
     }
-    if witnessed == 0 {
-        fail("no provenance record carries a replayable witness");
-    }
-    println!(
-        "checkreport: {path} OK ({} cells, {witnessed} witnessed provenance records)",
-        cells.len()
-    );
 }

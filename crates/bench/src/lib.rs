@@ -22,6 +22,7 @@
 
 pub mod apps;
 pub mod association;
+pub mod checkgate;
 pub mod trace_report;
 pub mod uniqueness;
 

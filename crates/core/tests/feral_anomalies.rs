@@ -226,14 +226,11 @@ fn orphan_round(app: &App, dept_id: i64, inserters: usize) -> usize {
             // validation_write_delay is 300us)
             thread::sleep(Duration::from_micros(150));
             let mut s = app.session();
-            loop {
-                match s.find("ValidatedDepartment", dept_id) {
-                    Ok(mut dept) => match s.destroy(&mut dept) {
-                        Ok(()) => break,
-                        Err(e) if e.is_retryable() => continue,
-                        Err(e) => panic!("destroy failed: {e}"),
-                    },
-                    Err(_) => break,
+            while let Ok(mut dept) = s.find("ValidatedDepartment", dept_id) {
+                match s.destroy(&mut dept) {
+                    Ok(()) => break,
+                    Err(e) if e.is_retryable() => continue,
+                    Err(e) => panic!("destroy failed: {e}"),
                 }
             }
         }));

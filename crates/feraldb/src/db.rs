@@ -14,6 +14,33 @@ use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Direct serialization-graph dependency kinds (Adya's wr/ww/rw),
+/// used by [`IsolationLevel::admits_concurrent`] to describe which
+/// conflicts two concurrent transactions can commit with under each
+/// isolation level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConflictKind {
+    /// wr: the reader observes the writer's committed value.
+    WriteRead,
+    /// ww: both transactions write the same item (last-writer-wins
+    /// where admitted).
+    WriteWrite,
+    /// rw: the reader saw the version the writer later replaced — an
+    /// antidependency.
+    ReadWrite,
+}
+
+impl ConflictKind {
+    /// Adya's two-letter spelling (`wr` / `ww` / `rw`).
+    pub fn label(self) -> &'static str {
+        match self {
+            ConflictKind::WriteRead => "wr",
+            ConflictKind::WriteWrite => "ww",
+            ConflictKind::ReadWrite => "rw",
+        }
+    }
+}
+
 /// Transaction isolation level, matching the menu the paper discusses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IsolationLevel {
@@ -42,6 +69,50 @@ impl IsolationLevel {
             self,
             IsolationLevel::Snapshot | IsolationLevel::Serializable
         )
+    }
+
+    /// Whether this level lets two **concurrent** transactions both
+    /// commit with the given direct serialization-graph dependency
+    /// between them. This is the engine's edge-admissibility table,
+    /// consumed by the static dependency-graph analyzer (`feral-sdg`)
+    /// and cross-validated against `feral-sim`'s exhaustive sweeps:
+    ///
+    /// | edge | RC | RR | SI | Serializable |
+    /// |------|----|----|----|--------------|
+    /// | wr (write→read)      | yes | no¹ | no¹ | no¹ |
+    /// | ww (write→write)     | yes | yes | no² | no² |
+    /// | rw (antidependency)  | yes | yes | yes | no³ |
+    ///
+    /// ¹ transaction-level snapshots hide concurrent commits; the read
+    ///   is served by an older version, so the edge *redirects* to the
+    ///   reverse rw antidependency instead of aborting anyone
+    ///   ([`IsolationLevel::wr_redirects_to_rw`]).
+    /// ² first-updater-wins: the second writer aborts
+    ///   ([`IsolationLevel::first_updater_wins`]).
+    /// ³ backward read-set validation at commit aborts the reader
+    ///   ([`IsolationLevel::validates_read_sets`]).
+    pub fn admits_concurrent(self, edge: ConflictKind) -> bool {
+        match edge {
+            ConflictKind::WriteRead => !self.txn_level_snapshot(),
+            ConflictKind::WriteWrite => !self.first_updater_wins(),
+            ConflictKind::ReadWrite => !self.validates_read_sets(),
+        }
+    }
+
+    /// Whether commit-time backward read-set validation rejects
+    /// transactions whose reads were overwritten by a concurrent commit
+    /// (only Serializable).
+    pub fn validates_read_sets(self) -> bool {
+        matches!(self, IsolationLevel::Serializable)
+    }
+
+    /// Whether an inadmissible wr edge is *redirected* rather than
+    /// fatal: under transaction-level snapshots the reader simply sees
+    /// the version predating the concurrent write, which creates the
+    /// reverse rw antidependency instead of aborting either side.
+    /// Inadmissible ww and rw edges, by contrast, abort a transaction.
+    pub fn wr_redirects_to_rw(self) -> bool {
+        self.txn_level_snapshot()
     }
 
     /// Parse from the SQL-ish names used by config files and CLI flags.

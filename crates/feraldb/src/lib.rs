@@ -59,7 +59,7 @@ pub mod txn;
 pub mod value;
 pub mod wal;
 
-pub use db::{Config, Database, IsolationLevel};
+pub use db::{Config, ConflictKind, Database, IsolationLevel};
 pub use error::{DbError, DbResult};
 pub use heap::RowId;
 pub use lock::{LockKey, LockMode};

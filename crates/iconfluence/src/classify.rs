@@ -136,6 +136,12 @@ pub fn checkable(kind: &str, mix: OperationMix) -> Option<(Invariant, OpShapes)>
     };
     let invariant = match kind {
         "validates_uniqueness_of" => Invariant::UniqueKey,
+        // an optimistic-lock bump asserts "no two transactions produce
+        // the same version for one record": model each bump as inserting
+        // its (id, version) pair, unique — two divergent bumps both
+        // insert version n+1 and the merge (set union) holds both, so
+        // the invariant is exactly key uniqueness
+        "optimistic_lock_version" => Invariant::UniqueKey,
         // presence-of-association and validates_associated are referential
         "validates_presence_of" | "validates_associated" => Invariant::ForeignKey,
         "validates_length_of"
@@ -228,6 +234,20 @@ mod tests {
         let del = safe_fraction(OperationMix::WithDeletions) * 100.0;
         assert!((ins - 86.9).abs() < 1.5, "insertions: got {ins:.1}%");
         assert!((del - 36.6).abs() < 2.5, "deletions: got {del:.1}%");
+    }
+
+    #[test]
+    fn optimistic_lock_version_is_checkably_unsafe() {
+        // the version-bump invariant is key uniqueness over (id, version)
+        // pairs: divergent bumps merge into duplicates, so it is not
+        // I-confluent even under insertions only — `feral-sdg` diffs its
+        // lock-rmw matrix row against this derivation
+        for mix in [OperationMix::InsertionsOnly, OperationMix::WithDeletions] {
+            assert_eq!(
+                derive_safety("optimistic_lock_version", mix),
+                Some(Safety::NotIConfluent)
+            );
+        }
     }
 
     #[test]

@@ -83,7 +83,7 @@ pub struct LintEngine {
     safety: SafetyCache,
     witnesses: WitnessCache,
     witness_table: Vec<Witness>,
-    witness_index: [Option<usize>; 2],
+    witness_index: [Option<usize>; 3],
 }
 
 impl LintEngine {
@@ -112,6 +112,7 @@ impl LintEngine {
         let slot = match anomaly {
             rules::Anomaly::DuplicateAdmitting => 0,
             rules::Anomaly::OrphanAdmitting => 1,
+            rules::Anomaly::LostUpdateAdmitting => 2,
         };
         if self.witness_index[slot].is_none() {
             if let Some(w) = self.witnesses.get(anomaly, max_seeds) {

@@ -128,7 +128,11 @@ fn render_summary(run: &CorpusRun, out: &mut String) {
             rule.id, rule.name, n, apps, rule.summary
         );
     }
-    for anomaly in [Anomaly::DuplicateAdmitting, Anomaly::OrphanAdmitting] {
+    for anomaly in [
+        Anomaly::DuplicateAdmitting,
+        Anomaly::OrphanAdmitting,
+        Anomaly::LostUpdateAdmitting,
+    ] {
         let n = run
             .apps
             .iter()
@@ -223,10 +227,11 @@ pub fn render_sarif(run: &CorpusRun) -> String {
         .iter()
         .map(|r| {
             format!(
-                "{{\"id\":\"{}\",\"name\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}},\"helpUri\":\"\",\"properties\":{{\"citation\":\"{}\"}}}}",
+                "{{\"id\":\"{}\",\"name\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}},\"helpUri\":\"{}\",\"properties\":{{\"citation\":\"{}\"}}}}",
                 r.id,
                 r.name,
                 json_escape(r.summary),
+                json_escape(r.anchor),
                 json_escape(r.citation)
             )
         })
@@ -249,7 +254,7 @@ pub fn render_sarif(run: &CorpusRun) -> String {
         }
     }
     format!(
-        "{{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\"version\":\"2.1.0\",\"runs\":[{{\"tool\":{{\"driver\":{{\"name\":\"feral-lint\",\"informationUri\":\"\",\"rules\":[{}]}}}},\"results\":[{}]}}]}}\n",
+        "{{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\"version\":\"2.1.0\",\"runs\":[{{\"tool\":{{\"driver\":{{\"name\":\"feral-lint\",\"informationUri\":\"DESIGN.md#7-static-analysis-feral-lint\",\"rules\":[{}]}}}},\"results\":[{}]}}]}}\n",
         rules.join(","),
         results.join(",")
     )

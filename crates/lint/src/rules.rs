@@ -5,7 +5,9 @@
 
 use crate::graph::{AssocKind, ModelGraph};
 use feral_iconfluence::{derive_safety, OperationMix, PaperVerdict, Safety, TABLE_ONE};
+use feral_sdg::{decide, render_cycle, PairKind, Verdict, LEVELS};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::OnceLock;
 
 /// How bad a finding is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -36,6 +38,8 @@ pub enum Anomaly {
     DuplicateAdmitting,
     /// §5.3/§5.4: dangling references survive feral cascades.
     OrphanAdmitting,
+    /// §4.4: an unguarded read-modify-write drops concurrent updates.
+    LostUpdateAdmitting,
 }
 
 impl Anomaly {
@@ -44,6 +48,7 @@ impl Anomaly {
         match self {
             Anomaly::DuplicateAdmitting => "duplicate-admitting",
             Anomaly::OrphanAdmitting => "orphan-admitting",
+            Anomaly::LostUpdateAdmitting => "lost-update-admitting",
         }
     }
 }
@@ -59,7 +64,12 @@ pub struct RuleMeta {
     pub summary: &'static str,
     /// Paper citation backing the rule.
     pub citation: &'static str,
+    /// Repo-relative design-doc anchor (SARIF `helpUri`).
+    pub anchor: &'static str,
 }
+
+const LINT_ANCHOR: &str = "DESIGN.md#7-static-analysis-feral-lint";
+const SDG_ANCHOR: &str = "DESIGN.md#9-static-dependency-graphs-feral-sdg";
 
 /// The catalog, in id order.
 pub const RULES: &[RuleMeta] = &[
@@ -68,30 +78,56 @@ pub const RULES: &[RuleMeta] = &[
         name: "missing-unique-index",
         summary: "validates_uniqueness_of with no backing unique index admits duplicates",
         citation: "Bailis et al., SIGMOD 2015, Table 1 & §5.2",
+        anchor: LINT_ANCHOR,
     },
     RuleMeta {
         id: "FERAL002",
         name: "missing-foreign-key",
         summary: "association reference with no database foreign key admits orphans",
         citation: "Bailis et al., SIGMOD 2015, §5.3–§5.4",
+        anchor: LINT_ANCHOR,
     },
     RuleMeta {
         id: "FERAL003",
         name: "validation-outside-transaction",
         summary: "non-I-confluent validations with no transaction scope anywhere in the app",
         citation: "Bailis et al., SIGMOD 2015, §4.3",
+        anchor: LINT_ANCHOR,
     },
     RuleMeta {
         id: "FERAL004",
         name: "inert-optimistic-lock",
         summary: "model references lock_version but the schema never declares the column",
         citation: "Bailis et al., SIGMOD 2015, §4.4 & Table 4",
+        anchor: LINT_ANCHOR,
     },
     RuleMeta {
         id: "FERAL005",
         name: "unvalidated-through-chain",
         summary: "has_many :through whose intermediate model lacks matching integrity checks",
         citation: "Bailis et al., SIGMOD 2015, §4.2 & Table 1 (validates_associated)",
+        anchor: LINT_ANCHOR,
+    },
+    RuleMeta {
+        id: "FERAL006",
+        name: "isolation-admits-uniqueness-cycle",
+        summary: "the probe/insert pair closes an rw dependency cycle at the app's isolation",
+        citation: "Bailis et al., SIGMOD 2015, §5.2; Adya 1999 (critical cycles)",
+        anchor: SDG_ANCHOR,
+    },
+    RuleMeta {
+        id: "FERAL007",
+        name: "isolation-admits-orphan-cycle",
+        summary: "the check/insert vs cascade-destroy pair closes an rw dependency cycle",
+        citation: "Bailis et al., SIGMOD 2015, §5.3–§5.4; Adya 1999 (critical cycles)",
+        anchor: SDG_ANCHOR,
+    },
+    RuleMeta {
+        id: "FERAL008",
+        name: "lost-update-rmw",
+        summary: "inert optimistic lock degenerates to a read-modify-write that loses updates",
+        citation: "Bailis et al., SIGMOD 2015, §4.4; Adya 1999 (critical cycles)",
+        anchor: SDG_ANCHOR,
     },
 ];
 
@@ -164,7 +200,106 @@ pub fn run_rules(graph: &ModelGraph, cache: &mut SafetyCache) -> Vec<Finding> {
     validation_outside_transaction(graph, cache, &mut findings);
     inert_optimistic_lock(graph, &mut findings);
     unvalidated_through_chain(graph, cache, &mut findings);
+    isolation_advice_companions(cache, &mut findings);
     findings
+}
+
+/// The static-dependency-graph verdict backing one isolation-advice
+/// rule: the critical cycle at read committed and the weakest isolation
+/// level whose gate closes it. Computed once per process from
+/// `feral_sdg::decide` — the analysis is static, so the advice is the
+/// same for every app in a corpus run.
+struct IsolationAdvice {
+    cycle: String,
+    first_safe: String,
+    gate: &'static str,
+}
+
+fn sdg_advice(pair: PairKind) -> &'static IsolationAdvice {
+    static ADVICE: OnceLock<[IsolationAdvice; 3]> = OnceLock::new();
+    let table = ADVICE.get_or_init(|| {
+        [PairKind::Uniqueness, PairKind::Orphans, PairKind::LockRmw].map(|pair| {
+            let rc = decide(pair, feral_db::IsolationLevel::ReadCommitted);
+            let cycle = match &rc.verdict {
+                Verdict::Unsafe { cycle } => render_cycle(&rc.graph, cycle),
+                Verdict::Safe { .. } => unreachable!("feral pairs are unsafe at read committed"),
+            };
+            let (first_safe, gate) = LEVELS
+                .iter()
+                .find_map(|level| match decide(pair, *level).verdict {
+                    Verdict::Safe { reason } => Some((level.to_string(), reason.name())),
+                    Verdict::Unsafe { .. } => None,
+                })
+                .expect("serializable closes every feral cycle");
+            IsolationAdvice {
+                cycle,
+                first_safe,
+                gate,
+            }
+        })
+    });
+    match pair {
+        PairKind::Uniqueness => &table[0],
+        PairKind::Orphans => &table[1],
+        PairKind::LockRmw => &table[2],
+        PairKind::SiblingInserts => unreachable!("no advice rule for the safe control pair"),
+    }
+}
+
+/// FERAL006–FERAL008: for each finding whose construct maps onto a
+/// feral-sdg template pair, attach the dependency-cycle evidence and
+/// the weakest isolation level that closes it. FERAL008 additionally
+/// upgrades FERAL004's "lock is inert" into "the degenerate
+/// read-modify-write loses updates", with its own witness scenario.
+fn isolation_advice_companions(cache: &mut SafetyCache, findings: &mut Vec<Finding>) {
+    let mut companions = Vec::new();
+    for f in findings.iter() {
+        let (rule, pair, anomaly, invariant, mix) = match f.rule {
+            "FERAL001" => (
+                "FERAL006",
+                PairKind::Uniqueness,
+                Anomaly::DuplicateAdmitting,
+                "validates_uniqueness_of",
+                OperationMix::InsertionsOnly,
+            ),
+            "FERAL002" => (
+                "FERAL007",
+                PairKind::Orphans,
+                Anomaly::OrphanAdmitting,
+                "validates_presence_of",
+                OperationMix::WithDeletions,
+            ),
+            "FERAL004" => (
+                "FERAL008",
+                PairKind::LockRmw,
+                Anomaly::LostUpdateAdmitting,
+                "optimistic_lock_version",
+                OperationMix::InsertionsOnly,
+            ),
+            _ => continue,
+        };
+        let advice = sdg_advice(pair);
+        companions.push(Finding {
+            rule,
+            severity: Severity::Warning,
+            model: f.model.clone(),
+            file: f.file.clone(),
+            message: format!(
+                "{}: at read committed the {} templates close the critical cycle {}; \
+                 weakest safe isolation: {} ({})",
+                f.model,
+                pair.name(),
+                advice.cycle,
+                advice.first_safe,
+                advice.gate
+            ),
+            verdict: f.verdict,
+            safety: cache.derive(invariant, mix),
+            anomaly: Some(anomaly),
+            witness: None,
+        });
+    }
+    findings.extend(companions);
 }
 
 /// FERAL001: `validates_uniqueness_of` on a column with no backing
@@ -497,6 +632,59 @@ mod tests {
             &["CREATE TABLE accounts (name TEXT, lock_version INT)"],
         );
         assert!(!ids(&run_rules(&g, &mut cache)).contains(&"FERAL004"));
+    }
+
+    #[test]
+    fn isolation_advice_companions_cite_cycle_and_weakest_safe_level() {
+        let src = "class User < ActiveRecord::Base\n  validates :email, uniqueness: true\nend\n";
+        let mut cache = SafetyCache::default();
+        let g = graph(&[("user.rb", src)], &["CREATE TABLE users (email TEXT)"]);
+        let findings = run_rules(&g, &mut cache);
+        let f = findings.iter().find(|f| f.rule == "FERAL006").unwrap();
+        assert_eq!(f.severity, Severity::Warning);
+        assert_eq!(f.anomaly, Some(Anomaly::DuplicateAdmitting));
+        assert!(f.message.contains("-rw["), "cycle rendered: {}", f.message);
+        assert!(
+            f.message.contains("weakest safe isolation: serializable"),
+            "{}",
+            f.message
+        );
+
+        let lock =
+            "class Account < ActiveRecord::Base\n  def bump\n    self.lock_version\n  end\nend\n";
+        let g = graph(
+            &[("account.rb", lock)],
+            &["CREATE TABLE accounts (name TEXT)"],
+        );
+        let findings = run_rules(&g, &mut cache);
+        let f = findings.iter().find(|f| f.rule == "FERAL008").unwrap();
+        assert_eq!(f.anomaly, Some(Anomaly::LostUpdateAdmitting));
+        assert_eq!(f.safety, Some(Safety::NotIConfluent));
+        // first-updater-wins closes the lost update at snapshot already
+        assert!(
+            f.message
+                .contains("weakest safe isolation: snapshot (first-updater-aborts)"),
+            "{}",
+            f.message
+        );
+        // a lock_version column present -> no FERAL004 -> no FERAL008
+        let g = graph(
+            &[("account.rb", lock)],
+            &["CREATE TABLE accounts (name TEXT, lock_version INT)"],
+        );
+        assert!(!ids(&run_rules(&g, &mut cache)).contains(&"FERAL008"));
+    }
+
+    #[test]
+    fn rule_catalog_is_contiguous_and_anchored() {
+        for (i, rule) in RULES.iter().enumerate() {
+            assert_eq!(rule.id, format!("FERAL{:03}", i + 1));
+            assert!(
+                rule.anchor.starts_with("DESIGN.md#"),
+                "{} anchor must be a repo-relative design anchor",
+                rule.id
+            );
+        }
     }
 
     #[test]

@@ -46,6 +46,12 @@ pub fn spec_for(anomaly: Anomaly) -> ScenarioSpec {
             guard: Guard::Feral,
             workers: 1,
         },
+        Anomaly::LostUpdateAdmitting => ScenarioSpec {
+            kind: ScenarioKind::LostUpdate,
+            isolation: IsolationLevel::ReadCommitted,
+            guard: Guard::Feral,
+            workers: 2,
+        },
     }
 }
 
@@ -91,7 +97,7 @@ pub fn replays(witness: &Witness) -> bool {
 /// Per-run cache: one witness search per anomaly kind.
 #[derive(Debug, Default)]
 pub struct WitnessCache {
-    slots: [Option<Option<Witness>>; 2],
+    slots: [Option<Option<Witness>>; 3],
 }
 
 impl WitnessCache {
@@ -99,6 +105,7 @@ impl WitnessCache {
         match anomaly {
             Anomaly::DuplicateAdmitting => 0,
             Anomaly::OrphanAdmitting => 1,
+            Anomaly::LostUpdateAdmitting => 2,
         }
     }
 
@@ -118,7 +125,11 @@ mod tests {
 
     #[test]
     fn both_anomaly_kinds_yield_replayable_witnesses() {
-        for anomaly in [Anomaly::DuplicateAdmitting, Anomaly::OrphanAdmitting] {
+        for anomaly in [
+            Anomaly::DuplicateAdmitting,
+            Anomaly::OrphanAdmitting,
+            Anomaly::LostUpdateAdmitting,
+        ] {
             let w = find_witness(anomaly, 256).expect("witness search must fire");
             assert!(w.schedules_searched >= 1);
             assert!(w.replay.starts_with("feral-sim replay --scenario "));

@@ -66,21 +66,31 @@ fn corpus_lint_flags_witnessed_unsafe_constructs() {
 
     let mut dup = 0usize;
     let mut orphan = 0usize;
+    let mut lost = 0usize;
     for app in &run.apps {
         for f in &app.findings {
             match f.anomaly {
                 Some(Anomaly::DuplicateAdmitting) => dup += 1,
                 Some(Anomaly::OrphanAdmitting) => orphan += 1,
+                Some(Anomaly::LostUpdateAdmitting) => lost += 1,
                 None => continue,
             }
-            assert_eq!(f.severity, Severity::Error, "{}: {}", app.app, f.message);
-            assert_eq!(
-                f.verdict,
-                table_one_verdict(match f.anomaly.unwrap() {
-                    Anomaly::DuplicateAdmitting => "validates_uniqueness_of",
-                    Anomaly::OrphanAdmitting => "validates_presence_of",
-                })
-            );
+            // FERAL001/002 prove the anomaly reachable (errors); the
+            // FERAL006-008 isolation-advice companions are warnings
+            match f.rule {
+                "FERAL001" | "FERAL002" => {
+                    assert_eq!(f.severity, Severity::Error, "{}: {}", app.app, f.message);
+                    assert_eq!(
+                        f.verdict,
+                        table_one_verdict(match f.anomaly.unwrap() {
+                            Anomaly::DuplicateAdmitting => "validates_uniqueness_of",
+                            Anomaly::OrphanAdmitting => "validates_presence_of",
+                            Anomaly::LostUpdateAdmitting => unreachable!(),
+                        })
+                    );
+                }
+                _ => assert_eq!(f.severity, Severity::Warning, "{}: {}", app.app, f.message),
+            }
             let wi = f
                 .witness
                 .unwrap_or_else(|| panic!("{}: unsafe finding without witness", f.message));
@@ -95,10 +105,14 @@ fn corpus_lint_flags_witnessed_unsafe_constructs() {
         orphan >= 1,
         "corpus must contain an orphan-admitting construct"
     );
+    assert!(
+        lost >= 1,
+        "corpus must contain a lost-update-admitting construct"
+    );
 
     assert_eq!(
         run.witnesses.len(),
-        2,
+        3,
         "one shared witness per anomaly kind"
     );
     for w in &run.witnesses {

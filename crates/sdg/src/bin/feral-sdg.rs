@@ -1,0 +1,192 @@
+//! `feral-sdg` — static dependency-graph anomaly prediction from the
+//! command line.
+//!
+//! ```text
+//! feral-sdg matrix [--json] [--out PATH] [--validate]
+//!         [--seeds N] [--max-runs N]
+//!     Print the pair × isolation verdict matrix. With --json, emit the
+//!     BENCH_sdg.json artifact (to stdout or --out). With --validate,
+//!     cross-check every cell: UNSAFE cells must produce a replaying
+//!     feral-sim witness, SAFE cells must survive a complete exhaustive
+//!     sweep, and every row must agree with its invariant-confluence
+//!     derivation — any disagreement exits non-zero.
+//!
+//! feral-sdg graph --pair P [--isolation LEVEL] [--dot]
+//!     Dump one cell's dependency graph (text or Graphviz dot).
+//!
+//! feral-sdg templates
+//!     List the transaction templates of every pair.
+//! ```
+//!
+//! Pairs: `uniqueness`, `orphans`, `lock-rmw`, `sibling-inserts`.
+//! Isolation levels: `read-committed`, `repeatable-read`, `snapshot`,
+//! `serializable`.
+
+use feral_db::IsolationLevel;
+use feral_sdg::matrix::{build_matrix, decide, iconfluence_agreement, validate_cell, PairKind};
+use feral_sdg::report::{render_dot, render_graph_text, render_json, render_matrix_text};
+use std::process::ExitCode;
+
+fn die(msg: &str) -> ! {
+    eprintln!("feral-sdg: {msg}");
+    std::process::exit(2);
+}
+
+struct Args {
+    flags: Vec<(String, Option<String>)>,
+}
+
+const VALUE_FLAGS: &[&str] = &["out", "seeds", "max-runs", "pair", "isolation"];
+
+impl Args {
+    fn parse(raw: &[String]) -> Args {
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let key = raw[i]
+                .strip_prefix("--")
+                .unwrap_or_else(|| die(&format!("expected --flag, got `{}`", raw[i])));
+            if VALUE_FLAGS.contains(&key) {
+                let value = raw
+                    .get(i + 1)
+                    .unwrap_or_else(|| die(&format!("--{key} needs a value")));
+                flags.push((key.to_string(), Some(value.clone())));
+                i += 2;
+            } else {
+                flags.push((key.to_string(), None));
+                i += 1;
+            }
+        }
+        Args { flags }
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.flags.iter().any(|(k, _)| k == key)
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn usize_or(&self, key: &str, default: usize) -> usize {
+        self.get(key)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| die(&format!("--{key} wants a number, got `{v}`")))
+            })
+            .unwrap_or(default)
+    }
+}
+
+fn parse_isolation(s: &str) -> IsolationLevel {
+    IsolationLevel::parse(s).unwrap_or_else(|| die(&format!("unknown isolation `{s}`")))
+}
+
+fn cmd_matrix(args: &Args) -> ExitCode {
+    let matrix = build_matrix();
+
+    let evidence = if args.has("validate") {
+        let seeds = args.usize_or("seeds", 500) as u64;
+        let max_runs = args.usize_or("max-runs", 200_000);
+        let mut collected = Vec::with_capacity(matrix.len());
+        let mut failures = 0;
+        for cell in &matrix {
+            match validate_cell(cell, seeds, max_runs) {
+                Ok(evidence) => collected.push(evidence),
+                Err(msg) => {
+                    eprintln!("feral-sdg: validation FAILED: {msg}");
+                    failures += 1;
+                }
+            }
+        }
+        for pair in PairKind::all() {
+            let row: Vec<_> = matrix.iter().filter(|c| c.pair == pair).cloned().collect();
+            if let Err(msg) = iconfluence_agreement(&row) {
+                eprintln!("feral-sdg: iconfluence disagreement: {msg}");
+                failures += 1;
+            }
+        }
+        if failures > 0 {
+            eprintln!("feral-sdg: {failures} validation failure(s)");
+            return ExitCode::from(1);
+        }
+        Some(collected)
+    } else {
+        None
+    };
+
+    let rendered = if args.has("json") {
+        render_json(&matrix, evidence.as_deref())
+    } else {
+        let mut text = render_matrix_text(&matrix);
+        if evidence.is_some() {
+            text.push_str(
+                "validated: every UNSAFE cell replayed a witness, every SAFE cell swept \
+                 exhaustively, every row agrees with iconfluence\n",
+            );
+        }
+        text
+    };
+    match args.get("out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &rendered) {
+                die(&format!("cannot write {path}: {e}"));
+            }
+            eprintln!("feral-sdg: wrote {path}");
+        }
+        None => print!("{rendered}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_graph(args: &Args) -> ExitCode {
+    let pair = match args.get("pair") {
+        Some(name) => PairKind::parse(name).unwrap_or_else(|| {
+            die(&format!(
+                "unknown pair `{name}` (uniqueness|orphans|lock-rmw|sibling-inserts)"
+            ))
+        }),
+        None => die("--pair is required"),
+    };
+    let isolation = args
+        .get("isolation")
+        .map(parse_isolation)
+        .unwrap_or(IsolationLevel::ReadCommitted);
+    let cell = decide(pair, isolation);
+    if args.has("dot") {
+        print!("{}", render_dot(&cell));
+    } else {
+        print!("{}", render_graph_text(&cell));
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_templates() -> ExitCode {
+    for pair in PairKind::all() {
+        println!("pair {}", pair.name());
+        for t in pair.templates() {
+            println!("  txn {}", t.name);
+            for s in &t.steps {
+                println!("    {:<24} {}", s.label, s.access);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first() else {
+        die("usage: feral-sdg <matrix|graph|templates> [flags]")
+    };
+    let args = Args::parse(&argv[1..]);
+    match command.as_str() {
+        "matrix" => cmd_matrix(&args),
+        "graph" => cmd_graph(&args),
+        "templates" => cmd_templates(),
+        other => die(&format!("unknown command `{other}`")),
+    }
+}

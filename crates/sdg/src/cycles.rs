@@ -1,0 +1,151 @@
+//! Critical-cycle search over admitted dependency edges.
+//!
+//! A verdict of UNSAFE requires a *realizable* cycle, Adya-style: a
+//! simple directed cycle through the admitted edges that
+//!
+//! 1. never interprets the same read/write overlap twice — one overlap
+//!    yields either its `rw` or its `wr` reading in a given execution,
+//!    never both; and
+//! 2. contains at least one `rw` antidependency — a cycle of `wr` edges
+//!    alone says every transaction committed before every other started
+//!    reading it, which is temporally contradictory, so pure-`wr` cycles
+//!    are unrealizable noise.
+
+use crate::graph::{DepGraph, Edge};
+use feral_db::ConflictKind;
+
+/// Find the preferred realizable cycle in `graph`, if any: shortest
+/// first, then the one maximising `rw` edges (antidependencies are the
+/// anomaly carriers), then first in deterministic edge order.
+pub fn find_cycle(graph: &DepGraph) -> Option<Vec<Edge>> {
+    let mut best: Option<Vec<Edge>> = None;
+    let n = graph.templates.len();
+    for start in 0..n {
+        let mut path: Vec<Edge> = Vec::new();
+        dfs(graph, start, start, &mut path, &mut best);
+    }
+    best
+}
+
+fn rw_count(cycle: &[Edge]) -> usize {
+    cycle
+        .iter()
+        .filter(|e| e.kind == ConflictKind::ReadWrite)
+        .count()
+}
+
+/// Preference key, minimized: length first, then non-`rw` edge count
+/// (so rw-heavy cycles win ties).
+fn key(cycle: &[Edge]) -> (usize, usize) {
+    (cycle.len(), cycle.len() - rw_count(cycle))
+}
+
+fn better(candidate: &[Edge], incumbent: &Option<Vec<Edge>>) -> bool {
+    match incumbent {
+        None => true,
+        Some(cur) => key(candidate) < key(cur),
+    }
+}
+
+fn dfs(
+    graph: &DepGraph,
+    start: usize,
+    at: usize,
+    path: &mut Vec<Edge>,
+    best: &mut Option<Vec<Edge>>,
+) {
+    for edge in &graph.edges {
+        // cycles are rooted at their minimum node, so siblings of the
+        // same cycle aren't enumerated once per rotation
+        if edge.from != at || edge.to < start {
+            continue;
+        }
+        if path.iter().any(|e| e.overlap == edge.overlap) {
+            continue; // one interpretation per overlap
+        }
+        if edge.to == start {
+            path.push(edge.clone());
+            if rw_count(path) > 0 && better(path, best) {
+                *best = Some(path.clone());
+            }
+            path.pop();
+            continue;
+        }
+        // simple cycle: never revisit a node already on the path
+        if edge.to == at || path.iter().any(|e| e.from == edge.to || e.to == edge.to) {
+            continue;
+        }
+        path.push(edge.clone());
+        dfs(graph, start, edge.to, path, best);
+        path.pop();
+    }
+}
+
+/// Render a cycle as `T1 -rw-> T2 -rw-> T1 (items: ...)`.
+pub fn render_cycle(graph: &DepGraph, cycle: &[Edge]) -> String {
+    let mut out = String::new();
+    for (i, e) in cycle.iter().enumerate() {
+        if i == 0 {
+            out.push_str(&graph.templates[e.from].name);
+        }
+        out.push_str(&format!(
+            " -{}[{}]-> {}",
+            e.kind.label(),
+            e.item,
+            graph.templates[e.to].name
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::build_graph;
+    use crate::template::uniqueness_probe_insert;
+    use feral_db::IsolationLevel;
+
+    fn uniq_graph(iso: IsolationLevel) -> DepGraph {
+        build_graph(
+            vec![uniqueness_probe_insert(1), uniqueness_probe_insert(2)],
+            iso,
+        )
+    }
+
+    #[test]
+    fn uniqueness_cycle_found_and_prefers_rw_edges() {
+        let g = uniq_graph(IsolationLevel::ReadCommitted);
+        let cycle = find_cycle(&g).expect("read committed admits the write-skew cycle");
+        assert_eq!(cycle.len(), 2);
+        // rw/rw beats rw/wr at equal length
+        assert!(cycle.iter().all(|e| e.kind == ConflictKind::ReadWrite));
+        // distinct overlaps
+        assert_ne!(cycle[0].overlap, cycle[1].overlap);
+    }
+
+    #[test]
+    fn no_cycle_once_rw_edges_are_validated_away() {
+        let g = uniq_graph(IsolationLevel::Serializable);
+        assert!(find_cycle(&g).is_none());
+    }
+
+    #[test]
+    fn pure_wr_cycles_are_rejected_as_unrealizable() {
+        // hand-build a graph whose only edges are the two wr readings:
+        // temporally contradictory, must not count as a cycle
+        let mut g = uniq_graph(IsolationLevel::ReadCommitted);
+        g.edges.retain(|e| e.kind == ConflictKind::WriteRead);
+        assert_eq!(g.edges.len(), 2);
+        assert!(find_cycle(&g).is_none());
+    }
+
+    #[test]
+    fn one_overlap_cannot_serve_both_directions() {
+        // keep only the two readings of overlap 0: rw T1->T2 and wr T2->T1.
+        // they would close a 2-cycle, but they are the same overlap.
+        let mut g = uniq_graph(IsolationLevel::ReadCommitted);
+        g.edges.retain(|e| e.overlap == 0);
+        assert_eq!(g.edges.len(), 2);
+        assert!(find_cycle(&g).is_none());
+    }
+}

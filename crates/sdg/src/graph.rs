@@ -1,0 +1,196 @@
+//! Static dependency graphs over template pairs.
+//!
+//! Two templates running concurrently can only interact where an access
+//! of one conflicts with an access of the other. Each such *overlap*
+//! yields candidate Adya-style dependency edges, and the isolation level
+//! decides which of them can actually materialise between two
+//! transactions that both commit (`IsolationLevel::admits_concurrent`):
+//!
+//! - a read/write overlap (T reads item i, U writes i) can surface as a
+//!   `rw` antidependency T→U (T read the version U overwrote) or as a
+//!   `wr` dependency U→T (T read U's committed write mid-flight);
+//! - a write/write overlap never becomes a cycle edge here. Under
+//!   first-updater-wins it *aborts* one side (a safety gate, handled in
+//!   [`crate::matrix`]); where both writes are admitted, commit-duration
+//!   write locks order them, and a pure-ww cycle is a lock deadlock the
+//!   engine resolves by abort, not an anomaly.
+
+use crate::template::TxnTemplate;
+use feral_db::{ConflictKind, IsolationLevel};
+
+/// A read/write conflict between steps of two different templates.
+#[derive(Debug, Clone)]
+pub struct RwOverlap {
+    /// Index into the pair's overlap table (edges cite it; a cycle may
+    /// not use the same overlap twice).
+    pub id: usize,
+    /// Template index of the reading transaction.
+    pub reader_txn: usize,
+    /// Step index of the read within the reader.
+    pub reader_step: usize,
+    /// Template index of the writing transaction.
+    pub writer_txn: usize,
+    /// Step index of the write within the writer.
+    pub writer_step: usize,
+    /// The conflicting item (`"key_values{key='dup'}"`).
+    pub item: String,
+}
+
+/// A write/write conflict between steps of two different templates.
+#[derive(Debug, Clone)]
+pub struct WwOverlap {
+    /// Template index of one writer.
+    pub a_txn: usize,
+    /// Its writing step.
+    pub a_step: usize,
+    /// Template index of the other writer.
+    pub b_txn: usize,
+    /// Its writing step.
+    pub b_step: usize,
+    /// The doubly-written item (`"accounts[acct]"`).
+    pub item: String,
+}
+
+/// One admitted dependency edge between two templates.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// `rw` (antidependency) or `wr` (read dependency).
+    pub kind: ConflictKind,
+    /// Source template index.
+    pub from: usize,
+    /// Target template index.
+    pub to: usize,
+    /// The [`RwOverlap`] this edge interprets.
+    pub overlap: usize,
+    /// The conflicting item, for rendering.
+    pub item: String,
+}
+
+/// The static dependency graph of one template pair at one isolation
+/// level.
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    /// The concurrent transaction templates (node i = `templates[i]`).
+    pub templates: Vec<TxnTemplate>,
+    /// Isolation level the edges were admitted under.
+    pub isolation: IsolationLevel,
+    /// All read/write overlaps between distinct templates.
+    pub rw_overlaps: Vec<RwOverlap>,
+    /// All write/write overlaps between distinct templates.
+    pub ww_overlaps: Vec<WwOverlap>,
+    /// Candidate edges the isolation level admits between two
+    /// *committing* concurrent transactions.
+    pub edges: Vec<Edge>,
+}
+
+/// Build the dependency graph for `templates` at `isolation`.
+pub fn build_graph(templates: Vec<TxnTemplate>, isolation: IsolationLevel) -> DepGraph {
+    let mut rw_overlaps = Vec::new();
+    let mut ww_overlaps = Vec::new();
+    for (ti, t) in templates.iter().enumerate() {
+        for (ui, u) in templates.iter().enumerate() {
+            if ti == ui {
+                continue;
+            }
+            for (si, s) in t.steps.iter().enumerate() {
+                for (wi, w) in u.steps.iter().enumerate() {
+                    if w.access.write_conflicts_read(&s.access) {
+                        rw_overlaps.push(RwOverlap {
+                            id: rw_overlaps.len(),
+                            reader_txn: ti,
+                            reader_step: si,
+                            writer_txn: ui,
+                            writer_step: wi,
+                            item: s.access.item(),
+                        });
+                    }
+                    // count each unordered ww pair once
+                    if ti < ui && w.access.write_conflicts_write(&s.access) {
+                        ww_overlaps.push(WwOverlap {
+                            a_txn: ti,
+                            a_step: si,
+                            b_txn: ui,
+                            b_step: wi,
+                            item: s.access.item(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let mut edges = Vec::new();
+    for o in &rw_overlaps {
+        // rw: the reader commits having read the version the writer
+        // replaced — possible unless commits validate read sets
+        if isolation.admits_concurrent(ConflictKind::ReadWrite) {
+            edges.push(Edge {
+                kind: ConflictKind::ReadWrite,
+                from: o.reader_txn,
+                to: o.writer_txn,
+                overlap: o.id,
+                item: o.item.clone(),
+            });
+        }
+        // wr: the reader observes the writer's commit mid-transaction —
+        // only without a transaction-duration snapshot (under snapshots
+        // the same overlap surfaces as the rw edge above instead)
+        if isolation.admits_concurrent(ConflictKind::WriteRead) {
+            edges.push(Edge {
+                kind: ConflictKind::WriteRead,
+                from: o.writer_txn,
+                to: o.reader_txn,
+                overlap: o.id,
+                item: o.item.clone(),
+            });
+        }
+    }
+
+    DepGraph {
+        templates,
+        isolation,
+        rw_overlaps,
+        ww_overlaps,
+        edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::{lock_version_rmw, uniqueness_probe_insert};
+
+    #[test]
+    fn uniqueness_pair_has_crossed_overlaps_and_no_ww() {
+        let g = build_graph(
+            vec![uniqueness_probe_insert(1), uniqueness_probe_insert(2)],
+            IsolationLevel::ReadCommitted,
+        );
+        // each probe overlaps the *other* txn's insert
+        assert_eq!(g.rw_overlaps.len(), 2);
+        assert!(g.ww_overlaps.is_empty());
+        // read committed admits both interpretations of each overlap
+        assert_eq!(g.edges.len(), 4);
+    }
+
+    #[test]
+    fn snapshot_drops_wr_edges_serializable_drops_rw_too() {
+        let pair = || vec![uniqueness_probe_insert(1), uniqueness_probe_insert(2)];
+        let si = build_graph(pair(), IsolationLevel::Snapshot);
+        assert!(si.edges.iter().all(|e| e.kind == ConflictKind::ReadWrite));
+        assert_eq!(si.edges.len(), 2);
+        let ser = build_graph(pair(), IsolationLevel::Serializable);
+        assert!(ser.edges.is_empty());
+        assert_eq!(ser.rw_overlaps.len(), 2, "overlaps remain visible");
+    }
+
+    #[test]
+    fn lock_rmw_pair_surfaces_the_ww_overlap_once() {
+        let g = build_graph(
+            vec![lock_version_rmw(1), lock_version_rmw(2)],
+            IsolationLevel::ReadCommitted,
+        );
+        assert_eq!(g.ww_overlaps.len(), 1);
+        assert_eq!(g.rw_overlaps.len(), 2);
+    }
+}

@@ -1,0 +1,250 @@
+//! Transaction templates: the static IR the dependency-graph analysis
+//! runs over.
+//!
+//! A template names the reads and writes one feral code path performs,
+//! at the granularity the engine's conflict detection sees them: row
+//! accesses by identity, and predicate reads by the selection they
+//! evaluate. The four canonical templates mirror the ORM's feral
+//! mechanisms exactly as `feral_sim::scenarios` drives them, so every
+//! static verdict has a runnable counterpart.
+
+use std::fmt;
+
+/// One access a template performs, as the conflict analysis sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Access {
+    /// Read one row by identity.
+    ReadRow {
+        /// Table holding the row.
+        table: String,
+        /// Logical row identity (`"dept"`), shared across templates
+        /// that touch the same row.
+        row: String,
+    },
+    /// Predicate read: scan `table` for rows matching `sel`.
+    ReadPred {
+        /// Table scanned.
+        table: String,
+        /// Selection label (`"key='dup'"`); a write conflicts with the
+        /// scan when its row lists the label in `matches`.
+        sel: String,
+    },
+    /// Write — insert, update, or delete — of one row.
+    WriteRow {
+        /// Table holding the row.
+        table: String,
+        /// Logical row identity.
+        row: String,
+        /// Selection labels the written row satisfies (an insert of a
+        /// `key='dup'` row matches the uniqueness probe's predicate).
+        matches: Vec<String>,
+    },
+}
+
+impl Access {
+    /// Whether this write conflicts with that read (same row identity,
+    /// or a written row matching the read predicate).
+    pub fn write_conflicts_read(&self, read: &Access) -> bool {
+        let Access::WriteRow {
+            table,
+            row,
+            matches,
+        } = self
+        else {
+            return false;
+        };
+        match read {
+            Access::ReadRow { table: rt, row: rr } => rt == table && rr == row,
+            Access::ReadPred { table: rt, sel } => rt == table && matches.contains(sel),
+            Access::WriteRow { .. } => false,
+        }
+    }
+
+    /// Whether two writes conflict (same row identity).
+    pub fn write_conflicts_write(&self, other: &Access) -> bool {
+        match (self, other) {
+            (
+                Access::WriteRow {
+                    table: t1, row: r1, ..
+                },
+                Access::WriteRow {
+                    table: t2, row: r2, ..
+                },
+            ) => t1 == t2 && r1 == r2,
+            _ => false,
+        }
+    }
+
+    /// The conflict item this access names, for rendering.
+    pub fn item(&self) -> String {
+        match self {
+            Access::ReadRow { table, row } | Access::WriteRow { table, row, .. } => {
+                format!("{table}[{row}]")
+            }
+            Access::ReadPred { table, sel } => format!("{table}{{{sel}}}"),
+        }
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Access::ReadRow { .. } => write!(f, "r {}", self.item()),
+            Access::ReadPred { .. } => write!(f, "r {}", self.item()),
+            Access::WriteRow { .. } => write!(f, "w {}", self.item()),
+        }
+    }
+}
+
+/// One step of a template: a labelled access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// What the ORM is doing at this step (`"uniqueness probe"`).
+    pub label: String,
+    /// The access the engine performs for it.
+    pub access: Access,
+}
+
+impl Step {
+    fn new(label: &str, access: Access) -> Step {
+        Step {
+            label: label.to_string(),
+            access,
+        }
+    }
+}
+
+/// A transaction template: the ordered accesses of one feral code path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnTemplate {
+    /// Template name (`"uniqueness-probe-insert#1"`).
+    pub name: String,
+    /// Steps in program order.
+    pub steps: Vec<Step>,
+}
+
+fn read_row(table: &str, row: &str) -> Access {
+    Access::ReadRow {
+        table: table.to_string(),
+        row: row.to_string(),
+    }
+}
+
+fn read_pred(table: &str, sel: &str) -> Access {
+    Access::ReadPred {
+        table: table.to_string(),
+        sel: sel.to_string(),
+    }
+}
+
+fn write_row(table: &str, row: &str, matches: &[&str]) -> Access {
+    Access::WriteRow {
+        table: table.to_string(),
+        row: row.to_string(),
+        matches: matches.iter().map(|s| s.to_string()).collect(),
+    }
+}
+
+/// §5.2 uniqueness probe-then-insert (`validates_uniqueness_of`):
+/// `SELECT ... WHERE key='dup' LIMIT 1`, then insert a fresh row with
+/// that key. `i` distinguishes concurrent instances (each inserts its
+/// own row — no ww conflict, only the predicate/insert antidependency).
+pub fn uniqueness_probe_insert(i: usize) -> TxnTemplate {
+    TxnTemplate {
+        name: format!("uniqueness-probe-insert#{i}"),
+        steps: vec![
+            Step::new("uniqueness probe", read_pred("key_values", "key='dup'")),
+            Step::new(
+                "insert validated row",
+                write_row("key_values", &format!("new{i}"), &["key='dup'"]),
+            ),
+        ],
+    }
+}
+
+/// §5.3 association check-then-insert (`validates_presence_of` on
+/// `belongs_to :department`): read the parent row to prove it exists,
+/// then insert the child referencing it.
+pub fn assoc_check_insert(i: usize) -> TxnTemplate {
+    TxnTemplate {
+        name: format!("assoc-check-insert#{i}"),
+        steps: vec![
+            Step::new("presence-check parent", read_row("departments", "dept")),
+            Step::new(
+                "insert child",
+                write_row("users", &format!("user{i}"), &["department_id=dept"]),
+            ),
+        ],
+    }
+}
+
+/// §5.3/§5.4 feral cascading destroy (`has_many :users, dependent:
+/// :destroy`): find the parent, scan its children (none pre-exist in
+/// the canonical scenario, so no child deletes appear), delete the
+/// parent.
+pub fn cascade_destroy() -> TxnTemplate {
+    TxnTemplate {
+        name: "cascade-destroy".to_string(),
+        steps: vec![
+            Step::new("find parent", read_row("departments", "dept")),
+            Step::new("scan dependents", read_pred("users", "department_id=dept")),
+            Step::new("delete parent", write_row("departments", "dept", &[])),
+        ],
+    }
+}
+
+/// §4.4 unguarded `lock_version` read-modify-write: read the record
+/// (version included), write back the bumped value. This is the code
+/// path an *inert* optimistic lock degenerates to — the conditional
+/// `WHERE lock_version = n` never runs, so nothing ties the write to
+/// the read.
+pub fn lock_version_rmw(i: usize) -> TxnTemplate {
+    TxnTemplate {
+        name: format!("lock-version-rmw#{i}"),
+        steps: vec![
+            Step::new("read record + version", read_row("accounts", "acct")),
+            Step::new("write bumped record", write_row("accounts", "acct", &[])),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicate_reads_conflict_with_matching_writes_only() {
+        let probe = read_pred("key_values", "key='dup'");
+        let matching = write_row("key_values", "new1", &["key='dup'"]);
+        let other_key = write_row("key_values", "new2", &["key='x'"]);
+        let other_table = write_row("users", "new1", &["key='dup'"]);
+        assert!(matching.write_conflicts_read(&probe));
+        assert!(!other_key.write_conflicts_read(&probe));
+        assert!(!other_table.write_conflicts_read(&probe));
+    }
+
+    #[test]
+    fn row_identity_drives_row_conflicts() {
+        let read = read_row("departments", "dept");
+        let delete = write_row("departments", "dept", &[]);
+        let unrelated = write_row("departments", "other", &[]);
+        assert!(delete.write_conflicts_read(&read));
+        assert!(!unrelated.write_conflicts_read(&read));
+        assert!(delete.write_conflicts_write(&delete.clone()));
+        assert!(!delete.write_conflicts_write(&unrelated));
+    }
+
+    #[test]
+    fn canonical_templates_have_distinct_fresh_rows() {
+        let t1 = uniqueness_probe_insert(1);
+        let t2 = uniqueness_probe_insert(2);
+        let (w1, w2) = (&t1.steps[1].access, &t2.steps[1].access);
+        assert!(
+            !w1.write_conflicts_write(w2),
+            "fresh inserts must not ww-conflict"
+        );
+        // but each insert matches the *other* transaction's probe
+        assert!(w1.write_conflicts_read(&t2.steps[0].access));
+        assert!(w2.write_conflicts_read(&t1.steps[0].access));
+    }
+}

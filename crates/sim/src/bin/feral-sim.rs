@@ -5,7 +5,7 @@
 //!     Run the paper's safety matrix under exhaustive schedule
 //!     exploration; exit non-zero if any cell deviates.
 //!
-//! feral-sim systematic --scenario uniqueness|orphans
+//! feral-sim systematic --scenario uniqueness|orphans|lost-update|sibling-inserts
 //!         [--isolation LEVEL] [--guard feral|database]
 //!         [--workers N] [--max-runs N]
 //!     Exhaustively explore one scenario; print the first anomalous
@@ -81,8 +81,11 @@ impl Args {
 
     fn scenario_cfg(&self) -> ScenarioSpec {
         let kind = match self.get("scenario") {
-            Some(name) => ScenarioKind::parse(name)
-                .unwrap_or_else(|| die(&format!("unknown scenario `{name}` (uniqueness|orphans)"))),
+            Some(name) => ScenarioKind::parse(name).unwrap_or_else(|| {
+                die(&format!(
+                    "unknown scenario `{name}` (uniqueness|orphans|lost-update|sibling-inserts)"
+                ))
+            }),
             None => die("--scenario is required"),
         };
         ScenarioSpec {

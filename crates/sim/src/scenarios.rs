@@ -31,14 +31,26 @@ pub enum ScenarioKind {
     Uniqueness,
     /// §5.3/§5.4: cascade destroy racing dependent inserts.
     Orphans,
+    /// §4.4: unguarded `lock_version`-style read-modify-write — two
+    /// sessions each read a counter and write back `read + 1` inside one
+    /// transaction; a lost update leaves the counter short.
+    LostUpdate,
+    /// §5.3 insert-only control: two sessions concurrently
+    /// presence-check the same parent and insert children — no
+    /// destroyer, so the referential invariant is I-confluent and every
+    /// schedule must be orphan-free.
+    SiblingInserts,
 }
 
 impl ScenarioKind {
-    /// CLI spelling (`uniqueness` / `orphans`).
+    /// CLI spelling (`uniqueness` / `orphans` / `lost-update` /
+    /// `sibling-inserts`).
     pub fn name(self) -> &'static str {
         match self {
             ScenarioKind::Uniqueness => "uniqueness",
             ScenarioKind::Orphans => "orphans",
+            ScenarioKind::LostUpdate => "lost-update",
+            ScenarioKind::SiblingInserts => "sibling-inserts",
         }
     }
 
@@ -47,6 +59,8 @@ impl ScenarioKind {
         match s {
             "uniqueness" => Some(ScenarioKind::Uniqueness),
             "orphans" => Some(ScenarioKind::Orphans),
+            "lost-update" => Some(ScenarioKind::LostUpdate),
+            "sibling-inserts" => Some(ScenarioKind::SiblingInserts),
             _ => None,
         }
     }
@@ -75,6 +89,10 @@ impl ScenarioSpec {
         match self.kind {
             ScenarioKind::Uniqueness => uniqueness_trial(self.isolation, self.guard, self.workers),
             ScenarioKind::Orphans => orphan_trial(self.isolation, self.guard, self.workers),
+            ScenarioKind::LostUpdate => lost_update_trial(self.isolation, self.guard, self.workers),
+            ScenarioKind::SiblingInserts => {
+                sibling_insert_trial(self.isolation, self.guard, self.workers)
+            }
         }
     }
 
@@ -258,6 +276,159 @@ pub fn orphan_trial_app(isolation: IsolationLevel, guard: Guard, inserters: usiz
             tolerate(s.create("User", &[("department_id", Datum::Int(dept_id))]));
         }));
     }
+    let check_app = app.clone();
+    let trial = Trial {
+        workers,
+        check: Box::new(move || {
+            let orphans =
+                oracles::orphaned_rows(check_app.db(), "users", "department_id", "departments");
+            if orphans.is_empty() {
+                Ok(())
+            } else {
+                Err(format!("orphaned user rows (ids): {orphans:?}"))
+            }
+        }),
+    };
+    (app, trial)
+}
+
+/// §4.4 lost-update scenario: `updaters` sessions each run one
+/// transaction that reads an account's counter and writes back
+/// `read + 1` — the unguarded read-modify-write an *inert* optimistic
+/// lock degenerates to (the `lock_version` column is missing, so the
+/// stale-object check silently never runs). The oracle fires when the
+/// counter ends up short of the acknowledged increments.
+///
+/// [`Guard::Database`] takes a pessimistic row lock (`SELECT ... FOR
+/// UPDATE`) before the read, serializing the RMWs at any isolation.
+pub fn lost_update_trial(isolation: IsolationLevel, guard: Guard, updaters: usize) -> Trial {
+    lost_update_trial_app(isolation, guard, updaters).1
+}
+
+/// [`lost_update_trial`], also handing back the application and the
+/// acknowledged-increment counter for post-run inspection.
+pub fn lost_update_trial_app(
+    isolation: IsolationLevel,
+    guard: Guard,
+    updaters: usize,
+) -> (App, Trial) {
+    use std::sync::atomic::{AtomicI64, Ordering};
+    use std::sync::Arc;
+
+    let app = App::new(db_at(isolation));
+    app.define(
+        ModelDef::build("Account")
+            .string("name")
+            .integer("balance")
+            .finish(),
+    )
+    .unwrap();
+    let account_id = {
+        let mut s = app.session();
+        s.create_strict(
+            "Account",
+            &[("name", Datum::text("hits")), ("balance", Datum::Int(0))],
+        )
+        .unwrap()
+        .id()
+        .unwrap()
+    };
+    let acked = Arc::new(AtomicI64::new(0));
+    let workers = (0..updaters)
+        .map(|_| {
+            let app = app.clone();
+            let acked = acked.clone();
+            Box::new(move || {
+                let mut s = app.session();
+                let result = s.transaction(|s| {
+                    let mut account = s.find("Account", account_id)?;
+                    if guard == Guard::Database {
+                        s.lock(&mut account)?;
+                    }
+                    let read = account.get("balance").as_int().unwrap_or(0);
+                    s.update_attributes(&mut account, &[("balance", Datum::Int(read + 1))])?;
+                    Ok(())
+                });
+                match result {
+                    Ok(()) => {
+                        acked.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Err(e) if e.is_retryable() => {}
+                    Err(OrmError::RecordNotFound(_)) => {}
+                    Err(e) => panic!("unexpected error in lost-update worker: {e}"),
+                }
+            }) as Box<dyn FnOnce() + Send>
+        })
+        .collect();
+    let check_app = app.clone();
+    let check_acked = acked.clone();
+    let trial = Trial {
+        workers,
+        check: Box::new(move || {
+            let expected = check_acked.load(Ordering::SeqCst);
+            let lost = oracles::lost_updates(check_app.db(), "accounts", "balance", expected);
+            if lost == 0 {
+                Ok(())
+            } else {
+                Err(format!(
+                    "lost updates: {lost} of {expected} acknowledged increments missing"
+                ))
+            }
+        }),
+    };
+    (app, trial)
+}
+
+/// Insert-only association scenario: `inserters` sessions concurrently
+/// presence-check the same department and create users in it. Nobody
+/// deletes, so the referential invariant is I-confluent (§4.2) and the
+/// orphan oracle must stay silent on *every* schedule, at every
+/// isolation level — the SAFE control row of the `feral-sdg` matrix.
+pub fn sibling_insert_trial(isolation: IsolationLevel, guard: Guard, inserters: usize) -> Trial {
+    sibling_insert_trial_app(isolation, guard, inserters).1
+}
+
+/// [`sibling_insert_trial`], also handing back the application.
+pub fn sibling_insert_trial_app(
+    isolation: IsolationLevel,
+    guard: Guard,
+    inserters: usize,
+) -> (App, Trial) {
+    let app = App::new(db_at(isolation));
+    app.define(
+        ModelDef::build("Department")
+            .string("name")
+            .has_many_dependent("users", Dependent::Destroy)
+            .finish(),
+    )
+    .unwrap();
+    app.define(
+        ModelDef::build("User")
+            .belongs_to("department")
+            .validates_presence_of("department")
+            .finish(),
+    )
+    .unwrap();
+    if guard == Guard::Database {
+        app.add_foreign_key("User", "department", OnDelete::Cascade)
+            .unwrap();
+    }
+    let dept_id = {
+        let mut s = app.session();
+        s.create_strict("Department", &[("name", Datum::text("eng"))])
+            .unwrap()
+            .id()
+            .unwrap()
+    };
+    let workers = (0..inserters)
+        .map(|_| {
+            let app = app.clone();
+            Box::new(move || {
+                let mut s = app.session();
+                tolerate(s.create("User", &[("department_id", Datum::Int(dept_id))]));
+            }) as Box<dyn FnOnce() + Send>
+        })
+        .collect();
     let check_app = app.clone();
     let trial = Trial {
         workers,

@@ -22,6 +22,18 @@ echo "== tier1: feral-sim bounded systematic sweep =="
 # only guards against regressions that explode the schedule space.
 cargo run --release -q -p feral-sim -- matrix --max-runs 50000
 
+echo "== tier1: feral-sdg static matrix, cross-validated =="
+# Static dependency-graph verdicts for 4 template pairs x 4 isolation
+# levels. --validate replays a feral-sim witness for every UNSAFE cell,
+# exhaustively sweeps every SAFE cell, and diffs each row against the
+# iconfluence model checker; any disagreement exits non-zero. The JSON
+# artifact must be byte-identical to the checked-in golden.
+cargo run --release -q -p feral-sdg -- matrix --validate
+SDG_OUT=$(mktemp /tmp/BENCH_sdg.XXXXXX.json)
+cargo run --release -q -p feral-sdg -- matrix --json --out "$SDG_OUT"
+diff "$SDG_OUT" results/BENCH_sdg.golden.json
+rm -f "$SDG_OUT"
+
 echo "== tier1: feral-trace docs (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q -p feral-trace
 
