@@ -17,7 +17,7 @@ fn setup_table(rows: usize, indexed: bool) -> Database {
     if indexed {
         db.create_index("t", &["k"], false).unwrap();
     }
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     for i in 0..rows {
         tx.insert_pairs(
             "t",
@@ -37,7 +37,7 @@ fn bench_insert_commit(c: &mut Criterion) {
         let db = setup_table(0, false);
         let mut i = 0u64;
         b.iter(|| {
-            let mut tx = db.begin();
+            let mut tx = db.txn().begin();
             tx.insert_pairs(
                 "t",
                 &[
@@ -55,7 +55,7 @@ fn bench_insert_commit(c: &mut Criterion) {
         let db = setup_table(0, false);
         let mut i = 0u64;
         b.iter(|| {
-            let mut tx = db.begin();
+            let mut tx = db.txn().begin();
             for _ in 0..100 {
                 tx.insert_pairs(
                     "t",
@@ -79,7 +79,7 @@ fn bench_scans(c: &mut Criterion) {
         let indexed = setup_table(rows, true);
         group.bench_with_input(BenchmarkId::new("full_scan", rows), &rows, |b, _| {
             b.iter(|| {
-                let mut tx = plain.begin();
+                let mut tx = plain.txn().begin();
                 let hit = tx
                     .scan("t", &Predicate::eq(1, format!("key-{}", rows / 2).as_str()))
                     .unwrap();
@@ -88,7 +88,7 @@ fn bench_scans(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("index_probe", rows), &rows, |b, _| {
             b.iter(|| {
-                let mut tx = indexed.begin();
+                let mut tx = indexed.txn().begin();
                 let hit = tx
                     .scan("t", &Predicate::eq(1, format!("key-{}", rows / 2).as_str()))
                     .unwrap();
@@ -106,7 +106,7 @@ fn bench_feral_probe_sequence(c: &mut Criterion) {
         let db = setup_table(1_000, false);
         let mut i = 1_000_000u64;
         b.iter(|| {
-            let mut tx = db.begin();
+            let mut tx = db.txn().begin();
             let key = format!("key-{i}");
             let existing = tx.scan("t", &Predicate::eq(1, key.as_str())).unwrap();
             assert!(existing.is_empty());
@@ -122,7 +122,7 @@ fn bench_select_for_update(c: &mut Criterion) {
     c.bench_function("engine/select_for_update_cycle", |b| {
         let db = setup_table(100, false);
         b.iter(|| {
-            let mut tx = db.begin();
+            let mut tx = db.txn().begin();
             let rows = tx.select_for_update("t", &Predicate::eq(0, 50i64)).unwrap();
             black_box(rows.len());
             tx.commit().unwrap();

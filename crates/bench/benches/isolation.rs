@@ -21,7 +21,7 @@ fn contended_db(iso: IsolationLevel) -> Database {
         vec![ColumnDef::new("v", DataType::Int)],
     ))
     .unwrap();
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     for _ in 0..8 {
         tx.insert_pairs("counters", &[("v", Datum::Int(0))])
             .unwrap();
@@ -34,7 +34,7 @@ fn contended_db(iso: IsolationLevel) -> Database {
 /// concurrency aborts (as an application would).
 fn rmw(db: &Database, id: i64) {
     loop {
-        let mut tx = db.begin();
+        let mut tx = db.txn().begin();
         let result = (|| {
             let rows = tx.scan("counters", &Predicate::eq(0, id))?;
             let (rref, t) = rows.into_iter().next().expect("counter exists");
@@ -103,7 +103,7 @@ fn bench_uncontended_commit(c: &mut Criterion) {
             |b, &iso| {
                 let db = contended_db(iso);
                 b.iter(|| {
-                    let mut tx = db.begin();
+                    let mut tx = db.txn().begin();
                     tx.insert_pairs("counters", &[("v", Datum::Int(7))])
                         .unwrap();
                     tx.commit().unwrap();

@@ -1,0 +1,519 @@
+//! `commitbench` — contention microbench for the sharded commit
+//! pipeline and the group-commit WAL (`BENCH_commit.json`).
+//!
+//! Measures committed transactions per second across
+//! configuration (single-latch baseline, sharding-only,
+//! group-commit-only, full pipeline) × workers × key distribution
+//! (uniform disjoint-shard, YCSB Zipfian hot-shard) × isolation, with a
+//! synced WAL so a flush has a real price. Alongside the throughput
+//! cells it runs per-isolation lost-update anomaly cells and
+//! cross-checks each against the `feral-sdg` static verdict and a
+//! deterministic `feral-sim` schedule sweep — the pipeline must change
+//! *speed*, never *semantics*.
+//!
+//! ```text
+//! commitbench [--smoke | --full] [--json] [--out PATH]
+//!             [--commits N] [--runs N] [--max-runs N]
+//! ```
+//!
+//! Exit code 1 when any gate fails: pipeline < 2× baseline at 8
+//! workers (uniform, read committed), a sim sweep disagreeing with the
+//! sdg verdict, or a lost update observed under an isolation level the
+//! matrix calls safe.
+
+use feral_bench::{mean_std, print_table, Args};
+use feral_cli::EXIT_DEVIATION;
+use feral_db::{
+    ColumnDef, Config, DataType, Database, Datum, IsolationLevel, Predicate, TableSchema,
+};
+use feral_sdg::matrix::{decide, PairKind};
+use feral_sim::explore_systematic;
+use feral_workloads::{KeyChooser, ScrambledZipfian};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+const TOOL: &str = "commitbench";
+const TABLES: usize = 8;
+const GATE_WORKERS: usize = 8;
+const GATE_RATIO: f64 = 2.0;
+
+/// One commit-path configuration under test.
+struct PipeCfg {
+    name: &'static str,
+    shards: usize,
+    batch: usize,
+    wait: Duration,
+}
+
+const BASELINE: PipeCfg = PipeCfg {
+    name: "single-latch",
+    shards: 1,
+    batch: 1,
+    wait: Duration::ZERO,
+};
+const PIPELINE: PipeCfg = PipeCfg {
+    name: "pipeline",
+    shards: 8,
+    batch: 8,
+    wait: Duration::from_micros(250),
+};
+const SHARDS_ONLY: PipeCfg = PipeCfg {
+    name: "sharded-only",
+    shards: 8,
+    batch: 1,
+    wait: Duration::ZERO,
+};
+const GROUP_ONLY: PipeCfg = PipeCfg {
+    name: "group-commit-only",
+    shards: 1,
+    batch: 8,
+    wait: Duration::from_micros(250),
+};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Dist {
+    /// Worker `w` always commits into table `w % 8`: disjoint shards.
+    UniformDisjoint,
+    /// Every commit draws its table from a YCSB scrambled Zipfian: one
+    /// very hot shard.
+    Zipfian,
+}
+
+impl Dist {
+    fn name(self) -> &'static str {
+        match self {
+            Dist::UniformDisjoint => "uniform",
+            Dist::Zipfian => "zipfian",
+        }
+    }
+}
+
+struct ThroughputCell {
+    config: &'static str,
+    dist: Dist,
+    isolation: IsolationLevel,
+    workers: usize,
+    commits_per_sec: f64,
+    std: f64,
+    wal_flushes: u64,
+    group_commit_batches: u64,
+    commit_shard_conflicts: u64,
+}
+
+struct AnomalyCell {
+    isolation: IsolationLevel,
+    predicted_unsafe: bool,
+    sim_witness: bool,
+    acked: u64,
+    final_balance: i64,
+}
+
+impl AnomalyCell {
+    fn lost(&self) -> i64 {
+        self.acked as i64 - self.final_balance
+    }
+    fn agree(&self) -> bool {
+        self.sim_witness == self.predicted_unsafe && (self.predicted_unsafe || self.lost() == 0)
+    }
+}
+
+fn wal_path(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("commitbench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}.wal"))
+}
+
+fn db_config(cfg: &PipeCfg, isolation: IsolationLevel, wal: &std::path::Path) -> Config {
+    Config {
+        default_isolation: isolation,
+        commit_shards: cfg.shards,
+        group_commit_max_batch: cfg.batch,
+        group_commit_max_wait: cfg.wait,
+        wal_sync: true,
+        wal_path: Some(wal.to_path_buf()),
+        ..Config::default()
+    }
+}
+
+/// One timed run: `workers` threads each commit `commits` single-row
+/// inserts, tables chosen per `dist`. Returns (commits/sec, stats).
+fn timed_run(
+    cfg: &PipeCfg,
+    dist: Dist,
+    isolation: IsolationLevel,
+    workers: usize,
+    commits: usize,
+    run: usize,
+) -> (f64, feral_db::StatsSnapshot) {
+    let wal = wal_path(&format!(
+        "{}-{}-{workers}w-{run}",
+        cfg.name,
+        dist.name().chars().next().unwrap()
+    ));
+    let _ = std::fs::remove_file(&wal);
+    let db = Database::open(db_config(cfg, isolation, &wal)).unwrap();
+    let names: Vec<String> = (0..TABLES).map(|t| format!("t{t}")).collect();
+    for name in &names {
+        db.create_table(TableSchema::new(
+            name.clone(),
+            vec![ColumnDef::new("n", DataType::Int)],
+        ))
+        .unwrap();
+    }
+    let before = db.stats().snapshot();
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let db = db.clone();
+            let names = &names;
+            s.spawn(move || {
+                let mut zipf =
+                    ScrambledZipfian::new(TABLES as u64, 0xC0117 + run as u64 * 131 + w as u64);
+                for i in 0..commits {
+                    let table = match dist {
+                        Dist::UniformDisjoint => w % TABLES,
+                        Dist::Zipfian => zipf.next_key() as usize,
+                    };
+                    db.txn()
+                        .isolation(isolation)
+                        .retries(16)
+                        .run(|tx| {
+                            tx.insert_pairs(&names[table], &[("n", Datum::Int(i as i64))])?;
+                            Ok(())
+                        })
+                        .unwrap();
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let diff = db.stats().snapshot().diff(&before);
+    drop(db);
+    let _ = std::fs::remove_file(&wal);
+    ((workers * commits) as f64 / elapsed, diff)
+}
+
+fn throughput_cell(
+    cfg: &PipeCfg,
+    dist: Dist,
+    isolation: IsolationLevel,
+    workers: usize,
+    commits: usize,
+    runs: usize,
+) -> ThroughputCell {
+    let mut samples = Vec::with_capacity(runs);
+    let mut last = None;
+    for run in 0..runs {
+        let (tput, diff) = timed_run(cfg, dist, isolation, workers, commits, run);
+        samples.push(tput);
+        last = Some(diff);
+    }
+    let (mean, std) = mean_std(&samples);
+    let diff = last.unwrap();
+    eprintln!(
+        "  {:>17} {:>7} {:<15} P={workers}: {mean:>9.0} ± {std:>7.0} commits/s \
+         ({} flushes, {} shard conflicts)",
+        cfg.name,
+        dist.name(),
+        isolation.to_string(),
+        diff.wal_flushes,
+        diff.commit_shard_conflicts,
+    );
+    ThroughputCell {
+        config: cfg.name,
+        dist,
+        isolation,
+        workers,
+        commits_per_sec: mean,
+        std,
+        wal_flushes: diff.wal_flushes,
+        group_commit_batches: diff.group_commit_batches,
+        commit_shard_conflicts: diff.commit_shard_conflicts,
+    }
+}
+
+/// Per-isolation lost-update cell: a deterministic feral-sim sweep of
+/// the sdg lock-rmw scenario, plus a real-thread stale-read RMW race on
+/// the sharded pipeline counting lost updates.
+fn anomaly_cell(isolation: IsolationLevel, rounds: usize, max_runs: usize) -> AnomalyCell {
+    let cell = decide(PairKind::LockRmw, isolation);
+    let predicted_unsafe = cell.verdict.is_unsafe();
+    let outcome = explore_systematic(|| cell.scenario.build(), max_runs);
+    let sim_witness = outcome.violation.is_some();
+
+    let db = Database::open(Config {
+        default_isolation: isolation,
+        commit_shards: 8,
+        ..Config::default()
+    })
+    .unwrap();
+    db.create_table(TableSchema::new(
+        "acct",
+        vec![ColumnDef::new("n", DataType::Int)],
+    ))
+    .unwrap();
+    db.txn()
+        .run(|tx| {
+            tx.insert_pairs("acct", &[("n", Datum::Int(0))])?;
+            Ok(())
+        })
+        .unwrap();
+    let acked = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            let db = db.clone();
+            let acked = &acked;
+            s.spawn(move || {
+                for _ in 0..rounds {
+                    let result = db.txn().isolation(isolation).retries(64).run(|tx| {
+                        let rows = tx.scan("acct", &Predicate::True)?;
+                        let (rref, tuple) = (rows[0].0, (*rows[0].1).clone());
+                        let read = tuple[1].as_int().unwrap_or(0);
+                        // widen the stale-read window so preemption can
+                        // land between the read and the write
+                        std::thread::yield_now();
+                        let mut next = tuple;
+                        next[1] = Datum::Int(read + 1);
+                        tx.update("acct", rref, next)
+                    });
+                    if result.is_ok() {
+                        acked.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            });
+        }
+    });
+    let final_balance = {
+        let mut tx = db.txn().begin();
+        let rows = tx.scan("acct", &Predicate::True).unwrap();
+        rows[0].1[1].as_int().unwrap()
+    };
+    let cell = AnomalyCell {
+        isolation,
+        predicted_unsafe,
+        sim_witness,
+        acked: acked.load(Ordering::SeqCst),
+        final_balance,
+    };
+    eprintln!(
+        "  lock-rmw under {:<15}: sdg={} sim-witness={} acked={} final={} lost={}",
+        isolation.to_string(),
+        if predicted_unsafe { "UNSAFE" } else { "safe" },
+        cell.sim_witness,
+        cell.acked,
+        cell.final_balance,
+        cell.lost(),
+    );
+    cell
+}
+
+fn render_json(
+    mode: &str,
+    commits: usize,
+    runs: usize,
+    cells: &[ThroughputCell],
+    anomalies: &[AnomalyCell],
+    speedup: f64,
+    gates: (bool, bool, bool),
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"bench\": \"commit-pipeline\",\n  \"mode\": \"{mode}\",\n"
+    ));
+    out.push_str(&format!(
+        "  \"tables\": {TABLES},\n  \"commits_per_worker\": {commits},\n  \"runs_per_cell\": {runs},\n"
+    ));
+    out.push_str("  \"throughput\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"config\": \"{}\", \"distribution\": \"{}\", \"isolation\": \"{}\", \
+             \"workers\": {}, \"commits_per_sec\": {:.1}, \"stddev\": {:.1}, \
+             \"wal_flushes\": {}, \"group_commit_batches\": {}, \"commit_shard_conflicts\": {}}}{}\n",
+            c.config,
+            c.dist.name(),
+            c.isolation,
+            c.workers,
+            c.commits_per_sec,
+            c.std,
+            c.wal_flushes,
+            c.group_commit_batches,
+            c.commit_shard_conflicts,
+            if i + 1 < cells.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"speedup_at_gate\": {{\"workers\": {GATE_WORKERS}, \"distribution\": \"uniform\", \
+         \"isolation\": \"read committed\", \"ratio\": {speedup:.2}, \"required\": {GATE_RATIO:.1}}},\n"
+    ));
+    out.push_str("  \"anomalies\": [\n");
+    for (i, a) in anomalies.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"pair\": \"lock-rmw\", \"isolation\": \"{}\", \"sdg_verdict\": \"{}\", \
+             \"sim_witness\": {}, \"acked_increments\": {}, \"final_balance\": {}, \
+             \"lost_updates\": {}, \"agree\": {}}}{}\n",
+            a.isolation,
+            if a.predicted_unsafe { "unsafe" } else { "safe" },
+            a.sim_witness,
+            a.acked,
+            a.final_balance,
+            a.lost(),
+            a.agree(),
+            if i + 1 < anomalies.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    let (speed_ok, verdict_ok, safe_ok) = gates;
+    out.push_str(&format!(
+        "  \"gates\": {{\"speedup\": {speed_ok}, \"verdict_agreement\": {verdict_ok}, \
+         \"safe_cells_clean\": {safe_ok}, \"pass\": {}}}\n}}\n",
+        speed_ok && verdict_ok && safe_ok
+    ));
+    out
+}
+
+fn main() -> ExitCode {
+    let args = Args::from_env();
+    let full = args.has("full");
+    let smoke = args.has("smoke") || !full;
+    let mode = if smoke { "smoke" } else { "full" };
+    let commits = args.get_usize("commits", if smoke { 150 } else { 300 });
+    let runs = args.get_usize("runs", 3);
+    let rounds = args.get_usize("rounds", if smoke { 200 } else { 1000 });
+    let max_runs = args.get_usize("max-runs", if smoke { 50_000 } else { 200_000 });
+
+    let configs: Vec<&PipeCfg> = if smoke {
+        vec![&BASELINE, &PIPELINE]
+    } else {
+        vec![&BASELINE, &SHARDS_ONLY, &GROUP_ONLY, &PIPELINE]
+    };
+    let worker_counts: Vec<usize> = if smoke {
+        vec![1, GATE_WORKERS]
+    } else {
+        vec![1, 2, 4, GATE_WORKERS, 16]
+    };
+    let isolations: Vec<IsolationLevel> = if smoke {
+        vec![IsolationLevel::ReadCommitted]
+    } else {
+        vec![IsolationLevel::ReadCommitted, IsolationLevel::Serializable]
+    };
+
+    eprintln!(
+        "commitbench ({mode}): {commits} commits/worker, {runs} runs/cell, synced WAL on {}",
+        std::env::temp_dir().display()
+    );
+    let mut cells = Vec::new();
+    for cfg in &configs {
+        for &isolation in &isolations {
+            for dist in [Dist::UniformDisjoint, Dist::Zipfian] {
+                for &workers in &worker_counts {
+                    cells.push(throughput_cell(
+                        cfg, dist, isolation, workers, commits, runs,
+                    ));
+                }
+            }
+        }
+    }
+
+    eprintln!("\nlock-rmw anomaly cells ({rounds} rounds x 2 threads, sim bound {max_runs}):");
+    let anomalies: Vec<AnomalyCell> = [
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::RepeatableRead,
+        IsolationLevel::Snapshot,
+        IsolationLevel::Serializable,
+    ]
+    .into_iter()
+    .map(|isolation| anomaly_cell(isolation, rounds, max_runs))
+    .collect();
+
+    let tput = |config: &str| {
+        cells
+            .iter()
+            .find(|c| {
+                c.config == config
+                    && c.dist == Dist::UniformDisjoint
+                    && c.isolation == IsolationLevel::ReadCommitted
+                    && c.workers == GATE_WORKERS
+            })
+            .map(|c| c.commits_per_sec)
+            .unwrap_or(0.0)
+    };
+    let (base, pipe) = (tput(BASELINE.name), tput(PIPELINE.name));
+    let speedup = if base > 0.0 { pipe / base } else { 0.0 };
+    let speed_ok = speedup >= GATE_RATIO;
+    let verdict_ok = anomalies
+        .iter()
+        .all(|a| a.sim_witness == a.predicted_unsafe);
+    let safe_ok = anomalies
+        .iter()
+        .all(|a| a.predicted_unsafe || a.lost() == 0);
+
+    let json = render_json(
+        mode,
+        commits,
+        runs,
+        &cells,
+        &anomalies,
+        speedup,
+        (speed_ok, verdict_ok, safe_ok),
+    );
+    if args.has("json") {
+        feral_cli::write_out(TOOL, args.get_str("out"), &json);
+    } else {
+        let rows: Vec<Vec<String>> = cells
+            .iter()
+            .map(|c| {
+                vec![
+                    c.config.to_string(),
+                    c.dist.name().to_string(),
+                    c.isolation.to_string(),
+                    c.workers.to_string(),
+                    format!("{:.0}", c.commits_per_sec),
+                    c.wal_flushes.to_string(),
+                    c.commit_shard_conflicts.to_string(),
+                ]
+            })
+            .collect();
+        print_table(
+            "commitbench: committed txns/sec (synced WAL)",
+            &[
+                "config",
+                "distribution",
+                "isolation",
+                "workers",
+                "commits/s",
+                "flushes",
+                "shard-conflicts",
+            ],
+            &rows,
+        );
+        println!(
+            "\npipeline vs single-latch at {GATE_WORKERS} workers (uniform, read committed): \
+             {speedup:.2}x (gate: >= {GATE_RATIO:.1}x)"
+        );
+        let path = args.get_str("out").unwrap_or("BENCH_commit.json");
+        feral_cli::write_out(TOOL, Some(path), &json);
+    }
+
+    if !speed_ok {
+        eprintln!(
+            "commitbench: GATE FAILED: pipeline {pipe:.0} commits/s is only {speedup:.2}x the \
+             single-latch {base:.0} at {GATE_WORKERS} workers (need {GATE_RATIO:.1}x)"
+        );
+    }
+    if !verdict_ok {
+        eprintln!(
+            "commitbench: GATE FAILED: a feral-sim sweep disagrees with the sdg verdict matrix"
+        );
+    }
+    if !safe_ok {
+        eprintln!("commitbench: GATE FAILED: lost updates observed under a statically-safe isolation level");
+    }
+    if speed_ok && verdict_ok && safe_ok {
+        println!("commitbench: all gates pass");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(EXIT_DEVIATION)
+    }
+}

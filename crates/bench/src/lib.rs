@@ -26,74 +26,9 @@ pub mod checkgate;
 pub mod trace_report;
 pub mod uniqueness;
 
-use std::collections::HashMap;
-
-/// Minimal `--flag value` argument parser for the experiment binaries.
-#[derive(Debug, Clone, Default)]
-pub struct Args {
-    flags: HashMap<String, String>,
-    switches: Vec<String>,
-}
-
-impl Args {
-    /// Parse `std::env::args()` (skipping the program name). `--key value`
-    /// populates a flag, a bare `--key` a switch.
-    pub fn from_env() -> Args {
-        Self::from_iter(std::env::args().skip(1))
-    }
-
-    /// Parse from an iterator (testable).
-    #[allow(clippy::should_implement_trait)]
-    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Args {
-        let mut out = Args::default();
-        let items: Vec<String> = args.into_iter().collect();
-        let mut i = 0;
-        while i < items.len() {
-            let a = &items[i];
-            if let Some(key) = a.strip_prefix("--") {
-                match items.get(i + 1) {
-                    Some(v) if !v.starts_with("--") => {
-                        out.flags.insert(key.to_string(), v.clone());
-                        i += 2;
-                    }
-                    _ => {
-                        out.switches.push(key.to_string());
-                        i += 1;
-                    }
-                }
-            } else {
-                i += 1;
-            }
-        }
-        out
-    }
-
-    /// A numeric flag with a default.
-    pub fn get_usize(&self, key: &str, default: usize) -> usize {
-        self.flags
-            .get(key)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
-    }
-
-    /// A u64 flag with a default.
-    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
-        self.flags
-            .get(key)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
-    }
-
-    /// A string flag.
-    pub fn get_str(&self, key: &str) -> Option<&str> {
-        self.flags.get(key).map(|s| s.as_str())
-    }
-
-    /// Whether a bare switch was passed.
-    pub fn has(&self, key: &str) -> bool {
-        self.switches.iter().any(|s| s == key)
-    }
-}
+/// The shared `--flag value` argument parser (now in [`feral_cli`];
+/// re-exported so the experiment binaries keep their import path).
+pub use feral_cli::Args;
 
 /// Mean and (population) standard deviation of a sample, as the paper
 /// plots "the average and standard deviation of three runs per
@@ -141,19 +76,6 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn args_parse_flags_and_switches() {
-        let a = Args::from_iter(
-            ["--workers", "8", "--full", "--dist", "ycsb"]
-                .into_iter()
-                .map(String::from),
-        );
-        assert_eq!(a.get_usize("workers", 1), 8);
-        assert!(a.has("full"));
-        assert_eq!(a.get_str("dist"), Some("ycsb"));
-        assert_eq!(a.get_usize("missing", 7), 7);
-    }
 
     #[test]
     fn mean_std_basics() {

@@ -1,0 +1,160 @@
+//! # feral-cli
+//!
+//! The command-line plumbing shared by the tool binaries (`feral-sim`,
+//! `feral-lint`, `feral-sdg`, `commitbench`, and the `feral-bench`
+//! experiment binaries): a minimal `--flag value` parser, the common
+//! exit-code conventions, isolation-level parsing, and `--out` output
+//! routing. Each binary keeps its own subcommands and semantics; only
+//! the previously copy-pasted surface lives here.
+//!
+//! Exit-code convention: `0` success, [`EXIT_DEVIATION`] (`1`) for "ran
+//! fine but the result deviates" (an anomaly found, a validation
+//! failure, a gate missed), [`EXIT_USAGE`] (`2`) for usage errors.
+
+#![warn(missing_docs)]
+
+use feral_db::IsolationLevel;
+use std::collections::HashMap;
+
+/// Exit code for "the tool ran, but the result deviates" (anomaly
+/// found, validation failed, gate missed).
+pub const EXIT_DEVIATION: u8 = 1;
+
+/// Exit code for usage errors (unknown flag value, missing argument).
+pub const EXIT_USAGE: u8 = 2;
+
+/// Print `tool: msg` to stderr and exit with [`EXIT_USAGE`].
+pub fn die(tool: &str, msg: &str) -> ! {
+    eprintln!("{tool}: {msg}");
+    std::process::exit(EXIT_USAGE as i32)
+}
+
+/// Parse an isolation-level name (`read-committed`, `repeatable-read`,
+/// `snapshot`, `serializable`), dying with a usage error otherwise.
+pub fn parse_isolation(tool: &str, s: &str) -> IsolationLevel {
+    IsolationLevel::parse(s).unwrap_or_else(|| die(tool, &format!("unknown isolation `{s}`")))
+}
+
+/// Route rendered output: write to `path` when given (reporting the
+/// destination on stderr), print to stdout otherwise.
+pub fn write_out(tool: &str, path: Option<&str>, rendered: &str) {
+    match path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, rendered) {
+                die(tool, &format!("cannot write {path}: {e}"));
+            }
+            eprintln!("{tool}: wrote {path}");
+        }
+        None => print!("{rendered}"),
+    }
+}
+
+/// Minimal `--flag value` argument parser shared by every tool binary.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parse `std::env::args()` (skipping the program name). `--key value`
+    /// populates a flag, a bare `--key` a switch.
+    pub fn from_env() -> Args {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parse from an iterator (testable).
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Args {
+        let mut out = Args::default();
+        let items: Vec<String> = args.into_iter().collect();
+        let mut i = 0;
+        while i < items.len() {
+            let a = &items[i];
+            if let Some(key) = a.strip_prefix("--") {
+                match items.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => {
+                        out.flags.insert(key.to_string(), v.clone());
+                        i += 2;
+                    }
+                    _ => {
+                        out.switches.push(key.to_string());
+                        i += 1;
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// A numeric flag with a default.
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.flags
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// A u64 flag with a default.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.flags
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// A string flag.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(|s| s.as_str())
+    }
+
+    /// Whether a bare switch was passed.
+    pub fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_flags_and_switches() {
+        let a = Args::from_iter(
+            ["--workers", "8", "--full", "--dist", "ycsb"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert_eq!(a.get_usize("workers", 1), 8);
+        assert!(a.has("full"));
+        assert_eq!(a.get_str("dist"), Some("ycsb"));
+        assert_eq!(a.get_usize("missing", 7), 7);
+    }
+
+    #[test]
+    fn switch_followed_by_flag_stays_a_switch() {
+        let a = Args::from_iter(
+            ["--validate", "--seeds", "100", "--json"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert!(a.has("validate"));
+        assert!(a.has("json"));
+        assert_eq!(a.get_u64("seeds", 0), 100);
+    }
+
+    #[test]
+    fn isolation_names_parse() {
+        let cases = [
+            ("read-committed", IsolationLevel::ReadCommitted),
+            ("repeatable-read", IsolationLevel::RepeatableRead),
+            ("snapshot", IsolationLevel::Snapshot),
+            ("serializable", IsolationLevel::Serializable),
+        ];
+        for (name, iso) in cases {
+            assert_eq!(parse_isolation("test", name), iso);
+        }
+    }
+}

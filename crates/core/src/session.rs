@@ -66,7 +66,7 @@ impl Session {
         if let Some(tx) = self.current.as_mut() {
             return f(&app, tx);
         }
-        let mut tx = app.db().begin_with(self.isolation);
+        let mut tx = app.db().txn().isolation(self.isolation).begin();
         match f(&app, &mut tx) {
             Ok(v) => {
                 tx.commit()?;
@@ -86,7 +86,7 @@ impl Session {
         if self.current.is_some() {
             return f(self);
         }
-        self.current = Some(self.app.db().begin_with(self.isolation));
+        self.current = Some(self.app.db().txn().isolation(self.isolation).begin());
         let result = f(self);
         let tx = self.current.take();
         match (result, tx) {

@@ -632,7 +632,7 @@ fn validates_associated_checks_children_validity() {
         .set("invoice_id", inv.id().unwrap());
     {
         // bare write through a raw engine transaction
-        let mut tx = app.db().begin();
+        let mut tx = app.db().txn().begin();
         tx.insert("line_items", bad_item.to_tuple()).unwrap();
         tx.commit().unwrap();
     }

@@ -1,0 +1,503 @@
+//! The sharded commit pipeline: per-shard commit latches, the group-commit
+//! WAL batch buffer, and timestamp-ordered publication.
+//!
+//! The seed engine serialized every commit behind one global
+//! `commit_mutex`. That mutex conflated four distinct roles:
+//!
+//! 1. **commit-timestamp allocation** and the atomicity of version
+//!    installation against it,
+//! 2. the **serializable validation window** (no concurrent commit may
+//!    land between a transaction's read-set validation and its install),
+//! 3. **WAL ordering** (log order had to match timestamp order), and
+//! 4. deterministic **insert row-id assignment** (heap positions are
+//!    recorded in the redo log and verified on replay).
+//!
+//! This module re-provides each role without global serialization:
+//!
+//! * Tables are hash-partitioned over `Config::commit_shards` **commit
+//!   shards** (`shard_of`). A committing transaction latches the shards
+//!   of every table it wrote — plus, under Serializable, every table it
+//!   read — in **ascending shard order** (canonical order ⇒ no
+//!   latch-latch deadlock). Non-overlapping transactions proceed in
+//!   parallel. Each shard owns the slice of committed-transaction write
+//!   summaries for its tables, so serializable validation reads exactly
+//!   the histories its latches protect (role 2), and same-table row-id
+//!   assignment is serialized by the table's shard latch (role 4).
+//! * Commit timestamps are allocated from `ts_alloc` only **after** a
+//!   transaction holds its full latch set; on the WAL path the
+//!   allocation happens inside the group-buffer mutex, so log order
+//!   equals timestamp order (role 3). Deadlock-freedom: a transaction
+//!   with an allocated timestamp never blocks on a latch again, so the
+//!   lowest unpublished timestamp can always make progress.
+//! * Versions are installed (under the latches) *before* the clock
+//!   advances, and `publish` advances the clock strictly in timestamp
+//!   order — so `clock = T` still implies every commit `≤ T` is fully
+//!   installed, which is the invariant every snapshot read relies on.
+//! * The **group-commit buffer** batches framed WAL records: a
+//!   committing thread enqueues and, if no flush is in flight, becomes
+//!   the *leader* — it may linger up to `group_commit_max_wait` for the
+//!   batch to fill (bounded by `group_commit_max_batch`), then writes
+//!   the whole batch with one flush (+ optional fsync). Followers park
+//!   until their record's sequence number is durable. One fsync then
+//!   covers many commits — the classic group-commit win.
+//! * A failed flush **poisons** the log (`broken`): the file may end in
+//!   torn bytes, and recovery stops at the first tear, so any record
+//!   appended after it would be unreachable — acknowledging such a
+//!   commit would be a durability lie. All later appends fail fast.
+//!
+//! Under a `feral_hooks` scheduler commits are **turn-atomic**: the only
+//! yield point on the commit path is `Site::TxnCommit` at entry, so sim
+//! schedules never contend the latches or the group buffer and the
+//! schedule space (and every recorded witness) is unchanged. The
+//! pipeline still emits `Site::CommitShard` / `Site::WalFlush` trace
+//! events, and its waits are hooks-aware (`WaitKind::Commit`) in case a
+//! future revision makes commit interleavable.
+
+use crate::error::{DbError, DbResult};
+use crate::lock::TxnId;
+use crate::schema::TableId;
+use crate::stats::Stats;
+use crate::txn::CommittedTxn;
+use crate::wal::{frame_record, WalRecord, WalWriter};
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One commit shard's latched state: the committed-history slice for the
+/// tables that hash to this shard. A committing transaction pushes its
+/// write summary into the history of **every** shard it wrote (duplicate
+/// `Arc`s when a transaction spans shards), so a serializable validator
+/// holding its read-table shards sees every summary it must check.
+pub(crate) struct ShardCore {
+    /// Write summaries of committed transactions touching this shard's
+    /// tables, oldest at front. Per-shard push order equals timestamp
+    /// order (timestamps are allocated under the full latch set).
+    pub(crate) history: VecDeque<Arc<CommittedTxn>>,
+}
+
+/// The group-commit buffer: framed records awaiting one leader flush.
+struct GroupState {
+    /// Framed records in enqueue (= sequence, = timestamp) order.
+    buf: VecDeque<Vec<u8>>,
+    /// Sequence number the next enqueued record will get (first = 1).
+    next_seq: u64,
+    /// Records with sequence `<= durable_seq` are flushed (and synced,
+    /// when configured).
+    durable_seq: u64,
+    /// A leader flush is in flight.
+    flushing: bool,
+    /// Size of the most recent batch — the leader's concurrency hint:
+    /// a solo steady state (last batch = 1) skips the fill linger, so
+    /// group commit costs uncontended workloads nothing.
+    last_take: usize,
+    /// Set by a failed flush: the log tail may be torn, so every later
+    /// append must fail (records behind a tear are unrecoverable).
+    broken: Option<String>,
+}
+
+/// Sharded commit state: shard latches + history slices, the active-txn
+/// map slices, the timestamp allocator, the publish clock wait, and the
+/// group-commit buffer.
+pub(crate) struct CommitPipeline {
+    shards: Vec<Mutex<ShardCore>>,
+    /// Active-transaction snapshots (txn id → snapshot ts), sliced by
+    /// txn id so begin/finish on different slices don't contend.
+    active: Vec<Mutex<HashMap<TxnId, u64>>>,
+    /// Highest allocated commit timestamp (the clock trails it until
+    /// publication catches up).
+    ts_alloc: AtomicU64,
+    publish_lock: Mutex<()>,
+    publish_cv: Condvar,
+    group: Mutex<GroupState>,
+    /// Signaled when a batch flush completes (or the log breaks).
+    flushed_cv: Condvar,
+    /// Signaled when a record joins the batch (leader fill wait).
+    fill_cv: Condvar,
+    max_batch: usize,
+    max_wait: Duration,
+}
+
+impl CommitPipeline {
+    pub(crate) fn new(shards: usize, max_batch: usize, max_wait: Duration) -> CommitPipeline {
+        let n = shards.max(1);
+        CommitPipeline {
+            shards: (0..n)
+                .map(|_| {
+                    Mutex::new(ShardCore {
+                        history: VecDeque::new(),
+                    })
+                })
+                .collect(),
+            active: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            ts_alloc: AtomicU64::new(1),
+            publish_lock: Mutex::new(()),
+            publish_cv: Condvar::new(),
+            group: Mutex::new(GroupState {
+                buf: VecDeque::new(),
+                next_seq: 1,
+                durable_seq: 0,
+                flushing: false,
+                last_take: 1,
+                broken: None,
+            }),
+            flushed_cv: Condvar::new(),
+            fill_cv: Condvar::new(),
+            max_batch: max_batch.max(1),
+            max_wait,
+        }
+    }
+
+    /// Number of commit shards.
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard a table's commits are latched by.
+    pub(crate) fn shard_of(&self, table: TableId) -> usize {
+        table.0 as usize % self.shards.len()
+    }
+
+    /// Acquire a shard set in canonical (ascending) order. Contended
+    /// acquisitions are counted in `commit_shard_conflicts`.
+    pub(crate) fn lock_shards<'a>(
+        &'a self,
+        ids: &BTreeSet<usize>,
+        stats: &Stats,
+    ) -> Vec<(usize, MutexGuard<'a, ShardCore>)> {
+        let mut guards = Vec::with_capacity(ids.len());
+        for &i in ids {
+            let guard = match self.shards[i].try_lock() {
+                Some(g) => g,
+                None => {
+                    Stats::bump(&stats.commit_shard_conflicts);
+                    self.shards[i].lock()
+                }
+            };
+            guards.push((i, guard));
+        }
+        guards
+    }
+
+    /// Latch every shard (ascending). Freezes installs and — because
+    /// publication happens under the latches — the clock. Vacuum uses
+    /// this to take a stable pruning horizon.
+    pub(crate) fn lock_all_shards(&self) -> Vec<MutexGuard<'_, ShardCore>> {
+        self.shards.iter().map(|s| s.lock()).collect()
+    }
+
+    /// Allocate the next commit timestamp (memory-only path; the WAL
+    /// path allocates inside [`CommitPipeline::enqueue_commit`] so log
+    /// order equals timestamp order). Callers must already hold their
+    /// full shard-latch set.
+    pub(crate) fn alloc_ts(&self) -> u64 {
+        self.ts_alloc.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Fast-forward the allocator after WAL replay.
+    pub(crate) fn set_ts_floor(&self, ts: u64) {
+        self.ts_alloc.fetch_max(ts, Ordering::SeqCst);
+    }
+
+    // -- active-transaction slices --------------------------------------
+
+    fn active_slice(&self, id: TxnId) -> &Mutex<HashMap<TxnId, u64>> {
+        &self.active[id as usize % self.active.len()]
+    }
+
+    /// Register a beginning transaction: read the clock and record the
+    /// snapshot under the slice lock, so a vacuum holding the slice
+    /// locks can never miss a registration that already took its
+    /// snapshot.
+    pub(crate) fn register_active(&self, id: TxnId, clock: &AtomicU64) -> u64 {
+        let mut slice = self.active_slice(id).lock();
+        let snapshot = clock.load(Ordering::SeqCst);
+        slice.insert(id, snapshot);
+        snapshot
+    }
+
+    /// Remove a finished transaction from its slice.
+    pub(crate) fn deregister_active(&self, id: TxnId) {
+        self.active_slice(id).lock().remove(&id);
+    }
+
+    /// Oldest snapshot among active transactions, or the clock when none
+    /// are active. Holds **all** slice locks (ascending) while computing
+    /// the minimum and reading the fallback clock, mirroring the seed's
+    /// single-lock begin/vacuum coordination.
+    pub(crate) fn oldest_active_snapshot(&self, clock: &AtomicU64) -> u64 {
+        let slices: Vec<_> = self.active.iter().map(|s| s.lock()).collect();
+        slices
+            .iter()
+            .flat_map(|s| s.values().copied())
+            .min()
+            .unwrap_or_else(|| clock.load(Ordering::SeqCst))
+    }
+
+    /// Prune one shard's history down to `floor` entries, dropping only
+    /// summaries no active snapshot can still conflict with.
+    pub(crate) fn prune_history(&self, shard: usize, horizon: u64, floor: usize) {
+        let mut core = self.shards[shard].lock();
+        while core.history.len() > floor {
+            match core.history.front() {
+                Some(front) if front.commit_ts <= horizon => {
+                    core.history.pop_front();
+                }
+                _ => break,
+            }
+        }
+    }
+
+    // -- group commit ----------------------------------------------------
+
+    /// Enqueue a commit record, allocating its timestamp inside the
+    /// buffer mutex (log order = timestamp order). Returns `(ts, seq)`.
+    /// Errors (without allocating) when the log is poisoned.
+    fn enqueue_commit(
+        &self,
+        stats: &Stats,
+        build: impl FnOnce(u64) -> WalRecord,
+    ) -> DbResult<(u64, u64)> {
+        let mut g = self.group.lock();
+        if let Some(msg) = &g.broken {
+            return Err(DbError::Internal(msg.clone()));
+        }
+        let ts = self.ts_alloc.fetch_add(1, Ordering::SeqCst) + 1;
+        let framed = frame_record(&build(ts));
+        g.buf.push_back(framed);
+        let seq = g.next_seq;
+        g.next_seq += 1;
+        Stats::bump(&stats.wal_appends);
+        self.fill_cv.notify_all();
+        Ok((ts, seq))
+    }
+
+    /// Enqueue a non-commit (DDL) record; no timestamp involved.
+    fn enqueue_record(&self, stats: &Stats, record: &WalRecord) -> DbResult<u64> {
+        let mut g = self.group.lock();
+        if let Some(msg) = &g.broken {
+            return Err(DbError::Internal(msg.clone()));
+        }
+        g.buf.push_back(frame_record(record));
+        let seq = g.next_seq;
+        g.next_seq += 1;
+        Stats::bump(&stats.wal_appends);
+        self.fill_cv.notify_all();
+        Ok(seq)
+    }
+
+    /// Park until record `my_seq` is durable, electing this thread as
+    /// the flush leader whenever no flush is in flight.
+    fn wait_durable(&self, writer: &Mutex<WalWriter>, stats: &Stats, my_seq: u64) -> DbResult<()> {
+        let mut g = self.group.lock();
+        loop {
+            if let Some(msg) = &g.broken {
+                return Err(DbError::Internal(msg.clone()));
+            }
+            if g.durable_seq >= my_seq {
+                return Ok(());
+            }
+            if g.flushing {
+                // another leader is writing our batch (or an earlier one)
+                if feral_hooks::active() {
+                    // turn-atomic commits make a concurrent flusher
+                    // impossible under a scheduler; stay live regardless
+                    drop(g);
+                    let _ = feral_hooks::wait(feral_hooks::WaitKind::Commit);
+                    g = self.group.lock();
+                } else {
+                    self.flushed_cv.wait(&mut g);
+                }
+                continue;
+            }
+            // become the leader
+            g.flushing = true;
+            let concurrency_hint = g.last_take.max(g.buf.len());
+            if self.max_wait > Duration::ZERO && !feral_hooks::active() && concurrency_hint > 1 {
+                // Linger up to `max_wait` for followers to fill the
+                // batch, exiting early the moment it reaches
+                // `max_batch` — so `max_batch` sized near the expected
+                // commit concurrency gives full batches with no
+                // trailing wait. The previous batch size gates the
+                // linger (PostgreSQL's commit_siblings idea): a solo
+                // steady state (last batch = 1) skips it entirely, so
+                // group commit costs uncontended workloads nothing,
+                // while any observed batching makes the next leader
+                // wait and lets the batch grow back to the offered
+                // concurrency.
+                let deadline = Instant::now() + self.max_wait;
+                while g.buf.len() < self.max_batch
+                    && !self.fill_cv.wait_until(&mut g, deadline).timed_out()
+                {}
+            }
+            let take = g.buf.len().min(self.max_batch);
+            g.last_take = take.max(1);
+            let mut bytes = Vec::new();
+            for framed in g.buf.drain(..take) {
+                bytes.extend_from_slice(&framed);
+            }
+            drop(g);
+            let result = writer.lock().write_frames(&bytes);
+            g = self.group.lock();
+            g.flushing = false;
+            match result {
+                Ok(()) => {
+                    g.durable_seq += take as u64;
+                    Stats::bump(&stats.group_commit_batches);
+                    Stats::bump(&stats.wal_flushes);
+                    feral_trace::record(
+                        feral_trace::EventKind::Site(feral_hooks::Site::WalFlush),
+                        0,
+                        take as u64,
+                        bytes.len() as u64,
+                    );
+                    self.flushed_cv.notify_all();
+                }
+                Err(e) => {
+                    g.broken = Some(format!("WAL poisoned by failed flush: {e}"));
+                    self.flushed_cv.notify_all();
+                    self.fill_cv.notify_all();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Log a commit record durably through the group buffer, returning
+    /// its timestamp. On flush failure the already-allocated timestamp
+    /// is published empty (no installed effects) so later commits don't
+    /// stall on the gap, and the error propagates to abort the caller.
+    pub(crate) fn commit_durable(
+        &self,
+        writer: &Mutex<WalWriter>,
+        stats: &Stats,
+        clock: &AtomicU64,
+        build: impl FnOnce(u64) -> WalRecord,
+    ) -> DbResult<u64> {
+        let (ts, seq) = self.enqueue_commit(stats, build)?;
+        match self.wait_durable(writer, stats, seq) {
+            Ok(()) => Ok(ts),
+            Err(e) => {
+                self.publish(clock, ts);
+                Err(e)
+            }
+        }
+    }
+
+    /// Log a DDL record durably through the group buffer (keeps DDL
+    /// ordered before the commits that depend on it).
+    pub(crate) fn append_durable(
+        &self,
+        writer: &Mutex<WalWriter>,
+        stats: &Stats,
+        record: &WalRecord,
+    ) -> DbResult<()> {
+        let seq = self.enqueue_record(stats, record)?;
+        self.wait_durable(writer, stats, seq)
+    }
+
+    // -- publication -----------------------------------------------------
+
+    /// Advance the clock to `ts`, waiting (hooks-aware) until every
+    /// earlier timestamp has published. Callers have already installed
+    /// their versions, so `clock = T` ⇒ all commits `≤ T` are visible.
+    pub(crate) fn publish(&self, clock: &AtomicU64, ts: u64) {
+        let mut g = self.publish_lock.lock();
+        while clock.load(Ordering::SeqCst) != ts - 1 {
+            if feral_hooks::active() {
+                // unreachable under turn-atomic commits; defensive
+                drop(g);
+                let _ = feral_hooks::wait(feral_hooks::WaitKind::Commit);
+                g = self.publish_lock.lock();
+            } else {
+                self.publish_cv.wait(&mut g);
+            }
+        }
+        clock.store(ts, Ordering::SeqCst);
+        self.publish_cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pipeline(shards: usize) -> CommitPipeline {
+        CommitPipeline::new(shards, 64, Duration::ZERO)
+    }
+
+    #[test]
+    fn shard_assignment_is_table_id_mod_n() {
+        let p = pipeline(4);
+        assert_eq!(p.shard_of(TableId(0)), 0);
+        assert_eq!(p.shard_of(TableId(5)), 1);
+        assert_eq!(p.shard_of(TableId(7)), 3);
+        assert_eq!(pipeline(1).shard_of(TableId(9)), 0);
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        assert_eq!(pipeline(0).shard_count(), 1);
+    }
+
+    #[test]
+    fn lock_shards_counts_contention() {
+        let p = pipeline(4);
+        let stats = Stats::default();
+        let held = p.shards[2].lock();
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let ids: BTreeSet<usize> = [1, 2].into_iter().collect();
+                tx.send(()).unwrap();
+                let guards = p.lock_shards(&ids, &stats);
+                assert_eq!(guards.len(), 2);
+            });
+            rx.recv().unwrap();
+            std::thread::sleep(Duration::from_millis(20));
+            drop(held);
+        });
+        assert_eq!(
+            stats.commit_shard_conflicts.load(Ordering::Relaxed),
+            1,
+            "the held shard 2 must be counted as contended"
+        );
+    }
+
+    #[test]
+    fn publish_orders_timestamps() {
+        let p = pipeline(2);
+        let clock = AtomicU64::new(1);
+        let t2 = p.alloc_ts();
+        let t3 = p.alloc_ts();
+        assert_eq!((t2, t3), (2, 3));
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // t3 must wait for t2 even when it gets here first
+                p.publish(&clock, t3);
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(clock.load(Ordering::SeqCst), 1);
+            p.publish(&clock, t2);
+        });
+        assert_eq!(clock.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn active_slices_compute_oldest_snapshot() {
+        let p = pipeline(4);
+        let clock = AtomicU64::new(10);
+        assert_eq!(p.oldest_active_snapshot(&clock), 10);
+        let s1 = p.register_active(1, &clock);
+        assert_eq!(s1, 10);
+        clock.store(15, Ordering::SeqCst);
+        let s2 = p.register_active(2, &clock);
+        assert_eq!(s2, 15);
+        assert_eq!(p.oldest_active_snapshot(&clock), 10);
+        p.deregister_active(1);
+        assert_eq!(p.oldest_active_snapshot(&clock), 15);
+        p.deregister_active(2);
+        assert_eq!(p.oldest_active_snapshot(&clock), 15);
+    }
+}

@@ -1,15 +1,16 @@
 //! The database object: catalog, clock, lock manager, commit pipeline.
 
+use crate::commit::CommitPipeline;
 use crate::error::{DbError, DbResult};
 use crate::heap::Heap;
 use crate::index::IndexData;
-use crate::lock::{LockManager, TxnId};
+use crate::lock::LockManager;
 use crate::schema::{ForeignKey, IndexDef, IndexId, OnDelete, TableId, TableInfo, TableSchema};
 use crate::stats::Stats;
-use crate::txn::{CommittedTxn, Transaction};
+use crate::txn::Transaction;
 use crate::wal::{read_log, truncate_log, WalRecord, WalWrite, WalWriter};
 use parking_lot::{Mutex, RwLock};
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -160,6 +161,21 @@ pub struct Config {
     /// (redo logging), and [`Database::open`] replays it on startup.
     /// `None` (the default) keeps the database purely in memory.
     pub wal_path: Option<std::path::PathBuf>,
+    /// Number of commit shards: commit validation/installation is
+    /// hash-partitioned by table across this many latches, so commits
+    /// touching disjoint shards proceed in parallel. `1` reproduces the
+    /// old single-latch commit path.
+    pub commit_shards: usize,
+    /// Group commit: most records one WAL flush covers. `1` flushes
+    /// every record individually (the old per-commit behaviour).
+    pub group_commit_max_batch: usize,
+    /// Group commit: how long a flush leader lingers for followers to
+    /// join its batch. `Duration::ZERO` (the default) never waits —
+    /// batches then only form while a flush is already in flight.
+    pub group_commit_max_wait: Duration,
+    /// Call `sync_data` after every WAL flush. Durable against OS
+    /// crashes, and the cost group commit exists to amortize.
+    pub wal_sync: bool,
 }
 
 impl Default for Config {
@@ -170,6 +186,10 @@ impl Default for Config {
             pg_ssi_bug: false,
             committed_history_floor: 64,
             wal_path: None,
+            commit_shards: 8,
+            group_commit_max_batch: 64,
+            group_commit_max_wait: Duration::ZERO,
+            wal_sync: false,
         }
     }
 }
@@ -228,19 +248,16 @@ pub(crate) struct DbInner {
     pub(crate) locks: LockManager,
     /// Logical clock: the newest published commit timestamp.
     pub(crate) clock: AtomicU64,
-    /// Serializes commit application (short critical section).
-    pub(crate) commit_mutex: Mutex<()>,
+    /// The sharded commit pipeline: shard latches + history slices,
+    /// active-transaction slices, timestamp allocation, group-commit
+    /// batching, and timestamp-ordered publication.
+    pub(crate) pipeline: CommitPipeline,
     /// Transaction id allocator.
     pub(crate) txn_ids: AtomicU64,
-    /// Snapshots of currently active transactions (txn id → snapshot ts);
-    /// used to prune committed history and compute the vacuum horizon.
-    pub(crate) active: Mutex<HashMap<TxnId, u64>>,
     /// Write-ahead log writer, when durability is enabled.
     pub(crate) wal: Option<Mutex<WalWriter>>,
     /// True while replaying the log (suppresses re-logging).
     pub(crate) wal_suppressed: AtomicBool,
-    /// Write summaries of recently committed transactions, newest at back.
-    pub(crate) committed: Mutex<VecDeque<CommittedTxn>>,
     pub(crate) stats: Stats,
 }
 
@@ -282,17 +299,24 @@ impl Database {
     }
 
     fn construct(config: Config, wal: Option<WalWriter>) -> Self {
+        let pipeline = CommitPipeline::new(
+            config.commit_shards,
+            config.group_commit_max_batch,
+            config.group_commit_max_wait,
+        );
+        let wal = wal.map(|mut w| {
+            w.set_sync(config.wal_sync);
+            Mutex::new(w)
+        });
         Database {
             inner: Arc::new(DbInner {
                 locks: LockManager::new(config.lock_timeout),
                 config,
                 catalog: RwLock::new(Catalog::default()),
                 clock: AtomicU64::new(1),
-                commit_mutex: Mutex::new(()),
+                pipeline,
                 txn_ids: AtomicU64::new(1),
-                active: Mutex::new(HashMap::new()),
-                committed: Mutex::new(VecDeque::new()),
-                wal: wal.map(Mutex::new),
+                wal,
                 wal_suppressed: AtomicBool::new(false),
                 stats: Stats::default(),
             }),
@@ -300,15 +324,33 @@ impl Database {
     }
 
     /// Append a record to the WAL, if one is bound and not suppressed.
+    /// Routed through the group-commit buffer so DDL stays ordered
+    /// before the commits that depend on it.
     pub(crate) fn wal_append(&self, record: &WalRecord) -> DbResult<()> {
         if self.inner.wal_suppressed.load(Ordering::SeqCst) {
             return Ok(());
         }
         if let Some(wal) = &self.inner.wal {
-            wal.lock().append(record)?;
-            Stats::bump(&self.inner.stats.wal_appends);
+            self.inner
+                .pipeline
+                .append_durable(wal, &self.inner.stats, record)?;
         }
         Ok(())
+    }
+
+    /// Arm (or disarm) the WAL torn-write failpoint: after `budget` more
+    /// bytes the next write tears mid-record and errors, poisoning the
+    /// log — the crash-recovery tests' injection port. No-op without a
+    /// bound WAL.
+    pub fn set_wal_fail_after(&self, budget: Option<u64>) {
+        if let Some(wal) = &self.inner.wal {
+            wal.lock().set_fail_after(budget);
+        }
+    }
+
+    /// Number of commit shards the pipeline runs with.
+    pub fn commit_shards(&self) -> usize {
+        self.inner.pipeline.shard_count()
     }
 
     /// Replay recovered records into fresh state.
@@ -363,6 +405,7 @@ impl Database {
             }
         }
         self.inner.clock.store(max_ts, Ordering::SeqCst);
+        self.inner.pipeline.set_ts_floor(max_ts);
         // restore id sequences past the highest recovered id
         let cat = self.inner.catalog.read();
         for (tid, max_id) in max_ids {
@@ -639,49 +682,75 @@ impl Database {
         self.inner.catalog.read().foreign_keys.len()
     }
 
+    /// The one front door for opening transactions: an options builder
+    /// carrying isolation, a retry-on-conflict policy, and a trace
+    /// label.
+    ///
+    /// ```ignore
+    /// let mut tx = db.txn().isolation(IsolationLevel::Snapshot).begin();
+    /// db.txn().retries(3).run(|tx| tx.insert(...))?;
+    /// ```
+    pub fn txn(&self) -> TxnOptions<'_> {
+        TxnOptions {
+            db: self,
+            isolation: self.inner.config.default_isolation,
+            retries: 0,
+            label: None,
+        }
+    }
+
     /// Begin a transaction at the default isolation level.
+    #[deprecated(since = "0.2.0", note = "use `db.txn().begin()`")]
     pub fn begin(&self) -> Transaction {
-        self.begin_with(self.inner.config.default_isolation)
+        self.txn().begin()
     }
 
     /// Begin a transaction at an explicit isolation level (Rails ≥4.0's
     /// per-transaction `isolation:` option).
+    #[deprecated(since = "0.2.0", note = "use `db.txn().isolation(..).begin()`")]
     pub fn begin_with(&self, isolation: IsolationLevel) -> Transaction {
+        self.txn().isolation(isolation).begin()
+    }
+
+    pub(crate) fn begin_internal(
+        &self,
+        isolation: IsolationLevel,
+        label: Option<&'static str>,
+    ) -> Transaction {
         feral_hooks::yield_point(feral_hooks::Site::TxnBegin);
         let id = self.inner.txn_ids.fetch_add(1, Ordering::SeqCst);
         feral_trace::record(
             feral_trace::EventKind::Site(feral_hooks::Site::TxnBegin),
             id,
             isolation as u64,
-            0,
+            label.map_or(0, |l| feral_trace::fnv64(l.as_bytes())),
         );
-        // Read the clock and register in the active set under one lock:
-        // vacuum computes its horizon under the same lock, so it can never
-        // observe an empty active set *after* this transaction has taken
-        // its snapshot but *before* it is registered (which would let
-        // vacuum reclaim versions this snapshot still needs).
-        let snapshot = {
-            let mut active = self.inner.active.lock();
-            let snapshot = self.inner.clock.load(Ordering::SeqCst);
-            active.insert(id, snapshot);
-            snapshot
-        };
+        // The pipeline reads the clock and registers the snapshot under
+        // the transaction's active-slice lock: vacuum computes its horizon
+        // holding all slice locks, so it can never observe an empty active
+        // set *after* this transaction has taken its snapshot but *before*
+        // it is registered (which would let vacuum reclaim versions this
+        // snapshot still needs).
+        let snapshot = self.inner.pipeline.register_active(id, &self.inner.clock);
         Transaction::new(self.clone(), id, isolation, snapshot)
     }
 
     /// Run `f` inside a transaction at the default isolation, committing on
     /// `Ok` and rolling back on `Err`.
+    #[deprecated(since = "0.2.0", note = "use `db.txn().run(f)`")]
     pub fn transaction<T>(&self, f: impl FnOnce(&mut Transaction) -> DbResult<T>) -> DbResult<T> {
+        #[allow(deprecated)]
         self.transaction_with(self.inner.config.default_isolation, f)
     }
 
     /// Run `f` inside a transaction at `isolation`.
+    #[deprecated(since = "0.2.0", note = "use `db.txn().isolation(..).run(f)`")]
     pub fn transaction_with<T>(
         &self,
         isolation: IsolationLevel,
         f: impl FnOnce(&mut Transaction) -> DbResult<T>,
     ) -> DbResult<T> {
-        let mut tx = self.begin_with(isolation);
+        let mut tx = self.begin_internal(isolation, None);
         match f(&mut tx) {
             Ok(v) => {
                 tx.commit()?;
@@ -704,40 +773,104 @@ impl Database {
 
     /// Reclaim version history unreachable by any active snapshot. Returns
     /// the number of versions reclaimed.
+    ///
+    /// Holds every commit-shard latch for the duration: that freezes
+    /// version installation **and** the clock (publication happens under
+    /// the latches), so a commit can't land mid-vacuum and have versions
+    /// its transaction still needs reclaimed early.
     pub fn vacuum(&self) -> usize {
-        let horizon = {
-            let active = self.inner.active.lock();
-            active
-                .values()
-                .copied()
-                .min()
-                .unwrap_or_else(|| self.inner.clock.load(Ordering::SeqCst))
-        };
+        let _latches = self.inner.pipeline.lock_all_shards();
+        let horizon = self
+            .inner
+            .pipeline
+            .oldest_active_snapshot(&self.inner.clock);
         let tables: Vec<Arc<TableEntry>> = self.inner.catalog.read().tables.clone();
         tables.iter().map(|t| t.heap.vacuum(horizon)).sum()
     }
 
     /// Oldest snapshot among active transactions (or current clock).
     pub(crate) fn oldest_active_snapshot(&self) -> u64 {
-        let active = self.inner.active.lock();
-        active
-            .values()
-            .copied()
-            .min()
-            .unwrap_or_else(|| self.inner.clock.load(Ordering::SeqCst))
+        self.inner
+            .pipeline
+            .oldest_active_snapshot(&self.inner.clock)
     }
 
-    /// Prune committed-transaction history that no active snapshot needs.
-    pub(crate) fn prune_committed(&self) {
+    /// Prune committed-transaction history that no active snapshot needs,
+    /// touching only the given shards. The retention floor applies per
+    /// shard. A committer prunes exactly the shards it wrote: history
+    /// only grows through writes, so every shard is cleaned by its own
+    /// writers — and the prune never blocks on an *unrelated* shard's
+    /// latch (which a group-commit leader may hold across a whole
+    /// linger + fsync).
+    pub(crate) fn prune_committed(&self, shards: impl IntoIterator<Item = usize>) {
         let horizon = self.oldest_active_snapshot();
         let floor = self.inner.config.committed_history_floor;
-        let mut committed = self.inner.committed.lock();
-        while committed.len() > floor {
-            match committed.front() {
-                Some(front) if front.commit_ts <= horizon => {
-                    committed.pop_front();
+        for shard in shards {
+            self.inner.pipeline.prune_history(shard, horizon, floor);
+        }
+    }
+}
+
+/// Options for opening a transaction — the single front door replacing
+/// the old `begin` / `begin_with` / `transaction` / `transaction_with`
+/// quartet. Built by [`Database::txn`].
+#[must_use = "TxnOptions does nothing until .begin() or .run(..)"]
+pub struct TxnOptions<'a> {
+    db: &'a Database,
+    isolation: IsolationLevel,
+    retries: usize,
+    label: Option<&'static str>,
+}
+
+impl TxnOptions<'_> {
+    /// Isolation level for the transaction (defaults to
+    /// [`Config::default_isolation`]).
+    pub fn isolation(mut self, isolation: IsolationLevel) -> Self {
+        self.isolation = isolation;
+        self
+    }
+
+    /// Retry [`TxnOptions::run`] up to `retries` extra times when the
+    /// transaction aborts with a concurrency conflict (write conflict,
+    /// serialization failure, or lock timeout). Ignored by
+    /// [`TxnOptions::begin`].
+    pub fn retries(mut self, retries: usize) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Attach a trace label: its FNV-1a hash is recorded in the `begin`
+    /// trace event's `b` payload, so flight-recorder dumps can name the
+    /// application operation a transaction belongs to.
+    pub fn label(mut self, label: &'static str) -> Self {
+        self.label = Some(label);
+        self
+    }
+
+    /// Open the transaction.
+    pub fn begin(self) -> Transaction {
+        self.db.begin_internal(self.isolation, self.label)
+    }
+
+    /// Run `f` inside a transaction, committing on `Ok` and rolling back
+    /// on `Err`; conflict aborts are retried per [`TxnOptions::retries`]
+    /// (each retry re-runs `f` in a fresh transaction).
+    pub fn run<T>(self, mut f: impl FnMut(&mut Transaction) -> DbResult<T>) -> DbResult<T> {
+        let mut retries_left = self.retries;
+        loop {
+            let mut tx = self.db.begin_internal(self.isolation, self.label);
+            let result = match f(&mut tx) {
+                Ok(v) => tx.commit().map(|()| v),
+                Err(e) => {
+                    tx.rollback();
+                    Err(e)
                 }
-                _ => break,
+            };
+            match result {
+                Err(e) if retries_left > 0 && e.is_retryable() => {
+                    retries_left -= 1;
+                }
+                other => return other,
             }
         }
     }

@@ -36,17 +36,18 @@
 //!     vec![ColumnDef::new("name", DataType::Text).not_null()],
 //! )).unwrap();
 //!
-//! let mut tx = db.begin_with(IsolationLevel::ReadCommitted);
+//! let mut tx = db.txn().isolation(IsolationLevel::ReadCommitted).begin();
 //! tx.insert_pairs("users", &[("name", Datum::text("peter"))]).unwrap();
 //! tx.commit().unwrap();
 //!
-//! let mut tx = db.begin();
+//! let mut tx = db.txn().begin();
 //! let rows = tx.scan("users", &Predicate::eq(1, "peter")).unwrap();
 //! assert_eq!(rows.len(), 1);
 //! ```
 
 #![warn(missing_docs)]
 
+pub(crate) mod commit;
 pub mod db;
 pub mod error;
 pub mod heap;
@@ -59,7 +60,7 @@ pub mod txn;
 pub mod value;
 pub mod wal;
 
-pub use db::{Config, ConflictKind, Database, IsolationLevel};
+pub use db::{Config, ConflictKind, Database, IsolationLevel, TxnOptions};
 pub use error::{DbError, DbResult};
 pub use heap::RowId;
 pub use lock::{LockKey, LockMode};

@@ -37,6 +37,17 @@ pub struct Stats {
     pub validation_probes: AtomicU64,
     /// WAL records appended.
     pub wal_appends: AtomicU64,
+    /// Commit-shard latches that were contended on acquisition (a
+    /// committing transaction found another commit holding one of its
+    /// shards and had to wait).
+    pub commit_shard_conflicts: AtomicU64,
+    /// Group-commit batches flushed by a leader (each covers one or
+    /// more WAL records).
+    pub group_commit_batches: AtomicU64,
+    /// Physical WAL flush (+ optional fsync) operations. With group
+    /// commit this grows once per batch while [`Stats::wal_appends`]
+    /// grows once per record; the ratio is the batching factor.
+    pub wal_flushes: AtomicU64,
 }
 
 /// A point-in-time copy of [`Stats`].
@@ -70,6 +81,12 @@ pub struct StatsSnapshot {
     pub validation_probes: u64,
     /// See [`Stats::wal_appends`].
     pub wal_appends: u64,
+    /// See [`Stats::commit_shard_conflicts`].
+    pub commit_shard_conflicts: u64,
+    /// See [`Stats::group_commit_batches`].
+    pub group_commit_batches: u64,
+    /// See [`Stats::wal_flushes`].
+    pub wal_flushes: u64,
 }
 
 impl Stats {
@@ -96,6 +113,9 @@ impl Stats {
             index_probes: self.index_probes.load(Ordering::Relaxed),
             validation_probes: self.validation_probes.load(Ordering::Relaxed),
             wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            commit_shard_conflicts: self.commit_shard_conflicts.load(Ordering::Relaxed),
+            group_commit_batches: self.group_commit_batches.load(Ordering::Relaxed),
+            wal_flushes: self.wal_flushes.load(Ordering::Relaxed),
         }
     }
 }
@@ -125,6 +145,13 @@ impl StatsSnapshot {
                 .validation_probes
                 .saturating_sub(earlier.validation_probes),
             wal_appends: self.wal_appends.saturating_sub(earlier.wal_appends),
+            commit_shard_conflicts: self
+                .commit_shard_conflicts
+                .saturating_sub(earlier.commit_shard_conflicts),
+            group_commit_batches: self
+                .group_commit_batches
+                .saturating_sub(earlier.group_commit_batches),
+            wal_flushes: self.wal_flushes.saturating_sub(earlier.wal_flushes),
         }
     }
 
@@ -152,6 +179,9 @@ impl StatsSnapshot {
             ("index_probes", self.index_probes),
             ("validation_probes", self.validation_probes),
             ("wal_appends", self.wal_appends),
+            ("commit_shard_conflicts", self.commit_shard_conflicts),
+            ("group_commit_batches", self.group_commit_batches),
+            ("wal_flushes", self.wal_flushes),
         ]
     }
 }
@@ -206,13 +236,19 @@ mod tests {
             index_probes: 12,
             validation_probes: 13,
             wal_appends: 14,
+            commit_shard_conflicts: 15,
+            group_commit_batches: 16,
+            wal_flushes: 17,
         };
         let fields = snap.fields();
-        assert_eq!(fields.len(), 14);
+        assert_eq!(fields.len(), 17);
         // Every value appears exactly once — a new field added to the
         // struct without extending fields() trips this sum check.
-        assert_eq!(fields.iter().map(|(_, v)| v).sum::<u64>(), (1..=14).sum());
+        assert_eq!(fields.iter().map(|(_, v)| v).sum::<u64>(), (1..=17).sum());
         assert_eq!(fields[12], ("validation_probes", 13));
         assert_eq!(fields[13], ("wal_appends", 14));
+        assert_eq!(fields[14], ("commit_shard_conflicts", 15));
+        assert_eq!(fields[15], ("group_commit_batches", 16));
+        assert_eq!(fields[16], ("wal_flushes", 17));
     }
 }

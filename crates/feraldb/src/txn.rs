@@ -1,6 +1,7 @@
 //! Transactions: buffered writes, snapshot reads, isolation enforcement,
 //! in-database constraint checking, and the commit pipeline.
 
+use crate::commit::ShardCore;
 use crate::db::{Database, IsolationLevel, TableEntry};
 use crate::error::{DbError, DbResult};
 use crate::heap::RowId;
@@ -10,7 +11,8 @@ use crate::predicate::Predicate;
 use crate::schema::{ForeignKey, IndexId, OnDelete, TableId};
 use crate::stats::Stats;
 use crate::value::{encode_composite_key, Datum, Tuple};
-use std::collections::{HashMap, HashSet};
+use parking_lot::MutexGuard;
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -961,44 +963,56 @@ impl Transaction {
 
     /// Serializable backward validation: abort if any transaction that
     /// committed after our snapshot wrote something we read.
-    fn validate_serializable(&self) -> Result<(), String> {
-        let committed = self.db.inner.committed.lock();
-        for c in committed.iter().rev() {
-            if c.commit_ts <= self.snapshot {
-                break;
-            }
-            for (t, r) in &c.rows {
-                if self.read_rows.contains(&(*t, *r)) {
-                    return Err(format!("row {}.{} was concurrently written", t.0, r));
+    ///
+    /// Runs against the committed-history slices of the *held* shard
+    /// latches. The shard set includes every table this transaction
+    /// read, so every conflicting summary is in one of these slices
+    /// (a spanning committer pushes its summary to each shard it
+    /// wrote). Summaries may appear in several slices; re-checking a
+    /// duplicate is harmless. Per-slice order is timestamp order, so
+    /// the walk stops at the first summary at or below our snapshot.
+    fn validate_serializable(
+        &self,
+        guards: &[(usize, MutexGuard<'_, ShardCore>)],
+    ) -> Result<(), String> {
+        for (_, core) in guards {
+            for c in core.history.iter().rev() {
+                if c.commit_ts <= self.snapshot {
+                    break;
                 }
-            }
-            for pred in &self.read_preds {
-                match pred {
-                    PredRead::WholeTable(t) => {
-                        if c.images.iter().any(|(it, _, _)| it == t) {
-                            return Err(format!(
-                                "table {} was concurrently written under a full-scan read",
-                                t.0
-                            ));
-                        }
+                for (t, r) in &c.rows {
+                    if self.read_rows.contains(&(*t, *r)) {
+                        return Err(format!("row {}.{} was concurrently written", t.0, r));
                     }
-                    PredRead::Eq { table, pairs } => {
-                        for (it, old, new) in &c.images {
-                            if it != table {
-                                continue;
-                            }
-                            let hit = |img: &Option<Arc<Tuple>>| {
-                                img.as_ref().is_some_and(|t| {
-                                    pairs.iter().all(|(c, v)| {
-                                        t.get(*c).is_some_and(|d| d.sql_eq(v) == Some(true))
-                                    })
-                                })
-                            };
-                            if hit(old) || hit(new) {
+                }
+                for pred in &self.read_preds {
+                    match pred {
+                        PredRead::WholeTable(t) => {
+                            if c.images.iter().any(|(it, _, _)| it == t) {
                                 return Err(format!(
-                                    "predicate read on table {} was concurrently invalidated",
-                                    it.0
+                                    "table {} was concurrently written under a full-scan read",
+                                    t.0
                                 ));
+                            }
+                        }
+                        PredRead::Eq { table, pairs } => {
+                            for (it, old, new) in &c.images {
+                                if it != table {
+                                    continue;
+                                }
+                                let hit = |img: &Option<Arc<Tuple>>| {
+                                    img.as_ref().is_some_and(|t| {
+                                        pairs.iter().all(|(c, v)| {
+                                            t.get(*c).is_some_and(|d| d.sql_eq(v) == Some(true))
+                                        })
+                                    })
+                                };
+                                if hit(old) || hit(new) {
+                                    return Err(format!(
+                                        "predicate read on table {} was concurrently invalidated",
+                                        it.0
+                                    ));
+                                }
                             }
                         }
                     }
@@ -1053,21 +1067,50 @@ impl Transaction {
             self.finish(true);
             return Ok(());
         }
-        let guard = self.db.inner.commit_mutex.lock();
+        let db = self.db.clone();
+        let pipeline = &db.inner.pipeline;
+        // Shard set: every table written, plus — under Serializable —
+        // every table read, so validation runs against exactly the
+        // histories its latches protect.
+        let mut shard_ids: BTreeSet<usize> = self
+            .writes
+            .iter()
+            .filter(|p| !p.dead)
+            .map(|p| pipeline.shard_of(p.table))
+            .collect();
+        let write_shards = shard_ids.clone();
         if self.isolation == IsolationLevel::Serializable {
-            if let Err(detail) = self.validate_serializable() {
-                drop(guard);
+            shard_ids.extend(self.read_rows.iter().map(|(t, _)| pipeline.shard_of(*t)));
+            shard_ids.extend(self.read_preds.iter().map(|p| {
+                pipeline.shard_of(match p {
+                    PredRead::WholeTable(t) => *t,
+                    PredRead::Eq { table, .. } => *table,
+                })
+            }));
+        }
+        // Canonical (ascending) acquisition order — no latch deadlock.
+        let mut guards = pipeline.lock_shards(&shard_ids, &db.inner.stats);
+        feral_trace::record(
+            feral_trace::EventKind::Site(feral_hooks::Site::CommitShard),
+            self.id,
+            shard_ids.iter().fold(0u64, |m, &i| m | (1u64 << (i % 64))),
+            shard_ids.len() as u64,
+        );
+        if self.isolation == IsolationLevel::Serializable {
+            if let Err(detail) = self.validate_serializable(&guards) {
+                drop(guards);
                 self.finish(false);
-                Stats::bump(&self.db.inner.stats.serialization_failures);
+                Stats::bump(&db.inner.stats.serialization_failures);
                 return Err(DbError::SerializationFailure { detail });
             }
         }
-        let commit_ts = self.db.inner.clock.load(Ordering::SeqCst) + 1;
         // Redo logging: append the commit record BEFORE installing, so a
         // crash between append and install replays to the committed state.
-        // Insert row ids are deterministic (heap appends under the commit
-        // mutex), so they can be precomputed.
-        if self.db.inner.wal.is_some() {
+        // Insert row ids are deterministic (heap appends for a table are
+        // serialized by its shard latch), so they can be precomputed. The
+        // commit timestamp is allocated inside the group buffer, keeping
+        // log order equal to timestamp order.
+        let commit_ts = if let Some(wal) = &db.inner.wal {
             let mut wal_writes = Vec::new();
             let mut next_row: HashMap<TableId, u64> = HashMap::new();
             for p in &self.writes {
@@ -1103,15 +1146,22 @@ impl Transaction {
                     }
                 }
             }
-            if let Err(e) = self.db.wal_append(&crate::wal::WalRecord::Commit {
-                commit_ts,
-                writes: wal_writes,
+            match pipeline.commit_durable(wal, &db.inner.stats, &db.inner.clock, |ts| {
+                crate::wal::WalRecord::Commit {
+                    commit_ts: ts,
+                    writes: wal_writes,
+                }
             }) {
-                drop(guard);
-                self.finish(false);
-                return Err(e);
+                Ok(ts) => ts,
+                Err(e) => {
+                    drop(guards);
+                    self.finish(false);
+                    return Err(e);
+                }
             }
-        }
+        } else {
+            pipeline.alloc_ts()
+        };
         let mut rows: Vec<(TableId, RowId)> = Vec::new();
         let mut images: WriteImages = Vec::new();
         for p in &self.writes {
@@ -1152,14 +1202,25 @@ impl Transaction {
                 }
             }
         }
-        self.db.inner.clock.store(commit_ts, Ordering::SeqCst);
-        self.db.inner.committed.lock().push_back(CommittedTxn {
+        // Every shard this transaction wrote gets the summary, so a
+        // serializable validator latching any of its read-table shards
+        // sees it.
+        let summary = Arc::new(CommittedTxn {
             commit_ts,
             rows,
             images,
         });
-        drop(guard);
-        self.db.prune_committed();
+        for (i, core) in &mut guards {
+            if write_shards.contains(i) {
+                core.history.push_back(summary.clone());
+            }
+        }
+        // Publish while still holding the latches: vacuum latching all
+        // shards therefore freezes the clock too, and `clock = T` keeps
+        // implying every commit `<= T` is fully installed.
+        pipeline.publish(&db.inner.clock, commit_ts);
+        drop(guards);
+        self.db.prune_committed(write_shards.iter().copied());
         self.finish(true);
         Ok(())
     }
@@ -1175,7 +1236,7 @@ impl Transaction {
         self.open = false;
         self.db.inner.locks.release_all(self.id, &self.locks);
         self.locks.clear();
-        self.db.inner.active.lock().remove(&self.id);
+        self.db.inner.pipeline.deregister_active(self.id);
         if committed {
             Stats::bump(&self.db.inner.stats.commits);
             feral_trace::record(

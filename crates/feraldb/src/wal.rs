@@ -382,10 +382,26 @@ impl WalRecord {
     }
 }
 
+/// Frame one record for the log: `len:u32 payload checksum:u64`.
+pub fn frame_record(record: &WalRecord) -> Vec<u8> {
+    let payload = record.encode();
+    let mut framed = Vec::with_capacity(payload.len() + 12);
+    put_u32(&mut framed, payload.len() as u32);
+    framed.extend_from_slice(&payload);
+    put_u64(&mut framed, fnv1a(&payload));
+    framed
+}
+
 /// An append-only log writer.
 pub struct WalWriter {
     file: BufWriter<File>,
     path: PathBuf,
+    /// Call `sync_data` after every flush (group commit amortizes this).
+    sync: bool,
+    /// Fault injection for crash tests: remaining byte budget. When a
+    /// write would exceed it, only the bytes within budget reach the file
+    /// (a torn tail) and the write errors.
+    fail_after: Option<u64>,
 }
 
 impl WalWriter {
@@ -399,20 +415,56 @@ impl WalWriter {
         Ok(WalWriter {
             file: BufWriter::new(file),
             path: path.to_path_buf(),
+            sync: false,
+            fail_after: None,
         })
     }
 
-    /// Append one record and flush.
+    /// Enable/disable `sync_data` after each flush.
+    pub fn set_sync(&mut self, sync: bool) {
+        self.sync = sync;
+    }
+
+    /// Arm (or disarm, with `None`) the torn-write failpoint: after
+    /// `budget` more bytes, writes tear and error.
+    pub fn set_fail_after(&mut self, budget: Option<u64>) {
+        self.fail_after = budget;
+    }
+
+    /// Append one record and flush (+ sync when configured).
     pub fn append(&mut self, record: &WalRecord) -> DbResult<()> {
-        let payload = record.encode();
-        let mut framed = Vec::with_capacity(payload.len() + 12);
-        put_u32(&mut framed, payload.len() as u32);
-        framed.extend_from_slice(&payload);
-        put_u64(&mut framed, fnv1a(&payload));
+        self.write_frames(&frame_record(record))
+    }
+
+    /// Write pre-framed bytes (one or more records), flush, and sync when
+    /// configured. The group-commit leader calls this once per batch.
+    pub fn write_frames(&mut self, framed: &[u8]) -> DbResult<()> {
+        if let Some(budget) = self.fail_after {
+            if (framed.len() as u64) > budget {
+                // Tear: the prefix within budget reaches the file, the
+                // rest is lost, and the caller sees an I/O error.
+                let torn = &framed[..budget as usize];
+                let _ = self.file.write_all(torn);
+                let _ = self.file.flush();
+                self.fail_after = Some(0);
+                return Err(DbError::Internal(format!(
+                    "append WAL {:?}: injected torn write after {budget} bytes",
+                    self.path
+                )));
+            }
+            self.fail_after = Some(budget - framed.len() as u64);
+        }
         self.file
-            .write_all(&framed)
+            .write_all(framed)
             .and_then(|_| self.file.flush())
-            .map_err(|e| DbError::Internal(format!("append WAL {:?}: {e}", self.path)))
+            .map_err(|e| DbError::Internal(format!("append WAL {:?}: {e}", self.path)))?;
+        if self.sync {
+            self.file
+                .get_ref()
+                .sync_data()
+                .map_err(|e| DbError::Internal(format!("sync WAL {:?}: {e}", self.path)))?;
+        }
+        Ok(())
     }
 }
 

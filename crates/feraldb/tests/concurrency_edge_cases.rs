@@ -27,7 +27,7 @@ fn kv_db(timeout_ms: u64) -> Database {
 }
 
 fn seed(db: &Database, n: i64) -> Vec<i64> {
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     let mut ids = Vec::new();
     for i in 0..n {
         let r = tx
@@ -56,7 +56,7 @@ fn deadlock_is_broken_by_lock_timeout() {
     let barrier = Arc::new(Barrier::new(2));
     let mk = |first: i64, second: i64, db: Database, barrier: Arc<Barrier>| {
         thread::spawn(move || -> Result<(), DbError> {
-            let mut tx = db.begin();
+            let mut tx = db.txn().begin();
             let rows = tx.select_for_update("kv", &Predicate::eq(0, first))?;
             assert_eq!(rows.len(), 1);
             barrier.wait(); // both hold their first lock
@@ -86,7 +86,7 @@ fn stats_counters_track_operations() {
     let db = kv_db(500);
     let before = db.stats().snapshot();
     let ids = seed(&db, 3);
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     let rows = tx.scan("kv", &Predicate::True).unwrap();
     assert_eq!(rows.len(), 3);
     let (rref, t) = tx.get_by_id("kv", ids[0]).unwrap().unwrap();
@@ -110,7 +110,7 @@ fn stats_counters_track_operations() {
 fn rolled_back_writes_never_reach_stats_commits() {
     let db = kv_db(500);
     let before = db.stats().snapshot();
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     tx.insert_pairs("kv", &[("k", Datum::text("x")), ("v", Datum::Int(1))])
         .unwrap();
     tx.rollback();
@@ -133,7 +133,7 @@ fn vacuum_is_safe_under_concurrent_readers_and_writers() {
         handles.push(thread::spawn(move || {
             let mut v = 0i64;
             while !stop.load(std::sync::atomic::Ordering::Relaxed) {
-                let mut tx = db.begin();
+                let mut tx = db.txn().begin();
                 if let Some((rref, t)) = tx.get_by_id("kv", id).unwrap() {
                     let mut n = (*t).clone();
                     v += 1;
@@ -150,7 +150,7 @@ fn vacuum_is_safe_under_concurrent_readers_and_writers() {
         let stop = stop.clone();
         handles.push(thread::spawn(move || {
             while !stop.load(std::sync::atomic::Ordering::Relaxed) {
-                let mut tx = db.begin_with(IsolationLevel::Snapshot);
+                let mut tx = db.txn().isolation(IsolationLevel::Snapshot).begin();
                 let rows = tx.scan("kv", &Predicate::True).unwrap();
                 assert_eq!(rows.len(), 4, "snapshot scan saw a torn state");
                 tx.commit().unwrap();
@@ -188,7 +188,7 @@ fn index_stays_consistent_across_interleaved_key_updates() {
             barrier.wait();
             for round in 0..25 {
                 let id = ids[(w * 2 + round) % ids.len()];
-                let mut tx = db.begin();
+                let mut tx = db.txn().begin();
                 let result = (|| {
                     if let Some((rref, t)) = tx.get_by_id("kv", id)? {
                         let mut n = (*t).clone();
@@ -209,7 +209,7 @@ fn index_stays_consistent_across_interleaved_key_updates() {
         h.join().unwrap();
     }
     // every row is findable through the index by its current key
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     let all = tx.scan("kv", &Predicate::True).unwrap();
     assert_eq!(all.len(), 8);
     for (_, t) in all {
@@ -229,7 +229,7 @@ fn committed_history_is_pruned() {
     seed(&db, 1);
     // run many committed writers with no long-lived snapshots
     for i in 0..500 {
-        let mut tx = db.begin();
+        let mut tx = db.txn().begin();
         tx.insert_pairs(
             "kv",
             &[("k", Datum::text(format!("x{i}"))), ("v", Datum::Int(i))],
@@ -238,7 +238,7 @@ fn committed_history_is_pruned() {
         tx.commit().unwrap();
     }
     // a serializable txn still validates correctly afterwards
-    let mut tx = db.begin_with(IsolationLevel::Serializable);
+    let mut tx = db.txn().isolation(IsolationLevel::Serializable).begin();
     let n = tx.scan("kv", &Predicate::True).unwrap().len();
     assert_eq!(n, 501);
     tx.insert_pairs("kv", &[("k", Datum::text("final")), ("v", Datum::Int(-1))])

@@ -39,7 +39,7 @@ fn users_departments(db: &Database, fk: Option<OnDelete>) {
 }
 
 fn insert_department(db: &Database, id: i64) {
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     tx.insert(
         "departments",
         vec![Datum::Int(id), Datum::text(format!("d{id}"))],
@@ -57,17 +57,17 @@ fn unique_index_rejects_duplicates_sequentially() {
     ))
     .unwrap();
     db.create_index("t", &["k"], true).unwrap();
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     tx.insert_pairs("t", &[("k", Datum::text("a"))]).unwrap();
     tx.commit().unwrap();
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     let err = tx
         .insert_pairs("t", &[("k", Datum::text("a"))])
         .unwrap_err();
     assert!(matches!(err, DbError::UniqueViolation { .. }));
     tx.rollback();
     // a different key is fine
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     tx.insert_pairs("t", &[("k", Datum::text("b"))]).unwrap();
     tx.commit().unwrap();
     assert_eq!(db.count_rows("t").unwrap(), 2);
@@ -83,7 +83,7 @@ fn unique_index_admits_multiple_nulls() {
     .unwrap();
     db.create_index("t", &["k"], true).unwrap();
     for _ in 0..3 {
-        let mut tx = db.begin();
+        let mut tx = db.txn().begin();
         tx.insert_pairs("t", &[("k", Datum::Null)]).unwrap();
         tx.commit().unwrap();
     }
@@ -99,7 +99,7 @@ fn unique_index_checks_within_own_transaction() {
     ))
     .unwrap();
     db.create_index("t", &["k"], true).unwrap();
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     tx.insert_pairs("t", &[("k", Datum::text("a"))]).unwrap();
     let err = tx
         .insert_pairs("t", &[("k", Datum::text("a"))])
@@ -116,10 +116,10 @@ fn unique_index_allows_reuse_after_delete_in_same_transaction() {
     ))
     .unwrap();
     db.create_index("t", &["k"], true).unwrap();
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     tx.insert_pairs("t", &[("k", Datum::text("a"))]).unwrap();
     tx.commit().unwrap();
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     let rows = tx.scan("t", &Predicate::eq(1, "a")).unwrap();
     tx.delete("t", rows[0].0).unwrap();
     tx.insert_pairs("t", &[("k", Datum::text("a"))]).unwrap();
@@ -136,12 +136,12 @@ fn unique_update_can_change_key_and_back() {
     ))
     .unwrap();
     db.create_index("t", &["k"], true).unwrap();
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     let r = tx.insert_pairs("t", &[("k", Datum::text("a"))]).unwrap();
     tx.commit().unwrap();
     let _ = r;
     // rename a -> b
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     let rows = tx.scan("t", &Predicate::eq(1, "a")).unwrap();
     let (rref, t) = (rows[0].0, (*rows[0].1).clone());
     let mut n = t.clone();
@@ -149,12 +149,12 @@ fn unique_update_can_change_key_and_back() {
     tx.update("t", rref, n).unwrap();
     tx.commit().unwrap();
     // now "a" is reusable
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     tx.insert_pairs("t", &[("k", Datum::text("a"))]).unwrap();
     tx.commit().unwrap();
     assert_eq!(db.count_rows("t").unwrap(), 2);
     // but "b" is taken
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     assert!(matches!(
         tx.insert_pairs("t", &[("k", Datum::text("b"))]),
         Err(DbError::UniqueViolation { .. })
@@ -187,7 +187,7 @@ fn unique_index_is_race_free_under_heavy_concurrency() {
             let mut unexpected = Vec::new();
             for round in 0..rounds {
                 barrier.wait();
-                let mut tx = db.begin();
+                let mut tx = db.txn().begin();
                 let key = format!("key-{round}");
                 match tx.insert_pairs("t", &[("k", Datum::text(&key))]) {
                     Ok(_) => {
@@ -214,7 +214,7 @@ fn unique_index_is_race_free_under_heavy_concurrency() {
     }
     assert_eq!(db.count_rows("t").unwrap(), rounds);
     // every key appears exactly once
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     for round in 0..rounds {
         let key = format!("key-{round}");
         assert_eq!(
@@ -229,7 +229,7 @@ fn unique_index_is_race_free_under_heavy_concurrency() {
 fn fk_insert_requires_parent() {
     let db = fresh_db();
     users_departments(&db, Some(OnDelete::Restrict));
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     let err = tx
         .insert_pairs(
             "users",
@@ -239,7 +239,7 @@ fn fk_insert_requires_parent() {
     assert!(matches!(err, DbError::ForeignKeyViolation { .. }));
     tx.rollback();
     insert_department(&db, 1);
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     tx.insert_pairs(
         "users",
         &[("department_id", Datum::Int(1)), ("name", Datum::text("u"))],
@@ -252,7 +252,7 @@ fn fk_insert_requires_parent() {
 fn fk_null_reference_is_allowed() {
     let db = fresh_db();
     users_departments(&db, Some(OnDelete::Restrict));
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     tx.insert_pairs(
         "users",
         &[("department_id", Datum::Null), ("name", Datum::text("u"))],
@@ -265,7 +265,7 @@ fn fk_null_reference_is_allowed() {
 fn fk_parent_and_child_in_same_transaction() {
     let db = fresh_db();
     users_departments(&db, Some(OnDelete::Restrict));
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     tx.insert("departments", vec![Datum::Int(5), Datum::text("d5")])
         .unwrap();
     tx.insert_pairs(
@@ -282,14 +282,14 @@ fn fk_restrict_blocks_parent_delete() {
     let db = fresh_db();
     users_departments(&db, Some(OnDelete::Restrict));
     insert_department(&db, 1);
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     tx.insert_pairs(
         "users",
         &[("department_id", Datum::Int(1)), ("name", Datum::text("u"))],
     )
     .unwrap();
     tx.commit().unwrap();
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     let rows = tx.scan("departments", &Predicate::eq(0, 1i64)).unwrap();
     let err = tx.delete("departments", rows[0].0).unwrap_err();
     assert!(matches!(err, DbError::ForeignKeyViolation { .. }));
@@ -301,7 +301,7 @@ fn fk_cascade_deletes_children() {
     users_departments(&db, Some(OnDelete::Cascade));
     insert_department(&db, 1);
     for i in 0..5 {
-        let mut tx = db.begin();
+        let mut tx = db.txn().begin();
         tx.insert_pairs(
             "users",
             &[
@@ -312,7 +312,7 @@ fn fk_cascade_deletes_children() {
         .unwrap();
         tx.commit().unwrap();
     }
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     let rows = tx.scan("departments", &Predicate::eq(0, 1i64)).unwrap();
     tx.delete("departments", rows[0].0).unwrap();
     tx.commit().unwrap();
@@ -325,18 +325,18 @@ fn fk_set_null_orphans_become_null_references() {
     let db = fresh_db();
     users_departments(&db, Some(OnDelete::SetNull));
     insert_department(&db, 1);
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     tx.insert_pairs(
         "users",
         &[("department_id", Datum::Int(1)), ("name", Datum::text("u"))],
     )
     .unwrap();
     tx.commit().unwrap();
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     let rows = tx.scan("departments", &Predicate::eq(0, 1i64)).unwrap();
     tx.delete("departments", rows[0].0).unwrap();
     tx.commit().unwrap();
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     let users = tx.scan("users", &Predicate::True).unwrap();
     assert_eq!(users.len(), 1);
     assert!(users[0].1[1].is_null());
@@ -365,7 +365,7 @@ fn fk_is_race_free_under_concurrent_insert_and_cascade_delete() {
             let mut unexpected = Vec::new();
             for d in 1..=rounds {
                 barrier.wait();
-                let mut tx = db.begin();
+                let mut tx = db.txn().begin();
                 match tx.insert_pairs(
                     "users",
                     &[
@@ -395,7 +395,7 @@ fn fk_is_race_free_under_concurrent_insert_and_cascade_delete() {
             for d in 1..=rounds {
                 barrier.wait();
                 loop {
-                    let mut tx = db.begin();
+                    let mut tx = db.txn().begin();
                     let rows = tx.scan("departments", &Predicate::eq(0, d)).unwrap();
                     if rows.is_empty() {
                         tx.rollback();
@@ -430,7 +430,7 @@ fn fk_is_race_free_under_concurrent_insert_and_cascade_delete() {
         assert!(unexpected.is_empty(), "unexpected errors: {unexpected:?}");
     }
     // zero orphans: every surviving user's department exists
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     let users = tx.scan("users", &Predicate::True).unwrap();
     for (_, u) in &users {
         let d = u[1].as_int().unwrap();
@@ -452,7 +452,7 @@ fn index_backfill_on_existing_data_and_unique_failure() {
     ))
     .unwrap();
     for k in ["a", "b", "a"] {
-        let mut tx = db.begin();
+        let mut tx = db.txn().begin();
         tx.insert_pairs("t", &[("k", Datum::text(k))]).unwrap();
         tx.commit().unwrap();
     }
@@ -464,6 +464,6 @@ fn index_backfill_on_existing_data_and_unique_failure() {
     // non-unique index is fine and serves scans
     db.create_index_named("t_k_nonuniq", db.table_id("t").unwrap(), &["k"], false)
         .unwrap();
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     assert_eq!(tx.scan("t", &Predicate::eq(1, "a")).unwrap().len(), 2);
 }

@@ -37,7 +37,7 @@ fn data_survives_reopen() {
     {
         let db = Database::open(config(&path)).unwrap();
         db.create_table(users_schema()).unwrap();
-        let mut tx = db.begin();
+        let mut tx = db.txn().begin();
         tx.insert_pairs(
             "users",
             &[("name", Datum::text("peter")), ("score", Datum::Int(7))],
@@ -51,7 +51,7 @@ fn data_survives_reopen() {
         tx.commit().unwrap();
     }
     let db = Database::open(config(&path)).unwrap();
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     let rows = tx.scan("users", &Predicate::True).unwrap();
     assert_eq!(rows.len(), 2);
     let peter = tx.scan("users", &Predicate::eq(1, "peter")).unwrap();
@@ -65,7 +65,7 @@ fn updates_deletes_and_id_sequence_survive() {
     {
         let db = Database::open(config(&path)).unwrap();
         db.create_table(users_schema()).unwrap();
-        let mut tx = db.begin();
+        let mut tx = db.txn().begin();
         let p = tx
             .insert_pairs(
                 "users",
@@ -82,7 +82,7 @@ fn updates_deletes_and_id_sequence_survive() {
         .unwrap();
         tx.commit().unwrap();
         // update peter, delete doomed
-        let mut tx = db.begin();
+        let mut tx = db.txn().begin();
         let (r, t) = tx.get_by_id("users", peter_id).unwrap().unwrap();
         let mut n = (*t).clone();
         n[2] = Datum::Int(100);
@@ -92,7 +92,7 @@ fn updates_deletes_and_id_sequence_survive() {
         tx.commit().unwrap();
     }
     let db = Database::open(config(&path)).unwrap();
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     let all = tx.scan("users", &Predicate::True).unwrap();
     assert_eq!(all.len(), 1);
     assert_eq!(all[0].1[2], Datum::Int(100));
@@ -127,7 +127,7 @@ fn constraints_survive_reopen() {
         db.create_index("users", &["name"], true).unwrap();
         db.add_foreign_key("posts", "user_id", "users", OnDelete::Cascade)
             .unwrap();
-        let mut tx = db.begin();
+        let mut tx = db.txn().begin();
         tx.insert_pairs(
             "users",
             &[("name", Datum::text("peter")), ("score", Datum::Int(0))],
@@ -137,7 +137,7 @@ fn constraints_survive_reopen() {
     }
     let db = Database::open(config(&path)).unwrap();
     // unique index recovered and enforced
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     let err = tx
         .insert_pairs(
             "users",
@@ -147,20 +147,20 @@ fn constraints_survive_reopen() {
     assert!(matches!(err, DbError::UniqueViolation { .. }));
     tx.rollback();
     // FK recovered and enforced
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     let err = tx
         .insert_pairs("posts", &[("user_id", Datum::Int(999))])
         .unwrap_err();
     assert!(matches!(err, DbError::ForeignKeyViolation { .. }));
     tx.rollback();
     // cascade works after recovery
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     let users = tx.scan("users", &Predicate::eq(1, "peter")).unwrap();
     let uid = users[0].1[0].as_int().unwrap();
     tx.insert_pairs("posts", &[("user_id", Datum::Int(uid))])
         .unwrap();
     tx.commit().unwrap();
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     let users = tx.scan("users", &Predicate::eq(1, "peter")).unwrap();
     tx.delete("users", users[0].0).unwrap();
     tx.commit().unwrap();
@@ -173,14 +173,14 @@ fn rolled_back_transactions_never_reach_the_log() {
     {
         let db = Database::open(config(&path)).unwrap();
         db.create_table(users_schema()).unwrap();
-        let mut tx = db.begin();
+        let mut tx = db.txn().begin();
         tx.insert_pairs(
             "users",
             &[("name", Datum::text("ghost")), ("score", Datum::Int(0))],
         )
         .unwrap();
         tx.rollback();
-        let mut tx = db.begin();
+        let mut tx = db.txn().begin();
         tx.insert_pairs(
             "users",
             &[("name", Datum::text("real")), ("score", Datum::Int(1))],
@@ -189,7 +189,7 @@ fn rolled_back_transactions_never_reach_the_log() {
         tx.commit().unwrap();
     }
     let db = Database::open(config(&path)).unwrap();
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     let rows = tx.scan("users", &Predicate::True).unwrap();
     assert_eq!(rows.len(), 1);
     assert_eq!(rows[0].1[1], Datum::text("real"));
@@ -202,7 +202,7 @@ fn torn_tail_loses_only_the_last_commit() {
         let db = Database::open(config(&path)).unwrap();
         db.create_table(users_schema()).unwrap();
         for i in 0..5 {
-            let mut tx = db.begin();
+            let mut tx = db.txn().begin();
             tx.insert_pairs(
                 "users",
                 &[
@@ -220,7 +220,7 @@ fn torn_tail_loses_only_the_last_commit() {
     let db = Database::open(config(&path)).unwrap();
     assert_eq!(db.count_rows("users").unwrap(), 4);
     // and the database keeps working (new appends land after the tail)
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     tx.insert_pairs(
         "users",
         &[
@@ -242,7 +242,7 @@ fn multi_version_history_collapses_to_latest_on_recovery() {
     {
         let db = Database::open(config(&path)).unwrap();
         db.create_table(users_schema()).unwrap();
-        let mut tx = db.begin();
+        let mut tx = db.txn().begin();
         let r = tx
             .insert_pairs(
                 "users",
@@ -254,7 +254,7 @@ fn multi_version_history_collapses_to_latest_on_recovery() {
             .unwrap();
         tx.commit().unwrap();
         for v in 1..10 {
-            let mut tx = db.begin();
+            let mut tx = db.txn().begin();
             let (r, t) = tx.get_by_id("users", id).unwrap().unwrap();
             let mut n = (*t).clone();
             n[2] = Datum::Int(v);
@@ -263,7 +263,7 @@ fn multi_version_history_collapses_to_latest_on_recovery() {
         }
     }
     let db = Database::open(config(&path)).unwrap();
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     let (_, t) = tx.get_by_id("users", id).unwrap().unwrap();
     assert_eq!(t[2], Datum::Int(9));
 }

@@ -1,0 +1,242 @@
+//! Group-commit crash recovery: injected torn writes mid-batch, exact
+//! complete-record-prefix replay (no torn or phantom commits), and the
+//! poisoned-log contract after a failed flush.
+
+use feral_db::{
+    ColumnDef, Config, DataType, Database, Datum, IsolationLevel, Predicate, TableSchema,
+};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn wal_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("feral-group-commit-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join(format!("{name}.wal"));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+fn config(path: &std::path::Path) -> Config {
+    Config {
+        wal_path: Some(path.to_path_buf()),
+        ..Config::default()
+    }
+}
+
+fn items_schema() -> TableSchema {
+    TableSchema::new("items", vec![ColumnDef::new("n", DataType::Int)])
+}
+
+fn insert_one(db: &Database, n: i64) -> Result<(), feral_db::DbError> {
+    db.txn().run(|tx| {
+        tx.insert_pairs("items", &[("n", Datum::Int(n))])?;
+        Ok(())
+    })
+}
+
+fn recovered_values(path: &std::path::Path) -> Vec<i64> {
+    let db = Database::open(config(path)).unwrap();
+    let mut tx = db.txn().begin();
+    // a cut before the DDL record recovers a database without the
+    // table at all — the empty prefix
+    let Ok(rows) = tx.scan("items", &Predicate::True) else {
+        return Vec::new();
+    };
+    let mut vals: Vec<i64> = rows.iter().map(|(_, t)| t[1].as_int().unwrap()).collect();
+    vals.sort_unstable();
+    vals
+}
+
+/// A torn write mid-record must recover exactly the acked prefix — no
+/// torn commit, no phantom commit — at every isolation level.
+#[test]
+fn torn_tail_recovers_acked_prefix_at_every_isolation() {
+    for (i, iso) in [
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::RepeatableRead,
+        IsolationLevel::Snapshot,
+        IsolationLevel::Serializable,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let path = wal_path(&format!("torn-{i}"));
+        {
+            let db = Database::open(Config {
+                default_isolation: iso,
+                ..config(&path)
+            })
+            .unwrap();
+            db.create_table(items_schema()).unwrap();
+            insert_one(&db, 1).unwrap();
+            insert_one(&db, 2).unwrap();
+            // the next record tears after 5 bytes (not even its length
+            // header survives intact)
+            db.set_wal_fail_after(Some(5));
+            let err = insert_one(&db, 3).unwrap_err();
+            assert!(
+                err.to_string().contains("injected torn write"),
+                "unexpected error under {iso}: {err}"
+            );
+        }
+        assert_eq!(
+            recovered_values(&path),
+            vec![1, 2],
+            "recovery under {iso} must replay exactly the acked commits"
+        );
+        // the recovered database accepts new commits
+        let db = Database::open(config(&path)).unwrap();
+        insert_one(&db, 4).unwrap();
+        drop(db);
+        assert_eq!(recovered_values(&path), vec![1, 2, 4]);
+    }
+}
+
+/// The fault budget spans flushes: a record that fits commits fine, the
+/// first record that exceeds the remaining budget tears.
+#[test]
+fn fail_budget_spans_multiple_flushes() {
+    let path = wal_path("budget");
+    {
+        let db = Database::open(config(&path)).unwrap();
+        db.create_table(items_schema()).unwrap();
+        insert_one(&db, 1).unwrap();
+        let after_one = std::fs::metadata(&path).unwrap().len();
+        insert_one(&db, 2).unwrap();
+        let frame = std::fs::metadata(&path).unwrap().len() - after_one;
+        assert!(frame > 12, "a commit frame has a header and checksum");
+        // room for exactly one more frame plus a few torn bytes
+        db.set_wal_fail_after(Some(frame + 3));
+        insert_one(&db, 3).unwrap();
+        insert_one(&db, 4).unwrap_err();
+    }
+    assert_eq!(recovered_values(&path), vec![1, 2, 3]);
+}
+
+/// A failed flush poisons the log: every later commit fails fast (its
+/// record would sit behind the torn tail, unreachable by recovery) and
+/// the database keeps serving reads.
+#[test]
+fn failed_flush_poisons_the_log() {
+    let path = wal_path("poison");
+    let db = Database::open(config(&path)).unwrap();
+    db.create_table(items_schema()).unwrap();
+    insert_one(&db, 1).unwrap();
+    db.set_wal_fail_after(Some(0));
+    insert_one(&db, 2).unwrap_err();
+    let err = insert_one(&db, 3).unwrap_err();
+    assert!(
+        err.to_string().contains("poisoned"),
+        "later commits report the poisoned log, got: {err}"
+    );
+    // reads still work; only commit 1 is visible
+    let mut tx = db.txn().begin();
+    assert_eq!(tx.count("items", &Predicate::True).unwrap(), 1);
+    // recovery sees the pre-poison prefix
+    drop(tx);
+    drop(db);
+    assert_eq!(recovered_values(&path), vec![1]);
+}
+
+/// Physical truncation sweep: chopping the log at every byte boundary
+/// recovers a clean commit prefix — never a partial transaction.
+#[test]
+fn truncation_at_any_byte_recovers_a_prefix() {
+    let path = wal_path("sweep");
+    {
+        let db = Database::open(config(&path)).unwrap();
+        db.create_table(items_schema()).unwrap();
+        for n in 1..=4 {
+            insert_one(&db, n).unwrap();
+        }
+    }
+    let full = std::fs::read(&path).unwrap();
+    let copy = wal_path("sweep-copy");
+    let mut seen_lens = std::collections::BTreeSet::new();
+    // step through tail offsets covering every record boundary region
+    for cut in (0..=full.len()).rev().step_by(7).chain([full.len()]) {
+        std::fs::write(&copy, &full[..cut]).unwrap();
+        let vals = recovered_values(&copy);
+        // whatever survives is a prefix 1..=k
+        let k = vals.len() as i64;
+        assert!(k <= 4);
+        assert_eq!(vals, (1..=k).collect::<Vec<_>>(), "cut at {cut} bytes");
+        seen_lens.insert(k);
+    }
+    assert!(
+        seen_lens.contains(&4) && seen_lens.contains(&0),
+        "sweep covered both the full log and the empty log: {seen_lens:?}"
+    );
+}
+
+/// With lingering group commit and commits on distinct shards, leader
+/// flushes cover several commit records each. Runs several barrier-
+/// synchronized rounds and asserts on the aggregate: the very first
+/// leader may flush solo (the concurrency hint starts at 1), but once
+/// any batch forms, later leaders linger and the rounds batch.
+#[test]
+fn group_commit_batches_concurrent_commits() {
+    const THREADS: usize = 4;
+    const ROUNDS: usize = 10;
+    let path = wal_path("batching");
+    let db = Database::open(Config {
+        commit_shards: 8,
+        group_commit_max_batch: THREADS,
+        group_commit_max_wait: Duration::from_millis(500),
+        // a synced WAL gives each flush a real fsync window, so
+        // barrier-released followers reliably enqueue while the leader
+        // is in the kernel — the configuration group commit exists for
+        wal_sync: true,
+        ..config(&path)
+    })
+    .unwrap();
+    // four tables on four distinct commit shards, so concurrent commits
+    // only serialize at the group buffer
+    for t in 0..THREADS {
+        db.create_table(TableSchema::new(
+            format!("t{t}"),
+            vec![ColumnDef::new("n", DataType::Int)],
+        ))
+        .unwrap();
+    }
+    let before = db.stats().snapshot();
+    let barrier = std::sync::Barrier::new(THREADS);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let db = db.clone();
+            let barrier = &barrier;
+            s.spawn(move || {
+                for r in 0..ROUNDS {
+                    let mut tx = db.txn().begin();
+                    tx.insert_pairs(&format!("t{t}"), &[("n", Datum::Int(r as i64))])
+                        .unwrap();
+                    // release each round's four commits together so the
+                    // lingering leader has followers to collect
+                    barrier.wait();
+                    tx.commit().unwrap();
+                }
+            });
+        }
+    });
+    let total = (THREADS * ROUNDS) as u64;
+    let d = db.stats().snapshot().diff(&before);
+    assert_eq!(d.commits, total);
+    assert_eq!(d.wal_appends, total);
+    assert_eq!(d.group_commit_batches, d.wal_flushes);
+    assert!(
+        d.wal_flushes < total,
+        "{total} commits in {ROUNDS} concurrent rounds must share batches, \
+         got {} flushes",
+        d.wal_flushes
+    );
+    // every commit recovered
+    drop(db);
+    let db = Database::open(config(&path)).unwrap();
+    let mut tx = db.txn().begin();
+    for t in 0..THREADS {
+        assert_eq!(
+            tx.count(&format!("t{t}"), &Predicate::True).unwrap(),
+            ROUNDS
+        );
+    }
+}

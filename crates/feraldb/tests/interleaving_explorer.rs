@@ -51,7 +51,7 @@ impl Saver {
             return;
         }
         match step {
-            Step::Begin => self.tx = Some(db.begin_with(iso)),
+            Step::Begin => self.tx = Some(db.txn().isolation(iso).begin()),
             Step::Probe => {
                 let tx = self.tx.as_mut().expect("begun");
                 match tx.scan("t", &Predicate::eq(1, "dup")) {
@@ -130,7 +130,7 @@ fn run_schedule(schedule: &[bool; 8], iso: IsolationLevel, pg_ssi_bug: bool) -> 
             bi += 1;
         }
     }
-    let mut check = db.begin();
+    let mut check = db.txn().begin();
     let rows = check.scan("t", &Predicate::eq(1, "dup")).unwrap().len();
     let commits = a.committed as usize + b.committed as usize;
     (rows.saturating_sub(1), commits)
@@ -252,7 +252,7 @@ fn db_unique_index_is_safe_in_every_interleaving() {
                 bi += 1;
             }
         }
-        let mut check = db.begin();
+        let mut check = db.txn().begin();
         let rows = check.scan("t", &Predicate::eq(1, "dup")).unwrap().len();
         assert!(rows <= 1, "unique index leaked a duplicate in {schedule:?}");
     }

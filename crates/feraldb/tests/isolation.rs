@@ -27,7 +27,7 @@ fn db_with(iso: IsolationLevel) -> Database {
 }
 
 fn put(db: &Database, k: &str, v: i64) -> i64 {
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     let r = tx
         .insert_pairs("kv", &[("k", Datum::text(k)), ("v", Datum::Int(v))])
         .unwrap();
@@ -39,7 +39,7 @@ fn put(db: &Database, k: &str, v: i64) -> i64 {
 }
 
 fn get_v(db: &Database, iso: IsolationLevel, k: &str) -> Vec<i64> {
-    let mut tx = db.begin_with(iso);
+    let mut tx = db.txn().isolation(iso).begin();
     let rows = tx.scan("kv", &Predicate::eq(1, k)).unwrap();
     rows.iter().map(|(_, t)| t[2].as_int().unwrap()).collect()
 }
@@ -53,7 +53,7 @@ fn no_dirty_reads_at_any_level() {
         IsolationLevel::Serializable,
     ] {
         let db = db_with(iso);
-        let mut writer = db.begin_with(iso);
+        let mut writer = db.txn().isolation(iso).begin();
         writer
             .insert_pairs("kv", &[("k", Datum::text("x")), ("v", Datum::Int(1))])
             .unwrap();
@@ -67,7 +67,7 @@ fn no_dirty_reads_at_any_level() {
 #[test]
 fn read_committed_sees_new_commits_between_statements() {
     let db = db_with(IsolationLevel::ReadCommitted);
-    let mut reader = db.begin_with(IsolationLevel::ReadCommitted);
+    let mut reader = db.txn().isolation(IsolationLevel::ReadCommitted).begin();
     assert!(reader.scan("kv", &Predicate::True).unwrap().is_empty());
     put(&db, "x", 1);
     // same transaction, new statement: RC sees the new commit
@@ -84,7 +84,7 @@ fn repeatable_read_and_si_hold_their_snapshot() {
     ] {
         let db = db_with(iso);
         put(&db, "pre", 0);
-        let mut reader = db.begin_with(iso);
+        let mut reader = db.txn().isolation(iso).begin();
         assert_eq!(reader.scan("kv", &Predicate::True).unwrap().len(), 1);
         put(&db, "x", 1);
         assert_eq!(
@@ -99,7 +99,7 @@ fn repeatable_read_and_si_hold_their_snapshot() {
 #[test]
 fn own_writes_visible_within_transaction() {
     let db = db_with(IsolationLevel::Snapshot);
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     let r = tx
         .insert_pairs("kv", &[("k", Datum::text("me")), ("v", Datum::Int(7))])
         .unwrap();
@@ -122,8 +122,8 @@ fn own_writes_visible_within_transaction() {
 fn si_first_updater_wins_aborts_second_writer() {
     let db = db_with(IsolationLevel::Snapshot);
     let id = put(&db, "x", 0);
-    let mut t1 = db.begin_with(IsolationLevel::Snapshot);
-    let mut t2 = db.begin_with(IsolationLevel::Snapshot);
+    let mut t1 = db.txn().isolation(IsolationLevel::Snapshot).begin();
+    let mut t2 = db.txn().isolation(IsolationLevel::Snapshot).begin();
     let (r1, tup1) = t1.get_by_id("kv", id).unwrap().unwrap();
     let mut new1 = (*tup1).clone();
     new1[2] = Datum::Int(1);
@@ -143,8 +143,8 @@ fn read_committed_allows_lost_update_via_read_modify_write() {
     // two RC transactions read the same balance and both write back.
     let db = db_with(IsolationLevel::ReadCommitted);
     let id = put(&db, "stock", 10);
-    let mut t1 = db.begin_with(IsolationLevel::ReadCommitted);
-    let mut t2 = db.begin_with(IsolationLevel::ReadCommitted);
+    let mut t1 = db.txn().isolation(IsolationLevel::ReadCommitted).begin();
+    let mut t2 = db.txn().isolation(IsolationLevel::ReadCommitted).begin();
     let (_, tup1) = t1.get_by_id("kv", id).unwrap().unwrap();
     let (_, tup2) = t2.get_by_id("kv", id).unwrap().unwrap();
     let v1 = tup1[2].as_int().unwrap();
@@ -177,7 +177,7 @@ fn select_for_update_prevents_lost_update() {
         let b = barrier.clone();
         handles.push(thread::spawn(move || {
             b.wait();
-            let mut tx = db.begin_with(IsolationLevel::ReadCommitted);
+            let mut tx = db.txn().isolation(IsolationLevel::ReadCommitted).begin();
             let rows = tx.select_for_update("kv", &Predicate::eq(0, id)).unwrap();
             let (r, t) = &rows[0];
             let mut n = (**t).clone();
@@ -199,7 +199,7 @@ fn serializable_aborts_racing_uniqueness_probes() {
     // Serializable exactly one must commit.
     let db = db_with(IsolationLevel::Serializable);
     let run = |db: Database| {
-        let mut tx = db.begin_with(IsolationLevel::Serializable);
+        let mut tx = db.txn().isolation(IsolationLevel::Serializable).begin();
         let existing = tx.scan("kv", &Predicate::eq(1, "dup")).unwrap();
         if !existing.is_empty() {
             tx.rollback();
@@ -210,8 +210,8 @@ fn serializable_aborts_racing_uniqueness_probes() {
         Ok::<bool, DbError>(true)
     };
     // interleave manually: both probe before either commits
-    let mut t1 = db.begin_with(IsolationLevel::Serializable);
-    let mut t2 = db.begin_with(IsolationLevel::Serializable);
+    let mut t1 = db.txn().isolation(IsolationLevel::Serializable).begin();
+    let mut t2 = db.txn().isolation(IsolationLevel::Serializable).begin();
     assert!(t1.scan("kv", &Predicate::eq(1, "dup")).unwrap().is_empty());
     assert!(t2.scan("kv", &Predicate::eq(1, "dup")).unwrap().is_empty());
     t1.insert_pairs("kv", &[("k", Datum::text("dup")), ("v", Datum::Int(1))])
@@ -244,8 +244,8 @@ fn pg_ssi_bug_mode_admits_duplicates_under_serializable() {
         ],
     ))
     .unwrap();
-    let mut t1 = db.begin();
-    let mut t2 = db.begin();
+    let mut t1 = db.txn().begin();
+    let mut t2 = db.txn().begin();
     assert!(t1.scan("kv", &Predicate::eq(1, "dup")).unwrap().is_empty());
     assert!(t2.scan("kv", &Predicate::eq(1, "dup")).unwrap().is_empty());
     t1.insert_pairs("kv", &[("k", Datum::text("dup")), ("v", Datum::Int(1))])
@@ -261,7 +261,7 @@ fn pg_ssi_bug_mode_admits_duplicates_under_serializable() {
 fn serializable_read_only_transactions_never_abort() {
     let db = db_with(IsolationLevel::Serializable);
     put(&db, "a", 1);
-    let mut reader = db.begin_with(IsolationLevel::Serializable);
+    let mut reader = db.txn().isolation(IsolationLevel::Serializable).begin();
     reader.scan("kv", &Predicate::True).unwrap();
     put(&db, "b", 2);
     reader.scan("kv", &Predicate::True).unwrap();
@@ -275,7 +275,7 @@ fn concurrent_distinct_key_inserts_all_commit_under_serializable() {
     for i in 0..8 {
         let db = db.clone();
         handles.push(thread::spawn(move || {
-            let mut tx = db.begin_with(IsolationLevel::Serializable);
+            let mut tx = db.txn().isolation(IsolationLevel::Serializable).begin();
             let key = format!("k{i}");
             // probe own key only — distinct predicates don't conflict
             let rows = tx.scan("kv", &Predicate::eq(1, key.as_str())).unwrap();
@@ -296,7 +296,7 @@ fn concurrent_distinct_key_inserts_all_commit_under_serializable() {
 fn rollback_discards_everything() {
     let db = db_with(IsolationLevel::ReadCommitted);
     let id = put(&db, "x", 1);
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     let (r, t) = tx.get_by_id("kv", id).unwrap().unwrap();
     let mut n = (*t).clone();
     n[2] = Datum::Int(99);
@@ -313,13 +313,13 @@ fn dropping_open_transaction_rolls_back_and_releases_locks() {
     let db = db_with(IsolationLevel::ReadCommitted);
     let id = put(&db, "x", 1);
     {
-        let mut tx = db.begin();
+        let mut tx = db.txn().begin();
         let rows = tx.select_for_update("kv", &Predicate::eq(0, id)).unwrap();
         assert_eq!(rows.len(), 1);
         // dropped without commit
     }
     // lock must be free now
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     let rows = tx.select_for_update("kv", &Predicate::eq(0, id)).unwrap();
     assert_eq!(rows.len(), 1);
     tx.commit().unwrap();
@@ -336,8 +336,8 @@ fn write_skew_allowed_under_si_but_not_serializable() {
         let db = db_with(iso);
         let ida = put(&db, "a", 1);
         let idb = put(&db, "b", 1);
-        let mut t1 = db.begin_with(iso);
-        let mut t2 = db.begin_with(iso);
+        let mut t1 = db.txn().isolation(iso).begin();
+        let mut t2 = db.txn().isolation(iso).begin();
         // both read both rows
         let sum1: i64 = t1
             .scan("kv", &Predicate::True)
@@ -364,7 +364,7 @@ fn write_skew_allowed_under_si_but_not_serializable() {
         t2.update("kv", rb, nb).unwrap();
         let r1 = t1.commit();
         let r2 = t2.commit();
-        let mut check = db.begin();
+        let mut check = db.txn().begin();
         let total: i64 = check
             .scan("kv", &Predicate::True)
             .unwrap()
@@ -388,7 +388,7 @@ fn vacuum_preserves_latest_state() {
     let db = db_with(IsolationLevel::ReadCommitted);
     let id = put(&db, "x", 0);
     for v in 1..20 {
-        let mut tx = db.begin();
+        let mut tx = db.txn().begin();
         let (r, t) = tx.get_by_id("kv", id).unwrap().unwrap();
         let mut n = (*t).clone();
         n[2] = Datum::Int(v);

@@ -86,14 +86,14 @@ proptest! {
         for op in &ops {
             match op {
                 Op::Insert(k, v) => {
-                    let mut tx = db.begin();
+                    let mut tx = db.txn().begin();
                     tx.insert_pairs("t", &[("k", Datum::text(k.clone())), ("v", Datum::Int(*v))]).unwrap();
                     tx.commit().unwrap();
                     model.insert(next_id, (k.clone(), *v));
                     next_id += 1;
                 }
                 Op::UpdateWhere(k, v) => {
-                    let mut tx = db.begin();
+                    let mut tx = db.txn().begin();
                     let rows = tx.scan("t", &Predicate::eq(1, k.as_str())).unwrap();
                     for (rref, t) in rows {
                         let mut n = (*t).clone();
@@ -106,7 +106,7 @@ proptest! {
                     }
                 }
                 Op::DeleteWhere(k) => {
-                    let mut tx = db.begin();
+                    let mut tx = db.txn().begin();
                     tx.delete_where("t", &Predicate::eq(1, k.as_str())).unwrap();
                     tx.commit().unwrap();
                     model.retain(|_, (mk, _)| mk != k);
@@ -114,7 +114,7 @@ proptest! {
             }
         }
         // compare
-        let mut tx = db.begin();
+        let mut tx = db.txn().begin();
         let rows = tx.scan("t", &Predicate::True).unwrap();
         prop_assert_eq!(rows.len(), model.len());
         for (_, t) in rows {
@@ -135,14 +135,14 @@ proptest! {
         let db = Database::in_memory();
         db.create_table(TableSchema::new("t", vec![ColumnDef::new("k", DataType::Text)])).unwrap();
         for k in &pre {
-            let mut tx = db.begin();
+            let mut tx = db.txn().begin();
             tx.insert_pairs("t", &[("k", Datum::text(k.clone()))]).unwrap();
             tx.commit().unwrap();
         }
-        let mut reader = db.begin_with(IsolationLevel::RepeatableRead);
+        let mut reader = db.txn().isolation(IsolationLevel::RepeatableRead).begin();
         let first = reader.scan("t", &Predicate::True).unwrap().len();
         for k in &post {
-            let mut tx = db.begin();
+            let mut tx = db.txn().begin();
             tx.insert_pairs("t", &[("k", Datum::text(k.clone()))]).unwrap();
             tx.commit().unwrap();
         }
@@ -150,7 +150,7 @@ proptest! {
         prop_assert_eq!(first, second);
         prop_assert_eq!(first, pre.len());
         reader.commit().unwrap();
-        let mut fresh = db.begin();
+        let mut fresh = db.txn().begin();
         prop_assert_eq!(fresh.scan("t", &Predicate::True).unwrap().len(), pre.len() + post.len());
     }
 
@@ -163,7 +163,7 @@ proptest! {
         db.create_index("t", &["k"], true).unwrap();
         let mut distinct = std::collections::HashSet::new();
         for k in &keys {
-            let mut tx = db.begin();
+            let mut tx = db.txn().begin();
             match tx.insert_pairs("t", &[("k", Datum::text(k.clone()))]) {
                 Ok(_) => {
                     tx.commit().unwrap();
@@ -196,15 +196,15 @@ proptest! {
         indexed.create_index("t", &["v"], false).unwrap();
         for v in &values {
             for db in [&indexed, &plain] {
-                let mut tx = db.begin();
+                let mut tx = db.txn().begin();
                 tx.insert_pairs("t", &[("v", Datum::Int(*v))]).unwrap();
                 tx.commit().unwrap();
             }
         }
         let pred = Predicate::Cmp { col: 1, op: CmpOp::Ge, value: Datum::Int(lo) }
             .and(Predicate::Cmp { col: 1, op: CmpOp::Lt, value: Datum::Int(hi) });
-        let mut ti = indexed.begin();
-        let mut tp = plain.begin();
+        let mut ti = indexed.txn().begin();
+        let mut tp = plain.txn().begin();
         let a = ti.scan("t", &pred).unwrap().len();
         let b = tp.scan("t", &pred).unwrap().len();
         prop_assert_eq!(a, b);
@@ -222,14 +222,14 @@ proptest! {
         indexed.create_index("t", &["k"], false).unwrap();
         for k in &keys {
             for db in [&indexed, &plain] {
-                let mut tx = db.begin();
+                let mut tx = db.txn().begin();
                 tx.insert_pairs("t", &[("k", Datum::text(k.clone()))]).unwrap();
                 tx.commit().unwrap();
             }
         }
         let pred = Predicate::eq(1, probe.as_str());
-        let mut ti = indexed.begin();
-        let mut tp = plain.begin();
+        let mut ti = indexed.txn().begin();
+        let mut tp = plain.txn().begin();
         let a = ti.scan("t", &pred).unwrap().len();
         let b = tp.scan("t", &pred).unwrap().len();
         prop_assert_eq!(a, b);

@@ -16,7 +16,7 @@ fn db() -> Database {
 }
 
 fn put(db: &Database, k: &str, v: i64) -> i64 {
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     let r = tx
         .insert_pairs("t", &[("k", Datum::text(k)), ("v", Datum::Int(v))])
         .unwrap();
@@ -30,7 +30,7 @@ fn put(db: &Database, k: &str, v: i64) -> i64 {
 #[test]
 fn rollback_to_discards_post_savepoint_inserts() {
     let db = db();
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     tx.insert_pairs("t", &[("k", Datum::text("keep")), ("v", Datum::Int(1))])
         .unwrap();
     let sp = tx.savepoint();
@@ -49,7 +49,7 @@ fn rollback_to_discards_post_savepoint_inserts() {
 fn rollback_to_rewinds_merged_updates_of_pre_savepoint_rows() {
     let db = db();
     let id = put(&db, "x", 1);
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     // pre-savepoint update: v = 10
     let (r, t) = tx.get_by_id("t", id).unwrap().unwrap();
     let mut n = (*t).clone();
@@ -67,7 +67,7 @@ fn rollback_to_rewinds_merged_updates_of_pre_savepoint_rows() {
     let (_, t) = tx.get_by_id("t", id).unwrap().unwrap();
     assert_eq!(t[2], Datum::Int(10));
     tx.commit().unwrap();
-    let mut check = db.begin();
+    let mut check = db.txn().begin();
     let (_, t) = check.get_by_id("t", id).unwrap().unwrap();
     assert_eq!(t[2], Datum::Int(10));
 }
@@ -76,7 +76,7 @@ fn rollback_to_rewinds_merged_updates_of_pre_savepoint_rows() {
 fn rollback_to_restores_deletes() {
     let db = db();
     let id = put(&db, "x", 1);
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     let sp = tx.savepoint();
     let (r, _) = tx.get_by_id("t", id).unwrap().unwrap();
     tx.delete("t", r).unwrap();
@@ -90,7 +90,7 @@ fn rollback_to_restores_deletes() {
 #[test]
 fn nested_savepoints() {
     let db = db();
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     tx.insert_pairs("t", &[("k", Datum::text("a")), ("v", Datum::Int(1))])
         .unwrap();
     let sp1 = tx.savepoint();
@@ -111,7 +111,7 @@ fn nested_savepoints() {
 fn savepoint_interacts_with_unique_constraints() {
     let db = db();
     db.create_index("t", &["k"], true).unwrap();
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     tx.insert_pairs("t", &[("k", Datum::text("a")), ("v", Datum::Int(1))])
         .unwrap();
     let sp = tx.savepoint();
@@ -130,7 +130,7 @@ fn savepoint_interacts_with_unique_constraints() {
 #[test]
 fn savepoint_insert_refs_invalidated_after_rollback() {
     let db = db();
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     let sp = tx.savepoint();
     let r = tx
         .insert_pairs("t", &[("k", Datum::text("gone")), ("v", Datum::Int(1))])

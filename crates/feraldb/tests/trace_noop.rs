@@ -26,7 +26,7 @@ fn run_workload() -> StatsSnapshot {
     ))
     .unwrap();
     for i in 0..10u64 {
-        let mut tx = db.begin();
+        let mut tx = db.txn().begin();
         tx.note_validation_probe(i, 42);
         tx.insert_pairs(
             "kv",
@@ -36,7 +36,7 @@ fn run_workload() -> StatsSnapshot {
         tx.scan("kv", &Predicate::True).unwrap();
         tx.commit().unwrap();
     }
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     tx.insert_pairs(
         "kv",
         &[("k", Datum::text("doomed")), ("v", Datum::text("v"))],

@@ -1,0 +1,153 @@
+//! The `TxnOptions` builder API: isolation/retry/label plumbing, the
+//! `run` retry loop, and the deprecated begin/transaction shims.
+
+use feral_db::{
+    ColumnDef, Config, DataType, Database, Datum, DbError, IsolationLevel, Predicate, TableSchema,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn setup() -> Database {
+    let db = Database::in_memory();
+    db.create_table(TableSchema::new(
+        "users",
+        vec![ColumnDef::new("name", DataType::Text).not_null()],
+    ))
+    .unwrap();
+    db
+}
+
+#[test]
+fn builder_begin_uses_configured_isolation() {
+    let db = setup();
+    let tx = db.txn().begin();
+    assert_eq!(tx.isolation(), IsolationLevel::ReadCommitted);
+    let tx = db.txn().isolation(IsolationLevel::Serializable).begin();
+    assert_eq!(tx.isolation(), IsolationLevel::Serializable);
+
+    let db = Database::open(Config {
+        default_isolation: IsolationLevel::Snapshot,
+        ..Config::default()
+    })
+    .unwrap();
+    assert_eq!(db.txn().begin().isolation(), IsolationLevel::Snapshot);
+}
+
+#[test]
+fn run_commits_the_closure_result() {
+    let db = setup();
+    let n = db
+        .txn()
+        .run(|tx| {
+            tx.insert_pairs("users", &[("name", Datum::text("ada"))])?;
+            Ok(41 + 1)
+        })
+        .unwrap();
+    assert_eq!(n, 42);
+    let mut check = db.txn().begin();
+    assert_eq!(check.count("users", &Predicate::True).unwrap(), 1);
+}
+
+#[test]
+fn run_rolls_back_on_error() {
+    let db = setup();
+    let result: Result<(), DbError> = db.txn().run(|tx| {
+        tx.insert_pairs("users", &[("name", Datum::text("ghost"))])?;
+        Err(DbError::Internal("application error".into()))
+    });
+    assert!(result.is_err());
+    let mut check = db.txn().begin();
+    assert_eq!(check.count("users", &Predicate::True).unwrap(), 0);
+}
+
+#[test]
+fn run_retries_conflicts_up_to_the_budget() {
+    let db = setup();
+    let attempts = AtomicUsize::new(0);
+    let n = db
+        .txn()
+        .retries(3)
+        .run(|tx| {
+            let i = attempts.fetch_add(1, Ordering::SeqCst);
+            if i < 2 {
+                return Err(DbError::WriteConflict);
+            }
+            tx.insert_pairs("users", &[("name", Datum::text("retry"))])?;
+            Ok(i)
+        })
+        .unwrap();
+    assert_eq!(n, 2, "third attempt succeeds");
+    assert_eq!(attempts.load(Ordering::SeqCst), 3);
+}
+
+#[test]
+fn run_does_not_retry_non_conflict_errors() {
+    let db = setup();
+    let attempts = AtomicUsize::new(0);
+    let result: Result<(), DbError> = db.txn().retries(5).run(|_| {
+        attempts.fetch_add(1, Ordering::SeqCst);
+        Err(DbError::Internal("not retryable".into()))
+    });
+    assert!(result.is_err());
+    assert_eq!(attempts.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn run_exhausts_the_retry_budget() {
+    let db = setup();
+    let attempts = AtomicUsize::new(0);
+    let result: Result<(), DbError> = db.txn().retries(2).run(|_| {
+        attempts.fetch_add(1, Ordering::SeqCst);
+        Err(DbError::WriteConflict)
+    });
+    assert!(matches!(result, Err(DbError::WriteConflict)));
+    assert_eq!(
+        attempts.load(Ordering::SeqCst),
+        3,
+        "initial try + 2 retries"
+    );
+}
+
+#[test]
+fn labeled_transactions_commit_normally() {
+    let db = setup();
+    db.txn()
+        .isolation(IsolationLevel::Serializable)
+        .label("signup")
+        .run(|tx| {
+            tx.insert_pairs("users", &[("name", Datum::text("eve"))])?;
+            Ok(())
+        })
+        .unwrap();
+    let mut check = db.txn().begin();
+    assert_eq!(check.count("users", &Predicate::True).unwrap(), 1);
+}
+
+/// The pre-builder entry points must keep working until they are removed.
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_still_work() {
+    let db = setup();
+    let mut tx = db.begin();
+    assert_eq!(tx.isolation(), IsolationLevel::ReadCommitted);
+    tx.insert_pairs("users", &[("name", Datum::text("old-begin"))])
+        .unwrap();
+    tx.commit().unwrap();
+
+    let mut tx = db.begin_with(IsolationLevel::Snapshot);
+    assert_eq!(tx.isolation(), IsolationLevel::Snapshot);
+    tx.rollback();
+
+    db.transaction(|tx| {
+        tx.insert_pairs("users", &[("name", Datum::text("old-txn"))])?;
+        Ok(())
+    })
+    .unwrap();
+    db.transaction_with(IsolationLevel::Serializable, |tx| {
+        assert_eq!(tx.isolation(), IsolationLevel::Serializable);
+        Ok(())
+    })
+    .unwrap();
+
+    let mut check = db.txn().begin();
+    assert_eq!(check.count("users", &Predicate::True).unwrap(), 2);
+}

@@ -133,7 +133,7 @@ impl SqlSession {
                     })?,
                     None => self.db.default_isolation(),
                 };
-                self.tx = Some(self.db.begin_with(iso));
+                self.tx = Some(self.db.txn().isolation(iso).begin());
                 Ok(SqlOutput::Txn("BEGIN"))
             }
             Statement::Commit => match self.tx.take() {
@@ -213,7 +213,7 @@ impl SqlSession {
         if let Some(tx) = self.tx.as_mut() {
             return f(tx);
         }
-        let mut tx = self.db.begin();
+        let mut tx = self.db.txn().begin();
         match f(&mut tx) {
             Ok(v) => {
                 tx.commit()?;

@@ -63,6 +63,12 @@ pub enum Site {
     ServerDispatch,
     /// An appserver worker — about to handle one dequeued request.
     ServerHandle,
+    /// The commit pipeline acquired its shard-latch set (trace vocabulary;
+    /// commit stays turn-atomic under a scheduler, so this is not a
+    /// yield point today).
+    CommitShard,
+    /// The group-commit leader flushed a WAL batch (trace vocabulary).
+    WalFlush,
 }
 
 impl Site {
@@ -78,6 +84,8 @@ impl Site {
             Site::OrmValidateWriteGap => "validate-write-gap",
             Site::ServerDispatch => "dispatch",
             Site::ServerHandle => "handle",
+            Site::CommitShard => "commit-shard",
+            Site::WalFlush => "wal-flush",
         }
     }
 }
@@ -89,6 +97,11 @@ pub enum WaitKind {
     Lock,
     /// An empty channel.
     Channel,
+    /// The commit pipeline — an earlier commit timestamp must publish (or
+    /// a WAL batch must flush) before this worker can proceed. Defensive:
+    /// commits are turn-atomic under a scheduler, so this wait is never
+    /// reached in simulation today.
+    Commit,
 }
 
 impl WaitKind {
@@ -97,6 +110,7 @@ impl WaitKind {
         match self {
             WaitKind::Lock => "lock-wait",
             WaitKind::Channel => "chan-wait",
+            WaitKind::Commit => "commit-wait",
         }
     }
 }
@@ -265,6 +279,9 @@ mod tests {
     #[test]
     fn site_names_are_stable() {
         assert_eq!(Site::TxnCommit.name(), "commit");
+        assert_eq!(Site::CommitShard.name(), "commit-shard");
+        assert_eq!(Site::WalFlush.name(), "wal-flush");
         assert_eq!(WaitKind::Lock.name(), "lock-wait");
+        assert_eq!(WaitKind::Commit.name(), "commit-wait");
     }
 }

@@ -9,6 +9,7 @@
 //! feral-lint sarif  [...same flags]
 //! ```
 
+use feral_cli::EXIT_USAGE;
 use feral_lint::{lint_apps, report, LintOptions};
 use std::process::ExitCode;
 
@@ -40,39 +41,23 @@ fn parse_args() -> Result<Args, String> {
     if !matches!(mode.as_str(), "report" | "json" | "sarif") {
         return Err(format!("unknown subcommand `{mode}`"));
     }
-    let mut args = Args {
-        mode,
-        seed: 42,
-        apps: None,
-        app: None,
-        opts: LintOptions::default(),
-    };
-    while let Some(flag) = argv.next() {
-        let mut value = |name: &str| argv.next().ok_or_else(|| format!("{name} expects a value"));
-        match flag.as_str() {
-            "--seed" => {
-                args.seed = value("--seed")?
-                    .parse()
-                    .map_err(|e| format!("--seed: {e}"))?;
-            }
-            "--apps" => {
-                args.apps = Some(
-                    value("--apps")?
-                        .parse()
-                        .map_err(|e| format!("--apps: {e}"))?,
-                );
-            }
-            "--app" => args.app = Some(value("--app")?),
-            "--no-witness" => args.opts.witnesses = false,
-            "--witness-seeds" => {
-                args.opts.witness_seeds = value("--witness-seeds")?
-                    .parse()
-                    .map_err(|e| format!("--witness-seeds: {e}"))?;
-            }
-            other => return Err(format!("unknown flag `{other}`")),
-        }
+    let flags = feral_cli::Args::from_iter(argv);
+    let mut opts = LintOptions::default();
+    if flags.has("no-witness") {
+        opts.witnesses = false;
     }
-    Ok(args)
+    opts.witness_seeds = flags.get_u64("witness-seeds", opts.witness_seeds);
+    Ok(Args {
+        mode,
+        seed: flags.get_u64("seed", 42),
+        apps: flags.get_str("apps").map(|v| {
+            v.parse()
+                .map_err(|e| format!("--apps: {e}"))
+                .unwrap_or_else(|e| feral_cli::die("feral-lint", &e))
+        }),
+        app: flags.get_str("app").map(String::from),
+        opts,
+    })
 }
 
 fn main() -> ExitCode {
@@ -80,7 +65,7 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("feral-lint: {e}\n\n{USAGE}");
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     let mut corpus = feral_corpus::synthesize_corpus(args.seed);
@@ -88,7 +73,7 @@ fn main() -> ExitCode {
         corpus.retain(|a| a.stats.name.eq_ignore_ascii_case(name));
         if corpus.is_empty() {
             eprintln!("feral-lint: no corpus application named `{name}`");
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_USAGE);
         }
     }
     if let Some(n) = args.apps {

@@ -22,75 +22,24 @@
 //! Isolation levels: `read-committed`, `repeatable-read`, `snapshot`,
 //! `serializable`.
 
+use feral_cli::Args;
 use feral_db::IsolationLevel;
 use feral_sdg::matrix::{build_matrix, decide, iconfluence_agreement, validate_cell, PairKind};
 use feral_sdg::report::{render_dot, render_graph_text, render_json, render_matrix_text};
 use std::process::ExitCode;
 
+const TOOL: &str = "feral-sdg";
+
 fn die(msg: &str) -> ! {
-    eprintln!("feral-sdg: {msg}");
-    std::process::exit(2);
-}
-
-struct Args {
-    flags: Vec<(String, Option<String>)>,
-}
-
-const VALUE_FLAGS: &[&str] = &["out", "seeds", "max-runs", "pair", "isolation"];
-
-impl Args {
-    fn parse(raw: &[String]) -> Args {
-        let mut flags = Vec::new();
-        let mut i = 0;
-        while i < raw.len() {
-            let key = raw[i]
-                .strip_prefix("--")
-                .unwrap_or_else(|| die(&format!("expected --flag, got `{}`", raw[i])));
-            if VALUE_FLAGS.contains(&key) {
-                let value = raw
-                    .get(i + 1)
-                    .unwrap_or_else(|| die(&format!("--{key} needs a value")));
-                flags.push((key.to_string(), Some(value.clone())));
-                i += 2;
-            } else {
-                flags.push((key.to_string(), None));
-                i += 1;
-            }
-        }
-        Args { flags }
-    }
-
-    fn has(&self, key: &str) -> bool {
-        self.flags.iter().any(|(k, _)| k == key)
-    }
-
-    fn get(&self, key: &str) -> Option<&str> {
-        self.flags
-            .iter()
-            .find(|(k, _)| k == key)
-            .and_then(|(_, v)| v.as_deref())
-    }
-
-    fn usize_or(&self, key: &str, default: usize) -> usize {
-        self.get(key)
-            .map(|v| {
-                v.parse()
-                    .unwrap_or_else(|_| die(&format!("--{key} wants a number, got `{v}`")))
-            })
-            .unwrap_or(default)
-    }
-}
-
-fn parse_isolation(s: &str) -> IsolationLevel {
-    IsolationLevel::parse(s).unwrap_or_else(|| die(&format!("unknown isolation `{s}`")))
+    feral_cli::die(TOOL, msg)
 }
 
 fn cmd_matrix(args: &Args) -> ExitCode {
     let matrix = build_matrix();
 
     let evidence = if args.has("validate") {
-        let seeds = args.usize_or("seeds", 500) as u64;
-        let max_runs = args.usize_or("max-runs", 200_000);
+        let seeds = args.get_u64("seeds", 500);
+        let max_runs = args.get_usize("max-runs", 200_000);
         let mut collected = Vec::with_capacity(matrix.len());
         let mut failures = 0;
         for cell in &matrix {
@@ -130,20 +79,12 @@ fn cmd_matrix(args: &Args) -> ExitCode {
         }
         text
     };
-    match args.get("out") {
-        Some(path) => {
-            if let Err(e) = std::fs::write(path, &rendered) {
-                die(&format!("cannot write {path}: {e}"));
-            }
-            eprintln!("feral-sdg: wrote {path}");
-        }
-        None => print!("{rendered}"),
-    }
+    feral_cli::write_out(TOOL, args.get_str("out"), &rendered);
     ExitCode::SUCCESS
 }
 
 fn cmd_graph(args: &Args) -> ExitCode {
-    let pair = match args.get("pair") {
+    let pair = match args.get_str("pair") {
         Some(name) => PairKind::parse(name).unwrap_or_else(|| {
             die(&format!(
                 "unknown pair `{name}` (uniqueness|orphans|lock-rmw|sibling-inserts)"
@@ -152,8 +93,8 @@ fn cmd_graph(args: &Args) -> ExitCode {
         None => die("--pair is required"),
     };
     let isolation = args
-        .get("isolation")
-        .map(parse_isolation)
+        .get_str("isolation")
+        .map(|s| feral_cli::parse_isolation(TOOL, s))
         .unwrap_or(IsolationLevel::ReadCommitted);
     let cell = decide(pair, isolation);
     if args.has("dot") {
@@ -182,7 +123,7 @@ fn main() -> ExitCode {
     let Some(command) = argv.first() else {
         die("usage: feral-sdg <matrix|graph|templates> [flags]")
     };
-    let args = Args::parse(&argv[1..]);
+    let args = Args::from_iter(argv[1..].iter().cloned());
     match command.as_str() {
         "matrix" => cmd_matrix(&args),
         "graph" => cmd_graph(&args),

@@ -22,85 +22,39 @@
 //! Isolation levels: `read-committed`, `repeatable-read`, `snapshot`,
 //! `serializable`.
 
+use feral_cli::Args;
 use feral_db::IsolationLevel;
 use feral_sim::scenarios::{Guard, ScenarioKind, ScenarioSpec};
 use feral_sim::{explore_random, explore_systematic, run_with_choices, run_with_seed};
 use std::process::ExitCode;
 
+const TOOL: &str = "feral-sim";
+
 fn die(msg: &str) -> ! {
-    eprintln!("feral-sim: {msg}");
-    std::process::exit(2);
+    feral_cli::die(TOOL, msg)
 }
 
-fn parse_isolation(s: &str) -> IsolationLevel {
-    match s {
-        "read-committed" => IsolationLevel::ReadCommitted,
-        "repeatable-read" => IsolationLevel::RepeatableRead,
-        "snapshot" => IsolationLevel::Snapshot,
-        "serializable" => IsolationLevel::Serializable,
-        other => die(&format!("unknown isolation `{other}`")),
-    }
-}
-
-struct Args {
-    flags: Vec<(String, String)>,
-}
-
-impl Args {
-    fn parse(raw: &[String]) -> Args {
-        let mut flags = Vec::new();
-        let mut i = 0;
-        while i < raw.len() {
-            let key = raw[i]
-                .strip_prefix("--")
-                .unwrap_or_else(|| die(&format!("expected --flag, got `{}`", raw[i])));
-            let value = raw
-                .get(i + 1)
-                .unwrap_or_else(|| die(&format!("--{key} needs a value")));
-            flags.push((key.to_string(), value.clone()));
-            i += 2;
-        }
-        Args { flags }
-    }
-
-    fn get(&self, key: &str) -> Option<&str> {
-        self.flags
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v.as_str())
-    }
-
-    fn usize_or(&self, key: &str, default: usize) -> usize {
-        self.get(key)
-            .map(|v| {
-                v.parse()
-                    .unwrap_or_else(|_| die(&format!("--{key} wants a number, got `{v}`")))
-            })
-            .unwrap_or(default)
-    }
-
-    fn scenario_cfg(&self) -> ScenarioSpec {
-        let kind = match self.get("scenario") {
-            Some(name) => ScenarioKind::parse(name).unwrap_or_else(|| {
-                die(&format!(
-                    "unknown scenario `{name}` (uniqueness|orphans|lost-update|sibling-inserts)"
-                ))
-            }),
-            None => die("--scenario is required"),
-        };
-        ScenarioSpec {
-            kind,
-            isolation: self
-                .get("isolation")
-                .map(parse_isolation)
-                .unwrap_or(IsolationLevel::ReadCommitted),
-            guard: match self.get("guard") {
-                Some("database") => Guard::Database,
-                Some("feral") | None => Guard::Feral,
-                Some(other) => die(&format!("unknown guard `{other}` (feral|database)")),
-            },
-            workers: self.usize_or("workers", 2),
-        }
+fn scenario_cfg(args: &Args) -> ScenarioSpec {
+    let kind = match args.get_str("scenario") {
+        Some(name) => ScenarioKind::parse(name).unwrap_or_else(|| {
+            die(&format!(
+                "unknown scenario `{name}` (uniqueness|orphans|lost-update|sibling-inserts)"
+            ))
+        }),
+        None => die("--scenario is required"),
+    };
+    ScenarioSpec {
+        kind,
+        isolation: args
+            .get_str("isolation")
+            .map(|s| feral_cli::parse_isolation(TOOL, s))
+            .unwrap_or(IsolationLevel::ReadCommitted),
+        guard: match args.get_str("guard") {
+            Some("database") => Guard::Database,
+            Some("feral") | None => Guard::Feral,
+            Some(other) => die(&format!("unknown guard `{other}` (feral|database)")),
+        },
+        workers: args.get_usize("workers", 2),
     }
 }
 
@@ -160,12 +114,12 @@ fn cmd_random(cfg: ScenarioSpec, seeds: u64) -> ExitCode {
 }
 
 fn cmd_replay(cfg: ScenarioSpec, args: &Args) -> ExitCode {
-    let (run, verdict) = if let Some(seed) = args.get("seed") {
+    let (run, verdict) = if let Some(seed) = args.get_str("seed") {
         let seed = seed
             .parse()
             .unwrap_or_else(|_| die(&format!("--seed wants a number, got `{seed}`")));
         run_with_seed(cfg.build(), seed)
-    } else if let Some(choices) = args.get("choices") {
+    } else if let Some(choices) = args.get_str("choices") {
         let choices: Vec<usize> = choices
             .split(',')
             .filter(|s| !s.is_empty())
@@ -249,12 +203,12 @@ fn main() -> ExitCode {
     let Some(command) = argv.first() else {
         die("usage: feral-sim <matrix|systematic|random|replay> [flags]")
     };
-    let args = Args::parse(&argv[1..]);
+    let args = Args::from_iter(argv[1..].iter().cloned());
     match command.as_str() {
-        "matrix" => cmd_matrix(args.usize_or("max-runs", 200_000)),
-        "systematic" => cmd_systematic(args.scenario_cfg(), args.usize_or("max-runs", 200_000)),
-        "random" => cmd_random(args.scenario_cfg(), args.usize_or("seeds", 500) as u64),
-        "replay" => cmd_replay(args.scenario_cfg(), &args),
+        "matrix" => cmd_matrix(args.get_usize("max-runs", 200_000)),
+        "systematic" => cmd_systematic(scenario_cfg(&args), args.get_usize("max-runs", 200_000)),
+        "random" => cmd_random(scenario_cfg(&args), args.get_u64("seeds", 500)),
+        "replay" => cmd_replay(scenario_cfg(&args), &args),
         other => die(&format!("unknown command `{other}`")),
     }
 }

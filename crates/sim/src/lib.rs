@@ -66,7 +66,7 @@ mod tests {
                 let db = db.clone();
                 let log = log.clone();
                 Box::new(move || {
-                    let mut tx = db.begin();
+                    let mut tx = db.txn().begin();
                     let _ = tx.scan("t", &feral_db::Predicate::True);
                     log.lock().unwrap().push(w);
                     let _ = tx.scan("t", &feral_db::Predicate::True);
@@ -178,7 +178,7 @@ mod tests {
             vec![feral_db::ColumnDef::new("k", feral_db::DataType::Int)],
         ))
         .unwrap();
-        let mut tx = db.begin();
+        let mut tx = db.txn().begin();
         tx.insert_pairs(
             "t",
             &[
@@ -201,7 +201,7 @@ mod tests {
             let db = db.clone();
             let timeouts = timeouts.clone();
             Box::new(move || {
-                let mut tx = db.begin();
+                let mut tx = db.txn().begin();
                 let a = tx.select_for_update("t", &feral_db::Predicate::eq(0, first));
                 let b = tx.select_for_update("t", &feral_db::Predicate::eq(0, second));
                 if a.is_err() || b.is_err() {

@@ -21,7 +21,7 @@ fn column_of(db: &Database, table: &str, column: &str) -> usize {
 /// their multiplicities. SQL-style semantics: NULLs never collide.
 pub fn duplicate_keys(db: &Database, table: &str, column: &str) -> Vec<(Datum, usize)> {
     let col = column_of(db, table, column);
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     let rows = tx
         .scan(table, &Predicate::True)
         .unwrap_or_else(|e| panic!("oracle scan of {table} failed: {e}"));
@@ -63,7 +63,7 @@ pub fn orphaned_rows(
     parent_table: &str,
 ) -> Vec<Datum> {
     let fk = column_of(db, child_table, fk_column);
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     let children = tx
         .scan(child_table, &Predicate::True)
         .unwrap_or_else(|e| panic!("oracle scan of {child_table} failed: {e}"));
@@ -95,7 +95,7 @@ pub fn orphan_count(db: &Database, child: &str, fk_column: &str, parent: &str) -
 /// (`expected_total - observed`). Positive = lost updates; zero = none.
 pub fn lost_updates(db: &Database, table: &str, column: &str, expected_total: i64) -> i64 {
     let col = column_of(db, table, column);
-    let mut tx = db.begin();
+    let mut tx = db.txn().begin();
     let rows = tx
         .scan(table, &Predicate::True)
         .unwrap_or_else(|e| panic!("oracle scan of {table} failed: {e}"));
@@ -118,7 +118,7 @@ mod tests {
     #[test]
     fn duplicates_counted_per_excess_row() {
         let db = db_with("t", vec![ColumnDef::new("k", DataType::Text)]);
-        let mut tx = db.begin();
+        let mut tx = db.txn().begin();
         for k in ["a", "a", "a", "b", "c", "c"] {
             tx.insert_pairs("t", &[("k", Datum::text(k))]).unwrap();
         }
@@ -131,7 +131,7 @@ mod tests {
     #[test]
     fn nulls_never_collide() {
         let db = db_with("t", vec![ColumnDef::new("k", DataType::Text)]);
-        let mut tx = db.begin();
+        let mut tx = db.txn().begin();
         for _ in 0..3 {
             tx.insert_pairs("t", &[("k", Datum::Null)]).unwrap();
         }
@@ -152,7 +152,7 @@ mod tests {
             vec![ColumnDef::new("parent_id", DataType::Int)],
         ))
         .unwrap();
-        let mut tx = db.begin();
+        let mut tx = db.txn().begin();
         tx.insert_pairs(
             "parents",
             &[("id", Datum::Int(1)), ("name", Datum::text("p"))],
@@ -171,7 +171,7 @@ mod tests {
     #[test]
     fn lost_updates_measures_shortfall() {
         let db = db_with("c", vec![ColumnDef::new("n", DataType::Int)]);
-        let mut tx = db.begin();
+        let mut tx = db.txn().begin();
         tx.insert_pairs("c", &[("n", Datum::Int(7))]).unwrap();
         tx.commit().unwrap();
         assert_eq!(lost_updates(&db, "c", "n", 10), 3);

@@ -87,7 +87,7 @@ pub enum EventKind {
     WorkloadOp,
 }
 
-const SITE_ORDER: [Site; 9] = [
+const SITE_ORDER: [Site; 11] = [
     Site::WorkerStart,
     Site::TxnBegin,
     Site::TxnScan,
@@ -97,11 +97,13 @@ const SITE_ORDER: [Site; 9] = [
     Site::OrmValidateWriteGap,
     Site::ServerDispatch,
     Site::ServerHandle,
+    Site::CommitShard,
+    Site::WalFlush,
 ];
 
 impl EventKind {
     /// Stable numeric code (ring-slot encoding). Site events occupy
-    /// 0..=8 in [`Site`] declaration order; other kinds start at 16.
+    /// 0..=10 in [`Site`] declaration order; other kinds start at 16.
     pub fn code(self) -> u64 {
         match self {
             EventKind::Site(site) => SITE_ORDER
@@ -123,7 +125,7 @@ impl EventKind {
     /// torn slot that slipped through, or a future version's kind).
     pub fn from_code(code: u64) -> Option<EventKind> {
         match code {
-            0..=8 => Some(EventKind::Site(SITE_ORDER[code as usize])),
+            0..=10 => Some(EventKind::Site(SITE_ORDER[code as usize])),
             16 => Some(EventKind::Abort),
             17 => Some(EventKind::UniqueProbe),
             18 => Some(EventKind::SaveWrite),
@@ -235,6 +237,8 @@ mod tests {
         let kinds = [
             EventKind::Site(Site::TxnBegin),
             EventKind::Site(Site::ServerHandle),
+            EventKind::Site(Site::CommitShard),
+            EventKind::Site(Site::WalFlush),
             EventKind::Abort,
             EventKind::UniqueProbe,
             EventKind::SaveWrite,
@@ -246,7 +250,7 @@ mod tests {
         for k in kinds {
             assert_eq!(EventKind::from_code(k.code()), Some(k));
         }
-        assert_eq!(EventKind::from_code(9), None);
+        assert_eq!(EventKind::from_code(11), None);
         assert_eq!(EventKind::from_code(999), None);
     }
 

@@ -47,4 +47,14 @@ cargo run --release -q -p feral-bench --bin table1 -- --smoke --out "$SMOKE_OUT"
 cargo run --release -q -p feral-bench --bin checkreport -- "$SMOKE_OUT"
 rm -f "$SMOKE_OUT"
 
+echo "== tier1: commit pipeline smoke gate (commitbench --smoke) =="
+# Gates on its own exit code: the sharded group-commit pipeline must
+# beat the single-latch baseline >= 2x at 8 workers (uniform keys,
+# synced WAL), every feral-sim sweep must agree with the feral-sdg
+# verdict for its lock-rmw cell, and statically-safe isolation levels
+# must lose zero updates in a live 2-thread RMW race.
+COMMIT_OUT=$(mktemp /tmp/BENCH_commit.XXXXXX.json)
+cargo run --release -q -p feral-bench --bin commitbench -- --smoke --out "$COMMIT_OUT" > /dev/null
+rm -f "$COMMIT_OUT"
+
 echo "== tier1: OK =="
