@@ -27,7 +27,7 @@ use feral_db::{
     ColumnDef, Config, DataType, Database, Datum, IsolationLevel, Predicate, TableSchema,
 };
 use feral_sdg::matrix::{decide, PairKind};
-use feral_sim::explore_systematic;
+use feral_sim::{explore_dpor, DporConfig};
 use feral_workloads::{KeyChooser, ScrambledZipfian};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -233,13 +233,14 @@ fn throughput_cell(
     }
 }
 
-/// Per-isolation lost-update cell: a deterministic feral-sim sweep of
-/// the sdg lock-rmw scenario, plus a real-thread stale-read RMW race on
-/// the sharded pipeline counting lost updates.
+/// Per-isolation lost-update cell: a deterministic partial-order-reduced
+/// feral-sim sweep of the sdg lock-rmw scenario, plus a real-thread
+/// stale-read RMW race on the sharded pipeline counting lost updates.
 fn anomaly_cell(isolation: IsolationLevel, rounds: usize, max_runs: usize) -> AnomalyCell {
     let cell = decide(PairKind::LockRmw, isolation);
     let predicted_unsafe = cell.verdict.is_unsafe();
-    let outcome = explore_systematic(|| cell.scenario.build(), max_runs);
+    let config = DporConfig::new(max_runs, isolation);
+    let outcome = explore_dpor(|| cell.scenario.build(), &config);
     let sim_witness = outcome.violation.is_some();
 
     let db = Database::open(Config {

@@ -458,12 +458,13 @@ impl Database {
                 entry
                     .heap
                     .install_update(row as usize, commit_ts, tuple.clone());
+                // same policy as the live commit path: old-key postings
+                // stay until vacuum, readers re-verify
                 for &iid in &entry.indexes {
                     let idx = cat.index(iid);
                     let ok = idx.key_of(&old);
                     let nk = idx.key_of(&tuple);
                     if ok != nk {
-                        idx.remove_entry(&ok, row as usize);
                         idx.insert_entry(nk, row as usize);
                     }
                 }
@@ -474,12 +475,8 @@ impl Database {
                     .get(&table)
                     .ok_or_else(|| DbError::NoSuchTable(table.clone()))?;
                 let entry = cat.table(tid);
-                let (old, _, _) = entry.heap.latest(row as usize).ok_or(DbError::NoSuchRow)?;
+                entry.heap.latest(row as usize).ok_or(DbError::NoSuchRow)?;
                 entry.heap.install_delete(row as usize, commit_ts);
-                for &iid in &entry.indexes {
-                    let idx = cat.index(iid);
-                    idx.remove_entry(&idx.key_of(&old), row as usize);
-                }
             }
         }
         Ok(())
@@ -732,6 +729,17 @@ impl Database {
         // it is registered (which would let vacuum reclaim versions this
         // snapshot still needs).
         let snapshot = self.inner.pipeline.register_active(id, &self.inner.clock);
+        // At snapshot-taking levels the begin observes the clock: its
+        // order against commit publishes (clock `Incr`s) is meaningful.
+        // Read Committed never consults this snapshot for visibility or
+        // first-updater checks, so its begin commutes with commits.
+        if isolation.txn_level_snapshot() && feral_hooks::active() {
+            feral_hooks::note_access(feral_hooks::Access {
+                space: "clock",
+                what: feral_hooks::fnv64(b"clock"),
+                mode: feral_hooks::AccessMode::Read,
+            });
+        }
         Transaction::new(self.clone(), id, isolation, snapshot)
     }
 
@@ -784,8 +792,19 @@ impl Database {
             .inner
             .pipeline
             .oldest_active_snapshot(&self.inner.clock);
-        let tables: Vec<Arc<TableEntry>> = self.inner.catalog.read().tables.clone();
-        tables.iter().map(|t| t.heap.vacuum(horizon)).sum()
+        let cat = self.inner.catalog.read();
+        let mut reclaimed = 0;
+        for entry in cat.tables.iter() {
+            reclaimed += entry.heap.vacuum(horizon);
+            // sweep index postings of rows now dead beyond the horizon
+            // (commit installs never remove postings — see commit_inner)
+            let dead: std::collections::BTreeSet<_> =
+                entry.heap.dead_rows(horizon).into_iter().collect();
+            for &iid in &entry.indexes {
+                cat.index(iid).sweep_rows(&dead);
+            }
+        }
+        reclaimed
     }
 
     /// Oldest snapshot among active transactions (or current clock).

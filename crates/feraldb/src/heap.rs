@@ -185,6 +185,23 @@ impl Heap {
         out
     }
 
+    /// Rows whose newest version is a delete no snapshot at or before
+    /// `horizon` can still see — their index postings are garbage and may
+    /// be swept.
+    pub fn dead_rows(&self, horizon: u64) -> Vec<RowId> {
+        let rows = self.rows.read();
+        rows.iter()
+            .enumerate()
+            .filter(|(_, chain)| {
+                chain
+                    .versions
+                    .last()
+                    .is_some_and(|v| v.end != 0 && v.end <= horizon)
+            })
+            .map(|(id, _)| id)
+            .collect()
+    }
+
     /// Drop version history that no snapshot older than `horizon` can see.
     /// Returns the number of versions reclaimed. Chains themselves are kept
     /// (row ids are positional), so a fully dead chain shrinks to its last

@@ -84,6 +84,21 @@ impl IndexData {
         out
     }
 
+    /// Drop every posting that points at one of `dead` rows — vacuum's
+    /// index sweep, run once no active snapshot can reach any version of
+    /// those rows. Sweeping by row (not by key) also clears postings left
+    /// under superseded keys by key-changing updates.
+    pub fn sweep_rows(&self, dead: &BTreeSet<RowId>) {
+        if dead.is_empty() {
+            return;
+        }
+        let mut map = self.map.write();
+        map.retain(|_, set| {
+            set.retain(|row| !dead.contains(row));
+            !set.is_empty()
+        });
+    }
+
     /// Number of distinct keys (diagnostics).
     pub fn key_count(&self) -> usize {
         self.map.read().len()

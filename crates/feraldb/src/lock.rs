@@ -103,6 +103,21 @@ pub struct LockManager {
     timeout: Duration,
 }
 
+/// Report a lock-table touch to a schedule hook (sim only — callers
+/// gate on `feral_hooks::active()`). Lock acquire attempts, grants, and
+/// releases on the same key are mutually dependent scheduling events:
+/// reordering them changes who waits and who times out.
+fn note_lock_access(key: &LockKey, mode: LockMode) {
+    feral_hooks::note_access(feral_hooks::Access {
+        space: "lock",
+        what: feral_hooks::fnv64(key.to_string().as_bytes()),
+        mode: match mode {
+            LockMode::Shared => feral_hooks::AccessMode::LockShared,
+            LockMode::Exclusive => feral_hooks::AccessMode::LockExcl,
+        },
+    });
+}
+
 impl LockManager {
     /// Create a lock manager with the given wait timeout.
     pub fn new(timeout: Duration) -> Self {
@@ -142,12 +157,15 @@ impl LockManager {
             // back to the scheduler until the lock is free; a TimedOut
             // grant means we were elected deadlock victim and must abort
             // exactly as a timed-out waiter would.
+            note_lock_access(key, mode);
             while !state.compatible(txn, mode) {
                 state.waiters += 1;
                 drop(state);
                 let outcome = feral_hooks::wait(feral_hooks::WaitKind::Lock);
                 state = cell.state.lock();
                 state.waiters -= 1;
+                // each wake-up re-checks the lock table in a new segment
+                note_lock_access(key, mode);
                 if outcome == feral_hooks::WaitOutcome::TimedOut && !state.compatible(txn, mode) {
                     return Err(DbError::LockTimeout {
                         lock: key.to_string(),
@@ -201,6 +219,10 @@ impl LockManager {
         let mut state = cell.state.lock();
         state.holders.retain(|(t, _)| *t != txn);
         cell.cv.notify_all();
+        if feral_hooks::active() {
+            // releases conflict with acquires regardless of held strength
+            note_lock_access(key, LockMode::Exclusive);
+        }
         feral_hooks::progress();
         // opportunistic cleanup of idle cells to bound memory on key-heavy
         // workloads

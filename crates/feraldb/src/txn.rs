@@ -171,6 +171,32 @@ impl Transaction {
         Ok(entry.schema.clone())
     }
 
+    /// Report a semantically-tagged table touch to a schedule hook —
+    /// the per-step footprint partial-order-reduction explorers compute
+    /// happens-before from. Gated on `feral_hooks::active()` so the
+    /// name hashing costs nothing in ordinary execution.
+    fn note_table_access(&self, name: &str, mode: feral_hooks::AccessMode) {
+        if feral_hooks::active() {
+            feral_hooks::note_access(feral_hooks::Access {
+                space: "table",
+                what: feral_hooks::fnv64(name.as_bytes()),
+                mode,
+            });
+        }
+    }
+
+    /// The semantic mode of a plain read under this isolation level: a
+    /// read against the transaction-level snapshot commutes with
+    /// concurrent installs (the snapshot already fixed what it sees),
+    /// while a committed-latest read does not.
+    fn read_mode(&self) -> feral_hooks::AccessMode {
+        if self.isolation.txn_level_snapshot() {
+            feral_hooks::AccessMode::SnapshotRead
+        } else {
+            feral_hooks::AccessMode::Read
+        }
+    }
+
     fn lock(&mut self, key: LockKey, mode: LockMode) -> DbResult<()> {
         match self.db.inner.locks.acquire(self.id, &key, mode) {
             Ok(()) => {
@@ -220,6 +246,7 @@ impl Transaction {
         );
         self.ensure_open()?;
         let (tid, entry) = self.resolve(table)?;
+        self.note_table_access(table, self.read_mode());
         Stats::bump(&self.db.inner.stats.scans);
         let read_ts = self.read_ts();
         let fingerprint = pred.equality_fingerprint();
@@ -395,6 +422,9 @@ impl Transaction {
         feral_hooks::yield_point(feral_hooks::Site::TxnSelectForUpdate);
         self.ensure_open()?;
         let (tid, entry) = self.resolve(table)?;
+        // always a committed-latest read (the post-lock re-read), even
+        // under snapshot isolation
+        self.note_table_access(table, feral_hooks::AccessMode::Read);
         Stats::bump(&self.db.inner.stats.scans);
         let read_ts = self.db.inner.clock.load(Ordering::SeqCst);
         let candidates = entry.heap.scan_visible(read_ts, |t| pred.matches(t));
@@ -456,6 +486,8 @@ impl Transaction {
         key: &[u8],
         exclude: Option<RowRef>,
     ) -> bool {
+        // probes committed-latest state below, at any isolation level
+        self.note_table_access(&entry.schema.name, feral_hooks::AccessMode::Read);
         let tid = idx.def.table;
         // own pending writes
         for p in &self.writes {
@@ -542,6 +574,7 @@ impl Transaction {
     /// effectively exists (committed-latest overlaid with own writes).
     fn parent_exists(&self, fk: &ForeignKey, parent_id: &Datum) -> bool {
         let parent_entry = self.entry(fk.parent_table);
+        self.note_table_access(&parent_entry.schema.name, feral_hooks::AccessMode::Read);
         // own pending inserts into the parent
         for p in &self.writes {
             if p.table != fk.parent_table || p.dead {
@@ -601,6 +634,7 @@ impl Transaction {
     /// overlaid with own writes.
     fn children_of(&self, fk: &ForeignKey, parent_id: &Datum) -> Vec<(RowRef, Arc<Tuple>)> {
         let child_entry = self.entry(fk.child_table);
+        self.note_table_access(&child_entry.schema.name, feral_hooks::AccessMode::Read);
         let col = fk.child_cols[0];
         let mut out = Vec::new();
         let committed = child_entry
@@ -780,6 +814,8 @@ impl Transaction {
             }
             RowRef::Committed(row) => {
                 self.lock(LockKey::Row(tid, row), LockMode::Exclusive)?;
+                // post-lock committed-latest re-read (first-updater check)
+                self.note_table_access(&entry.schema.name, feral_hooks::AccessMode::Read);
                 let (latest, live, begin) = entry.heap.latest(row).ok_or(DbError::NoSuchRow)?;
                 if !live {
                     return if self.isolation.first_updater_wins() {
@@ -895,6 +931,8 @@ impl Transaction {
             }
             RowRef::Committed(row) => {
                 self.lock(LockKey::Row(tid, row), LockMode::Exclusive)?;
+                // post-lock committed-latest re-read (first-updater check)
+                self.note_table_access(&entry.schema.name, feral_hooks::AccessMode::Read);
                 let (latest, live, begin) = entry.heap.latest(row).ok_or(DbError::NoSuchRow)?;
                 if !live {
                     return if self.isolation.first_updater_wins() {
@@ -1096,6 +1134,41 @@ impl Transaction {
             shard_ids.iter().fold(0u64, |m, &i| m | (1u64 << (i % 64))),
             shard_ids.len() as u64,
         );
+        if feral_hooks::active() {
+            // commit-segment footprint: the validator re-reads every
+            // registered read table, the install loop publishes every
+            // written table, and the timestamp publish ticks the clock
+            if self.isolation == IsolationLevel::Serializable {
+                let read_tables: BTreeSet<TableId> = self
+                    .read_rows
+                    .iter()
+                    .map(|(t, _)| *t)
+                    .chain(self.read_preds.iter().map(|p| match p {
+                        PredRead::WholeTable(t) => *t,
+                        PredRead::Eq { table, .. } => *table,
+                    }))
+                    .collect();
+                for tid in read_tables {
+                    let name = self.entry(tid).schema.name.clone();
+                    self.note_table_access(&name, feral_hooks::AccessMode::Read);
+                }
+            }
+            let written: BTreeSet<TableId> = self
+                .writes
+                .iter()
+                .filter(|p| !p.dead)
+                .map(|p| p.table)
+                .collect();
+            for tid in written {
+                let name = self.entry(tid).schema.name.clone();
+                self.note_table_access(&name, feral_hooks::AccessMode::Write);
+            }
+            feral_hooks::note_access(feral_hooks::Access {
+                space: "clock",
+                what: feral_hooks::fnv64(b"clock"),
+                mode: feral_hooks::AccessMode::Incr,
+            });
+        }
         if self.isolation == IsolationLevel::Serializable {
             if let Err(detail) = self.validate_serializable(&guards) {
                 drop(guards);
@@ -1181,11 +1254,15 @@ impl Transaction {
                 }
                 PendingOp::Update { row, base, new } => {
                     entry.heap.install_update(*row, commit_ts, new.clone());
+                    // the old-key posting stays: snapshots older than this
+                    // commit still reach the prior version through it, and
+                    // readers re-verify the indexed columns against the
+                    // tuple they resolve (vacuum sweeps it once no
+                    // snapshot can see the old version)
                     for idx in &indexes {
                         let old_key = idx.key_of(base);
                         let new_key = idx.key_of(new);
                         if old_key != new_key {
-                            idx.remove_entry(&old_key, *row);
                             idx.insert_entry(new_key, *row);
                         }
                     }
@@ -1193,10 +1270,10 @@ impl Transaction {
                     images.push((p.table, Some(base.clone()), Some(new.clone())));
                 }
                 PendingOp::Delete { row, base } => {
+                    // postings survive the delete for the same reason: the
+                    // row is dead committed-latest, but snapshots begun
+                    // before this commit still index into its version chain
                     entry.heap.install_delete(*row, commit_ts);
-                    for idx in &indexes {
-                        idx.remove_entry(&idx.key_of(base), *row);
-                    }
                     rows.push((p.table, *row));
                     images.push((p.table, Some(base.clone()), None));
                 }

@@ -10,13 +10,16 @@
 use crate::rules::Anomaly;
 use feral_db::IsolationLevel;
 use feral_sim::scenarios::{Guard, ScenarioKind, ScenarioSpec};
-use feral_sim::{explore_random, explore_systematic};
+use feral_sim::{explore_dpor, explore_random, DporConfig};
 
 /// A replayable anomaly witness.
 #[derive(Debug, Clone)]
 pub struct Witness {
     /// The scenario configuration the schedule ran under.
     pub spec: ScenarioSpec,
+    /// Search strategy that surfaced the schedule (`directed-dpor`, or
+    /// `random` when the fallback found it).
+    pub strategy: &'static str,
     /// Seed that produced the violating schedule (random search).
     pub seed: Option<u64>,
     /// Branch choices of the violating schedule (always replayable).
@@ -55,31 +58,35 @@ pub fn spec_for(anomaly: Anomaly) -> ScenarioSpec {
     }
 }
 
-/// Search for a violating schedule: random seeds `0..max_seeds` first
-/// (cheap, usually fires within a handful), then exhaustive systematic
-/// enumeration as a fallback. Returns `None` only if both passes come
-/// up empty — for the canonical feral-guarded scenarios they don't.
+/// Search for a violating schedule: directed DPOR first — backtracking
+/// biased toward the scenario's critical tables usually fires within a
+/// handful of schedules, deterministically — then seeded random search
+/// as a fallback. Returns `None` only if both passes come up empty —
+/// for the canonical feral-guarded scenarios they don't.
 pub fn find_witness(anomaly: Anomaly, max_seeds: u64) -> Option<Witness> {
     let spec = spec_for(anomaly);
-    let random = explore_random(|| spec.build(), 0..max_seeds);
-    if let Some(v) = random.violation {
+    let config = DporConfig::new(50_000, spec.isolation).directed(spec.direction_hint());
+    let directed = explore_dpor(|| spec.build(), &config);
+    if let Some(v) = directed.violation {
         return Some(Witness {
             spec,
-            seed: v.seed,
+            strategy: config.strategy(),
+            seed: None,
             choices: v.choices.clone(),
-            schedules_searched: random.runs,
+            schedules_searched: directed.runs,
             message: v.message,
-            replay: spec.replay_command(v.seed, &v.choices),
+            replay: spec.replay_command(None, &v.choices),
         });
     }
-    let systematic = explore_systematic(|| spec.build(), 50_000);
-    systematic.violation.map(|v| Witness {
+    let random = explore_random(|| spec.build(), 0..max_seeds);
+    random.violation.map(|v| Witness {
         spec,
-        seed: None,
+        strategy: "random",
+        seed: v.seed,
         choices: v.choices.clone(),
-        schedules_searched: random.runs + systematic.runs,
+        schedules_searched: directed.runs + random.runs,
         message: v.message,
-        replay: spec.replay_command(None, &v.choices),
+        replay: spec.replay_command(v.seed, &v.choices),
     })
 }
 

@@ -7,9 +7,11 @@
 //!     Print the pair × isolation verdict matrix. With --json, emit the
 //!     BENCH_sdg.json artifact (to stdout or --out). With --validate,
 //!     cross-check every cell: UNSAFE cells must produce a replaying
-//!     feral-sim witness, SAFE cells must survive a complete exhaustive
-//!     sweep, and every row must agree with its invariant-confluence
-//!     derivation — any disagreement exits non-zero.
+//!     feral-sim witness (directed DPOR biased toward the predicted
+//!     cycle's tables, random search as fallback), SAFE cells must
+//!     survive a complete partial-order-reduced sweep, and every row
+//!     must agree with its invariant-confluence derivation — any
+//!     disagreement exits non-zero.
 //!
 //! feral-sdg graph --pair P [--isolation LEVEL] [--dot]
 //!     Dump one cell's dependency graph (text or Graphviz dot).

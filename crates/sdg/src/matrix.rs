@@ -10,7 +10,9 @@ use crate::template::{
 use feral_db::{ConflictKind, IsolationLevel};
 use feral_iconfluence::{derive_safety, OperationMix, Safety};
 use feral_sim::scenarios::{Guard, ScenarioKind, ScenarioSpec};
-use feral_sim::{explore_random, explore_systematic, run_with_choices, run_with_seed};
+use feral_sim::{
+    explore_dpor, explore_random, run_with_choices, run_with_seed, DirectionHint, DporConfig,
+};
 
 /// The four canonical template pairs the matrix covers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -147,6 +149,29 @@ impl Verdict {
     pub fn is_unsafe(&self) -> bool {
         matches!(self, Verdict::Unsafe { .. })
     }
+
+    /// The schedule-search bias this verdict induces: the tables on the
+    /// predicted critical cycle, stripped of their item qualifiers
+    /// (`key_values{key='dup'}` → `key_values`). Safe verdicts yield an
+    /// empty (no-op) hint.
+    pub fn direction_hint(&self) -> DirectionHint {
+        let Verdict::Unsafe { cycle } = self else {
+            return DirectionHint::default();
+        };
+        let mut tables: Vec<String> = cycle
+            .iter()
+            .map(|e| {
+                e.item
+                    .split(['[', '{'])
+                    .next()
+                    .unwrap_or(&e.item)
+                    .to_string()
+            })
+            .collect();
+        tables.sort();
+        tables.dedup();
+        DirectionHint::for_tables(tables)
+    }
 }
 
 /// The invariant-confluence expectation attached to a matrix row.
@@ -282,6 +307,9 @@ pub fn iconfluence_agreement(row: &[Cell]) -> Result<(), String> {
 /// schedule on which the anomaly oracle fired, plus proof it replays.
 #[derive(Debug, Clone)]
 pub struct SimWitness {
+    /// Search strategy that surfaced the witness (`directed-dpor`, or
+    /// `random` when the fallback found it).
+    pub strategy: &'static str,
     /// Seed that found the schedule, when random search found it.
     pub seed: Option<u64>,
     /// Replayable branch choices.
@@ -297,8 +325,14 @@ pub struct SimWitness {
 /// Exhaustive-sweep evidence backing a SAFE verdict.
 #[derive(Debug, Clone)]
 pub struct SweepEvidence {
-    /// Schedules enumerated.
+    /// Schedules executed by the partial-order-reduced sweep.
     pub runs: usize,
+    /// Schedules proven Mazurkiewicz-equivalent and skipped.
+    pub schedules_pruned: u64,
+    /// Whether `schedules_pruned` is exact (else a lower bound).
+    pub pruned_exact: bool,
+    /// Backtrack candidates skipped by sleep sets.
+    pub sleep_set_blocked: usize,
 }
 
 /// Dynamic cross-validation of one cell.
@@ -312,23 +346,29 @@ pub enum CellEvidence {
 
 /// Cross-validate one cell against feral-sim.
 ///
-/// UNSAFE cells must produce a witness schedule (seeded random search
-/// first, systematic enumeration as fallback) and that witness must
-/// fire again on byte-identical replay. SAFE cells must survive a
-/// *complete* exhaustive sweep with a silent oracle.
+/// UNSAFE cells must produce a witness schedule — directed DPOR biased
+/// toward the predicted cycle's tables first, seeded random search as
+/// fallback — and that witness must fire again on byte-identical
+/// replay. SAFE cells must survive a *complete* partial-order-reduced
+/// sweep with a silent oracle (the DPOR sweep covers every Mazurkiewicz
+/// class, which `dpor_equivalence.rs` proves verdict-equivalent to full
+/// enumeration).
 pub fn validate_cell(cell: &Cell, seeds: u64, max_runs: usize) -> Result<CellEvidence, String> {
     let spec = cell.scenario;
     let label = format!("{}/{}", cell.pair.name(), cell.isolation);
     match &cell.verdict {
         Verdict::Unsafe { .. } => {
-            let (violation, searched) = {
-                let random = explore_random(|| spec.build(), 0..seeds);
-                match random.violation {
-                    Some(v) => (Some(v), random.runs),
+            let config =
+                DporConfig::new(max_runs, spec.isolation).directed(cell.verdict.direction_hint());
+            let strategy = config.strategy();
+            let (violation, strategy, searched) = {
+                let directed = explore_dpor(|| spec.build(), &config);
+                match directed.violation {
+                    Some(v) => (Some(v), strategy, directed.runs),
                     None => {
-                        let sys = explore_systematic(|| spec.build(), max_runs);
-                        let runs = random.runs + sys.runs;
-                        (sys.violation, runs)
+                        let random = explore_random(|| spec.build(), 0..seeds);
+                        let runs = directed.runs + random.runs;
+                        (random.violation, "random", runs)
                     }
                 }
             };
@@ -346,6 +386,7 @@ pub fn validate_cell(cell: &Cell, seeds: u64, max_runs: usize) -> Result<CellEvi
                 return Err(format!("{label}: witness did not replay ({})", v.message));
             }
             Ok(CellEvidence::Witness(SimWitness {
+                strategy,
                 seed: v.seed,
                 choices: v.choices.clone(),
                 message: v.message.clone(),
@@ -354,7 +395,8 @@ pub fn validate_cell(cell: &Cell, seeds: u64, max_runs: usize) -> Result<CellEvi
             }))
         }
         Verdict::Safe { .. } => {
-            let sweep = explore_systematic(|| spec.build(), max_runs);
+            let config = DporConfig::new(max_runs, spec.isolation);
+            let sweep = explore_dpor(|| spec.build(), &config);
             if let Some(v) = sweep.violation {
                 return Err(format!(
                     "{label}: predicted SAFE but oracle fired: {} ({})",
@@ -368,7 +410,12 @@ pub fn validate_cell(cell: &Cell, seeds: u64, max_runs: usize) -> Result<CellEvi
                     sweep.runs
                 ));
             }
-            Ok(CellEvidence::Sweep(SweepEvidence { runs: sweep.runs }))
+            Ok(CellEvidence::Sweep(SweepEvidence {
+                runs: sweep.runs,
+                schedules_pruned: sweep.stats.schedules_pruned,
+                pruned_exact: sweep.stats.pruned_exact,
+                sleep_set_blocked: sweep.stats.sleep_set_blocked,
+            }))
         }
     }
 }

@@ -256,8 +256,9 @@ fn json_cell(cell: &Cell, evidence: Option<&CellEvidence>) -> String {
                 let choices: Vec<String> = w.choices.iter().map(|c| c.to_string()).collect();
                 let _ = write!(
                     out,
-                    "{{\"witness\":{{\"seed\":{},\"choices\":[{}],\"message\":\"{}\",\
-                     \"schedules_searched\":{},\"replay\":\"{}\"}}}}",
+                    "{{\"witness\":{{\"strategy\":\"{}\",\"seed\":{},\"choices\":[{}],\
+                     \"message\":\"{}\",\"schedules_searched\":{},\"replay\":\"{}\"}}}}",
+                    w.strategy,
                     seed,
                     choices.join(","),
                     json_escape(&w.message),
@@ -268,8 +269,9 @@ fn json_cell(cell: &Cell, evidence: Option<&CellEvidence>) -> String {
             CellEvidence::Sweep(s) => {
                 let _ = write!(
                     out,
-                    "{{\"sweep\":{{\"runs\":{},\"complete\":true}}}}",
-                    s.runs
+                    "{{\"sweep\":{{\"runs\":{},\"complete\":true,\"schedules_pruned\":{},\
+                     \"pruned_exact\":{},\"sleep_set_blocked\":{}}}}}",
+                    s.runs, s.schedules_pruned, s.pruned_exact, s.sleep_set_blocked
                 );
             }
         }

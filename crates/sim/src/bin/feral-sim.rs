@@ -1,15 +1,18 @@
 //! `feral-sim` — deterministic anomaly exploration from the command line.
 //!
 //! ```text
-//! feral-sim matrix [--max-runs N]
+//! feral-sim matrix [--strategy dfs|dpor|directed] [--max-runs N] [--json]
 //!     Run the paper's safety matrix under exhaustive schedule
-//!     exploration; exit non-zero if any cell deviates.
+//!     exploration (partial-order reduced by default); exit non-zero
+//!     if any cell deviates.
 //!
 //! feral-sim systematic --scenario uniqueness|orphans|lost-update|sibling-inserts
-//!         [--isolation LEVEL] [--guard feral|database]
-//!         [--workers N] [--max-runs N]
+//!         [--isolation LEVEL] [--guard feral|database] [--workers N]
+//!         [--strategy dfs|dpor|directed] [--max-runs N] [--json]
 //!     Exhaustively explore one scenario; print the first anomalous
-//!     schedule (with its replay choices) if one exists.
+//!     schedule (with its replay choices) if one exists. `dpor` prunes
+//!     Mazurkiewicz-equivalent schedules; `directed` additionally
+//!     biases backtracking toward the scenario's critical tables.
 //!
 //! feral-sim random --scenario ... [--seeds N] [...]
 //!     Seeded random search; print the firing seed.
@@ -24,14 +27,34 @@
 
 use feral_cli::Args;
 use feral_db::IsolationLevel;
+use feral_sim::report::ExplorationReport;
 use feral_sim::scenarios::{Guard, ScenarioKind, ScenarioSpec};
-use feral_sim::{explore_random, explore_systematic, run_with_choices, run_with_seed};
+use feral_sim::{
+    explore_dpor, explore_random, explore_systematic, run_with_choices, run_with_seed, DporConfig,
+};
 use std::process::ExitCode;
 
 const TOOL: &str = "feral-sim";
 
 fn die(msg: &str) -> ! {
     feral_cli::die(TOOL, msg)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Strategy {
+    Dfs,
+    Dpor,
+    Directed,
+}
+
+fn strategy_arg(args: &Args, default: Strategy) -> Strategy {
+    match args.get_str("strategy") {
+        None => default,
+        Some("dfs") => Strategy::Dfs,
+        Some("dpor") => Strategy::Dpor,
+        Some("directed") => Strategy::Directed,
+        Some(other) => die(&format!("unknown strategy `{other}` (dfs|dpor|directed)")),
+    }
 }
 
 fn scenario_cfg(args: &Args) -> ScenarioSpec {
@@ -58,29 +81,73 @@ fn scenario_cfg(args: &Args) -> ScenarioSpec {
     }
 }
 
-fn cmd_systematic(cfg: ScenarioSpec, max_runs: usize) -> ExitCode {
-    let outcome = explore_systematic(|| cfg.build(), max_runs);
-    match outcome.violation {
+/// Explore `cfg` under `strategy` and normalize the outcome to a report.
+fn explore(cfg: &ScenarioSpec, strategy: Strategy, max_runs: usize) -> ExplorationReport {
+    match strategy {
+        Strategy::Dfs => {
+            let outcome = explore_systematic(|| cfg.build(), max_runs);
+            ExplorationReport::from_systematic(cfg, &outcome)
+        }
+        Strategy::Dpor | Strategy::Directed => {
+            let mut dc = DporConfig::new(max_runs, cfg.isolation);
+            if strategy == Strategy::Directed {
+                dc = dc.directed(cfg.direction_hint());
+            }
+            let name = dc.strategy();
+            let outcome = explore_dpor(|| cfg.build(), &dc);
+            ExplorationReport::from_dpor(cfg, name, &outcome)
+        }
+    }
+}
+
+/// Human-readable counter suffix for reducing strategies.
+fn pruning_note(report: &ExplorationReport) -> String {
+    if report.strategy == "dfs" {
+        String::new()
+    } else {
+        format!(
+            ", {} equivalent schedule(s) pruned{}",
+            report.stats.schedules_pruned,
+            if report.stats.pruned_exact {
+                ""
+            } else {
+                " (lower bound)"
+            }
+        )
+    }
+}
+
+fn cmd_systematic(cfg: ScenarioSpec, args: &Args) -> ExitCode {
+    let strategy = strategy_arg(args, Strategy::Dfs);
+    let report = explore(&cfg, strategy, args.get_usize("max-runs", 200_000));
+    if args.has("json") {
+        println!("{}", report.to_json());
+        return ExitCode::from(u8::from(report.violation.is_some()));
+    }
+    match &report.violation {
         Some(v) => {
             println!(
-                "{}: ANOMALY after {} schedules: {}",
+                "{}: ANOMALY after {} schedules [{}]: {}",
                 cfg.label(),
-                outcome.runs,
+                report.runs,
+                report.strategy,
                 v.message
             );
-            println!("  {}", v.replay_hint());
+            println!("  {}", v.replay);
             ExitCode::from(1)
         }
         None => {
             println!(
-                "{}: no anomaly in {} schedules ({})",
+                "{}: no anomaly in {} schedules [{}] ({}{})",
                 cfg.label(),
-                outcome.runs,
-                if outcome.complete {
+                report.runs,
+                report.strategy,
+                if report.complete {
                     "exhaustive"
                 } else {
                     "bounded — NOT exhaustive"
-                }
+                },
+                pruning_note(&report)
             );
             ExitCode::SUCCESS
         }
@@ -146,10 +213,13 @@ fn cmd_replay(cfg: ScenarioSpec, args: &Args) -> ExitCode {
     }
 }
 
-fn cmd_matrix(max_runs: usize) -> ExitCode {
+fn cmd_matrix(args: &Args) -> ExitCode {
     use IsolationLevel::{ReadCommitted, Serializable};
     // (scenario cfg, anomaly expected?)
     use ScenarioKind::{Orphans, Uniqueness};
+    let strategy = strategy_arg(args, Strategy::Dpor);
+    let max_runs = args.get_usize("max-runs", 200_000);
+    let json = args.has("json");
     let cells: Vec<(ScenarioSpec, bool)> = vec![
         (cell(Uniqueness, ReadCommitted, Guard::Feral), true),
         (cell(Uniqueness, Serializable, Guard::Feral), false),
@@ -160,28 +230,40 @@ fn cmd_matrix(max_runs: usize) -> ExitCode {
     ];
     let mut failures = 0;
     for (cfg, expect_anomaly) in cells {
-        let outcome = explore_systematic(|| cfg.build(), max_runs);
-        let found = outcome.violation.is_some();
-        let verdict = if found == expect_anomaly {
-            "ok"
+        let report = explore(&cfg, strategy, max_runs);
+        let found = report.violation.is_some();
+        if json {
+            println!("{}", report.to_json());
         } else {
-            "FAIL"
-        };
-        let detail = match &outcome.violation {
-            Some(v) => format!("anomaly: {} ({})", v.message, v.replay_hint()),
-            None if outcome.complete => format!("safe across all {} schedules", outcome.runs),
-            None => format!("no anomaly in {} schedules (bounded)", outcome.runs),
-        };
-        println!("[{verdict:>4}] {:<38} {detail}", cfg.label());
+            let verdict = if found == expect_anomaly {
+                "ok"
+            } else {
+                "FAIL"
+            };
+            let detail = match &report.violation {
+                Some(v) => format!("anomaly: {} ({})", v.message, v.replay),
+                None if report.complete => format!(
+                    "safe across all {} schedules{}",
+                    report.runs,
+                    pruning_note(&report)
+                ),
+                None => format!("no anomaly in {} schedules (bounded)", report.runs),
+            };
+            println!("[{verdict:>4}] {:<38} {detail}", cfg.label());
+        }
         if found != expect_anomaly {
             failures += 1;
         }
     }
     if failures == 0 {
-        println!("safety matrix: all cells as the paper predicts");
+        if !json {
+            println!("safety matrix: all cells as the paper predicts");
+        }
         ExitCode::SUCCESS
     } else {
-        println!("safety matrix: {failures} cell(s) deviate");
+        if !json {
+            println!("safety matrix: {failures} cell(s) deviate");
+        }
         ExitCode::from(1)
     }
 }
@@ -205,8 +287,8 @@ fn main() -> ExitCode {
     };
     let args = Args::from_iter(argv[1..].iter().cloned());
     match command.as_str() {
-        "matrix" => cmd_matrix(args.get_usize("max-runs", 200_000)),
-        "systematic" => cmd_systematic(scenario_cfg(&args), args.get_usize("max-runs", 200_000)),
+        "matrix" => cmd_matrix(&args),
+        "systematic" => cmd_systematic(scenario_cfg(&args), &args),
         "random" => cmd_random(scenario_cfg(&args), args.get_u64("seeds", 500)),
         "replay" => cmd_replay(scenario_cfg(&args), &args),
         other => die(&format!("unknown command `{other}`")),

@@ -31,21 +31,38 @@ pub struct Violation {
     pub choices: Vec<usize>,
     /// What the oracle reported.
     pub message: String,
+    /// Search strategy that found the schedule (`"random"`, `"dfs"`,
+    /// `"dpor"`, `"directed-dpor"`) — provenance for checkreport
+    /// records and witness artifacts.
+    pub strategy: &'static str,
     /// The full schedule record.
     pub run: RunResult,
 }
 
 impl Violation {
-    /// One-line replay instructions for test output.
+    /// One-line replay instructions for test output. The leading
+    /// `replay with …` clause is stable (older artifacts pin it); the
+    /// strategy suffix says which searcher found the schedule.
     pub fn replay_hint(&self) -> String {
         match self.seed {
-            Some(s) => format!("replay with seed {s} (choices {:?})", self.choices),
-            None => format!("replay with choices {:?}", self.choices),
+            Some(s) => format!(
+                "replay with seed {s} (choices {:?}) [found by {}]",
+                self.choices, self.strategy
+            ),
+            None => format!(
+                "replay with choices {:?} [found by {}]",
+                self.choices, self.strategy
+            ),
         }
     }
 }
 
-fn run_one(trial: Trial, chooser: Box<dyn Chooser>) -> (RunResult, Result<(), String>) {
+/// Run one schedule under an arbitrary chooser — the seeded, scripted,
+/// and reduction-guided runners below are all thin wrappers over this.
+pub(crate) fn run_with_chooser(
+    trial: Trial,
+    chooser: Box<dyn Chooser>,
+) -> (RunResult, Result<(), String>) {
     let result = run_schedule(trial.workers, chooser, DEFAULT_MAX_STEPS);
     let verdict = (trial.check)();
     (result, verdict)
@@ -54,13 +71,13 @@ fn run_one(trial: Trial, chooser: Box<dyn Chooser>) -> (RunResult, Result<(), St
 /// Run one schedule chosen by `seed`. Re-running with the same seed (and
 /// a deterministic scenario) reproduces the identical trace and verdict.
 pub fn run_with_seed(trial: Trial, seed: u64) -> (RunResult, Result<(), String>) {
-    run_one(trial, Box::new(RandomChooser::new(seed)))
+    run_with_chooser(trial, Box::new(RandomChooser::new(seed)))
 }
 
 /// Run one schedule following `choices` at branch points (first
 /// candidate beyond the script) — replay and minimization.
 pub fn run_with_choices(trial: Trial, choices: &[usize]) -> (RunResult, Result<(), String>) {
-    run_one(trial, Box::new(ScriptChooser::new(choices.to_vec())))
+    run_with_chooser(trial, Box::new(ScriptChooser::new(choices.to_vec())))
 }
 
 /// Outcome of [`explore_random`].
@@ -88,6 +105,7 @@ pub fn explore_random(
                     seed: Some(seed),
                     choices: run.choices(),
                     message,
+                    strategy: "random",
                     run,
                 }),
             };
@@ -144,6 +162,7 @@ pub fn explore_systematic(
                     seed: None,
                     choices: run.choices(),
                     message,
+                    strategy: "dfs",
                     run,
                 }),
             };

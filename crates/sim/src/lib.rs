@@ -32,18 +32,21 @@
 
 #![warn(missing_docs)]
 
+mod dpor;
 mod explore;
 pub mod oracles;
+pub mod report;
 pub mod scenarios;
 mod scheduler;
 
+pub use dpor::{explore_dpor, DirectionHint, DporConfig, DporExploration};
 pub use explore::{
     explore_random, explore_systematic, run_with_choices, run_with_seed, RandomExploration,
     SystematicExploration, Trial, Violation,
 };
 pub use scheduler::{
-    run_schedule, Chooser, RandomChooser, RunResult, ScriptChooser, SimScheduler, TraceStep,
-    DEFAULT_MAX_STEPS,
+    run_schedule, Chooser, RandomChooser, RunResult, ScriptChooser, SearchStats, SimScheduler,
+    TraceStep, DEFAULT_MAX_STEPS,
 };
 
 #[cfg(test)]

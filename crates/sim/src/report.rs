@@ -1,0 +1,140 @@
+//! Machine-readable JSON for `feral-sim` exploration outcomes.
+//!
+//! Hand-rolled, deterministic field order (same convention as the sdg
+//! and lint report modules): byte-identical output for identical
+//! explorations, so reports can be golden-tested and diffed in CI.
+
+use crate::scenarios::ScenarioSpec;
+use crate::scheduler::SearchStats;
+use crate::{DporExploration, SystematicExploration, Violation};
+
+/// One exploration outcome, ready to serialize.
+#[derive(Debug)]
+pub struct ExplorationReport {
+    /// Scenario label (`scenario/isolation/guard`).
+    pub scenario: String,
+    /// Search strategy (`dfs`, `dpor`, `directed-dpor`, `random`).
+    pub strategy: &'static str,
+    /// Schedules executed.
+    pub runs: usize,
+    /// Whether the (reduced) schedule space was fully covered.
+    pub complete: bool,
+    /// Exploration/pruning counters. For non-reducing strategies the
+    /// counters are the trivial ones (`explored == runs`, nothing
+    /// pruned).
+    pub stats: SearchStats,
+    /// The firing schedule, if one was found.
+    pub violation: Option<ViolationReport>,
+}
+
+/// The violation portion of an [`ExplorationReport`].
+#[derive(Debug)]
+pub struct ViolationReport {
+    /// Oracle message.
+    pub message: String,
+    /// Seed, for random-mode finds.
+    pub seed: Option<u64>,
+    /// Branch choices replaying the schedule.
+    pub choices: Vec<usize>,
+    /// `feral-sim replay` invocation reproducing it.
+    pub replay: String,
+}
+
+impl ViolationReport {
+    fn of(spec: &ScenarioSpec, v: &Violation) -> ViolationReport {
+        ViolationReport {
+            message: v.message.clone(),
+            seed: v.seed,
+            choices: v.choices.clone(),
+            replay: spec.replay_command(v.seed, &v.choices),
+        }
+    }
+}
+
+impl ExplorationReport {
+    /// Report for a DPOR (or directed-DPOR) exploration.
+    pub fn from_dpor(
+        spec: &ScenarioSpec,
+        strategy: &'static str,
+        outcome: &DporExploration,
+    ) -> ExplorationReport {
+        ExplorationReport {
+            scenario: spec.label(),
+            strategy,
+            runs: outcome.runs,
+            complete: outcome.complete,
+            stats: outcome.stats.clone(),
+            violation: outcome
+                .violation
+                .as_ref()
+                .map(|v| ViolationReport::of(spec, v)),
+        }
+    }
+
+    /// Report for a plain exhaustive-DFS exploration.
+    pub fn from_systematic(
+        spec: &ScenarioSpec,
+        outcome: &SystematicExploration,
+    ) -> ExplorationReport {
+        ExplorationReport {
+            scenario: spec.label(),
+            strategy: "dfs",
+            runs: outcome.runs,
+            complete: outcome.complete,
+            stats: SearchStats {
+                schedules_explored: outcome.runs,
+                ..SearchStats::default()
+            },
+            violation: outcome
+                .violation
+                .as_ref()
+                .map(|v| ViolationReport::of(spec, v)),
+        }
+    }
+
+    /// Serialize (stable field order, no trailing newline).
+    pub fn to_json(&self) -> String {
+        let violation = match &self.violation {
+            None => "null".to_string(),
+            Some(v) => {
+                let choices: Vec<String> = v.choices.iter().map(|c| c.to_string()).collect();
+                format!(
+                    "{{\"message\":\"{}\",\"seed\":{},\"choices\":[{}],\"replay\":\"{}\"}}",
+                    json_escape(&v.message),
+                    v.seed.map_or("null".to_string(), |s| s.to_string()),
+                    choices.join(","),
+                    json_escape(&v.replay)
+                )
+            }
+        };
+        format!(
+            "{{\"tool\":\"feral-sim\",\"scenario\":\"{}\",\"strategy\":\"{}\",\"runs\":{},\"complete\":{},\"schedules_explored\":{},\"schedules_pruned\":{},\"pruned_exact\":{},\"sleep_set_blocked\":{},\"redundant_runs\":{},\"violation\":{}}}",
+            json_escape(&self.scenario),
+            self.strategy,
+            self.runs,
+            self.complete,
+            self.stats.schedules_explored,
+            self.stats.schedules_pruned,
+            self.stats.pruned_exact,
+            self.stats.sleep_set_blocked,
+            self.stats.redundant_runs,
+            violation
+        )
+    }
+}
+
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -109,6 +109,20 @@ impl ScenarioSpec {
         )
     }
 
+    /// Tables on the scenario's critical dependency cycle — the
+    /// directed-search bias for [`crate::explore_dpor`]. Matches what a
+    /// feral-sdg realizable-cycle report names for the same template
+    /// pair.
+    pub fn direction_hint(&self) -> crate::DirectionHint {
+        crate::DirectionHint::for_tables(match self.kind {
+            ScenarioKind::Uniqueness => vec!["key_values"],
+            ScenarioKind::Orphans | ScenarioKind::SiblingInserts => {
+                vec!["departments", "users"]
+            }
+            ScenarioKind::LostUpdate => vec!["accounts"],
+        })
+    }
+
     /// The flag spelling of the isolation level (`read-committed`).
     pub fn isolation_flag(&self) -> String {
         self.isolation.to_string().replace(' ', "-")

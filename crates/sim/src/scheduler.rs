@@ -25,7 +25,7 @@
 
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
-use feral_hooks::{Registration, ScheduleHook, Site, WaitKind, WaitOutcome};
+use feral_hooks::{Access, Registration, ScheduleHook, Site, WaitKind, WaitOutcome};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -38,6 +38,19 @@ pub const DEFAULT_MAX_STEPS: usize = 200_000;
 pub trait Chooser: Send {
     /// Return an index in `0..arity`.
     fn choose(&mut self, arity: usize) -> usize;
+
+    /// Context-aware variant the scheduler actually calls: `candidates`
+    /// are the schedulable worker ids (ascending) and `trace` is every
+    /// step granted so far — the last step's access footprint is
+    /// complete by the time the next decision is made. The default
+    /// ignores the context and delegates to [`choose`](Self::choose);
+    /// reduction-guided choosers (the DPOR sleep-aware tail) override
+    /// it to steer unscripted suffixes away from already-covered
+    /// subtrees.
+    fn choose_step(&mut self, candidates: &[usize], trace: &[TraceStep]) -> usize {
+        let _ = trace;
+        self.choose(candidates.len())
+    }
 }
 
 /// Seeded-random schedule choice (the search mode).
@@ -100,6 +113,45 @@ pub struct TraceStep {
     pub chosen: usize,
     /// Whether this grant was a deadlock-victim `TimedOut`.
     pub deadlock: bool,
+    /// Shared-resource touches reported by instrumented code while this
+    /// grant's segment ran (between this decision and the next). The
+    /// footprint partial-order-reduction computes happens-before from.
+    pub accesses: Vec<Access>,
+}
+
+/// Exploration counters attached to runs found by a reducing search
+/// (see `feral_sim::explore_dpor`): how much of the schedule space was
+/// executed versus proven equivalent and skipped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Schedules actually executed.
+    pub schedules_explored: usize,
+    /// Schedules proven Mazurkiewicz-equivalent to an executed one and
+    /// skipped (sum over explored classes of `class size − 1`).
+    pub schedules_pruned: u64,
+    /// Whether `schedules_pruned` is an exact count. False when a run
+    /// waited, deadlocked, was truncated, or a class was too large to
+    /// count — the pruned figure is then a lower bound.
+    pub pruned_exact: bool,
+    /// Backtrack candidates skipped because their next step was already
+    /// covered by an earlier sibling subtree (sleep sets).
+    pub sleep_set_blocked: usize,
+    /// Executed runs whose equivalence class had already been explored.
+    /// The sleep-aware tail keeps these rare (it only re-enters a
+    /// covered class when every schedulable worker is asleep).
+    pub redundant_runs: usize,
+}
+
+impl Default for SearchStats {
+    fn default() -> Self {
+        SearchStats {
+            schedules_explored: 0,
+            schedules_pruned: 0,
+            pruned_exact: true,
+            sleep_set_blocked: 0,
+            redundant_runs: 0,
+        }
+    }
 }
 
 /// Everything observable about one simulated run's schedule.
@@ -116,6 +168,9 @@ pub struct RunResult {
     /// Whether the step cap was hit (run degenerated to free-running
     /// threads; treat its observations as unreliable).
     pub truncated: bool,
+    /// Counters of the search that produced this run, when it came from
+    /// a reducing explorer (`None` for plain runs).
+    pub search: Option<SearchStats>,
 }
 
 impl RunResult {
@@ -225,6 +280,7 @@ impl State {
                     candidates: stale_waiters,
                     chosen: 0,
                     deadlock: true,
+                    accesses: Vec::new(),
                 });
             } else {
                 // everyone is finished or OS-blocked (or waiting on an
@@ -237,7 +293,7 @@ impl State {
         let chosen = if candidates.len() == 1 {
             0
         } else {
-            let c = self.chooser.choose(candidates.len());
+            let c = self.chooser.choose_step(&candidates, &self.result.trace);
             self.result.branches.push((c, candidates.len()));
             c
         };
@@ -250,6 +306,7 @@ impl State {
             candidates,
             chosen,
             deadlock: false,
+            accesses: Vec::new(),
         });
         cv.notify_all();
     }
@@ -378,6 +435,25 @@ impl ScheduleHook for SimScheduler {
     fn progress(&self) {
         let mut st = self.lock();
         st.gen += 1;
+    }
+
+    fn note_access(&self, worker: usize, access: Access) {
+        let mut st = self.lock();
+        // in free-run mode threads execute concurrently, so an access can
+        // no longer be attributed to a single trace step — drop it (the
+        // run is over or truncated; explorers ignore such tails anyway)
+        if st.free_run {
+            return;
+        }
+        // the access belongs to the segment of the most recent grant; the
+        // grantee is the only worker running, so a mismatched worker id
+        // would mean unscheduled execution — attribute only when it lines
+        // up (child threads report between registration and activation)
+        if let Some(step) = st.result.trace.last_mut() {
+            if step.worker == worker {
+                step.accesses.push(access);
+            }
+        }
     }
 
     fn register_child(&self, daemon: bool) -> usize {

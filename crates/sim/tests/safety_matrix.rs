@@ -6,18 +6,24 @@
 //! | duplicate keys      | anomaly    | safe         | safe               |
 //! | orphaned rows       | anomaly    | safe         | safe               |
 //!
-//! "anomaly" means systematic exploration finds at least one schedule on
-//! which the oracle fires, and that schedule replays; "safe" means the
-//! enumeration completes with the oracle silent on *every* schedule.
+//! "anomaly" means exploration finds at least one schedule on which the
+//! oracle fires, and that schedule replays; "safe" means the enumeration
+//! completes with the oracle silent on *every* schedule.
+//!
+//! The sweep runs under dynamic partial-order reduction: it covers the
+//! same verdicts as full DFS (proven by `dpor_equivalence.rs`) while
+//! executing only one schedule per Mazurkiewicz class — which is what
+//! keeps the safe cells exhaustive inside the test budget.
 
 use feral_db::IsolationLevel;
 use feral_sim::scenarios::{orphan_trial, uniqueness_trial, Guard};
-use feral_sim::{explore_systematic, run_with_choices};
+use feral_sim::{explore_dpor, run_with_choices, DporConfig};
 
 const MAX_RUNS: usize = 200_000;
 
-fn assert_anomaly(mut factory: impl FnMut() -> feral_sim::Trial, what: &str) {
-    let outcome = explore_systematic(&mut factory, MAX_RUNS);
+fn assert_anomaly(mut factory: impl FnMut() -> feral_sim::Trial, iso: IsolationLevel, what: &str) {
+    let config = DporConfig::new(MAX_RUNS, iso);
+    let outcome = explore_dpor(&mut factory, &config);
     let v = outcome
         .violation
         .unwrap_or_else(|| panic!("{what}: no anomalous schedule in {} runs", outcome.runs));
@@ -35,8 +41,9 @@ fn assert_anomaly(mut factory: impl FnMut() -> feral_sim::Trial, what: &str) {
     );
 }
 
-fn assert_safe(mut factory: impl FnMut() -> feral_sim::Trial, what: &str) {
-    let outcome = explore_systematic(&mut factory, MAX_RUNS);
+fn assert_safe(mut factory: impl FnMut() -> feral_sim::Trial, iso: IsolationLevel, what: &str) {
+    let config = DporConfig::new(MAX_RUNS, iso);
+    let outcome = explore_dpor(&mut factory, &config);
     if let Some(v) = &outcome.violation {
         panic!(
             "{what}: unexpected anomaly `{}` — {}\n{}",
@@ -50,30 +57,40 @@ fn assert_safe(mut factory: impl FnMut() -> feral_sim::Trial, what: &str) {
         "{what}: exploration incomplete after {} runs — safety not established",
         outcome.runs
     );
+    assert!(
+        outcome.stats.schedules_pruned > 0,
+        "{what}: DPOR pruned nothing — the reduction is not engaging"
+    );
 }
 
 // --- duplicate keys ----------------------------------------------------
 
 #[test]
 fn feral_validation_admits_duplicates_under_read_committed() {
+    let iso = IsolationLevel::ReadCommitted;
     assert_anomaly(
-        || uniqueness_trial(IsolationLevel::ReadCommitted, Guard::Feral, 2),
+        || uniqueness_trial(iso, Guard::Feral, 2),
+        iso,
         "uniqueness/RC/feral",
     );
 }
 
 #[test]
 fn feral_validation_is_safe_under_serializable() {
+    let iso = IsolationLevel::Serializable;
     assert_safe(
-        || uniqueness_trial(IsolationLevel::Serializable, Guard::Feral, 2),
+        || uniqueness_trial(iso, Guard::Feral, 2),
+        iso,
         "uniqueness/Serializable/feral",
     );
 }
 
 #[test]
 fn unique_index_is_safe_under_read_committed() {
+    let iso = IsolationLevel::ReadCommitted;
     assert_safe(
-        || uniqueness_trial(IsolationLevel::ReadCommitted, Guard::Database, 2),
+        || uniqueness_trial(iso, Guard::Database, 2),
+        iso,
         "uniqueness/RC/db-constraint",
     );
 }
@@ -82,24 +99,30 @@ fn unique_index_is_safe_under_read_committed() {
 
 #[test]
 fn feral_cascade_orphans_rows_under_read_committed() {
+    let iso = IsolationLevel::ReadCommitted;
     assert_anomaly(
-        || orphan_trial(IsolationLevel::ReadCommitted, Guard::Feral, 1),
+        || orphan_trial(iso, Guard::Feral, 1),
+        iso,
         "orphans/RC/feral",
     );
 }
 
 #[test]
 fn feral_cascade_is_safe_under_serializable() {
+    let iso = IsolationLevel::Serializable;
     assert_safe(
-        || orphan_trial(IsolationLevel::Serializable, Guard::Feral, 1),
+        || orphan_trial(iso, Guard::Feral, 1),
+        iso,
         "orphans/Serializable/feral",
     );
 }
 
 #[test]
 fn foreign_key_is_safe_under_read_committed() {
+    let iso = IsolationLevel::ReadCommitted;
     assert_safe(
-        || orphan_trial(IsolationLevel::ReadCommitted, Guard::Database, 1),
+        || orphan_trial(iso, Guard::Database, 1),
+        iso,
         "orphans/RC/db-fk",
     );
 }
@@ -109,16 +132,20 @@ fn foreign_key_is_safe_under_read_committed() {
 
 #[test]
 fn feral_validation_admits_duplicates_under_snapshot() {
+    let iso = IsolationLevel::Snapshot;
     assert_anomaly(
-        || uniqueness_trial(IsolationLevel::Snapshot, Guard::Feral, 2),
+        || uniqueness_trial(iso, Guard::Feral, 2),
+        iso,
         "uniqueness/Snapshot/feral",
     );
 }
 
 #[test]
 fn feral_validation_admits_duplicates_under_repeatable_read() {
+    let iso = IsolationLevel::RepeatableRead;
     assert_anomaly(
-        || uniqueness_trial(IsolationLevel::RepeatableRead, Guard::Feral, 2),
+        || uniqueness_trial(iso, Guard::Feral, 2),
+        iso,
         "uniqueness/RR/feral",
     );
 }

@@ -20,17 +20,43 @@ cargo test -q
 echo "== tier1: feral-sim bounded systematic sweep =="
 # The full matrix is exhaustive in < 10k schedules per cell; the bound
 # only guards against regressions that explode the schedule space.
+# Cells default to sleep-set DPOR — safe cells must report a complete
+# sweep with the pruning counters intact.
 cargo run --release -q -p feral-sim -- matrix --max-runs 50000
+
+echo "== tier1: DPOR sweep beyond the full-enumeration budget =="
+# 4 concurrent uniqueness transactions at serializable: the schedule
+# tree has ~2.18e12 interleavings, so plain DFS cannot finish inside
+# any tier-1 budget (it exhausts 200k runs without completing). The
+# sleep-set DPOR explorer covers the space *exactly* in ~4k executed
+# runs; gate on completeness, the exact Mazurkiewicz accounting, and a
+# wall-clock ceiling so the reduction itself never regresses.
+DPOR_OUT=$(mktemp /tmp/SIM_dpor.XXXXXX.json)
+DPOR_START=$SECONDS
+cargo run --release -q -p feral-sim -- systematic --scenario uniqueness \
+  --isolation serializable --workers 4 --strategy dpor \
+  --max-runs 200000 --json > "$DPOR_OUT"
+DPOR_ELAPSED=$(( SECONDS - DPOR_START ))
+grep -q '"complete":true' "$DPOR_OUT"
+grep -q '"pruned_exact":true' "$DPOR_OUT"
+grep -q '"schedules_pruned":2176957547132' "$DPOR_OUT"
+rm -f "$DPOR_OUT"
+if [ "$DPOR_ELAPSED" -gt 60 ]; then
+  echo "DPOR sweep took ${DPOR_ELAPSED}s (budget 60s)" >&2
+  exit 1
+fi
 
 echo "== tier1: feral-sdg static matrix, cross-validated =="
 # Static dependency-graph verdicts for 4 template pairs x 4 isolation
-# levels. --validate replays a feral-sim witness for every UNSAFE cell,
-# exhaustively sweeps every SAFE cell, and diffs each row against the
-# iconfluence model checker; any disagreement exits non-zero. The JSON
-# artifact must be byte-identical to the checked-in golden.
-cargo run --release -q -p feral-sdg -- matrix --validate
+# levels. --validate replays a feral-sim witness for every UNSAFE cell
+# (directed DPOR, seeded-random fallback), exhaustively sweeps every
+# SAFE cell under DPOR, and diffs each row against the iconfluence
+# model checker; any disagreement exits non-zero. The JSON artifact —
+# including the per-cell validation evidence: witness provenance and
+# the sweep's pruning counters, all deterministic — must be
+# byte-identical to the checked-in golden.
 SDG_OUT=$(mktemp /tmp/BENCH_sdg.XXXXXX.json)
-cargo run --release -q -p feral-sdg -- matrix --json --out "$SDG_OUT"
+cargo run --release -q -p feral-sdg -- matrix --validate --json --out "$SDG_OUT"
 diff "$SDG_OUT" results/BENCH_sdg.golden.json
 rm -f "$SDG_OUT"
 
