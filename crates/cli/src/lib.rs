@@ -35,6 +35,24 @@ pub fn parse_isolation(tool: &str, s: &str) -> IsolationLevel {
     IsolationLevel::parse(s).unwrap_or_else(|| die(tool, &format!("unknown isolation `{s}`")))
 }
 
+/// Parse a comma-separated pair of isolation-level names
+/// (`snapshot,serializable`) — the `--levels` spelling for
+/// mixed-isolation runs, one level per template slot. Dies with a usage
+/// error unless exactly two valid names are given.
+pub fn parse_levels(tool: &str, s: &str) -> [IsolationLevel; 2] {
+    let parts: Vec<&str> = s.split(',').map(str::trim).collect();
+    if parts.len() != 2 {
+        die(
+            tool,
+            &format!("--levels wants exactly two comma-separated levels, got `{s}`"),
+        );
+    }
+    [
+        parse_isolation(tool, parts[0]),
+        parse_isolation(tool, parts[1]),
+    ]
+}
+
 /// Route rendered output: write to `path` when given (reporting the
 /// destination on stderr), print to stdout otherwise.
 pub fn write_out(tool: &str, path: Option<&str>, rendered: &str) {
@@ -143,6 +161,15 @@ mod tests {
         assert!(a.has("validate"));
         assert!(a.has("json"));
         assert_eq!(a.get_u64("seeds", 0), 100);
+    }
+
+    #[test]
+    fn levels_parse_as_a_pair() {
+        let pair = parse_levels("test", "snapshot, serializable");
+        assert_eq!(
+            pair,
+            [IsolationLevel::Snapshot, IsolationLevel::Serializable]
+        );
     }
 
     #[test]

@@ -696,19 +696,6 @@ impl Database {
         }
     }
 
-    /// Begin a transaction at the default isolation level.
-    #[deprecated(since = "0.2.0", note = "use `db.txn().begin()`")]
-    pub fn begin(&self) -> Transaction {
-        self.txn().begin()
-    }
-
-    /// Begin a transaction at an explicit isolation level (Rails ≥4.0's
-    /// per-transaction `isolation:` option).
-    #[deprecated(since = "0.2.0", note = "use `db.txn().isolation(..).begin()`")]
-    pub fn begin_with(&self, isolation: IsolationLevel) -> Transaction {
-        self.txn().isolation(isolation).begin()
-    }
-
     pub(crate) fn begin_internal(
         &self,
         isolation: IsolationLevel,
@@ -741,34 +728,6 @@ impl Database {
             });
         }
         Transaction::new(self.clone(), id, isolation, snapshot)
-    }
-
-    /// Run `f` inside a transaction at the default isolation, committing on
-    /// `Ok` and rolling back on `Err`.
-    #[deprecated(since = "0.2.0", note = "use `db.txn().run(f)`")]
-    pub fn transaction<T>(&self, f: impl FnOnce(&mut Transaction) -> DbResult<T>) -> DbResult<T> {
-        #[allow(deprecated)]
-        self.transaction_with(self.inner.config.default_isolation, f)
-    }
-
-    /// Run `f` inside a transaction at `isolation`.
-    #[deprecated(since = "0.2.0", note = "use `db.txn().isolation(..).run(f)`")]
-    pub fn transaction_with<T>(
-        &self,
-        isolation: IsolationLevel,
-        f: impl FnOnce(&mut Transaction) -> DbResult<T>,
-    ) -> DbResult<T> {
-        let mut tx = self.begin_internal(isolation, None);
-        match f(&mut tx) {
-            Ok(v) => {
-                tx.commit()?;
-                Ok(v)
-            }
-            Err(e) => {
-                tx.rollback();
-                Err(e)
-            }
-        }
     }
 
     /// Count rows of `table_name` visible to a fresh snapshot.
@@ -830,9 +789,68 @@ impl Database {
     }
 }
 
-/// Options for opening a transaction — the single front door replacing
-/// the old `begin` / `begin_with` / `transaction` / `transaction_with`
-/// quartet. Built by [`Database::txn`].
+/// A certified isolation plan: per transaction-template name, the
+/// weakest [`IsolationLevel`] a static analysis proved anomaly-free.
+///
+/// Produced by `feral-plan infer` and consumed through
+/// [`TxnOptions::planned`], which looks a template up and runs the
+/// transaction at its assigned level — so provably-safe templates flow
+/// through the commit pipeline coordination-free while the unsafe
+/// residue keeps its escalated level. Templates absent from the plan
+/// fall back to `default` (pick [`IsolationLevel::Serializable`] there
+/// to fail safe on unanalyzed code paths).
+#[derive(Debug, Clone)]
+pub struct IsolationPlan {
+    default: IsolationLevel,
+    assignments: std::collections::BTreeMap<String, IsolationLevel>,
+}
+
+impl IsolationPlan {
+    /// Empty plan with `default` as the fallback for unknown templates.
+    pub fn new(default: IsolationLevel) -> Self {
+        IsolationPlan {
+            default,
+            assignments: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Record (or overwrite) the assigned level for `template`.
+    pub fn assign(&mut self, template: impl Into<String>, level: IsolationLevel) {
+        self.assignments.insert(template.into(), level);
+    }
+
+    /// The level `template` runs at: its assignment, else the default.
+    pub fn level_for(&self, template: &str) -> IsolationLevel {
+        self.assignments
+            .get(template)
+            .copied()
+            .unwrap_or(self.default)
+    }
+
+    /// The fallback level for templates the plan doesn't cover.
+    pub fn default_level(&self) -> IsolationLevel {
+        self.default
+    }
+
+    /// Iterate assignments in template-name order.
+    pub fn assignments(&self) -> impl Iterator<Item = (&str, IsolationLevel)> {
+        self.assignments.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of explicit template assignments.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Whether the plan has no explicit assignments.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+}
+
+/// Options for opening a transaction — the single front door (the old
+/// `begin` / `begin_with` / `transaction` / `transaction_with` quartet
+/// is gone). Built by [`Database::txn`].
 #[must_use = "TxnOptions does nothing until .begin() or .run(..)"]
 pub struct TxnOptions<'a> {
     db: &'a Database,
@@ -864,6 +882,14 @@ impl TxnOptions<'_> {
     pub fn label(mut self, label: &'static str) -> Self {
         self.label = Some(label);
         self
+    }
+
+    /// Run the transaction at the level a certified [`IsolationPlan`]
+    /// assigned to `template`, and label the trace with the template
+    /// name. Equivalent to
+    /// `.isolation(plan.level_for(template)).label(template)`.
+    pub fn planned(self, plan: &IsolationPlan, template: &'static str) -> Self {
+        self.isolation(plan.level_for(template)).label(template)
     }
 
     /// Open the transaction.

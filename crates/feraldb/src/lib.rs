@@ -60,7 +60,7 @@ pub mod txn;
 pub mod value;
 pub mod wal;
 
-pub use db::{Config, ConflictKind, Database, IsolationLevel, TxnOptions};
+pub use db::{Config, ConflictKind, Database, IsolationLevel, IsolationPlan, TxnOptions};
 pub use error::{DbError, DbResult};
 pub use heap::RowId;
 pub use lock::{LockKey, LockMode};

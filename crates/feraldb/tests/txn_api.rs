@@ -1,8 +1,9 @@
 //! The `TxnOptions` builder API: isolation/retry/label plumbing, the
-//! `run` retry loop, and the deprecated begin/transaction shims.
+//! `run` retry loop, and plan-driven isolation via `planned`.
 
 use feral_db::{
-    ColumnDef, Config, DataType, Database, Datum, DbError, IsolationLevel, Predicate, TableSchema,
+    ColumnDef, Config, DataType, Database, Datum, DbError, IsolationLevel, IsolationPlan,
+    Predicate, TableSchema,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -122,32 +123,39 @@ fn labeled_transactions_commit_normally() {
     assert_eq!(check.count("users", &Predicate::True).unwrap(), 1);
 }
 
-/// The pre-builder entry points must keep working until they are removed.
 #[test]
-#[allow(deprecated)]
-fn deprecated_shims_still_work() {
+fn planned_transactions_take_their_assigned_level() {
     let db = setup();
-    let mut tx = db.begin();
+    let mut plan = IsolationPlan::new(IsolationLevel::Serializable);
+    plan.assign("sibling-inserts", IsolationLevel::ReadCommitted);
+    plan.assign("lock-rmw", IsolationLevel::Snapshot);
+
+    let tx = db.txn().planned(&plan, "sibling-inserts").begin();
     assert_eq!(tx.isolation(), IsolationLevel::ReadCommitted);
-    tx.insert_pairs("users", &[("name", Datum::text("old-begin"))])
-        .unwrap();
-    tx.commit().unwrap();
-
-    let mut tx = db.begin_with(IsolationLevel::Snapshot);
+    let tx = db.txn().planned(&plan, "lock-rmw").begin();
     assert_eq!(tx.isolation(), IsolationLevel::Snapshot);
-    tx.rollback();
+    // unknown templates fail safe to the plan default
+    let tx = db.txn().planned(&plan, "unanalyzed-op").begin();
+    assert_eq!(tx.isolation(), IsolationLevel::Serializable);
 
-    db.transaction(|tx| {
-        tx.insert_pairs("users", &[("name", Datum::text("old-txn"))])?;
-        Ok(())
-    })
-    .unwrap();
-    db.transaction_with(IsolationLevel::Serializable, |tx| {
-        assert_eq!(tx.isolation(), IsolationLevel::Serializable);
-        Ok(())
-    })
-    .unwrap();
-
+    db.txn()
+        .planned(&plan, "sibling-inserts")
+        .run(|tx| tx.insert_pairs("users", &[("name", Datum::text("planned"))]))
+        .unwrap();
     let mut check = db.txn().begin();
-    assert_eq!(check.count("users", &Predicate::True).unwrap(), 2);
+    assert_eq!(check.count("users", &Predicate::True).unwrap(), 1);
+}
+
+#[test]
+fn isolation_plan_lookup_and_iteration_are_deterministic() {
+    let mut plan = IsolationPlan::new(IsolationLevel::ReadCommitted);
+    assert!(plan.is_empty());
+    plan.assign("uniqueness", IsolationLevel::Serializable);
+    plan.assign("assoc", IsolationLevel::ReadCommitted);
+    plan.assign("uniqueness", IsolationLevel::Snapshot); // overwrite wins
+    assert_eq!(plan.len(), 2);
+    assert_eq!(plan.level_for("uniqueness"), IsolationLevel::Snapshot);
+    assert_eq!(plan.default_level(), IsolationLevel::ReadCommitted);
+    let names: Vec<&str> = plan.assignments().map(|(n, _)| n).collect();
+    assert_eq!(names, ["assoc", "uniqueness"], "BTreeMap order");
 }

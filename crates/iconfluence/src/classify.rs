@@ -166,6 +166,23 @@ pub fn derive_safety(kind: &str, mix: OperationMix) -> Option<Safety> {
     })
 }
 
+/// Whether enforcing `kind` under `mix` needs no coordination at all —
+/// the validator is I-confluent, so Read Committed is already safe for
+/// it (the feral-plan RC basis). When the pair is mechanically
+/// checkable the static Table 1 verdict is cross-checked against the
+/// model checker; a disagreement panics rather than silently planning
+/// on a drifted table.
+pub fn coordination_free(kind: &str, mix: OperationMix) -> bool {
+    let safety = classify_validator(kind, mix);
+    if let Some(derived) = derive_safety(kind, mix) {
+        assert_eq!(
+            safety, derived,
+            "Table 1 / model-checker drift for {kind} under {mix:?}"
+        );
+    }
+    safety == Safety::IConfluent
+}
+
 /// Fraction of Table 1 occurrences (including "Other", assumed safe, as
 /// the paper's 86.9% figure does) that are I-confluent under `mix`.
 pub fn safe_fraction(mix: OperationMix) -> f64 {
@@ -181,6 +198,22 @@ pub fn safe_fraction(mix: OperationMix) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn coordination_free_tracks_the_mix() {
+        use OperationMix::*;
+        // insert-only presence checks are I-confluent (§4.2)…
+        assert!(coordination_free("validates_presence_of", InsertionsOnly));
+        // …until deletions mix in
+        assert!(!coordination_free("validates_presence_of", WithDeletions));
+        // uniqueness never is
+        assert!(!coordination_free(
+            "validates_uniqueness_of",
+            InsertionsOnly
+        ));
+        // row-local format checks always are
+        assert!(coordination_free("validates_length_of", WithDeletions));
+    }
 
     #[test]
     fn table_totals_match_the_paper() {

@@ -32,8 +32,8 @@ pub mod state;
 
 pub use checker::{check, Counterexample, Verdict};
 pub use classify::{
-    classify_validator, derive_safety, safe_fraction, OperationMix, PaperVerdict, Safety,
-    TableOneRow, TABLE_ONE, TABLE_ONE_OTHER,
+    classify_validator, coordination_free, derive_safety, safe_fraction, OperationMix,
+    PaperVerdict, Safety, TableOneRow, TABLE_ONE, TABLE_ONE_OTHER,
 };
 pub use invariants::Invariant;
 pub use ops::Op;

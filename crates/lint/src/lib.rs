@@ -21,6 +21,7 @@
 pub mod graph;
 pub mod report;
 pub mod rules;
+pub mod templates;
 pub mod witness;
 
 use feral_corpus::ruby::ParseOptions;

@@ -70,6 +70,7 @@ pub struct RuleMeta {
 
 const LINT_ANCHOR: &str = "DESIGN.md#7-static-analysis-feral-lint";
 const SDG_ANCHOR: &str = "DESIGN.md#9-static-dependency-graphs-feral-sdg";
+const PLAN_ANCHOR: &str = "DESIGN.md#12-isolation-planning-feral-plan";
 
 /// The catalog, in id order.
 pub const RULES: &[RuleMeta] = &[
@@ -128,6 +129,13 @@ pub const RULES: &[RuleMeta] = &[
         summary: "inert optimistic lock degenerates to a read-modify-write that loses updates",
         citation: "Bailis et al., SIGMOD 2015, §4.4; Adya 1999 (critical cycles)",
         anchor: SDG_ANCHOR,
+    },
+    RuleMeta {
+        id: "FERAL009",
+        name: "stronger-than-weakest-safe",
+        summary: "transaction template provably safe at read committed runs at a stronger level",
+        citation: "Bailis et al., SIGMOD 2015, §4.2 & §6 (coordination avoidance)",
+        anchor: PLAN_ANCHOR,
     },
 ];
 
@@ -201,6 +209,7 @@ pub fn run_rules(graph: &ModelGraph, cache: &mut SafetyCache) -> Vec<Finding> {
     inert_optimistic_lock(graph, &mut findings);
     unvalidated_through_chain(graph, cache, &mut findings);
     isolation_advice_companions(cache, &mut findings);
+    stronger_than_weakest_safe(graph, cache, &mut findings);
     findings
 }
 
@@ -300,6 +309,62 @@ fn isolation_advice_companions(cache: &mut SafetyCache, findings: &mut Vec<Findi
         });
     }
     findings.extend(companions);
+}
+
+/// FERAL009: the application coordinates (it opens transaction scopes),
+/// yet some of its transaction templates are provably safe at read
+/// committed — a database-backed constraint enforces the invariant, the
+/// mix is insert-only and I-confluent, or nothing conflicts. Running
+/// those templates at a stronger app-wide default buys no integrity and
+/// costs throughput; the planner (`feral-plan infer`) assigns them read
+/// committed with a certificate. The inverse direction — templates that
+/// *need* more than the app gives them — is FERAL006–008's job.
+fn stronger_than_weakest_safe(graph: &ModelGraph, cache: &mut SafetyCache, out: &mut Vec<Finding>) {
+    if graph.transactions == 0 {
+        return;
+    }
+    let templates = crate::templates::extract_templates(graph);
+    for inst in &templates {
+        let Some(basis) = crate::templates::rc_basis(inst, &templates) else {
+            continue;
+        };
+        let (invariant, mix) = match inst.class {
+            crate::templates::TemplateClass::UniquenessProbeInsert => {
+                ("validates_uniqueness_of", OperationMix::InsertionsOnly)
+            }
+            crate::templates::TemplateClass::AssocCheckInsert => (
+                "validates_presence_of",
+                match basis {
+                    crate::templates::RcBasis::InsertOnlyIConfluent => OperationMix::InsertionsOnly,
+                    _ => OperationMix::WithDeletions,
+                },
+            ),
+            crate::templates::TemplateClass::CascadeDestroy => {
+                ("validates_presence_of", OperationMix::WithDeletions)
+            }
+            crate::templates::TemplateClass::LockVersionRmw => {
+                ("optimistic_lock_version", OperationMix::InsertionsOnly)
+            }
+        };
+        out.push(Finding {
+            rule: "FERAL009",
+            severity: Severity::Warning,
+            model: inst.model.clone(),
+            file: inst.file.clone(),
+            message: format!(
+                "{}: template {} runs under the app's transaction scopes but its \
+                 weakest safe isolation is read committed ({}); plan it instead of \
+                 paying for a stronger default",
+                inst.model,
+                inst.key(),
+                basis.label()
+            ),
+            verdict: table_one_verdict(invariant),
+            safety: cache.derive(invariant, mix),
+            anomaly: None,
+            witness: None,
+        });
+    }
 }
 
 /// FERAL001: `validates_uniqueness_of` on a column with no backing
@@ -673,6 +738,59 @@ mod tests {
             &["CREATE TABLE accounts (name TEXT, lock_version INT)"],
         );
         assert!(!ids(&run_rules(&g, &mut cache)).contains(&"FERAL008"));
+    }
+
+    #[test]
+    fn rc_safe_templates_in_coordinating_apps_get_planner_advice() {
+        let mut cache = SafetyCache::default();
+        // a belongs_to with no feral destroyer anywhere, in an app that
+        // opens transactions: insert-only, I-confluent, plannable at RC
+        let src = "class User < ActiveRecord::Base\n  belongs_to :department\n  \
+                   def save_all\n    transaction do\n    end\n  end\nend\n";
+        let g = graph(
+            &[("user.rb", src)],
+            &["CREATE TABLE users (department_id INTEGER)"],
+        );
+        let findings = run_rules(&g, &mut cache);
+        let f = findings.iter().find(|f| f.rule == "FERAL009").unwrap();
+        assert_eq!(f.severity, Severity::Warning);
+        assert_eq!(f.anomaly, None);
+        assert!(
+            f.message.contains("assoc-check-insert:users.department_id"),
+            "{}",
+            f.message
+        );
+        assert!(
+            f.message.contains("insert-only-iconfluent"),
+            "{}",
+            f.message
+        );
+
+        // no transaction scope: nothing is over-coordinated, rule silent
+        let bare = "class User < ActiveRecord::Base\n  belongs_to :department\nend\n";
+        let g = graph(
+            &[("user.rb", bare)],
+            &["CREATE TABLE users (department_id INTEGER)"],
+        );
+        assert!(!ids(&run_rules(&g, &mut cache)).contains(&"FERAL009"));
+
+        // a feral uniqueness check genuinely needs more than RC: silent
+        let feral = "class User < ActiveRecord::Base\n  validates :email, uniqueness: true\n  \
+                     def save_all\n    transaction do\n    end\n  end\nend\n";
+        let g = graph(&[("user.rb", feral)], &["CREATE TABLE users (email TEXT)"]);
+        assert!(!ids(&run_rules(&g, &mut cache)).contains(&"FERAL009"));
+
+        // …but a unique *index* makes the database the guard: plannable
+        let g = graph(
+            &[("user.rb", feral)],
+            &[
+                "CREATE TABLE users (email TEXT)",
+                "CREATE UNIQUE INDEX idx ON users (email)",
+            ],
+        );
+        let findings = run_rules(&g, &mut cache);
+        let f = findings.iter().find(|f| f.rule == "FERAL009").unwrap();
+        assert!(f.message.contains("database-guard"), "{}", f.message);
     }
 
     #[test]

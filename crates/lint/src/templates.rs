@@ -1,0 +1,376 @@
+//! ORM-derived transaction templates, extracted from the resolved
+//! [`ModelGraph`] IR.
+//!
+//! Where [`crate::rules`] asks "is this construct *wrong*?", this module
+//! asks the planner's question: "which transaction shapes does this
+//! application actually run?" Each feral construct the corpus apps use —
+//! uniqueness probe-then-insert, association check-then-insert,
+//! cascading destroy, `lock_version` read-modify-write — maps onto one
+//! of the `feral-sdg` template classes, and `feral-plan` feeds the
+//! extracted instances through the mixed-isolation cycle search to infer
+//! each one's weakest safe [`feral_db::IsolationLevel`]. FERAL009 reuses
+//! the same extraction so the lint report and the plan can never
+//! disagree about what a template *is*.
+
+use crate::graph::{AssocKind, ModelGraph};
+use feral_iconfluence::{coordination_free, OperationMix};
+use std::collections::BTreeSet;
+
+/// The `feral-sdg` template class a construct instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TemplateClass {
+    /// `validates_uniqueness_of`: probe for the key, then insert (§5.2).
+    UniquenessProbeInsert,
+    /// `belongs_to` + presence check: read the parent, insert the child
+    /// (§5.3).
+    AssocCheckInsert,
+    /// `has_many ..., dependent: :destroy/:delete_all`: find the parent,
+    /// scan dependents, delete (§5.3–§5.4).
+    CascadeDestroy,
+    /// `lock_version` read-modify-write (§4.4).
+    LockVersionRmw,
+}
+
+impl TemplateClass {
+    /// Stable kebab name (matches the sdg template naming).
+    pub fn name(self) -> &'static str {
+        match self {
+            TemplateClass::UniquenessProbeInsert => "uniqueness-probe-insert",
+            TemplateClass::AssocCheckInsert => "assoc-check-insert",
+            TemplateClass::CascadeDestroy => "cascade-destroy",
+            TemplateClass::LockVersionRmw => "lock-version-rmw",
+        }
+    }
+}
+
+/// How the template's invariant is enforced — mirrors the sim's guard
+/// axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TemplateGuard {
+    /// Application-level checks only.
+    Feral,
+    /// A real database constraint (unique index, foreign key, declared
+    /// `lock_version` column) backs the check.
+    Database,
+}
+
+/// One extracted template instance: a concrete transaction shape some
+/// model in the application runs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TemplateInstance {
+    /// Template class.
+    pub class: TemplateClass,
+    /// Declaring model.
+    pub model: String,
+    /// Table the critical access touches.
+    pub table: String,
+    /// Critical column (validated field / reference column /
+    /// `lock_version`).
+    pub column: String,
+    /// Declaring file (application-relative).
+    pub file: String,
+    /// Feral or database-backed.
+    pub guard: TemplateGuard,
+}
+
+impl TemplateInstance {
+    /// Stable plan key: `class:table.column`. This is the name
+    /// [`feral_db::IsolationPlan`] assignments are recorded under.
+    pub fn key(&self) -> String {
+        format!("{}:{}.{}", self.class.name(), self.table, self.column)
+    }
+}
+
+/// Extract every template instance from one resolved application graph,
+/// deterministically ordered (class, then table, then column).
+///
+/// The admission rules deliberately mirror the lint rules so report and
+/// plan agree: uniqueness templates come from `validates_uniqueness_of`
+/// with a named field (FERAL001's subject), association templates from
+/// `belongs_to` edges and cascade destroys from `dependent:
+/// :destroy/:delete_all` edges (FERAL002's relevance, `:through` chains
+/// and HABTM excluded), and RMW templates from models referencing
+/// `lock_version` (FERAL004's subject).
+pub fn extract_templates(graph: &ModelGraph) -> Vec<TemplateInstance> {
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<(TemplateClass, String, String)> = BTreeSet::new();
+    let mut push = |inst: TemplateInstance| {
+        if seen.insert((inst.class, inst.table.clone(), inst.column.clone())) {
+            out.push(inst);
+        }
+    };
+
+    for model in &graph.models {
+        for v in &model.validations {
+            if v.kind != "validates_uniqueness_of" || v.field.is_empty() {
+                continue;
+            }
+            let guard = if graph.schema.has_unique_index(&model.table, &v.field) {
+                TemplateGuard::Database
+            } else {
+                TemplateGuard::Feral
+            };
+            push(TemplateInstance {
+                class: TemplateClass::UniquenessProbeInsert,
+                model: model.name.clone(),
+                table: model.table.clone(),
+                column: v.field.clone(),
+                file: model.file.clone(),
+                guard,
+            });
+        }
+
+        for edge in &model.associations {
+            if edge.through.is_some() {
+                continue;
+            }
+            let class = match edge.kind {
+                AssocKind::BelongsTo => TemplateClass::AssocCheckInsert,
+                AssocKind::HasMany | AssocKind::HasOne if edge.dependent_cascades() => {
+                    TemplateClass::CascadeDestroy
+                }
+                _ => continue,
+            };
+            let guard = if graph
+                .schema
+                .has_foreign_key(&edge.fk_table, &edge.fk_column)
+            {
+                TemplateGuard::Database
+            } else {
+                TemplateGuard::Feral
+            };
+            push(TemplateInstance {
+                class,
+                model: model.name.clone(),
+                table: edge.fk_table.clone(),
+                column: edge.fk_column.clone(),
+                file: model.file.clone(),
+                guard,
+            });
+        }
+
+        if model.lock_version_refs > 0 {
+            let guard = if graph.schema.has_column(&model.table, "lock_version") {
+                TemplateGuard::Database
+            } else {
+                TemplateGuard::Feral
+            };
+            push(TemplateInstance {
+                class: TemplateClass::LockVersionRmw,
+                model: model.name.clone(),
+                table: model.table.clone(),
+                column: "lock_version".to_string(),
+                file: model.file.clone(),
+                guard,
+            });
+        }
+    }
+
+    out.sort();
+    out
+}
+
+/// Why a template instance is already safe at Read Committed, when it
+/// is — the planner's fast path, decided before any cycle search runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RcBasis {
+    /// A database constraint enforces the invariant regardless of
+    /// isolation (unique index / foreign key / working optimistic lock).
+    DatabaseGuard,
+    /// The application never cascade-destroys, so the referential check
+    /// runs under an insert-only mix — I-confluent per §4.2.
+    InsertOnlyIConfluent,
+    /// No concurrently-running template conflicts with this one (a
+    /// destroyer with nothing checking presence against it).
+    NoConflictingTemplate,
+}
+
+impl RcBasis {
+    /// Human label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RcBasis::DatabaseGuard => "database-guard",
+            RcBasis::InsertOnlyIConfluent => "insert-only-iconfluent",
+            RcBasis::NoConflictingTemplate => "no-conflicting-template",
+        }
+    }
+}
+
+/// Decide whether `inst` is Read-Committed-safe *without* a cycle
+/// search, given every template the application runs. Returns `None`
+/// when the instance needs the fixed-point inference (uniqueness and
+/// RMW templates, and assoc/destroy pairs that actually race).
+pub fn rc_basis(inst: &TemplateInstance, app_templates: &[TemplateInstance]) -> Option<RcBasis> {
+    if inst.guard == TemplateGuard::Database {
+        return Some(RcBasis::DatabaseGuard);
+    }
+    let feral_class_present = |class: TemplateClass| {
+        app_templates
+            .iter()
+            .any(|t| t.class == class && t.guard == TemplateGuard::Feral)
+    };
+    match inst.class {
+        TemplateClass::AssocCheckInsert => {
+            if !feral_class_present(TemplateClass::CascadeDestroy)
+                && coordination_free("validates_presence_of", OperationMix::InsertionsOnly)
+            {
+                Some(RcBasis::InsertOnlyIConfluent)
+            } else {
+                None
+            }
+        }
+        TemplateClass::CascadeDestroy => {
+            if !feral_class_present(TemplateClass::AssocCheckInsert) {
+                Some(RcBasis::NoConflictingTemplate)
+            } else {
+                None
+            }
+        }
+        TemplateClass::UniquenessProbeInsert | TemplateClass::LockVersionRmw => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::SourceFile;
+    use feral_corpus::{analyze_source, ParseOptions};
+
+    fn graph(sources: &[(&str, &str)], ddl: &[&str]) -> ModelGraph {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(path, src)| SourceFile {
+                path: path.to_string(),
+                analysis: analyze_source(src, &ParseOptions::default()),
+            })
+            .collect();
+        let ddl: Vec<String> = ddl.iter().map(|s| s.to_string()).collect();
+        ModelGraph::resolve("test", &files, &ddl)
+    }
+
+    #[test]
+    fn extraction_covers_all_four_classes() {
+        let g = graph(
+            &[
+                (
+                    "user.rb",
+                    "class User < ActiveRecord::Base\n  belongs_to :department\n  \
+                     validates :email, uniqueness: true\nend\n",
+                ),
+                (
+                    "department.rb",
+                    "class Department < ActiveRecord::Base\n  has_many :users, \
+                     dependent: :destroy\nend\n",
+                ),
+                (
+                    "counter.rb",
+                    "class Counter < ActiveRecord::Base\n  def bump\n    self.lock_version\n  \
+                     end\nend\n",
+                ),
+            ],
+            &["CREATE TABLE users (email TEXT, department_id INTEGER)"],
+        );
+        let templates = extract_templates(&g);
+        let classes: Vec<TemplateClass> = templates.iter().map(|t| t.class).collect();
+        assert!(classes.contains(&TemplateClass::UniquenessProbeInsert));
+        assert!(classes.contains(&TemplateClass::AssocCheckInsert));
+        assert!(classes.contains(&TemplateClass::CascadeDestroy));
+        assert!(classes.contains(&TemplateClass::LockVersionRmw));
+        // everything here is feral: no index, no FK, no lock_version column
+        assert!(templates.iter().all(|t| t.guard == TemplateGuard::Feral));
+        // the assoc edge and the destroy edge share (table, column) but
+        // are distinct template classes
+        let uniq = templates
+            .iter()
+            .find(|t| t.class == TemplateClass::UniquenessProbeInsert)
+            .unwrap();
+        assert_eq!(uniq.key(), "uniqueness-probe-insert:users.email");
+    }
+
+    #[test]
+    fn database_constraints_flip_the_guard() {
+        let g = graph(
+            &[(
+                "user.rb",
+                "class User < ActiveRecord::Base\n  belongs_to :department\n  \
+                 validates :email, uniqueness: true\nend\n",
+            )],
+            &[
+                "CREATE TABLE users (email TEXT, \
+                 department_id INTEGER REFERENCES departments (id))",
+                "CREATE UNIQUE INDEX idx ON users (email)",
+            ],
+        );
+        let templates = extract_templates(&g);
+        assert!(!templates.is_empty());
+        assert!(templates.iter().all(|t| t.guard == TemplateGuard::Database));
+        for t in &templates {
+            assert_eq!(rc_basis(t, &templates), Some(RcBasis::DatabaseGuard));
+        }
+    }
+
+    #[test]
+    fn rc_basis_depends_on_the_apps_other_templates() {
+        let insert_only = graph(
+            &[(
+                "user.rb",
+                "class User < ActiveRecord::Base\n  belongs_to :department\nend\n",
+            )],
+            &["CREATE TABLE users (department_id INTEGER)"],
+        );
+        let t = extract_templates(&insert_only);
+        assert_eq!(t.len(), 1);
+        // no feral destroyer anywhere: insert-only, I-confluent
+        assert_eq!(rc_basis(&t[0], &t), Some(RcBasis::InsertOnlyIConfluent));
+
+        let with_destroyer = graph(
+            &[
+                (
+                    "user.rb",
+                    "class User < ActiveRecord::Base\n  belongs_to :department\nend\n",
+                ),
+                (
+                    "department.rb",
+                    "class Department < ActiveRecord::Base\n  has_many :users, \
+                     dependent: :destroy\nend\n",
+                ),
+            ],
+            &["CREATE TABLE users (department_id INTEGER)"],
+        );
+        let t = extract_templates(&with_destroyer);
+        let checker = t
+            .iter()
+            .find(|i| i.class == TemplateClass::AssocCheckInsert)
+            .unwrap();
+        let destroyer = t
+            .iter()
+            .find(|i| i.class == TemplateClass::CascadeDestroy)
+            .unwrap();
+        // the pair races: neither side gets a free pass
+        assert_eq!(rc_basis(checker, &t), None);
+        assert_eq!(rc_basis(destroyer, &t), None);
+
+        // a destroyer alone conflicts with nothing
+        let lone = vec![destroyer.clone()];
+        assert_eq!(
+            rc_basis(&lone[0], &lone),
+            Some(RcBasis::NoConflictingTemplate)
+        );
+    }
+
+    #[test]
+    fn uniqueness_and_rmw_always_need_inference() {
+        let g = graph(
+            &[(
+                "user.rb",
+                "class User < ActiveRecord::Base\n  validates :email, uniqueness: true\n  \
+                 def touch_version\n    self.lock_version\n  end\nend\n",
+            )],
+            &["CREATE TABLE users (email TEXT)"],
+        );
+        let t = extract_templates(&g);
+        for inst in &t {
+            assert_eq!(rc_basis(inst, &t), None, "{:?}", inst.class);
+        }
+    }
+}

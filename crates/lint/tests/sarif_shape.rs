@@ -1,7 +1,7 @@
 //! SARIF 2.1.0 shape test: parse the rendered log (with the trace
 //! crate's JSON parser — no serde round-trip available offline) and
 //! pin the contract downstream SARIF consumers rely on: a non-empty
-//! driver `informationUri`, the full FERAL001–FERAL008 rule catalog
+//! driver `informationUri`, the full FERAL001–FERAL009 rule catalog
 //! with repo-relative `helpUri`s, and every result pointing at a
 //! declared rule.
 
@@ -57,9 +57,9 @@ fn sarif_driver_and_rule_catalog_are_fully_described() {
         .iter()
         .map(|r| r.get("id").and_then(Json::as_str).expect("rule id"))
         .collect();
-    let expected: Vec<String> = (1..=8).map(|i| format!("FERAL{i:03}")).collect();
+    let expected: Vec<String> = (1..=9).map(|i| format!("FERAL{i:03}")).collect();
     assert_eq!(ids, expected, "rules array must match the catalog in order");
-    assert_eq!(RULES.len(), 8, "catalog and SARIF must agree on size");
+    assert_eq!(RULES.len(), 9, "catalog and SARIF must agree on size");
 
     for rule in rules {
         let id = rule.get("id").and_then(Json::as_str).unwrap();

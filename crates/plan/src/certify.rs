@@ -1,0 +1,194 @@
+//! Machine-checkable certificates for plan cells.
+//!
+//! A certificate has up to three parts, all deterministic:
+//!
+//! 1. **static re-check** — the cell's gate is re-derived from
+//!    `decide_mixed`, and for every slot above read committed the
+//!    one-notch demotion is re-proved UNSAFE (per-slot minimality);
+//! 2. **safety sweep** — a *complete* partial-order-reduced feral-sim
+//!    sweep of the cell's scenario at the assigned per-slot levels, with
+//!    a silent anomaly oracle (the DPOR conflict relation runs at the
+//!    weakest slot level, which over-approximates conflicts for the
+//!    stronger slot — sound);
+//! 3. **escalation witness** — for cells above read committed, a
+//!    concrete schedule at the next-weaker configuration
+//!    ([`PlanCell::demoted`]) on which the anomaly oracle fires, found
+//!    by directed DPOR biased toward the predicted cycle's tables
+//!    (seeded random search as fallback) and re-played byte-identically
+//!    before being admitted.
+
+use crate::infer::{demote, guard_str, level_str, rank, CellGate, Plan, PlanCell};
+use feral_db::IsolationLevel;
+use feral_sdg::{decide_mixed, SimWitness, SweepEvidence, Verdict};
+use feral_sim::{explore_dpor, explore_random, run_with_choices, run_with_seed, DporConfig};
+
+/// The validated certificate of one cell.
+#[derive(Debug, Clone)]
+pub struct CellCert {
+    /// Complete silent sweep at the assigned levels.
+    pub sweep: SweepEvidence,
+    /// Anomaly witness at the next-weaker configuration, for escalated
+    /// cells.
+    pub witness: Option<SimWitness>,
+}
+
+fn weakest(levels: [IsolationLevel; 2]) -> IsolationLevel {
+    *levels.iter().min_by_key(|l| rank(**l)).expect("two slots")
+}
+
+/// Certify one cell. Every failure mode returns a message naming the
+/// cell and what broke; the caller decides whether to abort or collect.
+pub fn certify_cell(cell: &PlanCell, seeds: u64, max_runs: usize) -> Result<CellCert, String> {
+    let label = cell.key();
+
+    // part 1: static re-check
+    match cell.gate {
+        CellGate::Static(reason) => {
+            match decide_mixed(cell.pair, cell.levels).1 {
+                Verdict::Safe { reason: got } if got == reason => {}
+                Verdict::Safe { reason: got } => {
+                    return Err(format!(
+                        "{label}: gate drifted — plan says {}, decide_mixed says {}",
+                        reason.name(),
+                        got.name()
+                    ));
+                }
+                Verdict::Unsafe { .. } => {
+                    return Err(format!("{label}: assigned levels are statically UNSAFE"));
+                }
+            }
+            for slot in 0..2 {
+                let Some(weaker) = demote(cell.levels[slot]) else {
+                    continue;
+                };
+                let mut cand = cell.levels;
+                cand[slot] = weaker;
+                if !decide_mixed(cell.pair, cand).1.is_unsafe() {
+                    return Err(format!(
+                        "{label}: not minimal — slot {slot} is also safe at {weaker}"
+                    ));
+                }
+            }
+        }
+        CellGate::DatabaseGuard => {
+            if cell.escalated() {
+                return Err(format!(
+                    "{label}: database-guarded cells must run at read committed"
+                ));
+            }
+        }
+    }
+
+    // part 2: complete silent sweep at the assigned levels
+    let spec = cell.scenario();
+    let config = DporConfig::new(max_runs, weakest(cell.levels));
+    let sweep = explore_dpor(|| spec.build_mixed(cell.levels), &config);
+    if let Some(v) = sweep.violation {
+        return Err(format!(
+            "{label}: predicted SAFE but oracle fired: {} ({})",
+            v.message,
+            spec.replay_command_mixed(cell.levels, v.seed, &v.choices)
+        ));
+    }
+    if !sweep.complete {
+        return Err(format!(
+            "{label}: sweep incomplete after {} schedules — raise --max-runs",
+            sweep.runs
+        ));
+    }
+    let sweep = SweepEvidence {
+        runs: sweep.runs,
+        schedules_pruned: sweep.stats.schedules_pruned,
+        pruned_exact: sweep.stats.pruned_exact,
+        sleep_set_blocked: sweep.stats.sleep_set_blocked,
+    };
+
+    // part 3: escalation witness at the next-weaker configuration
+    let witness = match cell.demoted() {
+        None => None,
+        Some(demoted) => {
+            let (_, verdict) = decide_mixed(cell.pair, demoted);
+            if !verdict.is_unsafe() {
+                return Err(format!(
+                    "{label}: demoted configuration is statically safe — escalation unjustified"
+                ));
+            }
+            let config =
+                DporConfig::new(max_runs, weakest(demoted)).directed(verdict.direction_hint());
+            let strategy = config.strategy();
+            let directed = explore_dpor(|| spec.build_mixed(demoted), &config);
+            let (violation, strategy, searched) = match directed.violation {
+                Some(v) => (Some(v), strategy, directed.runs),
+                None => {
+                    let random = explore_random(|| spec.build_mixed(demoted), 0..seeds);
+                    (random.violation, "random", directed.runs + random.runs)
+                }
+            };
+            let Some(v) = violation else {
+                return Err(format!(
+                    "{label}: no witness at the demoted configuration in {searched} schedules"
+                ));
+            };
+            let (_, replayed) = match v.seed {
+                Some(seed) => run_with_seed(spec.build_mixed(demoted), seed),
+                None => run_with_choices(spec.build_mixed(demoted), &v.choices),
+            };
+            if replayed.is_ok() {
+                return Err(format!("{label}: witness did not replay ({})", v.message));
+            }
+            Some(SimWitness {
+                strategy,
+                seed: v.seed,
+                choices: v.choices.clone(),
+                message: v.message.clone(),
+                schedules_searched: searched,
+                replay: spec.replay_command_mixed(demoted, v.seed, &v.choices),
+            })
+        }
+    };
+
+    Ok(CellCert { sweep, witness })
+}
+
+/// Certify every cell of a plan, in cell order. Returns the
+/// certificates, or every failure message.
+pub fn certify_plan(
+    plan: &Plan,
+    seeds: u64,
+    max_runs: usize,
+) -> Result<Vec<CellCert>, Vec<String>> {
+    let mut certs = Vec::with_capacity(plan.cells.len());
+    let mut failures = Vec::new();
+    for cell in &plan.cells {
+        match certify_cell(cell, seeds, max_runs) {
+            Ok(cert) => certs.push(cert),
+            Err(msg) => failures.push(msg),
+        }
+    }
+    if failures.is_empty() {
+        Ok(certs)
+    } else {
+        Err(failures)
+    }
+}
+
+/// Describe one cell for human-readable output:
+/// `uniqueness/feral@serializable+serializable [read-set-validation-aborts]`.
+pub fn describe_cell(cell: &PlanCell) -> String {
+    let mut s = format!(
+        "{}/{} @ {}+{} [{}]",
+        cell.pair.name(),
+        guard_str(cell.guard),
+        level_str(cell.levels[0]),
+        level_str(cell.levels[1]),
+        cell.gate.name()
+    );
+    if let Some(d) = cell.demoted() {
+        s.push_str(&format!(
+            " (witness config {}+{})",
+            level_str(d[0]),
+            level_str(d[1])
+        ));
+    }
+    s
+}

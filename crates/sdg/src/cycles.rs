@@ -12,7 +12,7 @@
 //!    are unrealizable noise.
 
 use crate::graph::{DepGraph, Edge};
-use feral_db::ConflictKind;
+use feral_db::{ConflictKind, IsolationLevel};
 
 /// Find the preferred realizable cycle in `graph`, if any: shortest
 /// first, then the one maximising `rw` edges (antidependencies are the
@@ -22,7 +22,51 @@ pub fn find_cycle(graph: &DepGraph) -> Option<Vec<Edge>> {
     let n = graph.templates.len();
     for start in 0..n {
         let mut path: Vec<Edge> = Vec::new();
-        dfs(graph, start, start, &mut path, &mut best);
+        dfs(graph, start, start, &mut path, &mut best, None);
+    }
+    best
+}
+
+/// Whether an edge of a mixed-isolation graph is *ordered*: realizable
+/// only when its source commits before its target.
+///
+/// - every `wr` dependency is ordered — the reader observed a commit, so
+///   the writer committed first;
+/// - an `rw` antidependency whose reader validates read sets at commit
+///   is ordered — if the overwriting writer had committed first, the
+///   reader's validation would have aborted it instead.
+///
+/// Everything else (an `rw` edge with a non-validating reader) is
+/// unordered: the engine lets it materialise in either commit order.
+pub fn edge_ordered(edge: &Edge, levels: &[IsolationLevel]) -> bool {
+    match edge.kind {
+        ConflictKind::WriteRead => true,
+        ConflictKind::ReadWrite => levels[edge.from].validates_read_sets(),
+        ConflictKind::WriteWrite => true,
+    }
+}
+
+/// [`find_cycle`] for graphs built by
+/// [`build_graph_mixed`](crate::build_graph_mixed), where template `i`
+/// runs at `levels[i]`.
+///
+/// Adds one realizability requirement on top of the uniform rules: the
+/// cycle must contain at least one **unordered** edge ([`edge_ordered`]).
+/// Ordered edges all point source-commits-before-target, so a cycle made
+/// only of ordered edges demands a cyclic commit order — temporally
+/// contradictory, exactly like the pure-`wr` case. One unordered edge
+/// breaks the chain, leaving a satisfiable commit order for the rest.
+pub fn find_cycle_constrained(graph: &DepGraph, levels: &[IsolationLevel]) -> Option<Vec<Edge>> {
+    assert_eq!(
+        graph.templates.len(),
+        levels.len(),
+        "one isolation level per template"
+    );
+    let mut best: Option<Vec<Edge>> = None;
+    let n = graph.templates.len();
+    for start in 0..n {
+        let mut path: Vec<Edge> = Vec::new();
+        dfs(graph, start, start, &mut path, &mut best, Some(levels));
     }
     best
 }
@@ -53,6 +97,7 @@ fn dfs(
     at: usize,
     path: &mut Vec<Edge>,
     best: &mut Option<Vec<Edge>>,
+    levels: Option<&[IsolationLevel]>,
 ) {
     for edge in &graph.edges {
         // cycles are rooted at their minimum node, so siblings of the
@@ -65,7 +110,9 @@ fn dfs(
         }
         if edge.to == start {
             path.push(edge.clone());
-            if rw_count(path) > 0 && better(path, best) {
+            let realizable = rw_count(path) > 0
+                && levels.is_none_or(|lv| path.iter().any(|e| !edge_ordered(e, lv)));
+            if realizable && better(path, best) {
                 *best = Some(path.clone());
             }
             path.pop();
@@ -76,7 +123,7 @@ fn dfs(
             continue;
         }
         path.push(edge.clone());
-        dfs(graph, start, edge.to, path, best);
+        dfs(graph, start, edge.to, path, best, levels);
         path.pop();
     }
 }
@@ -137,6 +184,22 @@ mod tests {
         g.edges.retain(|e| e.kind == ConflictKind::WriteRead);
         assert_eq!(g.edges.len(), 2);
         assert!(find_cycle(&g).is_none());
+    }
+
+    #[test]
+    fn constrained_search_rejects_fully_ordered_cycles() {
+        use crate::graph::build_graph_mixed;
+        use IsolationLevel::{ReadCommitted, Serializable};
+        let pair = || vec![uniqueness_probe_insert(1), uniqueness_probe_insert(2)];
+        // both validate: every rw edge is ordered, no realizable cycle
+        let both = build_graph_mixed(pair(), &[Serializable, Serializable]);
+        assert!(find_cycle_constrained(&both, &[Serializable, Serializable]).is_none());
+        // one validating reader only orders one edge; the RC reader's rw
+        // edge stays unordered, so the write-skew cycle is realizable
+        let levels = [Serializable, ReadCommitted];
+        let one = build_graph_mixed(pair(), &levels);
+        let cycle = find_cycle_constrained(&one, &levels).expect("one free edge suffices");
+        assert!(cycle.iter().any(|e| !edge_ordered(e, &levels)));
     }
 
     #[test]

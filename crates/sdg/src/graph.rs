@@ -83,8 +83,10 @@ pub struct DepGraph {
     pub edges: Vec<Edge>,
 }
 
-/// Build the dependency graph for `templates` at `isolation`.
-pub fn build_graph(templates: Vec<TxnTemplate>, isolation: IsolationLevel) -> DepGraph {
+/// Enumerate every read/write and write/write overlap between distinct
+/// templates. Overlaps are a property of the access sets alone — the
+/// isolation level only decides which *edges* they admit.
+fn collect_overlaps(templates: &[TxnTemplate]) -> (Vec<RwOverlap>, Vec<WwOverlap>) {
     let mut rw_overlaps = Vec::new();
     let mut ww_overlaps = Vec::new();
     for (ti, t) in templates.iter().enumerate() {
@@ -118,6 +120,12 @@ pub fn build_graph(templates: Vec<TxnTemplate>, isolation: IsolationLevel) -> De
             }
         }
     }
+    (rw_overlaps, ww_overlaps)
+}
+
+/// Build the dependency graph for `templates` at `isolation`.
+pub fn build_graph(templates: Vec<TxnTemplate>, isolation: IsolationLevel) -> DepGraph {
+    let (rw_overlaps, ww_overlaps) = collect_overlaps(&templates);
 
     let mut edges = Vec::new();
     for o in &rw_overlaps {
@@ -155,6 +163,71 @@ pub fn build_graph(templates: Vec<TxnTemplate>, isolation: IsolationLevel) -> De
     }
 }
 
+/// Build the dependency graph for `templates` where template `i` runs at
+/// `levels[i]` — the heterogeneous-isolation variant feral-plan's
+/// fixed-point inference evaluates.
+///
+/// Edge admission differs from [`build_graph`] in one structural way:
+/// every `rw` antidependency is *kept* regardless of the reader's level,
+/// because commit-time read-set validation does not make the edge
+/// impossible — it only constrains its direction in commit order (a
+/// validating reader must commit before the writer that overwrote its
+/// read, or it aborts). Whether a cycle through such ordered edges is
+/// realizable is decided by [`crate::find_cycle_constrained`], which
+/// requires at least one *unordered* edge; under a uniform level this
+/// yields verdicts identical to [`build_graph`] + [`crate::find_cycle`].
+/// `wr` dependencies still require the reader to lack a
+/// transaction-duration snapshot, exactly as in the uniform builder.
+///
+/// `levels.len()` must equal `templates.len()`.
+pub fn build_graph_mixed(templates: Vec<TxnTemplate>, levels: &[IsolationLevel]) -> DepGraph {
+    assert_eq!(
+        templates.len(),
+        levels.len(),
+        "one isolation level per template"
+    );
+    let (rw_overlaps, ww_overlaps) = collect_overlaps(&templates);
+
+    let mut edges = Vec::new();
+    for o in &rw_overlaps {
+        // rw: always a candidate edge; a validating reader merely turns
+        // it into an ordered edge (reader-commits-first)
+        edges.push(Edge {
+            kind: ConflictKind::ReadWrite,
+            from: o.reader_txn,
+            to: o.writer_txn,
+            overlap: o.id,
+            item: o.item.clone(),
+        });
+        // wr: the reader observes the writer's commit mid-transaction —
+        // only possible for a reader without a transaction snapshot
+        if levels[o.reader_txn].admits_concurrent(ConflictKind::WriteRead) {
+            edges.push(Edge {
+                kind: ConflictKind::WriteRead,
+                from: o.writer_txn,
+                to: o.reader_txn,
+                overlap: o.id,
+                item: o.item.clone(),
+            });
+        }
+    }
+
+    // the display level: the strongest level any template runs at
+    let isolation = levels
+        .iter()
+        .copied()
+        .max_by_key(|l| *l as u64)
+        .unwrap_or(IsolationLevel::ReadCommitted);
+
+    DepGraph {
+        templates,
+        isolation,
+        rw_overlaps,
+        ww_overlaps,
+        edges,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,6 +255,46 @@ mod tests {
         let ser = build_graph(pair(), IsolationLevel::Serializable);
         assert!(ser.edges.is_empty());
         assert_eq!(ser.rw_overlaps.len(), 2, "overlaps remain visible");
+    }
+
+    #[test]
+    fn mixed_builder_keeps_rw_edges_and_gates_wr_per_reader() {
+        use IsolationLevel::{ReadCommitted, Serializable};
+        let g = build_graph_mixed(
+            vec![uniqueness_probe_insert(1), uniqueness_probe_insert(2)],
+            &[Serializable, ReadCommitted],
+        );
+        // both rw interpretations survive (the serializable reader's is
+        // merely ordered); only the read-committed reader admits its wr
+        let rw = g
+            .edges
+            .iter()
+            .filter(|e| e.kind == ConflictKind::ReadWrite)
+            .count();
+        let wr: Vec<_> = g
+            .edges
+            .iter()
+            .filter(|e| e.kind == ConflictKind::WriteRead)
+            .collect();
+        assert_eq!(rw, 2);
+        assert_eq!(wr.len(), 1);
+        assert_eq!(wr[0].to, 1, "the wr edge targets the RC reader");
+        assert_eq!(g.isolation, Serializable, "display level is the max");
+    }
+
+    #[test]
+    fn mixed_builder_agrees_with_uniform_on_overlaps() {
+        let iso = IsolationLevel::Snapshot;
+        let uniform = build_graph(
+            vec![uniqueness_probe_insert(1), uniqueness_probe_insert(2)],
+            iso,
+        );
+        let mixed = build_graph_mixed(
+            vec![uniqueness_probe_insert(1), uniqueness_probe_insert(2)],
+            &[iso, iso],
+        );
+        assert_eq!(uniform.rw_overlaps.len(), mixed.rw_overlaps.len());
+        assert_eq!(uniform.ww_overlaps.len(), mixed.ww_overlaps.len());
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //! safety gates applied in engine order, plus dynamic (feral-sim) and
 //! analytic (invariant-confluence) cross-validation.
 
-use crate::cycles::find_cycle;
-use crate::graph::{build_graph, DepGraph, Edge};
+use crate::cycles::{find_cycle, find_cycle_constrained};
+use crate::graph::{build_graph, build_graph_mixed, DepGraph, Edge};
 use crate::template::{
     assoc_check_insert, cascade_destroy, lock_version_rmw, uniqueness_probe_insert, TxnTemplate,
 };
@@ -249,6 +249,66 @@ pub fn decide(pair: PairKind, isolation: IsolationLevel) -> Cell {
     }
 }
 
+/// Decide one pair where template `i` of [`PairKind::templates`] runs at
+/// `levels[i]` — the heterogeneous-isolation judgment feral-plan's
+/// fixed-point inference escalates against.
+///
+/// The gates mirror [`decide`], generalised per template:
+///
+/// 1. a write/write overlap aborts one side before commit only when
+///    *both* writers run under first-updater-wins — otherwise the
+///    adversary schedules the non-validating writer second and both
+///    commit;
+/// 2. the cycle search runs over the mixed graph with commit-order
+///    constraints ([`find_cycle_constrained`]): a validating reader's
+///    `rw` edge must point forward in commit order, so cycles made
+///    entirely of ordered edges are unrealizable;
+/// 3. the read-set-validation attribution compares against the
+///    counterfactual where every serializable template is demoted to
+///    snapshot.
+///
+/// On a uniform assignment (`[l, l]`) the verdict agrees with
+/// `decide(pair, l)` — pinned by a test below.
+pub fn decide_mixed(pair: PairKind, levels: [IsolationLevel; 2]) -> (DepGraph, Verdict) {
+    let graph = build_graph_mixed(pair.templates(), &levels);
+
+    let fuw_gated = !graph.ww_overlaps.is_empty()
+        && graph
+            .ww_overlaps
+            .iter()
+            .all(|o| levels[o.a_txn].first_updater_wins() && levels[o.b_txn].first_updater_wins());
+    let verdict = if fuw_gated {
+        Verdict::Safe {
+            reason: SafeReason::FirstUpdaterAborts,
+        }
+    } else if let Some(cycle) = find_cycle_constrained(&graph, &levels) {
+        Verdict::Unsafe { cycle }
+    } else if graph.rw_overlaps.is_empty() && graph.ww_overlaps.is_empty() {
+        Verdict::Safe {
+            reason: SafeReason::NoConflicts,
+        }
+    } else {
+        // counterfactual: demote read-set validation to plain snapshot
+        let demoted = levels.map(|l| match l {
+            IsolationLevel::Serializable => IsolationLevel::Snapshot,
+            other => other,
+        });
+        let counterfactual = build_graph_mixed(pair.templates(), &demoted);
+        if levels.iter().any(|l| l.validates_read_sets())
+            && find_cycle_constrained(&counterfactual, &demoted).is_some()
+        {
+            Verdict::Safe {
+                reason: SafeReason::ReadSetValidationAborts,
+            }
+        } else {
+            Verdict::Safe {
+                reason: SafeReason::Acyclic,
+            }
+        }
+    };
+    (graph, verdict)
+}
+
 /// Build the full matrix: every pair at every level, row-major.
 pub fn build_matrix() -> Vec<Cell> {
     let mut cells = Vec::new();
@@ -466,6 +526,55 @@ mod tests {
             reason(PairKind::SiblingInserts, IsolationLevel::ReadCommitted),
             SafeReason::NoConflicts
         );
+    }
+
+    #[test]
+    fn mixed_verdicts_agree_with_uniform_on_the_diagonal() {
+        for pair in PairKind::all() {
+            for level in LEVELS {
+                let (_, mixed) = decide_mixed(pair, [level, level]);
+                assert_eq!(
+                    mixed.is_unsafe(),
+                    decide(pair, level).verdict.is_unsafe(),
+                    "{} at uniform {level}",
+                    pair.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_verdicts_capture_one_sided_validation() {
+        use IsolationLevel::{ReadCommitted, RepeatableRead, Serializable, Snapshot};
+        let is_unsafe = |pair, levels| decide_mixed(pair, levels).1.is_unsafe();
+
+        // one validating probe cannot close off write skew alone: the
+        // RC/SI side's rw edge stays unordered
+        assert!(is_unsafe(PairKind::Uniqueness, [Snapshot, Serializable]));
+        assert!(is_unsafe(
+            PairKind::Uniqueness,
+            [Serializable, ReadCommitted]
+        ));
+        // a serializable destroyer still orphans an RC checker's insert
+        // when the destroyer commits first
+        assert!(is_unsafe(PairKind::Orphans, [ReadCommitted, Serializable]));
+        assert!(is_unsafe(PairKind::Orphans, [Serializable, Snapshot]));
+        // lock-rmw: first-updater-wins must hold on BOTH writers
+        assert!(is_unsafe(PairKind::LockRmw, [RepeatableRead, Snapshot]));
+        assert!(is_unsafe(PairKind::LockRmw, [Serializable, ReadCommitted]));
+        let (_, v) = decide_mixed(PairKind::LockRmw, [Snapshot, Serializable]);
+        assert!(matches!(
+            v,
+            Verdict::Safe {
+                reason: SafeReason::FirstUpdaterAborts
+            }
+        ));
+        // the insert-only control is safe under any assignment
+        for a in LEVELS {
+            for b in LEVELS {
+                assert!(!is_unsafe(PairKind::SiblingInserts, [a, b]));
+            }
+        }
     }
 
     #[test]

@@ -84,7 +84,18 @@ fn serializable_column_is_entirely_safe() {
 
 #[test]
 fn golden_artifact_matches_the_checked_in_matrix() {
-    let rendered = render_json(&build_matrix(), None);
+    // the golden is the --validate artifact: every cell carries its
+    // witness or sweep receipt, so render with the same evidence the
+    // binary attaches (defaults match SEEDS / MAX_RUNS)
+    let matrix = build_matrix();
+    let evidence: Vec<CellEvidence> = matrix
+        .iter()
+        .map(|cell| {
+            validate_cell(cell, SEEDS, MAX_RUNS)
+                .unwrap_or_else(|msg| panic!("cell failed validation: {msg}"))
+        })
+        .collect();
+    let rendered = render_json(&matrix, Some(&evidence));
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),
         "/../../results/BENCH_sdg.golden.json"
@@ -92,8 +103,8 @@ fn golden_artifact_matches_the_checked_in_matrix() {
     let golden = std::fs::read_to_string(path).expect("results/BENCH_sdg.golden.json present");
     assert_eq!(
         rendered, golden,
-        "verdict matrix drifted from results/BENCH_sdg.golden.json — \
-         regenerate with `feral-sdg matrix --json --out results/BENCH_sdg.golden.json` \
+        "verdict matrix drifted from results/BENCH_sdg.golden.json — regenerate with \
+         `feral-sdg matrix --validate --json --out results/BENCH_sdg.golden.json` \
          and review the diff"
     );
 }

@@ -7,12 +7,15 @@
 //!     if any cell deviates.
 //!
 //! feral-sim systematic --scenario uniqueness|orphans|lost-update|sibling-inserts
-//!         [--isolation LEVEL] [--guard feral|database] [--workers N]
-//!         [--strategy dfs|dpor|directed] [--max-runs N] [--json]
+//!         [--isolation LEVEL | --levels L0,L1] [--guard feral|database]
+//!         [--workers N] [--strategy dfs|dpor|directed] [--max-runs N] [--json]
 //!     Exhaustively explore one scenario; print the first anomalous
 //!     schedule (with its replay choices) if one exists. `dpor` prunes
 //!     Mazurkiewicz-equivalent schedules; `directed` additionally
 //!     biases backtracking toward the scenario's critical tables.
+//!     `--levels` runs the two template slots of the pair at *different*
+//!     levels (feral-plan's mixed configurations) instead of one
+//!     uniform `--isolation`.
 //!
 //! feral-sim random --scenario ... [--seeds N] [...]
 //!     Seeded random search; print the firing seed.
@@ -57,6 +60,12 @@ fn strategy_arg(args: &Args, default: Strategy) -> Strategy {
     }
 }
 
+/// The optional `--levels L0,L1` pair for mixed-isolation runs.
+fn levels_arg(args: &Args) -> Option<[IsolationLevel; 2]> {
+    args.get_str("levels")
+        .map(|s| feral_cli::parse_levels(TOOL, s))
+}
+
 fn scenario_cfg(args: &Args) -> ScenarioSpec {
     let kind = match args.get_str("scenario") {
         Some(name) => ScenarioKind::parse(name).unwrap_or_else(|| {
@@ -66,12 +75,25 @@ fn scenario_cfg(args: &Args) -> ScenarioSpec {
         }),
         None => die("--scenario is required"),
     };
-    ScenarioSpec {
-        kind,
-        isolation: args
+    if args.get_str("levels").is_some() && args.get_str("isolation").is_some() {
+        die("--levels and --isolation are mutually exclusive");
+    }
+    // for a mixed run the spec-level isolation only labels output; the
+    // strongest slot level is the display convention (matches sdg's
+    // mixed dependency graphs)
+    let isolation = match levels_arg(args) {
+        Some(levels) => levels
+            .into_iter()
+            .max_by_key(|l| *l as u64)
+            .expect("two levels"),
+        None => args
             .get_str("isolation")
             .map(|s| feral_cli::parse_isolation(TOOL, s))
             .unwrap_or(IsolationLevel::ReadCommitted),
+    };
+    ScenarioSpec {
+        kind,
+        isolation,
         guard: match args.get_str("guard") {
             Some("database") => Guard::Database,
             Some("feral") | None => Guard::Feral,
@@ -81,23 +103,63 @@ fn scenario_cfg(args: &Args) -> ScenarioSpec {
     }
 }
 
+/// Build the trial: uniform from the spec, or per-slot mixed.
+fn build_trial(cfg: &ScenarioSpec, levels: Option<[IsolationLevel; 2]>) -> feral_sim::Trial {
+    match levels {
+        Some(levels) => cfg.build_mixed(levels),
+        None => cfg.build(),
+    }
+}
+
 /// Explore `cfg` under `strategy` and normalize the outcome to a report.
-fn explore(cfg: &ScenarioSpec, strategy: Strategy, max_runs: usize) -> ExplorationReport {
-    match strategy {
+fn explore(
+    cfg: &ScenarioSpec,
+    levels: Option<[IsolationLevel; 2]>,
+    strategy: Strategy,
+    max_runs: usize,
+) -> ExplorationReport {
+    let mut report = match strategy {
         Strategy::Dfs => {
-            let outcome = explore_systematic(|| cfg.build(), max_runs);
+            let outcome = explore_systematic(|| build_trial(cfg, levels), max_runs);
             ExplorationReport::from_systematic(cfg, &outcome)
         }
         Strategy::Dpor | Strategy::Directed => {
-            let mut dc = DporConfig::new(max_runs, cfg.isolation);
+            // mixed runs drive the DPOR conflict predicate at the
+            // weakest slot level: conservative (never prunes a schedule
+            // a weaker session could distinguish), still sound
+            let dpor_iso = levels
+                .and_then(|l| l.into_iter().min_by_key(|l| *l as u64))
+                .unwrap_or(cfg.isolation);
+            let mut dc = DporConfig::new(max_runs, dpor_iso);
             if strategy == Strategy::Directed {
                 dc = dc.directed(cfg.direction_hint());
             }
             let name = dc.strategy();
-            let outcome = explore_dpor(|| cfg.build(), &dc);
+            let outcome = explore_dpor(|| build_trial(cfg, levels), &dc);
             ExplorationReport::from_dpor(cfg, name, &outcome)
         }
+    };
+    if let Some(levels) = levels {
+        report.scenario = mixed_label(cfg, levels);
+        if let Some(v) = &mut report.violation {
+            v.replay = cfg.replay_command_mixed(levels, v.seed, &v.choices);
+        }
     }
+    report
+}
+
+/// `scenario/L0+L1/guard` label for mixed runs.
+fn mixed_label(cfg: &ScenarioSpec, levels: [IsolationLevel; 2]) -> String {
+    format!(
+        "{}/{:?}+{:?}/{}",
+        cfg.kind.name(),
+        levels[0],
+        levels[1],
+        match cfg.guard {
+            Guard::Feral => "feral",
+            Guard::Database => "db-constraint",
+        }
+    )
 }
 
 /// Human-readable counter suffix for reducing strategies.
@@ -117,9 +179,9 @@ fn pruning_note(report: &ExplorationReport) -> String {
     }
 }
 
-fn cmd_systematic(cfg: ScenarioSpec, args: &Args) -> ExitCode {
+fn cmd_systematic(cfg: ScenarioSpec, levels: Option<[IsolationLevel; 2]>, args: &Args) -> ExitCode {
     let strategy = strategy_arg(args, Strategy::Dfs);
-    let report = explore(&cfg, strategy, args.get_usize("max-runs", 200_000));
+    let report = explore(&cfg, levels, strategy, args.get_usize("max-runs", 200_000));
     if args.has("json") {
         println!("{}", report.to_json());
         return ExitCode::from(u8::from(report.violation.is_some()));
@@ -128,10 +190,7 @@ fn cmd_systematic(cfg: ScenarioSpec, args: &Args) -> ExitCode {
         Some(v) => {
             println!(
                 "{}: ANOMALY after {} schedules [{}]: {}",
-                cfg.label(),
-                report.runs,
-                report.strategy,
-                v.message
+                report.scenario, report.runs, report.strategy, v.message
             );
             println!("  {}", v.replay);
             ExitCode::from(1)
@@ -139,7 +198,7 @@ fn cmd_systematic(cfg: ScenarioSpec, args: &Args) -> ExitCode {
         None => {
             println!(
                 "{}: no anomaly in {} schedules [{}] ({}{})",
-                cfg.label(),
+                report.scenario,
                 report.runs,
                 report.strategy,
                 if report.complete {
@@ -154,13 +213,17 @@ fn cmd_systematic(cfg: ScenarioSpec, args: &Args) -> ExitCode {
     }
 }
 
-fn cmd_random(cfg: ScenarioSpec, seeds: u64) -> ExitCode {
-    let outcome = explore_random(|| cfg.build(), 0..seeds);
+fn cmd_random(cfg: ScenarioSpec, levels: Option<[IsolationLevel; 2]>, seeds: u64) -> ExitCode {
+    let label = match levels {
+        Some(l) => mixed_label(&cfg, l),
+        None => cfg.label(),
+    };
+    let outcome = explore_random(|| build_trial(&cfg, levels), 0..seeds);
     match outcome.violation {
         Some(v) => {
             println!(
                 "{}: ANOMALY at seed {} (run {} of {}): {}",
-                cfg.label(),
+                label,
                 v.seed.unwrap(),
                 outcome.runs,
                 seeds,
@@ -170,22 +233,22 @@ fn cmd_random(cfg: ScenarioSpec, seeds: u64) -> ExitCode {
             ExitCode::from(1)
         }
         None => {
-            println!(
-                "{}: no anomaly in {} seeded runs",
-                cfg.label(),
-                outcome.runs
-            );
+            println!("{}: no anomaly in {} seeded runs", label, outcome.runs);
             ExitCode::SUCCESS
         }
     }
 }
 
-fn cmd_replay(cfg: ScenarioSpec, args: &Args) -> ExitCode {
+fn cmd_replay(cfg: ScenarioSpec, levels: Option<[IsolationLevel; 2]>, args: &Args) -> ExitCode {
+    let label = match levels {
+        Some(l) => mixed_label(&cfg, l),
+        None => cfg.label(),
+    };
     let (run, verdict) = if let Some(seed) = args.get_str("seed") {
         let seed = seed
             .parse()
             .unwrap_or_else(|_| die(&format!("--seed wants a number, got `{seed}`")));
-        run_with_seed(cfg.build(), seed)
+        run_with_seed(build_trial(&cfg, levels), seed)
     } else if let Some(choices) = args.get_str("choices") {
         let choices: Vec<usize> = choices
             .split(',')
@@ -196,18 +259,18 @@ fn cmd_replay(cfg: ScenarioSpec, args: &Args) -> ExitCode {
                     .unwrap_or_else(|_| die(&format!("bad choice `{s}` in --choices")))
             })
             .collect();
-        run_with_choices(cfg.build(), &choices)
+        run_with_choices(build_trial(&cfg, levels), &choices)
     } else {
         die("replay needs --seed or --choices");
     };
     println!("{}", run.trace_text());
     match verdict {
         Ok(()) => {
-            println!("{}: oracle silent", cfg.label());
+            println!("{label}: oracle silent");
             ExitCode::SUCCESS
         }
         Err(message) => {
-            println!("{}: oracle fired: {message}", cfg.label());
+            println!("{label}: oracle fired: {message}");
             ExitCode::from(1)
         }
     }
@@ -230,7 +293,7 @@ fn cmd_matrix(args: &Args) -> ExitCode {
     ];
     let mut failures = 0;
     for (cfg, expect_anomaly) in cells {
-        let report = explore(&cfg, strategy, max_runs);
+        let report = explore(&cfg, None, strategy, max_runs);
         let found = report.violation.is_some();
         if json {
             println!("{}", report.to_json());
@@ -288,9 +351,13 @@ fn main() -> ExitCode {
     let args = Args::from_iter(argv[1..].iter().cloned());
     match command.as_str() {
         "matrix" => cmd_matrix(&args),
-        "systematic" => cmd_systematic(scenario_cfg(&args), &args),
-        "random" => cmd_random(scenario_cfg(&args), args.get_u64("seeds", 500)),
-        "replay" => cmd_replay(scenario_cfg(&args), &args),
+        "systematic" => cmd_systematic(scenario_cfg(&args), levels_arg(&args), &args),
+        "random" => cmd_random(
+            scenario_cfg(&args),
+            levels_arg(&args),
+            args.get_u64("seeds", 500),
+        ),
+        "replay" => cmd_replay(scenario_cfg(&args), levels_arg(&args), &args),
         other => die(&format!("unknown command `{other}`")),
     }
 }

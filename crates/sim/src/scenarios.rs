@@ -96,6 +96,24 @@ impl ScenarioSpec {
         }
     }
 
+    /// Build a trial whose sessions run at *per-template* isolation
+    /// levels instead of one uniform level — the dynamic counterpart of
+    /// feral-sdg's mixed dependency graphs. `levels[i]` is the level of
+    /// slot `i` of the scenario's template pair, in
+    /// `PairKind::templates()` order: for orphans slot 0 is the
+    /// presence-checking inserter and slot 1 the cascade destroyer; for
+    /// the symmetric scenarios worker `k` takes `levels[min(k, 1)]`.
+    /// `self.isolation` is ignored.
+    pub fn build_mixed(&self, levels: [IsolationLevel; 2]) -> Trial {
+        let mixed = SessionLevels::Mixed(levels);
+        match self.kind {
+            ScenarioKind::Uniqueness => uniqueness_core(mixed, self.guard, self.workers).1,
+            ScenarioKind::Orphans => orphan_core(mixed, self.guard, self.workers).1,
+            ScenarioKind::LostUpdate => lost_update_core(mixed, self.guard, self.workers).1,
+            ScenarioKind::SiblingInserts => sibling_insert_core(mixed, self.guard, self.workers).1,
+        }
+    }
+
     /// Compact `scenario/isolation/guard` label for reports.
     pub fn label(&self) -> String {
         format!(
@@ -141,16 +159,73 @@ impl ScenarioSpec {
             },
             self.workers
         );
-        match seed {
-            Some(s) => {
-                cmd.push_str(&format!(" --seed {s}"));
-            }
-            None => {
-                let list: Vec<String> = choices.iter().map(|c| c.to_string()).collect();
-                cmd.push_str(&format!(" --choices {}", list.join(",")));
-            }
-        }
+        push_schedule(&mut cmd, seed, choices);
         cmd
+    }
+
+    /// [`ScenarioSpec::replay_command`] for a mixed-level run: spells the
+    /// per-slot levels as `--levels a,b` instead of `--isolation`.
+    pub fn replay_command_mixed(
+        &self,
+        levels: [IsolationLevel; 2],
+        seed: Option<u64>,
+        choices: &[usize],
+    ) -> String {
+        let spelled: Vec<String> = levels
+            .iter()
+            .map(|l| l.to_string().replace(' ', "-"))
+            .collect();
+        let mut cmd = format!(
+            "feral-sim replay --scenario {} --levels {} --guard {} --workers {}",
+            self.kind.name(),
+            spelled.join(","),
+            match self.guard {
+                Guard::Feral => "feral",
+                Guard::Database => "database",
+            },
+            self.workers
+        );
+        push_schedule(&mut cmd, seed, choices);
+        cmd
+    }
+}
+
+fn push_schedule(cmd: &mut String, seed: Option<u64>, choices: &[usize]) {
+    match seed {
+        Some(s) => {
+            cmd.push_str(&format!(" --seed {s}"));
+        }
+        None => {
+            let list: Vec<String> = choices.iter().map(|c| c.to_string()).collect();
+            cmd.push_str(&format!(" --choices {}", list.join(",")));
+        }
+    }
+}
+
+/// How trial sessions pick their isolation: one uniform level for every
+/// worker, or per-template-slot levels (the feral-plan mixed case). The
+/// database default only matters for the single-threaded setup sessions;
+/// every racing worker sets its level explicitly.
+#[derive(Debug, Clone, Copy)]
+enum SessionLevels {
+    Uniform(IsolationLevel),
+    Mixed([IsolationLevel; 2]),
+}
+
+impl SessionLevels {
+    fn db_default(self) -> IsolationLevel {
+        match self {
+            SessionLevels::Uniform(l) => l,
+            SessionLevels::Mixed(_) => IsolationLevel::ReadCommitted,
+        }
+    }
+
+    /// Level of template slot `i` (clamped to the pair).
+    fn slot(self, i: usize) -> IsolationLevel {
+        match self {
+            SessionLevels::Uniform(l) => l,
+            SessionLevels::Mixed(levels) => levels[i.min(1)],
+        }
     }
 }
 
@@ -188,7 +263,11 @@ pub fn uniqueness_trial_app(
     guard: Guard,
     writers: usize,
 ) -> (App, Trial) {
-    let app = App::new(db_at(isolation));
+    uniqueness_core(SessionLevels::Uniform(isolation), guard, writers)
+}
+
+fn uniqueness_core(levels: SessionLevels, guard: Guard, writers: usize) -> (App, Trial) {
+    let app = App::new(db_at(levels.db_default()));
     app.define(
         ModelDef::build("KeyValue")
             .string("key")
@@ -202,10 +281,11 @@ pub fn uniqueness_trial_app(
         app.add_index("KeyValue", &["key"], true).unwrap();
     }
     let workers = (0..writers)
-        .map(|_| {
+        .map(|k| {
             let app = app.clone();
+            let level = levels.slot(k);
             Box::new(move || {
-                let mut s = app.session();
+                let mut s = app.session_with(level);
                 tolerate(s.create(
                     "KeyValue",
                     &[("key", Datum::text("dup")), ("value", Datum::text("v"))],
@@ -240,7 +320,11 @@ pub fn orphan_trial(isolation: IsolationLevel, guard: Guard, inserters: usize) -
 /// [`orphan_trial`], also handing back the application for post-run
 /// inspection.
 pub fn orphan_trial_app(isolation: IsolationLevel, guard: Guard, inserters: usize) -> (App, Trial) {
-    let app = App::new(db_at(isolation));
+    orphan_core(SessionLevels::Uniform(isolation), guard, inserters)
+}
+
+fn orphan_core(levels: SessionLevels, guard: Guard, inserters: usize) -> (App, Trial) {
+    let app = App::new(db_at(levels.db_default()));
     app.define(
         ModelDef::build("Department")
             .string("name")
@@ -269,8 +353,10 @@ pub fn orphan_trial_app(isolation: IsolationLevel, guard: Guard, inserters: usiz
     let mut workers: Vec<Box<dyn FnOnce() + Send>> = Vec::with_capacity(inserters + 1);
     {
         let app = app.clone();
+        // the destroyer is template slot 1 (cascade-destroy) of the pair
+        let level = levels.slot(1);
         workers.push(Box::new(move || {
-            let mut s = app.session();
+            let mut s = app.session_with(level);
             match s.find("Department", dept_id) {
                 Ok(mut dept) => match s.destroy(&mut dept) {
                     Ok(()) => {}
@@ -285,8 +371,10 @@ pub fn orphan_trial_app(isolation: IsolationLevel, guard: Guard, inserters: usiz
     }
     for _ in 0..inserters {
         let app = app.clone();
+        // inserters are template slot 0 (assoc-check-insert)
+        let level = levels.slot(0);
         workers.push(Box::new(move || {
-            let mut s = app.session();
+            let mut s = app.session_with(level);
             tolerate(s.create("User", &[("department_id", Datum::Int(dept_id))]));
         }));
     }
@@ -326,10 +414,14 @@ pub fn lost_update_trial_app(
     guard: Guard,
     updaters: usize,
 ) -> (App, Trial) {
+    lost_update_core(SessionLevels::Uniform(isolation), guard, updaters)
+}
+
+fn lost_update_core(levels: SessionLevels, guard: Guard, updaters: usize) -> (App, Trial) {
     use std::sync::atomic::{AtomicI64, Ordering};
     use std::sync::Arc;
 
-    let app = App::new(db_at(isolation));
+    let app = App::new(db_at(levels.db_default()));
     app.define(
         ModelDef::build("Account")
             .string("name")
@@ -349,11 +441,12 @@ pub fn lost_update_trial_app(
     };
     let acked = Arc::new(AtomicI64::new(0));
     let workers = (0..updaters)
-        .map(|_| {
+        .map(|k| {
             let app = app.clone();
             let acked = acked.clone();
+            let level = levels.slot(k);
             Box::new(move || {
-                let mut s = app.session();
+                let mut s = app.session_with(level);
                 let result = s.transaction(|s| {
                     let mut account = s.find("Account", account_id)?;
                     if guard == Guard::Database {
@@ -408,7 +501,11 @@ pub fn sibling_insert_trial_app(
     guard: Guard,
     inserters: usize,
 ) -> (App, Trial) {
-    let app = App::new(db_at(isolation));
+    sibling_insert_core(SessionLevels::Uniform(isolation), guard, inserters)
+}
+
+fn sibling_insert_core(levels: SessionLevels, guard: Guard, inserters: usize) -> (App, Trial) {
+    let app = App::new(db_at(levels.db_default()));
     app.define(
         ModelDef::build("Department")
             .string("name")
@@ -435,10 +532,11 @@ pub fn sibling_insert_trial_app(
             .unwrap()
     };
     let workers = (0..inserters)
-        .map(|_| {
+        .map(|k| {
             let app = app.clone();
+            let level = levels.slot(k);
             Box::new(move || {
-                let mut s = app.session();
+                let mut s = app.session_with(level);
                 tolerate(s.create("User", &[("department_id", Datum::Int(dept_id))]));
             }) as Box<dyn FnOnce() + Send>
         })

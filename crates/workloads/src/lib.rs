@@ -15,7 +15,7 @@
 pub mod mix;
 pub mod zipf;
 
-pub use mix::{MixDriver, OpKind, WorkloadOp};
+pub use mix::{MixDriver, OpKind, WeightedChoice, WorkloadOp};
 pub use zipf::ZipfianGenerator;
 
 use rand::rngs::StdRng;

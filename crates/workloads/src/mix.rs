@@ -123,10 +123,64 @@ impl MixDriver {
     }
 }
 
+/// Seeded weighted choice over arbitrary alternatives — the generic
+/// sibling of [`MixDriver`]'s op-kind pick, for workloads whose
+/// alternatives aren't [`OpKind`]s (e.g. commitbench's planner ablation
+/// drawing template *classes*). Returns the index of the chosen weight.
+pub struct WeightedChoice {
+    weights: Vec<u32>,
+    total: u32,
+    rng: StdRng,
+}
+
+impl WeightedChoice {
+    /// Build from integer weights (`[8, 1, 1]` → indices 0/1/2 drawn
+    /// 8:1:1). Panics if the weights sum to zero.
+    pub fn new(weights: &[u32], seed: u64) -> Self {
+        let total: u32 = weights.iter().sum();
+        assert!(total > 0, "weights must have positive total");
+        WeightedChoice {
+            weights: weights.to_vec(),
+            total,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draw the next index, weighted.
+    pub fn draw(&mut self) -> usize {
+        let mut pick = self.rng.random_range(0..self.total);
+        for (i, w) in self.weights.iter().enumerate() {
+            if pick < *w {
+                return i;
+            }
+            pick -= w;
+        }
+        self.weights.len() - 1
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::Uniform;
+
+    #[test]
+    fn weighted_choice_tracks_its_weights() {
+        let mut c = WeightedChoice::new(&[8, 1, 1], 3);
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[c.draw()] += 1;
+        }
+        assert!(counts[0] > counts[1] * 4, "index 0 dominates: {counts:?}");
+        assert!(counts[1] > 0 && counts[2] > 0);
+        // seeded reproducibility
+        let draws = |seed| {
+            let mut c = WeightedChoice::new(&[2, 3], seed);
+            (0..64).map(|_| c.draw()).collect::<Vec<_>>()
+        };
+        assert_eq!(draws(7), draws(7));
+        assert_ne!(draws(7), draws(8));
+    }
 
     #[test]
     fn ratio_is_respected() {

@@ -83,4 +83,23 @@ COMMIT_OUT=$(mktemp /tmp/BENCH_commit.XXXXXX.json)
 cargo run --release -q -p feral-bench --bin commitbench -- --smoke --out "$COMMIT_OUT" > /dev/null
 rm -f "$COMMIT_OUT"
 
+echo "== tier1: certified isolation plan (feral-plan certify --validate) =="
+# Re-derive the corpus plan, re-validate every cell's certificate
+# (static gate + per-slot minimality, complete DPOR sweep at the
+# assigned levels, replaying witness at the next-weaker configuration
+# for every escalated cell), and byte-diff the certified artifact
+# against the checked-in golden. Any drift exits non-zero.
+cargo run --release -q -p feral-plan -- certify \
+  --validate results/BENCH_plan.golden.json --out /dev/null
+
+echo "== tier1: planner ablation smoke gate (commitbench planner --smoke) =="
+# Gates on its own exit code: every plan cell re-certifies through
+# feral-sim, the planned execution meets all-serializable throughput
+# at 8 workers, and both run with a clean end-of-run integrity audit
+# (the all-read-committed ablation is reported, not gated — its
+# anomalies are the point).
+PLANNER_OUT=$(mktemp /tmp/BENCH_planner.XXXXXX.json)
+cargo run --release -q -p feral-bench --bin commitbench -- planner --smoke --out "$PLANNER_OUT" > /dev/null
+rm -f "$PLANNER_OUT"
+
 echo "== tier1: OK =="
