@@ -1,0 +1,155 @@
+//! `feral-audit` — read back a saved audit snapshot and render it.
+//!
+//! ```text
+//! feral-audit report --in results/BENCH_audit.json   # human-readable
+//! feral-audit report --in FILE --prom                # Prometheus text
+//! feral-audit report --in FILE --json                # validated JSON
+//! feral-audit report --demo                          # staged anomaly
+//! ```
+//!
+//! `--in` accepts either a bare snapshot (the output of
+//! `AuditSnapshot::to_json`) or a commitbench report whose top-level
+//! `audit` key holds one. This binary hand-rolls its argument parsing:
+//! it cannot use feral-cli, which (transitively) depends on the engine
+//! that depends on this crate.
+
+use feral_audit::{
+    AuditMode, AuditSnapshot, Auditor, ReadRecord, ReadTarget, TxnFootprint, WriteRecord,
+};
+use feral_trace::json::{self, Json};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: feral-audit report (--in FILE | --demo) [--prom | --json]";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) != Some("report") {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let mut input: Option<String> = None;
+    let mut demo = false;
+    let mut format = "text";
+    let mut it = argv[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--in" => match it.next() {
+                Some(path) => input = Some(path.clone()),
+                None => {
+                    eprintln!("--in needs a file path\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--demo" => demo = true,
+            "--prom" => format = "prom",
+            "--json" => format = "json",
+            other => {
+                eprintln!("unknown argument '{other}'\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let snap = if demo {
+        demo_snapshot()
+    } else {
+        let Some(path) = input else {
+            eprintln!("need --in FILE or --demo\n{USAGE}");
+            return ExitCode::FAILURE;
+        };
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("cannot read {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match load_snapshot(&text) {
+            Ok(snap) => snap,
+            Err(err) => {
+                eprintln!("{path}: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    match format {
+        "prom" => print!("{}", snap.to_prometheus()),
+        "json" => println!("{}", snap.to_json()),
+        _ => print!("{}", snap.render_text()),
+    }
+    if snap.cycles > 0 {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Accept a bare snapshot or a commitbench report embedding one under
+/// `audit` (or one per trial under `trials[*].audit` — first match
+/// with cycles wins, else the first).
+fn load_snapshot(text: &str) -> Result<AuditSnapshot, String> {
+    let doc = json::parse(text)?;
+    if doc.get("mode").is_some() && doc.get("verdicts").is_some() {
+        return AuditSnapshot::from_json(&doc);
+    }
+    if let Some(audit) = doc.get("audit") {
+        return AuditSnapshot::from_json(audit);
+    }
+    if let Some(trials) = doc.get("trials").and_then(Json::as_arr) {
+        let snaps: Vec<&Json> = trials.iter().filter_map(|t| t.get("audit")).collect();
+        if let Some(best) = snaps
+            .iter()
+            .find(|a| a.get("cycles").and_then(Json::as_u64).unwrap_or(0) > 0)
+            .or(snaps.first())
+        {
+            return AuditSnapshot::from_json(best);
+        }
+    }
+    Err(
+        "no audit snapshot found (expected a bare snapshot, an 'audit' key, or trials[*].audit)"
+            .into(),
+    )
+}
+
+/// Stage the paper's motivating race — two Read Committed signups
+/// probe-then-insert the same email — and run it through a real
+/// [`Auditor`] so the demo exercises the live pipeline end to end.
+fn demo_snapshot() -> AuditSnapshot {
+    let auditor = Auditor::new(AuditMode::Full);
+    let table = feral_trace::fnv64(b"signups");
+    let email = feral_audit::column_value_hash(1, b"casey@example.com");
+    let probe = |read_ts| ReadRecord {
+        table,
+        target: ReadTarget::Pred(vec![email]),
+        read_ts,
+    };
+    let insert = |row| WriteRecord {
+        table,
+        row,
+        old: None,
+        new: Some(vec![email]),
+    };
+    auditor.observe_begin(7, 10);
+    auditor.observe_begin(8, 10);
+    // Both probes run at ts 10 and see no row; both inserts commit.
+    auditor.observe_commit(TxnFootprint {
+        txn: 7,
+        begin_ts: 10,
+        commit_ts: 11,
+        isolation: "read-committed",
+        template: Some("uniqueness-probe-insert:signups.email"),
+        reads: vec![probe(10)],
+        writes: vec![insert(100)],
+        sampled_out: false,
+    });
+    auditor.observe_commit(TxnFootprint {
+        txn: 8,
+        begin_ts: 10,
+        commit_ts: 12,
+        isolation: "read-committed",
+        template: Some("uniqueness-probe-insert:signups.email"),
+        reads: vec![probe(10)],
+        writes: vec![insert(101)],
+        sampled_out: false,
+    });
+    auditor.snapshot()
+}

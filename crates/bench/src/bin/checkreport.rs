@@ -1,22 +1,37 @@
-//! Stand-alone run-report checker: `checkreport <report.json>` gates a
-//! `BENCH_table1.json` artifact via [`feral_bench::checkgate`] — parse,
-//! schema-validate, every cell committed work, at least one provenance
-//! record carries a replayable `feral-sim` witness. The logic (and its
-//! failure-path tests) lives in the library; this wrapper only maps the
-//! result onto exit codes.
+//! Stand-alone artifact checker: `checkreport <report.json>` gates a
+//! `BENCH_table1.json` artifact and `checkreport --audit <bench.json>`
+//! gates a `BENCH_audit.json` artifact, both via
+//! [`feral_bench::checkgate`] — parse, schema-validate, and enforce the
+//! smoke-gate invariants from the outside, independent of the writer's
+//! self-validation. The logic (and its failure-path tests) lives in the
+//! library; this wrapper only maps results onto exit codes.
 
-use feral_bench::checkgate::check_report_file;
+use feral_bench::checkgate::{check_audit_bench_file, check_report_file};
 
 fn main() {
-    let Some(path) = std::env::args().nth(1) else {
-        eprintln!("checkreport: usage: checkreport <report.json>");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let audit = args.iter().any(|a| a == "--audit");
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("checkreport: usage: checkreport [--audit] <report.json>");
         std::process::exit(1);
     };
-    match check_report_file(&path) {
-        Ok(summary) => println!(
-            "checkreport: {path} OK ({} cells, {} witnessed provenance records)",
-            summary.cells, summary.witnessed
-        ),
+    let outcome = if audit {
+        check_audit_bench_file(path).map(|s| {
+            format!(
+                "{path} OK ({} auditor configs, sampled {:.3}x off)",
+                s.configs, s.sampled_vs_off
+            )
+        })
+    } else {
+        check_report_file(path).map(|s| {
+            format!(
+                "{path} OK ({} cells, {} witnessed provenance records)",
+                s.cells, s.witnessed
+            )
+        })
+    };
+    match outcome {
+        Ok(msg) => println!("checkreport: {msg}"),
         Err(msg) => {
             eprintln!("checkreport: {msg}");
             std::process::exit(1);

@@ -326,7 +326,7 @@ mod tests {
                 .map(|(_, v)| *v)
                 .unwrap();
             assert!(commits > 0, "cell {} committed nothing", cell.label);
-            assert_eq!(cell.stats.len(), 17, "all engine counters exported");
+            assert_eq!(cell.stats.len(), 21, "all engine counters exported");
         }
 
         // feral cells probe; the serializable/database cells stay clean

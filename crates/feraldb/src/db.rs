@@ -9,6 +9,7 @@ use crate::schema::{ForeignKey, IndexDef, IndexId, OnDelete, TableId, TableInfo,
 use crate::stats::Stats;
 use crate::txn::Transaction;
 use crate::wal::{read_log, truncate_log, WalRecord, WalWrite, WalWriter};
+use feral_audit::{AuditMode, Auditor};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
@@ -128,15 +129,22 @@ impl IsolationLevel {
     }
 }
 
-impl std::fmt::Display for IsolationLevel {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
+impl IsolationLevel {
+    /// Stable static name (what [`std::fmt::Display`] prints, and what
+    /// the runtime auditor stamps on plan cells).
+    pub fn name(self) -> &'static str {
+        match self {
             IsolationLevel::ReadCommitted => "read committed",
             IsolationLevel::RepeatableRead => "repeatable read",
             IsolationLevel::Snapshot => "snapshot",
             IsolationLevel::Serializable => "serializable",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl std::fmt::Display for IsolationLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -176,6 +184,23 @@ pub struct Config {
     /// Call `sync_data` after every WAL flush. Durable against OS
     /// crashes, and the cost group commit exists to amortize.
     pub wal_sync: bool,
+    /// Runtime execution auditing: `Off` (the default, zero cost)
+    /// skips the observer entirely; `Sampled(n)` audits one
+    /// transaction in `n` end-to-end and reduces the rest to commit
+    /// markers (per-cell accounting stays exact, cycle coverage
+    /// becomes a sampled lower bound); `Full` captures everything.
+    /// See [`Database::audit_snapshot`].
+    pub audit_mode: AuditMode,
+    /// Run the auditor's graph maintenance on a dedicated background
+    /// thread so commit threads only pay the footprint buffer push.
+    /// Defaults to `true` when the machine has more than one core; on a
+    /// single core the drainer thread can only time-slice against the
+    /// committers, so its wakeups are pure context-switch overhead and
+    /// the default flips to inline draining. Deterministic harnesses
+    /// (feral-sim) set this to `false`: committers then drain the
+    /// buffer themselves at batch boundaries, making audit reports a
+    /// pure function of the schedule.
+    pub audit_background: bool,
 }
 
 impl Default for Config {
@@ -190,6 +215,8 @@ impl Default for Config {
             group_commit_max_batch: 64,
             group_commit_max_wait: Duration::ZERO,
             wal_sync: false,
+            audit_mode: AuditMode::Off,
+            audit_background: std::thread::available_parallelism().map_or(true, |p| p.get() > 1),
         }
     }
 }
@@ -259,6 +286,9 @@ pub(crate) struct DbInner {
     /// True while replaying the log (suppresses re-logging).
     pub(crate) wal_suppressed: AtomicBool,
     pub(crate) stats: Stats,
+    /// The runtime dependency-graph observer, when
+    /// [`Config::audit_mode`] is not `Off`.
+    pub(crate) auditor: Option<Arc<Auditor>>,
 }
 
 /// A shared-nothing-API, multi-reader in-memory relational database.
@@ -308,6 +338,13 @@ impl Database {
             w.set_sync(config.wal_sync);
             Mutex::new(w)
         });
+        let auditor = (!config.audit_mode.is_off()).then(|| {
+            let auditor = Arc::new(Auditor::new(config.audit_mode));
+            if config.audit_background {
+                Auditor::start_background(&auditor);
+            }
+            auditor
+        });
         Database {
             inner: Arc::new(DbInner {
                 locks: LockManager::new(config.lock_timeout),
@@ -319,6 +356,7 @@ impl Database {
                 wal,
                 wal_suppressed: AtomicBool::new(false),
                 stats: Stats::default(),
+                auditor,
             }),
         }
     }
@@ -716,6 +754,12 @@ impl Database {
         // it is registered (which would let vacuum reclaim versions this
         // snapshot still needs).
         let snapshot = self.inner.pipeline.register_active(id, &self.inner.clock);
+        if let Some(auditor) = &self.inner.auditor {
+            // The begin timestamp pins the auditor's GC watermark: no
+            // dependency node this transaction could still reference is
+            // reclaimed while it runs.
+            auditor.observe_begin(id, snapshot);
+        }
         // At snapshot-taking levels the begin observes the clock: its
         // order against commit publishes (clock `Incr`s) is meaningful.
         // Read Committed never consults this snapshot for visibility or
@@ -727,7 +771,29 @@ impl Database {
                 mode: feral_hooks::AccessMode::Read,
             });
         }
-        Transaction::new(self.clone(), id, isolation, snapshot)
+        Transaction::new(self.clone(), id, isolation, snapshot, label)
+    }
+
+    /// Point-in-time export of the runtime audit surface (edge and
+    /// cycle counters, per plan-cell commit/anomaly counts, retained
+    /// anomaly verdicts). `None` when [`Config::audit_mode`] is `Off`.
+    ///
+    /// Also reconciles the engine's `audit_*` stats counters with the
+    /// auditor's authoritative totals — with batched or background
+    /// draining, commit-path deliveries can't see the edges their
+    /// footprints eventually produce.
+    pub fn audit_snapshot(&self) -> Option<feral_audit::AuditSnapshot> {
+        let snap = self.inner.auditor.as_ref().map(|a| a.snapshot())?;
+        let stats = &self.inner.stats;
+        stats.audit_edges.store(snap.edges, Ordering::SeqCst);
+        stats.audit_cycles.store(snap.cycles, Ordering::SeqCst);
+        stats.audit_drops.store(snap.drops, Ordering::SeqCst);
+        Some(snap)
+    }
+
+    /// The configured runtime audit mode.
+    pub fn audit_mode(&self) -> AuditMode {
+        self.inner.config.audit_mode
     }
 
     /// Count rows of `table_name` visible to a fresh snapshot.
@@ -832,6 +898,12 @@ impl IsolationPlan {
         self.default
     }
 
+    /// Whether `template` has an explicit assignment (as opposed to
+    /// falling back to the fail-safe default level).
+    pub fn assigned(&self, template: &str) -> bool {
+        self.assignments.contains_key(template)
+    }
+
     /// Iterate assignments in template-name order.
     pub fn assignments(&self) -> impl Iterator<Item = (&str, IsolationLevel)> {
         self.assignments.iter().map(|(k, v)| (k.as_str(), *v))
@@ -888,7 +960,14 @@ impl TxnOptions<'_> {
     /// assigned to `template`, and label the trace with the template
     /// name. Equivalent to
     /// `.isolation(plan.level_for(template)).label(template)`.
+    /// A template the plan does not cover escalates to the plan's
+    /// fail-safe default and bumps
+    /// [`Stats::plan_failsafe_escalations`] — the audit watchdog's
+    /// signal that unanalyzed code paths are reaching the database.
     pub fn planned(self, plan: &IsolationPlan, template: &'static str) -> Self {
+        if !plan.assigned(template) {
+            Stats::bump(&self.db.inner.stats.plan_failsafe_escalations);
+        }
         self.isolation(plan.level_for(template)).label(template)
     }
 

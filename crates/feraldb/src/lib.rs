@@ -62,6 +62,7 @@ pub mod wal;
 
 pub use db::{Config, ConflictKind, Database, IsolationLevel, IsolationPlan, TxnOptions};
 pub use error::{DbError, DbResult};
+pub use feral_audit::{AuditMode, AuditSnapshot};
 pub use heap::RowId;
 pub use lock::{LockKey, LockMode};
 pub use predicate::{CmpOp, Predicate};

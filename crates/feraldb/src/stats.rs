@@ -48,6 +48,17 @@ pub struct Stats {
     /// commit this grows once per batch while [`Stats::wal_appends`]
     /// grows once per record; the ratio is the batching factor.
     pub wal_flushes: AtomicU64,
+    /// Dependency edges (wr/ww/rw) added to the runtime audit graph.
+    pub audit_edges: AtomicU64,
+    /// Critical cycles (anomaly verdicts) found by the runtime auditor.
+    pub audit_cycles: AtomicU64,
+    /// Transaction footprints dropped because the audit buffer was
+    /// saturated (the graph is conservative-incomplete past this point).
+    pub audit_drops: AtomicU64,
+    /// Transactions started via [`crate::TxnOptions::planned`] whose
+    /// template had no [`crate::IsolationPlan`] assignment and were
+    /// fail-safe escalated to the plan's default level.
+    pub plan_failsafe_escalations: AtomicU64,
 }
 
 /// A point-in-time copy of [`Stats`].
@@ -87,6 +98,14 @@ pub struct StatsSnapshot {
     pub group_commit_batches: u64,
     /// See [`Stats::wal_flushes`].
     pub wal_flushes: u64,
+    /// See [`Stats::audit_edges`].
+    pub audit_edges: u64,
+    /// See [`Stats::audit_cycles`].
+    pub audit_cycles: u64,
+    /// See [`Stats::audit_drops`].
+    pub audit_drops: u64,
+    /// See [`Stats::plan_failsafe_escalations`].
+    pub plan_failsafe_escalations: u64,
 }
 
 impl Stats {
@@ -116,6 +135,10 @@ impl Stats {
             commit_shard_conflicts: self.commit_shard_conflicts.load(Ordering::Relaxed),
             group_commit_batches: self.group_commit_batches.load(Ordering::Relaxed),
             wal_flushes: self.wal_flushes.load(Ordering::Relaxed),
+            audit_edges: self.audit_edges.load(Ordering::Relaxed),
+            audit_cycles: self.audit_cycles.load(Ordering::Relaxed),
+            audit_drops: self.audit_drops.load(Ordering::Relaxed),
+            plan_failsafe_escalations: self.plan_failsafe_escalations.load(Ordering::Relaxed),
         }
     }
 }
@@ -152,6 +175,12 @@ impl StatsSnapshot {
                 .group_commit_batches
                 .saturating_sub(earlier.group_commit_batches),
             wal_flushes: self.wal_flushes.saturating_sub(earlier.wal_flushes),
+            audit_edges: self.audit_edges.saturating_sub(earlier.audit_edges),
+            audit_cycles: self.audit_cycles.saturating_sub(earlier.audit_cycles),
+            audit_drops: self.audit_drops.saturating_sub(earlier.audit_drops),
+            plan_failsafe_escalations: self
+                .plan_failsafe_escalations
+                .saturating_sub(earlier.plan_failsafe_escalations),
         }
     }
 
@@ -182,6 +211,10 @@ impl StatsSnapshot {
             ("commit_shard_conflicts", self.commit_shard_conflicts),
             ("group_commit_batches", self.group_commit_batches),
             ("wal_flushes", self.wal_flushes),
+            ("audit_edges", self.audit_edges),
+            ("audit_cycles", self.audit_cycles),
+            ("audit_drops", self.audit_drops),
+            ("plan_failsafe_escalations", self.plan_failsafe_escalations),
         ]
     }
 }
@@ -239,16 +272,41 @@ mod tests {
             commit_shard_conflicts: 15,
             group_commit_batches: 16,
             wal_flushes: 17,
+            audit_edges: 18,
+            audit_cycles: 19,
+            audit_drops: 20,
+            plan_failsafe_escalations: 21,
         };
         let fields = snap.fields();
-        assert_eq!(fields.len(), 17);
+        assert_eq!(fields.len(), 21);
         // Every value appears exactly once — a new field added to the
         // struct without extending fields() trips this sum check.
-        assert_eq!(fields.iter().map(|(_, v)| v).sum::<u64>(), (1..=17).sum());
+        assert_eq!(fields.iter().map(|(_, v)| v).sum::<u64>(), (1..=21).sum());
         assert_eq!(fields[12], ("validation_probes", 13));
         assert_eq!(fields[13], ("wal_appends", 14));
         assert_eq!(fields[14], ("commit_shard_conflicts", 15));
         assert_eq!(fields[15], ("group_commit_batches", 16));
         assert_eq!(fields[16], ("wal_flushes", 17));
+        assert_eq!(fields[17], ("audit_edges", 18));
+        assert_eq!(fields[18], ("audit_cycles", 19));
+        assert_eq!(fields[19], ("audit_drops", 20));
+        assert_eq!(fields[20], ("plan_failsafe_escalations", 21));
+    }
+
+    #[test]
+    fn diff_covers_the_audit_counters() {
+        let s = Stats::default();
+        Stats::bump(&s.audit_edges);
+        Stats::bump(&s.audit_edges);
+        Stats::bump(&s.audit_cycles);
+        Stats::bump(&s.plan_failsafe_escalations);
+        let a = s.snapshot();
+        Stats::bump(&s.audit_edges);
+        Stats::bump(&s.audit_drops);
+        let d = s.snapshot().diff(&a);
+        assert_eq!(d.audit_edges, 1);
+        assert_eq!(d.audit_cycles, 0);
+        assert_eq!(d.audit_drops, 1);
+        assert_eq!(d.plan_failsafe_escalations, 0);
     }
 }

@@ -103,10 +103,26 @@ pub struct Transaction {
     locks: Vec<LockKey>,
     read_rows: HashSet<(TableId, RowId)>,
     read_preds: Vec<PredRead>,
+    /// Trace label / plan template key, threaded into the audit
+    /// footprint so anomaly verdicts can name the offending template.
+    label: Option<&'static str>,
+    /// Read footprint captured for the runtime auditor — independent
+    /// of `read_rows`/`read_preds` (those are Serializable-only
+    /// validation state; the auditor watches *every* level).
+    audit_reads: Vec<feral_audit::ReadRecord>,
+    /// Whether the auditor samples this transaction's read set.
+    audit_capture: bool,
 }
 
 impl Transaction {
-    pub(crate) fn new(db: Database, id: TxnId, isolation: IsolationLevel, snapshot: u64) -> Self {
+    pub(crate) fn new(
+        db: Database,
+        id: TxnId,
+        isolation: IsolationLevel,
+        snapshot: u64,
+        label: Option<&'static str>,
+    ) -> Self {
+        let audit_capture = db.inner.auditor.as_ref().is_some_and(|a| a.samples(id));
         Transaction {
             db,
             id,
@@ -120,6 +136,9 @@ impl Transaction {
             locks: Vec::new(),
             read_rows: HashSet::new(),
             read_preds: Vec::new(),
+            label,
+            audit_reads: Vec::new(),
+            audit_capture,
         }
     }
 
@@ -183,6 +202,40 @@ impl Transaction {
                 mode,
             });
         }
+    }
+
+    /// Whether the runtime auditor wants this statement's read
+    /// recorded (auditor on, and this transaction not sampled out).
+    fn audits_reads(&self) -> bool {
+        self.audit_capture
+    }
+
+    /// Column-value hashes of a tuple image in the auditor's footprint
+    /// vocabulary (used for predicate-vs-write-image matching).
+    fn audit_image(tuple: &Tuple) -> Vec<u64> {
+        let mut buf = Vec::new();
+        tuple
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                buf.clear();
+                d.encode_key(&mut buf);
+                feral_audit::column_value_hash(i, &buf)
+            })
+            .collect()
+    }
+
+    /// Column-value hashes of an equality fingerprint.
+    fn audit_pred_pairs(fingerprint: &[(usize, Datum)]) -> Vec<u64> {
+        let mut buf = Vec::new();
+        fingerprint
+            .iter()
+            .map(|(col, v)| {
+                buf.clear();
+                v.encode_key(&mut buf);
+                feral_audit::column_value_hash(*col, &buf)
+            })
+            .collect()
     }
 
     /// The semantic mode of a plain read under this isolation level: a
@@ -377,6 +430,28 @@ impl Transaction {
             }
         }
 
+        // capture the read footprint for the runtime auditor — every
+        // isolation level, unlike the Serializable-only validation
+        // registration below (a predicate read with no equality pairs
+        // is a whole-table read)
+        if self.audits_reads() {
+            let table_hash = feral_trace::fnv64(table.as_bytes());
+            for (r, _) in &out {
+                if let RowRef::Committed(row) = r {
+                    self.audit_reads.push(feral_audit::ReadRecord {
+                        table: table_hash,
+                        target: feral_audit::ReadTarget::Row(*row as u64),
+                        read_ts,
+                    });
+                }
+            }
+            self.audit_reads.push(feral_audit::ReadRecord {
+                table: table_hash,
+                target: feral_audit::ReadTarget::Pred(Self::audit_pred_pairs(&fingerprint)),
+                read_ts,
+            });
+        }
+
         // register reads for serializable validation
         if self.isolation == IsolationLevel::Serializable {
             for (r, _) in &out {
@@ -446,6 +521,14 @@ impl Transaction {
             }
             if self.isolation == IsolationLevel::Serializable {
                 self.read_rows.insert((tid, row));
+            }
+            if self.audits_reads() {
+                // the post-lock re-read is a committed-latest read
+                self.audit_reads.push(feral_audit::ReadRecord {
+                    table: feral_trace::fnv64(table.as_bytes()),
+                    target: feral_audit::ReadTarget::Row(row as u64),
+                    read_ts,
+                });
             }
             // apply own-write overlay
             match self.write_by_row.get(&(tid, row)).map(|&i| &self.writes[i]) {
@@ -1098,10 +1181,51 @@ impl Transaction {
         result
     }
 
+    /// Deliver this transaction's access footprint to the runtime
+    /// auditor at commit and mirror the outcome into engine stats.
+    /// No-op when auditing is off.
+    fn deliver_audit_footprint(&mut self, commit_ts: u64, writes: Vec<feral_audit::WriteRecord>) {
+        let Some(auditor) = self.db.inner.auditor.as_ref() else {
+            return;
+        };
+        if !self.audit_capture {
+            auditor.observe_commit_marker(self.label, self.isolation.name());
+            return;
+        }
+        let outcome = auditor.observe_commit(feral_audit::TxnFootprint {
+            txn: self.id,
+            begin_ts: self.snapshot,
+            commit_ts,
+            isolation: self.isolation.name(),
+            template: self.label,
+            reads: std::mem::take(&mut self.audit_reads),
+            writes,
+            sampled_out: false,
+        });
+        if outcome != feral_audit::CommitOutcome::default() {
+            let stats = &self.db.inner.stats;
+            stats
+                .audit_edges
+                .fetch_add(outcome.edges_added, Ordering::Relaxed);
+            stats
+                .audit_cycles
+                .fetch_add(outcome.cycles_found, Ordering::Relaxed);
+            stats
+                .audit_drops
+                .fetch_add(outcome.dropped, Ordering::Relaxed);
+        }
+    }
+
     fn commit_inner(&mut self) -> DbResult<()> {
         feral_hooks::yield_point(feral_hooks::Site::TxnCommit);
         self.ensure_open()?;
         if !self.has_effects() {
+            // Read-only transactions still deliver their footprint:
+            // they can sit on anomaly cycles (the classic read-only
+            // transaction anomaly under snapshot isolation). Their
+            // "commit timestamp" is the clock at commit.
+            let read_ts = self.db.inner.clock.load(Ordering::SeqCst);
+            self.deliver_audit_footprint(read_ts, Vec::new());
             self.finish(true);
             return Ok(());
         }
@@ -1297,6 +1421,28 @@ impl Transaction {
         // implying every commit `<= T` is fully installed.
         pipeline.publish(&db.inner.clock, commit_ts);
         drop(guards);
+        // Write footprint for the runtime auditor, in the same order
+        // the images were installed — built from the published summary
+        // *after* the latches drop, so image hashing never extends the
+        // critical section other committers queue on. Transactions
+        // outside the sampled slice skip capture entirely and deliver
+        // a bare commit marker.
+        let audit_writes: Vec<feral_audit::WriteRecord> = if self.audit_capture {
+            summary
+                .rows
+                .iter()
+                .zip(summary.images.iter())
+                .map(|((tid, row), (_, old, new))| feral_audit::WriteRecord {
+                    table: feral_trace::fnv64(self.entry(*tid).schema.name.as_bytes()),
+                    row: *row as u64,
+                    old: old.as_deref().map(Self::audit_image),
+                    new: new.as_deref().map(Self::audit_image),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        self.deliver_audit_footprint(commit_ts, audit_writes);
         self.db.prune_committed(write_shards.iter().copied());
         self.finish(true);
         Ok(())
@@ -1323,6 +1469,9 @@ impl Transaction {
                 0,
             );
         } else {
+            if let Some(auditor) = &self.db.inner.auditor {
+                auditor.observe_abort(self.id);
+            }
             Stats::bump(&self.db.inner.stats.aborts);
             feral_trace::record(feral_trace::EventKind::Abort, self.id, 0, 0);
         }

@@ -9,7 +9,7 @@
 
 use crate::explore::Trial;
 use crate::oracles;
-use feral_db::{Config, Database, Datum, IsolationLevel, OnDelete};
+use feral_db::{AuditMode, Config, Database, Datum, IsolationLevel, OnDelete};
 use feral_orm::{App, Dependent, ModelDef, OrmError};
 
 /// How the uniqueness/association invariant is enforced, mirroring the
@@ -96,6 +96,23 @@ impl ScenarioSpec {
         }
     }
 
+    /// [`ScenarioSpec::build`] over a database with the runtime DSG
+    /// auditor enabled at `mode`, also handing back the application so
+    /// the caller can read `app.db().audit_snapshot()` after the run —
+    /// the differential gate comparing the online auditor's verdict
+    /// against the DPOR sweep verdict is built on this.
+    pub fn build_audited(&self, mode: AuditMode) -> (App, Trial) {
+        let levels = SessionLevels::Uniform(self.isolation);
+        match self.kind {
+            ScenarioKind::Uniqueness => uniqueness_core(levels, self.guard, self.workers, mode),
+            ScenarioKind::Orphans => orphan_core(levels, self.guard, self.workers, mode),
+            ScenarioKind::LostUpdate => lost_update_core(levels, self.guard, self.workers, mode),
+            ScenarioKind::SiblingInserts => {
+                sibling_insert_core(levels, self.guard, self.workers, mode)
+            }
+        }
+    }
+
     /// Build a trial whose sessions run at *per-template* isolation
     /// levels instead of one uniform level — the dynamic counterpart of
     /// feral-sdg's mixed dependency graphs. `levels[i]` is the level of
@@ -106,11 +123,14 @@ impl ScenarioSpec {
     /// `self.isolation` is ignored.
     pub fn build_mixed(&self, levels: [IsolationLevel; 2]) -> Trial {
         let mixed = SessionLevels::Mixed(levels);
+        let off = AuditMode::Off;
         match self.kind {
-            ScenarioKind::Uniqueness => uniqueness_core(mixed, self.guard, self.workers).1,
-            ScenarioKind::Orphans => orphan_core(mixed, self.guard, self.workers).1,
-            ScenarioKind::LostUpdate => lost_update_core(mixed, self.guard, self.workers).1,
-            ScenarioKind::SiblingInserts => sibling_insert_core(mixed, self.guard, self.workers).1,
+            ScenarioKind::Uniqueness => uniqueness_core(mixed, self.guard, self.workers, off).1,
+            ScenarioKind::Orphans => orphan_core(mixed, self.guard, self.workers, off).1,
+            ScenarioKind::LostUpdate => lost_update_core(mixed, self.guard, self.workers, off).1,
+            ScenarioKind::SiblingInserts => {
+                sibling_insert_core(mixed, self.guard, self.workers, off).1
+            }
         }
     }
 
@@ -229,9 +249,14 @@ impl SessionLevels {
     }
 }
 
-fn db_at(isolation: IsolationLevel) -> Database {
+fn db_at(isolation: IsolationLevel, audit: AuditMode) -> Database {
     Database::new(Config {
         default_isolation: isolation,
+        audit_mode: audit,
+        // Inline draining keeps audit reports a pure function of the
+        // schedule — a background drainer thread would race the
+        // deterministic scheduler.
+        audit_background: false,
         ..Config::default()
     })
 }
@@ -263,11 +288,21 @@ pub fn uniqueness_trial_app(
     guard: Guard,
     writers: usize,
 ) -> (App, Trial) {
-    uniqueness_core(SessionLevels::Uniform(isolation), guard, writers)
+    uniqueness_core(
+        SessionLevels::Uniform(isolation),
+        guard,
+        writers,
+        AuditMode::Off,
+    )
 }
 
-fn uniqueness_core(levels: SessionLevels, guard: Guard, writers: usize) -> (App, Trial) {
-    let app = App::new(db_at(levels.db_default()));
+fn uniqueness_core(
+    levels: SessionLevels,
+    guard: Guard,
+    writers: usize,
+    audit: AuditMode,
+) -> (App, Trial) {
+    let app = App::new(db_at(levels.db_default(), audit));
     app.define(
         ModelDef::build("KeyValue")
             .string("key")
@@ -320,11 +355,21 @@ pub fn orphan_trial(isolation: IsolationLevel, guard: Guard, inserters: usize) -
 /// [`orphan_trial`], also handing back the application for post-run
 /// inspection.
 pub fn orphan_trial_app(isolation: IsolationLevel, guard: Guard, inserters: usize) -> (App, Trial) {
-    orphan_core(SessionLevels::Uniform(isolation), guard, inserters)
+    orphan_core(
+        SessionLevels::Uniform(isolation),
+        guard,
+        inserters,
+        AuditMode::Off,
+    )
 }
 
-fn orphan_core(levels: SessionLevels, guard: Guard, inserters: usize) -> (App, Trial) {
-    let app = App::new(db_at(levels.db_default()));
+fn orphan_core(
+    levels: SessionLevels,
+    guard: Guard,
+    inserters: usize,
+    audit: AuditMode,
+) -> (App, Trial) {
+    let app = App::new(db_at(levels.db_default(), audit));
     app.define(
         ModelDef::build("Department")
             .string("name")
@@ -414,14 +459,24 @@ pub fn lost_update_trial_app(
     guard: Guard,
     updaters: usize,
 ) -> (App, Trial) {
-    lost_update_core(SessionLevels::Uniform(isolation), guard, updaters)
+    lost_update_core(
+        SessionLevels::Uniform(isolation),
+        guard,
+        updaters,
+        AuditMode::Off,
+    )
 }
 
-fn lost_update_core(levels: SessionLevels, guard: Guard, updaters: usize) -> (App, Trial) {
+fn lost_update_core(
+    levels: SessionLevels,
+    guard: Guard,
+    updaters: usize,
+    audit: AuditMode,
+) -> (App, Trial) {
     use std::sync::atomic::{AtomicI64, Ordering};
     use std::sync::Arc;
 
-    let app = App::new(db_at(levels.db_default()));
+    let app = App::new(db_at(levels.db_default(), audit));
     app.define(
         ModelDef::build("Account")
             .string("name")
@@ -501,11 +556,21 @@ pub fn sibling_insert_trial_app(
     guard: Guard,
     inserters: usize,
 ) -> (App, Trial) {
-    sibling_insert_core(SessionLevels::Uniform(isolation), guard, inserters)
+    sibling_insert_core(
+        SessionLevels::Uniform(isolation),
+        guard,
+        inserters,
+        AuditMode::Off,
+    )
 }
 
-fn sibling_insert_core(levels: SessionLevels, guard: Guard, inserters: usize) -> (App, Trial) {
-    let app = App::new(db_at(levels.db_default()));
+fn sibling_insert_core(
+    levels: SessionLevels,
+    guard: Guard,
+    inserters: usize,
+    audit: AuditMode,
+) -> (App, Trial) {
+    let app = App::new(db_at(levels.db_default(), audit));
     app.define(
         ModelDef::build("Department")
             .string("name")

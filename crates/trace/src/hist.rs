@@ -16,6 +16,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Number of histogram buckets.
 pub const HIST_BUCKETS: usize = 256;
 
+/// Sentinel returned by [`HistogramSnapshot::quantile`] when the
+/// snapshot carries no rankable information: it is empty, or every
+/// sample landed in a single multi-value bucket (any point inside
+/// that bucket's span would be a resolution artefact, not an order
+/// statistic). Chosen as `2^53 - 1` so the value survives the f64
+/// JSON wire format exactly and is far outside any plausible latency.
+pub const QUANTILE_SENTINEL: u64 = (1 << 53) - 1;
+
 /// Bucket index for a recorded value.
 pub fn bucket_index(v: u64) -> usize {
     if v < 16 {
@@ -163,11 +171,27 @@ impl HistogramSnapshot {
 
     /// Value at quantile `q` in `[0, 1]`: the upper bound of the first
     /// bucket whose cumulative count reaches `ceil(q * count)`,
-    /// clamped to the observed maximum. Returns 0 for an empty
-    /// snapshot.
+    /// clamped to the observed maximum.
+    ///
+    /// Degenerate snapshots return [`QUANTILE_SENTINEL`] instead of a
+    /// fabricated value: an empty snapshot has no order statistics at
+    /// all, and a snapshot whose every sample fell into one
+    /// multi-value bucket cannot resolve *any* point within that
+    /// bucket (previously this returned the bucket's upper bound
+    /// clamped to `max` — after a [`HistogramSnapshot::diff`] the
+    /// retained `max` may lie outside the window, making that bound a
+    /// bogus midpoint of values never recorded). Single-unit buckets
+    /// (values below 16) are exact and still return the true value.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
-            return 0;
+            return QUANTILE_SENTINEL;
+        }
+        let mut nonempty = self.buckets.iter().enumerate().filter(|(_, &c)| c > 0);
+        if let (Some((idx, _)), None) = (nonempty.next(), nonempty.next()) {
+            let (lo, hi) = bucket_bounds(idx);
+            if lo < hi {
+                return QUANTILE_SENTINEL;
+            }
         }
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
@@ -306,6 +330,38 @@ mod tests {
         let rebuilt = HistogramSnapshot::from_sparse(&s.sparse(), s.count, s.sum, s.max).unwrap();
         assert_eq!(rebuilt, s);
         assert!(HistogramSnapshot::from_sparse(&[(9999, 1)], 1, 1, 1).is_err());
+    }
+
+    #[test]
+    fn degenerate_quantiles_return_the_sentinel() {
+        // Empty snapshot: no order statistic exists at any q.
+        let empty = HistogramSnapshot::empty();
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(empty.quantile(q), QUANTILE_SENTINEL);
+        }
+        // Single multi-value bucket: 1000 lands in a bucket spanning
+        // 896..=1023, so no point inside it is resolvable.
+        let h = Histogram::new();
+        for _ in 0..3 {
+            h.record(1000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.sparse().len(), 1);
+        assert_eq!(s.quantile(0.5), QUANTILE_SENTINEL);
+        assert_eq!(s.quantile(0.99), QUANTILE_SENTINEL);
+        // Single unit bucket (values below 16) is exact, not bogus.
+        let unit = Histogram::new();
+        for _ in 0..3 {
+            unit.record(5);
+        }
+        assert_eq!(unit.snapshot().quantile(0.95), 5);
+        // A second bucket restores normal rank-based resolution.
+        h.record(5);
+        let s2 = h.snapshot();
+        assert_ne!(s2.quantile(0.99), QUANTILE_SENTINEL);
+        assert!(s2.quantile(0.99) <= s2.max);
+        // The sentinel itself must survive the f64 JSON wire format.
+        assert_eq!((QUANTILE_SENTINEL as f64) as u64, QUANTILE_SENTINEL);
     }
 
     #[test]

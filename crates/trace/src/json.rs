@@ -58,6 +58,14 @@ impl Json {
         }
     }
 
+    /// Boolean value; `None` for non-booleans.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Numeric value as `f64`; `None` for non-numbers.
     pub fn as_f64(&self) -> Option<f64> {
         match self {

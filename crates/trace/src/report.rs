@@ -225,56 +225,89 @@ impl RunReport {
 
     /// Serialise to Prometheus text exposition format: anomaly and
     /// engine counters plus latency summaries, one labelled series per
-    /// cell.
+    /// cell. Every metric carries `# HELP`/`# TYPE` headers and label
+    /// values are escaped per the exposition-format rules, so the
+    /// output survives a strict scrape parser.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
+        out.push_str("# HELP feral_duplicates_total Duplicate rows admitted past a feral uniqueness check.\n");
         out.push_str("# TYPE feral_duplicates_total counter\n");
         for c in &self.cells {
             out.push_str(&format!(
                 "feral_duplicates_total{{cell=\"{}\"}} {}\n",
-                c.label, c.duplicates
+                escape_label(&c.label),
+                c.duplicates
             ));
         }
+        out.push_str(
+            "# HELP feral_rejected_total Writes rejected by a validation or constraint.\n",
+        );
         out.push_str("# TYPE feral_rejected_total counter\n");
         for c in &self.cells {
             out.push_str(&format!(
                 "feral_rejected_total{{cell=\"{}\"}} {}\n",
-                c.label, c.rejected
+                escape_label(&c.label),
+                c.rejected
             ));
         }
+        out.push_str("# HELP feral_engine_events_total Engine statistics counters over the cell's measurement window.\n");
         out.push_str("# TYPE feral_engine_events_total counter\n");
         for c in &self.cells {
             for (name, value) in &c.stats {
                 out.push_str(&format!(
                     "feral_engine_events_total{{cell=\"{}\",counter=\"{}\"}} {}\n",
-                    c.label, name, value
+                    escape_label(&c.label),
+                    escape_label(name),
+                    value
                 ));
             }
         }
+        out.push_str(
+            "# HELP feral_phase_latency_nanos Per-phase latency distribution in nanoseconds.\n",
+        );
         out.push_str("# TYPE feral_phase_latency_nanos summary\n");
         for c in &self.cells {
             for (phase, snap) in &c.histograms {
                 for (q, label) in [(0.50, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
                     out.push_str(&format!(
                         "feral_phase_latency_nanos{{cell=\"{}\",phase=\"{}\",quantile=\"{}\"}} {}\n",
-                        c.label,
-                        phase,
+                        escape_label(&c.label),
+                        escape_label(phase),
                         label,
                         snap.quantile(q)
                     ));
                 }
                 out.push_str(&format!(
                     "feral_phase_latency_nanos_sum{{cell=\"{}\",phase=\"{}\"}} {}\n",
-                    c.label, phase, snap.sum
+                    escape_label(&c.label),
+                    escape_label(phase),
+                    snap.sum
                 ));
                 out.push_str(&format!(
                     "feral_phase_latency_nanos_count{{cell=\"{}\",phase=\"{}\"}} {}\n",
-                    c.label, phase, snap.count
+                    escape_label(&c.label),
+                    escape_label(phase),
+                    snap.count
                 ));
             }
         }
         out
     }
+}
+
+/// Escape a Prometheus label value: backslash, double-quote, and
+/// line-feed must be backslash-escaped per the text exposition format.
+pub fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
 }
 
 fn require<'j>(obj: &'j Json, key: &str, ctx: &str) -> Result<&'j Json, String> {
@@ -550,5 +583,42 @@ mod tests {
         ));
         assert!(text.contains("quantile=\"0.99\""));
         assert!(text.contains("feral_phase_latency_nanos_count"));
+    }
+
+    #[test]
+    fn prometheus_output_has_help_and_type_headers() {
+        let text = sample_report().to_prometheus();
+        for metric in [
+            "feral_duplicates_total",
+            "feral_rejected_total",
+            "feral_engine_events_total",
+            "feral_phase_latency_nanos",
+        ] {
+            let help = format!("# HELP {metric} ");
+            let typ = format!("# TYPE {metric} ");
+            assert!(text.contains(&help), "missing HELP for {metric}");
+            assert!(text.contains(&typ), "missing TYPE for {metric}");
+            // HELP must precede TYPE which must precede the first sample.
+            let h = text.find(&help).unwrap();
+            let t = text.find(&typ).unwrap();
+            let s = text.find(&format!("{metric}{{")).unwrap();
+            assert!(h < t && t < s, "header order wrong for {metric}");
+        }
+    }
+
+    #[test]
+    fn prometheus_label_values_are_escaped() {
+        let mut report = sample_report();
+        report.cells[0].label = "quote\" slash\\ line\nend".into();
+        let text = report.to_prometheus();
+        assert!(text.contains("cell=\"quote\\\" slash\\\\ line\\nend\""));
+        // No raw (unescaped) newline may survive inside a sample line.
+        for line in text.lines() {
+            assert!(!line.contains("line\nend"));
+        }
+        assert_eq!(escape_label("plain"), "plain");
+        assert_eq!(escape_label("a\\b"), "a\\\\b");
+        assert_eq!(escape_label("a\"b"), "a\\\"b");
+        assert_eq!(escape_label("a\nb"), "a\\nb");
     }
 }

@@ -95,11 +95,26 @@ cargo run --release -q -p feral-plan -- certify \
 echo "== tier1: planner ablation smoke gate (commitbench planner --smoke) =="
 # Gates on its own exit code: every plan cell re-certifies through
 # feral-sim, the planned execution meets all-serializable throughput
-# at 8 workers, and both run with a clean end-of-run integrity audit
+# at 8 workers (paired per-pass median, 5% noise allowance), and both
+# run with a clean end-of-run integrity audit
 # (the all-read-committed ablation is reported, not gated — its
 # anomalies are the point).
 PLANNER_OUT=$(mktemp /tmp/BENCH_planner.XXXXXX.json)
 cargo run --release -q -p feral-bench --bin commitbench -- planner --smoke --out "$PLANNER_OUT" > /dev/null
 rm -f "$PLANNER_OUT"
+
+echo "== tier1: runtime audit smoke gate (commitbench audit --smoke) =="
+# Gates on its own exit code: sampled-mode auditing must stay within 5%
+# of auditor-off throughput at 8 workers (median of per-pass ratios,
+# each pass bracketing the audited runs between two auditor-off runs
+# so drift cancels), every audited run of the certified plan must
+# finish with
+# zero anomaly cycles and zero integrity anomalies, and every captured
+# snapshot must pass the audit export schema. The artifact is then
+# re-gated from the outside by checkreport --audit.
+AUDIT_OUT=$(mktemp /tmp/BENCH_audit.XXXXXX.json)
+cargo run --release -q -p feral-bench --bin commitbench -- audit --smoke --out "$AUDIT_OUT" > /dev/null
+cargo run --release -q -p feral-bench --bin checkreport -- --audit "$AUDIT_OUT"
+rm -f "$AUDIT_OUT"
 
 echo "== tier1: OK =="
