@@ -13,6 +13,8 @@
 
 #![warn(missing_docs)]
 
+pub mod report;
+
 use feral_db::IsolationLevel;
 use std::collections::HashMap;
 

@@ -100,6 +100,19 @@ struct GroupState {
 /// Sharded commit state: shard latches + history slices, the active-txn
 /// map slices, the timestamp allocator, the publish clock wait, and the
 /// group-commit buffer.
+///
+/// The latch discipline below is declared for `feral-racer` and checked
+/// on every tier-1 run: shard latches are outermost (taken ascending,
+/// see [`CommitPipeline::lock_shards`]), and the group buffer and
+/// publish lock are terminal — nothing else is ever acquired under
+/// them. `wait_durable` upholds the group terminal by dropping its
+/// guard around the WAL write.
+// racer:order feraldb::CommitPipeline::shards < feraldb::CommitPipeline::group
+// racer:order feraldb::CommitPipeline::shards < feraldb::CommitPipeline::active
+// racer:order feraldb::CommitPipeline::shards < feraldb::CommitPipeline::publish_lock
+// racer:terminal feraldb::CommitPipeline::group
+// racer:terminal feraldb::CommitPipeline::publish_lock
+// racer:terminal feraldb::DbInner::wal
 pub(crate) struct CommitPipeline {
     shards: Vec<Mutex<ShardCore>>,
     /// Active-transaction snapshots (txn id → snapshot ts), sliced by

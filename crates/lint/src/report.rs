@@ -7,8 +7,13 @@
 use crate::rules::{rule_meta, Anomaly, Finding, Severity, RULES};
 use crate::witness::Witness;
 use crate::CorpusRun;
+use feral_cli::report::{SarifResult, SarifRule};
 use feral_iconfluence::{PaperVerdict, Safety};
 use std::fmt::Write as _;
+
+/// Shared JSON string escaper (re-exported so existing callers keep
+/// their `feral_lint::report::json_escape` path).
+pub use feral_cli::report::json_escape;
 
 fn verdict_str(v: PaperVerdict) -> &'static str {
     match v {
@@ -24,25 +29,6 @@ fn safety_str(s: Option<Safety>) -> &'static str {
         Some(Safety::NotIConfluent) => "not I-confluent",
         None => "not model-checked",
     }
-}
-
-/// Escape a string for embedding in a JSON literal.
-pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 /// Human-readable report: per-app findings plus a corpus rollup that
@@ -220,54 +206,40 @@ pub fn render_json(run: &CorpusRun) -> String {
     )
 }
 
-/// SARIF 2.1.0, minimal profile: one run, rule metadata in
-/// `tool.driver.rules`, findings as `results` with physical locations
-/// `"{app}/{file}"`.
+/// SARIF 2.1.0 through the shared emitter: one run, the FERAL rule
+/// catalog in `tool.driver.rules`, findings as `results` with physical
+/// locations `"{app}/{file}"`.
 pub fn render_sarif(run: &CorpusRun) -> String {
-    let rules: Vec<String> = RULES
+    let rules: Vec<SarifRule<'_>> = RULES
         .iter()
-        .map(|r| {
-            format!(
-                "{{\"id\":\"{}\",\"name\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}},\"helpUri\":\"{}\",\"properties\":{{\"citation\":\"{}\"}}}}",
-                r.id,
-                r.name,
-                json_escape(r.summary),
-                json_escape(r.anchor),
-                json_escape(r.citation)
-            )
+        .map(|r| SarifRule {
+            id: r.id,
+            name: r.name,
+            summary: r.summary,
+            help_uri: r.anchor,
+            citation: r.citation,
         })
         .collect();
     let mut results = Vec::new();
     for app in &run.apps {
         for f in &app.findings {
-            let uri = format!("{}/{}", app.app, f.file);
             let mut message = f.message.clone();
             if let Some(w) = f.witness.and_then(|wi| run.witnesses.get(wi)) {
                 let _ = write!(message, " [witness: {}]", w.replay);
             }
-            results.push(format!(
-                "{{\"ruleId\":\"{}\",\"level\":\"{}\",\"message\":{{\"text\":\"{}\"}},\"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\"}}}}}}]}}",
-                f.rule,
-                f.severity.sarif_level(),
-                json_escape(&message),
-                json_escape(&uri)
-            ));
+            results.push(SarifResult {
+                rule_id: f.rule,
+                level: f.severity.sarif_level(),
+                message,
+                uri: format!("{}/{}", app.app, f.file),
+                line: 0, // corpus findings locate a model file, not a line
+            });
         }
     }
-    format!(
-        "{{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\"version\":\"2.1.0\",\"runs\":[{{\"tool\":{{\"driver\":{{\"name\":\"feral-lint\",\"informationUri\":\"DESIGN.md#7-static-analysis-feral-lint\",\"rules\":[{}]}}}},\"results\":[{}]}}]}}\n",
-        rules.join(","),
-        results.join(",")
+    feral_cli::report::render_sarif(
+        "feral-lint",
+        "DESIGN.md#7-static-analysis-feral-lint",
+        &rules,
+        &results,
     )
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn escaping_covers_quotes_and_control_chars() {
-        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
-        assert_eq!(json_escape("\u{1}"), "\\u0001");
-    }
 }

@@ -1,0 +1,28 @@
+//! Seeded fault for FERALRS001 (lock-order-cycle): `a` then `b` in one
+//! function, `b` then `a` in another — a deadlock-capable cycle in the
+//! acquisition graph. Not compiled; analyzed standalone by `--validate`.
+
+struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    fn forward(&self) -> u64 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        let out = *ga + *gb;
+        drop(gb);
+        drop(ga);
+        out
+    }
+
+    fn backward(&self) -> u64 {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        let out = *gb - *ga;
+        drop(ga);
+        drop(gb);
+        out
+    }
+}

@@ -1,0 +1,31 @@
+//! Seeded fault for FERALRS002 (unordered-latch-iteration): shard
+//! latches taken under `.rev()` and under hash-ordered iteration — the
+//! canonical ascending acquisition order is violated both ways.
+
+struct Pipeline {
+    shards: Vec<Mutex<u64>>,
+    by_name: HashMap<String, Mutex<u64>>,
+}
+
+impl Pipeline {
+    fn drain_backwards(&self) {
+        for s in self.shards.iter().rev() {
+            let g = s.lock();
+            drop(g);
+        }
+    }
+
+    fn drain_hashed(&self) {
+        for s in self.by_name.values() {
+            let g = s.lock();
+            drop(g);
+        }
+    }
+
+    fn descending_pair(&self) {
+        let hi = self.shards[1].lock();
+        let lo = self.shards[0].lock();
+        drop(lo);
+        drop(hi);
+    }
+}

@@ -1,0 +1,23 @@
+//! Seeded fault for FERALRS003 (declared-order-violation): the declared
+//! discipline says shard latches come before the group buffer and that
+//! the group buffer is terminal — this code takes the group lock first
+//! and then a shard latch under it, violating both declarations.
+
+// racer:order fixture::Pipeline::shards < fixture::Pipeline::group
+// racer:terminal fixture::Pipeline::group
+
+struct Pipeline {
+    shards: Vec<Mutex<u64>>,
+    group: Mutex<u64>,
+}
+
+impl Pipeline {
+    fn inverted(&self) -> u64 {
+        let g = self.group.lock();
+        let s = self.shards[0].lock();
+        let out = *g + *s;
+        drop(s);
+        drop(g);
+        out
+    }
+}

@@ -1,0 +1,20 @@
+//! Seeded fault for FERALRS004 (relaxed-publication): the declared
+//! publication field is stored with `Relaxed` ordering (readers may see
+//! the index move before the payload it publishes) and loaded with
+//! `Relaxed` on a non-owner thread without a vet.
+
+// racer:publication fixture::Ring::head
+
+struct Ring {
+    head: AtomicU64,
+}
+
+impl Ring {
+    fn publish(&self) {
+        self.head.store(1, Ordering::Relaxed);
+    }
+
+    fn observe(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,32 @@
+//! Seeded fault for FERALRS005 (broken-seqlock-pairing): the writer
+//! bumps the version word once before the payload stores but never
+//! after, so a reader can validate a torn read as consistent; the
+//! reader checks the version only before the payload loads.
+
+// racer:seqlock fixture::Slot::version guards fixture::Slot::words
+
+struct Slot {
+    version: AtomicU64,
+    words: [AtomicU64; 7],
+}
+
+impl Slot {
+    fn write(&self, payload: [u64; 7]) {
+        let v = self.version.load(Ordering::Relaxed);
+        self.version.store(v | 1, Ordering::Release);
+        for (w, word) in self.words.iter().zip(payload) {
+            w.store(word, Ordering::Release);
+        }
+        // missing: trailing version store publishing the even count
+    }
+
+    fn read(&self) -> [u64; 7] {
+        let _v1 = self.version.load(Ordering::Acquire);
+        let mut out = [0u64; 7];
+        for (dst, w) in out.iter_mut().zip(&self.words) {
+            *dst = w.load(Ordering::Acquire);
+        }
+        // missing: re-validation load of the version word
+        out
+    }
+}

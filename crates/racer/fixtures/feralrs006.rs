@@ -1,0 +1,9 @@
+//! Seeded fault for FERALRS006 (unvetted-unsafe): an `unsafe` block
+//! with no `SAFETY:` comment in the three lines above it and no
+//! `racer:allow` vet.
+
+fn sneak_read(x: &u64) -> u64 {
+    let p = x as *const u64;
+
+    unsafe { *p }
+}

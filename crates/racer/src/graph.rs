@@ -1,0 +1,271 @@
+//! Call-graph closure and the interprocedural lock-acquisition graph.
+//!
+//! Intraprocedural edges come straight from the extractor. The
+//! interprocedural ones are induced at call sites: if `f` calls `g`
+//! while holding class `H`, then every class `g` may *blockingly*
+//! acquire (transitively, through its own callees) gets an edge
+//! `H → class`. Non-blocking (`try_*`) acquisitions never induce
+//! interprocedural edges and never participate in deadlock cycles — a
+//! failed `try_lock` backs off instead of waiting.
+
+use crate::extract::FnFacts;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Provenance and nature of one acquisition-graph edge.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeMeta {
+    /// At least one site acquires the target with a blocking call.
+    pub blocking: bool,
+    /// `(file, line)` witnesses, deduped and sorted.
+    pub sites: BTreeSet<(String, u32)>,
+}
+
+/// The workspace-wide acquisition graph.
+#[derive(Debug, Default)]
+pub struct AcqGraph {
+    /// `(held, acquired)` → metadata. Self-edges are kept (they feed
+    /// the latch-iteration rule) but excluded from cycle detection.
+    pub edges: BTreeMap<(String, String), EdgeMeta>,
+    /// Per-function transitive *blocking* acquisition classes.
+    pub reaches: BTreeMap<String, BTreeSet<String>>,
+}
+
+/// Build the acquisition graph from per-function facts.
+pub fn build(facts: &[FnFacts]) -> AcqGraph {
+    // direct blocking classes + callee lists per fn key (same-key
+    // definitions union — trait impls share a key and either may run)
+    let mut direct: BTreeMap<&str, BTreeSet<String>> = BTreeMap::new();
+    let mut callees: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for f in facts {
+        let d = direct.entry(&f.key).or_default();
+        for a in &f.acquisitions {
+            if !a.try_only && a.class != "?" {
+                d.insert(a.class.clone());
+            }
+        }
+        let c = callees.entry(&f.key).or_default();
+        for call in &f.calls {
+            c.insert(&call.callee);
+        }
+    }
+    // fixpoint: reaches = direct ∪ reaches(callees)
+    let mut reaches: BTreeMap<String, BTreeSet<String>> = direct
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect();
+    loop {
+        let mut changed = false;
+        for (key, calls) in &callees {
+            let mut add: BTreeSet<String> = BTreeSet::new();
+            for callee in calls {
+                if let Some(r) = reaches.get(*callee) {
+                    add.extend(r.iter().cloned());
+                }
+            }
+            let mine = reaches.entry(key.to_string()).or_default();
+            let before = mine.len();
+            mine.extend(add);
+            changed |= mine.len() != before;
+        }
+        if !changed {
+            break;
+        }
+    }
+    // edges: intraprocedural + call-site induced
+    let mut graph = AcqGraph {
+        edges: BTreeMap::new(),
+        reaches,
+    };
+    for f in facts {
+        for e in &f.edges {
+            let meta = graph
+                .edges
+                .entry((e.from.clone(), e.to.clone()))
+                .or_default();
+            meta.blocking |= !e.to_try;
+            meta.sites.insert((f.file.clone(), e.line));
+        }
+        for call in &f.calls {
+            let Some(r) = graph.reaches.get(&call.callee) else {
+                continue;
+            };
+            if r.is_empty() {
+                continue;
+            }
+            let targets: Vec<String> = r.iter().cloned().collect();
+            for held in &call.held {
+                for t in &targets {
+                    let meta = graph.edges.entry((held.clone(), t.clone())).or_default();
+                    meta.blocking = true;
+                    meta.sites.insert((f.file.clone(), call.line));
+                }
+            }
+        }
+    }
+    graph
+}
+
+impl AcqGraph {
+    /// Cycles among *blocking* edges between distinct classes, as
+    /// strongly connected components with two or more members, each
+    /// sorted and the list sorted — deterministic output.
+    pub fn cycles(&self) -> Vec<Vec<String>> {
+        let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for ((from, to), meta) in &self.edges {
+            if meta.blocking && from != to {
+                adj.entry(from).or_default().push(to);
+                adj.entry(to).or_default();
+            }
+        }
+        let nodes: Vec<&str> = adj.keys().copied().collect();
+        let index_of: BTreeMap<&str, usize> =
+            nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+        // iterative Tarjan
+        let n = nodes.len();
+        let mut idx = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut sccs: Vec<Vec<String>> = Vec::new();
+        let mut counter = 0usize;
+        for start in 0..n {
+            if idx[start] != usize::MAX {
+                continue;
+            }
+            // (node, next child position)
+            let mut call: Vec<(usize, usize)> = vec![(start, 0)];
+            while let Some(&mut (v, ref mut ci)) = call.last_mut() {
+                if *ci == 0 {
+                    idx[v] = counter;
+                    low[v] = counter;
+                    counter += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                let children = &adj[nodes[v]];
+                if *ci < children.len() {
+                    let w = index_of[children[*ci]];
+                    *ci += 1;
+                    if idx[w] == usize::MAX {
+                        call.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(idx[w]);
+                    }
+                } else {
+                    call.pop();
+                    if let Some(&(p, _)) = call.last() {
+                        low[p] = low[p].min(low[v]);
+                    }
+                    if low[v] == idx[v] {
+                        let mut comp = Vec::new();
+                        while let Some(w) = stack.pop() {
+                            on_stack[w] = false;
+                            comp.push(nodes[w].to_string());
+                            if w == v {
+                                break;
+                            }
+                        }
+                        if comp.len() > 1 {
+                            comp.sort();
+                            sccs.push(comp);
+                        }
+                    }
+                }
+            }
+        }
+        sccs.sort();
+        sccs
+    }
+
+    /// A representative `(file, line)` witness for an edge.
+    pub fn witness(&self, from: &str, to: &str) -> Option<&(String, u32)> {
+        self.edges
+            .get(&(from.to_string(), to.to_string()))
+            .and_then(|m| m.sites.iter().next())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::{AcqKind, Acquisition, CallSite, Edge, FnFacts, IterCtx};
+
+    fn acq(class: &str, try_only: bool) -> Acquisition {
+        Acquisition {
+            class: class.into(),
+            kind: AcqKind::Lock,
+            try_only,
+            iter: IterCtx::default(),
+            const_index: None,
+            line: 1,
+        }
+    }
+
+    fn edge(from: &str, to: &str, to_try: bool) -> Edge {
+        Edge {
+            from: from.into(),
+            from_index: None,
+            to: to.into(),
+            to_index: None,
+            to_try,
+            line: 2,
+        }
+    }
+
+    #[test]
+    fn call_sites_induce_transitive_edges() {
+        let f1 = FnFacts {
+            key: "A::outer".into(),
+            file: "a.rs".into(),
+            acquisitions: vec![acq("c::A::x", false)],
+            calls: vec![CallSite {
+                callee: "A::inner".into(),
+                held: vec!["c::A::x".into()],
+                line: 3,
+            }],
+            ..FnFacts::default()
+        };
+        let f2 = FnFacts {
+            key: "A::inner".into(),
+            file: "a.rs".into(),
+            acquisitions: vec![acq("c::A::y", false)],
+            ..FnFacts::default()
+        };
+        let g = build(&[f1, f2]);
+        let meta = &g.edges[&("c::A::x".to_string(), "c::A::y".to_string())];
+        assert!(meta.blocking);
+        assert_eq!(g.witness("c::A::x", "c::A::y").unwrap().1, 3);
+    }
+
+    #[test]
+    fn cycles_found_and_try_edges_ignored() {
+        let f1 = FnFacts {
+            key: "f1".into(),
+            file: "a.rs".into(),
+            edges: vec![edge("L::a", "L::b", false), edge("L::b", "L::c", true)],
+            ..FnFacts::default()
+        };
+        let f2 = FnFacts {
+            key: "f2".into(),
+            file: "b.rs".into(),
+            edges: vec![edge("L::b", "L::a", false)],
+            ..FnFacts::default()
+        };
+        let g = build(&[f1, f2]);
+        let cycles = g.cycles();
+        assert_eq!(cycles, vec![vec!["L::a".to_string(), "L::b".to_string()]]);
+        // try edge b->c does not extend the cycle
+        assert!(!cycles[0].contains(&"L::c".to_string()));
+    }
+
+    #[test]
+    fn self_edges_do_not_count_as_cycles() {
+        let f = FnFacts {
+            key: "f".into(),
+            file: "a.rs".into(),
+            edges: vec![edge("L::s", "L::s", false)],
+            ..FnFacts::default()
+        };
+        assert!(build(&[f]).cycles().is_empty());
+    }
+}

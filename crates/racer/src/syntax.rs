@@ -1,0 +1,630 @@
+//! Item-level parsing over the token stream: struct fields (with
+//! normalized type strings), functions (with receiver type, params,
+//! return type, and body token range), statics, and module structure.
+//!
+//! `#[cfg(test)]` items are skipped — the analyzer certifies the
+//! production tree, and test bodies deliberately contend locks in ways
+//! the discipline rules would (rightly) reject in shipped code.
+
+use crate::lexer::{Lexed, Token, TokenKind};
+
+/// One struct field with a normalized type string.
+#[derive(Debug, Clone)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Normalized type text (`Vec<Mutex<ShardCore>>`).
+    pub ty: String,
+}
+
+/// A parsed struct definition.
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    /// Type name.
+    pub name: String,
+    /// Crate (directory name under `crates/`).
+    pub krate: String,
+    /// Named fields (tuple structs contribute none).
+    pub fields: Vec<Field>,
+}
+
+/// One function parameter.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Binding name (`_` for destructuring patterns).
+    pub name: String,
+    /// Normalized type text.
+    pub ty: String,
+}
+
+/// A parsed function: enough signature to resolve receivers, plus the
+/// body as a token range into the owning file's stream.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Unqualified name.
+    pub name: String,
+    /// Receiver type for methods (`CommitPipeline`), `None` for free
+    /// functions.
+    pub self_ty: Option<String>,
+    /// Crate (directory name under `crates/`).
+    pub krate: String,
+    /// Repo-relative file path.
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Parameters in order (excluding `self`).
+    pub params: Vec<Param>,
+    /// Whether the function takes `self`/`&self`/`&mut self`.
+    pub has_self: bool,
+    /// Normalized return type (empty for `()`).
+    pub ret: String,
+    /// Token index range of the body, `start..end` covering the tokens
+    /// strictly inside the outer braces. Empty for bodyless items.
+    pub body: (usize, usize),
+}
+
+impl FnDef {
+    /// Qualified key: `Struct::name` for methods, `name` for free fns.
+    pub fn key(&self) -> String {
+        match &self.self_ty {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// A `static`/`const` item with a normalized type.
+#[derive(Debug, Clone)]
+pub struct StaticDef {
+    /// Item name (conventionally SCREAMING_CASE).
+    pub name: String,
+    /// Crate (directory name under `crates/`).
+    pub krate: String,
+    /// Normalized type text.
+    pub ty: String,
+}
+
+/// Everything item-parsing recovers from one file.
+#[derive(Debug, Default)]
+pub struct FileItems {
+    /// Struct definitions.
+    pub structs: Vec<StructDef>,
+    /// Function definitions.
+    pub fns: Vec<FnDef>,
+    /// Static/const items (including ones inside `thread_local!`).
+    pub statics: Vec<StaticDef>,
+}
+
+/// Join tokens into a normalized type string: no whitespace except a
+/// single space between adjacent identifiers (`dyn Fn`, `impl Trait`).
+pub fn normalize_ty(tokens: &[Token]) -> String {
+    let mut out = String::new();
+    let mut prev_word = false;
+    for t in tokens {
+        match &t.kind {
+            TokenKind::Ident(s) => {
+                if prev_word {
+                    out.push(' ');
+                }
+                out.push_str(s);
+                prev_word = true;
+            }
+            TokenKind::Num(s) => {
+                if prev_word {
+                    out.push(' ');
+                }
+                out.push_str(s);
+                prev_word = true;
+            }
+            TokenKind::Punct(c) => {
+                out.push(*c);
+                prev_word = false;
+            }
+            TokenKind::Lifetime => {
+                // lifetimes never affect resolution; drop them
+                prev_word = false;
+            }
+            TokenKind::Str | TokenKind::Char => prev_word = false,
+        }
+    }
+    out
+}
+
+/// Find the matching close for the opener at `open` (which must be an
+/// opening punct), returning the index of the closer.
+pub fn matching(tokens: &[Token], open: usize, open_c: char, close_c: char) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        if tokens[i].is_punct(open_c) {
+            depth += 1;
+        } else if tokens[i].is_punct(close_c) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Skip a balanced `<...>` generics group starting at `i` (pointing at
+/// `<`). Returns the index just past the closing `>`. Tolerates `>>`.
+fn skip_generics(tokens: &[Token], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < tokens.len() {
+        if tokens[i].is_punct('<') {
+            depth += 1;
+        } else if tokens[i].is_punct('>') {
+            depth -= 1;
+            if depth <= 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parse one file's items. `krate` is the crate directory name, `file`
+/// the repo-relative path.
+pub fn parse_items(lexed: &Lexed, krate: &str, file: &str) -> FileItems {
+    let mut out = FileItems::default();
+    let tokens = &lexed.tokens;
+    parse_scope(tokens, 0, tokens.len(), None, krate, file, &mut out);
+    out
+}
+
+/// Parse items in `tokens[start..end]` with the given impl receiver.
+fn parse_scope(
+    tokens: &[Token],
+    start: usize,
+    end: usize,
+    self_ty: Option<&str>,
+    krate: &str,
+    file: &str,
+    out: &mut FileItems,
+) {
+    let mut i = start;
+    while i < end {
+        let t = &tokens[i];
+        match &t.kind {
+            // Attribute: detect #[cfg(test)] and skip the next item.
+            TokenKind::Punct('#') if i + 1 < end && tokens[i + 1].is_punct('[') => {
+                let close = matching(tokens, i + 1, '[', ']');
+                let attr: Vec<&str> = tokens[i + 1..close]
+                    .iter()
+                    .filter_map(Token::ident)
+                    .collect();
+                i = close + 1;
+                if attr.first() == Some(&"cfg") && attr.contains(&"test") {
+                    i = skip_item(tokens, i, end);
+                }
+            }
+            TokenKind::Ident(word) => match word.as_str() {
+                "struct" => i = parse_struct(tokens, i, end, krate, out),
+                "enum" | "union" => i = skip_item(tokens, i, end),
+                "impl" => i = parse_impl(tokens, i, end, krate, file, out),
+                "trait" => i = parse_trait(tokens, i, end, krate, file, out),
+                "mod" => {
+                    // `mod name { ... }` — descend; `mod name;` — skip
+                    let mut j = i + 1;
+                    while j < end && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+                        j += 1;
+                    }
+                    if j < end && tokens[j].is_punct('{') {
+                        let close = matching(tokens, j, '{', '}');
+                        parse_scope(tokens, j + 1, close, None, krate, file, out);
+                        i = close + 1;
+                    } else {
+                        i = j + 1;
+                    }
+                }
+                "fn" => i = parse_fn(tokens, i, end, self_ty, krate, file, out),
+                "static" | "const" => i = parse_static(tokens, i, end, krate, out),
+                "macro_rules" => i = skip_item(tokens, i, end),
+                _ => {
+                    // `thread_local! { ... }` and friends: descend into
+                    // item-level macro braces so inner statics surface.
+                    if i + 2 < end && tokens[i + 1].is_punct('!') && tokens[i + 2].is_punct('{') {
+                        let close = matching(tokens, i + 2, '{', '}');
+                        parse_scope(tokens, i + 3, close, self_ty, krate, file, out);
+                        i = close + 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+            },
+            _ => i += 1,
+        }
+    }
+}
+
+/// Skip one item (to its closing `}` or `;`).
+fn skip_item(tokens: &[Token], mut i: usize, end: usize) -> usize {
+    while i < end {
+        if tokens[i].is_punct('{') {
+            return matching(tokens, i, '{', '}') + 1;
+        }
+        if tokens[i].is_punct(';') {
+            return i + 1;
+        }
+        // nested attribute on the item being skipped
+        if tokens[i].is_punct('[') {
+            i = matching(tokens, i, '[', ']');
+        }
+        i += 1;
+    }
+    end
+}
+
+/// `static NAME: Ty = ...;` / `const NAME: Ty = ...;` — record name and
+/// type, skip the initializer. `const fn` is delegated to fn parsing.
+fn parse_static(tokens: &[Token], i: usize, end: usize, krate: &str, out: &mut FileItems) -> usize {
+    if tokens.get(i + 1).is_some_and(|t| t.is_ident("fn")) {
+        return i + 1;
+    }
+    let mut j = i + 1;
+    if j < end && tokens[j].is_ident("mut") {
+        j += 1;
+    }
+    let Some(name) = tokens.get(j).and_then(Token::ident) else {
+        return i + 1;
+    };
+    if j + 1 >= end || !tokens[j + 1].is_punct(':') {
+        return j + 1;
+    }
+    let ty_start = j + 2;
+    let mut depth = 0i32;
+    let mut t = ty_start;
+    while t < end {
+        match &tokens[t].kind {
+            TokenKind::Punct('<') | TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct('>') | TokenKind::Punct(')') | TokenKind::Punct(']') => depth -= 1,
+            TokenKind::Punct('=') | TokenKind::Punct(';') if depth <= 0 => break,
+            _ => {}
+        }
+        t += 1;
+    }
+    out.statics.push(StaticDef {
+        name: name.into(),
+        krate: krate.into(),
+        ty: normalize_ty(&tokens[ty_start..t]),
+    });
+    skip_item(tokens, t, end)
+}
+
+fn parse_struct(tokens: &[Token], i: usize, end: usize, krate: &str, out: &mut FileItems) -> usize {
+    let Some(name) = tokens.get(i + 1).and_then(Token::ident) else {
+        return i + 1;
+    };
+    let mut j = i + 2;
+    if j < end && tokens[j].is_punct('<') {
+        j = skip_generics(tokens, j);
+    }
+    // unit/tuple struct or where-clause noise: find `{` or `;`
+    while j < end
+        && !tokens[j].is_punct('{')
+        && !tokens[j].is_punct(';')
+        && !tokens[j].is_punct('(')
+    {
+        j += 1;
+    }
+    if j >= end || !tokens[j].is_punct('{') {
+        out.structs.push(StructDef {
+            name: name.into(),
+            krate: krate.into(),
+            fields: Vec::new(),
+        });
+        return skip_item(tokens, j, end);
+    }
+    let close = matching(tokens, j, '{', '}');
+    let mut fields = Vec::new();
+    let mut k = j + 1;
+    while k < close {
+        // skip field attributes and visibility
+        if tokens[k].is_punct('#') && k + 1 < close && tokens[k + 1].is_punct('[') {
+            k = matching(tokens, k + 1, '[', ']') + 1;
+            continue;
+        }
+        if tokens[k].is_ident("pub") {
+            k += 1;
+            if k < close && tokens[k].is_punct('(') {
+                k = matching(tokens, k, '(', ')') + 1;
+            }
+            continue;
+        }
+        let Some(fname) = tokens[k].ident() else {
+            k += 1;
+            continue;
+        };
+        if k + 1 >= close || !tokens[k + 1].is_punct(':') {
+            k += 1;
+            continue;
+        }
+        // type runs to the next comma at bracket depth 0
+        let ty_start = k + 2;
+        let mut depth = 0i32;
+        let mut t = ty_start;
+        while t < close {
+            match &tokens[t].kind {
+                TokenKind::Punct('<') | TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct('>') | TokenKind::Punct(')') | TokenKind::Punct(']') => depth -= 1,
+                TokenKind::Punct(',') if depth <= 0 => break,
+                _ => {}
+            }
+            t += 1;
+        }
+        fields.push(Field {
+            name: fname.into(),
+            ty: normalize_ty(&tokens[ty_start..t]),
+        });
+        k = t + 1;
+    }
+    out.structs.push(StructDef {
+        name: name.into(),
+        krate: krate.into(),
+        fields,
+    });
+    close + 1
+}
+
+fn parse_impl(
+    tokens: &[Token],
+    i: usize,
+    end: usize,
+    krate: &str,
+    file: &str,
+    out: &mut FileItems,
+) -> usize {
+    let mut j = i + 1;
+    if j < end && tokens[j].is_punct('<') {
+        j = skip_generics(tokens, j);
+    }
+    // the receiver is the type after `for` if present, else the type
+    // right here; scan to the opening brace remembering segments
+    let mut ty_start = j;
+    while j < end && !tokens[j].is_punct('{') {
+        if tokens[j].is_ident("for") {
+            ty_start = j + 1;
+        }
+        if tokens[j].is_ident("where") {
+            break;
+        }
+        j += 1;
+    }
+    while j < end && !tokens[j].is_punct('{') {
+        j += 1;
+    }
+    if j >= end {
+        return end;
+    }
+    // receiver name: the last path-segment identifier before generics
+    let mut name = None;
+    for t in &tokens[ty_start..j] {
+        if let Some(id) = t.ident() {
+            if id != "where" && id != "dyn" {
+                name = Some(id.to_string());
+            }
+        }
+        if t.is_punct('<') {
+            break;
+        }
+    }
+    let close = matching(tokens, j, '{', '}');
+    parse_scope(tokens, j + 1, close, name.as_deref(), krate, file, out);
+    close + 1
+}
+
+fn parse_trait(
+    tokens: &[Token],
+    i: usize,
+    end: usize,
+    krate: &str,
+    file: &str,
+    out: &mut FileItems,
+) -> usize {
+    let name = tokens.get(i + 1).and_then(Token::ident).map(str::to_string);
+    let mut j = i + 1;
+    while j < end && !tokens[j].is_punct('{') {
+        if tokens[j].is_punct(';') {
+            return j + 1;
+        }
+        j += 1;
+    }
+    if j >= end {
+        return end;
+    }
+    let close = matching(tokens, j, '{', '}');
+    parse_scope(tokens, j + 1, close, name.as_deref(), krate, file, out);
+    close + 1
+}
+
+fn parse_fn(
+    tokens: &[Token],
+    i: usize,
+    end: usize,
+    self_ty: Option<&str>,
+    krate: &str,
+    file: &str,
+    out: &mut FileItems,
+) -> usize {
+    let Some(name) = tokens.get(i + 1).and_then(Token::ident) else {
+        return i + 1;
+    };
+    let line = tokens[i].line;
+    let mut j = i + 2;
+    if j < end && tokens[j].is_punct('<') {
+        j = skip_generics(tokens, j);
+    }
+    if j >= end || !tokens[j].is_punct('(') {
+        return j;
+    }
+    let params_close = matching(tokens, j, '(', ')');
+    let (params, has_self) = parse_params(&tokens[j + 1..params_close]);
+    // return type: after `->` up to `{`, `;`, or `where`
+    let mut k = params_close + 1;
+    let mut ret_start = None;
+    while k < end && !tokens[k].is_punct('{') && !tokens[k].is_punct(';') {
+        if tokens[k].is_punct('-') && k + 1 < end && tokens[k + 1].is_punct('>') {
+            ret_start = Some(k + 2);
+            k += 2;
+            continue;
+        }
+        if tokens[k].is_ident("where") {
+            break;
+        }
+        k += 1;
+    }
+    let mut ret_end = k;
+    while k < end && !tokens[k].is_punct('{') && !tokens[k].is_punct(';') {
+        k += 1;
+    }
+    if ret_start.is_none() {
+        ret_end = k;
+    }
+    let ret = ret_start
+        .map(|s| normalize_ty(&tokens[s..ret_end]))
+        .unwrap_or_default();
+    let body = if k < end && tokens[k].is_punct('{') {
+        let close = matching(tokens, k, '{', '}');
+        (k + 1, close)
+    } else {
+        (k, k)
+    };
+    out.fns.push(FnDef {
+        name: name.into(),
+        self_ty: self_ty.map(str::to_string),
+        krate: krate.into(),
+        file: file.into(),
+        line,
+        params,
+        has_self,
+        ret,
+        body,
+    });
+    // bodyless fn: body = (k, k) with `;` at k; braced fn: body.1 is the
+    // closing brace — either way the item ends at body.1.
+    body.1 + 1
+}
+
+fn parse_params(tokens: &[Token]) -> (Vec<Param>, bool) {
+    let mut params = Vec::new();
+    let mut has_self = false;
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    let mut i = 0usize;
+    loop {
+        let at_end = i >= tokens.len();
+        let split = at_end || (depth == 0 && tokens[i].is_punct(','));
+        if split {
+            let part = &tokens[start..i];
+            if part.iter().any(|t| t.is_ident("self")) && !part.iter().any(|t| t.is_punct(':')) {
+                has_self = true;
+            } else if let Some(colon) = part.iter().position(|t| t.is_punct(':')) {
+                let name = part[..colon]
+                    .iter()
+                    .rev()
+                    .find_map(Token::ident)
+                    .filter(|n| *n != "mut")
+                    .unwrap_or("_");
+                params.push(Param {
+                    name: name.into(),
+                    ty: normalize_ty(&part[colon + 1..]),
+                });
+            }
+            start = i + 1;
+        }
+        if at_end {
+            break;
+        }
+        match &tokens[i].kind {
+            TokenKind::Punct('<') | TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct('>') | TokenKind::Punct(')') | TokenKind::Punct(']') => depth -= 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    (params, has_self)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn items(src: &str) -> FileItems {
+        parse_items(&lex(src), "testcrate", "test.rs")
+    }
+
+    #[test]
+    fn parses_struct_fields_with_normalized_types() {
+        let it = items(
+            "pub(crate) struct CommitPipeline {\n\
+             shards: Vec<Mutex<ShardCore>>,\n\
+             /// doc\n\
+             active: Vec<Mutex<HashMap<TxnId, u64>>>,\n\
+             ts_alloc: AtomicU64,\n\
+             }\n",
+        );
+        let s = &it.structs[0];
+        assert_eq!(s.name, "CommitPipeline");
+        assert_eq!(s.fields[0].name, "shards");
+        assert_eq!(s.fields[0].ty, "Vec<Mutex<ShardCore>>");
+        assert_eq!(s.fields[1].ty, "Vec<Mutex<HashMap<TxnId,u64>>>");
+        assert_eq!(s.fields[2].ty, "AtomicU64");
+    }
+
+    #[test]
+    fn parses_methods_with_receiver_params_and_ret() {
+        let it = items(
+            "impl CommitPipeline {\n\
+             pub(crate) fn lock_shards<'a>(&'a self, ids: &BTreeSet<usize>, stats: &Stats)\n\
+             -> Vec<(usize, MutexGuard<'a, ShardCore>)> {\n\
+             let x = 1; { nested(); } x\n\
+             }\n\
+             }\n\
+             fn free(a: u64) {}\n",
+        );
+        let m = &it.fns[0];
+        assert_eq!(m.key(), "CommitPipeline::lock_shards");
+        assert!(m.has_self);
+        assert_eq!(m.params.len(), 2);
+        assert_eq!(m.params[0].name, "ids");
+        assert_eq!(m.params[0].ty, "&BTreeSet<usize>");
+        assert!(m.ret.contains("MutexGuard"));
+        assert!(m.body.1 > m.body.0);
+        assert_eq!(it.fns[1].key(), "free");
+    }
+
+    #[test]
+    fn impl_trait_for_type_attributes_to_the_type() {
+        let it = items("impl fmt::Display for IsolationLevel { fn fmt(&self) {} }");
+        assert_eq!(it.fns[0].key(), "IsolationLevel::fmt");
+    }
+
+    #[test]
+    fn cfg_test_modules_and_fns_are_skipped() {
+        let it = items(
+            "fn live() {}\n\
+             #[cfg(test)]\nmod tests { fn ghost() { a.lock(); } }\n\
+             #[cfg(test)]\nfn also_ghost() {}\n\
+             fn live2() {}\n",
+        );
+        let keys: Vec<String> = it.fns.iter().map(FnDef::key).collect();
+        assert_eq!(keys, ["live", "live2"]);
+    }
+
+    #[test]
+    fn statics_inside_thread_local_are_found() {
+        let it = items(
+            "static REGISTRY: Mutex<Vec<Arc<Ring>>> = Mutex::new(Vec::new());\n\
+             thread_local! { static MY_RING: Arc<Ring> = x(); }\n",
+        );
+        assert_eq!(it.statics.len(), 2);
+        assert_eq!(it.statics[0].name, "REGISTRY");
+        assert!(it.statics[0].ty.starts_with("Mutex<"));
+        assert_eq!(it.statics[1].name, "MY_RING");
+    }
+}

@@ -8,24 +8,9 @@ use crate::matrix::{Cell, CellEvidence, PairKind, Verdict, LEVELS};
 use feral_sim::scenarios::{Guard, ScenarioSpec};
 use std::fmt::Write as _;
 
-/// Minimal JSON string escaping for the artifact renderer.
-pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
+/// Shared JSON string escaper (re-exported so existing callers keep
+/// their `feral_sdg::report::json_escape` path).
+pub use feral_cli::report::json_escape;
 
 /// The `feral-sim systematic` invocation that probes a cell's scenario.
 pub fn probe_command(spec: &ScenarioSpec) -> String {

@@ -74,6 +74,18 @@ impl Json {
         }
     }
 
+    /// Signed integer value; `None` for non-numbers and non-integers
+    /// (fractions and values outside the exactly-representable `i64`
+    /// range).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Num(n) if n.fract() == 0.0 && *n >= i64::MIN as f64 && *n <= i64::MAX as f64 => {
+                Some(*n as i64)
+            }
+            _ => None,
+        }
+    }
+
     /// Non-negative integer value; `None` for non-numbers, negatives,
     /// and non-integers.
     pub fn as_u64(&self) -> Option<u64> {
@@ -264,6 +276,22 @@ mod tests {
         assert_eq!(v.get("b").unwrap().get("e"), Some(&Json::Null));
         assert_eq!(v.get("a").unwrap().as_arr().unwrap()[0].as_u64(), Some(1));
         assert_eq!(v.get("a").unwrap().as_arr().unwrap()[2].as_u64(), None);
+    }
+
+    #[test]
+    fn number_accessors_distinguish_sign_and_fraction() {
+        let doc = r#"{"neg": -3, "pos": 7, "frac": 2.5, "s": "9", "b": true}"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.get("neg").unwrap().as_i64(), Some(-3));
+        assert_eq!(v.get("neg").unwrap().as_u64(), None);
+        assert_eq!(v.get("neg").unwrap().as_f64(), Some(-3.0));
+        assert_eq!(v.get("pos").unwrap().as_i64(), Some(7));
+        assert_eq!(v.get("pos").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("frac").unwrap().as_i64(), None);
+        assert_eq!(v.get("frac").unwrap().as_f64(), Some(2.5));
+        assert_eq!(v.get("s").unwrap().as_i64(), None);
+        assert_eq!(v.get("s").unwrap().as_f64(), None);
+        assert_eq!(v.get("b").unwrap().as_i64(), None);
     }
 
     #[test]

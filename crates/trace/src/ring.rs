@@ -68,8 +68,10 @@ impl Ring {
     }
 
     /// Publish one event. Called only by the owning thread.
+    // racer:publication trace::Ring::head
+    // racer:seqlock trace::Slot::version guards trace::Slot::words
     pub fn push(&self, event: &Event) {
-        let pos = self.head.load(Ordering::Relaxed);
+        let pos = self.head.load(Ordering::Relaxed); // racer:owner-thread single writer
         let slot = &self.slots[(pos as usize) % RING_SLOTS];
         let v = slot.version.load(Ordering::Relaxed);
         slot.version.store(v | 1, Ordering::Release);

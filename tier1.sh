@@ -60,6 +60,17 @@ cargo run --release -q -p feral-sdg -- matrix --validate --json --out "$SDG_OUT"
 diff "$SDG_OUT" results/BENCH_sdg.golden.json
 rm -f "$SDG_OUT"
 
+echo "== tier1: feral-racer self-hosting concurrency discipline =="
+# Lock-order and atomics discipline for the workspace's own concurrency
+# core, statically checked: zero findings on the live tree, every
+# FERALRS rule proven live against its seeded-fault fixture
+# (mutation-style — a rule that stops firing fails the gate), and the
+# full acquisition inventory byte-identical to the checked-in golden.
+RACER_OUT=$(mktemp /tmp/BENCH_racer.XXXXXX.json)
+cargo run --release -q -p feral-racer -- check --json --validate --out "$RACER_OUT"
+diff "$RACER_OUT" results/BENCH_racer.golden.json
+rm -f "$RACER_OUT"
+
 echo "== tier1: feral-trace docs (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q -p feral-trace
 
