@@ -11,6 +11,26 @@
 //! concurrent requests and blocks until every response arrives — the
 //! paper's "blocking in-between rounds to ensure that each round is, in
 //! fact, a concurrent set of requests" (§5.2).
+//!
+//! ## The [`Service`] boundary
+//!
+//! Every request path in the repo now goes through one transport-agnostic
+//! trait: [`Service::call`] maps a [`Request`] to a [`Response`].
+//! Implementations:
+//!
+//! * [`Deployment`] — the classic in-process worker pool (also the
+//!   sim-hooked path: its dispatch and handle sites are
+//!   `feral_hooks` yield points, so deterministic schedule exploration
+//!   drives it unchanged);
+//! * [`PooledService`] — a sessionless front door holding a bounded
+//!   connection pool, the shape a networked frontend's executor threads
+//!   want (one [`feral_orm::Session`] checked out per in-flight call);
+//! * `feral_net::NetClient` — the networked frontend: the same calls,
+//!   over a length-prefixed wire protocol.
+//!
+//! [`Deployment::round`] and [`Deployment::dispatch`] remain as thin
+//! adapters over the same machinery, so the round-barrier experiment
+//! harness and the benches migrate without behaviour change.
 
 #![warn(missing_docs)]
 
@@ -24,11 +44,21 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// A request, as dispatched to a worker — the HTTP verbs the experiment
-/// applications expose (paper Appendix C.1: "simple View and Controller
-/// logic to allow us to POST, GET, and DELETE each kind of model
-/// instance").
-pub enum Request {
+/// A transport-agnostic application service: the one interface the
+/// in-process deployment, the deterministic-sim path, and the networked
+/// frontend all implement. A service must be callable from any thread;
+/// each call is one request/response exchange.
+pub trait Service: Send + Sync {
+    /// Handle one request to completion.
+    fn call(&self, request: Request) -> Response;
+}
+
+/// What a request asks the application to do — the HTTP verbs the
+/// experiment applications expose (paper Appendix C.1: "simple View and
+/// Controller logic to allow us to POST, GET, and DELETE each kind of
+/// model instance"), plus the named-template entry point the isolation
+/// planner's workloads use.
+pub enum Op {
     /// `POST /<model>` — build a record from attributes and `save` it.
     Create {
         /// Model class name.
@@ -51,8 +81,130 @@ pub enum Request {
         /// Record id.
         id: i64,
     },
-    /// Arbitrary controller logic (used by workloads that update records).
+    /// A named transaction template (the `feral-plan` key vocabulary,
+    /// e.g. `uniqueness-probe-insert:signups.email`) applied to `key`.
+    /// Only template-aware services (the planner workload frontends)
+    /// handle these; ORM-backed services answer with a config error.
+    Template {
+        /// Template key, `{class}:{table}.{column}`.
+        name: String,
+        /// Workload key the template instance targets.
+        key: u64,
+    },
+    /// Arbitrary controller logic (used by workloads that update
+    /// records). Not serializable: a custom request cannot cross a wire.
     Custom(Box<dyn FnOnce(&mut Session) -> Response + Send>),
+}
+
+/// A request, as dispatched to a worker: a first-class user session
+/// identity plus the operation. Session ids let a load generator
+/// simulate millions of distinct users without any per-user server
+/// state; they flow into trace events for per-session provenance.
+pub struct Request {
+    /// The issuing user session (0 = anonymous/none).
+    pub session: u64,
+    /// What to do.
+    pub op: Op,
+}
+
+impl Request {
+    /// Start building a model-targeted request.
+    pub fn builder(model: impl Into<String>) -> RequestBuilder {
+        RequestBuilder {
+            model: model.into(),
+            session: 0,
+            attrs: Vec::new(),
+        }
+    }
+
+    /// A named-template request (see [`Op::Template`]).
+    pub fn template(name: impl Into<String>, key: u64) -> Request {
+        Request {
+            session: 0,
+            op: Op::Template {
+                name: name.into(),
+                key,
+            },
+        }
+    }
+
+    /// An arbitrary-controller-logic request (see [`Op::Custom`]).
+    pub fn custom(f: impl FnOnce(&mut Session) -> Response + Send + 'static) -> Request {
+        Request {
+            session: 0,
+            op: Op::Custom(Box::new(f)),
+        }
+    }
+
+    /// Attach a session identity to an already-built request.
+    pub fn with_session(mut self, session: u64) -> Request {
+        self.session = session;
+        self
+    }
+}
+
+/// Builder for model-targeted [`Request`]s: model, op, attributes, and
+/// session identity, each spelled once and typed. The terminal methods
+/// ([`RequestBuilder::create`], [`RequestBuilder::get`],
+/// [`RequestBuilder::destroy`]) pick the operation.
+pub struct RequestBuilder {
+    model: String,
+    session: u64,
+    attrs: Vec<(String, Datum)>,
+}
+
+impl RequestBuilder {
+    /// Set the issuing session id.
+    pub fn session(mut self, session: u64) -> Self {
+        self.session = session;
+        self
+    }
+
+    /// Add one attribute assignment.
+    pub fn attr(mut self, name: impl Into<String>, value: impl Into<Datum>) -> Self {
+        self.attrs.push((name.into(), value.into()));
+        self
+    }
+
+    /// Add attribute assignments from `(name, value)` pairs.
+    pub fn attrs(mut self, pairs: &[(&str, Datum)]) -> Self {
+        self.attrs
+            .extend(pairs.iter().map(|(k, v)| ((*k).to_string(), v.clone())));
+        self
+    }
+
+    /// Finish as a `POST /<model>` create.
+    pub fn create(self) -> Request {
+        Request {
+            session: self.session,
+            op: Op::Create {
+                model: self.model,
+                attrs: self.attrs,
+            },
+        }
+    }
+
+    /// Finish as a `GET /<model>/<id>`.
+    pub fn get(self, id: i64) -> Request {
+        Request {
+            session: self.session,
+            op: Op::Get {
+                model: self.model,
+                id,
+            },
+        }
+    }
+
+    /// Finish as a `DELETE /<model>/<id>`.
+    pub fn destroy(self, id: i64) -> Request {
+        Request {
+            session: self.session,
+            op: Op::Destroy {
+                model: self.model,
+                id,
+            },
+        }
+    }
 }
 
 /// A response, as returned by a worker.
@@ -71,7 +223,10 @@ pub enum Response {
     /// The database rejected the request (constraint violation,
     /// serialization failure, lock timeout, ...).
     Error(OrmError),
-    /// Custom-handler success marker.
+    /// The deployment shed this request under overload before any
+    /// application logic ran. Always safe to retry.
+    Overloaded,
+    /// Custom-handler / template success marker.
     Ok,
 }
 
@@ -82,6 +237,17 @@ impl Response {
             self,
             Response::Created(_) | Response::Destroyed | Response::Found(_) | Response::Ok
         )
+    }
+
+    /// Whether re-issuing the identical request may succeed: load sheds
+    /// always (nothing ran), and errors the ORM classifies as retryable
+    /// (concurrency aborts, optimistic-locking conflicts).
+    pub fn retryable(&self) -> bool {
+        match self {
+            Response::Overloaded => true,
+            Response::Error(e) => e.is_retryable(),
+            _ => false,
+        }
     }
 }
 
@@ -212,7 +378,7 @@ impl Deployment {
                         feral_trace::EventKind::Site(feral_hooks::Site::ServerHandle),
                         0,
                         w as u64,
-                        0,
+                        job.request.session,
                     );
                     let span = feral_trace::start_phase(feral_trace::Phase::Request);
                     let response = handle(&mut session, job.request);
@@ -279,7 +445,10 @@ impl Deployment {
     }
 
     /// Dispatch one round of requests concurrently across the pool and
-    /// collect all responses (order corresponds to request order).
+    /// collect all responses (order corresponds to request order). A
+    /// thin adapter over the shared queue: the concurrency-relevant
+    /// behaviour is identical to issuing [`Service::call`] from `n`
+    /// client threads at once.
     pub fn round(&self, requests: Vec<Request>) -> Vec<Response> {
         let n = requests.len();
         let (reply_tx, reply_rx) = bounded::<(usize, Response)>(n);
@@ -306,7 +475,8 @@ impl Deployment {
             .collect()
     }
 
-    /// Dispatch a single request and wait for its response.
+    /// Dispatch a single request and wait for its response (the
+    /// [`Service::call`] adapter).
     pub fn dispatch(&self, request: Request) -> Response {
         self.round(vec![request]).pop().unwrap()
     }
@@ -324,9 +494,65 @@ impl Deployment {
     }
 }
 
+impl Service for Deployment {
+    fn call(&self, request: Request) -> Response {
+        self.dispatch(request)
+    }
+}
+
+/// An in-process [`Service`] with a bounded session pool instead of
+/// worker threads: each call checks a [`feral_orm::Session`] out (or
+/// opens one when the pool is dry), runs the request on the *calling*
+/// thread, and returns the session if the pool has room. This is the
+/// shape a networked frontend's executor threads front the database
+/// with — `pool` plays the role of the Rails database connection pool.
+pub struct PooledService {
+    app: App,
+    sessions: parking_lot::Mutex<Vec<Session>>,
+    pool: usize,
+    calls: AtomicU64,
+}
+
+impl PooledService {
+    /// A pooled service over `app` retaining at most `pool` idle
+    /// sessions.
+    pub fn new(app: App, pool: usize) -> Self {
+        PooledService {
+            app,
+            sessions: parking_lot::Mutex::new(Vec::with_capacity(pool)),
+            pool,
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// Requests served so far.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Sessions currently idle in the pool.
+    pub fn idle_sessions(&self) -> usize {
+        self.sessions.lock().len()
+    }
+}
+
+impl Service for PooledService {
+    fn call(&self, request: Request) -> Response {
+        let checked_out = self.sessions.lock().pop();
+        let mut session = checked_out.unwrap_or_else(|| self.app.session());
+        let response = handle(&mut session, request);
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        let mut pool = self.sessions.lock();
+        if pool.len() < self.pool {
+            pool.push(session);
+        }
+        response
+    }
+}
+
 fn handle(session: &mut Session, request: Request) -> Response {
-    match request {
-        Request::Create { model, attrs } => {
+    match request.op {
+        Op::Create { model, attrs } => {
             let pairs: Vec<(&str, Datum)> =
                 attrs.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
             match session.create(&model, &pairs) {
@@ -335,7 +561,7 @@ fn handle(session: &mut Session, request: Request) -> Response {
                 Err(e) => Response::Error(e),
             }
         }
-        Request::Destroy { model, id } => match session.find(&model, id) {
+        Op::Destroy { model, id } => match session.find(&model, id) {
             Ok(mut rec) => match session.destroy(&mut rec) {
                 Ok(()) => Response::Destroyed,
                 Err(e) => Response::Error(e),
@@ -343,23 +569,15 @@ fn handle(session: &mut Session, request: Request) -> Response {
             Err(OrmError::RecordNotFound(_)) => Response::NotFound,
             Err(e) => Response::Error(e),
         },
-        Request::Get { model, id } => match session.find(&model, id) {
+        Op::Get { model, id } => match session.find(&model, id) {
             Ok(rec) => Response::Found(rec),
             Err(OrmError::RecordNotFound(_)) => Response::NotFound,
             Err(e) => Response::Error(e),
         },
-        Request::Custom(f) => f(session),
-    }
-}
-
-/// Convenience constructor for create requests.
-pub fn create_request(model: &str, attrs: &[(&str, Datum)]) -> Request {
-    Request::Create {
-        model: model.to_string(),
-        attrs: attrs
-            .iter()
-            .map(|(k, v)| ((*k).to_string(), v.clone()))
-            .collect(),
+        Op::Template { name, .. } => Response::Error(OrmError::Config(format!(
+            "no template handler for `{name}` (ORM-backed service)"
+        ))),
+        Op::Custom(f) => f(session),
     }
 }
 
@@ -380,18 +598,21 @@ mod tests {
         app
     }
 
+    fn create_widget(name: &str) -> Request {
+        Request::builder("Widget")
+            .attr("name", Datum::text(name))
+            .create()
+    }
+
     #[test]
     fn create_and_get_roundtrip() {
         let app = app();
         let d = Deployment::start(app, DeploymentConfig::default());
-        let r = d.dispatch(create_request("Widget", &[("name", Datum::text("w"))]));
+        let r = d.dispatch(create_widget("w"));
         let Response::Created(id) = r else {
             panic!("expected Created, got {r:?}")
         };
-        let r = d.dispatch(Request::Get {
-            model: "Widget".into(),
-            id,
-        });
+        let r = d.dispatch(Request::builder("Widget").get(id));
         assert!(matches!(r, Response::Found(_)));
         d.shutdown();
     }
@@ -400,7 +621,7 @@ mod tests {
     fn invalid_create_reports_errors() {
         let app = app();
         let d = Deployment::start(app, DeploymentConfig::default());
-        let r = d.dispatch(create_request("Widget", &[]));
+        let r = d.dispatch(Request::builder("Widget").create());
         match r {
             Response::Invalid(msgs) => {
                 assert!(msgs.iter().any(|m| m.contains("blank")), "{msgs:?}")
@@ -420,9 +641,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        let reqs: Vec<Request> = (0..32)
-            .map(|i| create_request("Widget", &[("name", Datum::text(format!("w{i}")))]))
-            .collect();
+        let reqs: Vec<Request> = (0..32).map(|i| create_widget(&format!("w{i}"))).collect();
         let resps = d.round(reqs);
         assert_eq!(resps.len(), 32);
         assert!(resps.iter().all(|r| r.succeeded()));
@@ -433,23 +652,15 @@ mod tests {
     fn destroy_and_not_found() {
         let app = app();
         let d = Deployment::start(app, DeploymentConfig::default());
-        let Response::Created(id) =
-            d.dispatch(create_request("Widget", &[("name", Datum::text("w"))]))
-        else {
+        let Response::Created(id) = d.dispatch(create_widget("w")) else {
             panic!()
         };
         assert!(matches!(
-            d.dispatch(Request::Destroy {
-                model: "Widget".into(),
-                id
-            }),
+            d.dispatch(Request::builder("Widget").destroy(id)),
             Response::Destroyed
         ));
         assert!(matches!(
-            d.dispatch(Request::Get {
-                model: "Widget".into(),
-                id
-            }),
+            d.dispatch(Request::builder("Widget").get(id)),
             Response::NotFound
         ));
         d.shutdown();
@@ -465,9 +676,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        let reqs: Vec<Request> = (0..40)
-            .map(|i| create_request("Widget", &[("name", Datum::text(format!("w{i}")))]))
-            .collect();
+        let reqs: Vec<Request> = (0..40).map(|i| create_widget(&format!("w{i}"))).collect();
         let _ = d.round(reqs);
         let served = d.requests_served();
         assert_eq!(served.len(), 4);
@@ -486,20 +695,17 @@ mod tests {
         let d = Deployment::start(app, DeploymentConfig::default());
         // 3 successes, 2 validation rejections, 1 hard error.
         for i in 0..3 {
-            let r = d.dispatch(create_request(
-                "Widget",
-                &[("name", Datum::text(format!("w{i}")))],
-            ));
+            let r = d.dispatch(create_widget(&format!("w{i}")));
             assert!(r.succeeded());
         }
         for _ in 0..2 {
             assert!(matches!(
-                d.dispatch(create_request("Widget", &[])),
+                d.dispatch(Request::builder("Widget").create()),
                 Response::Invalid(_)
             ));
         }
         assert!(matches!(
-            d.dispatch(create_request("NoSuchModel", &[])),
+            d.dispatch(Request::builder("NoSuchModel").create()),
             Response::Error(_)
         ));
         let m = d.metrics();
@@ -520,14 +726,85 @@ mod tests {
     fn custom_requests_run_controller_logic() {
         let app = app();
         let d = Deployment::start(app.clone(), DeploymentConfig::default());
-        let r = d.dispatch(Request::Custom(Box::new(|s| {
+        let r = d.dispatch(Request::custom(|s| {
             match s.create("Widget", &[("name", Datum::text("custom"))]) {
                 Ok(r) if r.is_persisted() => Response::Created(r.id().unwrap()),
                 Ok(_) => Response::Invalid(vec![]),
                 Err(e) => Response::Error(e),
             }
-        })));
+        }));
         assert!(matches!(r, Response::Created(_)));
         d.shutdown();
+    }
+
+    #[test]
+    fn builder_carries_session_attrs_and_op() {
+        let r = Request::builder("Widget")
+            .session(42)
+            .attr("name", Datum::text("w"))
+            .attrs(&[("extra", Datum::Int(7))])
+            .create();
+        assert_eq!(r.session, 42);
+        let Op::Create { model, attrs } = r.op else {
+            panic!("expected Create")
+        };
+        assert_eq!(model, "Widget");
+        assert_eq!(attrs.len(), 2);
+        assert_eq!(attrs[0].0, "name");
+        assert_eq!(attrs[1].1, Datum::Int(7));
+
+        let r = Request::builder("Widget").session(9).get(3);
+        assert!(matches!(r.op, Op::Get { id: 3, .. }));
+        assert_eq!(r.session, 9);
+        let r = Request::builder("Widget").destroy(4).with_session(8);
+        assert!(matches!(r.op, Op::Destroy { id: 4, .. }));
+        assert_eq!(r.session, 8);
+        let r = Request::template("lock-version-rmw:accounts.lock_version", 17);
+        assert!(matches!(r.op, Op::Template { key: 17, .. }));
+    }
+
+    #[test]
+    fn deployment_is_a_service() {
+        let app = app();
+        let d = Deployment::start(app, DeploymentConfig::default());
+        let svc: &dyn Service = &d;
+        assert!(matches!(svc.call(create_widget("s")), Response::Created(_)));
+        d.shutdown();
+    }
+
+    #[test]
+    fn pooled_service_reuses_sessions_and_serves() {
+        let svc = PooledService::new(app(), 2);
+        let svc = std::sync::Arc::new(svc);
+        let mut joins = Vec::new();
+        for t in 0..4 {
+            let svc = svc.clone();
+            joins.push(std::thread::spawn(move || {
+                for i in 0..8 {
+                    let r = svc.call(create_widget(&format!("w{t}-{i}")));
+                    assert!(r.succeeded(), "{r:?}");
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(svc.calls(), 32);
+        // the pool retains at most its bound
+        assert!(svc.idle_sessions() <= 2);
+        // a template op is a config error on an ORM-backed service
+        let r = svc.call(Request::template("nope:t.c", 1));
+        assert!(matches!(r, Response::Error(OrmError::Config(_))));
+        assert!(!r.retryable());
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(Response::Overloaded.retryable());
+        assert!(!Response::Overloaded.succeeded());
+        assert!(Response::Error(OrmError::StaleObject("w".into())).retryable());
+        assert!(Response::Error(OrmError::Db(feral_db::DbError::WriteConflict)).retryable());
+        assert!(!Response::Error(OrmError::Config("x".into())).retryable());
+        assert!(!Response::NotFound.retryable());
     }
 }

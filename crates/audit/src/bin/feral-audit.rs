@@ -19,16 +19,44 @@ use feral_audit::{
 use feral_trace::json::{self, Json};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: feral-audit report (--in FILE | --demo) [--prom | --json]";
+const USAGE: &str = "usage: feral-audit report (--in FILE | --demo) [--prom | --json] \
+                     [--out PATH] [--validate] (--help for details)";
+
+/// The house `--help` text. The closing block must stay byte-identical
+/// to `feral_cli::STANDARD_FLAGS` — this binary cannot link feral-cli
+/// (dependency cycle), so the `cli_help` integration test pins it.
+const HELP: &str = "feral-audit — render and validate saved runtime-audit snapshots
+
+Usage:
+  feral-audit report (--in FILE | --demo) [--prom]
+
+Options:
+  --in FILE         a bare snapshot, or a commitbench report embedding one
+  --demo            stage the paper's motivating duplicate-signup race
+  --prom            Prometheus text exposition instead of text/JSON
+
+Standard flags:
+  --json            emit machine-readable JSON
+  --out PATH        write the artifact to PATH instead of stdout
+  --validate        self-validate the artifact and exit nonzero on schema drift
+  --smoke           small fast run for CI gates (subset of --full)
+  --help            this text
+";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help") {
+        print!("{HELP}");
+        return ExitCode::SUCCESS;
+    }
     if argv.first().map(String::as_str) != Some("report") {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     }
     let mut input: Option<String> = None;
+    let mut out: Option<String> = None;
     let mut demo = false;
+    let mut validate = false;
     let mut format = "text";
     let mut it = argv[1..].iter();
     while let Some(arg) = it.next() {
@@ -40,9 +68,18 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--out" => match it.next() {
+                Some(path) => out = Some(path.clone()),
+                None => {
+                    eprintln!("--out needs a file path\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--demo" => demo = true,
             "--prom" => format = "prom",
             "--json" => format = "json",
+            "--validate" => validate = true,
+            "--smoke" => {} // accepted everywhere; this tool has no slow mode
             other => {
                 eprintln!("unknown argument '{other}'\n{USAGE}");
                 return ExitCode::FAILURE;
@@ -71,10 +108,26 @@ fn main() -> ExitCode {
             }
         }
     };
-    match format {
-        "prom" => print!("{}", snap.to_prometheus()),
-        "json" => println!("{}", snap.to_json()),
-        _ => print!("{}", snap.render_text()),
+    if validate {
+        if let Err(err) = feral_audit::validate_audit_json(&snap.to_json()) {
+            eprintln!("feral-audit: snapshot fails the export schema: {err}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let rendered = match format {
+        "prom" => snap.to_prometheus(),
+        "json" => format!("{}\n", snap.to_json()),
+        _ => snap.render_text(),
+    };
+    match out {
+        Some(path) => {
+            if let Err(err) = std::fs::write(&path, &rendered) {
+                eprintln!("feral-audit: cannot write {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("feral-audit: wrote {path}");
+        }
+        None => print!("{rendered}"),
     }
     if snap.cycles > 0 {
         ExitCode::from(2)

@@ -1,0 +1,24 @@
+//! Pins the house `--help` contract for feral-audit: the binary answers
+//! `--help` on stdout with help text in the shared format, ending with
+//! the standard-flags block every tool carries, and exits 0.
+
+use std::process::Command;
+
+#[test]
+fn help_ends_with_the_standard_flags_block() {
+    let out = Command::new(env!("CARGO_BIN_EXE_feral-audit"))
+        .arg("--help")
+        .output()
+        .expect("run feral-audit --help");
+    assert!(out.status.success(), "--help must exit 0");
+    let text = String::from_utf8(out.stdout).expect("utf-8 help text");
+    assert!(
+        text.starts_with("feral-audit \u{2014} "),
+        "help opens with `feral-audit \u{2014} <about>`: {text:?}"
+    );
+    assert!(text.contains("\nUsage:\n"));
+    assert!(
+        text.ends_with(feral_cli::STANDARD_FLAGS),
+        "help must close with the shared standard-flags block verbatim"
+    );
+}

@@ -4,7 +4,7 @@
 use crate::apps::{users_departments_app, Enforcement, ExperimentEnv};
 use feral_db::Datum;
 use feral_orm::App;
-use feral_server::{create_request, Deployment, DeploymentConfig, Request, Response};
+use feral_server::{Deployment, DeploymentConfig, Request, Response};
 use feral_sql::SqlSession;
 use feral_workloads::{MixDriver, OpKind};
 
@@ -75,15 +75,14 @@ pub fn association_stress(
     );
     for &dept in &dept_ids {
         let mut requests: Vec<Request> = Vec::with_capacity(inserters + 1);
-        requests.push(Request::Destroy {
-            model: "Department".into(),
-            id: dept,
-        });
-        for _ in 0..inserters {
-            requests.push(create_request(
-                "User",
-                &[("department_id", Datum::Int(dept))],
-            ));
+        requests.push(Request::builder("Department").destroy(dept));
+        for client in 0..inserters {
+            requests.push(
+                Request::builder("User")
+                    .session(client as u64 + 1)
+                    .attr("department_id", Datum::Int(dept))
+                    .create(),
+            );
         }
         let _ = deployment.round(requests);
     }
@@ -134,15 +133,18 @@ pub fn association_workload(
     for _ in 0..ops {
         let requests: Vec<Request> = streams
             .iter_mut()
-            .map(|s| {
+            .enumerate()
+            .map(|(client, s)| {
                 let op = s.next_op();
                 let dept = dept_ids[op.key as usize];
                 match op.kind {
-                    OpKind::Delete => Request::Destroy {
-                        model: "Department".into(),
-                        id: dept,
-                    },
-                    _ => create_request("User", &[("department_id", Datum::Int(dept))]),
+                    OpKind::Delete => Request::builder("Department")
+                        .session(client as u64)
+                        .destroy(dept),
+                    _ => Request::builder("User")
+                        .session(client as u64)
+                        .attr("department_id", Datum::Int(dept))
+                        .create(),
                 }
             })
             .collect();

@@ -392,8 +392,29 @@ fn render_json(
     out
 }
 
+fn help() -> String {
+    feral_cli::render_help(
+        TOOL,
+        "commit-pipeline, planner-ablation, and runtime-audit benchmarks",
+        "  commitbench [--full] [--commits N] [--runs N] [--rounds N] [--max-runs N]\n\
+         \x20 commitbench planner [--full] [--ops N] [--runs N] [--seeds N] [--max-runs N]\n\
+         \x20 commitbench audit [--full] [--ops N] [--runs N] [--sample N]\n",
+        "  --full            the paper-scale grid (default is the smoke subset)\n\
+         \x20 --commits N       commits per worker per throughput cell\n\
+         \x20 --ops N           template calls per worker (planner/audit)\n\
+         \x20 --runs N          timed passes per configuration\n\
+         \x20 --sample N        audit 1 in N transactions in sampled mode\n\
+         \x20 --seeds N         random witness seeds before systematic fallback\n\
+         \x20 --max-runs N      feral-sim schedule budget per certified cell\n",
+    )
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help") {
+        print!("{}", help());
+        return ExitCode::SUCCESS;
+    }
     if argv.first().map(String::as_str) == Some("planner") {
         return planner::main(&Args::from_iter(argv[1..].iter().cloned()));
     }
@@ -554,72 +575,27 @@ fn main() -> ExitCode {
 mod planner {
     use feral_bench::{mean_std, paired_median_ratio, Args};
     use feral_cli::EXIT_DEVIATION;
-    use feral_db::{
-        AuditMode, ColumnDef, Config, DataType, Database, Datum, IsolationLevel, IsolationPlan,
-        Predicate, TableSchema,
-    };
-    use feral_iconfluence::{coordination_free, OperationMix};
+    use feral_db::{AuditMode, IsolationLevel, IsolationPlan};
     use feral_plan::{
         certify_cell, describe_cell, infer_pair_levels, level_str, CellCert, CellGate, PlanCell,
     };
     use feral_sdg::matrix::PairKind;
     use feral_sim::scenarios::Guard;
     use feral_trace::json::escape;
-    use feral_workloads::WeightedChoice;
-    use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
     use std::fmt::Write as _;
     use std::process::ExitCode;
-    use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-    use std::time::Instant;
+
+    // The workload itself — templates, plan, integrity audit, timed
+    // runs — lives in feral-net's planner module so the in-process
+    // bench and the wire-tier load harness measure the same thing.
+    pub(super) use feral_net::planner::{certified_plan, timed_run, Anomalies, TEMPLATES, WORKERS};
 
     const TOOL: &str = "commitbench";
-    pub(super) const WORKERS: usize = 8;
     // The planned execution must meet all-serializable throughput, minus
     // a 5% allowance for measurement noise: on a single-core box the two
     // configurations time-slice identically and the paired-per-pass
     // median still jitters a few percent around parity.
     const SPEED_GATE: f64 = 0.95;
-    const RETRIES: usize = 64;
-    const DEPTS: usize = 64;
-    const POSTS: i64 = 16;
-    const ACCOUNTS: i64 = 48;
-    const EMAILS: i64 = 96;
-
-    // The five transaction templates, keyed the way feral-plan keys
-    // template instances: `{class}:{table}.{column}`.
-    const T_SIGNUP: &str = "uniqueness-probe-insert:signups.email";
-    const T_HIRE: &str = "assoc-check-insert:users.department_id";
-    const T_DISBAND: &str = "cascade-destroy:users.department_id";
-    const T_DEPOSIT: &str = "lock-version-rmw:accounts.lock_version";
-    const T_COMMENT: &str = "assoc-check-insert:comments.post_id";
-    const TEMPLATES: [&str; 5] = [T_SIGNUP, T_HIRE, T_DISBAND, T_DEPOSIT, T_COMMENT];
-    /// signup / hire / disband / deposit / comment draw weights.
-    const WEIGHTS: [u32; 5] = [3, 3, 1, 2, 7];
-
-    /// The plan the planner configuration runs under: each template at
-    /// the level the fixed-point inference assigns its pair slot, with
-    /// the insert-only comment template on the read-committed fast path.
-    pub(super) fn certified_plan() -> IsolationPlan {
-        let mut plan = IsolationPlan::new(IsolationLevel::Serializable);
-        let (uniq, _) = infer_pair_levels(PairKind::Uniqueness);
-        let (orph, _) = infer_pair_levels(PairKind::Orphans);
-        let (rmw, _) = infer_pair_levels(PairKind::LockRmw);
-        let (sib, _) = infer_pair_levels(PairKind::SiblingInserts);
-        plan.assign(T_SIGNUP, uniq[0]);
-        plan.assign(T_HIRE, orph[0]);
-        plan.assign(T_DISBAND, orph[1]);
-        plan.assign(T_DEPOSIT, rmw[0]);
-        // comments only reference posts, and the workload never
-        // destroys a post: presence under an insert-only mix is
-        // I-confluent, so the comment template may run coordination-free
-        assert!(coordination_free(
-            "validates_presence_of",
-            OperationMix::InsertionsOnly
-        ));
-        plan.assign(T_COMMENT, sib[0]);
-        plan
-    }
 
     /// The plan cells behind [`certified_plan`], in template-pair order.
     fn bench_cells() -> Vec<PlanCell> {
@@ -640,322 +616,6 @@ mod planner {
             }
         })
         .collect()
-    }
-
-    /// End-of-run audit counters, one per feral anomaly family.
-    #[derive(Default, Clone, Copy)]
-    pub(super) struct Anomalies {
-        duplicate_signups: u64,
-        orphaned_users: u64,
-        orphaned_comments: u64,
-        lost_deposits: u64,
-    }
-
-    impl Anomalies {
-        pub(super) fn total(self) -> u64 {
-            self.duplicate_signups
-                + self.orphaned_users
-                + self.orphaned_comments
-                + self.lost_deposits
-        }
-        pub(super) fn add(&mut self, other: Anomalies) {
-            self.duplicate_signups += other.duplicate_signups;
-            self.orphaned_users += other.orphaned_users;
-            self.orphaned_comments += other.orphaned_comments;
-            self.lost_deposits += other.lost_deposits;
-        }
-        pub(super) fn describe(self) -> String {
-            format!(
-                "{} dup / {} orphan-user / {} orphan-comment / {} lost",
-                self.duplicate_signups,
-                self.orphaned_users,
-                self.orphaned_comments,
-                self.lost_deposits
-            )
-        }
-        pub(super) fn json(self) -> String {
-            format!(
-                "{{\"duplicate_signups\": {}, \"orphaned_users\": {}, \
-                 \"orphaned_comments\": {}, \"lost_deposits\": {}}}",
-                self.duplicate_signups,
-                self.orphaned_users,
-                self.orphaned_comments,
-                self.lost_deposits
-            )
-        }
-    }
-
-    /// Uniqueness probe-insert: scan for the email, insert when absent.
-    fn signup(db: &Database, plan: &IsolationPlan, rng: &mut StdRng) -> bool {
-        let email = format!("user{}@example.com", rng.random_range(0..EMAILS));
-        db.txn()
-            .planned(plan, T_SIGNUP)
-            .retries(RETRIES)
-            .run(|tx| {
-                let dup = tx.scan("signups", &Predicate::eq(1, email.as_str()))?;
-                // widen the probe/insert race window
-                std::thread::yield_now();
-                if dup.is_empty() {
-                    tx.insert_pairs("signups", &[("email", Datum::text(email.as_str()))])?;
-                }
-                Ok(())
-            })
-            .is_ok()
-    }
-
-    /// Association check-insert: verify the department exists, then
-    /// insert a user referencing it.
-    fn hire(db: &Database, plan: &IsolationPlan, slots: &[AtomicI64], rng: &mut StdRng) -> bool {
-        let dept = slots[rng.random_range(0..DEPTS)].load(Ordering::SeqCst);
-        db.txn()
-            .planned(plan, T_HIRE)
-            .retries(RETRIES)
-            .run(|tx| {
-                let parent = tx.scan("departments", &Predicate::eq(1, dept))?;
-                std::thread::yield_now();
-                if !parent.is_empty() {
-                    tx.insert_pairs(
-                        "users",
-                        &[
-                            ("email", Datum::text("hire")),
-                            ("department_id", Datum::Int(dept)),
-                        ],
-                    )?;
-                }
-                Ok(())
-            })
-            .is_ok()
-    }
-
-    /// Cascade destroy: delete a department's users, the department
-    /// itself, and replace it with a fresh one (so hires never run dry).
-    fn disband(
-        db: &Database,
-        plan: &IsolationPlan,
-        slots: &[AtomicI64],
-        next_dept: &AtomicI64,
-        rng: &mut StdRng,
-    ) -> bool {
-        let slot = rng.random_range(0..DEPTS);
-        let old = slots[slot].load(Ordering::SeqCst);
-        let fresh = next_dept.fetch_add(1, Ordering::SeqCst);
-        let ok = db
-            .txn()
-            .planned(plan, T_DISBAND)
-            .retries(RETRIES)
-            .run(|tx| {
-                tx.delete_where("users", &Predicate::eq(2, old))?;
-                tx.delete_where("departments", &Predicate::eq(1, old))?;
-                tx.insert_pairs("departments", &[("did", Datum::Int(fresh))])?;
-                Ok(())
-            })
-            .is_ok();
-        if ok {
-            slots[slot].store(fresh, Ordering::SeqCst);
-        }
-        ok
-    }
-
-    /// `lock_version` read-modify-write on one of 8 shared accounts.
-    fn deposit(db: &Database, plan: &IsolationPlan, acked: &AtomicU64, rng: &mut StdRng) -> bool {
-        let account = rng.random_range(0..ACCOUNTS);
-        let ok = db
-            .txn()
-            .planned(plan, T_DEPOSIT)
-            .retries(RETRIES)
-            .run(|tx| {
-                let rows = tx.scan("accounts", &Predicate::eq(1, account))?;
-                let (rref, tuple) = (rows[0].0, (*rows[0].1).clone());
-                let balance = tuple[2].as_int().unwrap_or(0);
-                let version = tuple[3].as_int().unwrap_or(0);
-                std::thread::yield_now();
-                let mut next = tuple;
-                next[2] = Datum::Int(balance + 1);
-                next[3] = Datum::Int(version + 1);
-                tx.update("accounts", rref, next)
-            })
-            .is_ok();
-        if ok {
-            acked.fetch_add(1, Ordering::SeqCst);
-        }
-        ok
-    }
-
-    /// Insert-only presence check: posts are never destroyed, so this
-    /// template is the plan's read-committed fast path.
-    fn comment(db: &Database, plan: &IsolationPlan, rng: &mut StdRng) -> bool {
-        let post = rng.random_range(0..POSTS);
-        db.txn()
-            .planned(plan, T_COMMENT)
-            .retries(RETRIES)
-            .run(|tx| {
-                let parent = tx.scan("posts", &Predicate::eq(1, post))?;
-                if !parent.is_empty() {
-                    tx.insert_pairs("comments", &[("post_id", Datum::Int(post))])?;
-                }
-                Ok(())
-            })
-            .is_ok()
-    }
-
-    /// Post-run integrity audit over the quiesced database.
-    fn audit(db: &Database, acked_deposits: u64) -> Anomalies {
-        let mut tx = db.txn().begin();
-        let mut emails: Vec<String> = tx
-            .scan("signups", &Predicate::True)
-            .unwrap()
-            .iter()
-            .filter_map(|(_, t)| t[1].as_text().map(str::to_string))
-            .collect();
-        emails.sort();
-        let duplicate_signups = emails.windows(2).filter(|w| w[0] == w[1]).count() as u64;
-        let live: std::collections::HashSet<i64> = tx
-            .scan("departments", &Predicate::True)
-            .unwrap()
-            .iter()
-            .filter_map(|(_, t)| t[1].as_int())
-            .collect();
-        let orphaned_users = tx
-            .scan("users", &Predicate::True)
-            .unwrap()
-            .iter()
-            .filter(|(_, t)| !live.contains(&t[2].as_int().unwrap_or(-1)))
-            .count() as u64;
-        let posts: std::collections::HashSet<i64> = tx
-            .scan("posts", &Predicate::True)
-            .unwrap()
-            .iter()
-            .filter_map(|(_, t)| t[1].as_int())
-            .collect();
-        let orphaned_comments = tx
-            .scan("comments", &Predicate::True)
-            .unwrap()
-            .iter()
-            .filter(|(_, t)| !posts.contains(&t[1].as_int().unwrap_or(-1)))
-            .count() as u64;
-        let balance: i64 = tx
-            .scan("accounts", &Predicate::True)
-            .unwrap()
-            .iter()
-            .filter_map(|(_, t)| t[2].as_int())
-            .sum();
-        tx.rollback();
-        Anomalies {
-            duplicate_signups,
-            orphaned_users,
-            orphaned_comments,
-            lost_deposits: (acked_deposits as i64 - balance).max(0) as u64,
-        }
-    }
-
-    pub(super) struct RunOutcome {
-        pub(super) tput: f64,
-        pub(super) committed: u64,
-        pub(super) anomalies: Anomalies,
-        /// Runtime DSG auditor snapshot, when the run was audited.
-        pub(super) audit: Option<feral_db::AuditSnapshot>,
-    }
-
-    /// One timed execution of the workload under `plan`: 8 workers each
-    /// draw `ops` template instances from the weighted mix, with the
-    /// runtime DSG auditor capturing at `audit_mode`. The integrity
-    /// audit runs after the clock stops.
-    pub(super) fn timed_run(
-        plan: &IsolationPlan,
-        ops: usize,
-        seed: u64,
-        audit_mode: AuditMode,
-    ) -> RunOutcome {
-        let db = Database::open(Config {
-            default_isolation: IsolationLevel::Serializable,
-            commit_shards: 8,
-            audit_mode,
-            ..Config::default()
-        })
-        .unwrap();
-        let tables: [(&str, Vec<ColumnDef>); 6] = [
-            ("departments", vec![ColumnDef::new("did", DataType::Int)]),
-            ("signups", vec![ColumnDef::new("email", DataType::Text)]),
-            (
-                "users",
-                vec![
-                    ColumnDef::new("email", DataType::Text),
-                    ColumnDef::new("department_id", DataType::Int),
-                ],
-            ),
-            ("posts", vec![ColumnDef::new("pid", DataType::Int)]),
-            ("comments", vec![ColumnDef::new("post_id", DataType::Int)]),
-            (
-                "accounts",
-                vec![
-                    ColumnDef::new("aid", DataType::Int),
-                    ColumnDef::new("balance", DataType::Int),
-                    ColumnDef::new("lock_version", DataType::Int),
-                ],
-            ),
-        ];
-        for (name, cols) in tables {
-            db.create_table(TableSchema::new(name, cols)).unwrap();
-        }
-        db.txn()
-            .run(|tx| {
-                for d in 0..DEPTS as i64 {
-                    tx.insert_pairs("departments", &[("did", Datum::Int(d))])?;
-                }
-                for p in 0..POSTS {
-                    tx.insert_pairs("posts", &[("pid", Datum::Int(p))])?;
-                }
-                for a in 0..ACCOUNTS {
-                    tx.insert_pairs(
-                        "accounts",
-                        &[
-                            ("aid", Datum::Int(a)),
-                            ("balance", Datum::Int(0)),
-                            ("lock_version", Datum::Int(0)),
-                        ],
-                    )?;
-                }
-                Ok(())
-            })
-            .unwrap();
-
-        let slots: Vec<AtomicI64> = (0..DEPTS as i64).map(AtomicI64::new).collect();
-        let next_dept = AtomicI64::new(DEPTS as i64);
-        let committed = AtomicU64::new(0);
-        let acked_deposits = AtomicU64::new(0);
-        let started = Instant::now();
-        std::thread::scope(|s| {
-            for w in 0..WORKERS {
-                let db = db.clone();
-                let (slots, next_dept) = (slots.as_slice(), &next_dept);
-                let (committed, acked) = (&committed, &acked_deposits);
-                s.spawn(move || {
-                    let mut choice =
-                        WeightedChoice::new(&WEIGHTS, seed ^ (w as u64).wrapping_mul(0x9E3779B9));
-                    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(w as u64));
-                    for _ in 0..ops {
-                        let ok = match choice.draw() {
-                            0 => signup(&db, plan, &mut rng),
-                            1 => hire(&db, plan, slots, &mut rng),
-                            2 => disband(&db, plan, slots, next_dept, &mut rng),
-                            3 => deposit(&db, plan, acked, &mut rng),
-                            _ => comment(&db, plan, &mut rng),
-                        };
-                        if ok {
-                            committed.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                });
-            }
-        });
-        let elapsed = started.elapsed().as_secs_f64();
-        let committed = committed.load(Ordering::Relaxed);
-        RunOutcome {
-            tput: committed as f64 / elapsed,
-            committed,
-            anomalies: audit(&db, acked_deposits.load(Ordering::SeqCst)),
-            audit: db.audit_snapshot(),
-        }
     }
 
     struct CfgRow {

@@ -18,7 +18,7 @@
 
 use crate::apps::{key_value_app, Enforcement, ExperimentEnv};
 use feral_db::{Datum, IsolationLevel};
-use feral_server::{create_request, Deployment, DeploymentConfig, Request};
+use feral_server::{Deployment, DeploymentConfig, Request};
 use feral_sim::scenarios::{Guard, ScenarioKind, ScenarioSpec};
 use feral_sim::{explore_random, explore_systematic, run_with_choices, run_with_seed};
 use feral_sql::SqlSession;
@@ -212,11 +212,12 @@ pub fn run_cell(
     for round in 0..shape.rounds {
         let key = format!("key-{round}");
         let requests: Vec<Request> = (0..shape.concurrent)
-            .map(|_| {
-                create_request(
-                    "KeyValue",
-                    &[("key", Datum::text(&key)), ("value", Datum::text("v"))],
-                )
+            .map(|client| {
+                Request::builder("KeyValue")
+                    .session(client as u64)
+                    .attr("key", Datum::text(&key))
+                    .attr("value", Datum::text("v"))
+                    .create()
             })
             .collect();
         for r in deployment.round(requests) {

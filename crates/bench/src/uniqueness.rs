@@ -3,7 +3,7 @@
 
 use crate::apps::{key_value_app, Enforcement, ExperimentEnv};
 use feral_db::Datum;
-use feral_server::{create_request, Deployment, DeploymentConfig, Request};
+use feral_server::{Deployment, DeploymentConfig, Request};
 use feral_sql::SqlSession;
 use feral_workloads::KeyChooser;
 
@@ -65,11 +65,12 @@ pub fn uniqueness_stress(
     for round in 0..rounds {
         let key = format!("key-{round}");
         let requests: Vec<Request> = (0..concurrent)
-            .map(|_| {
-                create_request(
-                    "KeyValue",
-                    &[("key", Datum::text(&key)), ("value", Datum::text("v"))],
-                )
+            .map(|client| {
+                Request::builder("KeyValue")
+                    .session(client as u64)
+                    .attr("key", Datum::text(&key))
+                    .attr("value", Datum::text("v"))
+                    .create()
             })
             .collect();
         for r in deployment.round(requests) {
@@ -112,12 +113,14 @@ pub fn uniqueness_workload(
     for _ in 0..ops {
         let requests: Vec<Request> = streams
             .iter_mut()
-            .map(|s| {
+            .enumerate()
+            .map(|(client, s)| {
                 let key = format!("key-{}", s.next_key());
-                create_request(
-                    "KeyValue",
-                    &[("key", Datum::text(key)), ("value", Datum::text("v"))],
-                )
+                Request::builder("KeyValue")
+                    .session(client as u64)
+                    .attr("key", Datum::text(key))
+                    .attr("value", Datum::text("v"))
+                    .create()
             })
             .collect();
         for r in deployment.round(requests) {

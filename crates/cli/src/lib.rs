@@ -69,6 +69,33 @@ pub fn write_out(tool: &str, path: Option<&str>, rendered: &str) {
     }
 }
 
+/// The standard flags every tool binary accepts, rendered as the
+/// closing block of its `--help` text. Binaries that hand-roll their
+/// argument parsing (dependency cycles) must reproduce this block
+/// verbatim; the per-crate `cli_help` integration tests pin it.
+pub const STANDARD_FLAGS: &str = "\
+Standard flags:
+  --json            emit machine-readable JSON
+  --out PATH        write the artifact to PATH instead of stdout
+  --validate        self-validate the artifact and exit nonzero on schema drift
+  --smoke           small fast run for CI gates (subset of --full)
+  --help            this text
+";
+
+/// Render a tool's `--help` text in the house format: a one-line
+/// summary, a usage block, tool-specific options, then the
+/// [`STANDARD_FLAGS`] block shared by every binary.
+pub fn render_help(tool: &str, about: &str, usage: &str, options: &str) -> String {
+    let mut out = format!("{tool} — {about}\n\nUsage:\n{usage}");
+    if !options.is_empty() {
+        out.push_str("\nOptions:\n");
+        out.push_str(options);
+    }
+    out.push('\n');
+    out.push_str(STANDARD_FLAGS);
+    out
+}
+
 /// Minimal `--flag value` argument parser shared by every tool binary.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
@@ -139,6 +166,24 @@ impl Args {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn help_text_carries_the_standard_block() {
+        let text = render_help(
+            "feral-x",
+            "does x",
+            "  feral-x run [--n N]\n",
+            "  --n N    how many\n",
+        );
+        assert!(text.starts_with("feral-x — does x"));
+        assert!(text.contains("Usage:\n  feral-x run"));
+        assert!(text.contains("Options:\n  --n N"));
+        assert!(text.ends_with(STANDARD_FLAGS));
+        // no options block when there are no tool-specific options
+        let bare = render_help("feral-y", "does y", "  feral-y\n", "");
+        assert!(!bare.contains("Options:"));
+        assert!(bare.ends_with(STANDARD_FLAGS));
+    }
 
     #[test]
     fn args_parse_flags_and_switches() {

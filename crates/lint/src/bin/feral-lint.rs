@@ -5,33 +5,38 @@
 //! ```text
 //! feral-lint report [--seed 42] [--apps N] [--app NAME]
 //!                   [--no-witness] [--witness-seeds 1024]
-//! feral-lint json   [...same flags]
-//! feral-lint sarif  [...same flags]
+//! feral-lint json   [...same flags] [--out PATH]
+//! feral-lint sarif  [...same flags] [--out PATH]
 //! ```
 
 use feral_cli::EXIT_USAGE;
 use feral_lint::{lint_apps, report, LintOptions};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: feral-lint <report|json|sarif> [options]
+const TOOL: &str = "feral-lint";
 
-Lints the synthesized Table 2 corpus (67 applications) with the
-paper-derived rule catalog (FERAL001..FERAL005) and attaches replayable
-feral-sim anomaly witnesses to unsafe findings.
-
-options:
-  --seed <u64>           corpus synthesis seed (default 42)
-  --apps <n>             lint only the first n applications
-  --app <name>           lint only the named application (e.g. spree)
-  --no-witness           skip feral-sim witness search
-  --witness-seeds <u64>  random seeds before systematic fallback (default 1024)
-";
+fn help() -> String {
+    feral_cli::render_help(
+        TOOL,
+        "semantic safety analyzer over the synthesized Table 2 corpus",
+        "  feral-lint report [--seed 42] [--apps N] [--app NAME]\n\
+         \x20     [--no-witness] [--witness-seeds 1024]\n\
+         \x20 feral-lint json  [...same flags] [--out PATH]\n\
+         \x20 feral-lint sarif [...same flags] [--out PATH]\n",
+        "  --seed U64            corpus synthesis seed (default 42)\n\
+         \x20 --apps N              lint only the first N applications\n\
+         \x20 --app NAME            lint only the named application (e.g. spree)\n\
+         \x20 --no-witness          skip feral-sim witness search\n\
+         \x20 --witness-seeds U64   random seeds before systematic fallback (default 1024)\n",
+    )
+}
 
 struct Args {
     mode: String,
     seed: u64,
     apps: Option<usize>,
     app: Option<String>,
+    out: Option<String>,
     opts: LintOptions,
 }
 
@@ -43,28 +48,44 @@ fn parse_args() -> Result<Args, String> {
     }
     let flags = feral_cli::Args::from_iter(argv);
     let mut opts = LintOptions::default();
+    // --smoke: the fast CI shape — a corpus slice, no witness search
+    if flags.has("smoke") {
+        opts.witnesses = false;
+    }
     if flags.has("no-witness") {
         opts.witnesses = false;
     }
     opts.witness_seeds = flags.get_u64("witness-seeds", opts.witness_seeds);
     Ok(Args {
-        mode,
+        mode: if flags.has("json") && mode == "report" {
+            "json".to_string()
+        } else {
+            mode
+        },
         seed: flags.get_u64("seed", 42),
-        apps: flags.get_str("apps").map(|v| {
-            v.parse()
-                .map_err(|e| format!("--apps: {e}"))
-                .unwrap_or_else(|e| feral_cli::die("feral-lint", &e))
-        }),
+        apps: flags
+            .get_str("apps")
+            .map(|v| {
+                v.parse()
+                    .map_err(|e| format!("--apps: {e}"))
+                    .unwrap_or_else(|e| feral_cli::die(TOOL, &e))
+            })
+            .or(if flags.has("smoke") { Some(8) } else { None }),
         app: flags.get_str("app").map(String::from),
+        out: flags.get_str("out").map(String::from),
         opts,
     })
 }
 
 fn main() -> ExitCode {
+    if std::env::args().skip(1).any(|a| a == "--help") {
+        print!("{}", help());
+        return ExitCode::SUCCESS;
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("feral-lint: {e}\n\n{USAGE}");
+            eprintln!("{TOOL}: {e}\n\n{}", help());
             return ExitCode::from(EXIT_USAGE);
         }
     };
@@ -72,7 +93,7 @@ fn main() -> ExitCode {
     if let Some(name) = &args.app {
         corpus.retain(|a| a.stats.name.eq_ignore_ascii_case(name));
         if corpus.is_empty() {
-            eprintln!("feral-lint: no corpus application named `{name}`");
+            eprintln!("{TOOL}: no corpus application named `{name}`");
             return ExitCode::from(EXIT_USAGE);
         }
     }
@@ -85,6 +106,6 @@ fn main() -> ExitCode {
         "json" => report::render_json(&run),
         _ => report::render_sarif(&run),
     };
-    print!("{rendered}");
+    feral_cli::write_out(TOOL, args.out.as_deref(), &rendered);
     ExitCode::SUCCESS
 }

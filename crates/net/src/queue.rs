@@ -1,0 +1,176 @@
+//! A bounded MPMC dispatch queue with a non-blocking producer side.
+//!
+//! The event loops must never block — a loop stalled on a full queue
+//! stops reading *every* connection it owns, converting overload into
+//! head-of-line latency for well-behaved clients. So the producer side
+//! is [`BoundedQueue::try_push`] only: a full queue is reported
+//! immediately ([`PushError::Full`]) and the loop turns it into a
+//! load-shed reply. The consumer side ([`BoundedQueue::pop`]) blocks —
+//! executors have nothing better to do — and drains remaining items
+//! after [`BoundedQueue::close`], so accepted work still completes
+//! during shutdown.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+
+/// Why a [`BoundedQueue::try_push`] was refused; carries the item back.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity — shed the work.
+    Full(T),
+    /// The queue was closed — the consumer side is gone.
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity multi-producer multi-consumer queue.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    cv: Condvar,
+    cap: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `cap` items (minimum 1).
+    pub fn new(cap: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Enqueue without blocking. Refuses when full or closed.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut s = self.state.lock();
+        if s.closed {
+            return Err(PushError::Closed(item));
+        }
+        if s.items.len() >= self.cap {
+            return Err(PushError::Full(item));
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue, blocking until an item arrives. Returns `None` only
+    /// once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.state.lock();
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            self.cv.wait(&mut s);
+        }
+    }
+
+    /// Close the queue: producers are refused from now on, consumers
+    /// drain what is queued and then observe the close.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Queued item count (diagnostics).
+    pub fn len(&self) -> usize {
+        self.state.lock().items.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn capacity_is_enforced_and_reported() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        match q.try_push(3) {
+            Err(PushError::Full(v)) => assert_eq!(v, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok());
+    }
+
+    #[test]
+    fn close_drains_then_disconnects() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        match q.try_push(3) {
+            Err(PushError::Closed(v)) => assert_eq!(v, 3),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let consumer = {
+            let q = q.clone();
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_conserve_items() {
+        let q = Arc::new(BoundedQueue::<u64>::new(8));
+        let total = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let (q, total) = (q.clone(), total.clone());
+                std::thread::spawn(move || {
+                    while let Some(v) = q.pop() {
+                        total.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        let mut pushed = 0u64;
+        for v in 1..=1000u64 {
+            loop {
+                match q.try_push(v) {
+                    Ok(()) => {
+                        pushed += v;
+                        break;
+                    }
+                    Err(PushError::Full(_)) => std::thread::yield_now(),
+                    Err(PushError::Closed(_)) => unreachable!(),
+                }
+            }
+        }
+        q.close();
+        for c in consumers {
+            c.join().unwrap();
+        }
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), pushed);
+    }
+}

@@ -1,0 +1,558 @@
+//! `BENCH_load.json` rendering, self-validation, and Prometheus text.
+//!
+//! The artifact has three sections: a **grid** of open-loop load cells
+//! (worker count × arrival distribution, each with coordinated-
+//! omission-free p50/p99/p999), an **ablation** running the certified
+//! planner workload end-to-end over the wire under the planned levels
+//! versus all-serializable (with the runtime DSG auditor attached and
+//! its snapshot embedded), and the **gates** the artifact self-enforces.
+//! [`validate_load_report`] is the same validator `checkreport --load`
+//! applies from the outside, so writer and gate can never drift.
+
+use crate::load::LoadOutcome;
+use crate::planner::Anomalies;
+use feral_trace::hist::QUANTILE_SENTINEL;
+use feral_trace::json::{escape, parse, Json};
+use feral_trace::report::escape_label;
+use std::fmt::Write as _;
+
+/// One grid cell: an open-loop run at a worker count × distribution.
+pub struct GridRow {
+    /// Server executor (worker) count.
+    pub workers: usize,
+    /// Arrival/skew distribution name (`uniform` / `zipfian`).
+    pub dist: &'static str,
+    /// Client connections.
+    pub conns: usize,
+    /// Distinct session-id space driven through the cell.
+    pub sessions: u64,
+    /// Target aggregate arrival rate, req/s.
+    pub target_rate: f64,
+    /// Think time added per arrival, µs.
+    pub think_us: u64,
+    /// Measured outcome.
+    pub outcome: LoadOutcome,
+}
+
+/// One ablation row: the planner workload over the wire under a plan.
+pub struct AblationRow {
+    /// Configuration name (`planner` / `all-serializable`).
+    pub config: &'static str,
+    /// Measured outcome of the wire run.
+    pub outcome: LoadOutcome,
+    /// Integrity-audit counters over the post-run database.
+    pub anomalies: Anomalies,
+    /// Dependency cycles the runtime DSG auditor observed.
+    pub cycles: u64,
+    /// Whether the embedded audit snapshot passed its own schema
+    /// validator at render time.
+    pub schema_ok: bool,
+    /// The runtime auditor's JSON snapshot, when auditing was on.
+    pub snapshot_json: Option<String>,
+}
+
+fn quantiles_json(outcome: &LoadOutcome) -> String {
+    format!(
+        "\"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}",
+        outcome.latency.quantile(0.50),
+        outcome.latency.quantile(0.99),
+        outcome.latency.quantile(0.999)
+    )
+}
+
+/// Render the full `BENCH_load.json` artifact.
+pub fn render_load_json(
+    mode: &str,
+    queue: usize,
+    inflight: usize,
+    grid: &[GridRow],
+    ablation: &[AblationRow],
+) -> String {
+    let mut out = String::from("{\n  \"bench\": \"load\",\n");
+    let _ = writeln!(out, "  \"mode\": \"{}\",", escape(mode));
+    let _ = writeln!(
+        out,
+        "  \"protocol\": {{\"version\": {}, \"max_frame\": {}}},",
+        crate::wire::VERSION,
+        crate::wire::MAX_FRAME
+    );
+    let _ = writeln!(
+        out,
+        "  \"backpressure\": {{\"queue\": {queue}, \"inflight_per_conn\": {inflight}}},"
+    );
+    out.push_str("  \"grid\": [\n");
+    for (i, r) in grid.iter().enumerate() {
+        let o = &r.outcome;
+        let _ = writeln!(
+            out,
+            "    {{\"workers\": {}, \"dist\": \"{}\", \"conns\": {}, \"sessions\": {}, \
+             \"target_rate\": {:.1}, \"think_us\": {}, \"sent\": {}, \"completed\": {}, \
+             \"shed\": {}, \"errors\": {}, \"lost\": {}, \"throughput\": {:.1}, {}}}{}",
+            r.workers,
+            r.dist,
+            r.conns,
+            r.sessions,
+            r.target_rate,
+            r.think_us,
+            o.sent,
+            o.completed,
+            o.shed,
+            o.errors,
+            o.lost,
+            o.throughput(),
+            quantiles_json(o),
+            if i + 1 < grid.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ],\n  \"ablation\": [\n");
+    for (i, r) in ablation.iter().enumerate() {
+        let o = &r.outcome;
+        let mut s = format!(
+            "    {{\"config\": \"{}\", \"sent\": {}, \"completed\": {}, \"shed\": {}, \
+             \"errors\": {}, \"lost\": {}, \"throughput\": {:.1}, {}, \"anomalies\": {}, \
+             \"cycles\": {}, \"schema_valid\": {}",
+            r.config,
+            o.sent,
+            o.completed,
+            o.shed,
+            o.errors,
+            o.lost,
+            o.throughput(),
+            quantiles_json(o),
+            r.anomalies.json(),
+            r.cycles,
+            r.schema_ok
+        );
+        match &r.snapshot_json {
+            // re-indent the embedded snapshot to this nesting depth
+            Some(json) => {
+                let _ = write!(s, ", \"audit\": {}", json.replace('\n', "\n    "));
+            }
+            None => s.push_str(", \"audit\": null"),
+        }
+        s.push('}');
+        let _ = writeln!(out, "{s}{}", if i + 1 < ablation.len() { "," } else { "" });
+    }
+    let worker_counts = distinct_workers(grid);
+    let dists = distinct_dists(grid);
+    let accounted = grid
+        .iter()
+        .map(|r| &r.outcome)
+        .chain(ablation.iter().map(|r| &r.outcome))
+        .all(|o| o.completed + o.shed + o.errors + o.lost == o.sent);
+    let clean = ablation
+        .iter()
+        .all(|r| r.anomalies.total() == 0 && r.cycles == 0);
+    let schema = ablation.iter().all(|r| r.schema_ok);
+    let pass = worker_counts >= 3 && dists >= 2 && accounted && clean && schema;
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"gates\": {{\"worker_counts\": {worker_counts}, \"dists\": {dists}, \
+         \"replies_accounted\": {accounted}, \"ablation_clean\": {clean}, \
+         \"audit_schema\": {schema}, \"pass\": {pass}}}\n}}"
+    );
+    out
+}
+
+fn distinct_workers(grid: &[GridRow]) -> usize {
+    let mut w: Vec<usize> = grid.iter().map(|r| r.workers).collect();
+    w.sort_unstable();
+    w.dedup();
+    w.len()
+}
+
+fn distinct_dists(grid: &[GridRow]) -> usize {
+    let mut d: Vec<&str> = grid.iter().map(|r| r.dist).collect();
+    d.sort_unstable();
+    d.dedup();
+    d.len()
+}
+
+/// What a passing load-report validation saw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadSummary {
+    /// Grid cells in the artifact.
+    pub cells: usize,
+    /// Distinct worker counts across the grid.
+    pub worker_counts: usize,
+    /// Ablation configurations.
+    pub ablation_configs: usize,
+}
+
+fn require_u64(obj: &Json, key: &str, what: &str) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("{what}: missing numeric `{key}`"))
+}
+
+/// Schema-validate a `BENCH_load.json` text: envelope, a grid covering
+/// at least 3 worker counts under both distributions with ordered
+/// (sentinel-aware) latency quantiles and fully-accounted replies, and
+/// a planner + all-serializable ablation that committed work with zero
+/// integrity anomalies, zero observed DSG cycles, and a well-formed
+/// embedded audit snapshot.
+pub fn validate_load_report(text: &str) -> Result<LoadSummary, String> {
+    let doc = parse(text).map_err(|e| format!("unparseable JSON: {e}"))?;
+    if doc.get("bench").and_then(Json::as_str) != Some("load") {
+        return Err("not a load report (bench != \"load\")".into());
+    }
+    for key in [
+        "mode",
+        "protocol",
+        "backpressure",
+        "grid",
+        "ablation",
+        "gates",
+    ] {
+        if doc.get(key).is_none() {
+            return Err(format!("missing top-level `{key}`"));
+        }
+    }
+    let grid = doc
+        .get("grid")
+        .and_then(Json::as_arr)
+        .ok_or("grid is not an array")?;
+    if grid.is_empty() {
+        return Err("empty grid".into());
+    }
+    let mut workers = Vec::new();
+    let mut dists = Vec::new();
+    for (i, cell) in grid.iter().enumerate() {
+        let what = format!("grid[{i}]");
+        let w = require_u64(cell, "workers", &what)?;
+        if w == 0 {
+            return Err(format!("{what}: zero workers"));
+        }
+        workers.push(w);
+        let dist = cell
+            .get("dist")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{what}: missing `dist`"))?;
+        if dist != "uniform" && dist != "zipfian" {
+            return Err(format!("{what}: unknown dist `{dist}`"));
+        }
+        dists.push(dist.to_string());
+        check_counters(cell, &what)?;
+        check_quantiles(cell, &what)?;
+        let completed = require_u64(cell, "completed", &what)?;
+        if completed == 0 {
+            return Err(format!("{what}: no request completed"));
+        }
+    }
+    workers.sort_unstable();
+    workers.dedup();
+    if workers.len() < 3 {
+        return Err(format!(
+            "grid covers {} worker count(s); need at least 3",
+            workers.len()
+        ));
+    }
+    dists.sort();
+    dists.dedup();
+    if dists.len() < 2 {
+        return Err("grid must cover both uniform and zipfian arrivals".into());
+    }
+
+    let ablation = doc
+        .get("ablation")
+        .and_then(Json::as_arr)
+        .ok_or("ablation is not an array")?;
+    let mut configs = Vec::new();
+    for (i, row) in ablation.iter().enumerate() {
+        let what = format!("ablation[{i}]");
+        let config = row
+            .get("config")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{what}: missing `config`"))?;
+        configs.push(config.to_string());
+        check_counters(row, &what)?;
+        check_quantiles(row, &what)?;
+        if require_u64(row, "completed", &what)? == 0 {
+            return Err(format!("{what} ({config}): no request completed"));
+        }
+        let anomalies = row
+            .get("anomalies")
+            .ok_or_else(|| format!("{what}: missing `anomalies`"))?;
+        let mut total = 0u64;
+        for family in [
+            "duplicate_signups",
+            "orphaned_users",
+            "orphaned_comments",
+            "lost_deposits",
+        ] {
+            total += require_u64(anomalies, family, &format!("{what}.anomalies"))?;
+        }
+        if total != 0 {
+            return Err(format!(
+                "{what} ({config}): {total} integrity anomalies under a certified-safe plan"
+            ));
+        }
+        if require_u64(row, "cycles", &what)? != 0 {
+            return Err(format!(
+                "{what} ({config}): runtime auditor observed cycles"
+            ));
+        }
+        if row.get("schema_valid").and_then(Json::as_bool) != Some(true) {
+            return Err(format!(
+                "{what} ({config}): audit snapshot failed its schema"
+            ));
+        }
+        let audit = row
+            .get("audit")
+            .ok_or_else(|| format!("{what}: missing `audit`"))?;
+        if *audit == Json::Null {
+            return Err(format!("{what} ({config}): no embedded audit snapshot"));
+        }
+        // the embedded snapshot must agree with the row's cycle count
+        let snap_cycles = require_u64(audit, "cycles", &format!("{what}.audit"))?;
+        if snap_cycles != 0 {
+            return Err(format!(
+                "{what} ({config}): embedded snapshot reports {snap_cycles} cycles"
+            ));
+        }
+    }
+    configs.sort();
+    for need in ["all-serializable", "planner"] {
+        if !configs.iter().any(|c| c == need) {
+            return Err(format!("ablation is missing the `{need}` configuration"));
+        }
+    }
+    if doc
+        .get("gates")
+        .and_then(|g| g.get("pass"))
+        .and_then(Json::as_bool)
+        != Some(true)
+    {
+        return Err("gates.pass is not true".into());
+    }
+    Ok(LoadSummary {
+        cells: grid.len(),
+        worker_counts: workers.len(),
+        ablation_configs: configs.len(),
+    })
+}
+
+fn check_counters(row: &Json, what: &str) -> Result<(), String> {
+    let sent = require_u64(row, "sent", what)?;
+    let mut accounted = 0;
+    for key in ["completed", "shed", "errors", "lost"] {
+        accounted += require_u64(row, key, what)?;
+    }
+    if accounted != sent {
+        return Err(format!(
+            "{what}: {accounted} replies accounted for {sent} sent requests"
+        ));
+    }
+    Ok(())
+}
+
+fn check_quantiles(row: &Json, what: &str) -> Result<(), String> {
+    let p50 = require_u64(row, "p50_ns", what)?;
+    let p99 = require_u64(row, "p99_ns", what)?;
+    let p999 = require_u64(row, "p999_ns", what)?;
+    // the sentinel marks an unresolvable quantile; ordering only binds
+    // between resolved values
+    for (a, b, label) in [(p50, p99, "p50 > p99"), (p99, p999, "p99 > p999")] {
+        if a != QUANTILE_SENTINEL && b != QUANTILE_SENTINEL && a > b {
+            return Err(format!("{what}: unordered quantiles ({label})"));
+        }
+    }
+    if p50 == QUANTILE_SENTINEL && p99 == QUANTILE_SENTINEL && p999 == QUANTILE_SENTINEL {
+        return Err(format!("{what}: every latency quantile is the sentinel"));
+    }
+    Ok(())
+}
+
+/// Prometheus text exposition of the load grid: throughput and latency
+/// quantiles per cell, labelled by worker count and distribution.
+pub fn render_prometheus(grid: &[GridRow]) -> String {
+    let mut out = String::new();
+    out.push_str("# HELP feralnet_requests_total Open-loop requests by disposition.\n");
+    out.push_str("# TYPE feralnet_requests_total counter\n");
+    for r in grid {
+        let cell = format!("w{}-{}", r.workers, r.dist);
+        for (disposition, v) in [
+            ("completed", r.outcome.completed),
+            ("shed", r.outcome.shed),
+            ("error", r.outcome.errors),
+            ("lost", r.outcome.lost),
+        ] {
+            let _ = writeln!(
+                out,
+                "feralnet_requests_total{{cell=\"{}\",disposition=\"{disposition}\"}} {v}",
+                escape_label(&cell)
+            );
+        }
+    }
+    out.push_str(
+        "# HELP feralnet_latency_nanos Scheduled-arrival to reply latency distribution.\n",
+    );
+    out.push_str("# TYPE feralnet_latency_nanos summary\n");
+    for r in grid {
+        let cell = format!("w{}-{}", r.workers, r.dist);
+        for (q, label) in [(0.50, "0.5"), (0.99, "0.99"), (0.999, "0.999")] {
+            let _ = writeln!(
+                out,
+                "feralnet_latency_nanos{{cell=\"{}\",quantile=\"{label}\"}} {}",
+                escape_label(&cell),
+                r.outcome.latency.quantile(q)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "feralnet_latency_nanos_sum{{cell=\"{}\"}} {}",
+            escape_label(&cell),
+            r.outcome.latency.sum
+        );
+        let _ = writeln!(
+            out,
+            "feralnet_latency_nanos_count{{cell=\"{}\"}} {}",
+            escape_label(&cell),
+            r.outcome.latency.count
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feral_trace::Histogram;
+
+    fn outcome(completed: u64) -> LoadOutcome {
+        let h = Histogram::new();
+        for i in 0..completed.max(1) {
+            h.record(1_000 + i * 7);
+        }
+        LoadOutcome {
+            sent: completed,
+            completed,
+            shed: 0,
+            errors: 0,
+            lost: 0,
+            elapsed: 1.0,
+            latency: h.snapshot(),
+        }
+    }
+
+    fn grid_row(workers: usize, dist: &'static str) -> GridRow {
+        GridRow {
+            workers,
+            dist,
+            conns: 2,
+            sessions: 1_000_000,
+            target_rate: 1000.0,
+            think_us: 0,
+            outcome: outcome(100),
+        }
+    }
+
+    fn ablation_row(config: &'static str) -> AblationRow {
+        AblationRow {
+            config,
+            outcome: outcome(200),
+            anomalies: Anomalies::default(),
+            cycles: 0,
+            schema_ok: true,
+            snapshot_json: Some("{\"cycles\": 0}".to_string()),
+        }
+    }
+
+    fn full_grid() -> Vec<GridRow> {
+        let mut grid = Vec::new();
+        for w in [1, 2, 4] {
+            for dist in ["uniform", "zipfian"] {
+                grid.push(grid_row(w, dist));
+            }
+        }
+        grid
+    }
+
+    #[test]
+    fn rendered_report_validates() {
+        let json = render_load_json(
+            "smoke",
+            64,
+            8,
+            &full_grid(),
+            &[ablation_row("planner"), ablation_row("all-serializable")],
+        );
+        let summary = validate_load_report(&json).expect("report validates");
+        assert_eq!(summary.cells, 6);
+        assert_eq!(summary.worker_counts, 3);
+        assert_eq!(summary.ablation_configs, 2);
+    }
+
+    #[test]
+    fn thin_grid_or_missing_config_fails() {
+        let thin = render_load_json(
+            "smoke",
+            64,
+            8,
+            &[grid_row(1, "uniform"), grid_row(2, "uniform")],
+            &[ablation_row("planner"), ablation_row("all-serializable")],
+        );
+        let err = validate_load_report(&thin).unwrap_err();
+        assert!(err.contains("worker count"), "{err}");
+
+        let missing = render_load_json("smoke", 64, 8, &full_grid(), &[ablation_row("planner")]);
+        let err = validate_load_report(&missing).unwrap_err();
+        assert!(err.contains("all-serializable"), "{err}");
+    }
+
+    #[test]
+    fn anomalies_or_cycles_fail_the_gate() {
+        let mut dirty = ablation_row("planner");
+        dirty.anomalies.lost_deposits = 3;
+        let json = render_load_json(
+            "smoke",
+            64,
+            8,
+            &full_grid(),
+            &[dirty, ablation_row("all-serializable")],
+        );
+        let err = validate_load_report(&json).unwrap_err();
+        assert!(err.contains("anomalies"), "{err}");
+
+        let mut cyclic = ablation_row("all-serializable");
+        cyclic.cycles = 1;
+        let json = render_load_json(
+            "smoke",
+            64,
+            8,
+            &full_grid(),
+            &[ablation_row("planner"), cyclic],
+        );
+        let err = validate_load_report(&json).unwrap_err();
+        assert!(err.contains("cycles"), "{err}");
+    }
+
+    #[test]
+    fn unaccounted_replies_fail() {
+        let mut row = grid_row(8, "uniform");
+        row.outcome.lost = 0;
+        row.outcome.sent = 101;
+        let mut grid = full_grid();
+        grid.push(row);
+        let json = render_load_json(
+            "smoke",
+            64,
+            8,
+            &grid,
+            &[ablation_row("planner"), ablation_row("all-serializable")],
+        );
+        let err = validate_load_report(&json).unwrap_err();
+        assert!(err.contains("accounted"), "{err}");
+    }
+
+    #[test]
+    fn prometheus_text_is_labelled_and_headed() {
+        let text = render_prometheus(&full_grid());
+        assert!(text.contains("# TYPE feralnet_latency_nanos summary"));
+        assert!(
+            text.contains("feralnet_requests_total{cell=\"w4-zipfian\",disposition=\"completed\"}")
+        );
+        assert!(text.contains("quantile=\"0.999\""));
+    }
+}

@@ -33,6 +33,22 @@ fn die(msg: &str) -> ! {
     feral_cli::die(TOOL, msg)
 }
 
+fn help() -> String {
+    feral_cli::render_help(
+        TOOL,
+        "certified weakest-safe-isolation plans",
+        "  feral-plan infer [--seed 42] [--dot]\n\
+         \x20 feral-plan certify [--seed 42] [--seeds N] [--max-runs N]\n\
+         \x20     [--validate GOLDEN]\n\
+         \x20 feral-plan diff A.json B.json\n",
+        "  --seed U64        corpus synthesis seed (default 42)\n\
+         \x20 --seeds N         random witness seeds before systematic fallback\n\
+         \x20 --max-runs N      schedule budget per certified cell\n\
+         \x20 --dot             Graphviz output for `infer`\n\
+         \x20 --validate GOLDEN byte-diff the certified artifact against GOLDEN\n",
+    )
+}
+
 fn cmd_infer(args: &Args) -> ExitCode {
     let plan = build_plan(args.get_u64("seed", 42));
     let rendered = if args.has("json") {
@@ -174,8 +190,12 @@ fn cmd_diff(paths: &[String]) -> ExitCode {
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help") {
+        print!("{}", help());
+        return ExitCode::SUCCESS;
+    }
     let Some(command) = argv.first() else {
-        die("usage: feral-plan <infer|certify|diff> [flags]")
+        die("usage: feral-plan <infer|certify|diff> [flags] (--help for details)")
     };
     match command.as_str() {
         "infer" => cmd_infer(&Args::from_iter(argv[1..].iter().cloned())),

@@ -16,14 +16,29 @@ use std::path::{Path, PathBuf};
 
 const TOOL: &str = "feral-racer";
 
+fn help() -> String {
+    feral_cli::render_help(
+        TOOL,
+        "lock-order and atomics discipline checks for the workspace's concurrency core",
+        "  feral-racer check [--root DIR] [--sarif]\n",
+        "  --root DIR        repo root (default: nearest ancestor with crates/)\n\
+         \x20 --sarif           SARIF 2.1.0 output instead of text/JSON\n",
+    )
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help") {
+        print!("{}", help());
+        return;
+    }
     match argv.first().map(String::as_str) {
         Some("check") => check(Args::from_iter(argv.into_iter().skip(1))),
         Some(other) => die(TOOL, &format!("unknown command `{other}` (try `check`)")),
         None => die(
             TOOL,
-            "usage: feral-racer check [--root DIR] [--json|--sarif] [--out PATH] [--validate]",
+            "usage: feral-racer check [--root DIR] [--json|--sarif] [--out PATH] [--validate] \
+             (--help for details)",
         ),
     }
 }

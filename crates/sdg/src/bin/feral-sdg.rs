@@ -36,6 +36,21 @@ fn die(msg: &str) -> ! {
     feral_cli::die(TOOL, msg)
 }
 
+fn help() -> String {
+    feral_cli::render_help(
+        TOOL,
+        "static dependency-graph anomaly prediction",
+        "  feral-sdg matrix [--seeds N] [--max-runs N]\n\
+         \x20 feral-sdg graph --pair P [--isolation LEVEL] [--dot]\n\
+         \x20 feral-sdg templates\n",
+        "  --pair P          uniqueness|orphans|lock-rmw|sibling-inserts\n\
+         \x20 --isolation L     read-committed|repeatable-read|snapshot|serializable\n\
+         \x20 --seeds N         random witness seeds before systematic fallback\n\
+         \x20 --max-runs N      schedule budget per validated cell\n\
+         \x20 --dot             Graphviz output for `graph`\n",
+    )
+}
+
 fn cmd_matrix(args: &Args) -> ExitCode {
     let matrix = build_matrix();
 
@@ -122,8 +137,12 @@ fn cmd_templates() -> ExitCode {
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help") {
+        print!("{}", help());
+        return ExitCode::SUCCESS;
+    }
     let Some(command) = argv.first() else {
-        die("usage: feral-sdg <matrix|graph|templates> [flags]")
+        die("usage: feral-sdg <matrix|graph|templates> [flags] (--help for details)")
     };
     let args = Args::from_iter(argv[1..].iter().cloned());
     match command.as_str() {

@@ -43,6 +43,23 @@ fn die(msg: &str) -> ! {
     feral_cli::die(TOOL, msg)
 }
 
+fn help() -> String {
+    feral_cli::render_help(
+        TOOL,
+        "deterministic anomaly exploration over feral-db schedules",
+        "  feral-sim matrix [--strategy dfs|dpor|directed] [--max-runs N]\n\
+         \x20 feral-sim systematic --scenario NAME [--isolation LEVEL | --levels L0,L1]\n\
+         \x20     [--guard feral|database] [--workers N] [--strategy S] [--max-runs N]\n\
+         \x20 feral-sim random --scenario NAME [--seeds N]\n\
+         \x20 feral-sim replay --scenario NAME (--seed S | --choices 1,0,2)\n",
+        "  --scenario NAME   uniqueness|orphans|lost-update|sibling-inserts\n\
+         \x20 --isolation L     read-committed|repeatable-read|snapshot|serializable\n\
+         \x20 --levels L0,L1    run the pair's two template slots at different levels\n\
+         \x20 --strategy S      dfs|dpor|directed schedule exploration\n\
+         \x20 --max-runs N      schedule budget before declaring the sweep bounded\n",
+    )
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Strategy {
     Dfs,
@@ -183,7 +200,8 @@ fn cmd_systematic(cfg: ScenarioSpec, levels: Option<[IsolationLevel; 2]>, args: 
     let strategy = strategy_arg(args, Strategy::Dfs);
     let report = explore(&cfg, levels, strategy, args.get_usize("max-runs", 200_000));
     if args.has("json") {
-        println!("{}", report.to_json());
+        let rendered = format!("{}\n", report.to_json());
+        feral_cli::write_out(TOOL, args.get_str("out"), &rendered);
         return ExitCode::from(u8::from(report.violation.is_some()));
     }
     match &report.violation {
@@ -281,8 +299,11 @@ fn cmd_matrix(args: &Args) -> ExitCode {
     // (scenario cfg, anomaly expected?)
     use ScenarioKind::{Orphans, Uniqueness};
     let strategy = strategy_arg(args, Strategy::Dpor);
-    let max_runs = args.get_usize("max-runs", 200_000);
+    // --smoke keeps the sweep bounded tightly enough for CI gates; every
+    // cell is exhaustive well under this budget, so verdicts are identical
+    let max_runs = args.get_usize("max-runs", if args.has("smoke") { 50_000 } else { 200_000 });
     let json = args.has("json");
+    let mut json_lines = String::new();
     let cells: Vec<(ScenarioSpec, bool)> = vec![
         (cell(Uniqueness, ReadCommitted, Guard::Feral), true),
         (cell(Uniqueness, Serializable, Guard::Feral), false),
@@ -296,7 +317,8 @@ fn cmd_matrix(args: &Args) -> ExitCode {
         let report = explore(&cfg, None, strategy, max_runs);
         let found = report.violation.is_some();
         if json {
-            println!("{}", report.to_json());
+            json_lines.push_str(&report.to_json());
+            json_lines.push('\n');
         } else {
             let verdict = if found == expect_anomaly {
                 "ok"
@@ -317,6 +339,9 @@ fn cmd_matrix(args: &Args) -> ExitCode {
         if found != expect_anomaly {
             failures += 1;
         }
+    }
+    if json {
+        feral_cli::write_out(TOOL, args.get_str("out"), &json_lines);
     }
     if failures == 0 {
         if !json {
@@ -345,8 +370,12 @@ fn cell(kind: ScenarioKind, isolation: IsolationLevel, guard: Guard) -> Scenario
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help") {
+        print!("{}", help());
+        return ExitCode::SUCCESS;
+    }
     let Some(command) = argv.first() else {
-        die("usage: feral-sim <matrix|systematic|random|replay> [flags]")
+        die("usage: feral-sim <matrix|systematic|random|replay> [flags] (--help for details)")
     };
     let args = Args::from_iter(argv[1..].iter().cloned());
     match command.as_str() {

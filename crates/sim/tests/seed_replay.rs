@@ -66,7 +66,7 @@ fn three_writer_duplicate_search_replays_from_seed() {
 /// request handling become schedule branch points, and anomalies found
 /// through the HTTP-ish front door replay from a seed just the same.
 fn deployment_trial() -> Trial {
-    use feral_server::{create_request, Deployment, DeploymentConfig};
+    use feral_server::{Deployment, DeploymentConfig, Request};
 
     let app = {
         let db = feral_db::Database::new(feral_db::Config {
@@ -95,14 +95,16 @@ fn deployment_trial() -> Trial {
             },
         );
         let requests = vec![
-            create_request(
-                "KeyValue",
-                &[("key", Datum::text("k")), ("value", Datum::text("a"))],
-            ),
-            create_request(
-                "KeyValue",
-                &[("key", Datum::text("k")), ("value", Datum::text("b"))],
-            ),
+            Request::builder("KeyValue")
+                .session(1)
+                .attr("key", Datum::text("k"))
+                .attr("value", Datum::text("a"))
+                .create(),
+            Request::builder("KeyValue")
+                .session(2)
+                .attr("key", Datum::text("k"))
+                .attr("value", Datum::text("b"))
+                .create(),
         ];
         let _ = deployment.round(requests);
         deployment.shutdown();

@@ -128,4 +128,17 @@ cargo run --release -q -p feral-bench --bin commitbench -- audit --smoke --out "
 cargo run --release -q -p feral-bench --bin checkreport -- --audit "$AUDIT_OUT"
 rm -f "$AUDIT_OUT"
 
+echo "== tier1: wire-tier load smoke gate (feral-net loadbench --smoke) =="
+# Gates on its own exit code: an open-loop load grid (3 worker counts x
+# uniform/zipfian arrivals) over the wire protocol with coordinated-
+# omission-free p50/p99/p999, plus the planner-vs-all-serializable
+# ablation served end-to-end through feral-net with the runtime DSG
+# auditor attached — zero integrity anomalies, zero observed cycles,
+# schema-valid embedded snapshots. The artifact is then re-gated from
+# the outside by checkreport --load.
+LOAD_OUT=$(mktemp /tmp/BENCH_load.XXXXXX.json)
+cargo run --release -q -p feral-net -- loadbench --smoke --out "$LOAD_OUT" > /dev/null
+cargo run --release -q -p feral-bench --bin checkreport -- --load "$LOAD_OUT"
+rm -f "$LOAD_OUT"
+
 echo "== tier1: OK =="
